@@ -1,0 +1,94 @@
+// Ablation: classic blocking (sorted neighborhood, canopy clustering —
+// the Section 2 related work) vs the LSH-based cBV-HB, under PL on
+// NCVR-shaped data.  Demonstrates the paper's claim that the classic
+// methods "do not provide any guarantees for identifying record pairs
+// that are similar nor scale well".
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/linkage/classic_linker.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t n = RecordsFromEnv(3000);
+  const size_t reps = RepetitionsFromEnv(2);
+  bench::Banner("Ablation: classic blocking vs LSH blocking (NCVR, PL)");
+  std::printf("records=%zu reps=%zu\n\n", n, reps);
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+  const Schema& schema = gen.value().schema();
+
+  std::optional<CsvWriter> csv;
+  const std::string csv_dir = CsvDirFromEnv();
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/classic.csv", {"method", "pc", "pq", "rr", "time_s"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  const auto make_classic =
+      [&](ClassicBlocking blocking) -> Result<std::unique_ptr<Linker>> {
+    ClassicConfig config;
+    config.blocking = blocking;
+    config.sorted_neighborhood.window = 10;
+    config.edit_thresholds = {1, 1, 1, 1};  // PL: one edit somewhere
+    Result<ClassicLinker> linker = ClassicLinker::Create(std::move(config));
+    if (!linker.ok()) return linker.status();
+    return std::unique_ptr<Linker>(
+        new ClassicLinker(std::move(linker).value()));
+  };
+
+  std::printf("%-12s %10s %12s %10s %12s\n", "method", "PC", "PQ", "RR",
+              "time (s)");
+  struct Row {
+    const char* label;
+    std::function<Result<std::unique_ptr<Linker>>(uint64_t)> make;
+  };
+  const std::vector<Row> rows = {
+      {"cBV-HB",
+       [&](uint64_t seed) {
+         return bench::MakeLinker("cBV-HB", schema, bench::Scheme::kPL, seed);
+       }},
+      {"SortedNbh",
+       [&](uint64_t) {
+         return make_classic(ClassicBlocking::kSortedNeighborhood);
+       }},
+      {"Canopy",
+       [&](uint64_t) { return make_classic(ClassicBlocking::kCanopy); }},
+  };
+  for (const Row& row : rows) {
+    LinkagePairOptions options;
+    options.num_records = n;
+    Result<AveragedResult> avg =
+        RunRepeated(gen.value(), PerturbationScheme::Light(), options, reps,
+                    row.make);
+    bench::DieOnError(avg.ok() ? Status::OK() : avg.status(), row.label);
+    std::printf("%-12s %10.3f %12.5f %10.4f %12.3f\n", row.label,
+                avg.value().pairs_completeness, avg.value().pairs_quality,
+                avg.value().reduction_ratio, avg.value().total_seconds);
+    if (csv.has_value()) {
+      csv->WriteNumericRow(row.label,
+                           {avg.value().pairs_completeness,
+                            avg.value().pairs_quality,
+                            avg.value().reduction_ratio,
+                            avg.value().total_seconds});
+    }
+  }
+  std::printf(
+      "\nReading: the classic methods miss pairs whose keys sort apart / "
+      "fall outside a canopy\n(no guarantee), and canopy's center scans "
+      "scale poorly; cBV-HB keeps PC >= 0.95 with a\nformal bound.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 12:
+//  (a) Reduction Ratio together with Pairs Completeness per method under
+//      PL — efficiency must come with accuracy, which only cBV-HB and
+//      BfH achieve (SM-EB's blocks are overwhelmed by non-matching
+//      pairs);
+//  (b) total elapsed time per method for PL and PH (HARRA fast but
+//      inaccurate, SM-EB slowest by a large margin).
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t n = RecordsFromEnv(2000);
+  const size_t reps = RepetitionsFromEnv(2);
+  bench::Banner("Figure 12: RR + PC, and running time per method (NCVR)");
+  std::printf("records=%zu reps=%zu\n\n", n, reps);
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+  const Schema& schema = gen.value().schema();
+
+  std::optional<CsvWriter> csv;
+  const std::string csv_dir = CsvDirFromEnv();
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/fig12.csv",
+        {"method", "rr_PL", "pc_PL", "time_PL_s", "time_PH_s"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  std::printf("%-8s %10s %10s %14s %14s\n", "method", "RR(PL)", "PC(PL)",
+              "time PL (s)", "time PH (s)");
+  for (const char* method : {"cBV-HB", "BfH", "HARRA", "SM-EB"}) {
+    double rr = 0.0;
+    double pc = 0.0;
+    double seconds[2] = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+      const bench::Scheme scheme =
+          s == 0 ? bench::Scheme::kPL : bench::Scheme::kPH;
+      LinkagePairOptions options;
+      options.num_records = n;
+      Result<AveragedResult> avg = RunRepeated(
+          gen.value(), bench::MakeScheme(scheme), options, reps,
+          [&](uint64_t seed) {
+            return bench::MakeLinker(method, schema, scheme, seed);
+          });
+      bench::DieOnError(avg.ok() ? Status::OK() : avg.status(), method);
+      seconds[s] = avg.value().total_seconds;
+      if (scheme == bench::Scheme::kPL) {
+        rr = avg.value().reduction_ratio;
+        pc = avg.value().pairs_completeness;
+      }
+    }
+    std::printf("%-8s %10.4f %10.3f %14.3f %14.3f\n", method, rr, pc,
+                seconds[0], seconds[1]);
+    if (csv.has_value()) {
+      csv->WriteNumericRow(method, {rr, pc, seconds[0], seconds[1]});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): high RR for all but SM-EB; only cBV-HB and "
+      "BfH pair high RR\nwith high PC; SM-EB slowest overall.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

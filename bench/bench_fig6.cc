@@ -1,0 +1,186 @@
+// Reproduces Figure 6: Pairs Completeness and Pairs Quality of the
+// attribute-level (rule-aware) blocking vs the standard record-level
+// LSH blocking, for the compound rules C1, C2, C3 of Section 6.2 on
+// NCVR-shaped data.
+//
+// The reference match set M for each rule is computed exhaustively over
+// A x B on the embedded vectors, since the rules themselves define what
+// counts as a match (the NOT of C3 makes perturbation ground truth the
+// wrong reference).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/blocking/attribute_blocker.h"
+#include "src/blocking/matcher.h"
+#include "src/blocking/record_blocker.h"
+#include "src/eval/measures.h"
+
+namespace cbvlink {
+namespace {
+
+struct RuleCase {
+  const char* name;
+  Rule rule;
+};
+
+struct Outcome {
+  double pc = 0.0;
+  double pq = 0.0;
+};
+
+/// Runs one (rule, blocking mode) cell and returns PC / PQ against the
+/// exhaustive rule-defined match set.
+Outcome RunCell(const Rule& rule, bool attribute_level,
+                const CVectorRecordEncoder& encoder,
+                const std::vector<EncodedRecord>& enc_a,
+                const std::vector<EncodedRecord>& enc_b,
+                const PairSet& rule_matches, uint64_t seed) {
+  Rng rng(seed);
+  VectorStore store;
+  store.AddAll(enc_a);
+
+  std::vector<IdPair> found;
+  MatchStats stats;
+  const PairClassifier classifier = MakeRuleClassifier(rule, encoder.layout());
+
+  if (attribute_level) {
+    AttributeBlockerOptions options;
+    options.attribute_K = bench::AttributeK();
+    Result<AttributeLevelBlocker> blocker = AttributeLevelBlocker::Create(
+        rule, encoder.layout(), options, rng);
+    bench::DieOnError(blocker.ok() ? Status::OK() : blocker.status(),
+                      "attribute blocker");
+    blocker.value().Index(enc_a);
+    Matcher matcher(&blocker.value(), &store);
+    found = matcher.MatchAll(enc_b, classifier, &stats);
+  } else {
+    // The standard approach: uniform record-level sampling, K = 30,
+    // record threshold = sum of the rule's positive thresholds.
+    Result<RecordLevelBlocker> blocker =
+        RecordLevelBlocker::Create(encoder.total_bits(), 30, 16, 0.1, rng);
+    bench::DieOnError(blocker.ok() ? Status::OK() : blocker.status(),
+                      "record blocker");
+    blocker.value().Index(enc_a);
+    Matcher matcher(&blocker.value(), &store);
+    found = matcher.MatchAll(enc_b, classifier, &stats);
+  }
+
+  size_t hits = 0;
+  PairSet unique_found;
+  for (const IdPair& p : found) unique_found.insert(p);
+  for (const IdPair& p : unique_found) {
+    if (rule_matches.contains(p)) ++hits;
+  }
+  Outcome out;
+  out.pc = rule_matches.empty()
+               ? 1.0
+               : static_cast<double>(hits) / rule_matches.size();
+  out.pq = stats.comparisons == 0
+               ? 0.0
+               : static_cast<double>(hits) / stats.comparisons;
+  return out;
+}
+
+void Run() {
+  const size_t n = RecordsFromEnv(2000);
+  const size_t reps = RepetitionsFromEnv(3);
+  bench::Banner("Figure 6: attribute-level vs standard blocking (NCVR, PH)");
+  std::printf("records=%zu reps=%zu\n\n", n, reps);
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+
+  const std::vector<RuleCase> cases = {
+      {"C1", Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)})},
+      {"C2", Rule::Or({Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)}),
+                       Rule::Pred(2, 8)})},
+      {"C3", Rule::And({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))})},
+  };
+
+  std::printf("%-4s %14s %14s %14s %14s\n", "rule", "PC(attr)", "PC(std)",
+              "PQ(attr)", "PQ(std)");
+
+  const std::string csv_dir = CsvDirFromEnv();
+  std::optional<CsvWriter> csv;
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/fig6.csv",
+        {"rule", "pc_attr", "pc_std", "pq_attr", "pq_std"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  for (const RuleCase& rule_case : cases) {
+    Outcome attr_sum, std_sum;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const uint64_t seed = 1000 + rep * 131;
+      LinkagePairOptions options;
+      options.num_records = n;
+      options.seed = seed;
+      Result<LinkagePair> data = BuildLinkagePair(
+          gen.value(), PerturbationScheme::Heavy(4), options);
+      bench::DieOnError(data.ok() ? Status::OK() : data.status(), "data");
+
+      // Shared encoder for both modes.
+      Rng enc_rng(seed + 7);
+      Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+          gen.value().schema(),
+          EstimateExpectedQGrams(gen.value().schema(), data.value().a),
+          enc_rng);
+      bench::DieOnError(encoder.ok() ? Status::OK() : encoder.status(),
+                        "encoder");
+
+      std::vector<EncodedRecord> enc_a, enc_b;
+      for (const Record& r : data.value().a) {
+        enc_a.push_back(encoder.value().Encode(r).value());
+      }
+      for (const Record& r : data.value().b) {
+        enc_b.push_back(encoder.value().Encode(r).value());
+      }
+
+      // Exhaustive rule-defined match set.
+      const PairClassifier classifier =
+          MakeRuleClassifier(rule_case.rule, encoder.value().layout());
+      PairSet rule_matches;
+      for (const EncodedRecord& a : enc_a) {
+        for (const EncodedRecord& b : enc_b) {
+          if (classifier(a.bits, b.bits)) {
+            rule_matches.insert(IdPair{a.id, b.id});
+          }
+        }
+      }
+
+      const Outcome attr =
+          RunCell(rule_case.rule, true, encoder.value(), enc_a, enc_b,
+                  rule_matches, seed + 11);
+      const Outcome standard =
+          RunCell(rule_case.rule, false, encoder.value(), enc_a, enc_b,
+                  rule_matches, seed + 13);
+      attr_sum.pc += attr.pc;
+      attr_sum.pq += attr.pq;
+      std_sum.pc += standard.pc;
+      std_sum.pq += standard.pq;
+    }
+    const double r = static_cast<double>(reps);
+    std::printf("%-4s %14.3f %14.3f %14.5f %14.5f\n", rule_case.name,
+                attr_sum.pc / r, std_sum.pc / r, attr_sum.pq / r,
+                std_sum.pq / r);
+    if (csv.has_value()) {
+      csv->WriteNumericRow(rule_case.name,
+                           {attr_sum.pc / r, std_sum.pc / r, attr_sum.pq / r,
+                            std_sum.pq / r});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): PC(attr) > PC(std) for all rules, largest "
+      "gap at C3;\nPQ(attr) < PQ(std) for C1 (more blocking groups).\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 7: Pairs Completeness as a function of the Theorem 1
+// confidence ratio r (with K = 35), on NCVR-shaped data for both
+// perturbation schemes.  The paper's finding: r = 1/3 is the knee —
+// smaller r only inflates the c-vectors without buying accuracy.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/common/str.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t n = RecordsFromEnv(3000);
+  const size_t reps = RepetitionsFromEnv(3);
+  bench::Banner("Figure 7: PC vs confidence ratio r (K = 35, NCVR)");
+  std::printf("records=%zu reps=%zu\n\n", n, reps);
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+  const Schema& schema = gen.value().schema();
+
+  const std::string csv_dir = CsvDirFromEnv();
+  std::optional<CsvWriter> csv;
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/fig7.csv", {"r", "pc_PL", "pc_PH", "record_bits"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  std::printf("%-8s %10s %10s %14s\n", "r", "PC(PL)", "PC(PH)",
+              "record bits");
+
+  const double ratios[] = {1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0, 1.0 / 5.0};
+  for (const double r : ratios) {
+    double pc[2] = {0.0, 0.0};
+    double bits = 0.0;
+    for (int s = 0; s < 2; ++s) {
+      const bench::Scheme scheme =
+          s == 0 ? bench::Scheme::kPL : bench::Scheme::kPH;
+      LinkagePairOptions options;
+      options.num_records = n;
+      Result<AveragedResult> avg = RunRepeated(
+          gen.value(), bench::MakeScheme(scheme), options, reps,
+          [&](uint64_t seed) -> Result<std::unique_ptr<Linker>> {
+            CbvHbConfig config = bench::CbvHbFor(schema, scheme, seed);
+            config.sizing.confidence_ratio = r;
+            // Figure 7 uses K = 35.
+            if (scheme == bench::Scheme::kPL) {
+              config.record_K = 35;
+            }
+            Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+            if (!linker.ok()) return linker.status();
+            return std::unique_ptr<Linker>(
+                new CbvHbLinker(std::move(linker).value()));
+          });
+      bench::DieOnError(avg.ok() ? Status::OK() : avg.status(), "run");
+      pc[s] = avg.value().pairs_completeness;
+    }
+    // Record size at this r, for the size/accuracy trade-off.
+    {
+      Rng rng(5);
+      std::vector<Record> sample;
+      for (size_t i = 0; i < 2000; ++i) {
+        sample.push_back(gen.value().Generate(i, rng));
+      }
+      OptimalSizeOptions sizing;
+      sizing.confidence_ratio = r;
+      Rng enc_rng(6);
+      Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+          schema, EstimateExpectedQGrams(schema, sample), enc_rng, sizing);
+      if (encoder.ok()) bits = static_cast<double>(encoder.value().total_bits());
+    }
+    std::printf("%-8.3f %10.3f %10.3f %14.0f\n", r, pc[0], pc[1], bits);
+    if (csv.has_value()) {
+      csv->WriteNumericRow(StrFormat("%.3f", r), {pc[0], pc[1], bits});
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): PC flattens for r <= 1/3 while record bits "
+      "keep growing.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

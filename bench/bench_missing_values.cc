@@ -1,0 +1,82 @@
+// Future-work experiment (Section 7): effectiveness of each method in
+// identifying records with missing values.  We sweep the probability that
+// one attribute of a perturbed record is entirely cleared and measure PC,
+// under both schemes, on NCVR-shaped data.
+//
+// The paper reports only "initial results ... by applying PH, the gain in
+// accuracy compared to the baselines is larger" — this bench regenerates
+// that comparison.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/common/str.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t n = RecordsFromEnv(2000);
+  const size_t reps = RepetitionsFromEnv(2);
+  bench::Banner("Future work: PC under missing values (NCVR)");
+  std::printf("records=%zu reps=%zu\n\n", n, reps);
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+  const Schema& schema = gen.value().schema();
+
+  std::optional<CsvWriter> csv;
+  const std::string csv_dir = CsvDirFromEnv();
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/missing_values.csv",
+        {"scheme_method", "miss0", "miss20", "miss50"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  const double miss_probs[] = {0.0, 0.2, 0.5};
+  for (int s = 0; s < 2; ++s) {
+    const bench::Scheme scheme =
+        s == 0 ? bench::Scheme::kPL : bench::Scheme::kPH;
+    std::printf("scheme %s\n", bench::SchemeName(scheme));
+    std::printf("%-8s %10s %10s %10s\n", "method", "miss=0", "miss=.2",
+                "miss=.5");
+    for (const char* method : {"cBV-HB", "BfH", "HARRA", "SM-EB"}) {
+      double pc[3] = {0, 0, 0};
+      for (int m = 0; m < 3; ++m) {
+        PerturbationScheme perturb = bench::MakeScheme(scheme);
+        perturb.missing_value_probability = miss_probs[m];
+        LinkagePairOptions options;
+        options.num_records = n;
+        Result<AveragedResult> avg = RunRepeated(
+            gen.value(), perturb, options, reps, [&](uint64_t seed) {
+              return bench::MakeLinker(method, schema, scheme, seed);
+            });
+        bench::DieOnError(avg.ok() ? Status::OK() : avg.status(), method);
+        pc[m] = avg.value().pairs_completeness;
+      }
+      std::printf("%-8s %10.3f %10.3f %10.3f\n", method, pc[0], pc[1], pc[2]);
+      if (csv.has_value()) {
+        csv->WriteNumericRow(
+            std::string(bench::SchemeName(scheme)) + "_" + method,
+            {pc[0], pc[1], pc[2]});
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: a cleared attribute puts the pair outside every "
+      "conjunctive rule, so PC\ndegrades roughly linearly in the missing "
+      "probability for all methods; disjunctive\nrules (see "
+      "examples/rule_blocking) are the mitigation the rule machinery "
+      "offers.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

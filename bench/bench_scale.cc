@@ -1,0 +1,70 @@
+// Scaling study: cBV-HB wall-clock and accuracy as data sets grow.
+// Complements Figure 12 by showing how the pipeline behaves on the way
+// to the paper's 1M-record scale: embedding and indexing are linear, the
+// matching load follows the candidate volume, and PC stays pinned by the
+// Equation 2 guarantee regardless of n.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/common/str.h"
+
+namespace cbvlink {
+namespace {
+
+void Run() {
+  const size_t max_n = RecordsFromEnv(40000);
+  bench::Banner("Scaling: cBV-HB vs data set size (NCVR, PL)");
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+  const Schema& schema = gen.value().schema();
+
+  std::optional<CsvWriter> csv;
+  const std::string csv_dir = CsvDirFromEnv();
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> w = CsvWriter::Open(
+        csv_dir + "/scale.csv",
+        {"n", "pc", "embed_s", "index_s", "match_s", "comparisons"});
+    if (w.ok()) csv.emplace(std::move(w).value());
+  }
+
+  std::printf("%-10s %8s %10s %10s %10s %14s\n", "records", "PC",
+              "embed(s)", "index(s)", "match(s)", "comparisons");
+  for (size_t n = 2500; n <= max_n; n *= 2) {
+    LinkagePairOptions options;
+    options.num_records = n;
+    Result<AveragedResult> avg = RunRepeated(
+        gen.value(), PerturbationScheme::Light(), options, 1,
+        [&](uint64_t seed) {
+          return bench::MakeLinker("cBV-HB", schema, bench::Scheme::kPL,
+                                   seed);
+        });
+    bench::DieOnError(avg.ok() ? Status::OK() : avg.status(), "run");
+    std::printf("%-10zu %8.3f %10.3f %10.3f %10.3f %14.0f\n", n,
+                avg.value().pairs_completeness, avg.value().embed_seconds,
+                avg.value().index_seconds, avg.value().match_seconds,
+                avg.value().comparisons);
+    if (csv.has_value()) {
+      csv->WriteNumericRow(
+          StrFormat("%zu", n),
+          {avg.value().pairs_completeness, avg.value().embed_seconds,
+           avg.value().index_seconds, avg.value().match_seconds,
+           avg.value().comparisons});
+    }
+  }
+  std::printf(
+      "\nReading: PC holds at the Eq. 2 level at every scale; embed/index "
+      "grow linearly,\nmatching with the candidate volume (names repeat, "
+      "so candidates grow ~n^2 within\nblocks — the PQ decline of "
+      "Figure 10 at 1M records).\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

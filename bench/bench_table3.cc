@@ -1,0 +1,75 @@
+// Reproduces Table 3: per-attribute average bigram counts b^(f_i), the
+// Theorem 1 sizes m_opt^(f_i), the record totals (120 / 267 bits), and
+// the K^(f_i) values used in the evaluation.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/embedding/optimal_size.h"
+#include "src/embedding/record_encoder.h"
+
+namespace cbvlink {
+namespace {
+
+template <typename Generator>
+void PrintTableFor(const char* dataset, const Generator& generator,
+                   const std::vector<size_t>& K, size_t sample_size) {
+  Rng rng(2016);
+  std::vector<Record> sample;
+  sample.reserve(sample_size);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample.push_back(generator.Generate(i, rng));
+  }
+  const Schema& schema = generator.schema();
+  const std::vector<double> b = EstimateExpectedQGrams(schema, sample);
+
+  std::printf("%s (sample of %zu records)\n", dataset, sample_size);
+  std::printf("  %-12s %8s %10s %6s\n", "attribute", "b", "m_opt", "K");
+  size_t total = 0;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    Result<size_t> m = OptimalCVectorSize(b[i]);
+    bench::DieOnError(m.ok() ? Status::OK() : m.status(), "m_opt");
+    total += m.value();
+    std::printf("  %-12s %8.1f %10zu %6zu\n",
+                schema.attributes[i].name.c_str(), b[i], m.value(), K[i]);
+  }
+  std::printf("  %-12s %8s %10zu  (paper: %s)\n\n", "record", "",
+              total, dataset[0] == 'N' ? "120" : "267");
+
+  const std::string csv_dir = CsvDirFromEnv();
+  if (!csv_dir.empty()) {
+    Result<CsvWriter> csv = CsvWriter::Open(
+        csv_dir + "/table3_" + std::string(dataset) + ".csv",
+        {"attribute", "b", "m_opt", "K"});
+    if (csv.ok()) {
+      for (size_t i = 0; i < schema.num_attributes(); ++i) {
+        csv.value().WriteNumericRow(
+            schema.attributes[i].name,
+            {b[i], static_cast<double>(OptimalCVectorSize(b[i]).value()),
+             static_cast<double>(K[i])});
+      }
+    }
+  }
+}
+
+void Run() {
+  const size_t sample = RecordsFromEnv(50000);
+  bench::Banner("Table 3: attribute-level parameters (rho=1, r=1/3)");
+
+  Result<NcvrGenerator> ncvr = NcvrGenerator::Create();
+  bench::DieOnError(ncvr.ok() ? Status::OK() : ncvr.status(), "NCVR gen");
+  PrintTableFor("NCVR", ncvr.value(), {5, 5, 10, 5}, sample);
+
+  Result<DblpGenerator> dblp = DblpGenerator::Create();
+  bench::DieOnError(dblp.ok() ? Status::OK() : dblp.status(), "DBLP gen");
+  PrintTableFor("DBLP", dblp.value(), {5, 5, 12, 5}, sample);
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Bibliographic deduplication (the DBLP scenario of Section 6): link two
+// citation lists whose entries carry author names, long titles, and a
+// year.  Compares cBV-HB against HARRA to show why one shared bigram
+// vector for the whole record (HARRA) loses accuracy when attributes
+// share bigrams — e.g. a surname token appearing inside a title.
+
+#include <cstdio>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+#include "src/eval/experiment.h"
+#include "src/linkage/cbv_hb_linker.h"
+#include "src/linkage/harra_linker.h"
+
+using namespace cbvlink;
+
+int main() {
+  Result<DblpGenerator> generator = DblpGenerator::Create();
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+
+  LinkagePairOptions options;
+  options.num_records = 4000;
+  options.seed = 2016;
+  Result<LinkagePair> data = BuildLinkagePair(
+      generator.value(), PerturbationScheme::Light(), options);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Citation lists: |A| = |B| = %zu, true duplicates = %zu\n\n",
+              data.value().a.size(), data.value().truth.size());
+
+  // cBV-HB: attribute-level c-vectors; the Title attribute alone needs
+  // ~226 bits (Table 3), the whole record ~267.
+  CbvHbConfig cbv;
+  cbv.schema = generator.value().schema();
+  cbv.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 4),
+                        Rule::Pred(3, 4)});
+  cbv.record_K = 30;
+  cbv.record_theta = 4;
+  cbv.seed = 1;
+  Result<CbvHbLinker> cbv_linker = CbvHbLinker::Create(std::move(cbv));
+  if (!cbv_linker.ok()) {
+    std::fprintf(stderr, "%s\n", cbv_linker.status().ToString().c_str());
+    return 1;
+  }
+  Result<ExperimentResult> cbv_result =
+      RunLinkage(cbv_linker.value(), data.value());
+  if (!cbv_result.ok()) {
+    std::fprintf(stderr, "%s\n", cbv_result.status().ToString().c_str());
+    return 1;
+  }
+
+  // HARRA: one MinHash-blocked bigram set per record.
+  HarraConfig harra;
+  harra.K = 5;
+  harra.L = 30;
+  harra.theta = 0.35;
+  harra.seed = 2;
+  Result<HarraLinker> harra_linker = HarraLinker::Create(std::move(harra));
+  if (!harra_linker.ok()) {
+    std::fprintf(stderr, "%s\n", harra_linker.status().ToString().c_str());
+    return 1;
+  }
+  Result<ExperimentResult> harra_result =
+      RunLinkage(harra_linker.value(), data.value());
+  if (!harra_result.ok()) {
+    std::fprintf(stderr, "%s\n", harra_result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-8s %10s %12s %10s %12s\n", "method", "PC", "PQ", "RR",
+              "time (s)");
+  for (const ExperimentResult* r : {&cbv_result.value(),
+                                    &harra_result.value()}) {
+    std::printf("%-8s %10.3f %12.5f %10.4f %12.3f\n", r->method.c_str(),
+                r->quality.pairs_completeness, r->quality.pairs_quality,
+                r->quality.reduction_ratio, r->linkage.total_seconds());
+  }
+  std::printf(
+      "\nThe attribute-separated embedding keeps title bigrams from "
+      "polluting name distances;\nHARRA's single shared vector cannot "
+      "(Section 6.2's DBLP discussion).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: link two small voter-style data sets with cBV-HB.
+//
+// Demonstrates the minimal public-API flow:
+//   1. define a schema,
+//   2. generate (or load) records,
+//   3. configure the cBV-HB linker with a classification rule,
+//   4. link and inspect matches and quality measures.
+
+#include <cstdio>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+#include "src/eval/experiment.h"
+#include "src/linkage/cbv_hb_linker.h"
+
+using namespace cbvlink;
+
+int main() {
+  // 1. An NCVR-shaped generator carries its own 4-attribute schema
+  //    (FirstName, LastName, Address, Town).
+  Result<NcvrGenerator> generator = NcvrGenerator::Create();
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Build data sets A and B: 5,000 records each, half of B being
+  //    lightly perturbed copies of A records (one random edit).
+  LinkagePairOptions data_options;
+  data_options.num_records = 5000;
+  data_options.seed = 7;
+  Result<LinkagePair> data = BuildLinkagePair(
+      generator.value(), PerturbationScheme::Light(), data_options);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Data: |A| = %zu, |B| = %zu, true matches = %zu\n",
+              data.value().a.size(), data.value().b.size(),
+              data.value().truth.size());
+
+  // 3. Configure cBV-HB: Hamming threshold 4 per attribute (covers one
+  //    edit: a substitution flips at most 4 bits), K = 30 base hashes,
+  //    blocking groups derived from Equation 2.
+  CbvHbConfig config;
+  config.schema = generator.value().schema();
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.seed = 42;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  if (!linker.ok()) {
+    std::fprintf(stderr, "%s\n", linker.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Link and score.
+  Result<ExperimentResult> result = RunLinkage(linker.value(), data.value());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const ExperimentResult& r = result.value();
+  std::printf("\ncBV-HB results\n");
+  std::printf("  record embedding size : %zu bits\n",
+              linker.value().last_encoder()->total_bits());
+  std::printf("  blocking groups (L)   : %zu\n", r.linkage.blocking_groups);
+  std::printf("  matched pairs         : %zu\n", r.linkage.matches.size());
+  std::printf("  pairs completeness    : %.3f\n",
+              r.quality.pairs_completeness);
+  std::printf("  pairs quality         : %.4f\n", r.quality.pairs_quality);
+  std::printf("  reduction ratio       : %.4f\n", r.quality.reduction_ratio);
+  std::printf("  total time            : %.3f s\n",
+              r.linkage.total_seconds());
+
+  // A record of 4 strings in ~120 bits, linked with >95%% recall — the
+  // paper's headline.
+  return 0;
+}

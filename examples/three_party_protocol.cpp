@@ -1,0 +1,93 @@
+// The Section 3 protocol, end to end: Charlie publishes linkage
+// parameters; Alice and Bob encode locally and ship only compact
+// embeddings over the (simulated) wire; Charlie links the two files.
+//
+// Demonstrates what actually crosses the trust boundary: 24 bytes per
+// record instead of names and addresses.
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+#include "src/eval/measures.h"
+#include "src/protocol/party.h"
+
+using namespace cbvlink;
+
+namespace {
+
+long FileSize(const std::string& path) {
+  struct stat st {};
+  return stat(path.c_str(), &st) == 0 ? static_cast<long>(st.st_size) : -1;
+}
+
+}  // namespace
+
+int main() {
+  Result<NcvrGenerator> generator = NcvrGenerator::Create();
+  if (!generator.ok()) {
+    std::fprintf(stderr, "%s\n", generator.status().ToString().c_str());
+    return 1;
+  }
+
+  // The custodians' private data (Bob's set overlaps Alice's with typos).
+  LinkagePairOptions options;
+  options.num_records = 10000;
+  options.seed = 47;
+  Result<LinkagePair> data = BuildLinkagePair(
+      generator.value(), PerturbationScheme::Light(), options);
+  if (!data.ok()) return 1;
+
+  // Step 1: Charlie publishes the parameters (schema, b estimates from a
+  // public sample or prior agreement, sizing, shared hash seed).
+  LinkageParameters parameters;
+  parameters.schema = generator.value().schema();
+  parameters.expected_qgrams = {5.1, 5.0, 20.0, 7.2};  // Table 3
+  std::printf("Charlie publishes: 4 attributes, rho=%.1f r=%.3f, seed=%llu\n",
+              parameters.sizing.max_collisions,
+              parameters.sizing.confidence_ratio,
+              static_cast<unsigned long long>(parameters.hash_seed));
+
+  // Step 2: each custodian encodes locally and exports the wire file.
+  Result<DataCustodian> alice = DataCustodian::Create("alice", parameters);
+  Result<DataCustodian> bob = DataCustodian::Create("bob", parameters);
+  if (!alice.ok() || !bob.ok()) return 1;
+  const std::string path_a = "/tmp/alice_records.cbv";
+  const std::string path_b = "/tmp/bob_records.cbv";
+  if (!alice.value().ExportRecords(data.value().a, path_a).ok()) return 1;
+  if (!bob.value().ExportRecords(data.value().b, path_b).ok()) return 1;
+  std::printf(
+      "Alice ships %zu records at %zu bits each: %ld bytes on the wire\n",
+      data.value().a.size(), alice.value().record_bits(), FileSize(path_a));
+  std::printf(
+      "Bob ships   %zu records at %zu bits each: %ld bytes on the wire\n",
+      data.value().b.size(), bob.value().record_bits(), FileSize(path_b));
+
+  // Step 3: Charlie links the two files.
+  LinkageUnit::Options charlie_options;
+  charlie_options.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                                    Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  Result<LinkageUnit> charlie =
+      LinkageUnit::Create(parameters, charlie_options);
+  if (!charlie.ok()) return 1;
+  Result<LinkageResultLite> result =
+      charlie.value().LinkFiles(path_a, path_b);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const PairSet truth = TruthPairs(data.value().truth);
+  size_t hits = 0;
+  for (const IdPair& p : result.value().matches) {
+    if (truth.contains(p)) ++hits;
+  }
+  std::printf(
+      "\nCharlie reports %zu matching pairs (L = %zu groups, %llu "
+      "comparisons)\nrecall of the %zu true matches: %.3f\n",
+      result.value().matches.size(), result.value().blocking_groups,
+      static_cast<unsigned long long>(result.value().stats.comparisons),
+      truth.size(), static_cast<double>(hits) / truth.size());
+  return 0;
+}

@@ -1,0 +1,315 @@
+#include "src/blocking/attribute_blocker.h"
+
+#include <unordered_set>
+
+#include "src/common/hashing.h"
+#include "src/common/str.h"
+#include "src/lsh/params.h"
+
+namespace cbvlink {
+
+namespace {
+
+/// True when every child of `rule` is a bare predicate.
+bool AllChildrenArePredicates(const Rule& rule) {
+  for (const Rule& child : rule.children()) {
+    if (child.kind() != Rule::Kind::kPredicate) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<AttributeLevelBlocker> AttributeLevelBlocker::Create(
+    const Rule& rule, const RecordLayout& layout,
+    const AttributeBlockerOptions& options, Rng& rng) {
+  CBVLINK_RETURN_NOT_OK(rule.Validate(layout.num_attributes()));
+  if (options.attribute_K.size() != layout.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute_K has %zu entries for %zu attributes",
+                  options.attribute_K.size(), layout.num_attributes()));
+  }
+
+  std::vector<Structure> structures;
+
+  // Builds a structure for an AND/OR of predicates (or one predicate) and
+  // returns its index.
+  auto build_structure = [&](Structure::Kind kind,
+                             std::vector<Predicate> preds) -> Result<size_t> {
+    Structure s;
+    s.kind = kind;
+    s.predicates = std::move(preds);
+
+    // Per-structure L from the rule-composed probability (Eqs. 10-11 into
+    // Eq. 2).
+    std::vector<AttributeLshParams> params(layout.num_attributes());
+    for (size_t i = 0; i < layout.num_attributes(); ++i) {
+      params[i].vector_size = layout.segment(i).size;
+      params[i].num_base_hashes = options.attribute_K[i];
+    }
+    std::vector<Rule> pred_rules;
+    pred_rules.reserve(s.predicates.size());
+    for (const Predicate& p : s.predicates) {
+      pred_rules.push_back(Rule::Pred(p.attribute, p.threshold));
+    }
+    const Rule effective =
+        pred_rules.size() == 1 ? std::move(pred_rules[0])
+        : kind == Structure::Kind::kAnd ? Rule::And(std::move(pred_rules))
+                                        : Rule::Or(std::move(pred_rules));
+    Result<size_t> L = RuleOptimalGroups(effective, params, options.delta,
+                                         options.max_groups);
+    if (!L.ok()) return L.status();
+    s.L = L.value();
+
+    // One family per predicate, sampled inside that attribute's segment.
+    for (const Predicate& p : s.predicates) {
+      const RecordLayout::Segment& seg = layout.segment(p.attribute);
+      Result<HammingLshFamily> family = HammingLshFamily::Create(
+          options.attribute_K[p.attribute], s.L, seg.offset, seg.size, rng);
+      if (!family.ok()) return family.status();
+      s.families.push_back(std::move(family).value());
+    }
+
+    s.tables.resize(s.kind == Structure::Kind::kAnd
+                        ? s.L
+                        : s.L * s.predicates.size());
+    structures.push_back(std::move(s));
+    return structures.size() - 1;
+  };
+
+  // Recursively lowers the rule tree into structures + expression.
+  std::function<Result<Expr>(const Rule&)> lower =
+      [&](const Rule& node) -> Result<Expr> {
+    Expr expr;
+    switch (node.kind()) {
+      case Rule::Kind::kPredicate: {
+        Result<size_t> s = build_structure(Structure::Kind::kAnd,
+                                           {node.predicate()});
+        if (!s.ok()) return s.status();
+        expr.kind = Expr::Kind::kStructure;
+        expr.structure = s.value();
+        return expr;
+      }
+      case Rule::Kind::kAnd:
+      case Rule::Kind::kOr: {
+        const bool is_and = node.kind() == Rule::Kind::kAnd;
+        if (AllChildrenArePredicates(node)) {
+          std::vector<Predicate> preds;
+          node.CollectPredicates(&preds);
+          Result<size_t> s = build_structure(
+              is_and ? Structure::Kind::kAnd : Structure::Kind::kOr,
+              std::move(preds));
+          if (!s.ok()) return s.status();
+          expr.kind = Expr::Kind::kStructure;
+          expr.structure = s.value();
+          return expr;
+        }
+        expr.kind = is_and ? Expr::Kind::kAnd : Expr::Kind::kOr;
+        for (const Rule& child : node.children()) {
+          Result<Expr> sub = lower(child);
+          if (!sub.ok()) return sub.status();
+          expr.children.push_back(std::move(sub).value());
+        }
+        return expr;
+      }
+      case Rule::Kind::kNot: {
+        Result<Expr> sub = lower(node.children()[0]);
+        if (!sub.ok()) return sub.status();
+        expr.kind = Expr::Kind::kNot;
+        expr.children.push_back(std::move(sub).value());
+        return expr;
+      }
+    }
+    return Status::Internal("unhandled rule kind");
+  };
+
+  Result<Expr> expr = lower(rule);
+  if (!expr.ok()) return expr.status();
+
+  // Generating structures: the positive part of the expression that can
+  // serve candidates.
+  std::function<void(const Expr&, std::vector<size_t>*)> collect =
+      [&](const Expr& e, std::vector<size_t>* out) {
+        switch (e.kind) {
+          case Expr::Kind::kStructure:
+            out->push_back(e.structure);
+            return;
+          case Expr::Kind::kOr:
+            for (const Expr& child : e.children) collect(child, out);
+            return;
+          case Expr::Kind::kAnd:
+            // One conjunct suffices: a pair must collide in every
+            // conjunct, so probing the first positive child generates a
+            // superset of the rule-formulated pairs.
+            for (const Expr& child : e.children) {
+              std::vector<size_t> sub;
+              collect(child, &sub);
+              if (!sub.empty()) {
+                out->insert(out->end(), sub.begin(), sub.end());
+                return;
+              }
+            }
+            return;
+          case Expr::Kind::kNot:
+            return;  // absence cannot generate candidates
+        }
+      };
+  std::vector<size_t> generating;
+  collect(expr.value(), &generating);
+  if (generating.empty()) {
+    return Status::InvalidArgument(
+        "rule has no positive component to generate candidates from "
+        "(e.g. a bare NOT)");
+  }
+
+  // A disjunction branch that is purely negative is non-blockable: pairs
+  // satisfying only that branch (almost all pairs) could never be
+  // generated, so the rule's completeness guarantee would silently not
+  // hold.  Reject instead.
+  std::function<Status(const Expr&)> check_or_branches =
+      [&](const Expr& e) -> Status {
+    if (e.kind == Expr::Kind::kOr) {
+      for (const Expr& child : e.children) {
+        std::vector<size_t> child_generating;
+        collect(child, &child_generating);
+        if (child_generating.empty()) {
+          return Status::InvalidArgument(
+              "an OR branch consists only of NOT components; pairs "
+              "satisfying it alone cannot be generated by blocking");
+        }
+      }
+    }
+    for (const Expr& child : e.children) {
+      CBVLINK_RETURN_NOT_OK(check_or_branches(child));
+    }
+    return Status::OK();
+  };
+  CBVLINK_RETURN_NOT_OK(check_or_branches(expr.value()));
+
+  return AttributeLevelBlocker(rule, std::move(structures),
+                               std::move(expr).value(),
+                               std::move(generating));
+}
+
+uint64_t AttributeLevelBlocker::CompoundKey(const Structure& s,
+                                            const BitVector& bv, size_t l) {
+  uint64_t acc = Mix64(l + 1);
+  for (const HammingLshFamily& family : s.families) {
+    acc = HashCombine(acc, family.Key(bv, l));
+  }
+  return acc;
+}
+
+void AttributeLevelBlocker::Insert(const EncodedRecord& record) {
+  for (Structure& s : structures_) {
+    for (size_t l = 0; l < s.L; ++l) {
+      if (s.kind == Structure::Kind::kAnd) {
+        s.tables[l].Insert(CompoundKey(s, record.bits, l), record.id);
+      } else {
+        for (size_t i = 0; i < s.predicates.size(); ++i) {
+          s.tables[i * s.L + l].Insert(s.families[i].Key(record.bits, l),
+                                       record.id);
+        }
+      }
+    }
+  }
+  indexed_.emplace(record.id, record.bits);
+}
+
+void AttributeLevelBlocker::Index(const std::vector<EncodedRecord>& records) {
+  indexed_.reserve(indexed_.size() + records.size());
+  for (const EncodedRecord& record : records) Insert(record);
+}
+
+bool AttributeLevelBlocker::CollidesInStructure(const Structure& s,
+                                                const BitVector& a,
+                                                const BitVector& b) {
+  for (size_t l = 0; l < s.L; ++l) {
+    if (s.kind == Structure::Kind::kAnd) {
+      if (CompoundKey(s, a, l) == CompoundKey(s, b, l)) return true;
+    } else {
+      for (const HammingLshFamily& family : s.families) {
+        if (family.Key(a, l) == family.Key(b, l)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AttributeLevelBlocker::EvaluateExpr(const Expr& expr, const BitVector& a,
+                                         const BitVector& b) const {
+  switch (expr.kind) {
+    case Expr::Kind::kStructure:
+      return CollidesInStructure(structures_[expr.structure], a, b);
+    case Expr::Kind::kAnd:
+      for (const Expr& child : expr.children) {
+        if (!EvaluateExpr(child, a, b)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const Expr& child : expr.children) {
+        if (EvaluateExpr(child, a, b)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return !EvaluateExpr(expr.children[0], a, b);
+  }
+  return false;
+}
+
+bool AttributeLevelBlocker::FormulatedByRule(const BitVector& a,
+                                             const BitVector& b) const {
+  return EvaluateExpr(expr_, a, b);
+}
+
+void AttributeLevelBlocker::ForEachCandidate(
+    const BitVector& probe, const std::function<void(RecordId)>& cb) const {
+  // When the rule lowered to a single structure, every generated candidate
+  // is formulated by construction — skip the membership re-check.
+  const bool trivial_membership = expr_.kind == Expr::Kind::kStructure;
+
+  std::unordered_set<RecordId> seen;
+  for (size_t si : generating_) {
+    const Structure& s = structures_[si];
+    for (size_t l = 0; l < s.L; ++l) {
+      if (s.kind == Structure::Kind::kAnd) {
+        for (RecordId id : s.tables[l].Get(CompoundKey(s, probe, l))) {
+          if (!seen.insert(id).second) continue;
+          if (trivial_membership) {
+            cb(id);
+            continue;
+          }
+          const auto it = indexed_.find(id);
+          if (it != indexed_.end() &&
+              FormulatedByRule(it->second, probe)) {
+            cb(id);
+          }
+        }
+      } else {
+        for (size_t i = 0; i < s.predicates.size(); ++i) {
+          const uint64_t key = s.families[i].Key(probe, l);
+          for (RecordId id : s.tables[i * s.L + l].Get(key)) {
+            if (!seen.insert(id).second) continue;
+            if (trivial_membership) {
+              cb(id);
+              continue;
+            }
+            const auto it = indexed_.find(id);
+            if (it != indexed_.end() &&
+                FormulatedByRule(it->second, probe)) {
+              cb(id);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+size_t AttributeLevelBlocker::TotalTables() const {
+  size_t total = 0;
+  for (const Structure& s : structures_) total += s.tables.size();
+  return total;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,145 @@
+// Attribute-level, rule-aware HB blocking (Section 5.4).
+//
+// Instead of sampling bits uniformly from the whole record vector, the
+// blocker derives *blocking structures* from the classification rule:
+//
+//  * a conjunction of predicates becomes one structure whose groups use a
+//    compound key — the concatenated attribute-level keys (Definition 4);
+//  * a disjunction becomes one structure with an independent table per
+//    attribute in every group (Definition 5);
+//  * NOT contributes no tables; its truth is the *absence* of collision
+//    (Definition 6);
+//  * compound rules (the paper's C1/C2/C3) become a boolean expression
+//    over structure-membership outcomes.
+//
+// Each structure gets its own L from Equation 2 with the rule-composed
+// probability (Eqs. 10-11), so blocking adapts to how strict each part of
+// the rule is.  Candidate generation probes the positive structures and
+// discards pairs the rule-expression says were "never formulated" — the
+// behaviour that gives Figure 6 its C3 gap.
+
+#ifndef CBVLINK_BLOCKING_ATTRIBUTE_BLOCKER_H_
+#define CBVLINK_BLOCKING_ATTRIBUTE_BLOCKER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/blocking/record_blocker.h"
+#include "src/common/bitvector.h"
+#include "src/common/random.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+#include "src/lsh/blocking_table.h"
+#include "src/lsh/hamming_lsh.h"
+#include "src/rules/probability.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Options for building an attribute-level blocker.
+struct AttributeBlockerOptions {
+  /// K^(f_i) per schema attribute (Table 3 column K).  Attributes not
+  /// referenced by the rule may carry any value.
+  std::vector<size_t> attribute_K;
+  /// Miss probability per blocking structure (Equation 2's delta).
+  double delta = 0.1;
+  /// Upper bound on L per structure; beyond it Create() fails.
+  size_t max_groups = 100000;
+};
+
+/// Rule-aware blocker over concatenated attribute-level c-vectors.
+class AttributeLevelBlocker : public CandidateSource {
+ public:
+  /// Builds the blocking structures for `rule` over record vectors laid
+  /// out by `layout`.  Fails when the rule is invalid for the layout, has
+  /// no positive component (e.g. a bare NOT), or a structure's L exceeds
+  /// options.max_groups.
+  static Result<AttributeLevelBlocker> Create(
+      const Rule& rule, const RecordLayout& layout,
+      const AttributeBlockerOptions& options, Rng& rng);
+
+  /// Inserts data set A's records into every structure's tables and
+  /// retains their vectors for rule-membership evaluation.
+  void Index(const std::vector<EncodedRecord>& records);
+
+  /// Inserts a single record (streaming ingestion).
+  void Insert(const EncodedRecord& record);
+
+  /// Candidates of `probe`: Ids colliding with it in the generating
+  /// structures and whose pair passes the structure-membership expression
+  /// (pairs ruled out by a NOT or a missing conjunct are never emitted).
+  void ForEachCandidate(
+      const BitVector& probe,
+      const std::function<void(RecordId)>& cb) const override;
+
+  /// True iff the pair (a, b) is formulated according to the rule's
+  /// blocking structures (Section 5.4 compound-rule semantics).
+  bool FormulatedByRule(const BitVector& a, const BitVector& b) const;
+
+  /// Number of blocking structures derived from the rule.
+  size_t num_structures() const { return structures_.size(); }
+
+  /// L of structure `s`.
+  size_t structure_L(size_t s) const { return structures_[s].L; }
+
+  /// Total hash tables across structures (space accounting: O(L) per AND
+  /// structure, O(n_c * L) per OR structure).
+  size_t TotalTables() const;
+
+  const Rule& rule() const { return rule_; }
+
+ private:
+  /// One blocking structure: an AND- or OR-composition of predicates with
+  /// its own L and tables.
+  struct Structure {
+    enum class Kind { kAnd, kOr };
+    Kind kind = Kind::kAnd;
+    std::vector<Predicate> predicates;
+    size_t L = 0;
+    /// One family per predicate, each with L composite functions sampled
+    /// from that attribute's bit segment.
+    std::vector<HammingLshFamily> families;
+    /// AND: tables[l] (compound keys).  OR: tables[i * L + l] for
+    /// predicate i.
+    std::vector<BlockingTable> tables;
+  };
+
+  /// Boolean expression over structure membership.
+  struct Expr {
+    enum class Kind { kStructure, kAnd, kOr, kNot };
+    Kind kind = Kind::kStructure;
+    size_t structure = 0;
+    std::vector<Expr> children;
+  };
+
+  AttributeLevelBlocker(Rule rule, std::vector<Structure> structures,
+                        Expr expr, std::vector<size_t> generating)
+      : rule_(std::move(rule)),
+        structures_(std::move(structures)),
+        expr_(std::move(expr)),
+        generating_(std::move(generating)) {}
+
+  /// Compound key of `bv` in AND-structure `s`, group l.
+  static uint64_t CompoundKey(const Structure& s, const BitVector& bv,
+                              size_t l);
+
+  /// True iff (a, b) collide in structure `s` in any group/table.
+  static bool CollidesInStructure(const Structure& s, const BitVector& a,
+                                  const BitVector& b);
+
+  bool EvaluateExpr(const Expr& expr, const BitVector& a,
+                    const BitVector& b) const;
+
+  Rule rule_;
+  std::vector<Structure> structures_;
+  Expr expr_;
+  /// Structures probed for candidate generation.
+  std::vector<size_t> generating_;
+  /// A-side vectors retained for membership evaluation.
+  std::unordered_map<RecordId, BitVector> indexed_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_BLOCKING_ATTRIBUTE_BLOCKER_H_

@@ -1,0 +1,62 @@
+// Classic (pre-LSH) blocking methods from the paper's related work
+// (Section 2): the sorted neighborhood method [Hernandez & Stolfo,
+// SIGMOD 1995] and canopy clustering [Cohen & Richman, SIGKDD 2002].
+//
+// Both produce candidate pairs between two data sets without any
+// completeness guarantee — the contrast the paper draws against
+// LSH-based blocking.  They operate on the raw string records (the
+// original space E), so they pair naturally with edit-distance matching.
+
+#ifndef CBVLINK_BLOCKING_CLASSIC_H_
+#define CBVLINK_BLOCKING_CLASSIC_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Options for the sorted neighborhood method.
+struct SortedNeighborhoodOptions {
+  /// Sliding window size over the merged sorted list (paper default
+  /// idiom: a fixed small window).
+  size_t window = 10;
+  /// The blocking key: the first `key_prefix_chars` characters of each
+  /// field, concatenated.
+  size_t key_prefix_chars = 3;
+};
+
+/// Runs one sorted-neighborhood pass over A ∪ B and returns the
+/// candidate cross-source pairs formed inside the sliding window.
+/// Record ids must be disjoint between A and B.  Returns InvalidArgument
+/// for a zero window.
+Result<std::vector<IdPair>> SortedNeighborhoodCandidates(
+    const std::vector<Record>& a, const std::vector<Record>& b,
+    const SortedNeighborhoodOptions& options = {});
+
+/// Options for canopy clustering.
+struct CanopyOptions {
+  /// Loose threshold: records with cheap distance <= loose join the
+  /// canopy (and become candidates).
+  double loose_threshold = 0.7;
+  /// Tight threshold: records within it are removed from the pool and
+  /// never seed another canopy.  Requires tight <= loose.
+  double tight_threshold = 0.4;
+  /// q of the q-gram sets behind the cheap Jaccard distance.
+  size_t q = 2;
+  uint64_t seed = 29;
+};
+
+/// Runs canopy clustering over A ∪ B with the cheap distance
+/// 1 - Jaccard(bigram sets of the whole record) and returns candidate
+/// cross-source pairs (each pair reported once).  Returns InvalidArgument
+/// when tight > loose or thresholds are outside [0, 1].
+Result<std::vector<IdPair>> CanopyCandidates(const std::vector<Record>& a,
+                                             const std::vector<Record>& b,
+                                             const CanopyOptions& options = {});
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_BLOCKING_CLASSIC_H_

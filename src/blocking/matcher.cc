@@ -1,0 +1,60 @@
+#include "src/blocking/matcher.h"
+
+#include <unordered_set>
+
+namespace cbvlink {
+
+PairClassifier MakeRuleClassifier(Rule rule, const RecordLayout& layout) {
+  // Copy the segments so the classifier does not dangle on the layout.
+  std::vector<RecordLayout::Segment> segments;
+  segments.reserve(layout.num_attributes());
+  for (size_t i = 0; i < layout.num_attributes(); ++i) {
+    segments.push_back(layout.segment(i));
+  }
+  return [rule = std::move(rule), segments = std::move(segments)](
+             const BitVector& a, const BitVector& b) {
+    return rule.Evaluate([&](size_t attr) {
+      const RecordLayout::Segment& seg = segments[attr];
+      return a.HammingDistanceRange(b, seg.offset, seg.size);
+    });
+  };
+}
+
+PairClassifier MakeRecordThresholdClassifier(size_t theta) {
+  return [theta](const BitVector& a, const BitVector& b) {
+    return a.HammingDistance(b) <= theta;
+  };
+}
+
+void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
+                       std::vector<IdPair>* out, MatchStats* stats) const {
+  // The paper's unique collection C of already-compared A-Ids (line 1 of
+  // Algorithm 2).
+  std::unordered_set<RecordId> compared;
+  source_->ForEachCandidate(b.bits, [&](RecordId a_id) {
+    ++stats->candidate_occurrences;
+    if (!compared.insert(a_id).second) {
+      ++stats->dedup_skipped;
+      return;
+    }
+    const BitVector* a_bits = store_a_->Find(a_id);
+    if (a_bits == nullptr) return;  // Id indexed but vector unknown
+    ++stats->comparisons;
+    if (classifier(*a_bits, b.bits)) {
+      ++stats->matches;
+      out->push_back(IdPair{a_id, b.id});
+    }
+  });
+}
+
+std::vector<IdPair> Matcher::MatchAll(
+    const std::vector<EncodedRecord>& b_records,
+    const PairClassifier& classifier, MatchStats* stats) const {
+  std::vector<IdPair> out;
+  for (const EncodedRecord& b : b_records) {
+    MatchOne(b, classifier, &out, stats);
+  }
+  return out;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,106 @@
+// The matching step with de-duplication (Section 5.3, Algorithm 2).
+//
+// For each record of data set B the matcher walks the buckets the
+// blocking mechanism maps it to, skips A-Ids already seen for this B
+// record (the paper's unique collection C), applies the classification
+// rule to each fresh pair, and reports matches plus the counters behind
+// the PC / PQ / RR measures.
+
+#ifndef CBVLINK_BLOCKING_MATCHER_H_
+#define CBVLINK_BLOCKING_MATCHER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blocking/record_blocker.h"
+#include "src/common/bitvector.h"
+#include "src/common/record.h"
+#include "src/embedding/record_encoder.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Counters accumulated by the matcher.
+struct MatchStats {
+  /// Candidate occurrences delivered by the blocking mechanism, including
+  /// duplicates across blocking groups.
+  uint64_t candidate_occurrences = 0;
+  /// Distinct pairs actually compared — the |CR| of the PQ and RR
+  /// measures.
+  uint64_t comparisons = 0;
+  /// Pairs classified as matches.
+  uint64_t matches = 0;
+  /// Duplicate occurrences skipped by the unique collection (the saving
+  /// Algorithm 2 exists for).
+  uint64_t dedup_skipped = 0;
+
+  MatchStats& operator+=(const MatchStats& other) {
+    candidate_occurrences += other.candidate_occurrences;
+    comparisons += other.comparisons;
+    matches += other.matches;
+    dedup_skipped += other.dedup_skipped;
+    return *this;
+  }
+};
+
+/// Id-addressable storage of encoded records (the paper's retrieve(Id)).
+class VectorStore {
+ public:
+  void Add(const EncodedRecord& record) {
+    vectors_.emplace(record.id, record.bits);
+  }
+
+  void AddAll(const std::vector<EncodedRecord>& records) {
+    vectors_.reserve(vectors_.size() + records.size());
+    for (const EncodedRecord& r : records) Add(r);
+  }
+
+  /// The vector for `id`, or nullptr when unknown.
+  const BitVector* Find(RecordId id) const {
+    const auto it = vectors_.find(id);
+    return it == vectors_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return vectors_.size(); }
+
+ private:
+  std::unordered_map<RecordId, BitVector> vectors_;
+};
+
+/// Decides whether an (A, B) vector pair is a match.
+using PairClassifier =
+    std::function<bool(const BitVector& a, const BitVector& b)>;
+
+/// Builds a classifier that evaluates `rule` on attribute-level Hamming
+/// distances under `layout`.  The rule must already be validated for the
+/// layout.
+PairClassifier MakeRuleClassifier(Rule rule, const RecordLayout& layout);
+
+/// Builds a classifier for a single record-level Hamming threshold.
+PairClassifier MakeRecordThresholdClassifier(size_t theta);
+
+/// Algorithm 2 driver over a candidate source and the A-side store.
+/// Both referenced objects must outlive the matcher.
+class Matcher {
+ public:
+  Matcher(const CandidateSource* source, const VectorStore* store_a)
+      : source_(source), store_a_(store_a) {}
+
+  /// Matches one B record; appends matched pairs to `out`.
+  void MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
+                std::vector<IdPair>* out, MatchStats* stats) const;
+
+  /// Matches every B record in sequence.
+  std::vector<IdPair> MatchAll(const std::vector<EncodedRecord>& b_records,
+                               const PairClassifier& classifier,
+                               MatchStats* stats) const;
+
+ private:
+  const CandidateSource* source_;
+  const VectorStore* store_a_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_BLOCKING_MATCHER_H_

@@ -1,0 +1,59 @@
+#include "src/blocking/record_blocker.h"
+
+#include "src/lsh/params.h"
+
+namespace cbvlink {
+
+Result<RecordLevelBlocker> RecordLevelBlocker::Create(size_t num_bits,
+                                                      size_t K, size_t theta,
+                                                      double delta, Rng& rng) {
+  Result<double> p = HammingBaseProbability(theta, num_bits);
+  if (!p.ok()) return p.status();
+  Result<size_t> L = OptimalGroups(p.value(), K, delta);
+  if (!L.ok()) return L.status();
+  return CreateWithL(num_bits, K, L.value(), rng);
+}
+
+Result<RecordLevelBlocker> RecordLevelBlocker::CreateWithL(size_t num_bits,
+                                                           size_t K, size_t L,
+                                                           Rng& rng) {
+  Result<HammingLshFamily> family =
+      HammingLshFamily::CreateFull(K, L, num_bits, rng);
+  if (!family.ok()) return family.status();
+  return RecordLevelBlocker(std::move(family).value());
+}
+
+void RecordLevelBlocker::Index(const std::vector<EncodedRecord>& records) {
+  for (const EncodedRecord& record : records) Insert(record);
+}
+
+void RecordLevelBlocker::Insert(const EncodedRecord& record) {
+  for (size_t l = 0; l < tables_.size(); ++l) {
+    tables_[l].Insert(family_.Key(record.bits, l), record.id);
+  }
+}
+
+void RecordLevelBlocker::ForEachCandidate(
+    const BitVector& probe, const std::function<void(RecordId)>& cb) const {
+  for (size_t l = 0; l < tables_.size(); ++l) {
+    for (RecordId id : tables_[l].Get(family_.Key(probe, l))) {
+      cb(id);
+    }
+  }
+}
+
+size_t RecordLevelBlocker::TotalBuckets() const {
+  size_t total = 0;
+  for (const BlockingTable& table : tables_) total += table.NumBuckets();
+  return total;
+}
+
+size_t RecordLevelBlocker::MaxBucketSize() const {
+  size_t best = 0;
+  for (const BlockingTable& table : tables_) {
+    best = std::max(best, table.MaxBucketSize());
+  }
+  return best;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,86 @@
+// Standard record-level HB blocking (Section 4.2).
+//
+// The blocker samples K bit positions uniformly from the *whole*
+// record-level vector for each of L blocking groups, inserts data set A's
+// vectors into the groups' hash tables, and serves candidate Ids for each
+// probe vector from data set B.  This is the baseline that Section 5.4's
+// attribute-level blocking improves upon.
+
+#ifndef CBVLINK_BLOCKING_RECORD_BLOCKER_H_
+#define CBVLINK_BLOCKING_RECORD_BLOCKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/bitvector.h"
+#include "src/common/random.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+#include "src/lsh/blocking_table.h"
+#include "src/lsh/hamming_lsh.h"
+
+namespace cbvlink {
+
+/// Source of candidate Ids for a probe vector; implemented by both the
+/// record-level and the attribute-level blockers so the matcher is
+/// agnostic to the blocking strategy.
+class CandidateSource {
+ public:
+  virtual ~CandidateSource() = default;
+
+  /// Invokes `cb` for every candidate Id of `probe`, in blocking-group
+  /// order.  Ids may repeat across groups (the matcher de-duplicates, as
+  /// in Algorithm 2).
+  virtual void ForEachCandidate(
+      const BitVector& probe,
+      const std::function<void(RecordId)>& cb) const = 0;
+};
+
+/// Record-level Hamming LSH blocker.
+class RecordLevelBlocker : public CandidateSource {
+ public:
+  /// Creates a blocker for `num_bits`-wide record vectors with `K` base
+  /// hashes per group; L is derived from Equation 2 for Hamming threshold
+  /// `theta` and miss probability `delta`.
+  static Result<RecordLevelBlocker> Create(size_t num_bits, size_t K,
+                                           size_t theta, double delta,
+                                           Rng& rng);
+
+  /// Creates a blocker with an explicit number of groups L.
+  static Result<RecordLevelBlocker> CreateWithL(size_t num_bits, size_t K,
+                                                size_t L, Rng& rng);
+
+  /// Inserts every record of data set A.  May be called repeatedly to add
+  /// more records.
+  void Index(const std::vector<EncodedRecord>& records);
+
+  /// Inserts a single record (streaming ingestion).
+  void Insert(const EncodedRecord& record);
+
+  void ForEachCandidate(
+      const BitVector& probe,
+      const std::function<void(RecordId)>& cb) const override;
+
+  size_t L() const { return tables_.size(); }
+  size_t K() const { return family_.K(); }
+
+  /// Aggregate statistics over the L tables, for diagnostics.
+  size_t TotalBuckets() const;
+  size_t MaxBucketSize() const;
+
+  /// The L blocking tables, for distribution diagnostics
+  /// (eval/block_stats.h).
+  const std::vector<BlockingTable>& tables() const { return tables_; }
+
+ private:
+  RecordLevelBlocker(HammingLshFamily family)
+      : family_(std::move(family)), tables_(family_.L()) {}
+
+  HammingLshFamily family_;
+  std::vector<BlockingTable> tables_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_BLOCKING_RECORD_BLOCKER_H_

@@ -1,0 +1,91 @@
+#include "src/common/bitvector.h"
+
+namespace cbvlink {
+
+void BitVector::Append(const BitVector& other) {
+  const size_t old_bits = num_bits_;
+  num_bits_ += other.num_bits_;
+  words_.resize((num_bits_ + 63) / 64, 0);
+  if ((old_bits & 63) == 0) {
+    // Word-aligned: copy whole words.
+    const size_t word_off = old_bits >> 6;
+    for (size_t i = 0; i < other.words_.size(); ++i) {
+      words_[word_off + i] = other.words_[i];
+    }
+    // Mask out any stale bits beyond the new logical end (other.words_ is
+    // already zero-padded past other.num_bits_, so nothing to do).
+    return;
+  }
+  for (size_t i = 0; i < other.num_bits_; ++i) {
+    if (other.Test(i)) Set(old_bits + i);
+  }
+}
+
+BitVector BitVector::Slice(size_t offset, size_t length) const {
+  assert(offset + length <= num_bits_);
+  BitVector out(length);
+  if ((offset & 63) == 0) {
+    const size_t word_off = offset >> 6;
+    for (size_t i = 0; i < out.words_.size(); ++i) {
+      out.words_[i] = words_[word_off + i];
+    }
+    // Zero bits past `length` in the last word so PopCount/equality stay
+    // correct.
+    const size_t tail = length & 63;
+    if (tail != 0) {
+      out.words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < length; ++i) {
+    if (Test(offset + i)) out.Set(i);
+  }
+  return out;
+}
+
+size_t BitVector::HammingDistanceRange(const BitVector& other, size_t offset,
+                                       size_t length) const noexcept {
+  assert(offset + length <= num_bits_);
+  assert(offset + length <= other.num_bits_);
+  if (length == 0) return 0;
+  const size_t first_word = offset >> 6;
+  const size_t last_bit = offset + length - 1;
+  const size_t last_word = last_bit >> 6;
+  size_t dist = 0;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    uint64_t x = words_[w] ^ other.words_[w];
+    if (w == first_word) {
+      const size_t lead = offset & 63;
+      x &= ~uint64_t{0} << lead;
+    }
+    if (w == last_word) {
+      const size_t trail = last_bit & 63;
+      if (trail != 63) x &= (uint64_t{1} << (trail + 1)) - 1;
+    }
+    dist += static_cast<size_t>(std::popcount(x));
+  }
+  return dist;
+}
+
+double BitVector::JaccardDistance(const BitVector& other) const noexcept {
+  assert(num_bits_ == other.num_bits_);
+  size_t inter = 0;
+  size_t uni = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    inter += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    uni += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
+  }
+  if (uni == 0) return 0.0;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    out.push_back(Test(i) ? '1' : '0');
+  }
+  return out;
+}
+
+}  // namespace cbvlink

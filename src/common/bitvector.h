@@ -1,0 +1,123 @@
+// A compact, word-packed bit vector with fast Hamming distance.
+//
+// BitVector is the fundamental value type of the library: q-gram vectors,
+// c-vectors, and Bloom filters (Sections 4.1, 5.2 and 6.1 of the paper) are
+// all BitVectors of different sizes.  Hamming distance between two vectors
+// is computed word-by-word with hardware popcount, which is what makes the
+// compact Hamming space "particularly lightweight" for distance
+// computations (Section 1).
+
+#ifndef CBVLINK_COMMON_BITVECTOR_H_
+#define CBVLINK_COMMON_BITVECTOR_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbvlink {
+
+/// Fixed-size sequence of bits packed into 64-bit words.
+class BitVector {
+ public:
+  /// Constructs an empty (zero-bit) vector.
+  BitVector() = default;
+
+  /// Constructs a vector of `num_bits` bits, all cleared.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  /// Number of addressable bits.
+  size_t size() const noexcept { return num_bits_; }
+
+  /// True iff size() == 0.
+  bool empty() const noexcept { return num_bits_ == 0; }
+
+  /// Sets bit `i` to 1.  Requires i < size().
+  void Set(size_t i) noexcept {
+    assert(i < num_bits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+
+  /// Clears bit `i`.  Requires i < size().
+  void Clear(size_t i) noexcept {
+    assert(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit `i` to `value`.  Requires i < size().
+  void Assign(size_t i, bool value) noexcept {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Returns bit `i`.  Requires i < size().
+  bool Test(size_t i) const noexcept {
+    assert(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of bits set to 1.
+  size_t PopCount() const noexcept {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+    return total;
+  }
+
+  /// Clears every bit, keeping the size.
+  void Reset() noexcept {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// Appends all bits of `other` after the current bits, growing this
+  /// vector.  Used to build record-level vectors by concatenating
+  /// attribute-level vectors (Section 4.1).
+  void Append(const BitVector& other);
+
+  /// Returns the sub-vector [offset, offset + length).  Requires the range
+  /// to be within size().
+  BitVector Slice(size_t offset, size_t length) const;
+
+  /// Raw word storage (little-endian bit order within each word).
+  const std::vector<uint64_t>& words() const noexcept { return words_; }
+
+  /// Hamming distance to `other`.  Requires equal sizes.
+  size_t HammingDistance(const BitVector& other) const noexcept {
+    assert(num_bits_ == other.num_bits_);
+    size_t dist = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      dist += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    }
+    return dist;
+  }
+
+  /// Hamming distance restricted to the bit range [offset, offset+length),
+  /// which must lie within both vectors.  Used for attribute-level
+  /// distances on concatenated record vectors without copying.
+  size_t HammingDistanceRange(const BitVector& other, size_t offset,
+                              size_t length) const noexcept;
+
+  /// Jaccard distance 1 - |a&b| / |a|b| over the set bits; 0 when both are
+  /// all-zero (identical empty sets).
+  double JaccardDistance(const BitVector& other) const noexcept;
+
+  bool operator==(const BitVector& other) const noexcept {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// '0'/'1' string, bit 0 first.  Intended for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_BITVECTOR_H_

@@ -1,0 +1,23 @@
+#include "src/common/hashing.h"
+
+namespace cbvlink {
+
+PairwiseHash PairwiseHash::Random(Rng& rng, uint64_t m) {
+  // a, b uniform from (0, P) per Section 5.2 of the paper; a must be
+  // non-zero for pairwise independence.
+  const uint64_t a = 1 + rng.Below(kHashPrime - 1);
+  const uint64_t b = 1 + rng.Below(kHashPrime - 1);
+  return PairwiseHash(a, b, m);
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace cbvlink

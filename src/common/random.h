@@ -1,0 +1,93 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every randomized component (c-vector hash families, LSH bit sampling,
+// MinHash permutations, p-stable projections, the data generator and the
+// perturbation engine) draws from an explicitly seeded Rng so experiments
+// are reproducible run-to-run.  The generator is xoshiro256**, seeded via
+// SplitMix64 as its authors recommend.
+
+#ifndef CBVLINK_COMMON_RANDOM_H_
+#define CBVLINK_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace cbvlink {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator, so
+/// it can be plugged into <random> distributions.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0x5eedc0de5eedc0deULL) { Seed(seed); }
+
+  /// Reseeds the generator.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Requires bound > 0.  Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<uint64_t, 4> state_{};
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_RANDOM_H_

@@ -1,0 +1,160 @@
+// Status / Result error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code in cbvlink does not throw exceptions: fallible operations
+// return a Status, and fallible producers return a Result<T>.  Both are
+// cheap to copy in the OK case (no allocation) and carry a code plus a
+// human-readable message otherwise.
+
+#ifndef CBVLINK_COMMON_STATUS_H_
+#define CBVLINK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cbvlink {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kNotImplemented = 7,
+  kIOError = 8,
+};
+
+/// Returns a static, human-readable name for a status code ("InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The OK state is represented by a null payload, so ok-status construction,
+/// copy, and destruction never allocate.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message.  A code of
+  /// StatusCode::kOk ignores the message and produces an OK status.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<const Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const noexcept { return rep_ == nullptr; }
+
+  /// The status code; kOk for success.
+  StatusCode code() const noexcept {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+
+  /// The failure message; empty for success.
+  std::string_view message() const noexcept {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps copies cheap; statuses are immutable once built.
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Either a value of type T or a failure Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
+
+  /// The contained value.  Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cbvlink
+
+/// Propagates a non-OK Status out of the current function.
+#define CBVLINK_RETURN_NOT_OK(expr)          \
+  do {                                       \
+    ::cbvlink::Status _st = (expr);          \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // CBVLINK_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing helper for the experiment harness.
+
+#ifndef CBVLINK_COMMON_STOPWATCH_H_
+#define CBVLINK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cbvlink {
+
+/// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start, as a double.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+// Small string formatting/manipulation helpers (GCC 12 lacks <format>).
+
+#ifndef CBVLINK_COMMON_STR_H_
+#define CBVLINK_COMMON_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbvlink {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Uppercases ASCII letters in place-copy.
+std::string ToUpperAscii(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_STR_H_

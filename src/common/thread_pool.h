@@ -1,0 +1,61 @@
+// A minimal fixed-size thread pool.
+//
+// Dataset generation and the embedding step are embarrassingly parallel
+// over records; the pool lets the linkage pipelines and benchmarks use all
+// cores without per-call thread spawn cost.
+
+#ifndef CBVLINK_COMMON_THREAD_POOL_H_
+#define CBVLINK_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cbvlink {
+
+/// Fixed-size pool executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1; 0 is clamped to the
+  /// hardware concurrency, or 1 if that is unknown).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Waits for all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, total) into roughly equal chunks, runs
+  /// `fn(chunk_index, begin, end)` for each on the pool, and waits.
+  void ParallelFor(size_t total,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_THREAD_POOL_H_

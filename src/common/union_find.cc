@@ -1,0 +1,49 @@
+#include "src/common/union_find.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cbvlink {
+
+UnionFind::UnionFind(size_t size)
+    : parent_(size), size_(size, 1), num_sets_(size) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Sets() {
+  std::vector<std::vector<size_t>> by_root(parent_.size());
+  for (size_t x = 0; x < parent_.size(); ++x) {
+    by_root[Find(x)].push_back(x);
+  }
+  std::vector<std::vector<size_t>> sets;
+  sets.reserve(num_sets_);
+  for (std::vector<size_t>& members : by_root) {
+    if (!members.empty()) sets.push_back(std::move(members));
+  }
+  return sets;
+}
+
+}  // namespace cbvlink

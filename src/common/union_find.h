@@ -1,0 +1,49 @@
+// Disjoint-set (union-find) structure with path compression and union
+// by size.  Used to consolidate pairwise match decisions into entity
+// clusters (linkage/dedup.h).
+
+#ifndef CBVLINK_COMMON_UNION_FIND_H_
+#define CBVLINK_COMMON_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cbvlink {
+
+/// Disjoint sets over the dense universe [0, size).
+class UnionFind {
+ public:
+  /// Creates `size` singleton sets.
+  explicit UnionFind(size_t size);
+
+  /// Representative of x's set (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True iff a and b share a set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of disjoint sets.
+  size_t NumSets() const { return num_sets_; }
+
+  size_t size() const { return parent_.size(); }
+
+  /// Materializes the sets: each inner vector lists one set's members in
+  /// ascending order; singleton sets are included.  Ordered by smallest
+  /// member.
+  std::vector<std::vector<size_t>> Sets();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_UNION_FIND_H_

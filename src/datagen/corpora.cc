@@ -1,0 +1,229 @@
+#include "src/datagen/corpora.h"
+
+#include <numeric>
+
+namespace cbvlink {
+
+namespace {
+
+std::vector<std::string> MakePool(std::initializer_list<const char*> words) {
+  std::vector<std::string> pool;
+  pool.reserve(words.size());
+  for (const char* w : words) pool.emplace_back(w);
+  return pool;
+}
+
+}  // namespace
+
+const std::vector<std::string>& FirstNamePool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "JOHN",      "MARY",      "JAMES",    "LINDA",     "ROBERT",
+      "PATRICIA",  "MICHAEL",   "BARBARA",  "WILLIAM",   "ELIZABETH",
+      "DAVID",     "JENNIFER",  "RICHARD",  "MARIA",     "CHARLES",
+      "SUSAN",     "JOSEPH",    "MARGARET", "THOMAS",    "DOROTHY",
+      "ANN",       "BOB",       "JIM",      "SUE",       "AMY",
+      "JOE",       "TOM",       "DAN",      "RAY",       "ROY",
+      "LEE",       "KAY",       "MAY",      "IDA",       "EVA",
+      "GUY",       "SAM",       "MAX",      "BEN",       "TED",
+      "ANNA",      "EMMA",      "NOAH",     "LIAM",      "OWEN",
+      "RUTH",      "ROSE",      "JACK",     "RYAN",      "KYLE",
+      "SEAN",      "DEAN",      "NEIL",     "CARL",      "ERIC",
+      "ADAM",      "ALAN",      "GARY",     "DALE",      "EARL",
+      "GLEN",      "HUGH",      "IVAN",     "JOEL",      "KURT",
+      "LUKE",      "MARK",      "NEAL",     "OTIS",      "PAUL",
+      "REED",      "SETH",      "TROY",     "WADE",      "ZANE",
+      "CHRISTOPHER", "ALEXANDRA", "STEPHANIE", "KATHERINE", "JACQUELINE",
+      "FREDERICK", "NATHANIEL", "SEBASTIAN", "GABRIELLA", "MAXIMILIAN",
+      "HENRY",     "OSCAR",     "PETER",    "DIANA",     "KAREN",
+      "NANCY",     "BETTY",     "HELEN",    "SANDRA",    "DONNA",
+      "CAROL",     "SHARON",    "MICHELLE", "LAURA",     "SARAH",
+      "KIMBERLY",  "DEBORAH",   "JESSICA",  "SHIRLEY",   "CYNTHIA",
+      "ANGELA",    "MELISSA",   "BRENDA",   "PAMELA",    "NICOLE",
+      "DANIEL",    "MATTHEW",   "ANTHONY",  "DONALD",    "STEVEN",
+      "KENNETH",   "ANDREW",    "JOSHUA",   "KEVIN",     "BRIAN",
+      "GEORGE",    "EDWARD",    "RONALD",   "TIMOTHY",   "JASON",
+      "JEFFREY",   "GREGORY",   "PATRICK",  "DENNIS",    "JERRY",
+      "TYLER",     "AARON",     "JOSE",     "HENRIETTA", "NATHAN",
+      "AMANDA",    "KELLY",     "TINA",     "JEAN",      "LOIS",
+      "GAIL",      "EDNA",      "IRIS",     "JUNE",      "LENA",
+      "MYRA",      "NINA",      "OPAL",     "RITA",      "VERA",
+  }));
+  return *kPool;
+}
+
+const std::vector<std::string>& LastNamePool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "SMITH",     "JOHNSON",   "WILLIAMS", "BROWN",     "JONES",
+      "GARCIA",    "MILLER",    "DAVIS",    "RODRIGUEZ", "MARTINEZ",
+      "HERNANDEZ", "LOPEZ",     "GONZALEZ", "WILSON",    "ANDERSON",
+      "THOMAS",    "TAYLOR",    "MOORE",    "JACKSON",   "MARTIN",
+      "LEE",       "PEREZ",     "THOMPSON", "WHITE",     "HARRIS",
+      "SANCHEZ",   "CLARK",     "RAMIREZ",  "LEWIS",     "ROBINSON",
+      "WALKER",    "YOUNG",     "ALLEN",    "KING",      "WRIGHT",
+      "SCOTT",     "TORRES",    "NGUYEN",   "HILL",      "FLORES",
+      "GREEN",     "ADAMS",     "NELSON",   "BAKER",     "HALL",
+      "RIVERA",    "CAMPBELL",  "MITCHELL", "CARTER",    "ROBERTS",
+      "GOMEZ",     "PHILLIPS",  "EVANS",    "TURNER",    "DIAZ",
+      "PARKER",    "CRUZ",      "EDWARDS",  "COLLINS",   "REYES",
+      "STEWART",   "MORRIS",    "MORALES",  "MURPHY",    "COOK",
+      "ROGERS",    "GUTIERREZ", "ORTIZ",    "MORGAN",    "COOPER",
+      "PETERSON",  "BAILEY",    "REED",     "KELLY",     "HOWARD",
+      "RAMOS",     "KIM",       "COX",      "WARD",      "RICHARDSON",
+      "WATSON",    "BROOKS",    "CHAVEZ",   "WOOD",      "JAMES",
+      "BENNETT",   "GRAY",      "MENDOZA",  "RUIZ",      "HUGHES",
+      "PRICE",     "ALVAREZ",   "CASTILLO", "SANDERS",   "PATEL",
+      "MYERS",     "LONG",      "ROSS",     "FOSTER",    "JIMENEZ",
+      "POWELL",    "JENKINS",   "PERRY",    "RUSSELL",   "SULLIVAN",
+      "BELL",      "COLEMAN",   "BUTLER",   "HENDERSON", "BARNES",
+      "GONZALES",  "FISHER",    "VASQUEZ",  "SIMMONS",   "ROMERO",
+      "JORDAN",    "PATTERSON", "ALEXANDER","HAMILTON",  "GRAHAM",
+      "WALLACE",   "GRIFFIN",   "WEST",     "COLE",      "HAYES",
+      "CHEN",      "SHAW",      "FORD",     "DEAN",      "KANE",
+      "POPE",      "LANE",      "RHODES",   "BLACK",     "STONE",
+      "MEYER",     "BOYD",      "MASON",    "MORENO",    "BOWMAN",
+      "OLIVER",    "SNYDER",    "HART",     "CUNNINGHAM","BRADLEY",
+      "LAMBERT",   "HOLLOWAY",  "STEPHENSON", "FITZGERALD", "MONTGOMERY",
+  }));
+  return *kPool;
+}
+
+const std::vector<std::string>& StreetNamePool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "MAPLE",          "OAK",            "ELM",
+      "PINE",           "CEDAR",          "WALNUT",
+      "CHESTNUT",       "SYCAMORE",       "MAGNOLIA",
+      "DOGWOOD",        "HICKORY",        "JUNIPER",
+      "WILLOW CREEK",   "FALLING WATER",  "STONE MOUNTAIN",
+      "ROLLING HILLS",  "MEADOW BROOK",   "HUNTERS RIDGE",
+      "FOX HOLLOW",     "DEER RUN",       "EAGLE CREST",
+      "TIMBER RIDGE",   "RIVER BIRCH",    "SPRING GARDEN",
+      "AUTUMN LEAF",    "WINTER PARK",    "SUMMER FIELD",
+      "OLD STAGE",      "NEW HOPE",       "SANDY RIDGE",
+      "HOLLY SPRINGS",  "WAKE FOREST",    "CHAPEL HILL",
+      "SIX FORKS",      "GLENWOOD",       "HILLSBOROUGH",
+      "CREEDMOOR",      "FALLS OF NEUSE", "CAPITAL",
+      "WESTERN",        "SOUTHERN",       "NORTHERN",
+      "LAKE WHEELER",   "POOLE",          "BUFFALOE",
+      "MILLBROOK",      "STRICKLAND",     "LEESVILLE",
+      "HARRISON",       "DAVIS",          "MORRISVILLE",
+      "APEX PEAKWAY",   "KILDAIRE FARM",  "TRYON",
+      "GARNER",         "PERSON",         "BLOUNT",
+      "WILMINGTON",     "FAYETTEVILLE",   "SALISBURY",
+      "MARTIN LUTHER KING", "PLEASANT GROVE CHURCH", "ROCK QUARRY",
+      "GREEN LEVEL CHURCH", "CARPENTER FIRE STATION", "HIGH HOUSE",
+      "BUCK JONES",     "AVENT FERRY",    "GORMAN",
+      "DIXIE TRAIL",    "BROOKHAVEN",     "CRABTREE VALLEY",
+  }));
+  return *kPool;
+}
+
+const std::vector<std::string>& StreetTypePool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "ST", "AVE", "RD", "DR", "LN", "BLVD", "CT", "WAY", "PL", "CIR",
+      "TRL", "PKWY", "TER", "LOOP",
+  }));
+  return *kPool;
+}
+
+const std::vector<std::string>& TownPool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "RALEIGH",       "DURHAM",       "CARY",         "APEX",
+      "GARNER",        "CLAYTON",      "WENDELL",      "ZEBULON",
+      "KNIGHTDALE",    "MORRISVILLE",  "FUQUAY VARINA","HOLLY SPRINGS",
+      "WAKE FOREST",   "ROLESVILLE",   "CHARLOTTE",    "GREENSBORO",
+      "WINSTON SALEM", "FAYETTEVILLE", "WILMINGTON",   "ASHEVILLE",
+      "CONCORD",       "GASTONIA",     "GREENVILLE",   "JACKSONVILLE",
+      "HICKORY",       "GOLDSBORO",    "BURLINGTON",   "WILSON",
+      "ROCKY MOUNT",   "KANNAPOLIS",   "MONROE",       "SALISBURY",
+      "NEW BERN",      "SANFORD",      "MATTHEWS",     "THOMASVILLE",
+      "CORNELIUS",     "MINT HILL",    "KINSTON",      "LUMBERTON",
+      "CARRBORO",      "HAVELOCK",     "SHELBY",       "CLEMMONS",
+      "LEXINGTON",     "ELIZABETH CITY","BOONE",       "HOPE MILLS",
+      "DUNN",          "EDEN",         "LENOIR",       "MORGANTON",
+      "ALBEMARLE",     "HENDERSON",    "MOUNT AIRY",   "OXFORD",
+      "SELMA",         "SMITHFIELD",   "TARBORO",      "WAXHAW",
+  }));
+  return *kPool;
+}
+
+const std::vector<std::string>& TitleWordPool() {
+  static const auto* kPool = new std::vector<std::string>(MakePool({
+      "EFFICIENT",     "SCALABLE",     "DISTRIBUTED",  "PARALLEL",
+      "ADAPTIVE",      "ROBUST",       "OPTIMAL",      "FAST",
+      "APPROXIMATE",   "INCREMENTAL",  "DYNAMIC",      "ONLINE",
+      "QUERY",         "PROCESSING",   "OPTIMIZATION", "DATABASE",
+      "SYSTEMS",       "INDEXING",     "RETRIEVAL",    "MINING",
+      "LEARNING",      "CLASSIFICATION","CLUSTERING",  "REGRESSION",
+      "ALGORITHMS",    "STRUCTURES",   "NETWORKS",     "GRAPHS",
+      "STREAMS",       "RECORDS",      "LINKAGE",      "RESOLUTION",
+      "ENTITY",        "MATCHING",     "BLOCKING",     "HASHING",
+      "EMBEDDING",     "SIMILARITY",   "DISTANCE",     "METRIC",
+      "SEARCH",        "NEAREST",      "NEIGHBOR",     "DIMENSIONALITY",
+      "REDUCTION",     "COMPRESSION",  "ENCODING",     "SKETCHES",
+      "SAMPLING",      "ESTIMATION",   "INFERENCE",    "PROBABILISTIC",
+      "PRIVACY",       "PRESERVING",   "SECURE",       "ANONYMIZATION",
+      "FRAMEWORK",     "APPROACH",     "METHOD",       "TECHNIQUE",
+      "ANALYSIS",      "EVALUATION",   "SURVEY",       "BENCHMARK",
+      "LARGE",         "SCALE",        "HIGH",         "PERFORMANCE",
+      "MEMORY",        "STORAGE",      "CACHE",        "TRANSACTIONAL",
+      "CONCURRENT",    "CONSISTENT",   "FAULT",        "TOLERANT",
+      "CLOUD",         "EDGE",         "FEDERATED",    "HETEROGENEOUS",
+      "SEMANTIC",      "ONTOLOGY",     "KNOWLEDGE",    "EXTRACTION",
+      "INTEGRATION",   "CLEANING",     "DEDUPLICATION","PROVENANCE",
+      "TEMPORAL",      "SPATIAL",      "MULTIDIMENSIONAL", "HIERARCHICAL",
+      "FOR",           "WITH",         "USING",        "OVER",
+      "UNDER",         "VIA",          "TOWARDS",      "BEYOND",
+      "DATA",          "BIG",          "REAL",         "TIME",
+      "STREAMING",     "BATCH",        "HYBRID",       "UNIFIED",
+  }));
+  return *kPool;
+}
+
+Result<CalibratedPool> CalibratedPool::Create(
+    const std::vector<std::string>* words, double target_mean_length) {
+  if (words == nullptr || words->empty()) {
+    return Status::InvalidArgument("calibrated pool needs a non-empty corpus");
+  }
+  std::vector<const std::string*> short_group;
+  std::vector<const std::string*> long_group;
+  double short_sum = 0.0;
+  double long_sum = 0.0;
+  for (const std::string& w : *words) {
+    if (static_cast<double>(w.size()) <= target_mean_length) {
+      short_group.push_back(&w);
+      short_sum += static_cast<double>(w.size());
+    } else {
+      long_group.push_back(&w);
+      long_sum += static_cast<double>(w.size());
+    }
+  }
+
+  if (short_group.empty() || long_group.empty()) {
+    // Target outside the achievable range: degrade to uniform sampling.
+    std::vector<const std::string*> all = short_group.empty()
+                                              ? std::move(long_group)
+                                              : std::move(short_group);
+    const double mean = (short_sum + long_sum) / static_cast<double>(all.size());
+    return CalibratedPool(std::move(all), {}, 1.0, mean);
+  }
+
+  const double mean_short = short_sum / static_cast<double>(short_group.size());
+  const double mean_long = long_sum / static_cast<double>(long_group.size());
+  // Solve w * mean_short + (1 - w) * mean_long = target for the
+  // probability w of drawing from the short group.
+  double w = (mean_long - target_mean_length) / (mean_long - mean_short);
+  if (w < 0.0) w = 0.0;
+  if (w > 1.0) w = 1.0;
+  const double expected = w * mean_short + (1.0 - w) * mean_long;
+  return CalibratedPool(std::move(short_group), std::move(long_group), w,
+                        expected);
+}
+
+const std::string& CalibratedPool::Sample(Rng& rng) const {
+  if (long_group_.empty() || rng.NextDouble() < short_probability_) {
+    return *short_group_[rng.Below(short_group_.size())];
+  }
+  return *long_group_[rng.Below(long_group_.size())];
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,70 @@
+// Embedded text corpora and length-calibrated sampling.
+//
+// The paper evaluates on the NCVR voter file and the DBLP bibliography,
+// neither of which can be redistributed here.  The generators instead
+// sample from embedded corpora of realistic names, street names, towns,
+// and computer-science title words, *calibrated* so the per-attribute
+// average bigram counts b^(f_i) match Table 3 of the paper — the only
+// property of the data the algorithms under test are sensitive to (they
+// consume q-gram sets, not semantics).
+//
+// Calibration uses a two-group weighting: the pool is split into words
+// not longer / longer than the target mean, and the sampling probability
+// between the groups is solved so the expected length equals the target
+// exactly.
+
+#ifndef CBVLINK_DATAGEN_CORPORA_H_
+#define CBVLINK_DATAGEN_CORPORA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Raw word pools (upper-case ASCII).
+const std::vector<std::string>& FirstNamePool();
+const std::vector<std::string>& LastNamePool();
+const std::vector<std::string>& StreetNamePool();
+const std::vector<std::string>& StreetTypePool();
+const std::vector<std::string>& TownPool();
+const std::vector<std::string>& TitleWordPool();
+
+/// A pool with two-group length calibration towards a target mean length.
+class CalibratedPool {
+ public:
+  /// Builds a calibrated sampler.  Returns InvalidArgument when the pool
+  /// is empty.  When the target is outside the pool's achievable range
+  /// (below the shortest-group mean or above the longest-group mean) the
+  /// sampler degrades to uniform and ExpectedLength() reports the
+  /// achievable value.
+  static Result<CalibratedPool> Create(const std::vector<std::string>* words,
+                                       double target_mean_length);
+
+  /// Draws one word.
+  const std::string& Sample(Rng& rng) const;
+
+  /// The exact expected length of Sample() output.
+  double ExpectedLength() const { return expected_length_; }
+
+ private:
+  CalibratedPool(std::vector<const std::string*> short_group,
+                 std::vector<const std::string*> long_group,
+                 double short_probability, double expected_length)
+      : short_group_(std::move(short_group)),
+        long_group_(std::move(long_group)),
+        short_probability_(short_probability),
+        expected_length_(expected_length) {}
+
+  std::vector<const std::string*> short_group_;
+  std::vector<const std::string*> long_group_;
+  double short_probability_;
+  double expected_length_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_DATAGEN_CORPORA_H_

@@ -1,0 +1,57 @@
+#include "src/datagen/dataset.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Result<LinkagePair> BuildLinkagePair(const RecordGenerator& generator,
+                                     const PerturbationScheme& scheme,
+                                     const LinkagePairOptions& options) {
+  if (options.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (options.selection_probability < 0.0 ||
+      options.selection_probability > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("selection probability %f outside [0, 1]",
+                  options.selection_probability));
+  }
+  if (options.copies_per_selected == 0) {
+    return Status::InvalidArgument("copies_per_selected must be positive");
+  }
+
+  Rng rng(options.seed);
+  LinkagePair out;
+  out.a.reserve(options.num_records);
+  out.b.reserve(options.num_records);
+
+  RecordId next_b_id = static_cast<RecordId>(options.num_records);
+
+  for (size_t i = 0; i < options.num_records; ++i) {
+    Record a = generator.Generate(static_cast<RecordId>(i), rng);
+    if (rng.NextBool(options.selection_probability)) {
+      for (size_t c = 0;
+           c < options.copies_per_selected && out.b.size() < options.num_records;
+           ++c) {
+        GroundTruthEntry entry;
+        Result<Record> perturbed =
+            Perturbator::Apply(a, scheme, rng, &entry.ops);
+        if (!perturbed.ok()) return perturbed.status();
+        Record b = std::move(perturbed).value();
+        b.id = next_b_id++;
+        entry.pair = IdPair{a.id, b.id};
+        out.truth.push_back(std::move(entry));
+        out.b.push_back(std::move(b));
+      }
+    }
+    out.a.push_back(std::move(a));
+  }
+
+  // Fill B with fresh non-matching records up to |A|.
+  while (out.b.size() < options.num_records) {
+    out.b.push_back(generator.Generate(next_b_id++, rng));
+  }
+  return out;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,58 @@
+// Linkage data set construction (Section 6's experimental setup).
+//
+// From a record generator, BuildLinkagePair materializes data sets A and
+// B: every record of A is, with the selection probability (paper: 0.5),
+// perturbed under the chosen scheme and placed into B; the remaining B
+// slots are filled with fresh non-matching records so |A| = |B|.  The
+// ground truth M — the truly matching pairs with the operations that
+// were applied — is returned alongside.
+
+#ifndef CBVLINK_DATAGEN_DATASET_H_
+#define CBVLINK_DATAGEN_DATASET_H_
+
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/datagen/generators.h"
+#include "src/datagen/perturbator.h"
+
+namespace cbvlink {
+
+/// One truly matching pair and the perturbations that produced it.
+struct GroundTruthEntry {
+  IdPair pair;
+  std::vector<AppliedPerturbation> ops;
+};
+
+/// The experimental unit: two data sets plus ground truth.
+struct LinkagePair {
+  std::vector<Record> a;
+  std::vector<Record> b;
+  std::vector<GroundTruthEntry> truth;
+};
+
+/// Options for BuildLinkagePair.
+struct LinkagePairOptions {
+  /// |A| (and |B|).
+  size_t num_records = 10000;
+  /// Probability that an A record gets a perturbed counterpart in B
+  /// (paper: 0.5).
+  double selection_probability = 0.5;
+  /// Perturbed copies placed in B per selected A record (paper default 1;
+  /// the prototype exposes this as a knob).
+  size_t copies_per_selected = 1;
+  /// RNG seed.
+  uint64_t seed = 42;
+};
+
+/// Builds (A, B, M).  B record ids start at num_records so the two id
+/// spaces never collide.  Returns InvalidArgument for a zero-record
+/// request, an out-of-range probability, or zero copies.
+Result<LinkagePair> BuildLinkagePair(const RecordGenerator& generator,
+                                     const PerturbationScheme& scheme,
+                                     const LinkagePairOptions& options);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_DATAGEN_DATASET_H_

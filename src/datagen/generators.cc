@@ -1,0 +1,169 @@
+#include "src/datagen/generators.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+/// The paper's bigram convention (Figure 1): unpadded bigrams over the
+/// names' 26-letter alphabet — so a value with target bigram count b must
+/// have mean length b + 1.
+double TargetLength(double target_b) { return target_b + 1.0; }
+
+/// Mean length of the street-number component: the digit count is drawn
+/// uniformly from {1, 2, 3, 4}.
+constexpr double kMeanNumberLength = 2.5;
+
+/// Mean length of a uniformly drawn street-type token.
+double MeanStreetTypeLength() {
+  const auto& pool = StreetTypePool();
+  double sum = 0.0;
+  for (const std::string& t : pool) sum += static_cast<double>(t.size());
+  return sum / static_cast<double>(pool.size());
+}
+
+/// Mean length of a uniformly drawn title word.
+double MeanTitleWordLength() {
+  const auto& pool = TitleWordPool();
+  double sum = 0.0;
+  for (const std::string& w : pool) sum += static_cast<double>(w.size());
+  return sum / static_cast<double>(pool.size());
+}
+
+std::string SampleStreetNumber(Rng& rng) {
+  const size_t digits = 1 + rng.Below(4);
+  std::string out;
+  out.reserve(digits);
+  out.push_back(static_cast<char>('1' + rng.Below(9)));  // no leading zero
+  for (size_t i = 1; i < digits; ++i) {
+    out.push_back(static_cast<char>('0' + rng.Below(10)));
+  }
+  return out;
+}
+
+}  // namespace
+
+NcvrGenerator::NcvrGenerator(Schema schema, CalibratedPool first,
+                             CalibratedPool last, CalibratedPool street,
+                             CalibratedPool town)
+    : schema_(std::move(schema)),
+      first_names_(std::move(first)),
+      last_names_(std::move(last)),
+      streets_(std::move(street)),
+      towns_(std::move(town)) {}
+
+Result<NcvrGenerator> NcvrGenerator::Create(NcvrTargets targets) {
+  Schema schema;
+  // Paper-reproduction convention: unpadded bigrams; names and towns over
+  // the plain upper-case alphabet, addresses over the alphanumeric one.
+  const QGramOptions unpadded{.q = 2, .pad = false};
+  schema.attributes = {
+      {"FirstName", &Alphabet::Uppercase(), unpadded},
+      {"LastName", &Alphabet::Uppercase(), unpadded},
+      {"Address", &Alphabet::Alphanumeric(), unpadded},
+      {"Town", &Alphabet::Uppercase(), unpadded},
+  };
+
+  Result<CalibratedPool> first = CalibratedPool::Create(
+      &FirstNamePool(), TargetLength(targets.first_name_b));
+  if (!first.ok()) return first.status();
+  Result<CalibratedPool> last = CalibratedPool::Create(
+      &LastNamePool(), TargetLength(targets.last_name_b));
+  if (!last.ok()) return last.status();
+
+  // Address = "<number> <street> <type>"; solve for the street-name
+  // target so the full string hits the attribute target.
+  const double address_target = TargetLength(targets.address_b);
+  const double street_target =
+      address_target - kMeanNumberLength - MeanStreetTypeLength() - 2.0;
+  Result<CalibratedPool> street =
+      CalibratedPool::Create(&StreetNamePool(), street_target);
+  if (!street.ok()) return street.status();
+
+  Result<CalibratedPool> town =
+      CalibratedPool::Create(&TownPool(), TargetLength(targets.town_b));
+  if (!town.ok()) return town.status();
+
+  return NcvrGenerator(std::move(schema), std::move(first).value(),
+                       std::move(last).value(), std::move(street).value(),
+                       std::move(town).value());
+}
+
+Record NcvrGenerator::Generate(RecordId id, Rng& rng) const {
+  Record record;
+  record.id = id;
+  record.fields.reserve(4);
+  record.fields.push_back(first_names_.Sample(rng));
+  record.fields.push_back(last_names_.Sample(rng));
+  record.fields.push_back(SampleStreetNumber(rng) + " " +
+                          streets_.Sample(rng) + " " +
+                          StreetTypePool()[rng.Below(StreetTypePool().size())]);
+  record.fields.push_back(towns_.Sample(rng));
+  return record;
+}
+
+DblpGenerator::DblpGenerator(Schema schema, CalibratedPool first,
+                             CalibratedPool last, double mean_title_words)
+    : schema_(std::move(schema)),
+      first_names_(std::move(first)),
+      last_names_(std::move(last)),
+      mean_title_words_(mean_title_words) {}
+
+Result<DblpGenerator> DblpGenerator::Create(DblpTargets targets) {
+  Schema schema;
+  const QGramOptions unpadded{.q = 2, .pad = false};
+  schema.attributes = {
+      {"FirstName", &Alphabet::Uppercase(), unpadded},
+      {"LastName", &Alphabet::Uppercase(), unpadded},
+      {"Title", &Alphabet::Alphanumeric(), unpadded},
+      {"Year", &Alphabet::Alphanumeric(), unpadded},
+  };
+
+  Result<CalibratedPool> first = CalibratedPool::Create(
+      &FirstNamePool(), TargetLength(targets.first_name_b));
+  if (!first.ok()) return first.status();
+  Result<CalibratedPool> last = CalibratedPool::Create(
+      &LastNamePool(), TargetLength(targets.last_name_b));
+  if (!last.ok()) return last.status();
+
+  // A k-word title has length k * (W + 1) - 1 in expectation, where W is
+  // the mean word length; solve E[k] for the title target.
+  const double title_target = TargetLength(targets.title_b);
+  const double mean_words = (title_target + 1.0) / (MeanTitleWordLength() + 1.0);
+  if (mean_words < 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("title target %f shorter than one word", title_target));
+  }
+  return DblpGenerator(std::move(schema), std::move(first).value(),
+                       std::move(last).value(), mean_words);
+}
+
+Record DblpGenerator::Generate(RecordId id, Rng& rng) const {
+  Record record;
+  record.id = id;
+  record.fields.reserve(4);
+  record.fields.push_back(first_names_.Sample(rng));
+  record.fields.push_back(last_names_.Sample(rng));
+
+  // Word count: floor/ceil two-point mix hitting mean_title_words_
+  // exactly in expectation.
+  const double lo = std::floor(mean_title_words_);
+  const double frac = mean_title_words_ - lo;
+  size_t words = static_cast<size_t>(lo) + (rng.NextDouble() < frac ? 1 : 0);
+  if (words == 0) words = 1;
+  const auto& pool = TitleWordPool();
+  std::string title;
+  for (size_t i = 0; i < words; ++i) {
+    if (i != 0) title.push_back(' ');
+    title += pool[rng.Below(pool.size())];
+  }
+  record.fields.push_back(std::move(title));
+
+  record.fields.push_back(StrFormat("%d", 1970 + static_cast<int>(rng.Below(46))));
+  return record;
+}
+
+}  // namespace cbvlink

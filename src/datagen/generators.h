@@ -1,0 +1,93 @@
+// Synthetic record generators calibrated to the paper's data sets.
+//
+// NcvrGenerator emits records shaped like the North Carolina Voter
+// Registration extract used in Section 6 (FirstName, LastName, Address,
+// Town), and DblpGenerator like the DBLP bibliography (FirstName,
+// LastName, Title, Year).  Pools are length-calibrated so the average
+// bigram count b^(f_i) of each attribute matches Table 3; the bigram
+// convention follows the paper's Figure 1 ('JOHN' has 3 bigrams — i.e.
+// b = len - 1, no padding), which is the convention under which Table 3's
+// numbers are self-consistent (Year: '2003' -> b = 3.0).
+
+#ifndef CBVLINK_DATAGEN_GENERATORS_H_
+#define CBVLINK_DATAGEN_GENERATORS_H_
+
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/datagen/corpora.h"
+#include "src/embedding/record_encoder.h"
+
+namespace cbvlink {
+
+/// Target mean bigram counts from Table 3.
+struct NcvrTargets {
+  double first_name_b = 5.1;
+  double last_name_b = 5.0;
+  double address_b = 20.0;
+  double town_b = 7.2;
+};
+
+struct DblpTargets {
+  double first_name_b = 4.8;
+  double last_name_b = 6.2;
+  double title_b = 64.8;
+  double year_b = 3.0;  // fixed by the 4-digit year format
+};
+
+/// Source of synthetic records over a fixed schema.
+class RecordGenerator {
+ public:
+  virtual ~RecordGenerator() = default;
+
+  /// The schema of generated records.
+  virtual const Schema& schema() const = 0;
+
+  /// Generates one record with the given id.
+  virtual Record Generate(RecordId id, Rng& rng) const = 0;
+};
+
+/// NCVR-shaped generator (FirstName, LastName, Address, Town).
+class NcvrGenerator : public RecordGenerator {
+ public:
+  static Result<NcvrGenerator> Create(NcvrTargets targets = {});
+
+  const Schema& schema() const override { return schema_; }
+  Record Generate(RecordId id, Rng& rng) const override;
+
+ private:
+  NcvrGenerator(Schema schema, CalibratedPool first, CalibratedPool last,
+                CalibratedPool street, CalibratedPool town);
+
+  Schema schema_;
+  CalibratedPool first_names_;
+  CalibratedPool last_names_;
+  CalibratedPool streets_;
+  CalibratedPool towns_;
+};
+
+/// DBLP-shaped generator (FirstName, LastName, Title, Year).
+class DblpGenerator : public RecordGenerator {
+ public:
+  static Result<DblpGenerator> Create(DblpTargets targets = {});
+
+  const Schema& schema() const override { return schema_; }
+  Record Generate(RecordId id, Rng& rng) const override;
+
+ private:
+  DblpGenerator(Schema schema, CalibratedPool first, CalibratedPool last,
+                double mean_title_words);
+
+  Schema schema_;
+  CalibratedPool first_names_;
+  CalibratedPool last_names_;
+  /// Expected number of title words; sampled as a floor/ceil two-point
+  /// mix so the expectation is hit exactly.
+  double mean_title_words_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_DATAGEN_GENERATORS_H_

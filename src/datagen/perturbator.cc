@@ -1,0 +1,119 @@
+#include "src/datagen/perturbator.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+/// Perturbations draw replacement characters from the plain upper-case
+/// alphabet, matching the letter-centric errors the paper models.
+char RandomLetter(Rng& rng) {
+  return static_cast<char>('A' + rng.Below(26));
+}
+
+PerturbationType RandomType(Rng& rng) {
+  switch (rng.Below(3)) {
+    case 0:
+      return PerturbationType::kSubstitute;
+    case 1:
+      return PerturbationType::kInsert;
+    default:
+      return PerturbationType::kDelete;
+  }
+}
+
+}  // namespace
+
+const char* PerturbationTypeName(PerturbationType type) {
+  switch (type) {
+    case PerturbationType::kSubstitute:
+      return "substitute";
+    case PerturbationType::kInsert:
+      return "insert";
+    case PerturbationType::kDelete:
+      return "delete";
+    case PerturbationType::kClearField:
+      return "clear-field";
+  }
+  return "unknown";
+}
+
+std::string Perturbator::ApplyOp(const std::string& value,
+                                 PerturbationType type, Rng& rng) {
+  if (type == PerturbationType::kClearField) return std::string();
+  std::string out = value;
+  if (out.empty() && type != PerturbationType::kInsert) {
+    type = PerturbationType::kInsert;
+  }
+  switch (type) {
+    case PerturbationType::kSubstitute: {
+      const size_t pos = rng.Below(out.size());
+      char replacement = RandomLetter(rng);
+      // Guarantee a real change even when the draw repeats the original.
+      while (replacement == out[pos]) replacement = RandomLetter(rng);
+      out[pos] = replacement;
+      return out;
+    }
+    case PerturbationType::kInsert: {
+      const size_t pos = rng.Below(out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 RandomLetter(rng));
+      return out;
+    }
+    case PerturbationType::kDelete: {
+      const size_t pos = rng.Below(out.size());
+      out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+      return out;
+    }
+    case PerturbationType::kClearField:
+      return std::string();  // handled above; keep the switch exhaustive
+  }
+  return out;
+}
+
+Result<Record> Perturbator::Apply(const Record& record,
+                                  const PerturbationScheme& scheme, Rng& rng,
+                                  std::vector<AppliedPerturbation>* ops) {
+  Record out = record;
+  const auto apply_one = [&](size_t attr) {
+    const PerturbationType type =
+        scheme.forced_type.has_value() ? *scheme.forced_type : RandomType(rng);
+    out.fields[attr] = ApplyOp(out.fields[attr], type, rng);
+    if (ops != nullptr) ops->push_back({attr, type});
+  };
+
+  const auto maybe_clear_field = [&]() {
+    if (scheme.missing_value_probability <= 0.0 || out.fields.empty()) return;
+    if (!rng.NextBool(scheme.missing_value_probability)) return;
+    const size_t attr = rng.Below(out.fields.size());
+    out.fields[attr].clear();
+    if (ops != nullptr) {
+      ops->push_back({attr, PerturbationType::kClearField});
+    }
+  };
+
+  if (scheme.single_random_attribute) {
+    if (out.fields.empty()) {
+      return Status::InvalidArgument("cannot perturb a record with no fields");
+    }
+    apply_one(rng.Below(out.fields.size()));
+    maybe_clear_field();
+    return out;
+  }
+
+  if (scheme.ops_per_attribute.size() > out.fields.size()) {
+    return Status::InvalidArgument(
+        StrFormat("scheme covers %zu attributes, record has %zu",
+                  scheme.ops_per_attribute.size(), out.fields.size()));
+  }
+  for (size_t attr = 0; attr < scheme.ops_per_attribute.size(); ++attr) {
+    for (size_t i = 0; i < scheme.ops_per_attribute[attr]; ++i) {
+      apply_one(attr);
+    }
+  }
+  maybe_clear_field();
+  return out;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,93 @@
+// Perturbation engine (Section 6).
+//
+// The paper's prototype perturbs selected records from data set A before
+// placing them into data set B, using the three basic edit operations of
+// Section 5.1.  Two schemes are evaluated:
+//   PL (light): one operation on one randomly chosen attribute;
+//   PH (heavy): one operation on each of the first two attributes and two
+//               operations on the third.
+// A scheme may force a single operation type, which is how the per-type
+// accuracy breakdown of Figure 11 is produced.
+
+#ifndef CBVLINK_DATAGEN_PERTURBATOR_H_
+#define CBVLINK_DATAGEN_PERTURBATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// The basic perturbation operations of Section 5.1, plus the missing-
+/// value corruption of the paper's future-work evaluation (Section 7):
+/// kClearField empties an attribute entirely.
+enum class PerturbationType { kSubstitute, kInsert, kDelete, kClearField };
+
+/// Returns "substitute" / "insert" / "delete".
+const char* PerturbationTypeName(PerturbationType type);
+
+/// One applied operation, for ground-truth bookkeeping.
+struct AppliedPerturbation {
+  size_t attribute = 0;
+  PerturbationType type = PerturbationType::kSubstitute;
+};
+
+/// A perturbation scheme: how many operations hit each attribute.
+struct PerturbationScheme {
+  /// When set, one operation is applied to a single uniformly chosen
+  /// attribute (the PL scheme); ops_per_attribute is ignored.
+  bool single_random_attribute = false;
+  /// Operations per attribute, by schema position (the PH scheme uses
+  /// {1, 1, 2, 0} for a four-attribute schema).
+  std::vector<size_t> ops_per_attribute;
+  /// When set, every operation uses this type; otherwise types are drawn
+  /// uniformly from the three basic operations.
+  std::optional<PerturbationType> forced_type;
+  /// Probability that, after the edit operations, one uniformly chosen
+  /// attribute is cleared entirely (a missing value — the corruption the
+  /// paper's future-work evaluation targets).
+  double missing_value_probability = 0.0;
+
+  /// The paper's PL scheme.
+  static PerturbationScheme Light() {
+    PerturbationScheme s;
+    s.single_random_attribute = true;
+    return s;
+  }
+
+  /// The paper's PH scheme for a `num_attributes`-wide schema: one op on
+  /// f1 and f2, two ops on f3.
+  static PerturbationScheme Heavy(size_t num_attributes) {
+    PerturbationScheme s;
+    s.ops_per_attribute.assign(num_attributes, 0);
+    if (num_attributes > 0) s.ops_per_attribute[0] = 1;
+    if (num_attributes > 1) s.ops_per_attribute[1] = 1;
+    if (num_attributes > 2) s.ops_per_attribute[2] = 2;
+    return s;
+  }
+};
+
+/// Applies perturbation schemes to records.
+class Perturbator {
+ public:
+  /// Applies one operation of `type` to `value` at a random position.
+  /// Substituting or deleting on an empty string degrades to insertion so
+  /// an operation is always materialized.
+  static std::string ApplyOp(const std::string& value, PerturbationType type,
+                             Rng& rng);
+
+  /// Applies `scheme` to a copy of `record`, appending each applied
+  /// operation to `ops` (may be nullptr).  Returns InvalidArgument when
+  /// the scheme's per-attribute list is longer than the record.
+  static Result<Record> Apply(const Record& record,
+                              const PerturbationScheme& scheme, Rng& rng,
+                              std::vector<AppliedPerturbation>* ops);
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_DATAGEN_PERTURBATOR_H_

@@ -1,0 +1,32 @@
+#include "src/embedding/bloom_filter.h"
+
+#include <vector>
+
+namespace cbvlink {
+
+Result<BloomFilterEncoder> BloomFilterEncoder::Create(
+    QGramExtractor extractor, BloomFilterOptions options) {
+  if (options.num_bits == 0) {
+    return Status::InvalidArgument("Bloom filter size must be positive");
+  }
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument("Bloom filter needs >= 1 hash function");
+  }
+  return BloomFilterEncoder(
+      std::move(extractor),
+      BloomHashFamily(options.num_hashes, options.num_bits, options.seed));
+}
+
+BitVector BloomFilterEncoder::Encode(std::string_view normalized) const {
+  BitVector bv(family_.num_bits());
+  std::vector<size_t> positions;
+  positions.reserve(family_.k());
+  for (uint64_t ind : extractor_.IndexSet(normalized)) {
+    positions.clear();
+    family_.Positions(ind, &positions);
+    for (size_t pos : positions) bv.Set(pos);
+  }
+  return bv;
+}
+
+}  // namespace cbvlink

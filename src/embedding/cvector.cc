@@ -1,0 +1,29 @@
+#include "src/embedding/cvector.h"
+
+namespace cbvlink {
+
+Result<CVectorEncoder> CVectorEncoder::Create(
+    QGramExtractor extractor, double expected_qgrams, Rng& rng,
+    const OptimalSizeOptions& options) {
+  Result<size_t> m = OptimalCVectorSize(expected_qgrams, options);
+  if (!m.ok()) return m.status();
+  return CreateWithSize(std::move(extractor), m.value(), rng);
+}
+
+Result<CVectorEncoder> CVectorEncoder::CreateWithSize(QGramExtractor extractor,
+                                                      size_t m, Rng& rng) {
+  if (m == 0) {
+    return Status::InvalidArgument("c-vector size m must be positive");
+  }
+  return CVectorEncoder(std::move(extractor), PairwiseHash::Random(rng, m));
+}
+
+BitVector CVectorEncoder::Encode(std::string_view normalized) const {
+  BitVector bv(vector_size());
+  for (uint64_t ind : extractor_.IndexSet(normalized)) {
+    bv.Set(static_cast<size_t>(hash_(ind)));
+  }
+  return bv;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,57 @@
+// Compact q-gram vectors — the paper's c-vectors (Section 5.2, Figure 4).
+//
+// A c-vector folds the q-gram index set U_s of a string through one
+// randomly drawn pairwise-independent hash g(x) = ((a*x + b) mod P) mod m
+// into an m-bit vector, where m = m_opt from Theorem 1 keeps the expected
+// collision count below rho with confidence 1 - r.  All values of one
+// attribute share the same g so that their Hamming distances in the
+// compact space track the distances between full q-gram vectors.
+
+#ifndef CBVLINK_EMBEDDING_CVECTOR_H_
+#define CBVLINK_EMBEDDING_CVECTOR_H_
+
+#include <string_view>
+
+#include "src/common/bitvector.h"
+#include "src/common/hashing.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/embedding/optimal_size.h"
+#include "src/text/qgram.h"
+
+namespace cbvlink {
+
+/// Per-attribute encoder of strings into m-bit c-vectors.
+class CVectorEncoder {
+ public:
+  /// Creates an encoder whose size is derived from the expected q-gram
+  /// count `b` via Theorem 1.  Propagates sizing errors.
+  static Result<CVectorEncoder> Create(QGramExtractor extractor,
+                                       double expected_qgrams, Rng& rng,
+                                       const OptimalSizeOptions& options = {});
+
+  /// Creates an encoder with an explicitly chosen size m (> 0).
+  static Result<CVectorEncoder> CreateWithSize(QGramExtractor extractor,
+                                               size_t m, Rng& rng);
+
+  /// The c-vector size m (m_opt when derived from Theorem 1).
+  size_t vector_size() const { return static_cast<size_t>(hash_.range()); }
+
+  /// Encodes one normalized attribute value: bit g(x) set for each
+  /// x in U_s.
+  BitVector Encode(std::string_view normalized) const;
+
+  const QGramExtractor& extractor() const { return extractor_; }
+  const PairwiseHash& hash() const { return hash_; }
+
+ private:
+  CVectorEncoder(QGramExtractor extractor, PairwiseHash hash)
+      : extractor_(std::move(extractor)), hash_(hash) {}
+
+  QGramExtractor extractor_;
+  PairwiseHash hash_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EMBEDDING_CVECTOR_H_

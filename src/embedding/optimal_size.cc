@@ -1,0 +1,38 @@
+#include "src/embedding/optimal_size.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+double ExpectedOccupiedPositions(double b, double m) {
+  if (m <= 0.0) return 0.0;
+  return m * (1.0 - std::pow(1.0 - 1.0 / m, b));
+}
+
+double ExpectedCollisions(double b, double m) {
+  return b - ExpectedOccupiedPositions(b, m);
+}
+
+Result<size_t> OptimalCVectorSize(double b,
+                                  const OptimalSizeOptions& options) {
+  const double rho = options.max_collisions;
+  const double r = options.confidence_ratio;
+  if (rho < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("max_collisions (rho) must be >= 0, got %f", rho));
+  }
+  if (r <= 0.0 || r >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("confidence_ratio (r) must lie in (0, 1), got %f", r));
+  }
+  if (b <= rho) {
+    return Status::InvalidArgument(
+        StrFormat("expected q-grams b=%f must exceed rho=%f", b, rho));
+  }
+  const double m = (b - rho) / (1.0 - std::exp(-r));
+  return static_cast<size_t>(std::ceil(m));
+}
+
+}  // namespace cbvlink

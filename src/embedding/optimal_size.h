@@ -1,0 +1,45 @@
+// Collision analysis and optimal c-vector sizing (Lemma 1, Theorem 1).
+//
+// Hashing b q-gram indexes into an m-bit c-vector collides with birthday-
+// paradox frequency.  Lemma 1 gives the expected number of collisions
+//   E[c] = b - m * (1 - (1 - 1/m)^b),
+// and Theorem 1 bounds E[c] <= rho with confidence 1 - r by choosing
+//   m_opt = ceil((b - rho) / (1 - e^{-r})).
+// With the paper's rho = 1, r = 1/3 this reproduces every m_opt of
+// Table 3 (15 / 15 / 68 / 22 bits for NCVR; 120 bits total).
+
+#ifndef CBVLINK_EMBEDDING_OPTIMAL_SIZE_H_
+#define CBVLINK_EMBEDDING_OPTIMAL_SIZE_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Parameters of Theorem 1.
+struct OptimalSizeOptions {
+  /// rho: maximum tolerated expected collisions per c-vector.
+  double max_collisions = 1.0;
+  /// r: the ratio b/m bound; confidence is 1 - r.  The paper finds r = 1/3
+  /// the knee of the accuracy/size trade-off (Figure 7).
+  double confidence_ratio = 1.0 / 3.0;
+};
+
+/// Lemma 1: expected number of positions set to 1 (no-collision slots
+/// included) after hashing `b` q-grams into `m` positions:
+/// E[v] = m * (1 - (1 - 1/m)^b).
+double ExpectedOccupiedPositions(double b, double m);
+
+/// Lemma 1: expected number of collisions E[c] = b - E[v].
+double ExpectedCollisions(double b, double m);
+
+/// Theorem 1: the optimal c-vector size for an attribute whose values
+/// average `b` q-grams.  Returns InvalidArgument when b <= rho (a vector of
+/// zero/negative size would satisfy the bound trivially) or parameters are
+/// out of range (rho < 0, r outside (0, 1)).
+Result<size_t> OptimalCVectorSize(double b, const OptimalSizeOptions& options = {});
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EMBEDDING_OPTIMAL_SIZE_H_

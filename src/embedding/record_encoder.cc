@@ -1,0 +1,124 @@
+#include "src/embedding/record_encoder.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+std::vector<double> EstimateExpectedQGrams(const Schema& schema,
+                                           const std::vector<Record>& sample) {
+  std::vector<double> sums(schema.num_attributes(), 0.0);
+  std::vector<size_t> counts(schema.num_attributes(), 0);
+  for (const Record& record : sample) {
+    if (record.fields.size() < schema.num_attributes()) continue;
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const AttributeSpec& spec = schema.attributes[i];
+      const std::string normalized =
+          Normalize(record.fields[i], *spec.alphabet);
+      // CountGrams needs only the normalized length; build a throwaway
+      // extractor-free count matching QGramExtractor::CountGrams.
+      const size_t padded_len =
+          normalized.empty() ? 0
+                             : normalized.size() + (spec.qgram.pad ? 2 : 0);
+      const size_t grams =
+          padded_len < spec.qgram.q ? 0 : padded_len - spec.qgram.q + 1;
+      sums[i] += static_cast<double>(grams);
+      ++counts[i];
+    }
+  }
+  std::vector<double> means(schema.num_attributes(), 0.0);
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (counts[i] > 0) means[i] = sums[i] / static_cast<double>(counts[i]);
+  }
+  return means;
+}
+
+Result<CVectorRecordEncoder> CVectorRecordEncoder::Create(
+    const Schema& schema, const std::vector<double>& expected_qgrams,
+    Rng& rng, const OptimalSizeOptions& options) {
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  if (expected_qgrams.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("expected_qgrams has %zu entries for %zu attributes",
+                  expected_qgrams.size(), schema.num_attributes()));
+  }
+  std::vector<CVectorEncoder> encoders;
+  encoders.reserve(schema.num_attributes());
+  RecordLayout layout;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    const AttributeSpec& spec = schema.attributes[i];
+    Result<QGramExtractor> extractor =
+        QGramExtractor::Create(*spec.alphabet, spec.qgram);
+    if (!extractor.ok()) return extractor.status();
+    Result<CVectorEncoder> encoder = CVectorEncoder::Create(
+        std::move(extractor).value(), expected_qgrams[i], rng, options);
+    if (!encoder.ok()) return encoder.status();
+    layout.Add(encoder.value().vector_size());
+    encoders.push_back(std::move(encoder).value());
+  }
+  return CVectorRecordEncoder(schema, std::move(encoders), std::move(layout));
+}
+
+Result<EncodedRecord> CVectorRecordEncoder::Encode(
+    const Record& record) const {
+  if (record.fields.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("record %llu has %zu fields, schema expects %zu",
+                  static_cast<unsigned long long>(record.id),
+                  record.fields.size(), schema_.num_attributes()));
+  }
+  EncodedRecord out;
+  out.id = record.id;
+  out.bits = BitVector();  // grown by Append below
+  for (size_t i = 0; i < encoders_.size(); ++i) {
+    out.bits.Append(EncodeAttribute(i, record.fields[i]));
+  }
+  return out;
+}
+
+BitVector CVectorRecordEncoder::EncodeAttribute(
+    size_t attr, std::string_view raw_value) const {
+  const AttributeSpec& spec = schema_.attributes[attr];
+  return encoders_[attr].Encode(Normalize(raw_value, *spec.alphabet));
+}
+
+Result<BloomRecordEncoder> BloomRecordEncoder::Create(
+    const Schema& schema, BloomFilterOptions options) {
+  if (schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  std::vector<BloomFilterEncoder> encoders;
+  encoders.reserve(schema.num_attributes());
+  RecordLayout layout;
+  for (const AttributeSpec& spec : schema.attributes) {
+    Result<QGramExtractor> extractor =
+        QGramExtractor::Create(*spec.alphabet, spec.qgram);
+    if (!extractor.ok()) return extractor.status();
+    Result<BloomFilterEncoder> encoder =
+        BloomFilterEncoder::Create(std::move(extractor).value(), options);
+    if (!encoder.ok()) return encoder.status();
+    layout.Add(encoder.value().vector_size());
+    encoders.push_back(std::move(encoder).value());
+  }
+  return BloomRecordEncoder(schema, std::move(encoders), std::move(layout));
+}
+
+Result<EncodedRecord> BloomRecordEncoder::Encode(const Record& record) const {
+  if (record.fields.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("record %llu has %zu fields, schema expects %zu",
+                  static_cast<unsigned long long>(record.id),
+                  record.fields.size(), schema_.num_attributes()));
+  }
+  EncodedRecord out;
+  out.id = record.id;
+  for (size_t i = 0; i < encoders_.size(); ++i) {
+    const AttributeSpec& spec = schema_.attributes[i];
+    out.bits.Append(
+        encoders_[i].Encode(Normalize(record.fields[i], *spec.alphabet)));
+  }
+  return out;
+}
+
+}  // namespace cbvlink

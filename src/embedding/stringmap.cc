@@ -1,0 +1,130 @@
+#include "src/embedding/stringmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/metrics/edit_distance.h"
+
+namespace cbvlink {
+
+double StringMapEmbedder::ResidualDistance(std::string_view s,
+                                           const std::vector<double>& coords_s,
+                                           std::string_view t,
+                                           const std::vector<double>& coords_t,
+                                           size_t level) {
+  const double ed = static_cast<double>(EditDistance(s, t));
+  double d2 = ed * ed;
+  for (size_t j = 0; j < level; ++j) {
+    const double diff = coords_s[j] - coords_t[j];
+    d2 -= diff * diff;
+  }
+  return d2 > 0.0 ? std::sqrt(d2) : 0.0;
+}
+
+Result<StringMapEmbedder> StringMapEmbedder::Train(
+    const std::vector<std::string>& corpus, StringMapOptions options) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("StringMap training corpus is empty");
+  }
+  if (options.dimensions == 0) {
+    return Status::InvalidArgument("StringMap dimensions must be positive");
+  }
+
+  Rng rng(options.seed);
+
+  // Subsample the training corpus if a cap is set.
+  std::vector<const std::string*> sample;
+  if (options.max_train_sample == 0 ||
+      corpus.size() <= options.max_train_sample) {
+    sample.reserve(corpus.size());
+    for (const std::string& s : corpus) sample.push_back(&s);
+  } else {
+    sample.reserve(options.max_train_sample);
+    for (size_t i = 0; i < options.max_train_sample; ++i) {
+      sample.push_back(&corpus[rng.Below(corpus.size())]);
+    }
+  }
+  const size_t n = sample.size();
+
+  // coords[i] accumulates the coordinates of sample string i, axis by axis.
+  std::vector<std::vector<double>> coords(n);
+  std::vector<Axis> axes;
+  axes.reserve(options.dimensions);
+
+  for (size_t k = 0; k < options.dimensions; ++k) {
+    // Choose-distant-objects heuristic under the residual distance.
+    size_t ia = rng.Below(n);
+    size_t ib = ia;
+    for (size_t iter = 0; iter < options.pivot_iterations; ++iter) {
+      // Farthest from ia.
+      double best = -1.0;
+      size_t far = ia;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = ResidualDistance(*sample[ia], coords[ia], *sample[i],
+                                          coords[i], k);
+        if (d > best) {
+          best = d;
+          far = i;
+        }
+      }
+      ib = far;
+      // Farthest from ib becomes the next ia.
+      best = -1.0;
+      far = ib;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = ResidualDistance(*sample[ib], coords[ib], *sample[i],
+                                          coords[i], k);
+        if (d > best) {
+          best = d;
+          far = i;
+        }
+      }
+      if (far == ia) break;  // converged
+      ia = far;
+    }
+
+    Axis axis;
+    axis.pivot_a = *sample[ia];
+    axis.pivot_b = *sample[ib];
+    axis.coords_a = coords[ia];
+    axis.coords_b = coords[ib];
+    axis.d_ab = ResidualDistance(*sample[ia], coords[ia], *sample[ib],
+                                 coords[ib], k);
+
+    // Project every training string onto the new axis so later axes see
+    // the residual space.
+    for (size_t i = 0; i < n; ++i) {
+      double x = 0.0;
+      if (axis.d_ab > 0.0) {
+        const double da = ResidualDistance(*sample[i], coords[i],
+                                           axis.pivot_a, axis.coords_a, k);
+        const double db = ResidualDistance(*sample[i], coords[i],
+                                           axis.pivot_b, axis.coords_b, k);
+        x = (da * da + axis.d_ab * axis.d_ab - db * db) / (2.0 * axis.d_ab);
+      }
+      coords[i].push_back(x);
+    }
+    axes.push_back(std::move(axis));
+  }
+  return StringMapEmbedder(std::move(axes));
+}
+
+std::vector<double> StringMapEmbedder::Embed(std::string_view s) const {
+  std::vector<double> out;
+  out.reserve(axes_.size());
+  for (size_t k = 0; k < axes_.size(); ++k) {
+    const Axis& axis = axes_[k];
+    double x = 0.0;
+    if (axis.d_ab > 0.0) {
+      const double da =
+          ResidualDistance(s, out, axis.pivot_a, axis.coords_a, k);
+      const double db =
+          ResidualDistance(s, out, axis.pivot_b, axis.coords_b, k);
+      x = (da * da + axis.d_ab * axis.d_ab - db * db) / (2.0 * axis.d_ab);
+    }
+    out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,83 @@
+// StringMap embedding of strings into a d-dimensional Euclidean space —
+// the SM-EB baseline (Jin, Li & Mehrotra, DASFAA 2003; Section 6.1).
+//
+// StringMap is FastMap applied with edit distance as the source metric.
+// For each of d axes it picks two far-apart pivot strings (a, b) via the
+// "choose distant objects" heuristic, then the coordinate of a string s on
+// that axis is the projection
+//
+//   x = (D(s,a)^2 + D(a,b)^2 - D(s,b)^2) / (2 * D(a,b)),
+//
+// where D is the *residual* distance: the edit distance with the squared
+// coordinate differences of all previous axes subtracted (clamped at zero,
+// since the reduction is not exactly metric).  The pivot-selection scans
+// are what make this embedding expensive (Figure 8(b)).
+
+#ifndef CBVLINK_EMBEDDING_STRINGMAP_H_
+#define CBVLINK_EMBEDDING_STRINGMAP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Options for StringMap training; defaults follow the paper (d = 20).
+struct StringMapOptions {
+  /// Target dimensionality per attribute.
+  size_t dimensions = 20;
+  /// Iterations of the choose-distant-objects heuristic per axis.
+  size_t pivot_iterations = 5;
+  /// Cap on the number of training strings scanned per axis; strings
+  /// beyond the cap are subsampled.  0 means no cap (full paper behaviour;
+  /// quadratic-ish cost).
+  size_t max_train_sample = 2000;
+  /// RNG seed for sampling and initial pivot choice.
+  uint64_t seed = 0x5742d9e1u;
+};
+
+/// A trained per-attribute StringMap embedder.
+class StringMapEmbedder {
+ public:
+  /// Trains pivots over `corpus` (the pooled attribute values of both
+  /// data sets).  Returns InvalidArgument for an empty corpus or zero
+  /// dimensions.
+  static Result<StringMapEmbedder> Train(const std::vector<std::string>& corpus,
+                                         StringMapOptions options = {});
+
+  /// Embeds a string into the trained d-dimensional space.
+  std::vector<double> Embed(std::string_view s) const;
+
+  size_t dimensions() const { return axes_.size(); }
+
+ private:
+  /// One trained axis: the two pivots, their coordinates on all previous
+  /// axes, and their residual separation.
+  struct Axis {
+    std::string pivot_a;
+    std::string pivot_b;
+    std::vector<double> coords_a;  // coordinates of pivot_a on axes 0..k-1
+    std::vector<double> coords_b;
+    double d_ab = 0.0;             // residual distance between the pivots
+  };
+
+  explicit StringMapEmbedder(std::vector<Axis> axes)
+      : axes_(std::move(axes)) {}
+
+  /// Residual distance between (s, coords_s) and (t, coords_t) using the
+  /// first `level` coordinates.
+  static double ResidualDistance(std::string_view s,
+                                 const std::vector<double>& coords_s,
+                                 std::string_view t,
+                                 const std::vector<double>& coords_t,
+                                 size_t level);
+
+  std::vector<Axis> axes_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EMBEDDING_STRINGMAP_H_

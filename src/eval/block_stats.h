@@ -1,0 +1,51 @@
+// Bucket-distribution diagnostics for blocking tables.
+//
+// Section 5.2 argues that sampling bits from *sparse* q-gram vectors
+// yields "a small number of overpopulated buckets", degenerating HB into
+// an all-pairs comparison.  These statistics make that argument
+// measurable: bucket counts, the largest bucket, a Gini coefficient of
+// the bucket-size distribution, and the number of candidate pairs a
+// table would emit when probed by a second, equal-sized data set.
+
+#ifndef CBVLINK_EVAL_BLOCK_STATS_H_
+#define CBVLINK_EVAL_BLOCK_STATS_H_
+
+#include <vector>
+
+#include "src/lsh/blocking_table.h"
+
+namespace cbvlink {
+
+/// Distribution statistics of one or more blocking tables.
+struct BucketStats {
+  /// Non-empty buckets across the analyzed tables.
+  size_t num_buckets = 0;
+  /// Stored Ids across buckets.
+  size_t num_entries = 0;
+  /// Size of the largest bucket.
+  size_t max_bucket = 0;
+  /// Mean bucket size (0 for empty tables).
+  double mean_bucket = 0.0;
+  /// Gini coefficient of bucket sizes in [0, 1): 0 = perfectly uniform,
+  /// -> 1 = all entries concentrated in one bucket.
+  double gini = 0.0;
+  /// Expected candidate-pair emissions if an identically distributed
+  /// data set were probed against these tables: sum over buckets of
+  /// size^2 (each probe landing in a bucket meets all its entries).
+  double expected_probe_candidates = 0.0;
+};
+
+/// Statistics of a single table.
+BucketStats ComputeBucketStats(const BlockingTable& table);
+
+/// Aggregated statistics over several tables (the L groups of a blocking
+/// mechanism).  Gini is computed over the pooled bucket-size list.
+BucketStats ComputeBucketStats(const std::vector<BlockingTable>& tables);
+
+/// Gini coefficient of an arbitrary non-negative size list (helper,
+/// exposed for testing).  Returns 0 for empty input or all-zero sizes.
+double GiniCoefficient(std::vector<size_t> sizes);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EVAL_BLOCK_STATS_H_

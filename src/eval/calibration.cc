@@ -1,0 +1,111 @@
+#include "src/eval/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Rule CalibratedThresholds::ToRule() const {
+  std::vector<Rule> predicates;
+  predicates.reserve(thetas.size());
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    predicates.push_back(Rule::Pred(i, thetas[i]));
+  }
+  if (predicates.size() == 1) return std::move(predicates[0]);
+  return Rule::And(std::move(predicates));
+}
+
+Result<CalibratedThresholds> CalibrateThresholds(
+    size_t num_attributes,
+    const std::function<Result<std::vector<size_t>>(const Record&,
+                                                    const Record&)>&
+        attribute_distances,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options) {
+  if (matching_pairs.empty()) {
+    return Status::InvalidArgument("calibration sample is empty");
+  }
+  if (options.recall_target <= 0.0 || options.recall_target > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("recall target %f outside (0, 1]", options.recall_target));
+  }
+  if (num_attributes == 0) {
+    return Status::InvalidArgument("no attributes to calibrate");
+  }
+
+  std::vector<std::vector<size_t>> distances(num_attributes);
+  for (auto& column : distances) column.reserve(matching_pairs.size());
+  for (const auto& [a, b] : matching_pairs) {
+    Result<std::vector<size_t>> d = attribute_distances(a, b);
+    if (!d.ok()) return d.status();
+    if (d.value().size() != num_attributes) {
+      return Status::Internal("distance callback returned wrong arity");
+    }
+    for (size_t i = 0; i < num_attributes; ++i) {
+      distances[i].push_back(d.value()[i]);
+    }
+  }
+
+  CalibratedThresholds out;
+  out.thetas.resize(num_attributes);
+  out.max_distances.resize(num_attributes);
+  for (size_t i = 0; i < num_attributes; ++i) {
+    std::vector<size_t>& column = distances[i];
+    std::sort(column.begin(), column.end());
+    // The quantile index retaining recall_target of the sample.
+    const size_t index = std::min(
+        column.size() - 1,
+        static_cast<size_t>(
+            std::ceil(options.recall_target * column.size()) - 1));
+    out.thetas[i] = column[index];
+    out.max_distances[i] = column.back();
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared implementation over anything exposing Encode + AttributeDistance.
+template <typename Encoder>
+Result<CalibratedThresholds> CalibrateWithEncoder(
+    const Encoder& encoder,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options) {
+  const size_t nf = encoder.schema().num_attributes();
+  return CalibrateThresholds(
+      nf,
+      [&](const Record& a,
+          const Record& b) -> Result<std::vector<size_t>> {
+        Result<EncodedRecord> ea = encoder.Encode(a);
+        if (!ea.ok()) return ea.status();
+        Result<EncodedRecord> eb = encoder.Encode(b);
+        if (!eb.ok()) return eb.status();
+        std::vector<size_t> out(nf);
+        for (size_t i = 0; i < nf; ++i) {
+          out[i] =
+              encoder.AttributeDistance(ea.value().bits, eb.value().bits, i);
+        }
+        return out;
+      },
+      matching_pairs, options);
+}
+
+}  // namespace
+
+Result<CalibratedThresholds> CalibrateThresholds(
+    const CVectorRecordEncoder& encoder,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options) {
+  return CalibrateWithEncoder(encoder, matching_pairs, options);
+}
+
+Result<CalibratedThresholds> CalibrateThresholds(
+    const BloomRecordEncoder& encoder,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options) {
+  return CalibrateWithEncoder(encoder, matching_pairs, options);
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,72 @@
+// Threshold calibration from sample matching pairs.
+//
+// The paper sets every baseline's thresholds "after experimenting
+// exhaustively using the initial and corresponding perturbed values"
+// (Section 6.1, footnote 9).  This module productizes that methodology:
+// given pairs known to match (e.g. a labelled sample, or synthetic
+// perturbations of real records), it measures the per-attribute distance
+// distribution in the embedding space and suggests the threshold that
+// retains a target fraction of the matches.
+
+#ifndef CBVLINK_EVAL_CALIBRATION_H_
+#define CBVLINK_EVAL_CALIBRATION_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Options for threshold calibration.
+struct CalibrationOptions {
+  /// Fraction of the sample matches each suggested threshold must
+  /// retain (per attribute).  0.95 mirrors the paper's "nice balance
+  /// between accuracy and efficiency".
+  double recall_target = 0.95;
+};
+
+/// Per-attribute calibration output.
+struct CalibratedThresholds {
+  /// Suggested theta per attribute: the recall_target-quantile of the
+  /// matching pairs' attribute distances.
+  std::vector<size_t> thetas;
+  /// Maximum observed distance per attribute (theta for recall 1.0).
+  std::vector<size_t> max_distances;
+
+  /// Builds the conjunctive rule "every attribute within its theta".
+  Rule ToRule() const;
+};
+
+/// Computes per-attribute distances with `attribute_distances`
+/// (returning one distance per attribute for a record pair) over the
+/// matching sample and derives thresholds.  Fails on an empty sample,
+/// an out-of-range recall target, or a distance-callback error.
+Result<CalibratedThresholds> CalibrateThresholds(
+    size_t num_attributes,
+    const std::function<Result<std::vector<size_t>>(const Record&,
+                                                    const Record&)>&
+        attribute_distances,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options = {});
+
+/// Convenience wrapper: distances measured on `encoder`'s c-vector
+/// segments.
+Result<CalibratedThresholds> CalibrateThresholds(
+    const CVectorRecordEncoder& encoder,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options = {});
+
+/// Convenience wrapper for Bloom-filter embeddings (the BfH space).
+Result<CalibratedThresholds> CalibrateThresholds(
+    const BloomRecordEncoder& encoder,
+    const std::vector<std::pair<Record, Record>>& matching_pairs,
+    const CalibrationOptions& options = {});
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EVAL_CALIBRATION_H_

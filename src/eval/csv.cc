@@ -1,0 +1,53 @@
+#include "src/eval/csv.h"
+
+#include <cstdlib>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Result<CsvWriter> CsvWriter::Open(const std::string& path,
+                                  const std::vector<std::string>& header) {
+  std::ofstream stream(path);
+  if (!stream.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  CsvWriter writer(std::move(stream));
+  writer.WriteRow(header);
+  return writer;
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += "\"\"";
+    else escaped.push_back(c);
+  }
+  escaped.push_back('"');
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) stream_ << ',';
+    stream_ << EscapeField(fields[i]);
+  }
+  stream_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::string& label,
+                                const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) fields.push_back(StrFormat("%.6g", v));
+  WriteRow(fields);
+}
+
+std::string CsvDirFromEnv() {
+  const char* dir = std::getenv("CBVLINK_CSV_DIR");
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace cbvlink

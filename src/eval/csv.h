@@ -1,0 +1,47 @@
+// Minimal CSV emission for benchmark series.
+//
+// Every bench binary prints its table to stdout and, when the
+// CBVLINK_CSV_DIR environment variable is set, also writes a CSV per
+// figure so the series can be re-plotted.
+
+#ifndef CBVLINK_EVAL_CSV_H_
+#define CBVLINK_EVAL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Streams rows of a single CSV file.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Returns IOError
+  /// when the file cannot be created.
+  static Result<CsvWriter> Open(const std::string& path,
+                                const std::vector<std::string>& header);
+
+  /// Appends one row; fields are quoted when they contain separators.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows.
+  void WriteNumericRow(const std::string& label,
+                       const std::vector<double>& values);
+
+ private:
+  explicit CsvWriter(std::ofstream stream) : stream_(std::move(stream)) {}
+
+  static std::string EscapeField(const std::string& field);
+
+  std::ofstream stream_;
+};
+
+/// Returns CBVLINK_CSV_DIR, or an empty string when unset (CSV output
+/// disabled).
+std::string CsvDirFromEnv();
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EVAL_CSV_H_

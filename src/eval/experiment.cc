@@ -1,0 +1,93 @@
+#include "src/eval/experiment.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace cbvlink {
+
+Result<ExperimentResult> RunLinkage(Linker& linker, const LinkagePair& data) {
+  Result<LinkageResult> linkage = linker.Link(data.a, data.b);
+  if (!linkage.ok()) return linkage.status();
+  ExperimentResult out;
+  out.method = std::string(linker.name());
+  out.linkage = std::move(linkage).value();
+  const PairSet truth = TruthPairs(data.truth);
+  out.quality =
+      ComputeQuality(out.linkage.matches, truth, out.linkage.stats.comparisons,
+                     data.a.size(), data.b.size());
+  return out;
+}
+
+AveragedResult Average(const std::vector<ExperimentResult>& results) {
+  AveragedResult avg;
+  if (results.empty()) return avg;
+  for (const ExperimentResult& r : results) {
+    avg.pairs_completeness += r.quality.pairs_completeness;
+    avg.pairs_quality += r.quality.pairs_quality;
+    avg.reduction_ratio += r.quality.reduction_ratio;
+    avg.embed_seconds += r.linkage.embed_seconds;
+    avg.index_seconds += r.linkage.index_seconds;
+    avg.match_seconds += r.linkage.match_seconds;
+    avg.total_seconds += r.linkage.total_seconds();
+    avg.comparisons += static_cast<double>(r.linkage.stats.comparisons);
+    avg.blocking_groups += static_cast<double>(r.linkage.blocking_groups);
+  }
+  const double n = static_cast<double>(results.size());
+  avg.pairs_completeness /= n;
+  avg.pairs_quality /= n;
+  avg.reduction_ratio /= n;
+  avg.embed_seconds /= n;
+  avg.index_seconds /= n;
+  avg.match_seconds /= n;
+  avg.total_seconds /= n;
+  avg.comparisons /= n;
+  avg.blocking_groups /= n;
+  avg.repetitions = results.size();
+  return avg;
+}
+
+Result<AveragedResult> RunRepeated(
+    const RecordGenerator& generator, const PerturbationScheme& scheme,
+    LinkagePairOptions data_options, size_t repetitions,
+    const std::function<Result<std::unique_ptr<Linker>>(uint64_t seed)>&
+        make_linker) {
+  std::vector<ExperimentResult> results;
+  results.reserve(repetitions);
+  for (size_t rep = 0; rep < repetitions; ++rep) {
+    const uint64_t seed = data_options.seed + rep * 9973ULL;
+    LinkagePairOptions round = data_options;
+    round.seed = seed;
+    Result<LinkagePair> data = BuildLinkagePair(generator, scheme, round);
+    if (!data.ok()) return data.status();
+    Result<std::unique_ptr<Linker>> linker = make_linker(seed);
+    if (!linker.ok()) return linker.status();
+    Result<ExperimentResult> result =
+        RunLinkage(*linker.value(), data.value());
+    if (!result.ok()) return result.status();
+    results.push_back(std::move(result).value());
+  }
+  return Average(results);
+}
+
+namespace {
+
+size_t SizeFromEnv(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
+size_t RecordsFromEnv(size_t fallback) {
+  return SizeFromEnv("CBVLINK_RECORDS", fallback);
+}
+
+size_t RepetitionsFromEnv(size_t fallback) {
+  return SizeFromEnv("CBVLINK_REPS", fallback);
+}
+
+}  // namespace cbvlink

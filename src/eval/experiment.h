@@ -1,0 +1,65 @@
+// Experiment harness: runs linkers over generated data-set pairs and
+// aggregates the paper's quality measures across repetitions (the paper
+// averages 50 runs per configuration).
+
+#ifndef CBVLINK_EVAL_EXPERIMENT_H_
+#define CBVLINK_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/datagen/dataset.h"
+#include "src/eval/measures.h"
+#include "src/linkage/linker.h"
+
+namespace cbvlink {
+
+/// Outcome of one linkage run evaluated against ground truth.
+struct ExperimentResult {
+  std::string method;
+  QualityMeasures quality;
+  LinkageResult linkage;
+};
+
+/// Runs `linker` over the data-set pair and scores it.
+Result<ExperimentResult> RunLinkage(Linker& linker, const LinkagePair& data);
+
+/// Mean measures across repetitions.
+struct AveragedResult {
+  double pairs_completeness = 0.0;
+  double pairs_quality = 0.0;
+  double reduction_ratio = 0.0;
+  double embed_seconds = 0.0;
+  double index_seconds = 0.0;
+  double match_seconds = 0.0;
+  double total_seconds = 0.0;
+  double comparisons = 0.0;
+  double blocking_groups = 0.0;
+  size_t repetitions = 0;
+};
+
+/// Averages a batch of results (typically repetitions of one
+/// configuration with different seeds).
+AveragedResult Average(const std::vector<ExperimentResult>& results);
+
+/// Runs `repetitions` rounds: each round regenerates the data with a
+/// fresh seed, rebuilds a linker via `make_linker(round_seed)`, links,
+/// and scores.  Returns the averaged measures.
+Result<AveragedResult> RunRepeated(
+    const RecordGenerator& generator, const PerturbationScheme& scheme,
+    LinkagePairOptions data_options, size_t repetitions,
+    const std::function<Result<std::unique_ptr<Linker>>(uint64_t seed)>&
+        make_linker);
+
+/// Reads the benchmark scale from the CBVLINK_RECORDS environment
+/// variable, falling back to `fallback` when unset or unparsable.  Lets
+/// the benches run at the paper's 1M scale on demand.
+size_t RecordsFromEnv(size_t fallback);
+
+/// Reads the repetition count from CBVLINK_REPS (same contract).
+size_t RepetitionsFromEnv(size_t fallback);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EVAL_EXPERIMENT_H_

@@ -1,0 +1,44 @@
+#include "src/eval/measures.h"
+
+namespace cbvlink {
+
+PairSet TruthPairs(const std::vector<GroundTruthEntry>& truth) {
+  PairSet pairs;
+  pairs.reserve(truth.size());
+  for (const GroundTruthEntry& entry : truth) pairs.insert(entry.pair);
+  return pairs;
+}
+
+QualityMeasures ComputeQuality(const std::vector<IdPair>& found,
+                               const PairSet& truth, uint64_t candidate_pairs,
+                               size_t size_a, size_t size_b) {
+  PairSet unique_found;
+  unique_found.reserve(found.size());
+  for (const IdPair& pair : found) unique_found.insert(pair);
+
+  uint64_t hits = 0;
+  for (const IdPair& pair : unique_found) {
+    if (truth.contains(pair)) ++hits;
+  }
+
+  QualityMeasures q;
+  q.true_matches_found = hits;
+  q.total_true_matches = truth.size();
+  q.candidate_pairs = candidate_pairs;
+  q.pairs_completeness =
+      truth.empty() ? 1.0
+                    : static_cast<double>(hits) /
+                          static_cast<double>(truth.size());
+  q.pairs_quality = candidate_pairs == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(candidate_pairs);
+  const double space =
+      static_cast<double>(size_a) * static_cast<double>(size_b);
+  q.reduction_ratio =
+      space == 0.0 ? 0.0
+                   : 1.0 - static_cast<double>(candidate_pairs) / space;
+  return q;
+}
+
+}  // namespace cbvlink

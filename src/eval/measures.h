@@ -1,0 +1,57 @@
+// Blocking/matching quality measures (Section 6): Pairs Completeness,
+// Pairs Quality, and Reduction Ratio.
+//
+//   PC = |M_found ∩ M| / |M|         — accuracy of finding true matches
+//   PQ = |M_found ∩ M| / |CR|        — efficiency of the candidate set
+//   RR = 1 - |CR| / (|A| * |B|)      — comparison-space reduction
+//
+// where M is the ground truth and CR the set of candidate pairs actually
+// compared.
+
+#ifndef CBVLINK_EVAL_MEASURES_H_
+#define CBVLINK_EVAL_MEASURES_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/hashing.h"
+#include "src/common/record.h"
+#include "src/datagen/dataset.h"
+
+namespace cbvlink {
+
+/// Hash functor so IdPair can key unordered containers.
+struct IdPairHash {
+  size_t operator()(const IdPair& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(p.a_id), p.b_id));
+  }
+};
+
+/// A set of record pairs.
+using PairSet = std::unordered_set<IdPair, IdPairHash>;
+
+/// Builds a PairSet from ground-truth entries.
+PairSet TruthPairs(const std::vector<GroundTruthEntry>& truth);
+
+/// The three measures plus their raw ingredients.
+struct QualityMeasures {
+  double pairs_completeness = 0.0;
+  double pairs_quality = 0.0;
+  double reduction_ratio = 0.0;
+  uint64_t true_matches_found = 0;
+  uint64_t total_true_matches = 0;
+  uint64_t candidate_pairs = 0;  // |CR|
+};
+
+/// Computes the measures for a linkage outcome.  `found` may contain
+/// duplicates (they are collapsed); `candidate_pairs` is the |CR| reported
+/// by the matcher; `size_a * size_b` is the full comparison space.
+QualityMeasures ComputeQuality(const std::vector<IdPair>& found,
+                               const PairSet& truth, uint64_t candidate_pairs,
+                               size_t size_a, size_t size_b);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_EVAL_MEASURES_H_

@@ -1,0 +1,143 @@
+#include "src/io/csv_reader.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // escaped quote
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("unexpected quote mid-field at position %zu", i));
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<CsvDataset> ReadCsvDataset(const std::string& path,
+                                  const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open CSV file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("CSV file is empty: " + path);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  Result<std::vector<std::string>> header = ParseCsvLine(line);
+  if (!header.ok()) return header.status();
+
+  // Resolve the id column and the attribute columns.
+  const auto find_column = [&](const std::string& name) -> int {
+    const auto it =
+        std::find(header.value().begin(), header.value().end(), name);
+    return it == header.value().end()
+               ? -1
+               : static_cast<int>(it - header.value().begin());
+  };
+
+  const int id_index = find_column(options.id_column);
+
+  CsvDataset dataset;
+  std::vector<int> attr_indexes;
+  if (options.attribute_columns.empty()) {
+    for (size_t c = 0; c < header.value().size(); ++c) {
+      if (static_cast<int>(c) == id_index) continue;
+      attr_indexes.push_back(static_cast<int>(c));
+      dataset.attribute_names.push_back(header.value()[c]);
+    }
+  } else {
+    for (const std::string& name : options.attribute_columns) {
+      const int idx = find_column(name);
+      if (idx < 0) {
+        return Status::InvalidArgument("column not found: " + name);
+      }
+      attr_indexes.push_back(idx);
+      dataset.attribute_names.push_back(name);
+    }
+  }
+  if (attr_indexes.empty()) {
+    return Status::InvalidArgument("no attribute columns selected");
+  }
+
+  RecordId auto_id = options.first_auto_id;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %s", line_no,
+                    std::string(fields.status().message()).c_str()));
+    }
+    if (fields.value().size() != header.value().size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: %zu fields, header has %zu", line_no,
+                    fields.value().size(), header.value().size()));
+    }
+    Record record;
+    if (id_index >= 0) {
+      const std::string& raw = fields.value()[static_cast<size_t>(id_index)];
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
+      if (end == raw.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: unparsable id '%s'", line_no, raw.c_str()));
+      }
+      record.id = static_cast<RecordId>(parsed);
+    } else {
+      record.id = auto_id++;
+    }
+    record.fields.reserve(attr_indexes.size());
+    for (int idx : attr_indexes) {
+      record.fields.push_back(fields.value()[static_cast<size_t>(idx)]);
+    }
+    dataset.records.push_back(std::move(record));
+  }
+  return dataset;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,49 @@
+// CSV record loading: the input format of the command-line linker and
+// the natural way for downstream users to feed their own data sets.
+//
+// Format: RFC-4180-style CSV with a header row.  One column is the record
+// identifier (default "id"; when absent, row numbers are used); every
+// other selected column becomes a linkage attribute in header order.
+
+#ifndef CBVLINK_IO_CSV_READER_H_
+#define CBVLINK_IO_CSV_READER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Splits one CSV line honoring double-quote escaping.  Exposed for
+/// testing and reuse.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// A loaded data set: attribute names plus records.
+struct CsvDataset {
+  std::vector<std::string> attribute_names;
+  std::vector<Record> records;
+};
+
+/// Options for ReadCsvDataset.
+struct CsvReadOptions {
+  /// Name of the id column; when the header lacks it, sequential row
+  /// numbers starting at `first_auto_id` are assigned.
+  std::string id_column = "id";
+  RecordId first_auto_id = 0;
+  /// Columns to use as attributes, in this order.  Empty = every
+  /// non-id column in header order.
+  std::vector<std::string> attribute_columns;
+};
+
+/// Reads a CSV file into records.  Returns IOError when the file cannot
+/// be opened, InvalidArgument on malformed rows (wrong field count,
+/// unparsable id, duplicate or missing requested columns).
+Result<CsvDataset> ReadCsvDataset(const std::string& path,
+                                  const CsvReadOptions& options = {});
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_IO_CSV_READER_H_

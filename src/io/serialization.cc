@@ -1,0 +1,131 @@
+#include "src/io/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4c564243;  // "CBVL" little-endian
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char buf[4];
+  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+bool GetU64(std::istream& in, uint64_t* v) {
+  unsigned char buf[8];
+  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return true;
+}
+
+}  // namespace
+
+Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
+                           std::ostream& out) {
+  const uint64_t bits = records.empty() ? 0 : records.front().bits.size();
+  for (const EncodedRecord& r : records) {
+    if (r.bits.size() != bits) {
+      return Status::InvalidArgument(
+          StrFormat("record %llu has %zu bits, expected %llu",
+                    static_cast<unsigned long long>(r.id), r.bits.size(),
+                    static_cast<unsigned long long>(bits)));
+    }
+  }
+  PutU32(out, kMagic);
+  PutU32(out, kVersion);
+  PutU64(out, records.size());
+  PutU64(out, bits);
+  for (const EncodedRecord& r : records) {
+    PutU64(out, r.id);
+    for (uint64_t word : r.bits.words()) PutU64(out, word);
+  }
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteEncodedRecordsToFile(const std::vector<EncodedRecord>& records,
+                                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  return WriteEncodedRecords(records, out);
+}
+
+Result<std::vector<EncodedRecord>> ReadEncodedRecords(std::istream& in) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  uint64_t bits = 0;
+  if (!GetU32(in, &magic) || !GetU32(in, &version) || !GetU64(in, &count) ||
+      !GetU64(in, &bits)) {
+    return Status::IOError("truncated header");
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a cbvlink encoded-record file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported version %u", version));
+  }
+  const size_t words_per_record = (static_cast<size_t>(bits) + 63) / 64;
+  std::vector<EncodedRecord> records;
+  records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    EncodedRecord r;
+    if (!GetU64(in, &r.id)) {
+      return Status::IOError(
+          StrFormat("truncated at record %llu",
+                    static_cast<unsigned long long>(i)));
+    }
+    r.bits = BitVector(static_cast<size_t>(bits));
+    for (size_t w = 0; w < words_per_record; ++w) {
+      uint64_t word = 0;
+      if (!GetU64(in, &word)) {
+        return Status::IOError(
+            StrFormat("truncated inside record %llu",
+                      static_cast<unsigned long long>(i)));
+      }
+      // Reconstruct bit by bit within the word to stay independent of
+      // BitVector's internal layout guarantees.
+      for (size_t b = 0; b < 64; ++b) {
+        const size_t pos = w * 64 + b;
+        if (pos >= bits) break;
+        if ((word >> b) & 1) r.bits.Set(pos);
+      }
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  return ReadEncodedRecords(in);
+}
+
+}  // namespace cbvlink

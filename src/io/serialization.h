@@ -1,0 +1,45 @@
+// Binary serialization of encoded record sets.
+//
+// The paper's motivation for compact embeddings is distributed settings
+// where custodians ship embeddings instead of strings (Sections 1 and
+// 5.2).  This module defines that wire format: a small header
+// (magic, version, record-vector width, count) followed by fixed-width
+// (id, bits) entries, so a 120-bit NCVR record costs 8 + 16 bytes on
+// disk/wire.
+//
+// Layout (little-endian):
+//   u32 magic 'CBVL'   u32 version   u64 num_records   u64 bits_per_record
+//   repeated: u64 id, ceil(bits/64) * u64 words
+
+#ifndef CBVLINK_IO_SERIALIZATION_H_
+#define CBVLINK_IO_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+
+namespace cbvlink {
+
+/// Writes encoded records (all of equal width) to a stream.  Returns
+/// InvalidArgument on width mismatches, IOError on stream failure.
+Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
+                           std::ostream& out);
+
+/// Writes to a file path.
+Status WriteEncodedRecordsToFile(const std::vector<EncodedRecord>& records,
+                                 const std::string& path);
+
+/// Reads an encoded record set.  Returns InvalidArgument on a corrupt or
+/// foreign header and IOError on truncated input.
+Result<std::vector<EncodedRecord>> ReadEncodedRecords(std::istream& in);
+
+/// Reads from a file path.
+Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
+    const std::string& path);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_IO_SERIALIZATION_H_

@@ -1,0 +1,67 @@
+#include "src/linkage/bfh_linker.h"
+
+#include "src/blocking/record_blocker.h"
+#include "src/common/stopwatch.h"
+
+namespace cbvlink {
+
+Result<BfhLinker> BfhLinker::Create(BfhConfig config) {
+  if (config.schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  CBVLINK_RETURN_NOT_OK(config.rule.Validate(config.schema.num_attributes()));
+  if (config.K == 0) return Status::InvalidArgument("K must be positive");
+  return BfhLinker(std::move(config));
+}
+
+Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
+                                      const std::vector<Record>& b) {
+  Rng rng(config_.seed);
+  LinkageResult result;
+  Stopwatch watch;
+
+  // --- Embedding ----------------------------------------------------------
+  Result<BloomRecordEncoder> encoder =
+      BloomRecordEncoder::Create(config_.schema, config_.bloom);
+  if (!encoder.ok()) return encoder.status();
+
+  std::vector<EncodedRecord> encoded_a;
+  encoded_a.reserve(a.size());
+  for (const Record& record : a) {
+    Result<EncodedRecord> enc = encoder.value().Encode(record);
+    if (!enc.ok()) return enc.status();
+    encoded_a.push_back(std::move(enc).value());
+  }
+  std::vector<EncodedRecord> encoded_b;
+  encoded_b.reserve(b.size());
+  for (const Record& record : b) {
+    Result<EncodedRecord> enc = encoder.value().Encode(record);
+    if (!enc.ok()) return enc.status();
+    encoded_b.push_back(std::move(enc).value());
+  }
+  result.embed_seconds = watch.ElapsedSeconds();
+
+  // --- Blocking: standard record-level HB ---------------------------------
+  watch.Restart();
+  Result<RecordLevelBlocker> blocker =
+      RecordLevelBlocker::Create(encoder.value().total_bits(), config_.K,
+                                 config_.record_theta, config_.delta, rng);
+  if (!blocker.ok()) return blocker.status();
+  blocker.value().Index(encoded_a);
+  result.blocking_groups = blocker.value().L();
+
+  VectorStore store_a;
+  store_a.AddAll(encoded_a);
+  result.index_seconds = watch.ElapsedSeconds();
+
+  // --- Matching: attribute thresholds on filter segments ------------------
+  watch.Restart();
+  Matcher matcher(&blocker.value(), &store_a);
+  const PairClassifier classifier =
+      MakeRuleClassifier(config_.rule, encoder.value().layout());
+  result.matches = matcher.MatchAll(encoded_b, classifier, &result.stats);
+  result.match_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cbvlink

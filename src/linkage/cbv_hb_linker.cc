@@ -1,0 +1,141 @@
+#include "src/linkage/cbv_hb_linker.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/blocking/attribute_blocker.h"
+#include "src/blocking/record_blocker.h"
+#include "src/common/stopwatch.h"
+#include "src/common/str.h"
+#include "src/common/thread_pool.h"
+
+namespace cbvlink {
+
+Result<CbvHbLinker> CbvHbLinker::Create(CbvHbConfig config) {
+  if (config.schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  CBVLINK_RETURN_NOT_OK(config.rule.Validate(config.schema.num_attributes()));
+  if (config.attribute_level_blocking &&
+      config.attribute_K.size() != config.schema.num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("attribute-level blocking needs %zu K values, got %zu",
+                  config.schema.num_attributes(),
+                  config.attribute_K.size()));
+  }
+  if (!config.expected_qgrams.empty() &&
+      config.expected_qgrams.size() != config.schema.num_attributes()) {
+    return Status::InvalidArgument("expected_qgrams size mismatch");
+  }
+  return CbvHbLinker(std::move(config));
+}
+
+Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
+                                        const std::vector<Record>& b) {
+  Rng rng(config_.seed);
+  LinkageResult result;
+  Stopwatch watch;
+
+  // --- Embedding ---------------------------------------------------------
+  std::vector<double> expected = config_.expected_qgrams;
+  if (expected.empty()) {
+    // Charlie samples the records to estimate b^(f_i) (Section 5.2).
+    std::vector<Record> sample;
+    const size_t n = std::min(config_.estimation_sample, a.size());
+    sample.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      sample.push_back(a[a.size() <= config_.estimation_sample
+                             ? i
+                             : rng.Below(a.size())]);
+    }
+    expected = EstimateExpectedQGrams(config_.schema, sample);
+  }
+
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      config_.schema, expected, rng, config_.sizing);
+  if (!encoder.ok()) return encoder.status();
+  encoder_.emplace(std::move(encoder).value());
+
+  // Embedding is embarrassingly parallel over records; encode both data
+  // sets on the pool when more than one worker is configured.
+  const auto encode_all =
+      [&](const std::vector<Record>& records,
+          std::vector<EncodedRecord>* out) -> Status {
+    out->resize(records.size());
+    Status first_error;
+    std::mutex error_mu;
+    const auto encode_range = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Result<EncodedRecord> enc = encoder_->Encode(records[i]);
+        if (!enc.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = enc.status();
+          return;
+        }
+        (*out)[i] = std::move(enc).value();
+      }
+    };
+    if (config_.num_threads == 1) {
+      encode_range(0, records.size());
+    } else {
+      ThreadPool pool(config_.num_threads);
+      pool.ParallelFor(records.size(),
+                       [&](size_t, size_t begin, size_t end) {
+                         encode_range(begin, end);
+                       });
+    }
+    return first_error;
+  };
+
+  std::vector<EncodedRecord> encoded_a;
+  CBVLINK_RETURN_NOT_OK(encode_all(a, &encoded_a));
+  std::vector<EncodedRecord> encoded_b;
+  CBVLINK_RETURN_NOT_OK(encode_all(b, &encoded_b));
+  result.embed_seconds = watch.ElapsedSeconds();
+
+  // --- Blocking ----------------------------------------------------------
+  watch.Restart();
+  std::optional<RecordLevelBlocker> record_blocker;
+  std::optional<AttributeLevelBlocker> attribute_blocker;
+  const CandidateSource* source = nullptr;
+
+  if (config_.attribute_level_blocking) {
+    AttributeBlockerOptions options;
+    options.attribute_K = config_.attribute_K;
+    options.delta = config_.delta;
+    Result<AttributeLevelBlocker> blocker = AttributeLevelBlocker::Create(
+        config_.rule, encoder_->layout(), options, rng);
+    if (!blocker.ok()) return blocker.status();
+    attribute_blocker.emplace(std::move(blocker).value());
+    attribute_blocker->Index(encoded_a);
+    for (size_t s = 0; s < attribute_blocker->num_structures(); ++s) {
+      result.blocking_groups += attribute_blocker->structure_L(s);
+    }
+    source = &*attribute_blocker;
+  } else {
+    Result<RecordLevelBlocker> blocker =
+        RecordLevelBlocker::Create(encoder_->total_bits(), config_.record_K,
+                                   config_.record_theta, config_.delta, rng);
+    if (!blocker.ok()) return blocker.status();
+    record_blocker.emplace(std::move(blocker).value());
+    record_blocker->Index(encoded_a);
+    result.blocking_groups = record_blocker->L();
+    source = &*record_blocker;
+  }
+
+  VectorStore store_a;
+  store_a.AddAll(encoded_a);
+  result.index_seconds = watch.ElapsedSeconds();
+
+  // --- Matching (Algorithm 2) --------------------------------------------
+  watch.Restart();
+  Matcher matcher(source, &store_a);
+  const PairClassifier classifier =
+      MakeRuleClassifier(config_.rule, encoder_->layout());
+  result.matches =
+      matcher.MatchAll(encoded_b, classifier, &result.stats);
+  result.match_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,66 @@
+#include "src/linkage/classic_linker.h"
+
+#include "src/common/stopwatch.h"
+#include "src/metrics/edit_distance.h"
+#include "src/text/normalize.h"
+
+namespace cbvlink {
+
+Result<ClassicLinker> ClassicLinker::Create(ClassicConfig config) {
+  if (config.edit_thresholds.empty()) {
+    return Status::InvalidArgument(
+        "classic linker needs at least one edit threshold");
+  }
+  return ClassicLinker(std::move(config));
+}
+
+Result<LinkageResult> ClassicLinker::Link(const std::vector<Record>& a,
+                                          const std::vector<Record>& b) {
+  LinkageResult result;
+  Stopwatch watch;
+
+  // Index records by id for candidate resolution.  Classic methods skip
+  // the embedding step entirely (embed_seconds stays 0).
+  std::unordered_map<RecordId, const Record*> by_id_a;
+  std::unordered_map<RecordId, const Record*> by_id_b;
+  by_id_a.reserve(a.size());
+  by_id_b.reserve(b.size());
+  for (const Record& r : a) by_id_a.emplace(r.id, &r);
+  for (const Record& r : b) by_id_b.emplace(r.id, &r);
+
+  Result<std::vector<IdPair>> candidates =
+      config_.blocking == ClassicBlocking::kSortedNeighborhood
+          ? SortedNeighborhoodCandidates(a, b, config_.sorted_neighborhood)
+          : CanopyCandidates(a, b, config_.canopy);
+  if (!candidates.ok()) return candidates.status();
+  result.index_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  for (const IdPair& pair : candidates.value()) {
+    ++result.stats.candidate_occurrences;
+    const auto it_a = by_id_a.find(pair.a_id);
+    const auto it_b = by_id_b.find(pair.b_id);
+    if (it_a == by_id_a.end() || it_b == by_id_b.end()) continue;
+    ++result.stats.comparisons;
+    const Record& ra = *it_a->second;
+    const Record& rb = *it_b->second;
+    bool match = true;
+    const size_t nf = std::min(ra.fields.size(), rb.fields.size());
+    for (size_t i = 0; i < nf && i < config_.edit_thresholds.size(); ++i) {
+      const std::string na = Normalize(ra.fields[i], Alphabet::Alphanumeric());
+      const std::string nb = Normalize(rb.fields[i], Alphabet::Alphanumeric());
+      if (!EditDistanceWithin(na, nb, config_.edit_thresholds[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      ++result.stats.matches;
+      result.matches.push_back(pair);
+    }
+  }
+  result.match_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,56 @@
+// Classic blocking + edit-distance matching pipelines: the sorted
+// neighborhood method and canopy clustering (Section 2's related work),
+// matching candidate pairs directly in the original space E with the
+// banded Levenshtein test.
+//
+// These linkers exist as reference points: they need no embedding at all
+// but provide no completeness guarantee and compare strings, not bits —
+// exactly the trade-off the paper's compact Hamming space removes.
+
+#ifndef CBVLINK_LINKAGE_CLASSIC_LINKER_H_
+#define CBVLINK_LINKAGE_CLASSIC_LINKER_H_
+
+#include <unordered_map>
+
+#include "src/blocking/classic.h"
+#include "src/linkage/linker.h"
+
+namespace cbvlink {
+
+/// Which classic blocking method drives candidate generation.
+enum class ClassicBlocking { kSortedNeighborhood, kCanopy };
+
+/// Configuration for the classic pipelines.
+struct ClassicConfig {
+  ClassicBlocking blocking = ClassicBlocking::kSortedNeighborhood;
+  SortedNeighborhoodOptions sorted_neighborhood;
+  CanopyOptions canopy;
+  /// Edit-distance threshold per attribute (theta_E^(f_i)); a pair
+  /// matches when every attribute is within its threshold.  Attributes
+  /// beyond the vector are unconstrained.
+  std::vector<size_t> edit_thresholds;
+};
+
+/// The classic linker.
+class ClassicLinker : public Linker {
+ public:
+  static Result<ClassicLinker> Create(ClassicConfig config);
+
+  std::string_view name() const override {
+    return config_.blocking == ClassicBlocking::kSortedNeighborhood
+               ? "SortedNbh"
+               : "Canopy";
+  }
+
+  Result<LinkageResult> Link(const std::vector<Record>& a,
+                             const std::vector<Record>& b) override;
+
+ private:
+  explicit ClassicLinker(ClassicConfig config) : config_(std::move(config)) {}
+
+  ClassicConfig config_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LINKAGE_CLASSIC_LINKER_H_

@@ -1,0 +1,49 @@
+#include "src/linkage/dedup.h"
+
+#include <unordered_map>
+
+#include "src/common/union_find.h"
+#include "src/linkage/online_linker.h"
+
+namespace cbvlink {
+
+Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
+                                   const CbvHbConfig& config) {
+  // The online linker's match-then-insert loop visits each unordered
+  // pair at most once (a record only probes those inserted before it).
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(config, records);
+  if (!linker.ok()) return linker.status();
+
+  DedupResult result;
+  result.blocking_groups = linker.value().blocking_groups();
+  for (const Record& record : records) {
+    CBVLINK_RETURN_NOT_OK(
+        linker.value().MatchAndInsert(record, &result.duplicate_pairs));
+  }
+  result.stats = linker.value().stats();
+
+  // Consolidate pairwise matches into clusters over dense positions.
+  std::unordered_map<RecordId, size_t> position;
+  position.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    position.emplace(records[i].id, i);
+  }
+  UnionFind sets(records.size());
+  for (const IdPair& pair : result.duplicate_pairs) {
+    const auto a = position.find(pair.a_id);
+    const auto b = position.find(pair.b_id);
+    if (a != position.end() && b != position.end()) {
+      sets.Union(a->second, b->second);
+    }
+  }
+  for (const std::vector<size_t>& members : sets.Sets()) {
+    std::vector<RecordId> cluster;
+    cluster.reserve(members.size());
+    for (size_t index : members) cluster.push_back(records[index].id);
+    result.clusters.push_back(std::move(cluster));
+  }
+  return result;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,9 @@
+#include "src/linkage/linker.h"
+
+namespace cbvlink {
+
+// Linker is a pure interface; this translation unit anchors its vtable /
+// key function so every user does not emit a copy.
+Linker::~Linker() = default;
+
+}  // namespace cbvlink

@@ -1,0 +1,153 @@
+#include "src/linkage/smeb_linker.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/stopwatch.h"
+#include "src/lsh/blocking_table.h"
+#include "src/lsh/euclidean_lsh.h"
+#include "src/lsh/params.h"
+#include "src/metrics/euclidean.h"
+#include "src/text/normalize.h"
+
+namespace cbvlink {
+
+Result<SmEbLinker> SmEbLinker::Create(SmEbConfig config) {
+  if (config.schema.num_attributes() == 0) {
+    return Status::InvalidArgument("schema has no attributes");
+  }
+  if (config.thresholds.empty()) {
+    return Status::InvalidArgument("SM-EB needs at least one threshold");
+  }
+  if (config.K == 0) return Status::InvalidArgument("K must be positive");
+  if (config.width <= 0.0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  return SmEbLinker(std::move(config));
+}
+
+Result<LinkageResult> SmEbLinker::Link(const std::vector<Record>& a,
+                                       const std::vector<Record>& b) {
+  Rng rng(config_.seed);
+  LinkageResult result;
+  Stopwatch watch;
+
+  const size_t nf = config_.schema.num_attributes();
+  const size_t d = config_.stringmap.dimensions;
+
+  // --- Embedding: train one StringMap per attribute, embed all records ----
+  std::vector<StringMapEmbedder> embedders;
+  embedders.reserve(nf);
+  for (size_t attr = 0; attr < nf; ++attr) {
+    const AttributeSpec& spec = config_.schema.attributes[attr];
+    // Pool normalized values from both data sets (the paper's StringMap
+    // "iterates the strings of both data sets" to form the axes).
+    std::vector<std::string> corpus;
+    corpus.reserve(a.size() + b.size());
+    for (const Record& r : a) {
+      if (attr < r.fields.size()) {
+        corpus.push_back(Normalize(r.fields[attr], *spec.alphabet));
+      }
+    }
+    for (const Record& r : b) {
+      if (attr < r.fields.size()) {
+        corpus.push_back(Normalize(r.fields[attr], *spec.alphabet));
+      }
+    }
+    StringMapOptions options = config_.stringmap;
+    options.seed = config_.seed + attr * 1000003ULL;
+    Result<StringMapEmbedder> embedder =
+        StringMapEmbedder::Train(corpus, options);
+    if (!embedder.ok()) return embedder.status();
+    embedders.push_back(std::move(embedder).value());
+  }
+
+  const auto embed_record =
+      [&](const Record& record) -> std::vector<double> {
+    std::vector<double> out;
+    out.reserve(nf * d);
+    for (size_t attr = 0; attr < nf; ++attr) {
+      const AttributeSpec& spec = config_.schema.attributes[attr];
+      const std::vector<double> coords = embedders[attr].Embed(
+          Normalize(record.fields[attr], *spec.alphabet));
+      out.insert(out.end(), coords.begin(), coords.end());
+    }
+    return out;
+  };
+
+  std::vector<std::vector<double>> points_a(a.size());
+  std::vector<std::vector<double>> points_b(b.size());
+  for (size_t i = 0; i < a.size(); ++i) points_a[i] = embed_record(a[i]);
+  for (size_t j = 0; j < b.size(); ++j) points_b[j] = embed_record(b[j]);
+  result.embed_seconds = watch.ElapsedSeconds();
+
+  // --- Blocking: p-stable LSH over the concatenated vectors ---------------
+  watch.Restart();
+  size_t L = config_.L;
+  if (L == 0) {
+    double c2 = 0.0;
+    for (double theta : config_.thresholds) c2 += theta * theta;
+    Result<double> p =
+        EuclideanBaseProbability(std::sqrt(c2), config_.width);
+    if (!p.ok()) return p.status();
+    Result<size_t> computed =
+        OptimalGroups(p.value(), config_.K, config_.delta);
+    if (!computed.ok()) return computed.status();
+    L = computed.value();
+  }
+  result.blocking_groups = L;
+
+  Result<EuclideanLshFamily> family =
+      EuclideanLshFamily::Create(config_.K, L, nf * d, config_.width, rng);
+  if (!family.ok()) return family.status();
+
+  std::vector<BlockingTable> tables(L);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t l = 0; l < L; ++l) {
+      tables[l].Insert(family.value().Key(points_a[i], l),
+                       static_cast<RecordId>(i));
+    }
+  }
+  result.index_seconds = watch.ElapsedSeconds();
+
+  // --- Matching: attribute-level Euclidean thresholds, AND semantics ------
+  watch.Restart();
+  const auto classify = [&](const std::vector<double>& pa,
+                            const std::vector<double>& pb) {
+    for (size_t attr = 0; attr < nf && attr < config_.thresholds.size();
+         ++attr) {
+      double dist2 = 0.0;
+      for (size_t k = attr * d; k < (attr + 1) * d; ++k) {
+        const double diff = pa[k] - pb[k];
+        dist2 += diff * diff;
+      }
+      const double theta = config_.thresholds[attr];
+      if (dist2 > theta * theta) return false;
+    }
+    return true;
+  };
+
+  for (size_t j = 0; j < b.size(); ++j) {
+    std::unordered_set<RecordId> compared;
+    for (size_t l = 0; l < L; ++l) {
+      const uint64_t key = family.value().Key(points_b[j], l);
+      for (RecordId ai : tables[l].Get(key)) {
+        ++result.stats.candidate_occurrences;
+        if (!compared.insert(ai).second) {
+          ++result.stats.dedup_skipped;
+          continue;
+        }
+        ++result.stats.comparisons;
+        if (classify(points_a[static_cast<size_t>(ai)], points_b[j])) {
+          ++result.stats.matches;
+          result.matches.push_back(
+              IdPair{a[static_cast<size_t>(ai)].id, b[j].id});
+        }
+      }
+    }
+  }
+  result.match_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,19 @@
+#include "src/lsh/blocking_table.h"
+
+#include <algorithm>
+
+namespace cbvlink {
+
+void BlockingTable::Erase(RecordId id) {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    std::vector<RecordId>& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (bucket.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,73 @@
+// The blocking hash table T_l (Section 4.2).
+//
+// A BlockingTable maps 64-bit composite blocking keys to buckets of record
+// identifiers.  Per footnote 2 of the paper, only Ids are stored — the
+// vectors themselves live with their owner.  The table also exposes bucket
+// statistics, which the evaluation uses to diagnose the "few overpopulated
+// buckets" failure mode of sparse q-gram vectors (Section 5.2).
+
+#ifndef CBVLINK_LSH_BLOCKING_TABLE_H_
+#define CBVLINK_LSH_BLOCKING_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/record.h"
+
+namespace cbvlink {
+
+/// One blocking group's hash table: key -> bucket of Ids.
+class BlockingTable {
+ public:
+  BlockingTable() = default;
+
+  /// Appends `id` to the bucket for `key`.
+  void Insert(uint64_t key, RecordId id) { buckets_[key].push_back(id); }
+
+  /// The bucket for `key`; empty when no record hashed there.
+  std::span<const RecordId> Get(uint64_t key) const {
+    const auto it = buckets_.find(key);
+    if (it == buckets_.end()) return {};
+    return it->second;
+  }
+
+  /// Number of non-empty buckets.
+  size_t NumBuckets() const { return buckets_.size(); }
+
+  /// Total stored Ids across buckets.
+  size_t NumEntries() const {
+    size_t total = 0;
+    for (const auto& [key, bucket] : buckets_) total += bucket.size();
+    return total;
+  }
+
+  /// Size of the largest bucket (0 for an empty table).
+  size_t MaxBucketSize() const {
+    size_t best = 0;
+    for (const auto& [key, bucket] : buckets_) {
+      if (bucket.size() > best) best = bucket.size();
+    }
+    return best;
+  }
+
+  /// Removes every bucket.
+  void Clear() { buckets_.clear(); }
+
+  /// Removes `id` from every bucket it appears in (linear scan; used by
+  /// HARRA's iterative early-pruning, which operates one table at a time).
+  void Erase(RecordId id);
+
+  /// Iteration over buckets (key, ids).
+  const std::unordered_map<uint64_t, std::vector<RecordId>>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<RecordId>> buckets_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LSH_BLOCKING_TABLE_H_

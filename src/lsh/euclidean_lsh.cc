@@ -1,0 +1,51 @@
+#include "src/lsh/euclidean_lsh.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/hashing.h"
+
+namespace cbvlink {
+
+Result<EuclideanLshFamily> EuclideanLshFamily::Create(size_t K, size_t L,
+                                                      size_t dimensions,
+                                                      double width, Rng& rng) {
+  if (K == 0) return Status::InvalidArgument("K must be positive");
+  if (L == 0) return Status::InvalidArgument("L must be positive");
+  if (dimensions == 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (width <= 0.0) {
+    return Status::InvalidArgument("bucket width must be positive");
+  }
+  std::vector<Projection> projections;
+  projections.reserve(K * L);
+  for (size_t i = 0; i < K * L; ++i) {
+    Projection proj;
+    proj.direction.reserve(dimensions);
+    for (size_t d = 0; d < dimensions; ++d) {
+      proj.direction.push_back(rng.NextGaussian());
+    }
+    proj.shift = rng.NextDouble() * width;
+    projections.push_back(std::move(proj));
+  }
+  return EuclideanLshFamily(K, L, dimensions, width, std::move(projections));
+}
+
+uint64_t EuclideanLshFamily::Key(const std::vector<double>& point,
+                                 size_t l) const {
+  assert(point.size() == dimensions_);
+  uint64_t acc = Mix64(l + 1);
+  for (size_t k = 0; k < K_; ++k) {
+    const Projection& proj = projections_[l * K_ + k];
+    double dot = proj.shift;
+    for (size_t d = 0; d < dimensions_; ++d) {
+      dot += proj.direction[d] * point[d];
+    }
+    const auto bucket = static_cast<int64_t>(std::floor(dot / width_));
+    acc = HashCombine(acc, static_cast<uint64_t>(bucket));
+  }
+  return acc;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,63 @@
+// p-stable Euclidean LSH (Datar, Immorlica, Indyk & Mirrokni, SCG 2004) —
+// the blocking mechanism of the SM-EB baseline (Section 6.1).
+//
+// A base function projects a point onto a random Gaussian direction,
+// shifts it by a uniform offset, and quantizes into buckets of width w:
+//   h(v) = floor((a . v + b) / w).
+// Nearby points land in the same bucket with the probability given by
+// EuclideanBaseProbability() in lsh/params.h.
+
+#ifndef CBVLINK_LSH_EUCLIDEAN_LSH_H_
+#define CBVLINK_LSH_EUCLIDEAN_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// A family of L composite functions of K p-stable projections each, over
+/// d-dimensional real vectors.
+class EuclideanLshFamily {
+ public:
+  /// Creates the family.  Returns InvalidArgument for zero K/L/dimensions
+  /// or non-positive bucket width.
+  static Result<EuclideanLshFamily> Create(size_t K, size_t L,
+                                           size_t dimensions, double width,
+                                           Rng& rng);
+
+  size_t K() const { return K_; }
+  size_t L() const { return L_; }
+  size_t dimensions() const { return dimensions_; }
+  double width() const { return width_; }
+
+  /// Blocking key of `point` under the l-th composite function.  Requires
+  /// point.size() == dimensions().
+  uint64_t Key(const std::vector<double>& point, size_t l) const;
+
+ private:
+  struct Projection {
+    std::vector<double> direction;  // a ~ N(0,1)^d
+    double shift = 0.0;             // b ~ U[0, w)
+  };
+
+  EuclideanLshFamily(size_t K, size_t L, size_t dimensions, double width,
+                     std::vector<Projection> projections)
+      : K_(K),
+        L_(L),
+        dimensions_(dimensions),
+        width_(width),
+        projections_(std::move(projections)) {}
+
+  size_t K_;
+  size_t L_;
+  size_t dimensions_;
+  double width_;
+  std::vector<Projection> projections_;  // K*L projections, row-major by l
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LSH_EUCLIDEAN_LSH_H_

@@ -1,0 +1,60 @@
+#include "src/lsh/hamming_lsh.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+HammingHashFunction HammingHashFunction::Sample(size_t K, size_t offset,
+                                                size_t range_bits, Rng& rng) {
+  std::vector<uint32_t> positions;
+  positions.reserve(K);
+  for (size_t i = 0; i < K; ++i) {
+    positions.push_back(
+        static_cast<uint32_t>(offset + rng.Below(range_bits)));
+  }
+  return HammingHashFunction(std::move(positions));
+}
+
+uint64_t HammingHashFunction::Key(const BitVector& bv) const {
+  return KeyWithSeed(bv, 0);
+}
+
+uint64_t HammingHashFunction::KeyWithSeed(const BitVector& bv,
+                                          uint64_t seed) const {
+  // Pack sampled bits into 64-bit chunks and fold; for K <= 64 this is a
+  // single mix of the exact bit pattern, so distinct patterns get distinct
+  // keys up to 64-bit hash collisions.
+  uint64_t acc = seed;
+  uint64_t chunk = 0;
+  size_t bits_in_chunk = 0;
+  for (uint32_t pos : positions_) {
+    chunk = (chunk << 1) | static_cast<uint64_t>(bv.Test(pos));
+    if (++bits_in_chunk == 64) {
+      acc = HashCombine(acc, chunk);
+      chunk = 0;
+      bits_in_chunk = 0;
+    }
+  }
+  if (bits_in_chunk > 0) acc = HashCombine(acc, chunk);
+  return acc;
+}
+
+Result<HammingLshFamily> HammingLshFamily::Create(size_t K, size_t L,
+                                                  size_t offset,
+                                                  size_t range_bits,
+                                                  Rng& rng) {
+  if (K == 0) return Status::InvalidArgument("K must be positive");
+  if (L == 0) return Status::InvalidArgument("L must be positive");
+  if (range_bits == 0) {
+    return Status::InvalidArgument(
+        StrFormat("empty sampling range at offset %zu", offset));
+  }
+  std::vector<HammingHashFunction> functions;
+  functions.reserve(L);
+  for (size_t l = 0; l < L; ++l) {
+    functions.push_back(HammingHashFunction::Sample(K, offset, range_bits, rng));
+  }
+  return HammingLshFamily(K, std::move(functions));
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,84 @@
+// Hamming LSH — the HB mechanism's hash family (Section 4.2).
+//
+// A base hash function returns the bit at a uniformly sampled position; a
+// composite function h_l concatenates K base functions.  Two vectors at
+// Hamming distance u collide under h_l with probability >= (1 - u/m)^K
+// (Definition 3).  The family can be restricted to a bit range of the
+// record vector, which is how attribute-level h_l^(f_i) functions are
+// built (Section 5.4).
+
+#ifndef CBVLINK_LSH_HAMMING_LSH_H_
+#define CBVLINK_LSH_HAMMING_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitvector.h"
+#include "src/common/hashing.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// One composite hash function h_l: K sampled bit positions.
+class HammingHashFunction {
+ public:
+  /// Samples K positions uniformly (with replacement, as in [1]) from
+  /// [offset, offset + range_bits).
+  static HammingHashFunction Sample(size_t K, size_t offset,
+                                    size_t range_bits, Rng& rng);
+
+  /// The blocking key: the K sampled bits packed and mixed into 64 bits.
+  uint64_t Key(const BitVector& bv) const;
+
+  /// Raw blocking key of the K bits, without final mixing; `seed` lets
+  /// callers derive independent keys per table from one function.
+  uint64_t KeyWithSeed(const BitVector& bv, uint64_t seed) const;
+
+  const std::vector<uint32_t>& positions() const { return positions_; }
+
+ private:
+  explicit HammingHashFunction(std::vector<uint32_t> positions)
+      : positions_(std::move(positions)) {}
+
+  std::vector<uint32_t> positions_;
+};
+
+/// A family of L composite functions over (a range of) an m-bit space.
+class HammingLshFamily {
+ public:
+  /// Creates L composite functions of K base samples over the bit range
+  /// [offset, offset + range_bits).  Returns InvalidArgument for zero
+  /// K, L, or range.
+  static Result<HammingLshFamily> Create(size_t K, size_t L, size_t offset,
+                                         size_t range_bits, Rng& rng);
+
+  /// Convenience: range = the whole vector [0, num_bits).
+  static Result<HammingLshFamily> CreateFull(size_t K, size_t L,
+                                             size_t num_bits, Rng& rng) {
+    return Create(K, L, 0, num_bits, rng);
+  }
+
+  size_t K() const { return K_; }
+  size_t L() const { return functions_.size(); }
+
+  /// Blocking key of vector `bv` under h_l.
+  uint64_t Key(const BitVector& bv, size_t l) const {
+    return functions_[l].Key(bv);
+  }
+
+  const HammingHashFunction& function(size_t l) const {
+    return functions_[l];
+  }
+
+ private:
+  HammingLshFamily(size_t K, std::vector<HammingHashFunction> functions)
+      : K_(K), functions_(std::move(functions)) {}
+
+  size_t K_;
+  std::vector<HammingHashFunction> functions_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LSH_HAMMING_LSH_H_

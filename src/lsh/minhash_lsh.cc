@@ -1,0 +1,58 @@
+#include "src/lsh/minhash_lsh.h"
+
+#include <limits>
+
+namespace cbvlink {
+
+namespace {
+/// Key reserved for the empty index set so empty values block together.
+constexpr uint64_t kEmptySetKey = 0x9d5a1d1d5eedbeefULL;
+}  // namespace
+
+Result<MinHashLshFamily> MinHashLshFamily::Create(size_t K, size_t L,
+                                                  uint64_t universe,
+                                                  Rng& rng) {
+  if (K == 0) return Status::InvalidArgument("K must be positive");
+  if (L == 0) return Status::InvalidArgument("L must be positive");
+  if (universe == 0) {
+    return Status::InvalidArgument("index universe must be non-empty");
+  }
+  std::vector<PairwiseHash> hashes;
+  hashes.reserve(K * L);
+  // Permutation values range over the full prime field so ties (which
+  // would bias the min) are vanishingly rare.
+  for (size_t i = 0; i < K * L; ++i) {
+    hashes.push_back(PairwiseHash::Random(rng, kHashPrime));
+  }
+  return MinHashLshFamily(K, L, std::move(hashes));
+}
+
+uint64_t MinHashLshFamily::BaseValue(const std::vector<uint64_t>& indexes,
+                                     size_t i) const {
+  uint64_t min_value = std::numeric_limits<uint64_t>::max();
+  for (uint64_t x : indexes) {
+    const uint64_t v = hashes_[i](x);
+    if (v < min_value) min_value = v;
+  }
+  return min_value;
+}
+
+uint64_t MinHashLshFamily::Key(const std::vector<uint64_t>& indexes,
+                               size_t l) const {
+  if (indexes.empty()) return HashCombine(kEmptySetKey, l);
+  uint64_t acc = Mix64(l + 1);
+  for (size_t k = 0; k < K_; ++k) {
+    acc = HashCombine(acc, BaseValue(indexes, l * K_ + k));
+  }
+  return acc;
+}
+
+std::vector<uint64_t> MinHashLshFamily::Keys(
+    const std::vector<uint64_t>& indexes) const {
+  std::vector<uint64_t> keys;
+  keys.reserve(L_);
+  for (size_t l = 0; l < L_; ++l) keys.push_back(Key(indexes, l));
+  return keys;
+}
+
+}  // namespace cbvlink

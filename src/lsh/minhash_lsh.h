@@ -1,0 +1,59 @@
+// MinHash LSH over the Jaccard space — the blocking mechanism of the
+// HARRA baseline (Kim & Lee, EDBT 2010; Sections 2 and 6.1).
+//
+// A base function applies a random permutation to the q-gram index
+// universe and returns the minimum permuted value of the set; two sets
+// agree on a base function with probability equal to their Jaccard
+// similarity.  The paper implements the permutation by scanning a
+// permuted bigram vector for the first set bit; we use the standard
+// equivalent of taking the minimum under a pairwise-independent hash of
+// the index set, which avoids materializing permutations of the 26^q
+// universe.
+
+#ifndef CBVLINK_LSH_MINHASH_LSH_H_
+#define CBVLINK_LSH_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/hashing.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// A family of L composite MinHash functions, each of K base permutations.
+class MinHashLshFamily {
+ public:
+  /// Creates the family over index universe [0, universe).  Returns
+  /// InvalidArgument for zero K, L, or universe.
+  static Result<MinHashLshFamily> Create(size_t K, size_t L, uint64_t universe,
+                                         Rng& rng);
+
+  size_t K() const { return K_; }
+  size_t L() const { return L_; }
+
+  /// Blocking key of (sorted or unsorted) index set `indexes` under the
+  /// l-th composite function.  The empty set gets a reserved sentinel key.
+  uint64_t Key(const std::vector<uint64_t>& indexes, size_t l) const;
+
+  /// All L keys at once; cheaper than L separate calls because the per-
+  /// element hash values are shared across the composite functions of one
+  /// signature computation.
+  std::vector<uint64_t> Keys(const std::vector<uint64_t>& indexes) const;
+
+ private:
+  MinHashLshFamily(size_t K, size_t L, std::vector<PairwiseHash> hashes)
+      : K_(K), L_(L), hashes_(std::move(hashes)) {}
+
+  /// MinHash signature value for base function `i`.
+  uint64_t BaseValue(const std::vector<uint64_t>& indexes, size_t i) const;
+
+  size_t K_;
+  size_t L_;
+  std::vector<PairwiseHash> hashes_;  // K*L base permutations, row-major by l
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LSH_MINHASH_LSH_H_

@@ -1,0 +1,85 @@
+#include "src/lsh/params.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+/// Standard normal CDF.
+double NormCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+Result<double> HammingBaseProbability(size_t theta, size_t m) {
+  if (m == 0) return Status::InvalidArgument("vector size m must be positive");
+  if (theta > m) {
+    return Status::InvalidArgument(
+        StrFormat("threshold %zu exceeds vector size %zu", theta, m));
+  }
+  return 1.0 - static_cast<double>(theta) / static_cast<double>(m);
+}
+
+Result<double> JaccardBaseProbability(double theta) {
+  if (theta < 0.0 || theta > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("Jaccard threshold %f outside [0, 1]", theta));
+  }
+  return 1.0 - theta;
+}
+
+Result<double> EuclideanBaseProbability(double c, double w) {
+  if (w <= 0.0) {
+    return Status::InvalidArgument("bucket width w must be positive");
+  }
+  if (c < 0.0) {
+    return Status::InvalidArgument("distance c must be non-negative");
+  }
+  if (c == 0.0) return 1.0;
+  const double ratio = w / c;
+  const double p = 1.0 - 2.0 * NormCdf(-ratio) -
+                   2.0 / (std::sqrt(2.0 * M_PI) * ratio) *
+                       (1.0 - std::exp(-ratio * ratio / 2.0));
+  return p < 0.0 ? 0.0 : p;
+}
+
+Result<size_t> OptimalGroupsFromComposite(double p_composite, double delta,
+                                          size_t max_groups) {
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("delta %f outside (0, 1)", delta));
+  }
+  if (p_composite <= 0.0 || p_composite > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("composite probability %g outside (0, 1]", p_composite));
+  }
+  if (p_composite >= 1.0) return size_t{1};
+  // L = ceil(ln(delta) / ln(1 - p^K)).  Use log1p for the small-p regime.
+  const double denom = std::log1p(-p_composite);
+  const double l_real = std::log(delta) / denom;
+  if (!(l_real > 0.0) || l_real > static_cast<double>(max_groups)) {
+    return Status::InvalidArgument(
+        StrFormat("configuration needs %g blocking groups (cap %zu); "
+                  "raise K selectivity or thresholds",
+                  l_real, max_groups));
+  }
+  return static_cast<size_t>(std::ceil(l_real));
+}
+
+Result<size_t> OptimalGroups(double p_base, size_t K, double delta,
+                             size_t max_groups) {
+  if (p_base < 0.0 || p_base > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("base probability %f outside [0, 1]", p_base));
+  }
+  return OptimalGroupsFromComposite(std::pow(p_base, static_cast<double>(K)),
+                                    delta, max_groups);
+}
+
+double MissProbability(double p_composite, size_t L) {
+  return std::pow(1.0 - p_composite, static_cast<double>(L));
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,59 @@
+// LSH parameter calculators (Section 4.2, Equation 2).
+//
+// The completeness guarantee of every LSH blocking mechanism in this
+// library comes from choosing the number of blocking groups
+//
+//   L = ceil( ln(delta) / ln(1 - p^K) ),
+//
+// where p is the per-base-function collision probability at the distance
+// threshold and delta the tolerated miss probability: each pair within the
+// threshold is then found with probability >= 1 - delta.  The helpers here
+// compute p for each of the three metric spaces used in the paper and turn
+// (p, K, delta) — or a pre-composed rule probability p^K — into L.
+
+#ifndef CBVLINK_LSH_PARAMS_H_
+#define CBVLINK_LSH_PARAMS_H_
+
+#include <cstddef>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Base-function success probability in a Hamming space of `m` bits at
+/// distance threshold `theta`: p = 1 - theta/m (Definition 3).
+/// Returns InvalidArgument when theta > m or m == 0.
+Result<double> HammingBaseProbability(size_t theta, size_t m);
+
+/// Base-function success probability for MinHash at Jaccard distance
+/// threshold `theta` in [0, 1]: p = 1 - theta (the Jaccard similarity).
+Result<double> JaccardBaseProbability(double theta);
+
+/// Base-function success probability for p-stable Euclidean LSH with
+/// bucket width `w` at L2 distance `c` (Datar et al. 2004):
+///   p(c) = 1 - 2*Phi(-w/c) - 2c/(sqrt(2*pi)*w) * (1 - exp(-w^2/(2 c^2))).
+/// For c == 0 returns 1.  Requires w > 0, c >= 0.
+Result<double> EuclideanBaseProbability(double c, double w);
+
+/// Equation 2 applied to an already-composed collision probability
+/// `p_composite` (= p^K for a single space, or the rule-level bound of
+/// Eqs. 10-11).  Returns the optimal number of blocking groups so any
+/// within-threshold pair is emitted with probability >= 1 - delta.
+/// Requires 0 < delta < 1 and 0 < p_composite <= 1; a composite
+/// probability of 1 needs a single group.  The result is capped at
+/// `max_groups` (InvalidArgument beyond it — the configuration is
+/// infeasible rather than silently truncated).
+Result<size_t> OptimalGroupsFromComposite(double p_composite, double delta,
+                                          size_t max_groups = 100000);
+
+/// Equation 2 from base probability and K: L(p^K, delta).
+Result<size_t> OptimalGroups(double p_base, size_t K, double delta,
+                             size_t max_groups = 100000);
+
+/// The miss probability actually achieved by `L` groups at composite
+/// collision probability `p_composite`: (1 - p^K)^L.
+double MissProbability(double p_composite, size_t L);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_LSH_PARAMS_H_

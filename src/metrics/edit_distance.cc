@@ -1,0 +1,63 @@
+#include "src/metrics/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace cbvlink {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+
+  // Two-row dynamic program over the shorter dimension.
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> curr(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = j;
+  for (size_t i = 1; i <= m; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= n; ++j) {
+      const size_t sub = prev[j - 1] + (a[j - 1] == b[i - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[n];
+}
+
+bool EditDistanceWithin(std::string_view a, std::string_view b,
+                        size_t threshold) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (m - n > threshold) return false;  // length gap alone exceeds threshold
+  if (threshold == 0) return a == b;
+
+  constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+  // Banded DP: only cells with |i - j| <= threshold can be <= threshold.
+  std::vector<size_t> prev(n + 1, kInf);
+  std::vector<size_t> curr(n + 1, kInf);
+  for (size_t j = 0; j <= std::min(n, threshold); ++j) prev[j] = j;
+  for (size_t i = 1; i <= m; ++i) {
+    const size_t lo = (i > threshold) ? i - threshold : 0;
+    const size_t hi = std::min(n, i + threshold);
+    curr.assign(n + 1, kInf);
+    if (lo == 0) curr[0] = i;
+    size_t row_min = kInf;
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      const size_t sub = prev[j - 1] + (a[j - 1] == b[i - 1] ? 0 : 1);
+      const size_t del = prev[j] + 1;   // delete from b
+      const size_t ins = curr[j - 1] + 1;  // insert into b
+      curr[j] = std::min({sub, del, ins});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (lo == 0) row_min = std::min(row_min, curr[0]);
+    if (row_min > threshold) return false;  // band exhausted
+    std::swap(prev, curr);
+  }
+  return prev[n] <= threshold;
+}
+
+}  // namespace cbvlink

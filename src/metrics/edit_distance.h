@@ -1,0 +1,28 @@
+// Levenshtein edit distance — the metric d_E of the paper's original
+// space (Definition 1).
+//
+// Two entry points are provided: the plain O(|a|*|b|) distance, and a
+// banded "within threshold" test that runs in O(theta * min(|a|, |b|))
+// and is what the matching step uses when verifying candidate pairs
+// against attribute-level thresholds.
+
+#ifndef CBVLINK_METRICS_EDIT_DISTANCE_H_
+#define CBVLINK_METRICS_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace cbvlink {
+
+/// Levenshtein distance between `a` and `b` (unit-cost substitute, insert,
+/// delete — the basic perturbation operations of Section 5.1).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// True iff EditDistance(a, b) <= threshold, computed with a band of width
+/// 2*threshold+1 so mismatches exit early.
+bool EditDistanceWithin(std::string_view a, std::string_view b,
+                        size_t threshold);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_METRICS_EDIT_DISTANCE_H_

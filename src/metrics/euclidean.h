@@ -1,0 +1,33 @@
+// Euclidean (L2) distance over real vectors — the metric of the space into
+// which the SM-EB baseline embeds strings (Section 6.1).
+
+#ifndef CBVLINK_METRICS_EUCLIDEAN_H_
+#define CBVLINK_METRICS_EUCLIDEAN_H_
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace cbvlink {
+
+/// Squared L2 distance between equal-length vectors.
+inline double SquaredEuclideanDistance(const std::vector<double>& a,
+                                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// L2 distance between equal-length vectors.
+inline double EuclideanDistance(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_METRICS_EUCLIDEAN_H_

@@ -1,0 +1,44 @@
+#include "src/metrics/jaccard.h"
+
+#include <cstddef>
+
+namespace cbvlink {
+
+namespace {
+
+/// Computes |a ∩ b| for sorted unique vectors by linear merge.
+size_t IntersectionSize(const std::vector<uint64_t>& a,
+                        const std::vector<uint64_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double JaccardSimilarity(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t inter = IntersectionSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double JaccardDistance(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+}  // namespace cbvlink

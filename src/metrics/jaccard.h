@@ -1,0 +1,23 @@
+// Jaccard distance over q-gram index sets — the metric of the space J in
+// which the HARRA baseline operates (Section 5.1).
+
+#ifndef CBVLINK_METRICS_JACCARD_H_
+#define CBVLINK_METRICS_JACCARD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cbvlink {
+
+/// Jaccard distance 1 - |a ∩ b| / |a ∪ b| between two sorted,
+/// de-duplicated index sets.  Two empty sets have distance 0.
+double JaccardDistance(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| (1 for two empty sets).
+double JaccardSimilarity(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_METRICS_JACCARD_H_

@@ -1,0 +1,65 @@
+#include "src/metrics/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cbvlink {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+
+  const size_t match_window =
+      std::max(a.size(), b.size()) / 2 == 0
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = (i > match_window) ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() +
+          (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight) {
+  prefix_weight = std::clamp(prefix_weight, 0.0, 0.25);
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * prefix_weight * (1.0 - jaro);
+}
+
+double JaroWinklerDistance(std::string_view a, std::string_view b,
+                           double prefix_weight) {
+  return 1.0 - JaroWinklerSimilarity(a, b, prefix_weight);
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,30 @@
+// Jaro and Jaro-Winkler similarity.
+//
+// The paper names a distance-preserving embedding for Jaro-Winkler as its
+// primary future-work direction (Section 7); the metric is provided here
+// so downstream users can evaluate it alongside edit distance.
+
+#ifndef CBVLINK_METRICS_JARO_WINKLER_H_
+#define CBVLINK_METRICS_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace cbvlink {
+
+/// Jaro similarity in [0, 1]; 1 for identical strings, 0 when no characters
+/// match.  Two empty strings are defined to have similarity 1.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by common-prefix length (up to 4
+/// characters) scaled by `prefix_weight` (standard value 0.1; values above
+/// 0.25 would allow similarities > 1 and are clamped).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_weight = 0.1);
+
+/// 1 - JaroWinklerSimilarity.
+double JaroWinklerDistance(std::string_view a, std::string_view b,
+                           double prefix_weight = 0.1);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_METRICS_JARO_WINKLER_H_

@@ -1,0 +1,122 @@
+// The three-party protocol of Section 3: data custodians (Alice, Bob,
+// ...) and the independent linkage unit (Charlie).
+//
+// Charlie publishes the linkage parameters (schema, Theorem 1 sizing,
+// the shared hash-family seed, and the expected q-gram counts measured
+// on samples).  Each custodian encodes its records locally with those
+// parameters and ships only the compact c-vectors — 15 bytes of payload
+// per NCVR record — never the strings.  Charlie blocks and matches the
+// received embeddings.
+//
+// This module is a faithful *mechanical* simulation of the message flow;
+// the cryptographic hardening the paper defers to its references ([17],
+// [19], [28]) is out of scope (and the paper's own protocol, like ours,
+// relies on Charlie being honest-but-curious with non-invertible
+// embeddings rather than on encryption).
+
+#ifndef CBVLINK_PROTOCOL_PARTY_H_
+#define CBVLINK_PROTOCOL_PARTY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/blocking/matcher.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// The parameters Charlie publishes to every custodian.  All custodians
+/// must encode with identical parameters or their embeddings are not
+/// comparable.
+struct LinkageParameters {
+  Schema schema;
+  /// Expected q-grams per attribute (fixes every m_opt via Theorem 1).
+  std::vector<double> expected_qgrams;
+  /// Theorem 1 knobs.
+  OptimalSizeOptions sizing;
+  /// Seed of the shared pairwise-independent hash family.
+  uint64_t hash_seed = 101;
+};
+
+/// A data custodian: owns raw records, encodes them under Charlie's
+/// published parameters, and exports the embeddings.
+class DataCustodian {
+ public:
+  /// Builds the custodian's encoder from the published parameters.
+  static Result<DataCustodian> Create(std::string name,
+                                      const LinkageParameters& parameters);
+
+  const std::string& name() const { return name_; }
+
+  /// Encodes the custodian's records.  This is the only artifact that
+  /// leaves the custodian's premises.
+  Result<std::vector<EncodedRecord>> EncodeRecords(
+      const std::vector<Record>& records) const;
+
+  /// Writes the encoded records to `path` in the binary wire format.
+  Status ExportRecords(const std::vector<Record>& records,
+                       const std::string& path) const;
+
+  /// Payload bits per shipped record.
+  size_t record_bits() const { return encoder_.total_bits(); }
+
+ private:
+  DataCustodian(std::string name, CVectorRecordEncoder encoder)
+      : name_(std::move(name)), encoder_(std::move(encoder)) {}
+
+  std::string name_;
+  CVectorRecordEncoder encoder_;
+};
+
+/// Charlie's output: matches plus the matcher counters.
+struct LinkageResultLite {
+  std::vector<IdPair> matches;
+  MatchStats stats;
+  size_t blocking_groups = 0;
+};
+
+/// Charlie: receives embeddings from two custodians, blocks and matches.
+class LinkageUnit {
+ public:
+  /// Blocking/matching configuration (mirrors CbvHbConfig's record-level
+  /// knobs; the rule classifies received pairs).
+  struct Options {
+    Rule rule = Rule::Pred(0, 0);
+    size_t record_K = 30;
+    size_t record_theta = 4;
+    double delta = 0.1;
+    uint64_t seed = 103;
+  };
+
+  /// Creates Charlie with the published parameters and his own blocking
+  /// configuration.
+  static Result<LinkageUnit> Create(const LinkageParameters& parameters,
+                                    Options options);
+
+  /// Links two received embedding sets.
+  Result<LinkageResultLite> LinkEncoded(
+      const std::vector<EncodedRecord>& from_a,
+      const std::vector<EncodedRecord>& from_b);
+
+  /// Links two wire-format files (as exported by DataCustodian).
+  Result<LinkageResultLite> LinkFiles(const std::string& path_a,
+                                      const std::string& path_b);
+
+ private:
+  LinkageUnit(LinkageParameters parameters, Options options,
+              RecordLayout layout)
+      : parameters_(std::move(parameters)),
+        options_(std::move(options)),
+        layout_(std::move(layout)) {}
+
+  LinkageParameters parameters_;
+  Options options_;
+  RecordLayout layout_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_PROTOCOL_PARTY_H_

@@ -1,0 +1,75 @@
+#include "src/rules/probability.h"
+
+#include <cmath>
+
+#include "src/common/str.h"
+#include "src/lsh/params.h"
+
+namespace cbvlink {
+
+namespace {
+
+Result<double> PredicateProbability(
+    const Predicate& pred, const std::vector<AttributeLshParams>& params) {
+  if (pred.attribute >= params.size()) {
+    return Status::OutOfRange(
+        StrFormat("predicate attribute %zu of %zu", pred.attribute,
+                  params.size()));
+  }
+  const AttributeLshParams& ap = params[pred.attribute];
+  if (ap.num_base_hashes == 0) {
+    return Status::InvalidArgument(
+        StrFormat("attribute %zu has K == 0", pred.attribute));
+  }
+  Result<double> p = HammingBaseProbability(pred.threshold, ap.vector_size);
+  if (!p.ok()) return p;
+  return std::pow(p.value(), static_cast<double>(ap.num_base_hashes));
+}
+
+}  // namespace
+
+Result<double> RuleCollisionProbability(
+    const Rule& rule, const std::vector<AttributeLshParams>& params) {
+  switch (rule.kind()) {
+    case Rule::Kind::kPredicate:
+      return PredicateProbability(rule.predicate(), params);
+    case Rule::Kind::kAnd: {
+      double p = 1.0;
+      for (const Rule& child : rule.children()) {
+        Result<double> cp = RuleCollisionProbability(child, params);
+        if (!cp.ok()) return cp;
+        p *= cp.value();
+      }
+      return p;
+    }
+    case Rule::Kind::kOr: {
+      // 1 - prod(1 - p_i) — the inclusion-exclusion closed form.
+      double miss = 1.0;
+      for (const Rule& child : rule.children()) {
+        Result<double> cp = RuleCollisionProbability(child, params);
+        if (!cp.ok()) return cp;
+        miss *= 1.0 - cp.value();
+      }
+      return 1.0 - miss;
+    }
+    case Rule::Kind::kNot: {
+      // A pair satisfying NOT(x) carries no collision obligation for x's
+      // tables; validate the child's parameters but contribute certainty.
+      Result<double> cp =
+          RuleCollisionProbability(rule.children()[0], params);
+      if (!cp.ok()) return cp;
+      return 1.0;
+    }
+  }
+  return Status::Internal("unhandled rule kind");
+}
+
+Result<size_t> RuleOptimalGroups(const Rule& rule,
+                                 const std::vector<AttributeLshParams>& params,
+                                 double delta, size_t max_groups) {
+  Result<double> p = RuleCollisionProbability(rule, params);
+  if (!p.ok()) return p.status();
+  return OptimalGroupsFromComposite(p.value(), delta, max_groups);
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,54 @@
+// Collision-probability bounds for rule-aware blocking
+// (Definitions 4-6, Equations 10-12).
+//
+// Each attribute f_i has a base success probability
+// p^(f_i) = 1 - theta^(f_i) / m_opt^(f_i) and a base-function count
+// K^(f_i).  The probability that a record-level c-vector pair within the
+// thresholds is formulated by one blocking group follows the rule
+// structure:
+//
+//   AND:  p = prod_i (p_i)^{K_i}                                (Eq. 10)
+//   OR :  p = 1 - prod_i (1 - (p_i)^{K_i})   (inclusion-exclusion, Eq. 11)
+//   NOT:  the "true" outcome is non-collision; its table is sized so the
+//         *negated* predicate's pairs are reliably caught  (Eq. 12)
+//
+// Substituting the composed p into Equation 2 yields the per-structure L.
+
+#ifndef CBVLINK_RULES_PROBABILITY_H_
+#define CBVLINK_RULES_PROBABILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Per-attribute LSH parameters used to compose rule probabilities.
+struct AttributeLshParams {
+  /// m_opt^(f_i): the attribute's c-vector size in bits.
+  size_t vector_size = 0;
+  /// K^(f_i): base hash functions allotted to the attribute.
+  size_t num_base_hashes = 0;
+};
+
+/// Composite per-group collision probability for a pair that satisfies
+/// every predicate of `rule` (NOT children contribute probability 1 to
+/// their parent: a pair satisfying NOT(x) is never required to collide in
+/// x's tables).  `params[i]` supplies m and K of attribute i.
+/// Returns InvalidArgument when a predicate references a missing
+/// attribute, has threshold > m, or K == 0.
+Result<double> RuleCollisionProbability(
+    const Rule& rule, const std::vector<AttributeLshParams>& params);
+
+/// Equation 2 with the rule-composed probability: the number of blocking
+/// groups needed so any rule-satisfying pair is formulated with
+/// probability >= 1 - delta.
+Result<size_t> RuleOptimalGroups(const Rule& rule,
+                                 const std::vector<AttributeLshParams>& params,
+                                 double delta, size_t max_groups = 100000);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_RULES_PROBABILITY_H_

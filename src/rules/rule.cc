@@ -1,0 +1,110 @@
+#include "src/rules/rule.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Rule Rule::Pred(size_t attribute, size_t threshold) {
+  Rule r;
+  r.kind_ = Kind::kPredicate;
+  r.predicate_ = {attribute, threshold};
+  return r;
+}
+
+Rule Rule::And(std::vector<Rule> children) {
+  Rule r;
+  r.kind_ = Kind::kAnd;
+  r.children_ = std::move(children);
+  return r;
+}
+
+Rule Rule::Or(std::vector<Rule> children) {
+  Rule r;
+  r.kind_ = Kind::kOr;
+  r.children_ = std::move(children);
+  return r;
+}
+
+Rule Rule::Not(Rule child) {
+  Rule r;
+  r.kind_ = Kind::kNot;
+  r.children_.push_back(std::move(child));
+  return r;
+}
+
+bool Rule::Evaluate(const std::function<size_t(size_t)>& distance) const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return distance(predicate_.attribute) <= predicate_.threshold;
+    case Kind::kAnd:
+      for (const Rule& child : children_) {
+        if (!child.Evaluate(distance)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Rule& child : children_) {
+        if (child.Evaluate(distance)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_[0].Evaluate(distance);
+  }
+  return false;
+}
+
+Status Rule::Validate(size_t num_attributes) const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      if (predicate_.attribute >= num_attributes) {
+        return Status::OutOfRange(
+            StrFormat("predicate references attribute %zu of %zu",
+                      predicate_.attribute, num_attributes));
+      }
+      return Status::OK();
+    case Kind::kAnd:
+    case Kind::kOr:
+      if (children_.size() < 2) {
+        return Status::InvalidArgument(
+            "AND/OR nodes need at least two children");
+      }
+      break;
+    case Kind::kNot:
+      if (children_.size() != 1) {
+        return Status::InvalidArgument("NOT nodes need exactly one child");
+      }
+      break;
+  }
+  for (const Rule& child : children_) {
+    CBVLINK_RETURN_NOT_OK(child.Validate(num_attributes));
+  }
+  return Status::OK();
+}
+
+void Rule::CollectPredicates(std::vector<Predicate>* out) const {
+  if (kind_ == Kind::kPredicate) {
+    out->push_back(predicate_);
+    return;
+  }
+  for (const Rule& child : children_) child.CollectPredicates(out);
+}
+
+std::string Rule::ToString() const {
+  switch (kind_) {
+    case Kind::kPredicate:
+      return StrFormat("(f%zu <= %zu)", predicate_.attribute + 1,
+                       predicate_.threshold);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* op = kind_ == Kind::kAnd ? " AND " : " OR ";
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const Rule& child : children_) parts.push_back(child.ToString());
+      return "(" + StrJoin(parts, op) + ")";
+    }
+    case Kind::kNot:
+      return "(NOT " + children_[0].ToString() + ")";
+  }
+  return "";
+}
+
+}  // namespace cbvlink

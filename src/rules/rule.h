@@ -1,0 +1,74 @@
+// Classification rules over attribute-level distance thresholds
+// (Section 5.4).
+//
+// A rule is a boolean combination of predicates u^(f_i) <= theta^(f_i)
+// using AND, OR, and NOT.  The matching step classifies a candidate pair
+// by evaluating the rule on actual attribute-level distances, and the
+// attribute-level blocker derives its blocking structures from the same
+// tree, so blocking adapts to the rule.
+
+#ifndef CBVLINK_RULES_RULE_H_
+#define CBVLINK_RULES_RULE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// One predicate: distance on attribute `attribute` is at most `threshold`.
+struct Predicate {
+  size_t attribute = 0;  // zero-based index into the schema
+  size_t threshold = 0;  // theta^(f_i) in the embedding space
+
+  bool operator==(const Predicate&) const = default;
+};
+
+/// A node of the rule tree.
+class Rule {
+ public:
+  enum class Kind { kPredicate, kAnd, kOr, kNot };
+
+  /// Leaf: u^(f_attr) <= theta.
+  static Rule Pred(size_t attribute, size_t threshold);
+  /// Conjunction of two or more subrules.
+  static Rule And(std::vector<Rule> children);
+  /// Disjunction of two or more subrules.
+  static Rule Or(std::vector<Rule> children);
+  /// Negation of one subrule.
+  static Rule Not(Rule child);
+
+  Kind kind() const { return kind_; }
+  const Predicate& predicate() const { return predicate_; }
+  const std::vector<Rule>& children() const { return children_; }
+
+  /// Evaluates the rule; `distance(attr)` supplies u^(f_attr) for the pair
+  /// under classification.
+  bool Evaluate(const std::function<size_t(size_t)>& distance) const;
+
+  /// Checks structural sanity: attribute indexes < num_attributes, AND/OR
+  /// arity >= 2, NOT arity == 1.
+  Status Validate(size_t num_attributes) const;
+
+  /// All predicates in the tree, in depth-first order.
+  void CollectPredicates(std::vector<Predicate>* out) const;
+
+  /// Textual form, e.g. "((f1 <= 4) AND (NOT (f2 <= 8)))" with 1-based
+  /// attribute numbers as in the paper.
+  std::string ToString() const;
+
+ private:
+  Rule() = default;
+
+  Kind kind_ = Kind::kPredicate;
+  Predicate predicate_;
+  std::vector<Rule> children_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_RULES_RULE_H_

@@ -1,0 +1,158 @@
+#include "src/rules/rule_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+/// Recursive-descent parser over the rule grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Rule> Parse() {
+    Result<Rule> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after rule");
+    }
+    return expr;
+  }
+
+ private:
+  Result<Rule> ParseExpr() {
+    Result<Rule> left = ParseTerm();
+    if (!left.ok()) return left;
+    std::vector<Rule> parts;
+    parts.push_back(std::move(left).value());
+    while (ConsumeKeyword("OR")) {
+      Result<Rule> right = ParseTerm();
+      if (!right.ok()) return right;
+      parts.push_back(std::move(right).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return Rule::Or(std::move(parts));
+  }
+
+  Result<Rule> ParseTerm() {
+    Result<Rule> left = ParseFactor();
+    if (!left.ok()) return left;
+    std::vector<Rule> parts;
+    parts.push_back(std::move(left).value());
+    while (ConsumeKeyword("AND")) {
+      Result<Rule> right = ParseFactor();
+      if (!right.ok()) return right;
+      parts.push_back(std::move(right).value());
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return Rule::And(std::move(parts));
+  }
+
+  Result<Rule> ParseFactor() {
+    SkipSpace();
+    if (ConsumeKeyword("NOT")) {
+      Result<Rule> child = ParseFactor();
+      if (!child.ok()) return child;
+      return Rule::Not(std::move(child).value());
+    }
+    if (Consume('(')) {
+      Result<Rule> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<Rule> ParsePredicate() {
+    SkipSpace();
+    if (pos_ >= text_.size() ||
+        (text_[pos_] != 'f' && text_[pos_] != 'F')) {
+      return Error("expected predicate 'f<i> <= <theta>'");
+    }
+    ++pos_;
+    Result<size_t> attr = ParseInt();
+    if (!attr.ok()) return attr.status();
+    if (attr.value() == 0) {
+      return Error("attribute numbers are 1-based");
+    }
+    SkipSpace();
+    if (pos_ + 1 >= text_.size() || text_[pos_] != '<' ||
+        text_[pos_ + 1] != '=') {
+      return Error("expected '<='");
+    }
+    pos_ += 2;
+    Result<size_t> theta = ParseInt();
+    if (!theta.ok()) return theta.status();
+    return Rule::Pred(attr.value() - 1, theta.value());
+  }
+
+  Result<size_t> ParseInt() {
+    SkipSpace();
+    const size_t start = pos_;
+    size_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<size_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected integer").status();
+    return value;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `word` (case-insensitive) if it appears at the cursor as a
+  /// whole keyword.
+  bool ConsumeKeyword(std::string_view word) {
+    SkipSpace();
+    if (pos_ + word.size() > text_.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          word[i]) {
+        return false;
+      }
+    }
+    const size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        std::isalnum(static_cast<unsigned char>(text_[after]))) {
+      return false;  // prefix of a longer identifier
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Result<Rule> Error(std::string_view what) {
+    return Status::InvalidArgument(
+        StrFormat("rule parse error at position %zu: %.*s", pos_,
+                  static_cast<int>(what.size()), what.data()));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Rule> ParseRule(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace cbvlink

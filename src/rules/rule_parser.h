@@ -1,0 +1,30 @@
+// Textual rule parser.
+//
+// Grammar (case-insensitive keywords, 1-based attribute numbers as in the
+// paper's notation):
+//
+//   expr      := term  ( OR  term  )*
+//   term      := factor ( AND factor )*
+//   factor    := NOT factor | '(' expr ')' | predicate
+//   predicate := 'f' INT '<=' INT
+//
+// Example: "(f1 <= 4) AND (f2 <= 8) OR NOT (f3 <= 2)".
+// AND binds tighter than OR; NOT binds tightest.
+
+#ifndef CBVLINK_RULES_RULE_PARSER_H_
+#define CBVLINK_RULES_RULE_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Parses a textual classification rule.  Returns InvalidArgument with a
+/// position-annotated message on syntax errors.
+Result<Rule> ParseRule(std::string_view text);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_RULES_RULE_PARSER_H_

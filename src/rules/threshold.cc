@@ -1,0 +1,32 @@
+#include "src/rules/threshold.h"
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+Result<size_t> HammingThetaForEditBudget(const EditBudget& budget,
+                                         size_t q) {
+  if (q < 2) {
+    return Status::InvalidArgument(
+        StrFormat("the Section 5.1 bounds need q >= 2, got q = %zu", q));
+  }
+  return 2 * q * budget.substitutions + (2 * q - 1) * budget.indels;
+}
+
+Result<Rule> RuleForEditBudgets(const std::vector<EditBudget>& budgets,
+                                size_t q) {
+  if (budgets.empty()) {
+    return Status::InvalidArgument("no edit budgets given");
+  }
+  std::vector<Rule> predicates;
+  predicates.reserve(budgets.size());
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    Result<size_t> theta = HammingThetaForEditBudget(budgets[i], q);
+    if (!theta.ok()) return theta.status();
+    predicates.push_back(Rule::Pred(i, theta.value()));
+  }
+  if (predicates.size() == 1) return std::move(predicates[0]);
+  return Rule::And(std::move(predicates));
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,45 @@
+// Threshold derivation from edit budgets (Section 5.1's correspondence,
+// as an API).
+//
+// For q-gram vectors with q >= 2, one substitution changes at most q
+// q-grams in each string (2q differing bits), and one insert/delete
+// replaces q q-grams by q-1 (at most 2q - 1 differing bits).  Given the
+// number of each operation an application wants to tolerate per
+// attribute, these helpers compute the Hamming threshold theta and build
+// the conjunctive classification rule — so users reason in edits, not
+// bits.
+
+#ifndef CBVLINK_RULES_THRESHOLD_H_
+#define CBVLINK_RULES_THRESHOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rules/rule.h"
+
+namespace cbvlink {
+
+/// Edit tolerance for one attribute.
+struct EditBudget {
+  /// Substitutions to tolerate.
+  size_t substitutions = 0;
+  /// Insertions plus deletions to tolerate.
+  size_t indels = 0;
+};
+
+/// The Hamming threshold covering `budget` under q-gram vectors:
+/// theta = 2q * substitutions + (2q - 1) * indels  (Equation 3's alpha
+/// values, summed per operation).  Requires q >= 2 — the paper's bounds
+/// hold for any q-gram vector with q >= 2.
+Result<size_t> HammingThetaForEditBudget(const EditBudget& budget, size_t q = 2);
+
+/// Builds the conjunctive rule "every attribute i within the theta of
+/// budgets[i]" for a schema of budgets.size() attributes.  A single
+/// budget yields a bare predicate.
+Result<Rule> RuleForEditBudgets(const std::vector<EditBudget>& budgets,
+                                size_t q = 2);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_RULES_THRESHOLD_H_

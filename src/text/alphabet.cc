@@ -1,0 +1,44 @@
+#include "src/text/alphabet.h"
+
+#include <cassert>
+
+namespace cbvlink {
+
+Alphabet::Alphabet(std::string_view symbols) {
+  order_.fill(-1);
+  symbols_.reserve(symbols.size());
+  for (char c : symbols) {
+    const auto idx = static_cast<unsigned char>(c);
+    if (order_[idx] >= 0) continue;  // keep first occurrence
+    order_[idx] = static_cast<int>(symbols_.size());
+    symbols_.push_back(c);
+  }
+}
+
+const Alphabet& Alphabet::Uppercase() {
+  static const Alphabet* kInstance = new Alphabet("ABCDEFGHIJKLMNOPQRSTUVWXYZ");
+  return *kInstance;
+}
+
+const Alphabet& Alphabet::UppercasePadded() {
+  static const Alphabet* kInstance =
+      new Alphabet("ABCDEFGHIJKLMNOPQRSTUVWXYZ_");
+  return *kInstance;
+}
+
+const Alphabet& Alphabet::Alphanumeric() {
+  static const Alphabet* kInstance =
+      new Alphabet("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _");
+  return *kInstance;
+}
+
+uint64_t Alphabet::NumQGrams(size_t q) const {
+  uint64_t total = 1;
+  for (size_t i = 0; i < q; ++i) {
+    assert(total <= UINT64_MAX / symbols_.size());
+    total *= symbols_.size();
+  }
+  return total;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,16 @@
+#include "src/text/normalize.h"
+
+namespace cbvlink {
+
+std::string Normalize(std::string_view raw, const Alphabet& alphabet) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    if (c == kPadChar) continue;  // reserved for the extractor's padding
+    if (alphabet.Contains(c)) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace cbvlink

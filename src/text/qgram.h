@@ -1,0 +1,82 @@
+// q-gram extraction and Algorithm 1 index mapping.
+//
+// A q-gram is a group of q consecutive characters of a (padded) string.
+// The bijection F of Section 4.1 maps each q-gram to the integer obtained
+// by reading its characters as base-|S| digits (Algorithm 1):
+//
+//   ind = sum_{i=1..q} ord(gr[i]) * |S|^(q-i)
+//
+// The set of indexes U_s of a string s tells which positions of a q-gram
+// vector are set, and is the input to every embedding in the library.
+
+#ifndef CBVLINK_TEXT_QGRAM_H_
+#define CBVLINK_TEXT_QGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/text/alphabet.h"
+
+namespace cbvlink {
+
+/// Options controlling q-gram extraction.
+struct QGramOptions {
+  /// The q of q-grams; 2 (bigrams) everywhere in the paper's evaluation.
+  size_t q = 2;
+  /// Pad the string with kPadChar on both ends so every character appears
+  /// in exactly q q-grams (footnote 4: 'JONES' -> '_JONES_').
+  bool pad = true;
+};
+
+/// Extracts q-grams from normalized strings and maps them to indexes.
+class QGramExtractor {
+ public:
+  /// Creates an extractor.  If `options.pad` is set, `alphabet` must
+  /// contain kPadChar.  Returns InvalidArgument for q == 0 or a missing
+  /// padding symbol.
+  static Result<QGramExtractor> Create(const Alphabet& alphabet,
+                                       QGramOptions options);
+
+  /// The q-grams of `normalized`, in order of occurrence (may repeat).
+  /// A string shorter than q without padding yields no q-grams.
+  std::vector<std::string> Grams(std::string_view normalized) const;
+
+  /// Algorithm 1: the index of a single q-gram.  Returns OutOfRange if the
+  /// gram's length differs from q or it contains a symbol outside the
+  /// alphabet.
+  Result<uint64_t> GramIndex(std::string_view gram) const;
+
+  /// The set U_s: sorted, de-duplicated indexes of all q-grams of
+  /// `normalized`.
+  std::vector<uint64_t> IndexSet(std::string_view normalized) const;
+
+  /// Number of q-grams of `normalized` counted with multiplicity — the
+  /// quantity averaged into b^(f_i) in Table 3.
+  size_t CountGrams(std::string_view normalized) const;
+
+  /// Index-space size |S|^q (the m of full q-gram vectors).
+  uint64_t IndexSpaceSize() const { return index_space_; }
+
+  size_t q() const { return options_.q; }
+  bool pad() const { return options_.pad; }
+  const Alphabet& alphabet() const { return *alphabet_; }
+
+ private:
+  QGramExtractor(const Alphabet& alphabet, QGramOptions options,
+                 uint64_t index_space)
+      : alphabet_(&alphabet), options_(options), index_space_(index_space) {}
+
+  /// The padded working copy of `normalized`.
+  std::string Padded(std::string_view normalized) const;
+
+  const Alphabet* alphabet_;
+  QGramOptions options_;
+  uint64_t index_space_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_TEXT_QGRAM_H_

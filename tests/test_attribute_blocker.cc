@@ -1,0 +1,252 @@
+#include "src/blocking/attribute_blocker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cbvlink {
+namespace {
+
+/// NCVR-shaped layout: 15 + 15 + 68 + 22 = 120 bits.
+RecordLayout NcvrLayout() {
+  RecordLayout layout;
+  layout.Add(15);
+  layout.Add(15);
+  layout.Add(68);
+  layout.Add(22);
+  return layout;
+}
+
+AttributeBlockerOptions DefaultOptions() {
+  AttributeBlockerOptions options;
+  options.attribute_K = {5, 5, 10, 5};
+  options.delta = 0.1;
+  return options;
+}
+
+EncodedRecord MakeRecord(RecordId id, const BitVector& bits) {
+  return EncodedRecord{id, bits};
+}
+
+/// A dense deterministic base vector.
+BitVector BaseVector() {
+  BitVector bv(120);
+  for (size_t i = 0; i < 120; i += 3) bv.Set(i);
+  return bv;
+}
+
+/// Flips `n` bits of `bv` inside [offset, offset+size).
+BitVector FlipInSegment(BitVector bv, size_t offset, size_t size, size_t n,
+                        Rng& rng) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = offset + rng.Below(size);
+    if (bv.Test(pos)) {
+      bv.Clear(pos);
+    } else {
+      bv.Set(pos);
+    }
+  }
+  return bv;
+}
+
+std::set<RecordId> Candidates(const AttributeLevelBlocker& blocker,
+                              const BitVector& probe) {
+  std::set<RecordId> out;
+  blocker.ForEachCandidate(probe, [&](RecordId id) { out.insert(id); });
+  return out;
+}
+
+TEST(AttributeLevelBlockerTest, CreateValidatesInputs) {
+  Rng rng(1);
+  const RecordLayout layout = NcvrLayout();
+  AttributeBlockerOptions options = DefaultOptions();
+  // Rule referencing attribute 9 of 4.
+  EXPECT_FALSE(
+      AttributeLevelBlocker::Create(Rule::Pred(9, 4), layout, options, rng)
+          .ok());
+  // K vector of wrong length.
+  options.attribute_K = {5, 5};
+  EXPECT_FALSE(
+      AttributeLevelBlocker::Create(Rule::Pred(0, 4), layout, options, rng)
+          .ok());
+  // Bare NOT has no positive component.
+  options = DefaultOptions();
+  EXPECT_FALSE(AttributeLevelBlocker::Create(Rule::Not(Rule::Pred(0, 4)),
+                                             layout, options, rng)
+                   .ok());
+}
+
+TEST(AttributeLevelBlockerTest, PurelyNegativeOrBranchRejected) {
+  // f1 OR NOT f2 is non-blockable: pairs satisfying only the NOT branch
+  // can never be generated.
+  Rng rng(20);
+  const Rule rule = Rule::Or({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))});
+  Result<AttributeLevelBlocker> blocker = AttributeLevelBlocker::Create(
+      rule, NcvrLayout(), DefaultOptions(), rng);
+  EXPECT_FALSE(blocker.ok());
+  EXPECT_EQ(blocker.status().code(), StatusCode::kInvalidArgument);
+
+  // Nested inside an AND, the same OR must still be rejected.
+  const Rule nested = Rule::And(
+      {Rule::Pred(2, 8),
+       Rule::Or({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))})});
+  EXPECT_FALSE(AttributeLevelBlocker::Create(nested, NcvrLayout(),
+                                             DefaultOptions(), rng)
+                   .ok());
+
+  // An OR branch that is an AND containing a NOT plus a positive
+  // predicate IS blockable (the positive conjunct generates).
+  const Rule fine = Rule::Or(
+      {Rule::Pred(2, 8),
+       Rule::And({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))})});
+  EXPECT_TRUE(AttributeLevelBlocker::Create(fine, NcvrLayout(),
+                                            DefaultOptions(), rng)
+                  .ok());
+}
+
+TEST(AttributeLevelBlockerTest, AndRuleBuildsOneStructure) {
+  Rng rng(2);
+  const Rule c1 =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  Result<AttributeLevelBlocker> blocker =
+      AttributeLevelBlocker::Create(c1, NcvrLayout(), DefaultOptions(), rng);
+  ASSERT_TRUE(blocker.ok()) << blocker.status().ToString();
+  EXPECT_EQ(blocker.value().num_structures(), 1u);
+  // Paper PH on NCVR: L ~ 178.
+  EXPECT_NEAR(static_cast<double>(blocker.value().structure_L(0)), 178.0, 1.0);
+  EXPECT_EQ(blocker.value().TotalTables(), blocker.value().structure_L(0));
+}
+
+TEST(AttributeLevelBlockerTest, OrOfPredicatesBuildsOneOrStructure) {
+  Rng rng(3);
+  const Rule rule = Rule::Or({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  Result<AttributeLevelBlocker> blocker = AttributeLevelBlocker::Create(
+      rule, NcvrLayout(), DefaultOptions(), rng);
+  ASSERT_TRUE(blocker.ok());
+  EXPECT_EQ(blocker.value().num_structures(), 1u);
+  // OR structure: n_c tables per group (Definition 5 space accounting).
+  EXPECT_EQ(blocker.value().TotalTables(),
+            2 * blocker.value().structure_L(0));
+}
+
+TEST(AttributeLevelBlockerTest, CompoundRuleBuildsMultipleStructures) {
+  Rng rng(4);
+  // C2 of Section 6.2: (f1 AND f2) OR f3.
+  const Rule c2 = Rule::Or(
+      {Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)}), Rule::Pred(2, 8)});
+  Result<AttributeLevelBlocker> blocker = AttributeLevelBlocker::Create(
+      c2, NcvrLayout(), DefaultOptions(), rng);
+  ASSERT_TRUE(blocker.ok());
+  EXPECT_EQ(blocker.value().num_structures(), 2u);
+}
+
+TEST(AttributeLevelBlockerTest, IdenticalVectorsAlwaysFormulated) {
+  Rng rng(5);
+  const Rule c1 = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  AttributeLevelBlocker blocker =
+      AttributeLevelBlocker::Create(c1, NcvrLayout(), DefaultOptions(), rng)
+          .value();
+  const BitVector base = BaseVector();
+  blocker.Insert(MakeRecord(7, base));
+  EXPECT_TRUE(Candidates(blocker, base).contains(7));
+  EXPECT_TRUE(blocker.FormulatedByRule(base, base));
+}
+
+TEST(AttributeLevelBlockerTest, WithinThresholdPairsFoundReliably) {
+  // A pair within every attribute threshold must be formulated with
+  // frequency >= 1 - delta (Eq. 2 with the Eq. 10 composite).
+  Rng data_rng(6);
+  size_t found = 0;
+  constexpr size_t kRounds = 120;
+  for (size_t round = 0; round < kRounds; ++round) {
+    Rng rng(100 + round);
+    const Rule c1 = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+    AttributeLevelBlocker blocker =
+        AttributeLevelBlocker::Create(c1, NcvrLayout(), DefaultOptions(), rng)
+            .value();
+    const BitVector a = BaseVector();
+    BitVector b = FlipInSegment(a, 0, 15, 2, data_rng);     // u^(f1) = 2
+    b = FlipInSegment(std::move(b), 15, 15, 2, data_rng);   // u^(f2) = 2
+    blocker.Insert(MakeRecord(1, a));
+    if (Candidates(blocker, b).contains(1)) ++found;
+  }
+  EXPECT_GE(static_cast<double>(found) / kRounds, 0.88);
+}
+
+TEST(AttributeLevelBlockerTest, NotRulePrunesMatchingSecondAttribute) {
+  // C3 = f1 AND NOT f2: a pair whose f2 segments are identical collides
+  // in f2's structure in every group, so it must never be emitted.
+  Rng rng(7);
+  const Rule c3 = Rule::And({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))});
+  AttributeLevelBlocker blocker =
+      AttributeLevelBlocker::Create(c3, NcvrLayout(), DefaultOptions(), rng)
+          .value();
+  const BitVector a = BaseVector();
+  blocker.Insert(MakeRecord(1, a));
+  // Probe identical in f2 (and f1): excluded by the NOT.
+  EXPECT_FALSE(Candidates(blocker, a).contains(1));
+  EXPECT_FALSE(blocker.FormulatedByRule(a, a));
+
+  // Probe with f2 far away but f1 identical: should be emitted.
+  Rng flip(8);
+  const BitVector probe = FlipInSegment(a, 15, 15, 14, flip);
+  EXPECT_TRUE(Candidates(blocker, probe).contains(1));
+}
+
+TEST(AttributeLevelBlockerTest, OrRuleFindsPairsMatchingEitherSide) {
+  Rng rng(9);
+  const Rule rule = Rule::Or({Rule::Pred(0, 2), Rule::Pred(2, 4)});
+  AttributeLevelBlocker blocker =
+      AttributeLevelBlocker::Create(rule, NcvrLayout(), DefaultOptions(), rng)
+          .value();
+  const BitVector a = BaseVector();
+  blocker.Insert(MakeRecord(1, a));
+
+  // Destroy f1 entirely but keep f3 identical: the OR should still fire.
+  Rng flip(10);
+  const BitVector probe = FlipInSegment(a, 0, 15, 15, flip);
+  EXPECT_TRUE(Candidates(blocker, probe).contains(1));
+}
+
+TEST(AttributeLevelBlockerTest, CompoundAndOfStructuresRequiresBoth) {
+  Rng rng(11);
+  // (f1 OR f2) AND (f3 OR f4) — the paper's Section 5.4 C2 shape.
+  const Rule rule = Rule::And(
+      {Rule::Or({Rule::Pred(0, 2), Rule::Pred(1, 2)}),
+       Rule::Or({Rule::Pred(2, 4), Rule::Pred(3, 2)})});
+  AttributeLevelBlocker blocker =
+      AttributeLevelBlocker::Create(rule, NcvrLayout(), DefaultOptions(), rng)
+          .value();
+  EXPECT_EQ(blocker.num_structures(), 2u);
+  const BitVector a = BaseVector();
+  blocker.Insert(MakeRecord(1, a));
+
+  // Identical probe satisfies both OR structures.
+  EXPECT_TRUE(blocker.FormulatedByRule(a, a));
+  EXPECT_TRUE(Candidates(blocker, a).contains(1));
+
+  // Destroy f3 AND f4: second structure cannot collide reliably; pair
+  // should mostly disappear.  (f1, f2 intact.)
+  Rng flip(12);
+  BitVector probe = FlipInSegment(a, 30, 68, 60, flip);
+  probe = FlipInSegment(std::move(probe), 98, 22, 20, flip);
+  EXPECT_FALSE(blocker.FormulatedByRule(a, probe));
+  EXPECT_FALSE(Candidates(blocker, probe).contains(1));
+}
+
+TEST(AttributeLevelBlockerTest, IndexRetainsVectorsForMembership) {
+  Rng rng(13);
+  const Rule rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  AttributeLevelBlocker blocker =
+      AttributeLevelBlocker::Create(rule, NcvrLayout(), DefaultOptions(), rng)
+          .value();
+  std::vector<EncodedRecord> records;
+  records.push_back(MakeRecord(1, BaseVector()));
+  records.push_back(MakeRecord(2, BaseVector()));
+  blocker.Index(records);
+  EXPECT_TRUE(Candidates(blocker, BaseVector()).contains(1));
+  EXPECT_TRUE(Candidates(blocker, BaseVector()).contains(2));
+}
+
+}  // namespace
+}  // namespace cbvlink

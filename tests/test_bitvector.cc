@@ -1,0 +1,218 @@
+#include "src/common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(BitVectorTest, DefaultIsEmpty) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, ConstructedCleared) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_FALSE(bv.empty());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.Test(i));
+}
+
+TEST(BitVectorTest, SetClearTest) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(99));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_EQ(bv.PopCount(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, AssignSetsAndClears) {
+  BitVector bv(10);
+  bv.Assign(3, true);
+  EXPECT_TRUE(bv.Test(3));
+  bv.Assign(3, false);
+  EXPECT_FALSE(bv.Test(3));
+}
+
+TEST(BitVectorTest, ResetClearsAllKeepingSize) {
+  BitVector bv(70);
+  bv.Set(5);
+  bv.Set(65);
+  bv.Reset();
+  EXPECT_EQ(bv.size(), 70u);
+  EXPECT_EQ(bv.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, HammingDistanceBasic) {
+  BitVector a(128);
+  BitVector b(128);
+  EXPECT_EQ(a.HammingDistance(b), 0u);
+  a.Set(0);
+  a.Set(64);
+  a.Set(127);
+  EXPECT_EQ(a.HammingDistance(b), 3u);
+  b.Set(64);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  b.Set(1);
+  EXPECT_EQ(a.HammingDistance(b), 3u);
+}
+
+TEST(BitVectorTest, HammingIsSymmetric) {
+  Rng rng(1);
+  BitVector a(200);
+  BitVector b(200);
+  for (int i = 0; i < 50; ++i) {
+    a.Set(rng.Below(200));
+    b.Set(rng.Below(200));
+  }
+  EXPECT_EQ(a.HammingDistance(b), b.HammingDistance(a));
+}
+
+TEST(BitVectorTest, AppendWordAligned) {
+  BitVector a(64);
+  a.Set(1);
+  BitVector b(64);
+  b.Set(0);
+  b.Set(63);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 128u);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(64));
+  EXPECT_TRUE(a.Test(127));
+  EXPECT_EQ(a.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, AppendUnaligned) {
+  BitVector a(15);
+  a.Set(0);
+  a.Set(14);
+  BitVector b(22);
+  b.Set(0);
+  b.Set(21);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 37u);
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(14));
+  EXPECT_TRUE(a.Test(15));
+  EXPECT_TRUE(a.Test(36));
+  EXPECT_EQ(a.PopCount(), 4u);
+}
+
+TEST(BitVectorTest, AppendToEmpty) {
+  BitVector a;
+  BitVector b(10);
+  b.Set(9);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_TRUE(a.Test(9));
+}
+
+TEST(BitVectorTest, SliceAlignedAndUnaligned) {
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(65);
+  bv.Set(129);
+
+  BitVector aligned = bv.Slice(64, 66);
+  EXPECT_EQ(aligned.size(), 66u);
+  EXPECT_TRUE(aligned.Test(0));
+  EXPECT_TRUE(aligned.Test(1));
+  EXPECT_TRUE(aligned.Test(65));
+  EXPECT_EQ(aligned.PopCount(), 3u);
+
+  BitVector unaligned = bv.Slice(63, 4);
+  EXPECT_EQ(unaligned.size(), 4u);
+  EXPECT_FALSE(unaligned.Test(0));  // bit 63
+  EXPECT_TRUE(unaligned.Test(1));   // bit 64
+  EXPECT_TRUE(unaligned.Test(2));   // bit 65
+  EXPECT_FALSE(unaligned.Test(3));  // bit 66
+}
+
+TEST(BitVectorTest, SliceTailBitsAreMaskedOut) {
+  BitVector bv(128);
+  for (size_t i = 0; i < 128; ++i) bv.Set(i);
+  BitVector head = bv.Slice(0, 10);
+  EXPECT_EQ(head.PopCount(), 10u);
+  BitVector other(10);
+  EXPECT_EQ(head.HammingDistance(other), 10u);
+}
+
+TEST(BitVectorTest, HammingDistanceRangeMatchesSlice) {
+  Rng rng(7);
+  BitVector a(300);
+  BitVector b(300);
+  for (int i = 0; i < 120; ++i) {
+    a.Set(rng.Below(300));
+    b.Set(rng.Below(300));
+  }
+  for (const auto& [offset, length] :
+       {std::pair<size_t, size_t>{0, 300}, {0, 64}, {64, 64}, {13, 57},
+        {63, 2}, {128, 1}, {250, 50}, {299, 1}, {100, 0}}) {
+    SCOPED_TRACE(testing::Message() << "offset=" << offset
+                                    << " length=" << length);
+    EXPECT_EQ(a.HammingDistanceRange(b, offset, length),
+              a.Slice(offset, length).HammingDistance(b.Slice(offset, length)));
+  }
+}
+
+TEST(BitVectorTest, RangeDistancesSumToTotal) {
+  Rng rng(9);
+  BitVector a(120);
+  BitVector b(120);
+  for (int i = 0; i < 40; ++i) {
+    a.Set(rng.Below(120));
+    b.Set(rng.Below(120));
+  }
+  // Segments shaped like the NCVR layout of Table 3 (15+15+68+22 = 120).
+  const size_t total = a.HammingDistanceRange(b, 0, 15) +
+                       a.HammingDistanceRange(b, 15, 15) +
+                       a.HammingDistanceRange(b, 30, 68) +
+                       a.HammingDistanceRange(b, 98, 22);
+  EXPECT_EQ(total, a.HammingDistance(b));
+}
+
+TEST(BitVectorTest, JaccardDistance) {
+  BitVector a(32);
+  BitVector b(32);
+  EXPECT_DOUBLE_EQ(a.JaccardDistance(b), 0.0);  // both empty
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  // intersection 1, union 3.
+  EXPECT_DOUBLE_EQ(a.JaccardDistance(b), 1.0 - 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.JaccardDistance(a), 0.0);
+}
+
+TEST(BitVectorTest, EqualityIncludesSize) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_FALSE(a == b);
+  BitVector c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVectorTest, ToStringBitZeroFirst) {
+  BitVector bv(5);
+  bv.Set(0);
+  bv.Set(3);
+  EXPECT_EQ(bv.ToString(), "10010");
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,78 @@
+#include "src/lsh/blocking_table.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+TEST(BlockingTableTest, EmptyTable) {
+  BlockingTable table;
+  EXPECT_EQ(table.NumBuckets(), 0u);
+  EXPECT_EQ(table.NumEntries(), 0u);
+  EXPECT_EQ(table.MaxBucketSize(), 0u);
+  EXPECT_TRUE(table.Get(42).empty());
+}
+
+TEST(BlockingTableTest, InsertAndGet) {
+  BlockingTable table;
+  table.Insert(1, 100);
+  table.Insert(1, 101);
+  table.Insert(2, 102);
+  EXPECT_EQ(table.NumBuckets(), 2u);
+  EXPECT_EQ(table.NumEntries(), 3u);
+  EXPECT_EQ(table.MaxBucketSize(), 2u);
+  const auto bucket = table.Get(1);
+  ASSERT_EQ(bucket.size(), 2u);
+  EXPECT_EQ(bucket[0], 100u);
+  EXPECT_EQ(bucket[1], 101u);
+  EXPECT_EQ(table.Get(2).size(), 1u);
+  EXPECT_TRUE(table.Get(3).empty());
+}
+
+TEST(BlockingTableTest, DuplicateIdsAllowedInBucket) {
+  BlockingTable table;
+  table.Insert(5, 7);
+  table.Insert(5, 7);
+  EXPECT_EQ(table.Get(5).size(), 2u);
+}
+
+TEST(BlockingTableTest, ClearEmptiesEverything) {
+  BlockingTable table;
+  table.Insert(1, 1);
+  table.Insert(2, 2);
+  table.Clear();
+  EXPECT_EQ(table.NumBuckets(), 0u);
+  EXPECT_TRUE(table.Get(1).empty());
+}
+
+TEST(BlockingTableTest, EraseRemovesIdEverywhere) {
+  BlockingTable table;
+  table.Insert(1, 7);
+  table.Insert(1, 8);
+  table.Insert(2, 7);
+  table.Erase(7);
+  EXPECT_EQ(table.Get(1).size(), 1u);
+  EXPECT_EQ(table.Get(1)[0], 8u);
+  // Bucket 2 became empty and was dropped.
+  EXPECT_TRUE(table.Get(2).empty());
+  EXPECT_EQ(table.NumBuckets(), 1u);
+}
+
+TEST(BlockingTableTest, EraseUnknownIdIsNoOp) {
+  BlockingTable table;
+  table.Insert(1, 7);
+  table.Erase(99);
+  EXPECT_EQ(table.NumEntries(), 1u);
+}
+
+TEST(BlockingTableTest, BucketsIterable) {
+  BlockingTable table;
+  table.Insert(1, 10);
+  table.Insert(2, 20);
+  size_t total = 0;
+  for (const auto& [key, bucket] : table.buckets()) total += bucket.size();
+  EXPECT_EQ(total, 2u);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,115 @@
+#include "src/embedding/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/datagen/perturbator.h"
+
+namespace cbvlink {
+namespace {
+
+QGramExtractor MakeExtractor() {
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  EXPECT_TRUE(extractor.ok());
+  return std::move(extractor).value();
+}
+
+BloomFilterEncoder MakeEncoder(BloomFilterOptions options = {}) {
+  Result<BloomFilterEncoder> encoder =
+      BloomFilterEncoder::Create(MakeExtractor(), options);
+  EXPECT_TRUE(encoder.ok());
+  return std::move(encoder).value();
+}
+
+TEST(BloomFilterEncoderTest, DefaultsMatchPaper) {
+  const BloomFilterEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.vector_size(), 500u);
+  EXPECT_EQ(encoder.num_hashes(), 15u);
+}
+
+TEST(BloomFilterEncoderTest, RejectsZeroParameters) {
+  EXPECT_FALSE(
+      BloomFilterEncoder::Create(MakeExtractor(), {.num_bits = 0}).ok());
+  EXPECT_FALSE(
+      BloomFilterEncoder::Create(MakeExtractor(), {.num_hashes = 0}).ok());
+}
+
+TEST(BloomFilterEncoderTest, EmptyStringIsZeroFilter) {
+  EXPECT_EQ(MakeEncoder().Encode("").PopCount(), 0u);
+}
+
+TEST(BloomFilterEncoderTest, Deterministic) {
+  const BloomFilterEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.Encode("JONES"), encoder.Encode("JONES"));
+}
+
+TEST(BloomFilterEncoderTest, PopCountBounds) {
+  const BloomFilterEncoder encoder = MakeEncoder();
+  // 'JONES' has 4 bigrams, so at most 60 and at least 15 set bits (all
+  // hashes of one gram could collide only within the gram).
+  const size_t pop = encoder.Encode("JONES").PopCount();
+  EXPECT_LE(pop, 4u * 15u);
+  EXPECT_GE(pop, 15u);
+}
+
+TEST(BloomFilterEncoderTest, IdenticalGramsShareBits) {
+  const BloomFilterEncoder encoder = MakeEncoder();
+  // 'AAAA' has one distinct bigram -> at most 15 bits.
+  EXPECT_LE(encoder.Encode("AAAA").PopCount(), 15u);
+}
+
+TEST(BloomFilterEncoderTest, DistanceDependsOnStringLength) {
+  // Section 6.1's observation: one substitution produces a much larger
+  // Hamming distance on short strings than on long ones, because each
+  // changed bigram toggles up to 15 bits while long strings overlap more.
+  const BloomFilterEncoder encoder = MakeEncoder();
+  const size_t d_short =
+      encoder.Encode("JOHN").HammingDistance(encoder.Encode("JAHN"));
+  const size_t d_long = encoder.Encode("SCALABILITY")
+                            .HammingDistance(encoder.Encode("SCELABILITY"));
+  // Exact values depend on the hash family; the paper reports 54 vs 37.
+  // The robust property is a materially larger distance for the short
+  // pair despite the identical edit distance.
+  EXPECT_GT(d_short, d_long);
+  EXPECT_GT(d_short, 30u);
+  EXPECT_LT(d_long, d_short);
+}
+
+TEST(BloomFilterEncoderTest, SingleSubstitutionStaysUnderThreshold45) {
+  // The paper's PL matching threshold for Bloom filters is 45 per field;
+  // a single substitution should usually stay below it.
+  const BloomFilterEncoder encoder = MakeEncoder();
+  Rng rng(17);
+  int under = 0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::string base = "JOHNSON";
+    const std::string perturbed =
+        Perturbator::ApplyOp(base, PerturbationType::kSubstitute, rng);
+    if (encoder.Encode(base).HammingDistance(encoder.Encode(perturbed)) <= 60) {
+      ++under;
+    }
+  }
+  EXPECT_GT(under, 90);
+}
+
+TEST(BloomFilterEncoderTest, CustomSizes) {
+  const BloomFilterEncoder encoder =
+      MakeEncoder({.num_bits = 128, .num_hashes = 4});
+  EXPECT_EQ(encoder.vector_size(), 128u);
+  EXPECT_EQ(encoder.Encode("JONES").size(), 128u);
+  EXPECT_LE(encoder.Encode("JONES").PopCount(), 16u);
+}
+
+TEST(BloomFilterEncoderTest, SharedSeedMakesEncodersAgree) {
+  // Two encoders with the same options behave like the same family of
+  // "cryptographic" hash functions — a requirement for linking across
+  // independently encoded data sets.
+  const BloomFilterEncoder e1 = MakeEncoder();
+  const BloomFilterEncoder e2 = MakeEncoder();
+  EXPECT_EQ(e1.Encode("SMITH"), e2.Encode("SMITH"));
+}
+
+}  // namespace
+}  // namespace cbvlink

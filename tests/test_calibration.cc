@@ -1,0 +1,127 @@
+#include "src/eval/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/generators.h"
+#include "src/datagen/perturbator.h"
+
+namespace cbvlink {
+namespace {
+
+/// Sample matching pairs: NCVR records with one forced edit of `type` on
+/// attribute 0.
+std::vector<std::pair<Record, Record>> MakePairs(const NcvrGenerator& gen,
+                                                 PerturbationType type,
+                                                 size_t n) {
+  Rng rng(7);
+  std::vector<std::pair<Record, Record>> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record a = gen.Generate(i, rng);
+    Record b = a;
+    b.fields[0] = Perturbator::ApplyOp(b.fields[0], type, rng);
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  return pairs;
+}
+
+TEST(CalibrationTest, ValidatesInputs) {
+  const auto distances =
+      [](const Record&, const Record&) -> Result<std::vector<size_t>> {
+    return std::vector<size_t>{0};
+  };
+  EXPECT_FALSE(CalibrateThresholds(1, distances, {}, {}).ok());
+  Record r{0, {"X"}};
+  std::vector<std::pair<Record, Record>> one{{r, r}};
+  CalibrationOptions bad;
+  bad.recall_target = 0.0;
+  EXPECT_FALSE(CalibrateThresholds(1, distances, one, bad).ok());
+  bad.recall_target = 1.5;
+  EXPECT_FALSE(CalibrateThresholds(1, distances, one, bad).ok());
+  EXPECT_FALSE(CalibrateThresholds(0, distances, one, {}).ok());
+}
+
+TEST(CalibrationTest, QuantileSelection) {
+  // Distances 0..9 on one attribute; recall 0.95 -> ceil(9.5)-1 = index 9
+  // -> 9; recall 0.5 -> index 4 -> 4.
+  size_t next = 0;
+  const auto distances =
+      [&](const Record&, const Record&) -> Result<std::vector<size_t>> {
+    return std::vector<size_t>{next++};
+  };
+  Record r{0, {"X"}};
+  std::vector<std::pair<Record, Record>> pairs(10, {r, r});
+  CalibrationOptions half;
+  half.recall_target = 0.5;
+  Result<CalibratedThresholds> c = CalibrateThresholds(1, distances, pairs, half);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().thetas[0], 4u);
+  EXPECT_EQ(c.value().max_distances[0], 9u);
+
+  next = 0;
+  CalibrationOptions full;
+  full.recall_target = 1.0;
+  c = CalibrateThresholds(1, distances, pairs, full);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().thetas[0], 9u);
+}
+
+TEST(CalibrationTest, CVectorSubstitutionCalibratesNearPaperTheta) {
+  // Calibrating on single-substitution pairs should land at or below the
+  // Section 5.1 bound of 4 bits for the perturbed attribute and ~0 for
+  // untouched attributes.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng enc_rng(1);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      gen.value().schema(), {5.1, 5.0, 20.0, 7.2}, enc_rng);
+  ASSERT_TRUE(encoder.ok());
+
+  Result<CalibratedThresholds> c = CalibrateThresholds(
+      encoder.value(),
+      MakePairs(gen.value(), PerturbationType::kSubstitute, 400), {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(c.value().thetas[0], 2u);
+  EXPECT_LE(c.value().thetas[0], 4u);   // the alpha = 4 bound
+  EXPECT_EQ(c.value().thetas[1], 0u);   // untouched attributes
+  EXPECT_EQ(c.value().thetas[2], 0u);
+  EXPECT_EQ(c.value().max_distances[0], 4u);
+}
+
+TEST(CalibrationTest, BloomCalibrationShowsLengthDependentScale) {
+  // The Bloom space needs much larger thresholds for the same single
+  // edit (the Section 6.1 discussion; the paper's own example is 54
+  // bits for 'JOHN'/'JAHN').
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<BloomRecordEncoder> encoder =
+      BloomRecordEncoder::Create(gen.value().schema());
+  ASSERT_TRUE(encoder.ok());
+  Result<CalibratedThresholds> c = CalibrateThresholds(
+      encoder.value(),
+      MakePairs(gen.value(), PerturbationType::kSubstitute, 400), {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(c.value().thetas[0], 30u);
+  EXPECT_LE(c.value().thetas[0], 70u);
+}
+
+TEST(CalibrationTest, ToRuleBuildsConjunction) {
+  CalibratedThresholds c;
+  c.thetas = {4, 4, 8};
+  EXPECT_EQ(c.ToRule().ToString(), "((f1 <= 4) AND (f2 <= 4) AND (f3 <= 8))");
+  c.thetas = {3};
+  EXPECT_EQ(c.ToRule().ToString(), "(f1 <= 3)");
+}
+
+TEST(CalibrationTest, DistanceErrorsPropagate) {
+  const auto failing =
+      [](const Record&, const Record&) -> Result<std::vector<size_t>> {
+    return Status::Internal("no distance");
+  };
+  Record r{0, {"X"}};
+  std::vector<std::pair<Record, Record>> pairs{{r, r}};
+  EXPECT_FALSE(CalibrateThresholds(1, failing, pairs, {}).ok());
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,199 @@
+#include "src/blocking/classic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+#include "src/eval/experiment.h"
+#include "src/linkage/classic_linker.h"
+
+namespace cbvlink {
+namespace {
+
+std::vector<Record> MakeA() {
+  return {{0, {"JOHN", "SMITH"}},
+          {1, {"MARY", "JONES"}},
+          {2, {"ZARA", "WILSON"}}};
+}
+
+std::vector<Record> MakeB() {
+  return {{10, {"JOHN", "SMITH"}},   // exact dup of 0
+          {11, {"MARY", "JONAS"}},   // near dup of 1
+          {12, {"QUENTIN", "ADAMS"}}};
+}
+
+bool Contains(const std::vector<IdPair>& pairs, IdPair p) {
+  return std::find(pairs.begin(), pairs.end(), p) != pairs.end();
+}
+
+TEST(SortedNeighborhoodTest, WindowValidation) {
+  SortedNeighborhoodOptions options;
+  options.window = 0;
+  EXPECT_FALSE(SortedNeighborhoodCandidates(MakeA(), MakeB(), options).ok());
+}
+
+TEST(SortedNeighborhoodTest, AdjacentKeysBecomeCandidates) {
+  Result<std::vector<IdPair>> candidates =
+      SortedNeighborhoodCandidates(MakeA(), MakeB());
+  ASSERT_TRUE(candidates.ok());
+  // Identical records sort adjacently.
+  EXPECT_TRUE(Contains(candidates.value(), IdPair{0, 10}));
+  EXPECT_TRUE(Contains(candidates.value(), IdPair{1, 11}));
+}
+
+TEST(SortedNeighborhoodTest, PairsAreCrossSourceOnly) {
+  Result<std::vector<IdPair>> candidates =
+      SortedNeighborhoodCandidates(MakeA(), MakeB());
+  ASSERT_TRUE(candidates.ok());
+  for (const IdPair& p : candidates.value()) {
+    EXPECT_LT(p.a_id, 10u);
+    EXPECT_GE(p.b_id, 10u);
+  }
+}
+
+TEST(SortedNeighborhoodTest, WindowOneProducesNothing) {
+  SortedNeighborhoodOptions options;
+  options.window = 1;  // a window of one holds no pair
+  Result<std::vector<IdPair>> candidates =
+      SortedNeighborhoodCandidates(MakeA(), MakeB(), options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates.value().empty());
+}
+
+TEST(SortedNeighborhoodTest, LargerWindowsSupersetSmaller) {
+  SortedNeighborhoodOptions small;
+  small.window = 2;
+  SortedNeighborhoodOptions large;
+  large.window = 6;
+  const auto c_small =
+      SortedNeighborhoodCandidates(MakeA(), MakeB(), small).value();
+  const auto c_large =
+      SortedNeighborhoodCandidates(MakeA(), MakeB(), large).value();
+  for (const IdPair& p : c_small) {
+    EXPECT_TRUE(Contains(c_large, p));
+  }
+  EXPECT_GE(c_large.size(), c_small.size());
+}
+
+TEST(SortedNeighborhoodTest, MissesSimilarPairsWithDifferentPrefixes) {
+  // The classic failure: an error in the first characters of the key
+  // sends similar records far apart in sort order.
+  std::vector<Record> a = {{0, {"KATHERINE", "BROWN"}}};
+  std::vector<Record> b = {{10, {"XATHERINE", "BROWN"}}};  // first char typo
+  // Pad the pool so the two keys cannot fall into one window by luck.
+  for (size_t i = 1; i <= 30; ++i) {
+    a.push_back({i, {std::string("M") + std::string(3, 'A' + (i % 20)), "FILL"}});
+  }
+  SortedNeighborhoodOptions options;
+  options.window = 3;
+  Result<std::vector<IdPair>> candidates =
+      SortedNeighborhoodCandidates(a, b, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_FALSE(Contains(candidates.value(), IdPair{0, 10}));
+}
+
+TEST(CanopyTest, ThresholdValidation) {
+  CanopyOptions options;
+  options.loose_threshold = 0.3;
+  options.tight_threshold = 0.5;  // tight > loose
+  EXPECT_FALSE(CanopyCandidates(MakeA(), MakeB(), options).ok());
+  options.loose_threshold = 1.5;
+  EXPECT_FALSE(CanopyCandidates(MakeA(), MakeB(), options).ok());
+}
+
+TEST(CanopyTest, DuplicatesShareACanopy) {
+  Result<std::vector<IdPair>> candidates = CanopyCandidates(MakeA(), MakeB());
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(Contains(candidates.value(), IdPair{0, 10}));
+  EXPECT_TRUE(Contains(candidates.value(), IdPair{1, 11}));
+}
+
+TEST(CanopyTest, DissimilarRecordsStayApartWithStrictThresholds) {
+  CanopyOptions options;
+  options.loose_threshold = 0.3;
+  options.tight_threshold = 0.2;
+  Result<std::vector<IdPair>> candidates =
+      CanopyCandidates(MakeA(), MakeB(), options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_FALSE(Contains(candidates.value(), IdPair{2, 12}));
+}
+
+TEST(CanopyTest, LooseThresholdOneIsAllPairs) {
+  CanopyOptions options;
+  options.loose_threshold = 1.0;
+  options.tight_threshold = 1.0;
+  Result<std::vector<IdPair>> candidates =
+      CanopyCandidates(MakeA(), MakeB(), options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(candidates.value().size(), 9u);  // 3 x 3 cross pairs
+}
+
+TEST(ClassicLinkerTest, CreateValidation) {
+  ClassicConfig config;
+  EXPECT_FALSE(ClassicLinker::Create(std::move(config)).ok());
+}
+
+TEST(ClassicLinkerTest, SortedNeighborhoodEndToEnd) {
+  ClassicConfig config;
+  config.blocking = ClassicBlocking::kSortedNeighborhood;
+  config.edit_thresholds = {1, 1};
+  Result<ClassicLinker> linker = ClassicLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  EXPECT_EQ(linker.value().name(), "SortedNbh");
+  Result<LinkageResult> result = linker.value().Link(MakeA(), MakeB());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Contains(result.value().matches, IdPair{0, 10}));
+  EXPECT_TRUE(Contains(result.value().matches, IdPair{1, 11}));
+  EXPECT_FALSE(Contains(result.value().matches, IdPair{2, 12}));
+}
+
+TEST(ClassicLinkerTest, CanopyEndToEndOnGeneratedData) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkagePairOptions options;
+  options.num_records = 300;
+  options.seed = 13;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen.value(), PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+
+  ClassicConfig config;
+  config.blocking = ClassicBlocking::kCanopy;
+  config.edit_thresholds = {1, 1, 1, 1};
+  Result<ClassicLinker> linker = ClassicLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  EXPECT_EQ(linker.value().name(), "Canopy");
+  Result<ExperimentResult> result = RunLinkage(linker.value(), data.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Canopy with generous thresholds finds most pairs at small scale, but
+  // carries no guarantee — only sanity-check a reasonable range.
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.6);
+}
+
+TEST(ClassicLinkerTest, SortedNeighborhoodOnGeneratedData) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkagePairOptions options;
+  options.num_records = 300;
+  options.seed = 17;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen.value(), PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+
+  ClassicConfig config;
+  config.blocking = ClassicBlocking::kSortedNeighborhood;
+  config.sorted_neighborhood.window = 12;
+  config.edit_thresholds = {1, 1, 1, 1};
+  Result<ClassicLinker> linker = ClassicLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), data.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().quality.pairs_completeness, 0.3);
+  // No guarantee: typically well below the LSH methods' >= 0.95.
+  EXPECT_GT(result.value().linkage.stats.comparisons, 0u);
+}
+
+}  // namespace
+}  // namespace cbvlink

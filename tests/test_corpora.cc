@@ -1,0 +1,102 @@
+#include "src/datagen/corpora.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+namespace cbvlink {
+namespace {
+
+void ExpectUppercasePool(const std::vector<std::string>& pool,
+                         bool allow_space = false) {
+  EXPECT_GT(pool.size(), 10u);
+  for (const std::string& word : pool) {
+    EXPECT_FALSE(word.empty());
+    for (char c : word) {
+      const bool ok = (c >= 'A' && c <= 'Z') || (allow_space && c == ' ');
+      EXPECT_TRUE(ok) << "word '" << word << "' char '" << c << "'";
+    }
+  }
+}
+
+TEST(CorporaTest, PoolsAreWellFormed) {
+  ExpectUppercasePool(FirstNamePool());
+  ExpectUppercasePool(LastNamePool());
+  ExpectUppercasePool(StreetNamePool(), /*allow_space=*/true);
+  ExpectUppercasePool(StreetTypePool());
+  ExpectUppercasePool(TownPool(), /*allow_space=*/true);
+  ExpectUppercasePool(TitleWordPool());
+}
+
+TEST(CorporaTest, PoolsHaveLengthDiversity) {
+  // Calibration needs both short and long entries around the targets.
+  const auto spread = [](const std::vector<std::string>& pool) {
+    size_t min_len = 1000;
+    size_t max_len = 0;
+    for (const std::string& w : pool) {
+      min_len = std::min(min_len, w.size());
+      max_len = std::max(max_len, w.size());
+    }
+    return std::pair(min_len, max_len);
+  };
+  EXPECT_LT(spread(FirstNamePool()).first, 5u);
+  EXPECT_GT(spread(FirstNamePool()).second, 8u);
+  EXPECT_LT(spread(TownPool()).first, 7u);
+  EXPECT_GT(spread(TownPool()).second, 10u);
+}
+
+TEST(CalibratedPoolTest, RejectsEmptyCorpus) {
+  EXPECT_FALSE(CalibratedPool::Create(nullptr, 5.0).ok());
+  const std::vector<std::string> empty;
+  EXPECT_FALSE(CalibratedPool::Create(&empty, 5.0).ok());
+}
+
+TEST(CalibratedPoolTest, ExpectedLengthMatchesTarget) {
+  for (const double target : {5.0, 6.1, 7.2, 8.2}) {
+    Result<CalibratedPool> pool = CalibratedPool::Create(&TownPool(), target);
+    ASSERT_TRUE(pool.ok());
+    EXPECT_NEAR(pool.value().ExpectedLength(), target, 1e-9) << target;
+  }
+}
+
+TEST(CalibratedPoolTest, EmpiricalMeanConvergesToTarget) {
+  const double target = 6.1;
+  Result<CalibratedPool> pool =
+      CalibratedPool::Create(&FirstNamePool(), target);
+  ASSERT_TRUE(pool.ok());
+  Rng rng(42);
+  double sum = 0.0;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(pool.value().Sample(rng).size());
+  }
+  EXPECT_NEAR(sum / kDraws, target, 0.06);
+}
+
+TEST(CalibratedPoolTest, UnreachableTargetDegradesToUniform) {
+  const std::vector<std::string> pool{"AA", "BB", "CC"};
+  // Target above every word's length.
+  Result<CalibratedPool> high = CalibratedPool::Create(&pool, 10.0);
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(high.value().ExpectedLength(), 2.0);
+  // Target below every word's length.
+  Result<CalibratedPool> low = CalibratedPool::Create(&pool, 1.0);
+  ASSERT_TRUE(low.ok());
+  EXPECT_DOUBLE_EQ(low.value().ExpectedLength(), 2.0);
+  Rng rng(1);
+  EXPECT_EQ(low.value().Sample(rng).size(), 2u);
+}
+
+TEST(CalibratedPoolTest, SamplesComeFromThePool) {
+  Result<CalibratedPool> pool = CalibratedPool::Create(&LastNamePool(), 6.0);
+  ASSERT_TRUE(pool.ok());
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::string& w = pool.value().Sample(rng);
+    EXPECT_NE(std::find(LastNamePool().begin(), LastNamePool().end(), w),
+              LastNamePool().end());
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

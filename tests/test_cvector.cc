@@ -1,0 +1,141 @@
+#include "src/embedding/cvector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/datagen/perturbator.h"
+#include "src/embedding/qgram_vector.h"
+
+namespace cbvlink {
+namespace {
+
+QGramExtractor MakeExtractor() {
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  EXPECT_TRUE(extractor.ok());
+  return std::move(extractor).value();
+}
+
+TEST(CVectorEncoderTest, SizeFollowsTheorem1) {
+  Rng rng(1);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(MakeExtractor(), 5.1, rng);
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().vector_size(), 15u);  // Table 3 FirstName
+}
+
+TEST(CVectorEncoderTest, ExplicitSize) {
+  Rng rng(1);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::CreateWithSize(MakeExtractor(), 64, rng);
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().vector_size(), 64u);
+  EXPECT_EQ(encoder.value().Encode("JOHN").size(), 64u);
+}
+
+TEST(CVectorEncoderTest, RejectsZeroSize) {
+  Rng rng(1);
+  EXPECT_FALSE(CVectorEncoder::CreateWithSize(MakeExtractor(), 0, rng).ok());
+}
+
+TEST(CVectorEncoderTest, PropagatesSizingErrors) {
+  Rng rng(1);
+  EXPECT_FALSE(CVectorEncoder::Create(MakeExtractor(), 0.5, rng).ok());
+}
+
+TEST(CVectorEncoderTest, DeterministicPerEncoder) {
+  Rng rng(2);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(MakeExtractor(), 5.0, rng);
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().Encode("JONES"), encoder.value().Encode("JONES"));
+}
+
+TEST(CVectorEncoderTest, EmptyStringIsZeroVector) {
+  Rng rng(3);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(MakeExtractor(), 5.0, rng);
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().Encode("").PopCount(), 0u);
+}
+
+TEST(CVectorEncoderTest, PopCountAtMostNumGrams) {
+  Rng rng(4);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(MakeExtractor(), 20.0, rng);
+  ASSERT_TRUE(encoder.ok());
+  for (const char* s : {"JONES", "WASHINGTON", "KARAPIPERIS", "A", "AB"}) {
+    const size_t grams = encoder.value().extractor().IndexSet(s).size();
+    EXPECT_LE(encoder.value().Encode(s).PopCount(), grams) << s;
+    if (grams > 0) {
+      // Any string with at least one bigram sets at least one bit.
+      EXPECT_GE(encoder.value().Encode(s).PopCount(), 1u) << s;
+    }
+  }
+}
+
+TEST(CVectorEncoderTest, DistancePreservationOnAverage) {
+  // Compact distances track full q-gram vector distances up to collision
+  // loss: u_cBV <= u_BV always, and on average stays close for the
+  // Theorem 1 size (rho = 1).
+  Rng rng(5);
+  const QGramVectorEncoder full =
+      QGramVectorEncoder::Create(MakeExtractor()).value();
+  size_t total_full = 0;
+  size_t total_compact = 0;
+  size_t violations = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Result<CVectorEncoder> compact =
+        CVectorEncoder::Create(MakeExtractor(), 5.0, rng);
+    ASSERT_TRUE(compact.ok());
+    const std::string base = "JONES";
+    const std::string perturbed =
+        Perturbator::ApplyOp(base, PerturbationType::kSubstitute, rng);
+    const size_t u_full =
+        full.Encode(base).HammingDistance(full.Encode(perturbed));
+    const size_t u_compact = compact.value()
+                                 .Encode(base)
+                                 .HammingDistance(compact.value().Encode(perturbed));
+    total_full += u_full;
+    total_compact += u_compact;
+    if (u_compact > u_full) ++violations;
+  }
+  // Hashing can only merge set bits, never create differences.
+  EXPECT_EQ(violations, 0u);
+  // Collisions should eat only a modest fraction of the distance.
+  EXPECT_GT(total_compact, total_full / 2);
+  EXPECT_LE(total_compact, total_full);
+}
+
+TEST(CVectorEncoderTest, IdenticalStringsHaveZeroDistance) {
+  Rng rng(6);
+  Result<CVectorEncoder> encoder =
+      CVectorEncoder::Create(MakeExtractor(), 7.2, rng);
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().Encode("RALEIGH").HammingDistance(
+                encoder.value().Encode("RALEIGH")),
+            0u);
+}
+
+TEST(CVectorEncoderTest, DifferentSeedsProduceDifferentHashes) {
+  Rng rng1(7);
+  Rng rng2(8);
+  const CVectorEncoder e1 =
+      CVectorEncoder::Create(MakeExtractor(), 20.0, rng1).value();
+  const CVectorEncoder e2 =
+      CVectorEncoder::Create(MakeExtractor(), 20.0, rng2).value();
+  EXPECT_FALSE(e1.Encode("WASHINGTON") == e2.Encode("WASHINGTON"));
+}
+
+TEST(CVectorEncoderTest, SharedEncoderPreservesEquality) {
+  // Equal strings must map to equal c-vectors under the same encoder —
+  // the property HB relies on.
+  Rng rng(9);
+  const CVectorEncoder encoder =
+      CVectorEncoder::Create(MakeExtractor(), 5.0, rng).value();
+  EXPECT_EQ(encoder.Encode("SMITH"), encoder.Encode("SMITH"));
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,167 @@
+#include "src/datagen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace cbvlink {
+namespace {
+
+NcvrGenerator MakeGenerator() {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  EXPECT_TRUE(gen.ok());
+  return std::move(gen).value();
+}
+
+TEST(BuildLinkagePairTest, SizesAndIdSpaces) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 500;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().a.size(), 500u);
+  EXPECT_EQ(data.value().b.size(), 500u);
+  for (const Record& r : data.value().a) EXPECT_LT(r.id, 500u);
+  for (const Record& r : data.value().b) EXPECT_GE(r.id, 500u);
+}
+
+TEST(BuildLinkagePairTest, TruthFractionNearSelectionProbability) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 4000;
+  options.selection_probability = 0.5;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  const double fraction =
+      static_cast<double>(data.value().truth.size()) / 4000.0;
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(BuildLinkagePairTest, TruthPairsReferenceRealRecords) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 300;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  std::set<RecordId> b_ids;
+  for (const Record& r : data.value().b) b_ids.insert(r.id);
+  for (const GroundTruthEntry& entry : data.value().truth) {
+    EXPECT_LT(entry.pair.a_id, 300u);
+    EXPECT_TRUE(b_ids.contains(entry.pair.b_id));
+    EXPECT_FALSE(entry.ops.empty());
+  }
+}
+
+TEST(BuildLinkagePairTest, PerturbedRecordsDifferFromOriginals) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 300;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  for (const GroundTruthEntry& entry : data.value().truth) {
+    const Record& a = data.value().a[entry.pair.a_id];
+    const Record* b = nullptr;
+    for (const Record& r : data.value().b) {
+      if (r.id == entry.pair.b_id) b = &r;
+    }
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.fields, b->fields);
+  }
+}
+
+TEST(BuildLinkagePairTest, ZeroSelectionProbabilityGivesNoTruth) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 100;
+  options.selection_probability = 0.0;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().truth.empty());
+  EXPECT_EQ(data.value().b.size(), 100u);
+}
+
+TEST(BuildLinkagePairTest, FullSelectionGivesAllTruth) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 100;
+  options.selection_probability = 1.0;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().truth.size(), 100u);
+}
+
+TEST(BuildLinkagePairTest, DeterministicForSeed) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 200;
+  options.seed = 77;
+  Result<LinkagePair> d1 =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  Result<LinkagePair> d2 =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1.value().truth.size(), d2.value().truth.size());
+  for (size_t i = 0; i < d1.value().a.size(); ++i) {
+    EXPECT_EQ(d1.value().a[i].fields, d2.value().a[i].fields);
+  }
+}
+
+TEST(BuildLinkagePairTest, InvalidOptionsRejected) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 0;
+  EXPECT_FALSE(
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options).ok());
+  options.num_records = 10;
+  options.selection_probability = 1.5;
+  EXPECT_FALSE(
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options).ok());
+  options.selection_probability = 0.5;
+  options.copies_per_selected = 0;
+  EXPECT_FALSE(
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options).ok());
+}
+
+TEST(BuildLinkagePairTest, HeavySchemeRecordsCarryFourOps) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 200;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Heavy(4), options);
+  ASSERT_TRUE(data.ok());
+  for (const GroundTruthEntry& entry : data.value().truth) {
+    EXPECT_EQ(entry.ops.size(), 4u);  // 1 + 1 + 2
+  }
+}
+
+TEST(BuildLinkagePairTest, MultipleCopiesPerSelected) {
+  const NcvrGenerator gen = MakeGenerator();
+  LinkagePairOptions options;
+  options.num_records = 200;
+  options.copies_per_selected = 2;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen, PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().b.size(), 200u);
+  // Some A records should appear twice in the truth.
+  std::map<RecordId, int> counts;
+  for (const GroundTruthEntry& e : data.value().truth) {
+    ++counts[e.pair.a_id];
+  }
+  bool any_double = false;
+  for (const auto& [id, n] : counts) {
+    if (n == 2) any_double = true;
+  }
+  EXPECT_TRUE(any_double);
+}
+
+}  // namespace
+}  // namespace cbvlink

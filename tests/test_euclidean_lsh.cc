@@ -1,0 +1,99 @@
+#include "src/lsh/euclidean_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lsh/params.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(EuclideanLshFamilyTest, CreateValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(EuclideanLshFamily::Create(0, 3, 20, 4.0, rng).ok());
+  EXPECT_FALSE(EuclideanLshFamily::Create(5, 0, 20, 4.0, rng).ok());
+  EXPECT_FALSE(EuclideanLshFamily::Create(5, 3, 0, 4.0, rng).ok());
+  EXPECT_FALSE(EuclideanLshFamily::Create(5, 3, 20, 0.0, rng).ok());
+  EXPECT_FALSE(EuclideanLshFamily::Create(5, 3, 20, -1.0, rng).ok());
+  Result<EuclideanLshFamily> family =
+      EuclideanLshFamily::Create(5, 3, 20, 4.0, rng);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family.value().K(), 5u);
+  EXPECT_EQ(family.value().L(), 3u);
+  EXPECT_EQ(family.value().dimensions(), 20u);
+}
+
+TEST(EuclideanLshFamilyTest, EqualPointsEqualKeys) {
+  Rng rng(2);
+  const EuclideanLshFamily family =
+      EuclideanLshFamily::Create(5, 4, 8, 4.0, rng).value();
+  const std::vector<double> p{1.0, -2.0, 0.5, 3.0, 0.0, 0.0, 1.0, 2.0};
+  for (size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(family.Key(p, l), family.Key(p, l));
+  }
+}
+
+TEST(EuclideanLshFamilyTest, NearbyPointsCollideMoreOftenThanFarPoints) {
+  Rng rng(3);
+  const std::vector<double> origin(10, 0.0);
+  std::vector<double> near(10, 0.0);
+  near[0] = 0.5;
+  std::vector<double> far(10, 0.0);
+  for (auto& v : far) v = 10.0;
+
+  constexpr size_t kTrials = 1500;
+  size_t near_hits = 0;
+  size_t far_hits = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const EuclideanLshFamily family =
+        EuclideanLshFamily::Create(2, 1, 10, 4.0, rng).value();
+    if (family.Key(origin, 0) == family.Key(near, 0)) ++near_hits;
+    if (family.Key(origin, 0) == family.Key(far, 0)) ++far_hits;
+  }
+  EXPECT_GT(near_hits, far_hits * 3);
+  EXPECT_GT(near_hits, kTrials / 2);
+}
+
+TEST(EuclideanLshFamilyTest, CollisionRateMatchesDatarFormula) {
+  // Empirical single-projection collision rate at distance c should match
+  // EuclideanBaseProbability(c, w).
+  Rng rng(4);
+  constexpr double kW = 4.0;
+  constexpr double kC = 4.0;
+  const std::vector<double> a(6, 0.0);
+  std::vector<double> b(6, 0.0);
+  b[0] = kC;
+
+  constexpr size_t kTrials = 6000;
+  size_t hits = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const EuclideanLshFamily family =
+        EuclideanLshFamily::Create(1, 1, 6, kW, rng).value();
+    if (family.Key(a, 0) == family.Key(b, 0)) ++hits;
+  }
+  const double expected = EuclideanBaseProbability(kC, kW).value();
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, expected, 0.03);
+}
+
+TEST(EuclideanLshFamilyTest, TranslationInvarianceOfDistances) {
+  // Keys themselves change under translation, but collision behaviour
+  // depends only on the difference vector; check empirically.
+  Rng rng(5);
+  const std::vector<double> a1{0.0, 0.0};
+  const std::vector<double> b1{1.0, 1.0};
+  const std::vector<double> a2{100.0, -50.0};
+  const std::vector<double> b2{101.0, -49.0};
+  constexpr size_t kTrials = 3000;
+  size_t hits1 = 0;
+  size_t hits2 = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const EuclideanLshFamily family =
+        EuclideanLshFamily::Create(1, 1, 2, 4.0, rng).value();
+    if (family.Key(a1, 0) == family.Key(b1, 0)) ++hits1;
+    if (family.Key(a2, 0) == family.Key(b2, 0)) ++hits2;
+  }
+  EXPECT_NEAR(static_cast<double>(hits1) / kTrials,
+              static_cast<double>(hits2) / kTrials, 0.04);
+}
+
+}  // namespace
+}  // namespace cbvlink

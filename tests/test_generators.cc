@@ -1,0 +1,150 @@
+#include "src/datagen/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+/// Mean unpadded bigram count of attribute `attr` over n generated
+/// records.
+double MeanBigrams(const RecordGenerator& generator, size_t attr, size_t n) {
+  Rng rng(123);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Record r = generator.Generate(i, rng);
+    const std::string& value = r.fields[attr];
+    sum += value.size() <= 1 ? 0.0 : static_cast<double>(value.size() - 1);
+  }
+  return sum / static_cast<double>(n);
+}
+
+TEST(NcvrGeneratorTest, SchemaShape) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  const Schema& schema = gen.value().schema();
+  ASSERT_EQ(schema.num_attributes(), 4u);
+  EXPECT_EQ(schema.attributes[0].name, "FirstName");
+  EXPECT_EQ(schema.attributes[2].name, "Address");
+  EXPECT_FALSE(schema.attributes[0].qgram.pad);
+}
+
+TEST(NcvrGeneratorTest, RecordsHaveFourFieldsAndGivenId) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(1);
+  const Record r = gen.value().Generate(77, rng);
+  EXPECT_EQ(r.id, 77u);
+  ASSERT_EQ(r.fields.size(), 4u);
+  for (const std::string& f : r.fields) EXPECT_FALSE(f.empty());
+}
+
+TEST(NcvrGeneratorTest, AddressHasNumberStreetType) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Record r = gen.value().Generate(i, rng);
+    const std::string& addr = r.fields[2];
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(addr[0]))) << addr;
+    EXPECT_NE(addr.find(' '), std::string::npos) << addr;
+  }
+}
+
+TEST(NcvrGeneratorTest, BigramMeansMatchTable3) {
+  // Table 3 NCVR: b = 5.1 / 5.0 / 20.0 / 7.2.  The generator is
+  // calibrated to these targets; sampling noise allows a small tolerance.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kN = 20000;
+  EXPECT_NEAR(MeanBigrams(gen.value(), 0, kN), 5.1, 0.15);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 1, kN), 5.0, 0.15);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 2, kN), 20.0, 0.35);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 3, kN), 7.2, 0.15);
+}
+
+TEST(DblpGeneratorTest, SchemaShape) {
+  Result<DblpGenerator> gen = DblpGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  const Schema& schema = gen.value().schema();
+  ASSERT_EQ(schema.num_attributes(), 4u);
+  EXPECT_EQ(schema.attributes[2].name, "Title");
+  EXPECT_EQ(schema.attributes[3].name, "Year");
+}
+
+TEST(DblpGeneratorTest, YearIsFourDigits) {
+  Result<DblpGenerator> gen = DblpGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Record r = gen.value().Generate(i, rng);
+    const std::string& year = r.fields[3];
+    ASSERT_EQ(year.size(), 4u);
+    const int y = std::stoi(year);
+    EXPECT_GE(y, 1970);
+    EXPECT_LE(y, 2015);
+  }
+}
+
+TEST(DblpGeneratorTest, BigramMeansMatchTable3) {
+  // Table 3 DBLP: b = 4.8 / 6.2 / 64.8 / 3.0.
+  Result<DblpGenerator> gen = DblpGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kN = 20000;
+  EXPECT_NEAR(MeanBigrams(gen.value(), 0, kN), 4.8, 0.15);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 1, kN), 6.2, 0.15);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 2, kN), 64.8, 1.0);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 3, kN), 3.0, 1e-9);
+}
+
+TEST(DblpGeneratorTest, TitlesAreMultiWord) {
+  Result<DblpGenerator> gen = DblpGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const Record r = gen.value().Generate(i, rng);
+    EXPECT_NE(r.fields[2].find(' '), std::string::npos) << r.fields[2];
+  }
+}
+
+TEST(NcvrGeneratorTest, CustomTargetsShiftTheMeans) {
+  NcvrTargets targets;
+  targets.first_name_b = 4.0;  // shorter names than the default 5.1
+  targets.town_b = 9.0;        // longer towns than the default 7.2
+  Result<NcvrGenerator> gen = NcvrGenerator::Create(targets);
+  ASSERT_TRUE(gen.ok());
+  constexpr size_t kN = 15000;
+  EXPECT_NEAR(MeanBigrams(gen.value(), 0, kN), 4.0, 0.15);
+  EXPECT_NEAR(MeanBigrams(gen.value(), 3, kN), 9.0, 0.25);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSameRngState) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng1(9);
+  Rng rng2(9);
+  const Record a = gen.value().Generate(0, rng1);
+  const Record b = gen.value().Generate(0, rng2);
+  EXPECT_EQ(a.fields, b.fields);
+}
+
+TEST(GeneratorsTest, EstimateExpectedQGramsAgreesWithGenerator) {
+  // Closing the loop: Charlie's estimation over generated data should
+  // land near Table 3 so CVectorRecordEncoder::Create derives the right
+  // m_opt values.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(11);
+  std::vector<Record> sample;
+  for (size_t i = 0; i < 5000; ++i) {
+    sample.push_back(gen.value().Generate(i, rng));
+  }
+  const std::vector<double> means =
+      EstimateExpectedQGrams(gen.value().schema(), sample);
+  EXPECT_NEAR(means[0], 5.1, 0.2);
+  EXPECT_NEAR(means[1], 5.0, 0.2);
+  EXPECT_NEAR(means[2], 20.0, 0.5);
+  EXPECT_NEAR(means[3], 7.2, 0.2);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,128 @@
+#include "src/common/hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cbvlink {
+namespace {
+
+TEST(PairwiseHashTest, StaysInRange) {
+  Rng rng(1);
+  const PairwiseHash g = PairwiseHash::Random(rng, 15);
+  for (uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_LT(g(x), 15u);
+  }
+}
+
+TEST(PairwiseHashTest, Deterministic) {
+  const PairwiseHash g(17, 23, 100);
+  EXPECT_EQ(g(42), g(42));
+  EXPECT_EQ(g(42), ((17 * 42 + 23) % kHashPrime) % 100);
+}
+
+TEST(PairwiseHashTest, RandomMembersDiffer) {
+  Rng rng(2);
+  const PairwiseHash g1 = PairwiseHash::Random(rng, 1000);
+  const PairwiseHash g2 = PairwiseHash::Random(rng, 1000);
+  int diffs = 0;
+  for (uint64_t x = 0; x < 100; ++x) {
+    if (g1(x) != g2(x)) ++diffs;
+  }
+  EXPECT_GT(diffs, 90);
+}
+
+TEST(PairwiseHashTest, CoefficientsInOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const PairwiseHash g = PairwiseHash::Random(rng, 64);
+    EXPECT_GT(g.a(), 0u);
+    EXPECT_LT(g.a(), kHashPrime);
+    EXPECT_GT(g.b(), 0u);
+    EXPECT_LT(g.b(), kHashPrime);
+  }
+}
+
+TEST(PairwiseHashTest, ApproximatelyUniformOverRange) {
+  Rng rng(4);
+  const PairwiseHash g = PairwiseHash::Random(rng, 16);
+  std::vector<int> counts(16, 0);
+  // Sequential inputs stress the linear structure of the hash.
+  for (uint64_t x = 0; x < 16000; ++x) ++counts[g(x)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 350);
+}
+
+TEST(PairwiseHashTest, CollisionRateNearBirthdayBound) {
+  // Hashing b = 20 distinct values into m = 68 slots (the Address row of
+  // Table 3) should produce close to the Lemma 1 expectation of ~2.7
+  // collisions on average.
+  Rng rng(5);
+  double total_collisions = 0.0;
+  constexpr int kTrials = 400;
+  for (int t = 0; t < kTrials; ++t) {
+    const PairwiseHash g = PairwiseHash::Random(rng, 68);
+    std::set<uint64_t> slots;
+    for (uint64_t x = 0; x < 20; ++x) slots.insert(g(x * 977 + t));
+    total_collisions += 20.0 - static_cast<double>(slots.size());
+  }
+  const double mean = total_collisions / kTrials;
+  EXPECT_GT(mean, 1.2);
+  EXPECT_LT(mean, 4.5);
+}
+
+TEST(Mix64Test, InjectiveOnSmallSample) {
+  std::set<uint64_t> outputs;
+  for (uint64_t x = 0; x < 10000; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(BloomHashFamilyTest, ProducesKPositionsInRange) {
+  const BloomHashFamily family(15, 500, 99);
+  std::vector<size_t> positions;
+  family.Positions(1234, &positions);
+  EXPECT_EQ(positions.size(), 15u);
+  for (size_t p : positions) EXPECT_LT(p, 500u);
+}
+
+TEST(BloomHashFamilyTest, DeterministicPerElement) {
+  const BloomHashFamily family(15, 500, 99);
+  std::vector<size_t> p1, p2;
+  family.Positions(42, &p1);
+  family.Positions(42, &p2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(BloomHashFamilyTest, DifferentSeedsGiveDifferentPositions) {
+  const BloomHashFamily f1(15, 500, 1);
+  const BloomHashFamily f2(15, 500, 2);
+  std::vector<size_t> p1, p2;
+  f1.Positions(42, &p1);
+  f2.Positions(42, &p2);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(BloomHashFamilyTest, AppendsWithoutClearing) {
+  const BloomHashFamily family(3, 100, 7);
+  std::vector<size_t> positions;
+  family.Positions(1, &positions);
+  family.Positions(2, &positions);
+  EXPECT_EQ(positions.size(), 6u);
+}
+
+TEST(HashBytesTest, DeterministicAndSeedSensitive) {
+  const char data[] = "JONES";
+  EXPECT_EQ(HashBytes(data, 5), HashBytes(data, 5));
+  EXPECT_NE(HashBytes(data, 5, 1), HashBytes(data, 5, 2));
+  const char other[] = "JONAS";
+  EXPECT_NE(HashBytes(data, 5), HashBytes(other, 5));
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,68 @@
+#include "src/metrics/jaccard.h"
+
+#include <gtest/gtest.h>
+
+#include "src/text/qgram.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(JaccardTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1}, {}), 1.0);
+}
+
+TEST(JaccardTest, IdenticalSets) {
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(JaccardTest, DisjointSets) {
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {3, 4}), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // |inter| = 2, |union| = 4.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(JaccardTest, PaperJonesJonasExample) {
+  // Section 5.1: d_J('JONES', 'JONAS') ~= 0.667 over unpadded bigram sets
+  // {JO,ON,NE,ES} vs {JO,ON,NA,AS}: |inter| = 2, |union| = 6.
+  Result<QGramExtractor> e =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  ASSERT_TRUE(e.ok());
+  const double d =
+      JaccardDistance(e.value().IndexSet("JONES"), e.value().IndexSet("JONAS"));
+  EXPECT_NEAR(d, 2.0 / 3.0, 1e-9);
+}
+
+TEST(JaccardTest, PaperWashingtonExampleIsLengthSensitive) {
+  // Section 5.1: the same single substitution gives d_J ~= 0.364 for the
+  // longer 'WASHINGTON'/'WASHANGTON' pair — the Hamming space does not
+  // have this length dependence.
+  Result<QGramExtractor> e =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  ASSERT_TRUE(e.ok());
+  const double d = JaccardDistance(e.value().IndexSet("WASHINGTON"),
+                                   e.value().IndexSet("WASHANGTON"));
+  EXPECT_NEAR(d, 4.0 / 11.0, 1e-9);
+  // Both pairs are one substitution apart, yet their Jaccard distances
+  // differ by a factor ~1.8 — the motivation of Section 5.1.
+  EXPECT_LT(d, 0.5);
+}
+
+TEST(JaccardTest, SubsetRelation) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(JaccardTest, SimilarityPlusDistanceIsOne) {
+  const std::vector<uint64_t> a{1, 5, 9, 12};
+  const std::vector<uint64_t> b{5, 9, 40};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b) + JaccardDistance(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace cbvlink

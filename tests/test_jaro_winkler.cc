@@ -1,0 +1,86 @@
+#include "src/metrics/jaro_winkler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/euclidean.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(JaroTest, IdenticalAndEmpty) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("MARTHA", "MARTHA"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "ABC"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("ABC", ""), 0.0);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("ABC", "XYZ"), 0.0);
+}
+
+TEST(JaroTest, ClassicMarthaMarhta) {
+  // Standard reference value: 0.944...
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444444, 1e-6);
+}
+
+TEST(JaroTest, ClassicDwayneDuane) {
+  EXPECT_NEAR(JaroSimilarity("DWAYNE", "DUANE"), 0.8222222, 1e-6);
+}
+
+TEST(JaroTest, ClassicDixonDicksonx) {
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.7666667, 1e-6);
+}
+
+TEST(JaroTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("DWAYNE", "DUANE"),
+                   JaroSimilarity("DUANE", "DWAYNE"));
+}
+
+TEST(JaroWinklerTest, BoostsCommonPrefix) {
+  // MARTHA/MARHTA share a 3-char prefix: 0.9444 + 3*0.1*(1-0.9444).
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.9611111, 1e-6);
+  EXPECT_GE(JaroWinklerSimilarity("MARTHA", "MARHTA"),
+            JaroSimilarity("MARTHA", "MARHTA"));
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("DWAYNE", "UANED"),
+                   JaroSimilarity("DWAYNE", "UANED"));
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  const double sim4 = JaroWinklerSimilarity("ABCDEX", "ABCDEY");
+  const double jaro = JaroSimilarity("ABCDEX", "ABCDEY");
+  EXPECT_NEAR(sim4, jaro + 4 * 0.1 * (1 - jaro), 1e-12);
+}
+
+TEST(JaroWinklerTest, WeightClampedToQuarter) {
+  const double sim = JaroWinklerSimilarity("MARTHA", "MARHTA", 5.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(JaroWinklerTest, DistanceComplementsSimilarity) {
+  EXPECT_DOUBLE_EQ(
+      JaroWinklerDistance("DWAYNE", "DUANE") +
+          JaroWinklerSimilarity("DWAYNE", "DUANE"),
+      1.0);
+}
+
+TEST(EuclideanTest, ZeroDistanceForIdentical) {
+  const std::vector<double> v{1.0, -2.0, 3.5};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(v, v), 0.0);
+}
+
+TEST(EuclideanTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(EuclideanTest, Symmetric) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{-4, 0, 9};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), EuclideanDistance(b, a));
+}
+
+}  // namespace
+}  // namespace cbvlink

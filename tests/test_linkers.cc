@@ -1,0 +1,286 @@
+// End-to-end integration tests: every linkage pipeline runs on a small
+// NCVR-shaped data set and is scored against ground truth.  Thresholds
+// follow Section 6 scaled to the PL scheme.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/eval/experiment.h"
+#include "src/linkage/bfh_linker.h"
+#include "src/linkage/cbv_hb_linker.h"
+#include "src/linkage/harra_linker.h"
+#include "src/linkage/smeb_linker.h"
+
+namespace cbvlink {
+namespace {
+
+class LinkersTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Result<NcvrGenerator> gen = NcvrGenerator::Create();
+    ASSERT_TRUE(gen.ok());
+    generator_ = new NcvrGenerator(std::move(gen).value());
+    LinkagePairOptions options;
+    options.num_records = 800;
+    options.seed = 4242;
+    Result<LinkagePair> data =
+        BuildLinkagePair(*generator_, PerturbationScheme::Light(), options);
+    ASSERT_TRUE(data.ok());
+    data_ = new LinkagePair(std::move(data).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete data_;
+    delete generator_;
+    data_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static Rule PlRule() {
+    // PL: every attribute within theta = 4.
+    return Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 4),
+                      Rule::Pred(3, 4)});
+  }
+
+  static NcvrGenerator* generator_;
+  static LinkagePair* data_;
+};
+
+NcvrGenerator* LinkersTest::generator_ = nullptr;
+LinkagePair* LinkersTest::data_ = nullptr;
+
+TEST_F(LinkersTest, CbvHbRecordLevelFindsMostPairs) {
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.attribute_level_blocking = false;
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.seed = 1;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Paper: PC constantly above 0.95 (Figure 9a).
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.9);
+  EXPECT_GE(result.value().quality.reduction_ratio, 0.9);
+  // m-bar should be near the 120 bits of Table 3.
+  ASSERT_NE(linker.value().last_encoder(), nullptr);
+  EXPECT_NEAR(static_cast<double>(linker.value().last_encoder()->total_bits()),
+              120.0, 10.0);
+}
+
+TEST_F(LinkersTest, CbvHbAttributeLevelFindsMostPairs) {
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.attribute_level_blocking = true;
+  config.attribute_K = {5, 5, 10, 5};
+  config.seed = 2;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.9);
+}
+
+TEST_F(LinkersTest, BfhFindsMostPairs) {
+  BfhConfig config;
+  config.schema = generator_->schema();
+  // Section 6.1: theta = 45 per field for PL.
+  config.rule = Rule::And({Rule::Pred(0, 45), Rule::Pred(1, 45),
+                           Rule::Pred(2, 45), Rule::Pred(3, 45)});
+  config.record_theta = 45;
+  config.seed = 3;
+  Result<BfhLinker> linker = BfhLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // A single edit on a long Address can flip > 45 Bloom bits (the
+  // length-dependence of Section 6.1), so BfH's PL recall sits slightly
+  // below cBV-HB's.
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.8);
+}
+
+TEST_F(LinkersTest, HarraFindsPairsButMissesSome) {
+  HarraConfig config;
+  config.K = 5;
+  config.L = 30;
+  config.theta = 0.35;
+  config.seed = 4;
+  Result<HarraLinker> linker = HarraLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // HARRA finds a substantial share but the paper reports ~0.82 on NCVR.
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.5);
+}
+
+TEST_F(LinkersTest, SmEbRunsEndToEnd) {
+  SmEbConfig config;
+  config.schema = generator_->schema();
+  config.thresholds = {4.5, 4.5, 4.5, 4.5};
+  config.stringmap.dimensions = 10;       // reduced for test speed
+  config.stringmap.max_train_sample = 300;
+  config.L = 12;
+  config.seed = 5;
+  Result<SmEbLinker> linker = SmEbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // SM-EB is the weakest method; just require it to find a meaningful
+  // fraction and produce sane measures.
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.3);
+  EXPECT_LE(result.value().quality.pairs_completeness, 1.0);
+  EXPECT_GT(result.value().linkage.stats.comparisons, 0u);
+}
+
+TEST_F(LinkersTest, ConfigValidationErrors) {
+  // cBV-HB: attribute-level mode without K values.
+  CbvHbConfig cbv;
+  cbv.schema = generator_->schema();
+  cbv.rule = PlRule();
+  cbv.attribute_level_blocking = true;
+  EXPECT_FALSE(CbvHbLinker::Create(std::move(cbv)).ok());
+
+  // BfH: rule out of schema range.
+  BfhConfig bfh;
+  bfh.schema = generator_->schema();
+  bfh.rule = Rule::Pred(9, 45);
+  EXPECT_FALSE(BfhLinker::Create(std::move(bfh)).ok());
+
+  // HARRA: invalid theta.
+  HarraConfig harra;
+  harra.theta = 1.5;
+  EXPECT_FALSE(HarraLinker::Create(std::move(harra)).ok());
+
+  // SM-EB: no thresholds.
+  SmEbConfig smeb;
+  smeb.schema = generator_->schema();
+  EXPECT_FALSE(SmEbLinker::Create(std::move(smeb)).ok());
+}
+
+TEST_F(LinkersTest, ParallelEmbeddingMatchesSerialExactly) {
+  // Encoding is deterministic per encoder, so threading must not change
+  // the outcome — only the wall clock.
+  const auto run = [&](size_t threads) {
+    CbvHbConfig config;
+    config.schema = generator_->schema();
+    config.rule = PlRule();
+    config.record_K = 30;
+    config.record_theta = 4;
+    config.seed = 77;
+    config.num_threads = threads;
+    Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+    EXPECT_TRUE(result.ok());
+    std::vector<IdPair> matches = std::move(result).value().matches;
+    std::sort(matches.begin(), matches.end());
+    return matches;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST_F(LinkersTest, MatchedPairsAreMostlyTrueMatches) {
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.seed = 6;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok());
+  const PairSet truth = TruthPairs(data_->truth);
+  size_t hits = 0;
+  for (const IdPair& pair : result.value().linkage.matches) {
+    if (truth.contains(pair)) ++hits;
+  }
+  // Precision of the *matched* set (not PQ over candidates) should be
+  // high: the rule verifies distances attribute by attribute.
+  EXPECT_GT(result.value().linkage.matches.size(), 0u);
+  EXPECT_GE(static_cast<double>(hits) /
+                static_cast<double>(result.value().linkage.matches.size()),
+            0.8);
+}
+
+TEST_F(LinkersTest, HarraEarlyPruningIsOneToOne) {
+  // h-CC links de-duplicated sets: once a record matches it is removed,
+  // so no A or B id may appear in two matched pairs.
+  HarraConfig config;
+  config.K = 5;
+  config.L = 30;
+  config.theta = 0.35;
+  config.seed = 8;
+  Result<HarraLinker> linker = HarraLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+  ASSERT_TRUE(result.ok());
+  std::set<RecordId> seen_a;
+  std::set<RecordId> seen_b;
+  for (const IdPair& pair : result.value().matches) {
+    EXPECT_TRUE(seen_a.insert(pair.a_id).second) << pair.a_id;
+    EXPECT_TRUE(seen_b.insert(pair.b_id).second) << pair.b_id;
+  }
+}
+
+TEST_F(LinkersTest, SmEbDerivesLFromEquation2WhenUnset) {
+  SmEbConfig config;
+  config.schema = generator_->schema();
+  // Tight thresholds keep the derived L small (larger thetas push the
+  // p-stable collision probability down and L into the hundreds).
+  config.thresholds = {1.0, 1.0, 1.0, 1.0};
+  config.stringmap.dimensions = 6;
+  config.stringmap.max_train_sample = 200;
+  config.L = 0;  // derive from Eq. 2 at sqrt(sum theta^2)
+  config.seed = 9;
+  Result<SmEbLinker> linker = SmEbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().blocking_groups, 0u);
+}
+
+TEST_F(LinkersTest, CompoundRuleEndToEnd) {
+  // (f1 AND f2) OR (f3 AND f4): any PL-perturbed pair satisfies at
+  // least one side (only one attribute carries the edit), so recall
+  // should be high with attribute-level blocking over the compound rule.
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = Rule::Or(
+      {Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)}),
+       Rule::And({Rule::Pred(2, 4), Rule::Pred(3, 4)})});
+  config.attribute_level_blocking = true;
+  config.attribute_K = {5, 5, 10, 5};
+  config.seed = 10;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<ExperimentResult> result = RunLinkage(linker.value(), *data_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().quality.pairs_completeness, 0.9);
+}
+
+TEST_F(LinkersTest, TimingBreakdownIsPopulated) {
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.seed = 11;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().embed_seconds, 0.0);
+  EXPECT_GE(result.value().index_seconds, 0.0);
+  EXPECT_GE(result.value().match_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(result.value().total_seconds(),
+                   result.value().embed_seconds +
+                       result.value().index_seconds +
+                       result.value().match_seconds);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,122 @@
+#include "src/lsh/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace cbvlink {
+namespace {
+
+TEST(HammingBaseProbabilityTest, Definition3Formula) {
+  EXPECT_DOUBLE_EQ(HammingBaseProbability(4, 120).value(), 1.0 - 4.0 / 120.0);
+  EXPECT_DOUBLE_EQ(HammingBaseProbability(0, 10).value(), 1.0);
+  EXPECT_DOUBLE_EQ(HammingBaseProbability(10, 10).value(), 0.0);
+}
+
+TEST(HammingBaseProbabilityTest, RejectsBadInputs) {
+  EXPECT_FALSE(HammingBaseProbability(5, 0).ok());
+  EXPECT_FALSE(HammingBaseProbability(11, 10).ok());
+}
+
+TEST(JaccardBaseProbabilityTest, ComplementOfThreshold) {
+  EXPECT_DOUBLE_EQ(JaccardBaseProbability(0.35).value(), 0.65);
+  EXPECT_DOUBLE_EQ(JaccardBaseProbability(0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardBaseProbability(1.0).value(), 0.0);
+  EXPECT_FALSE(JaccardBaseProbability(-0.1).ok());
+  EXPECT_FALSE(JaccardBaseProbability(1.1).ok());
+}
+
+TEST(EuclideanBaseProbabilityTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(EuclideanBaseProbability(0.0, 4.0).value(), 1.0);
+  EXPECT_FALSE(EuclideanBaseProbability(1.0, 0.0).ok());
+  EXPECT_FALSE(EuclideanBaseProbability(-1.0, 4.0).ok());
+}
+
+TEST(EuclideanBaseProbabilityTest, MonotoneDecreasingInDistance) {
+  double prev = 1.0;
+  for (double c = 0.5; c <= 20.0; c += 0.5) {
+    const double p = EuclideanBaseProbability(c, 4.0).value();
+    EXPECT_LE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(EuclideanBaseProbabilityTest, KnownDatarValueAtCEqualsW) {
+  // At c = w the Datar et al. formula gives
+  // p = 1 - 2*Phi(-1) - sqrt(2/pi)*(1 - e^{-1/2}) ~ 0.36875, for any w
+  // (the formula depends only on w/c).
+  EXPECT_NEAR(EuclideanBaseProbability(4.0, 4.0).value(), 0.36875, 0.0005);
+  EXPECT_NEAR(EuclideanBaseProbability(1.0, 1.0).value(), 0.36875, 0.0005);
+}
+
+TEST(OptimalGroupsTest, PaperPLConfiguration) {
+  // Section 6.2: K = 30, delta = 0.1, theta = 4, m-bar = 120 -> L = 6 for
+  // NCVR; m-bar = 267 -> L = 3 for DBLP.
+  const double p_ncvr = HammingBaseProbability(4, 120).value();
+  EXPECT_EQ(OptimalGroups(p_ncvr, 30, 0.1).value(), 6u);
+  const double p_dblp = HammingBaseProbability(4, 267).value();
+  EXPECT_EQ(OptimalGroups(p_dblp, 30, 0.1).value(), 3u);
+}
+
+TEST(OptimalGroupsTest, BfhPLConfiguration) {
+  // Section 6.1 (BfH): theta = 45 over 2000 Bloom bits, K = 30 -> L = 4.
+  const double p = HammingBaseProbability(45, 2000).value();
+  EXPECT_EQ(OptimalGroups(p, 30, 0.1).value(), 4u);
+}
+
+TEST(OptimalGroupsTest, CertainCollisionNeedsOneGroup) {
+  EXPECT_EQ(OptimalGroupsFromComposite(1.0, 0.1).value(), 1u);
+}
+
+TEST(OptimalGroupsTest, SmallerDeltaNeedsMoreGroups) {
+  const double p = 0.3;
+  const size_t l10 = OptimalGroupsFromComposite(p, 0.10).value();
+  const size_t l01 = OptimalGroupsFromComposite(p, 0.01).value();
+  EXPECT_GT(l01, l10);
+}
+
+TEST(OptimalGroupsTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(OptimalGroupsFromComposite(0.0, 0.1).ok());
+  EXPECT_FALSE(OptimalGroupsFromComposite(-0.5, 0.1).ok());
+  EXPECT_FALSE(OptimalGroupsFromComposite(1.5, 0.1).ok());
+  EXPECT_FALSE(OptimalGroupsFromComposite(0.5, 0.0).ok());
+  EXPECT_FALSE(OptimalGroupsFromComposite(0.5, 1.0).ok());
+  EXPECT_FALSE(OptimalGroups(1.5, 3, 0.1).ok());
+}
+
+TEST(OptimalGroupsTest, InfeasibleConfigurationsAreRejectedNotTruncated) {
+  // A vanishing composite probability would need astronomically many
+  // groups; the calculator must fail loudly.
+  EXPECT_FALSE(OptimalGroupsFromComposite(1e-9, 0.1, 100000).ok());
+}
+
+TEST(OptimalGroupsTest, GuaranteeHolds) {
+  // For any (p, K, delta), the returned L achieves miss probability
+  // (1 - p^K)^L <= delta — the Equation 2 guarantee.
+  for (const auto& [p, K, delta] :
+       {std::make_tuple(0.9, size_t{10}, 0.1),
+        std::make_tuple(0.7, size_t{5}, 0.05),
+        std::make_tuple(0.9667, size_t{30}, 0.1),
+        std::make_tuple(0.99, size_t{40}, 0.01)}) {
+    const size_t L = OptimalGroups(p, K, delta).value();
+    const double composite = std::pow(p, static_cast<double>(K));
+    EXPECT_LE(MissProbability(composite, L), delta + 1e-12)
+        << "p=" << p << " K=" << K;
+    // And L is minimal: one fewer group would break the guarantee.
+    if (L > 1) {
+      EXPECT_GT(MissProbability(composite, L - 1), delta - 1e-12);
+    }
+  }
+}
+
+TEST(MissProbabilityTest, Basics) {
+  EXPECT_DOUBLE_EQ(MissProbability(1.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(MissProbability(0.0, 5), 1.0);
+  EXPECT_NEAR(MissProbability(0.5, 2), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace cbvlink

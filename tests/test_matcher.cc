@@ -1,0 +1,159 @@
+#include "src/blocking/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace cbvlink {
+namespace {
+
+/// A candidate source that replays a fixed list (with duplicates) for any
+/// probe — isolates Algorithm 2 from the LSH machinery.
+class FixedSource : public CandidateSource {
+ public:
+  explicit FixedSource(std::vector<RecordId> ids) : ids_(std::move(ids)) {}
+
+  void ForEachCandidate(
+      const BitVector&,
+      const std::function<void(RecordId)>& cb) const override {
+    for (RecordId id : ids_) cb(id);
+  }
+
+ private:
+  std::vector<RecordId> ids_;
+};
+
+EncodedRecord MakeRecord(RecordId id, size_t bits,
+                         std::initializer_list<size_t> set_bits) {
+  EncodedRecord r;
+  r.id = id;
+  r.bits = BitVector(bits);
+  for (size_t b : set_bits) r.bits.Set(b);
+  return r;
+}
+
+TEST(VectorStoreTest, AddAndFind) {
+  VectorStore store;
+  store.Add(MakeRecord(5, 16, {1}));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.Find(5), nullptr);
+  EXPECT_TRUE(store.Find(5)->Test(1));
+  EXPECT_EQ(store.Find(6), nullptr);
+}
+
+TEST(VectorStoreTest, AddAll) {
+  VectorStore store;
+  store.AddAll({MakeRecord(1, 8, {}), MakeRecord(2, 8, {})});
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(MatcherTest, Algorithm2DeduplicatesPerProbe) {
+  // The same A-Id delivered from three blocking groups must be compared
+  // once (the unique collection C of Algorithm 2).
+  FixedSource source({1, 1, 1, 2});
+  VectorStore store;
+  store.Add(MakeRecord(1, 16, {0}));
+  store.Add(MakeRecord(2, 16, {0}));
+
+  Matcher matcher(&source, &store);
+  MatchStats stats;
+  std::vector<IdPair> out;
+  matcher.MatchOne(MakeRecord(100, 16, {0}),
+                   MakeRecordThresholdClassifier(0), &out, &stats);
+  EXPECT_EQ(stats.candidate_occurrences, 4u);
+  EXPECT_EQ(stats.comparisons, 2u);
+  EXPECT_EQ(stats.dedup_skipped, 2u);
+  EXPECT_EQ(stats.matches, 2u);
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST(MatcherTest, DedupResetsBetweenProbes) {
+  FixedSource source({1});
+  VectorStore store;
+  store.Add(MakeRecord(1, 16, {0}));
+  Matcher matcher(&source, &store);
+  MatchStats stats;
+  std::vector<IdPair> out = matcher.MatchAll(
+      {MakeRecord(100, 16, {0}), MakeRecord(101, 16, {0})},
+      MakeRecordThresholdClassifier(0), &stats);
+  // Each B record compares against A-Id 1 independently.
+  EXPECT_EQ(stats.comparisons, 2u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(MatcherTest, UnknownIdsSkippedSafely) {
+  FixedSource source({42});
+  VectorStore store;  // empty — Id 42 unknown
+  Matcher matcher(&source, &store);
+  MatchStats stats;
+  std::vector<IdPair> out;
+  matcher.MatchOne(MakeRecord(100, 16, {}),
+                   MakeRecordThresholdClassifier(0), &out, &stats);
+  EXPECT_EQ(stats.comparisons, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MatcherTest, ThresholdClassifierFiltersByDistance) {
+  FixedSource source({1, 2});
+  VectorStore store;
+  store.Add(MakeRecord(1, 16, {0, 1}));          // distance 0 to probe
+  store.Add(MakeRecord(2, 16, {0, 1, 2, 3, 4}));  // distance 3 to probe
+  Matcher matcher(&source, &store);
+  MatchStats stats;
+  std::vector<IdPair> out;
+  matcher.MatchOne(MakeRecord(100, 16, {0, 1}),
+                   MakeRecordThresholdClassifier(2), &out, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a_id, 1u);
+  EXPECT_EQ(out[0].b_id, 100u);
+}
+
+TEST(MakeRuleClassifierTest, EvaluatesAttributeLevelDistances) {
+  RecordLayout layout;
+  layout.Add(8);
+  layout.Add(8);
+  // Rule: f1 <= 1 AND f2 <= 0.
+  const Rule rule = Rule::And({Rule::Pred(0, 1), Rule::Pred(1, 0)});
+  const PairClassifier classify = MakeRuleClassifier(rule, layout);
+
+  BitVector a(16);
+  BitVector b(16);
+  EXPECT_TRUE(classify(a, b));
+  b.Set(0);  // f1 distance 1
+  EXPECT_TRUE(classify(a, b));
+  b.Set(1);  // f1 distance 2
+  EXPECT_FALSE(classify(a, b));
+  b.Clear(1);
+  b.Set(8);  // f2 distance 1
+  EXPECT_FALSE(classify(a, b));
+}
+
+TEST(MakeRuleClassifierTest, NotRuleSemantics) {
+  RecordLayout layout;
+  layout.Add(8);
+  layout.Add(8);
+  // f1 <= 1 AND NOT (f2 <= 1).
+  const Rule rule =
+      Rule::And({Rule::Pred(0, 1), Rule::Not(Rule::Pred(1, 1))});
+  const PairClassifier classify = MakeRuleClassifier(rule, layout);
+  BitVector a(16);
+  BitVector b(16);
+  EXPECT_FALSE(classify(a, b));  // f2 distance 0 <= 1 -> NOT fails
+  b.Set(8);
+  b.Set(9);
+  b.Set(10);  // f2 distance 3
+  EXPECT_TRUE(classify(a, b));
+}
+
+TEST(MatcherTest, MatchStatsAccumulate) {
+  MatchStats a{10, 5, 2, 3};
+  MatchStats b{1, 1, 1, 0};
+  a += b;
+  EXPECT_EQ(a.candidate_occurrences, 11u);
+  EXPECT_EQ(a.comparisons, 6u);
+  EXPECT_EQ(a.matches, 3u);
+  EXPECT_EQ(a.dedup_skipped, 3u);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,78 @@
+#include "src/eval/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+std::vector<GroundTruthEntry> MakeTruth(
+    std::initializer_list<IdPair> pairs) {
+  std::vector<GroundTruthEntry> truth;
+  for (const IdPair& p : pairs) truth.push_back({p, {}});
+  return truth;
+}
+
+TEST(TruthPairsTest, BuildsSet) {
+  const PairSet set =
+      TruthPairs(MakeTruth({{1, 10}, {2, 20}, {1, 10}}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IdPair{1, 10}));
+  EXPECT_FALSE(set.contains(IdPair{10, 1}));
+}
+
+TEST(ComputeQualityTest, PerfectLinkage) {
+  const PairSet truth = TruthPairs(MakeTruth({{1, 10}, {2, 20}}));
+  const std::vector<IdPair> found{{1, 10}, {2, 20}};
+  const QualityMeasures q = ComputeQuality(found, truth, 2, 100, 100);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.pairs_quality, 1.0);
+  EXPECT_DOUBLE_EQ(q.reduction_ratio, 1.0 - 2.0 / 10000.0);
+  EXPECT_EQ(q.true_matches_found, 2u);
+}
+
+TEST(ComputeQualityTest, PartialRecall) {
+  const PairSet truth = TruthPairs(MakeTruth({{1, 10}, {2, 20}, {3, 30}}));
+  const std::vector<IdPair> found{{1, 10}};
+  const QualityMeasures q = ComputeQuality(found, truth, 5, 10, 10);
+  EXPECT_NEAR(q.pairs_completeness, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.pairs_quality, 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(q.reduction_ratio, 1.0 - 5.0 / 100.0, 1e-12);
+}
+
+TEST(ComputeQualityTest, FalsePositivesDontCountAsHits) {
+  const PairSet truth = TruthPairs(MakeTruth({{1, 10}}));
+  const std::vector<IdPair> found{{1, 10}, {9, 99}};
+  const QualityMeasures q = ComputeQuality(found, truth, 2, 10, 10);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.pairs_quality, 0.5);
+}
+
+TEST(ComputeQualityTest, DuplicateFoundPairsCollapse) {
+  const PairSet truth = TruthPairs(MakeTruth({{1, 10}}));
+  const std::vector<IdPair> found{{1, 10}, {1, 10}, {1, 10}};
+  const QualityMeasures q = ComputeQuality(found, truth, 3, 10, 10);
+  EXPECT_EQ(q.true_matches_found, 1u);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 1.0);
+}
+
+TEST(ComputeQualityTest, EmptyTruthGivesCompletenessOne) {
+  const PairSet truth;
+  const QualityMeasures q = ComputeQuality({}, truth, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(q.pairs_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.pairs_quality, 0.0);
+}
+
+TEST(ComputeQualityTest, ZeroComparisonSpace) {
+  const PairSet truth;
+  const QualityMeasures q = ComputeQuality({}, truth, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(q.reduction_ratio, 0.0);
+}
+
+TEST(IdPairHashTest, DistinctPairsHashDifferently) {
+  const IdPairHash hash;
+  EXPECT_NE(hash(IdPair{1, 2}), hash(IdPair{2, 1}));
+  EXPECT_EQ(hash(IdPair{1, 2}), hash(IdPair{1, 2}));
+}
+
+}  // namespace
+}  // namespace cbvlink

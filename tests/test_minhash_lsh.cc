@@ -1,0 +1,107 @@
+#include "src/lsh/minhash_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/jaccard.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(MinHashLshFamilyTest, CreateValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(MinHashLshFamily::Create(0, 3, 676, rng).ok());
+  EXPECT_FALSE(MinHashLshFamily::Create(5, 0, 676, rng).ok());
+  EXPECT_FALSE(MinHashLshFamily::Create(5, 3, 0, rng).ok());
+  Result<MinHashLshFamily> family = MinHashLshFamily::Create(5, 3, 676, rng);
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family.value().K(), 5u);
+  EXPECT_EQ(family.value().L(), 3u);
+}
+
+TEST(MinHashLshFamilyTest, EqualSetsEqualKeys) {
+  Rng rng(2);
+  const MinHashLshFamily family =
+      MinHashLshFamily::Create(5, 4, 676, rng).value();
+  const std::vector<uint64_t> set{3, 99, 204, 671};
+  for (size_t l = 0; l < 4; ++l) {
+    EXPECT_EQ(family.Key(set, l), family.Key(set, l));
+  }
+  EXPECT_EQ(family.Keys(set), family.Keys(set));
+}
+
+TEST(MinHashLshFamilyTest, KeysDifferAcrossGroups) {
+  Rng rng(3);
+  const MinHashLshFamily family =
+      MinHashLshFamily::Create(5, 8, 676, rng).value();
+  const std::vector<uint64_t> set{3, 99, 204};
+  const std::vector<uint64_t> keys = family.Keys(set);
+  // Different groups use independent permutations; at least some keys
+  // must differ.
+  bool any_diff = false;
+  for (size_t l = 1; l < keys.size(); ++l) {
+    if (keys[l] != keys[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MinHashLshFamilyTest, EmptySetsBlockTogether) {
+  Rng rng(4);
+  const MinHashLshFamily family =
+      MinHashLshFamily::Create(5, 2, 676, rng).value();
+  EXPECT_EQ(family.Key({}, 0), family.Key({}, 0));
+  EXPECT_NE(family.Key({}, 0), family.Key({}, 1));  // still per-group
+  // Empty vs non-empty should (virtually) never collide.
+  EXPECT_NE(family.Key({}, 0), family.Key({1, 2, 3}, 0));
+}
+
+TEST(MinHashLshFamilyTest, CollisionRateTracksJaccardSimilarity) {
+  // Pr[base functions agree] = Jaccard similarity; with K = 1 the key
+  // collision rate over many independent families estimates it.
+  Rng rng(5);
+  const std::vector<uint64_t> a{1, 2, 3, 4, 5, 6};
+  const std::vector<uint64_t> b{4, 5, 6, 7, 8, 9};  // similarity 3/9
+  const double sim = JaccardSimilarity(a, b);
+  ASSERT_NEAR(sim, 1.0 / 3.0, 1e-12);
+
+  constexpr size_t kTrials = 6000;
+  size_t collisions = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const MinHashLshFamily family =
+        MinHashLshFamily::Create(1, 1, 676, rng).value();
+    if (family.Key(a, 0) == family.Key(b, 0)) ++collisions;
+  }
+  // Linear permutations are pairwise independent, not min-wise
+  // independent, so a small systematic bias on tiny sets is expected —
+  // allow a wider band than pure sampling noise.
+  EXPECT_NEAR(static_cast<double>(collisions) / kTrials, sim, 0.07);
+}
+
+TEST(MinHashLshFamilyTest, CompositeKeysAreMoreSelective) {
+  Rng rng(6);
+  const std::vector<uint64_t> a{1, 2, 3, 4, 5, 6};
+  const std::vector<uint64_t> b{4, 5, 6, 7, 8, 9};
+  constexpr size_t kTrials = 2000;
+  size_t collide_k1 = 0;
+  size_t collide_k5 = 0;
+  for (size_t t = 0; t < kTrials; ++t) {
+    const MinHashLshFamily f1 = MinHashLshFamily::Create(1, 1, 676, rng).value();
+    const MinHashLshFamily f5 = MinHashLshFamily::Create(5, 1, 676, rng).value();
+    if (f1.Key(a, 0) == f1.Key(b, 0)) ++collide_k1;
+    if (f5.Key(a, 0) == f5.Key(b, 0)) ++collide_k5;
+  }
+  EXPECT_GT(collide_k1, collide_k5 * 2);
+}
+
+TEST(MinHashLshFamilyTest, IdenticalSetsAlwaysCollide) {
+  Rng rng(7);
+  const MinHashLshFamily family =
+      MinHashLshFamily::Create(5, 10, 676, rng).value();
+  const std::vector<uint64_t> set{10, 20, 30};
+  std::vector<uint64_t> copy = set;
+  for (size_t l = 0; l < 10; ++l) {
+    EXPECT_EQ(family.Key(set, l), family.Key(copy, l));
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

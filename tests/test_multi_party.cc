@@ -1,0 +1,151 @@
+#include "src/linkage/multi_party.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+
+namespace cbvlink {
+namespace {
+
+MultiPartyConfig MakeConfig(const Schema& schema) {
+  MultiPartyConfig config;
+  config.schema = schema;
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.seed = 3;
+  return config;
+}
+
+TEST(MultiPartyLinkerTest, CreateValidation) {
+  Schema empty;
+  EXPECT_FALSE(MultiPartyLinker::Create(MultiPartyConfig{}).ok());
+  (void)empty;
+}
+
+TEST(MultiPartyLinkerTest, RejectsFewerThanTwoParties) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<MultiPartyLinker> linker =
+      MultiPartyLinker::Create(MakeConfig(gen.value().schema()));
+  ASSERT_TRUE(linker.ok());
+  Rng rng(1);
+  std::vector<std::vector<Record>> one_party;
+  one_party.push_back({gen.value().Generate(0, rng)});
+  EXPECT_FALSE(linker.value().Link(one_party).ok());
+  std::vector<std::vector<Record>> with_empty = one_party;
+  with_empty.push_back({});
+  EXPECT_FALSE(linker.value().Link(with_empty).ok());
+}
+
+TEST(MultiPartyLinkerTest, TwoPartiesMatchesPairwiseTruth) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkagePairOptions options;
+  options.num_records = 400;
+  options.seed = 9;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen.value(), PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+
+  Result<MultiPartyLinker> linker =
+      MultiPartyLinker::Create(MakeConfig(gen.value().schema()));
+  ASSERT_TRUE(linker.ok());
+  Result<MultiPartyResult> result =
+      linker.value().Link({data.value().a, data.value().b});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Most truth pairs should be found, reported as (party 0, party 1).
+  std::set<std::pair<RecordId, RecordId>> found;
+  for (const MultiPartyMatch& m : result.value().matches) {
+    EXPECT_NE(m.party_a, m.party_b);
+    if (m.party_a == 0) {
+      found.insert({m.id_a, m.id_b});
+    } else {
+      found.insert({m.id_b, m.id_a});
+    }
+  }
+  size_t hits = 0;
+  for (const GroundTruthEntry& entry : data.value().truth) {
+    if (found.contains({entry.pair.a_id, entry.pair.b_id})) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) /
+                static_cast<double>(data.value().truth.size()),
+            0.85);
+}
+
+TEST(MultiPartyLinkerTest, ThreePartiesCoverAllCrossPairs) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(5);
+  // Three custodians all holding the same 50 entities (identical
+  // records), plus unique filler — every cross-party pair of the shared
+  // entities should be matched.
+  std::vector<Record> shared;
+  for (size_t i = 0; i < 50; ++i) {
+    shared.push_back(gen.value().Generate(i, rng));
+  }
+  std::vector<std::vector<Record>> parties(3);
+  for (size_t p = 0; p < 3; ++p) {
+    parties[p] = shared;
+    for (size_t i = 0; i < 30; ++i) {
+      Record filler = gen.value().Generate(1000 + p * 100 + i, rng);
+      filler.id = 100 + i;  // ids unique within the party
+      parties[p].push_back(std::move(filler));
+    }
+  }
+
+  Result<MultiPartyLinker> linker =
+      MultiPartyLinker::Create(MakeConfig(gen.value().schema()));
+  ASSERT_TRUE(linker.ok());
+  Result<MultiPartyResult> result = linker.value().Link(parties);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // For each shared entity, expect the three cross-party pairs
+  // (0,1), (0,2), (1,2).
+  std::set<std::tuple<PartyId, RecordId, PartyId, RecordId>> found;
+  for (const MultiPartyMatch& m : result.value().matches) {
+    found.insert({m.party_a, m.id_a, m.party_b, m.id_b});
+  }
+  size_t covered = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    const bool p01 = found.contains({0, i, 1, i});
+    const bool p02 = found.contains({0, i, 2, i});
+    const bool p12 = found.contains({1, i, 2, i});
+    if (p01 && p02 && p12) ++covered;
+  }
+  // Identical records collide in every group; all should be covered.
+  EXPECT_GE(covered, 48u);
+}
+
+TEST(MultiPartyLinkerTest, NoFalseCrossPartyPartyIds) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(6);
+  std::vector<std::vector<Record>> parties(2);
+  for (size_t p = 0; p < 2; ++p) {
+    for (size_t i = 0; i < 100; ++i) {
+      Record r = gen.value().Generate(p * 1000 + i, rng);
+      r.id = i;
+      parties[p].push_back(std::move(r));
+    }
+  }
+  Result<MultiPartyLinker> linker =
+      MultiPartyLinker::Create(MakeConfig(gen.value().schema()));
+  ASSERT_TRUE(linker.ok());
+  Result<MultiPartyResult> result = linker.value().Link(parties);
+  ASSERT_TRUE(result.ok());
+  for (const MultiPartyMatch& m : result.value().matches) {
+    EXPECT_LT(m.party_a, 2u);
+    EXPECT_LT(m.party_b, 2u);
+    EXPECT_LT(m.id_a, 100u);
+    EXPECT_LT(m.id_b, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,176 @@
+#include "src/linkage/online_linker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/datagen/dataset.h"
+#include "src/datagen/generators.h"
+#include "src/eval/measures.h"
+
+namespace cbvlink {
+namespace {
+
+CbvHbConfig BaseConfig(const Schema& schema) {
+  CbvHbConfig config;
+  config.schema = schema;
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.seed = 5;
+  return config;
+}
+
+TEST(OnlineLinkerTest, NeedsCalibrationOrExplicitB) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  EXPECT_FALSE(
+      OnlineCbvHbLinker::Create(BaseConfig(gen.value().schema())).ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  EXPECT_TRUE(OnlineCbvHbLinker::Create(std::move(config)).ok());
+}
+
+TEST(OnlineLinkerTest, PropagatesConfigValidation) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.rule = Rule::Pred(9, 4);  // out of range
+  EXPECT_FALSE(OnlineCbvHbLinker::Create(std::move(config)).ok());
+}
+
+TEST(OnlineLinkerTest, InsertThenMatchFindsDuplicates) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+
+  Rng rng(1);
+  const Record alice = gen.value().Generate(0, rng);
+  const Record bob = gen.value().Generate(1, rng);
+  ASSERT_TRUE(linker.value().Insert(alice).ok());
+  ASSERT_TRUE(linker.value().Insert(bob).ok());
+  EXPECT_EQ(linker.value().size(), 2u);
+
+  Record query = alice;
+  query.id = 100;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(linker.value().Match(query, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a_id, alice.id);
+  EXPECT_EQ(out[0].b_id, 100u);
+  EXPECT_GT(linker.value().stats().comparisons, 0u);
+}
+
+TEST(OnlineLinkerTest, MatchDoesNotInsert) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Rng rng(2);
+  const Record r = gen.value().Generate(0, rng);
+  std::vector<IdPair> out;
+  ASSERT_TRUE(linker.value().Match(r, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(linker.value().size(), 0u);
+}
+
+TEST(OnlineLinkerTest, MatchAndInsertChainsArrivals) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Rng rng(3);
+  Record r = gen.value().Generate(0, rng);
+  std::vector<IdPair> out;
+  ASSERT_TRUE(linker.value().MatchAndInsert(r, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(linker.value().size(), 1u);
+  // The same record arriving again now matches the first arrival.
+  Record again = r;
+  again.id = 55;
+  ASSERT_TRUE(linker.value().MatchAndInsert(again, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a_id, r.id);
+  EXPECT_EQ(linker.value().size(), 2u);
+}
+
+TEST(OnlineLinkerTest, StreamingEqualsBatchRecall) {
+  // Feeding B as a stream must find (at least) the pairs the batch
+  // pipeline finds under the same seed/encoder parameters.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkagePairOptions options;
+  options.num_records = 500;
+  options.seed = 21;
+  Result<LinkagePair> data =
+      BuildLinkagePair(gen.value(), PerturbationScheme::Light(), options);
+  ASSERT_TRUE(data.ok());
+
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config), data.value().a);
+  ASSERT_TRUE(linker.ok());
+  for (const Record& r : data.value().a) {
+    ASSERT_TRUE(linker.value().Insert(r).ok());
+  }
+  std::vector<IdPair> found;
+  for (const Record& r : data.value().b) {
+    ASSERT_TRUE(linker.value().Match(r, &found).ok());
+  }
+  const PairSet truth = TruthPairs(data.value().truth);
+  size_t hits = 0;
+  PairSet unique;
+  for (const IdPair& p : found) unique.insert(p);
+  for (const IdPair& p : unique) {
+    if (truth.contains(p)) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(truth.size()),
+            0.9);
+}
+
+TEST(OnlineLinkerTest, AttributeLevelStreamingWorks) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.attribute_level_blocking = true;
+  config.attribute_K = {5, 5, 10, 5};
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  EXPECT_GT(linker.value().blocking_groups(), 0u);
+
+  Rng rng(9);
+  const Record r = gen.value().Generate(0, rng);
+  ASSERT_TRUE(linker.value().Insert(r).ok());
+  Record query = r;
+  query.id = 77;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(linker.value().Match(query, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(OnlineLinkerTest, EncoderExposedForIntrospection) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  Result<OnlineCbvHbLinker> linker =
+      OnlineCbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  EXPECT_EQ(linker.value().encoder().total_bits(), 120u);
+}
+
+}  // namespace
+}  // namespace cbvlink

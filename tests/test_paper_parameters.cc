@@ -1,0 +1,119 @@
+// Cross-checks of the paper's reported parameter values, end to end:
+// Table 3's m_opt column, the record-level L values of Section 6.2, and
+// the attribute-level L values for scheme PH.  These tests tie the
+// implementation to the published numbers rather than to itself.
+
+#include <gtest/gtest.h>
+
+#include "src/datagen/generators.h"
+#include "src/embedding/record_encoder.h"
+#include "src/lsh/params.h"
+#include "src/rules/probability.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(PaperParametersTest, NcvrEncoderFromGeneratedDataNearTable3) {
+  // Build the encoder the way Charlie would: estimate b from a sample of
+  // generated records, then size with Theorem 1.  The resulting sizes
+  // should reproduce Table 3 within +-1 bit per attribute.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(1);
+  std::vector<Record> sample;
+  for (size_t i = 0; i < 8000; ++i) {
+    sample.push_back(gen.value().Generate(i, rng));
+  }
+  const std::vector<double> b =
+      EstimateExpectedQGrams(gen.value().schema(), sample);
+  Rng enc_rng(2);
+  Result<CVectorRecordEncoder> encoder =
+      CVectorRecordEncoder::Create(gen.value().schema(), b, enc_rng);
+  ASSERT_TRUE(encoder.ok());
+  const size_t expected[] = {15, 15, 68, 22};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(encoder.value().layout().segment(i).size),
+                static_cast<double>(expected[i]), 1.0)
+        << "attribute " << i;
+  }
+  EXPECT_NEAR(static_cast<double>(encoder.value().total_bits()), 120.0, 3.0);
+}
+
+TEST(PaperParametersTest, DblpEncoderFromGeneratedDataNearTable3) {
+  Result<DblpGenerator> gen = DblpGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Rng rng(3);
+  std::vector<Record> sample;
+  for (size_t i = 0; i < 8000; ++i) {
+    sample.push_back(gen.value().Generate(i, rng));
+  }
+  const std::vector<double> b =
+      EstimateExpectedQGrams(gen.value().schema(), sample);
+  Rng enc_rng(4);
+  Result<CVectorRecordEncoder> encoder =
+      CVectorRecordEncoder::Create(gen.value().schema(), b, enc_rng);
+  ASSERT_TRUE(encoder.ok());
+  const size_t expected[] = {14, 19, 226, 8};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(encoder.value().layout().segment(i).size),
+                static_cast<double>(expected[i]), i == 2 ? 4.0 : 1.0)
+        << "attribute " << i;
+  }
+  EXPECT_NEAR(static_cast<double>(encoder.value().total_bits()), 267.0, 5.0);
+}
+
+TEST(PaperParametersTest, RecordLevelLValuesForPL) {
+  // Section 6.2: K = 30, delta = 0.1, theta = 4 -> L = 6 (NCVR, 120 bits)
+  // and L = 3 (DBLP, 267 bits).
+  EXPECT_EQ(
+      OptimalGroups(HammingBaseProbability(4, 120).value(), 30, 0.1).value(),
+      6u);
+  EXPECT_EQ(
+      OptimalGroups(HammingBaseProbability(4, 267).value(), 30, 0.1).value(),
+      3u);
+}
+
+TEST(PaperParametersTest, AttributeLevelLValuesForPH) {
+  // Scheme PH with rule C1 and Table 3 parameters: L = 178 (NCVR) and
+  // L = 62 (DBLP), modulo ceiling.
+  const Rule c1 =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  const std::vector<AttributeLshParams> ncvr = {
+      {15, 5}, {15, 5}, {68, 10}, {22, 5}};
+  const std::vector<AttributeLshParams> dblp = {
+      {14, 5}, {19, 5}, {226, 12}, {8, 5}};
+  EXPECT_NEAR(
+      static_cast<double>(RuleOptimalGroups(c1, ncvr, 0.1).value()), 178.0,
+      1.0);
+  EXPECT_NEAR(
+      static_cast<double>(RuleOptimalGroups(c1, dblp, 0.1).value()), 62.0,
+      1.0);
+}
+
+TEST(PaperParametersTest, BfHLValues) {
+  // Section 6.1: 500-bit filters, 4 fields, K = 30.  PL: theta = 45 ->
+  // L = 4.  PH: record threshold 45 + 45 + 90 = 180 -> L ~ 38-43.
+  EXPECT_EQ(
+      OptimalGroups(HammingBaseProbability(45, 2000).value(), 30, 0.1).value(),
+      4u);
+  const size_t l_ph =
+      OptimalGroups(HammingBaseProbability(180, 2000).value(), 30, 0.1)
+          .value();
+  EXPECT_GE(l_ph, 35u);
+  EXPECT_LE(l_ph, 45u);
+}
+
+TEST(PaperParametersTest, HigherKNeedsMoreGroups) {
+  // Figure 8(a)'s mechanism: raising K increases selectivity, and Eq. 2
+  // responds with more groups — the source of the U-shaped running time.
+  const double p = HammingBaseProbability(4, 120).value();
+  size_t prev = 0;
+  for (size_t K = 20; K <= 40; K += 5) {
+    const size_t L = OptimalGroups(p, K, 0.1).value();
+    EXPECT_GT(L, prev);
+    prev = L;
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,219 @@
+#include "src/datagen/perturbator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/metrics/edit_distance.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(PerturbationTypeNameTest, AllNames) {
+  EXPECT_STREQ(PerturbationTypeName(PerturbationType::kSubstitute),
+               "substitute");
+  EXPECT_STREQ(PerturbationTypeName(PerturbationType::kInsert), "insert");
+  EXPECT_STREQ(PerturbationTypeName(PerturbationType::kDelete), "delete");
+}
+
+TEST(ApplyOpTest, SubstituteKeepsLengthChangesOneChar) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out =
+        Perturbator::ApplyOp("JONES", PerturbationType::kSubstitute, rng);
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_EQ(EditDistance("JONES", out), 1u) << out;
+  }
+}
+
+TEST(ApplyOpTest, InsertGrowsByOne) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out =
+        Perturbator::ApplyOp("JONES", PerturbationType::kInsert, rng);
+    EXPECT_EQ(out.size(), 6u);
+    EXPECT_EQ(EditDistance("JONES", out), 1u) << out;
+  }
+}
+
+TEST(ApplyOpTest, DeleteShrinksByOne) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out =
+        Perturbator::ApplyOp("JONES", PerturbationType::kDelete, rng);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(EditDistance("JONES", out), 1u) << out;
+  }
+}
+
+TEST(ApplyOpTest, EmptyStringDegradesToInsert) {
+  Rng rng(4);
+  EXPECT_EQ(
+      Perturbator::ApplyOp("", PerturbationType::kSubstitute, rng).size(), 1u);
+  EXPECT_EQ(Perturbator::ApplyOp("", PerturbationType::kDelete, rng).size(),
+            1u);
+  EXPECT_EQ(Perturbator::ApplyOp("", PerturbationType::kInsert, rng).size(),
+            1u);
+}
+
+TEST(ApplyOpTest, SingleCharDelete) {
+  Rng rng(5);
+  EXPECT_TRUE(
+      Perturbator::ApplyOp("A", PerturbationType::kDelete, rng).empty());
+}
+
+TEST(SchemeTest, LightPerturbsExactlyOneAttribute) {
+  Rng rng(6);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  const PerturbationScheme scheme = PerturbationScheme::Light();
+  for (int i = 0; i < 50; ++i) {
+    std::vector<AppliedPerturbation> ops;
+    Result<Record> out = Perturbator::Apply(base, scheme, rng, &ops);
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(ops.size(), 1u);
+    size_t changed = 0;
+    for (size_t attr = 0; attr < 4; ++attr) {
+      if (out.value().fields[attr] != base.fields[attr]) ++changed;
+    }
+    EXPECT_EQ(changed, 1u);
+    EXPECT_NE(out.value().fields[ops[0].attribute],
+              base.fields[ops[0].attribute]);
+  }
+}
+
+TEST(SchemeTest, LightCoversAllAttributesEventually) {
+  Rng rng(7);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  const PerturbationScheme scheme = PerturbationScheme::Light();
+  std::set<size_t> touched;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<AppliedPerturbation> ops;
+    ASSERT_TRUE(Perturbator::Apply(base, scheme, rng, &ops).ok());
+    touched.insert(ops[0].attribute);
+  }
+  EXPECT_EQ(touched.size(), 4u);
+}
+
+TEST(SchemeTest, HeavyAppliesOneOneTwo) {
+  Rng rng(8);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK STREET", "CARY"}};
+  const PerturbationScheme scheme = PerturbationScheme::Heavy(4);
+  std::vector<AppliedPerturbation> ops;
+  Result<Record> out = Perturbator::Apply(base, scheme, rng, &ops);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].attribute, 0u);
+  EXPECT_EQ(ops[1].attribute, 1u);
+  EXPECT_EQ(ops[2].attribute, 2u);
+  EXPECT_EQ(ops[3].attribute, 2u);
+  // f4 untouched under PH.
+  EXPECT_EQ(out.value().fields[3], base.fields[3]);
+  // Perturbed attributes stay within the per-attribute edit budget.
+  EXPECT_LE(EditDistance(base.fields[0], out.value().fields[0]), 1u);
+  EXPECT_LE(EditDistance(base.fields[1], out.value().fields[1]), 1u);
+  EXPECT_LE(EditDistance(base.fields[2], out.value().fields[2]), 2u);
+}
+
+TEST(SchemeTest, ForcedTypeIsRespected) {
+  Rng rng(9);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  PerturbationScheme scheme = PerturbationScheme::Heavy(4);
+  scheme.forced_type = PerturbationType::kDelete;
+  std::vector<AppliedPerturbation> ops;
+  ASSERT_TRUE(Perturbator::Apply(base, scheme, rng, &ops).ok());
+  for (const AppliedPerturbation& op : ops) {
+    EXPECT_EQ(op.type, PerturbationType::kDelete);
+  }
+}
+
+TEST(SchemeTest, HeavySmallSchemas) {
+  const PerturbationScheme two = PerturbationScheme::Heavy(2);
+  EXPECT_EQ(two.ops_per_attribute, (std::vector<size_t>{1, 1}));
+  const PerturbationScheme zero = PerturbationScheme::Heavy(0);
+  EXPECT_TRUE(zero.ops_per_attribute.empty());
+}
+
+TEST(SchemeTest, SchemeWiderThanRecordRejected) {
+  Rng rng(10);
+  const Record narrow{0, {"JOHN", "SMITH"}};
+  const PerturbationScheme scheme = PerturbationScheme::Heavy(4);
+  EXPECT_FALSE(Perturbator::Apply(narrow, scheme, rng, nullptr).ok());
+}
+
+TEST(SchemeTest, NullOpsPointerAccepted) {
+  Rng rng(11);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  EXPECT_TRUE(
+      Perturbator::Apply(base, PerturbationScheme::Light(), rng, nullptr)
+          .ok());
+}
+
+TEST(ApplyOpTest, ClearFieldEmptiesValue) {
+  Rng rng(20);
+  EXPECT_TRUE(
+      Perturbator::ApplyOp("JONES", PerturbationType::kClearField, rng)
+          .empty());
+  EXPECT_TRUE(
+      Perturbator::ApplyOp("", PerturbationType::kClearField, rng).empty());
+}
+
+TEST(SchemeTest, MissingValueProbabilityZeroNeverClears) {
+  Rng rng(21);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  const PerturbationScheme scheme = PerturbationScheme::Light();
+  for (int i = 0; i < 100; ++i) {
+    Result<Record> out = Perturbator::Apply(base, scheme, rng, nullptr);
+    ASSERT_TRUE(out.ok());
+    for (const std::string& f : out.value().fields) {
+      EXPECT_FALSE(f.empty());
+    }
+  }
+}
+
+TEST(SchemeTest, MissingValueProbabilityOneAlwaysClearsOneField) {
+  Rng rng(22);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  PerturbationScheme scheme = PerturbationScheme::Light();
+  scheme.missing_value_probability = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<AppliedPerturbation> ops;
+    Result<Record> out = Perturbator::Apply(base, scheme, rng, &ops);
+    ASSERT_TRUE(out.ok());
+    size_t empty_fields = 0;
+    for (const std::string& f : out.value().fields) {
+      if (f.empty()) ++empty_fields;
+    }
+    EXPECT_EQ(empty_fields, 1u);
+    // The clear op is recorded after the edit op.
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[1].type, PerturbationType::kClearField);
+  }
+}
+
+TEST(SchemeTest, MissingValueWorksWithHeavyScheme) {
+  Rng rng(23);
+  const Record base{0, {"JOHN", "SMITH", "12 OAK STREET", "CARY"}};
+  PerturbationScheme scheme = PerturbationScheme::Heavy(4);
+  scheme.missing_value_probability = 1.0;
+  std::vector<AppliedPerturbation> ops;
+  Result<Record> out = Perturbator::Apply(base, scheme, rng, &ops);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(ops.size(), 5u);  // 4 edits + 1 clear
+  EXPECT_EQ(ops.back().type, PerturbationType::kClearField);
+}
+
+TEST(PerturbationTypeNameTest, ClearFieldName) {
+  EXPECT_STREQ(PerturbationTypeName(PerturbationType::kClearField),
+               "clear-field");
+}
+
+TEST(SchemeTest, LightOnFieldlessRecordRejected) {
+  Rng rng(12);
+  const Record empty{0, {}};
+  EXPECT_FALSE(
+      Perturbator::Apply(empty, PerturbationScheme::Light(), rng, nullptr)
+          .ok());
+}
+
+}  // namespace
+}  // namespace cbvlink

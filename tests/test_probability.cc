@@ -1,0 +1,127 @@
+#include "src/rules/probability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lsh/params.h"
+
+namespace cbvlink {
+namespace {
+
+/// Table 3 NCVR parameters: m_opt = 15/15/68/22, K = 5/5/10 (f4 unused).
+std::vector<AttributeLshParams> NcvrParams() {
+  return {{15, 5}, {15, 5}, {68, 10}, {22, 5}};
+}
+
+/// Table 3 DBLP parameters: m_opt = 14/19/226/8, K = 5/5/12.
+std::vector<AttributeLshParams> DblpParams() {
+  return {{14, 5}, {19, 5}, {226, 12}, {8, 5}};
+}
+
+double PredP(size_t theta, size_t m, size_t K) {
+  return std::pow(1.0 - static_cast<double>(theta) / static_cast<double>(m),
+                  static_cast<double>(K));
+}
+
+TEST(RuleCollisionProbabilityTest, SinglePredicate) {
+  const Rule r = Rule::Pred(0, 4);
+  Result<double> p = RuleCollisionProbability(r, NcvrParams());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), PredP(4, 15, 5), 1e-12);
+}
+
+TEST(RuleCollisionProbabilityTest, AndIsProduct) {
+  // Equation 10.
+  const Rule r =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  Result<double> p = RuleCollisionProbability(r, NcvrParams());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(),
+              PredP(4, 15, 5) * PredP(4, 15, 5) * PredP(8, 68, 10), 1e-12);
+}
+
+TEST(RuleCollisionProbabilityTest, OrIsInclusionExclusion) {
+  // Equation 11 for n_c = 2.
+  const Rule r = Rule::Or({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  const double p1 = PredP(4, 15, 5);
+  const double p2 = PredP(4, 15, 5);
+  Result<double> p = RuleCollisionProbability(r, NcvrParams());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), p1 + p2 - p1 * p2, 1e-12);
+}
+
+TEST(RuleCollisionProbabilityTest, OrGeneralizesByInclusionExclusion) {
+  const Rule r =
+      Rule::Or({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  const double p1 = PredP(4, 15, 5);
+  const double p2 = PredP(4, 15, 5);
+  const double p3 = PredP(8, 68, 10);
+  Result<double> p = RuleCollisionProbability(r, NcvrParams());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), 1.0 - (1.0 - p1) * (1.0 - p2) * (1.0 - p3), 1e-12);
+}
+
+TEST(RuleCollisionProbabilityTest, NotContributesCertainty) {
+  // A pair satisfying NOT(f2) has no collision obligation in f2's tables.
+  const Rule r = Rule::And({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))});
+  Result<double> p = RuleCollisionProbability(r, NcvrParams());
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), PredP(4, 15, 5), 1e-12);
+}
+
+TEST(RuleCollisionProbabilityTest, ErrorsPropagate) {
+  EXPECT_FALSE(
+      RuleCollisionProbability(Rule::Pred(9, 4), NcvrParams()).ok());
+  // Threshold above the vector size.
+  EXPECT_FALSE(
+      RuleCollisionProbability(Rule::Pred(0, 16), NcvrParams()).ok());
+  // K == 0.
+  std::vector<AttributeLshParams> bad = NcvrParams();
+  bad[0].num_base_hashes = 0;
+  EXPECT_FALSE(RuleCollisionProbability(Rule::Pred(0, 4), bad).ok());
+}
+
+TEST(RuleOptimalGroupsTest, PaperPHNcvrL178) {
+  // Section 6.2, scheme PH with rule C1 on NCVR yields L = 178 blocking
+  // groups (modulo the final rounding; Eq. 2 gives 178.2 -> 179, and the
+  // paper reports 178).
+  const Rule c1 =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  Result<size_t> L = RuleOptimalGroups(c1, NcvrParams(), 0.1);
+  ASSERT_TRUE(L.ok()) << L.status().ToString();
+  EXPECT_NEAR(static_cast<double>(L.value()), 178.0, 1.0);
+}
+
+TEST(RuleOptimalGroupsTest, PaperPHDblpL62) {
+  // Same configuration on DBLP yields L = 62 (Eq. 2 gives 61.0).
+  const Rule c1 =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  Result<size_t> L = RuleOptimalGroups(c1, DblpParams(), 0.1);
+  ASSERT_TRUE(L.ok());
+  EXPECT_NEAR(static_cast<double>(L.value()), 62.0, 1.0);
+}
+
+TEST(RuleOptimalGroupsTest, OrNeedsFewerGroupsThanAnd) {
+  // Section 5.4: "The new value of L is larger using an AND rule, and
+  // smaller using an OR rule".
+  const Rule and_rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  const Rule or_rule = Rule::Or({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  const Rule single = Rule::Pred(0, 4);
+  const size_t l_and = RuleOptimalGroups(and_rule, NcvrParams(), 0.1).value();
+  const size_t l_or = RuleOptimalGroups(or_rule, NcvrParams(), 0.1).value();
+  const size_t l_single = RuleOptimalGroups(single, NcvrParams(), 0.1).value();
+  EXPECT_GT(l_and, l_single);
+  EXPECT_LE(l_or, l_single);
+}
+
+TEST(RuleOptimalGroupsTest, GuaranteeSurvivesComposition) {
+  const Rule rule =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  const double p = RuleCollisionProbability(rule, NcvrParams()).value();
+  const size_t L = RuleOptimalGroups(rule, NcvrParams(), 0.1).value();
+  EXPECT_LE(MissProbability(p, L), 0.1 + 1e-12);
+}
+
+}  // namespace
+}  // namespace cbvlink

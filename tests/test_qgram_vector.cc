@@ -1,0 +1,169 @@
+#include "src/embedding/qgram_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/random.h"
+#include "src/datagen/perturbator.h"
+#include "src/metrics/edit_distance.h"
+
+namespace cbvlink {
+namespace {
+
+QGramVectorEncoder MakeEncoder(bool pad = false) {
+  Result<QGramExtractor> extractor = QGramExtractor::Create(
+      pad ? Alphabet::UppercasePadded() : Alphabet::Uppercase(),
+      {.q = 2, .pad = pad});
+  EXPECT_TRUE(extractor.ok());
+  Result<QGramVectorEncoder> encoder =
+      QGramVectorEncoder::Create(std::move(extractor).value());
+  EXPECT_TRUE(encoder.ok());
+  return std::move(encoder).value();
+}
+
+TEST(QGramVectorEncoderTest, VectorSizeIs676ForBigrams) {
+  EXPECT_EQ(MakeEncoder().vector_size(), 676u);
+}
+
+TEST(QGramVectorEncoderTest, Figure1JohnBits) {
+  const QGramVectorEncoder encoder = MakeEncoder();
+  const BitVector bv = encoder.Encode("JOHN");
+  EXPECT_EQ(bv.PopCount(), 3u);
+  EXPECT_TRUE(bv.Test(248));  // 'JO'
+  EXPECT_TRUE(bv.Test(371));  // 'OH'
+  EXPECT_TRUE(bv.Test(195));  // 'HN'
+}
+
+TEST(QGramVectorEncoderTest, EmptyStringIsZeroVector) {
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.Encode("").PopCount(), 0u);
+}
+
+TEST(QGramVectorEncoderTest, RepeatedGramsSetOneBit) {
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.Encode("AAAAAA").PopCount(), 1u);
+}
+
+TEST(QGramVectorEncoderTest, Figure3SubstituteDistance4) {
+  // Section 5.1: 'JONES' vs 'JONAS' differ in bigrams NE,ES / NA,AS ->
+  // Hamming distance 4.
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.Encode("JONES").HammingDistance(encoder.Encode("JONAS")),
+            4u);
+}
+
+TEST(QGramVectorEncoderTest, Figure3OverlapReducesDistanceTo3) {
+  // 'SHANNEN' vs 'SHENNEN': differing bigrams HA,AN vs HE, with EN shared
+  // -> distance 3.
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_EQ(
+      encoder.Encode("SHANNEN").HammingDistance(encoder.Encode("SHENNEN")),
+      3u);
+}
+
+TEST(QGramVectorEncoderTest, Figure3DeleteDistance3) {
+  // 'JONES' vs 'JONS': NE,ES dropped, NS added -> distance 3.
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_EQ(encoder.Encode("JONES").HammingDistance(encoder.Encode("JONS")),
+            3u);
+}
+
+TEST(QGramVectorEncoderTest, InsertDistanceAtMost3) {
+  // 'JONES' vs 'JONEAS' (insert) behaves like delete in reverse.
+  const QGramVectorEncoder encoder = MakeEncoder();
+  EXPECT_LE(encoder.Encode("JONES").HammingDistance(encoder.Encode("JONEAS")),
+            3u);
+}
+
+TEST(QGramVectorEncoderTest, LengthIndependenceOfDistance) {
+  // Section 5.1's motivation: one substitution costs the same Hamming
+  // distance regardless of string length (unlike Jaccard).
+  const QGramVectorEncoder encoder = MakeEncoder();
+  const size_t d_short =
+      encoder.Encode("JONES").HammingDistance(encoder.Encode("JONAS"));
+  const size_t d_long = encoder.Encode("WASHINGTON")
+                            .HammingDistance(encoder.Encode("WASHANGTON"));
+  EXPECT_EQ(d_short, 4u);
+  EXPECT_EQ(d_long, 4u);
+}
+
+TEST(QGramVectorEncoderTest, CreateRejectsHugeSpaces) {
+  Result<QGramExtractor> extractor = QGramExtractor::Create(
+      Alphabet::Alphanumeric(), {.q = 6, .pad = false});
+  ASSERT_TRUE(extractor.ok());
+  // 39^6 ~ 3.5e9 bits > the 2^26 cap.
+  Result<QGramVectorEncoder> encoder =
+      QGramVectorEncoder::Create(std::move(extractor).value());
+  EXPECT_FALSE(encoder.ok());
+  EXPECT_EQ(encoder.status().code(), StatusCode::kOutOfRange);
+}
+
+/// Property test of Equation 3: u_H <= alpha * u_E with alpha = 4 for
+/// substitutions and 3 for insert/delete, for q = 2.
+class ErrorBoundTest : public testing::TestWithParam<PerturbationType> {};
+
+TEST_P(ErrorBoundTest, SingleOperationRespectsAlphaBound) {
+  const PerturbationType type = GetParam();
+  const size_t alpha = type == PerturbationType::kSubstitute ? 4 : 3;
+  const QGramVectorEncoder encoder = MakeEncoder();
+  Rng rng(321);
+  const std::vector<std::string> bases = {
+      "JONES", "WASHINGTON", "LEE", "SHANNEN", "KARAPIPERIS", "AB"};
+  for (const std::string& base : bases) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::string perturbed = Perturbator::ApplyOp(base, type, rng);
+      const size_t u_e = EditDistance(base, perturbed);
+      ASSERT_EQ(u_e, 1u);
+      const size_t u_h =
+          encoder.Encode(base).HammingDistance(encoder.Encode(perturbed));
+      EXPECT_LE(u_h, alpha * u_e)
+          << PerturbationTypeName(type) << ": " << base << " -> "
+          << perturbed;
+    }
+  }
+}
+
+TEST_P(ErrorBoundTest, MultipleOperationsRespectScaledBound) {
+  const PerturbationType type = GetParam();
+  const size_t alpha = type == PerturbationType::kSubstitute ? 4 : 3;
+  const QGramVectorEncoder encoder = MakeEncoder();
+  Rng rng(654);
+  const std::string base = "KARAPIPERIS";
+  for (size_t ops = 1; ops <= 3; ++ops) {
+    for (int trial = 0; trial < 30; ++trial) {
+      std::string perturbed = base;
+      for (size_t i = 0; i < ops; ++i) {
+        perturbed = Perturbator::ApplyOp(perturbed, type, rng);
+      }
+      const size_t u_e = EditDistance(base, perturbed);
+      EXPECT_LE(u_e, ops);
+      const size_t u_h =
+          encoder.Encode(base).HammingDistance(encoder.Encode(perturbed));
+      // Eq. 3 with u_E ops of the given type.
+      EXPECT_LE(u_h, alpha * ops) << base << " -> " << perturbed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ErrorBoundTest,
+                         testing::Values(PerturbationType::kSubstitute,
+                                         PerturbationType::kInsert,
+                                         PerturbationType::kDelete));
+
+TEST(QGramVectorEncoderTest, PaddedEncoderAlsoRespectsSubstituteBound) {
+  // Section 5.1 claims the bounds hold for any q-gram vector with q >= 2;
+  // with padding a substitution still flips at most 2 bigrams per string.
+  const QGramVectorEncoder encoder = MakeEncoder(/*pad=*/true);
+  Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string base = "JOHNSON";
+    const std::string perturbed =
+        Perturbator::ApplyOp(base, PerturbationType::kSubstitute, rng);
+    EXPECT_LE(encoder.Encode(base).HammingDistance(encoder.Encode(perturbed)),
+              4u);
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,139 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cbvlink {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(99);
+  const uint64_t first = rng();
+  rng();
+  rng.Seed(99);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BelowIsApproximatelyUniform) {
+  Rng rng(17);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.06);
+  }
+}
+
+TEST(RngTest, UniformInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Uniform(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(31);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(41);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+  Rng rng2(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.NextBool(0.0));
+    EXPECT_TRUE(rng2.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(55);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,138 @@
+#include "src/blocking/record_blocker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cbvlink {
+namespace {
+
+EncodedRecord MakeRecord(RecordId id, size_t bits,
+                         std::initializer_list<size_t> set_bits) {
+  EncodedRecord r;
+  r.id = id;
+  r.bits = BitVector(bits);
+  for (size_t b : set_bits) r.bits.Set(b);
+  return r;
+}
+
+std::set<RecordId> Candidates(const RecordLevelBlocker& blocker,
+                              const BitVector& probe) {
+  std::set<RecordId> out;
+  blocker.ForEachCandidate(probe, [&](RecordId id) { out.insert(id); });
+  return out;
+}
+
+TEST(RecordLevelBlockerTest, CreateComputesLFromEquation2) {
+  Rng rng(1);
+  // Paper PL: m = 120, K = 30, theta = 4, delta = 0.1 -> L = 6.
+  Result<RecordLevelBlocker> blocker =
+      RecordLevelBlocker::Create(120, 30, 4, 0.1, rng);
+  ASSERT_TRUE(blocker.ok());
+  EXPECT_EQ(blocker.value().L(), 6u);
+  EXPECT_EQ(blocker.value().K(), 30u);
+}
+
+TEST(RecordLevelBlockerTest, CreateWithLRespectsExplicitValue) {
+  Rng rng(2);
+  Result<RecordLevelBlocker> blocker =
+      RecordLevelBlocker::CreateWithL(120, 30, 9, rng);
+  ASSERT_TRUE(blocker.ok());
+  EXPECT_EQ(blocker.value().L(), 9u);
+}
+
+TEST(RecordLevelBlockerTest, CreateErrorsPropagate) {
+  Rng rng(3);
+  EXPECT_FALSE(RecordLevelBlocker::Create(120, 30, 200, 0.1, rng).ok());
+  EXPECT_FALSE(RecordLevelBlocker::CreateWithL(0, 30, 4, rng).ok());
+  EXPECT_FALSE(RecordLevelBlocker::CreateWithL(120, 0, 4, rng).ok());
+}
+
+TEST(RecordLevelBlockerTest, IdenticalVectorsAlwaysCandidates) {
+  Rng rng(4);
+  RecordLevelBlocker blocker =
+      RecordLevelBlocker::CreateWithL(120, 30, 6, rng).value();
+  const EncodedRecord a = MakeRecord(1, 120, {0, 5, 50, 100});
+  blocker.Insert(a);
+  const std::set<RecordId> cands = Candidates(blocker, a.bits);
+  EXPECT_TRUE(cands.contains(1));
+}
+
+TEST(RecordLevelBlockerTest, EmptyBlockerYieldsNoCandidates) {
+  Rng rng(5);
+  RecordLevelBlocker blocker =
+      RecordLevelBlocker::CreateWithL(120, 30, 6, rng).value();
+  const EncodedRecord probe = MakeRecord(9, 120, {1, 2, 3});
+  EXPECT_TRUE(Candidates(blocker, probe.bits).empty());
+}
+
+TEST(RecordLevelBlockerTest, NearDuplicatesFoundWithHighProbability) {
+  Rng rng(6);
+  constexpr size_t kRounds = 200;
+  size_t found = 0;
+  Rng perturb(7);
+  for (size_t round = 0; round < kRounds; ++round) {
+    RecordLevelBlocker blocker =
+        RecordLevelBlocker::Create(120, 30, 4, 0.1, rng).value();
+    EncodedRecord a = MakeRecord(1, 120, {});
+    for (size_t i = 0; i < 120; i += 4) a.bits.Set(i);
+    EncodedRecord b = a;
+    b.id = 2;
+    for (int flips = 0; flips < 4; ++flips) {
+      const size_t pos = perturb.Below(120);
+      if (b.bits.Test(pos)) {
+        b.bits.Clear(pos);
+      } else {
+        b.bits.Set(pos);
+      }
+    }
+    blocker.Insert(a);
+    if (Candidates(blocker, b.bits).contains(1)) ++found;
+  }
+  // Guarantee: >= 1 - delta = 0.9, allow sampling slack.
+  EXPECT_GE(static_cast<double>(found) / kRounds, 0.86);
+}
+
+TEST(RecordLevelBlockerTest, DistantVectorsRarelyCandidates) {
+  Rng rng(8);
+  RecordLevelBlocker blocker =
+      RecordLevelBlocker::CreateWithL(120, 30, 6, rng).value();
+  EncodedRecord a = MakeRecord(1, 120, {});
+  for (size_t i = 0; i < 60; ++i) a.bits.Set(i);
+  EncodedRecord far = MakeRecord(2, 120, {});
+  for (size_t i = 60; i < 120; ++i) far.bits.Set(i);
+  blocker.Insert(a);
+  EXPECT_FALSE(Candidates(blocker, far.bits).contains(1));
+}
+
+TEST(RecordLevelBlockerTest, CandidateOccurrencesRepeatAcrossGroups) {
+  Rng rng(9);
+  RecordLevelBlocker blocker =
+      RecordLevelBlocker::CreateWithL(120, 5, 8, rng).value();
+  const EncodedRecord a = MakeRecord(1, 120, {0, 1, 2});
+  blocker.Insert(a);
+  size_t occurrences = 0;
+  blocker.ForEachCandidate(a.bits, [&](RecordId) { ++occurrences; });
+  // Identical vectors collide in every group.
+  EXPECT_EQ(occurrences, 8u);
+}
+
+TEST(RecordLevelBlockerTest, StatsReflectIndexedRecords) {
+  Rng rng(10);
+  RecordLevelBlocker blocker =
+      RecordLevelBlocker::CreateWithL(64, 8, 4, rng).value();
+  std::vector<EncodedRecord> records;
+  Rng data(11);
+  for (RecordId id = 0; id < 50; ++id) {
+    EncodedRecord r = MakeRecord(id, 64, {});
+    for (int i = 0; i < 16; ++i) r.bits.Set(data.Below(64));
+    records.push_back(std::move(r));
+  }
+  blocker.Index(records);
+  EXPECT_GT(blocker.TotalBuckets(), 0u);
+  EXPECT_GE(blocker.MaxBucketSize(), 1u);
+  EXPECT_LE(blocker.MaxBucketSize(), 50u);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,152 @@
+#include "src/embedding/record_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+Schema NcvrLikeSchema() {
+  Schema schema;
+  const QGramOptions unpadded{.q = 2, .pad = false};
+  schema.attributes = {
+      {"FirstName", &Alphabet::Uppercase(), unpadded},
+      {"LastName", &Alphabet::Uppercase(), unpadded},
+      {"Address", &Alphabet::Alphanumeric(), unpadded},
+      {"Town", &Alphabet::Uppercase(), unpadded},
+  };
+  return schema;
+}
+
+TEST(RecordLayoutTest, TracksOffsetsAndTotal) {
+  RecordLayout layout;
+  EXPECT_EQ(layout.Add(15), 0u);
+  EXPECT_EQ(layout.Add(15), 1u);
+  EXPECT_EQ(layout.Add(68), 2u);
+  EXPECT_EQ(layout.Add(22), 3u);
+  EXPECT_EQ(layout.total_bits(), 120u);
+  EXPECT_EQ(layout.segment(0).offset, 0u);
+  EXPECT_EQ(layout.segment(2).offset, 30u);
+  EXPECT_EQ(layout.segment(2).size, 68u);
+  EXPECT_EQ(layout.segment(3).offset, 98u);
+}
+
+TEST(EstimateExpectedQGramsTest, ComputesUnpaddedMeans) {
+  const Schema schema = NcvrLikeSchema();
+  std::vector<Record> sample = {
+      {0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}},
+      {1, {"MARY", "JONES", "345 ELM AVE", "APEX"}},
+  };
+  const std::vector<double> means = EstimateExpectedQGrams(schema, sample);
+  ASSERT_EQ(means.size(), 4u);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);  // JOHN, MARY both 4 chars -> 3 bigrams
+  EXPECT_DOUBLE_EQ(means[1], 4.0);  // SMITH, JONES -> 4 bigrams
+  EXPECT_DOUBLE_EQ(means[2], (8.0 + 10.0) / 2.0);
+  EXPECT_DOUBLE_EQ(means[3], 3.0);
+}
+
+TEST(EstimateExpectedQGramsTest, SkipsShortRecords) {
+  const Schema schema = NcvrLikeSchema();
+  std::vector<Record> sample = {
+      {0, {"JOHN"}},  // too few fields -> skipped
+      {1, {"MARY", "JONES", "345 ELM AVE", "APEX"}},
+  };
+  const std::vector<double> means = EstimateExpectedQGrams(schema, sample);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+}
+
+TEST(CVectorRecordEncoderTest, Table3SizesAndLayout) {
+  Rng rng(1);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok()) << encoder.status().ToString();
+  EXPECT_EQ(encoder.value().total_bits(), 120u);  // the abstract's claim
+  EXPECT_EQ(encoder.value().layout().segment(0).size, 15u);
+  EXPECT_EQ(encoder.value().layout().segment(1).size, 15u);
+  EXPECT_EQ(encoder.value().layout().segment(2).size, 68u);
+  EXPECT_EQ(encoder.value().layout().segment(3).size, 22u);
+}
+
+TEST(CVectorRecordEncoderTest, RejectsMismatchedInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      CVectorRecordEncoder::Create(NcvrLikeSchema(), {5.1, 5.0}, rng).ok());
+  EXPECT_FALSE(CVectorRecordEncoder::Create(Schema{}, {}, rng).ok());
+}
+
+TEST(CVectorRecordEncoderTest, EncodeChecksFieldCount) {
+  Rng rng(1);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  Record bad{7, {"JOHN", "SMITH"}};
+  EXPECT_FALSE(encoder.value().Encode(bad).ok());
+}
+
+TEST(CVectorRecordEncoderTest, EncodeConcatenatesAttributeVectors) {
+  Rng rng(2);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  Record record{3, {"John", "Smith", "12 Oak St", "Cary"}};
+  Result<EncodedRecord> enc = encoder.value().Encode(record);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc.value().id, 3u);
+  EXPECT_EQ(enc.value().bits.size(), 120u);
+
+  // Each segment must equal the standalone attribute encoding.
+  for (size_t attr = 0; attr < 4; ++attr) {
+    const RecordLayout::Segment& seg = encoder.value().layout().segment(attr);
+    const BitVector expected =
+        encoder.value().EncodeAttribute(attr, record.fields[attr]);
+    EXPECT_EQ(enc.value().bits.Slice(seg.offset, seg.size), expected)
+        << "attribute " << attr;
+  }
+}
+
+TEST(CVectorRecordEncoderTest, AttributeDistanceIsolatesChanges) {
+  Rng rng(3);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  Record r1{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  Record r2{1, {"JOHN", "SMYTH", "12 OAK ST", "CARY"}};  // LastName differs
+  const BitVector b1 = encoder.value().Encode(r1).value().bits;
+  const BitVector b2 = encoder.value().Encode(r2).value().bits;
+  EXPECT_EQ(encoder.value().AttributeDistance(b1, b2, 0), 0u);
+  EXPECT_GT(encoder.value().AttributeDistance(b1, b2, 1), 0u);
+  EXPECT_EQ(encoder.value().AttributeDistance(b1, b2, 2), 0u);
+  EXPECT_EQ(encoder.value().AttributeDistance(b1, b2, 3), 0u);
+  // Record-level distance equals the per-attribute sum.
+  EXPECT_EQ(b1.HammingDistance(b2),
+            encoder.value().AttributeDistance(b1, b2, 1));
+}
+
+TEST(BloomRecordEncoderTest, LayoutIsUniform500Bits) {
+  Result<BloomRecordEncoder> encoder =
+      BloomRecordEncoder::Create(NcvrLikeSchema());
+  ASSERT_TRUE(encoder.ok());
+  EXPECT_EQ(encoder.value().total_bits(), 2000u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(encoder.value().layout().segment(i).size, 500u);
+  }
+}
+
+TEST(BloomRecordEncoderTest, EncodeAndAttributeDistance) {
+  Result<BloomRecordEncoder> encoder =
+      BloomRecordEncoder::Create(NcvrLikeSchema());
+  ASSERT_TRUE(encoder.ok());
+  Record r1{0, {"JOHN", "SMITH", "12 OAK ST", "CARY"}};
+  Record r2{1, {"JAHN", "SMITH", "12 OAK ST", "CARY"}};
+  const BitVector b1 = encoder.value().Encode(r1).value().bits;
+  const BitVector b2 = encoder.value().Encode(r2).value().bits;
+  EXPECT_GT(encoder.value().AttributeDistance(b1, b2, 0), 0u);
+  EXPECT_EQ(encoder.value().AttributeDistance(b1, b2, 1), 0u);
+  EXPECT_FALSE(encoder.value().Encode({2, {"TOO", "FEW"}}).ok());
+}
+
+TEST(BloomRecordEncoderTest, RejectsEmptySchema) {
+  EXPECT_FALSE(BloomRecordEncoder::Create(Schema{}).ok());
+}
+
+}  // namespace
+}  // namespace cbvlink

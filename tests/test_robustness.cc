@@ -1,0 +1,249 @@
+// Robustness and property tests: degenerate inputs pushed through the
+// whole pipeline, randomized round-trips, and parameterized guarantee
+// sweeps that tie the LSH layer to Definition 3 / Equation 2 across
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "src/common/random.h"
+#include "src/datagen/generators.h"
+#include "src/eval/experiment.h"
+#include "src/linkage/cbv_hb_linker.h"
+#include "src/lsh/hamming_lsh.h"
+#include "src/lsh/params.h"
+#include "src/rules/rule_parser.h"
+
+namespace cbvlink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Degenerate-input injection through the full cBV-HB pipeline.
+
+Schema SimpleSchema() {
+  Schema schema;
+  const QGramOptions unpadded{.q = 2, .pad = false};
+  schema.attributes = {
+      {"FirstName", &Alphabet::Uppercase(), unpadded},
+      {"LastName", &Alphabet::Uppercase(), unpadded},
+  };
+  return schema;
+}
+
+CbvHbConfig SimpleConfig() {
+  CbvHbConfig config;
+  config.schema = SimpleSchema();
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)});
+  config.record_K = 10;
+  config.record_theta = 4;
+  config.expected_qgrams = {5.0, 5.0};
+  config.seed = 1;
+  return config;
+}
+
+TEST(RobustnessTest, EmptyFieldsLinkWithoutCrashing) {
+  std::vector<Record> a = {{0, {"", "SMITH"}},
+                           {1, {"JOHN", ""}},
+                           {2, {"", ""}},
+                           {3, {"MARY", "JONES"}}};
+  std::vector<Record> b = {{10, {"", "SMITH"}},
+                           {11, {"MARY", "JONES"}},
+                           {12, {"", ""}}};
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(SimpleConfig());
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(a, b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Identical records (including the all-empty ones) must match.
+  const auto found = [&](RecordId x, RecordId y) {
+    return std::find(result.value().matches.begin(),
+                     result.value().matches.end(),
+                     IdPair{x, y}) != result.value().matches.end();
+  };
+  EXPECT_TRUE(found(0, 10));
+  EXPECT_TRUE(found(3, 11));
+  EXPECT_TRUE(found(2, 12));
+}
+
+TEST(RobustnessTest, GarbageCharactersAreNormalizedAway) {
+  std::vector<Record> a = {{0, {"J@O#H$N!", "smith-jr."}}};
+  std::vector<Record> b = {{10, {"John", "SMITHJR"}}};
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(SimpleConfig());
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(a, b);
+  ASSERT_TRUE(result.ok());
+  // After normalization both sides are JOHN / SMITHJR — a perfect match.
+  ASSERT_EQ(result.value().matches.size(), 1u);
+}
+
+TEST(RobustnessTest, VeryLongStringsAreHandled) {
+  std::string long_name(5000, 'A');
+  long_name += "UNIQUESUFFIX";
+  std::vector<Record> a = {{0, {long_name, "SMITH"}}};
+  std::vector<Record> b = {{10, {long_name, "SMITH"}}};
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(SimpleConfig());
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches.size(), 1u);
+}
+
+TEST(RobustnessTest, EmptyDataSetsLinkToNothing) {
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(SimpleConfig());
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link({}, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().matches.empty());
+  EXPECT_EQ(result.value().stats.comparisons, 0u);
+}
+
+TEST(RobustnessTest, MalformedRecordSurfacesStatusNotCrash) {
+  std::vector<Record> a = {{0, {"ONLYONEFIELD"}}};
+  std::vector<Record> b = {{10, {"JOHN", "SMITH"}}};
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(SimpleConfig());
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link(a, b);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized parser round-trip.
+
+/// Builds a random rule tree of the given depth.
+Rule RandomRule(Rng& rng, size_t depth) {
+  if (depth == 0 || rng.Below(3) == 0) {
+    return Rule::Pred(rng.Below(4), rng.Below(10));
+  }
+  switch (rng.Below(3)) {
+    case 0: {
+      std::vector<Rule> children;
+      const size_t n = 2 + rng.Below(2);
+      for (size_t i = 0; i < n; ++i) {
+        children.push_back(RandomRule(rng, depth - 1));
+      }
+      return Rule::And(std::move(children));
+    }
+    case 1: {
+      std::vector<Rule> children;
+      const size_t n = 2 + rng.Below(2);
+      for (size_t i = 0; i < n; ++i) {
+        children.push_back(RandomRule(rng, depth - 1));
+      }
+      return Rule::Or(std::move(children));
+    }
+    default:
+      return Rule::Not(RandomRule(rng, depth - 1));
+  }
+}
+
+TEST(RuleRoundTripProperty, ParseOfToStringIsIdentity) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rule rule = RandomRule(rng, 3);
+    const std::string text = rule.ToString();
+    Result<Rule> parsed = ParseRule(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().ToString(), text);
+  }
+}
+
+TEST(RuleRoundTripProperty, ParsedRuleEvaluatesIdentically) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Rule rule = RandomRule(rng, 3);
+    Result<Rule> parsed = ParseRule(rule.ToString());
+    ASSERT_TRUE(parsed.ok());
+    for (int probe = 0; probe < 20; ++probe) {
+      size_t distances[4];
+      for (size_t& d : distances) d = rng.Below(12);
+      const auto dist_fn = [&](size_t attr) { return distances[attr]; };
+      EXPECT_EQ(rule.Evaluate(dist_fn), parsed.value().Evaluate(dist_fn));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized Equation 2 guarantee sweep over (K, theta).
+
+class Eq2GuaranteeSweep
+    : public testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(Eq2GuaranteeSweep, PairsWithinThetaAreFound) {
+  const auto [K, theta] = GetParam();
+  constexpr size_t kBits = 120;
+  constexpr double kDelta = 0.1;
+  const double p = HammingBaseProbability(theta, kBits).value();
+  Result<size_t> L = OptimalGroups(p, K, kDelta);
+  ASSERT_TRUE(L.ok());
+
+  Rng rng(K * 1000 + theta);
+  size_t found = 0;
+  constexpr size_t kRounds = 250;
+  for (size_t round = 0; round < kRounds; ++round) {
+    BitVector a(kBits);
+    for (size_t i = 0; i < kBits; ++i) {
+      if (rng.NextBool(0.3)) a.Set(i);
+    }
+    BitVector b = a;
+    for (size_t flips = 0; flips < theta; ++flips) {
+      const size_t pos = rng.Below(kBits);
+      if (b.Test(pos)) {
+        b.Clear(pos);
+      } else {
+        b.Set(pos);
+      }
+    }
+    Result<HammingLshFamily> family =
+        HammingLshFamily::CreateFull(K, L.value(), kBits, rng);
+    ASSERT_TRUE(family.ok());
+    bool hit = false;
+    for (size_t l = 0; l < L.value() && !hit; ++l) {
+      hit = family.value().Key(a, l) == family.value().Key(b, l);
+    }
+    if (hit) ++found;
+  }
+  // 1 - delta guarantee with sampling slack (3 sigma ~ 0.06 at n = 250).
+  EXPECT_GE(static_cast<double>(found) / kRounds, 1.0 - kDelta - 0.06)
+      << "K=" << K << " theta=" << theta << " L=" << L.value();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, Eq2GuaranteeSweep,
+    testing::Combine(testing::Values(size_t{10}, size_t{20}, size_t{30}),
+                     testing::Values(size_t{2}, size_t{4}, size_t{8})));
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: same seeds, same results.
+
+TEST(RobustnessTest, FullPipelineIsDeterministic) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkagePairOptions options;
+  options.num_records = 300;
+  options.seed = 99;
+  const auto run = [&]() {
+    Result<LinkagePair> data =
+        BuildLinkagePair(gen.value(), PerturbationScheme::Light(), options);
+    EXPECT_TRUE(data.ok());
+    CbvHbConfig config;
+    config.schema = gen.value().schema();
+    config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                             Rule::Pred(2, 4), Rule::Pred(3, 4)});
+    config.seed = 5;
+    Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result =
+        linker.value().Link(data.value().a, data.value().b);
+    EXPECT_TRUE(result.ok());
+    std::vector<IdPair> matches = std::move(result).value().matches;
+    std::sort(matches.begin(), matches.end());
+    return matches;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cbvlink

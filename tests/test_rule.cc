@@ -1,0 +1,109 @@
+#include "src/rules/rule.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cbvlink {
+namespace {
+
+/// Helper: evaluate a rule against fixed per-attribute distances.
+bool Eval(const Rule& rule, std::map<size_t, size_t> distances) {
+  return rule.Evaluate([&](size_t attr) { return distances.at(attr); });
+}
+
+TEST(RuleTest, PredicateEvaluation) {
+  const Rule r = Rule::Pred(0, 4);
+  EXPECT_TRUE(Eval(r, {{0, 0}}));
+  EXPECT_TRUE(Eval(r, {{0, 4}}));
+  EXPECT_FALSE(Eval(r, {{0, 5}}));
+}
+
+TEST(RuleTest, AndEvaluation) {
+  const Rule r = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 8)});
+  EXPECT_TRUE(Eval(r, {{0, 4}, {1, 8}}));
+  EXPECT_FALSE(Eval(r, {{0, 5}, {1, 8}}));
+  EXPECT_FALSE(Eval(r, {{0, 4}, {1, 9}}));
+}
+
+TEST(RuleTest, OrEvaluation) {
+  const Rule r = Rule::Or({Rule::Pred(0, 4), Rule::Pred(1, 8)});
+  EXPECT_TRUE(Eval(r, {{0, 4}, {1, 99}}));
+  EXPECT_TRUE(Eval(r, {{0, 99}, {1, 8}}));
+  EXPECT_FALSE(Eval(r, {{0, 99}, {1, 99}}));
+}
+
+TEST(RuleTest, NotEvaluation) {
+  const Rule r = Rule::Not(Rule::Pred(0, 4));
+  EXPECT_FALSE(Eval(r, {{0, 3}}));
+  EXPECT_TRUE(Eval(r, {{0, 5}}));
+}
+
+TEST(RuleTest, PaperC1Evaluation) {
+  // C1 = (f1 <= t1) AND (f2 <= t2) AND (f3 <= t3).
+  const Rule c1 =
+      Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4), Rule::Pred(2, 8)});
+  EXPECT_TRUE(Eval(c1, {{0, 1}, {1, 2}, {2, 8}}));
+  EXPECT_FALSE(Eval(c1, {{0, 1}, {1, 2}, {2, 9}}));
+}
+
+TEST(RuleTest, PaperC2Evaluation) {
+  // C2 = [(f1 <= t) AND (f2 <= t)] OR (f3 <= t).
+  const Rule c2 = Rule::Or(
+      {Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4)}), Rule::Pred(2, 8)});
+  EXPECT_TRUE(Eval(c2, {{0, 0}, {1, 0}, {2, 99}}));
+  EXPECT_TRUE(Eval(c2, {{0, 99}, {1, 99}, {2, 8}}));
+  EXPECT_FALSE(Eval(c2, {{0, 99}, {1, 0}, {2, 99}}));
+}
+
+TEST(RuleTest, PaperC3Evaluation) {
+  // C3 = (f1 <= t) AND NOT (f2 <= t).
+  const Rule c3 = Rule::And({Rule::Pred(0, 4), Rule::Not(Rule::Pred(1, 4))});
+  EXPECT_TRUE(Eval(c3, {{0, 2}, {1, 10}}));
+  EXPECT_FALSE(Eval(c3, {{0, 2}, {1, 2}}));
+  EXPECT_FALSE(Eval(c3, {{0, 10}, {1, 10}}));
+}
+
+TEST(RuleTest, ValidateAcceptsWellFormedRules) {
+  const Rule r = Rule::And(
+      {Rule::Pred(0, 4), Rule::Or({Rule::Pred(1, 2), Rule::Pred(2, 3)})});
+  EXPECT_TRUE(r.Validate(3).ok());
+}
+
+TEST(RuleTest, ValidateRejectsOutOfRangeAttribute) {
+  EXPECT_FALSE(Rule::Pred(3, 1).Validate(3).ok());
+  EXPECT_TRUE(Rule::Pred(2, 1).Validate(3).ok());
+  const Rule nested = Rule::And({Rule::Pred(0, 1), Rule::Pred(5, 1)});
+  EXPECT_FALSE(nested.Validate(3).ok());
+}
+
+TEST(RuleTest, ValidateRejectsBadArity) {
+  EXPECT_FALSE(Rule::And({Rule::Pred(0, 1)}).Validate(3).ok());
+  EXPECT_FALSE(Rule::Or({Rule::Pred(0, 1)}).Validate(3).ok());
+  EXPECT_FALSE(Rule::And({}).Validate(3).ok());
+}
+
+TEST(RuleTest, CollectPredicatesDepthFirst) {
+  const Rule r = Rule::Or(
+      {Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 8)}), Rule::Pred(2, 2)});
+  std::vector<Predicate> preds;
+  r.CollectPredicates(&preds);
+  ASSERT_EQ(preds.size(), 3u);
+  EXPECT_EQ(preds[0], (Predicate{0, 4}));
+  EXPECT_EQ(preds[1], (Predicate{1, 8}));
+  EXPECT_EQ(preds[2], (Predicate{2, 2}));
+}
+
+TEST(RuleTest, ToStringUsesOneBasedAttributes) {
+  EXPECT_EQ(Rule::Pred(0, 4).ToString(), "(f1 <= 4)");
+  EXPECT_EQ(Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 8)}).ToString(),
+            "((f1 <= 4) AND (f2 <= 8))");
+  EXPECT_EQ(Rule::Not(Rule::Pred(1, 8)).ToString(), "(NOT (f2 <= 8))");
+  EXPECT_EQ(
+      Rule::Or({Rule::Pred(0, 1), Rule::Pred(1, 2), Rule::Pred(2, 3)})
+          .ToString(),
+      "((f1 <= 1) OR (f2 <= 2) OR (f3 <= 3))");
+}
+
+}  // namespace
+}  // namespace cbvlink

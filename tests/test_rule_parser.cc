@@ -1,0 +1,112 @@
+#include "src/rules/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+TEST(RuleParserTest, SinglePredicate) {
+  Result<Rule> r = ParseRule("f1 <= 4");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().kind(), Rule::Kind::kPredicate);
+  EXPECT_EQ(r.value().predicate().attribute, 0u);
+  EXPECT_EQ(r.value().predicate().threshold, 4u);
+}
+
+TEST(RuleParserTest, ParenthesizedPredicate) {
+  Result<Rule> r = ParseRule("(f2 <= 8)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().predicate().attribute, 1u);
+}
+
+TEST(RuleParserTest, AndChain) {
+  Result<Rule> r = ParseRule("(f1 <= 4) AND (f2 <= 4) AND (f3 <= 8)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind(), Rule::Kind::kAnd);
+  EXPECT_EQ(r.value().children().size(), 3u);
+  EXPECT_EQ(r.value().ToString(),
+            "((f1 <= 4) AND (f2 <= 4) AND (f3 <= 8))");
+}
+
+TEST(RuleParserTest, AndBindsTighterThanOr) {
+  // C2 of Section 6.2 without explicit brackets around the AND.
+  Result<Rule> r = ParseRule("f1 <= 4 AND f2 <= 4 OR f3 <= 8");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind(), Rule::Kind::kOr);
+  ASSERT_EQ(r.value().children().size(), 2u);
+  EXPECT_EQ(r.value().children()[0].kind(), Rule::Kind::kAnd);
+  EXPECT_EQ(r.value().children()[1].kind(), Rule::Kind::kPredicate);
+}
+
+TEST(RuleParserTest, NotFactor) {
+  Result<Rule> r = ParseRule("(f1 <= 4) AND NOT (f2 <= 8)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToString(), "((f1 <= 4) AND (NOT (f2 <= 8)))");
+}
+
+TEST(RuleParserTest, DoubleNegation) {
+  Result<Rule> r = ParseRule("NOT NOT f1 <= 4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind(), Rule::Kind::kNot);
+  EXPECT_EQ(r.value().children()[0].kind(), Rule::Kind::kNot);
+}
+
+TEST(RuleParserTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(ParseRule("f1 <= 1 and f2 <= 2").ok());
+  EXPECT_TRUE(ParseRule("f1 <= 1 Or not f2 <= 2").ok());
+}
+
+TEST(RuleParserTest, NestedParentheses) {
+  Result<Rule> r =
+      ParseRule("((f1 <= 4) AND (f2 <= 4)) OR ((f3 <= 8) AND (f4 <= 2))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().kind(), Rule::Kind::kOr);
+  EXPECT_EQ(r.value().children()[0].kind(), Rule::Kind::kAnd);
+  EXPECT_EQ(r.value().children()[1].kind(), Rule::Kind::kAnd);
+}
+
+TEST(RuleParserTest, RoundTripThroughToString) {
+  const char* exprs[] = {
+      "(f1 <= 4)",
+      "((f1 <= 4) AND (f2 <= 8))",
+      "((f1 <= 4) OR (NOT (f2 <= 8)))",
+      "(((f1 <= 4) AND (f2 <= 4)) OR (f3 <= 8))",
+  };
+  for (const char* expr : exprs) {
+    Result<Rule> parsed = ParseRule(expr);
+    ASSERT_TRUE(parsed.ok()) << expr;
+    EXPECT_EQ(parsed.value().ToString(), expr);
+  }
+}
+
+TEST(RuleParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseRule("").ok());
+  EXPECT_FALSE(ParseRule("f1").ok());
+  EXPECT_FALSE(ParseRule("f1 <=").ok());
+  EXPECT_FALSE(ParseRule("f1 >= 4").ok());
+  EXPECT_FALSE(ParseRule("f1 <= 4 AND").ok());
+  EXPECT_FALSE(ParseRule("(f1 <= 4").ok());
+  EXPECT_FALSE(ParseRule("f1 <= 4)").ok());
+  EXPECT_FALSE(ParseRule("g1 <= 4").ok());
+  EXPECT_FALSE(ParseRule("f1 <= 4 f2 <= 8").ok());
+  EXPECT_FALSE(ParseRule("AND f1 <= 4").ok());
+}
+
+TEST(RuleParserTest, ZeroAttributeRejected) {
+  // Attribute numbers are 1-based in the textual form.
+  EXPECT_FALSE(ParseRule("f0 <= 4").ok());
+}
+
+TEST(RuleParserTest, KeywordPrefixIdentifiersRejected) {
+  // "ANDY" is not the keyword AND.
+  EXPECT_FALSE(ParseRule("f1 <= 4 ANDY f2 <= 8").ok());
+}
+
+TEST(RuleParserTest, ZeroThresholdAllowed) {
+  Result<Rule> r = ParseRule("f1 <= 0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().predicate().threshold, 0u);
+}
+
+}  // namespace
+}  // namespace cbvlink

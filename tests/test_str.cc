@@ -1,0 +1,55 @@
+#include "src/common/str.h"
+
+#include <gtest/gtest.h>
+
+namespace cbvlink {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_arg(5000, 'z');
+  const std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"", ""}, "-"), "-");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(StrSplit("noseparator", ','),
+            (std::vector<std::string>{"noseparator"}));
+}
+
+TEST(ToUpperAsciiTest, UppercasesOnlyAsciiLetters) {
+  EXPECT_EQ(ToUpperAscii("Jones"), "JONES");
+  EXPECT_EQ(ToUpperAscii("a1b2-c"), "A1B2-C");
+  EXPECT_EQ(ToUpperAscii(""), "");
+  EXPECT_EQ(ToUpperAscii("ALREADY"), "ALREADY");
+}
+
+TEST(StripAsciiWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace("\t\na b\r\n"), "a b");
+  EXPECT_EQ(StripAsciiWhitespace("none"), "none");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+}  // namespace
+}  // namespace cbvlink

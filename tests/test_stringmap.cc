@@ -1,0 +1,137 @@
+#include "src/embedding/stringmap.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/datagen/corpora.h"
+#include "src/metrics/edit_distance.h"
+#include "src/metrics/euclidean.h"
+
+namespace cbvlink {
+namespace {
+
+std::vector<std::string> NameCorpus(size_t n) {
+  Rng rng(99);
+  const auto& pool = LastNamePool();
+  std::vector<std::string> corpus;
+  corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    corpus.push_back(pool[rng.Below(pool.size())]);
+  }
+  return corpus;
+}
+
+TEST(StringMapTest, RejectsEmptyCorpusAndZeroDims) {
+  EXPECT_FALSE(StringMapEmbedder::Train({}, {}).ok());
+  StringMapOptions zero;
+  zero.dimensions = 0;
+  EXPECT_FALSE(StringMapEmbedder::Train({"A"}, zero).ok());
+}
+
+TEST(StringMapTest, EmbedsToRequestedDimensions) {
+  StringMapOptions options;
+  options.dimensions = 8;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(NameCorpus(200), options);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_EQ(embedder.value().dimensions(), 8u);
+  EXPECT_EQ(embedder.value().Embed("SMITH").size(), 8u);
+}
+
+TEST(StringMapTest, DeterministicEmbedding) {
+  StringMapOptions options;
+  options.dimensions = 6;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(NameCorpus(150), options);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_EQ(embedder.value().Embed("JOHNSON"),
+            embedder.value().Embed("JOHNSON"));
+}
+
+TEST(StringMapTest, IdenticalStringsEmbedIdentically) {
+  StringMapOptions options;
+  options.dimensions = 10;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(NameCorpus(150), options);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_DOUBLE_EQ(EuclideanDistance(embedder.value().Embed("WILLIAMS"),
+                                     embedder.value().Embed("WILLIAMS")),
+                   0.0);
+}
+
+TEST(StringMapTest, SingleStringCorpusDegeneratesGracefully) {
+  StringMapOptions options;
+  options.dimensions = 4;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train({"ONLY"}, options);
+  ASSERT_TRUE(embedder.ok());
+  // All residual pivot distances are zero -> all coordinates zero.
+  const std::vector<double> coords = embedder.value().Embed("ONLY");
+  for (double c : coords) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(StringMapTest, CloseStringsEmbedCloserThanFarStrings) {
+  StringMapOptions options;
+  options.dimensions = 20;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(NameCorpus(300), options);
+  ASSERT_TRUE(embedder.ok());
+  const auto d = [&](const char* a, const char* b) {
+    return EuclideanDistance(embedder.value().Embed(a),
+                             embedder.value().Embed(b));
+  };
+  // Edit distance 1 pairs should land much closer than unrelated names.
+  EXPECT_LT(d("JOHNSON", "JOHNSIN"), d("JOHNSON", "RODRIGUEZ"));
+  EXPECT_LT(d("SMITH", "SMYTH"), d("SMITH", "HERNANDEZ"));
+}
+
+TEST(StringMapTest, EmbeddedDistanceRoughlyTracksEditDistance) {
+  // FastMap is contractive on average; check a rank-correlation-flavoured
+  // property: across pairs, larger edit distance should not map to a
+  // systematically smaller embedded distance.
+  StringMapOptions options;
+  options.dimensions = 20;
+  const std::vector<std::string> corpus = NameCorpus(300);
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(corpus, options);
+  ASSERT_TRUE(embedder.ok());
+
+  Rng rng(5);
+  double sum_close = 0.0;
+  double sum_far = 0.0;
+  int n_close = 0;
+  int n_far = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string& a = corpus[rng.Below(corpus.size())];
+    const std::string& b = corpus[rng.Below(corpus.size())];
+    const size_t ed = EditDistance(a, b);
+    const double dd =
+        EuclideanDistance(embedder.value().Embed(a), embedder.value().Embed(b));
+    if (ed <= 2) {
+      sum_close += dd;
+      ++n_close;
+    } else if (ed >= 6) {
+      sum_far += dd;
+      ++n_far;
+    }
+  }
+  if (n_close > 5 && n_far > 5) {
+    EXPECT_LT(sum_close / n_close, sum_far / n_far);
+  }
+}
+
+TEST(StringMapTest, SubsamplingCapRespected) {
+  StringMapOptions options;
+  options.dimensions = 4;
+  options.max_train_sample = 16;
+  Result<StringMapEmbedder> embedder =
+      StringMapEmbedder::Train(NameCorpus(1000), options);
+  ASSERT_TRUE(embedder.ok());
+  EXPECT_EQ(embedder.value().Embed("SMITH").size(), 4u);
+}
+
+}  // namespace
+}  // namespace cbvlink

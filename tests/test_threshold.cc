@@ -1,0 +1,92 @@
+#include "src/rules/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/datagen/perturbator.h"
+#include "src/embedding/qgram_vector.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(HammingThetaTest, PaperValuesForBigrams) {
+  // One substitution: alpha = 4 (Section 5.1).
+  EXPECT_EQ(HammingThetaForEditBudget({.substitutions = 1}).value(), 4u);
+  // One insert/delete: alpha = 3.
+  EXPECT_EQ(HammingThetaForEditBudget({.indels = 1}).value(), 3u);
+  // The PH Address budget (two operations): worst case two substitutions.
+  EXPECT_EQ(HammingThetaForEditBudget({.substitutions = 2}).value(), 8u);
+  // Zero budget -> exact match only.
+  EXPECT_EQ(HammingThetaForEditBudget({}).value(), 0u);
+}
+
+TEST(HammingThetaTest, TrigramScaling) {
+  EXPECT_EQ(
+      HammingThetaForEditBudget({.substitutions = 1}, /*q=*/3).value(), 6u);
+  EXPECT_EQ(HammingThetaForEditBudget({.indels = 1}, /*q=*/3).value(), 5u);
+}
+
+TEST(HammingThetaTest, RejectsUnigram) {
+  EXPECT_FALSE(HammingThetaForEditBudget({.substitutions = 1}, 1).ok());
+  EXPECT_FALSE(HammingThetaForEditBudget({}, 0).ok());
+}
+
+TEST(HammingThetaTest, BudgetIsSoundAgainstActualVectors) {
+  // Property: for any mix of n_sub substitutions and n_indel edits, the
+  // full q-gram vector distance never exceeds the derived theta.
+  Result<QGramExtractor> extractor =
+      QGramExtractor::Create(Alphabet::Uppercase(), {.q = 2, .pad = false});
+  ASSERT_TRUE(extractor.ok());
+  const QGramVectorEncoder encoder =
+      QGramVectorEncoder::Create(std::move(extractor).value()).value();
+  Rng rng(7);
+  const std::string base = "MONTGOMERY";
+  for (size_t subs = 0; subs <= 2; ++subs) {
+    for (size_t indels = 0; indels <= 2; ++indels) {
+      const size_t theta =
+          HammingThetaForEditBudget({subs, indels}).value();
+      for (int trial = 0; trial < 50; ++trial) {
+        std::string perturbed = base;
+        for (size_t i = 0; i < subs; ++i) {
+          perturbed = Perturbator::ApplyOp(
+              perturbed, PerturbationType::kSubstitute, rng);
+        }
+        for (size_t i = 0; i < indels; ++i) {
+          perturbed = Perturbator::ApplyOp(
+              perturbed,
+              rng.NextBool(0.5) ? PerturbationType::kInsert
+                                : PerturbationType::kDelete,
+              rng);
+        }
+        EXPECT_LE(encoder.Encode(base).HammingDistance(
+                      encoder.Encode(perturbed)),
+                  theta)
+            << base << " -> " << perturbed << " subs=" << subs
+            << " indels=" << indels;
+      }
+    }
+  }
+}
+
+TEST(RuleForEditBudgetsTest, SingleBudgetIsPredicate) {
+  Result<Rule> rule = RuleForEditBudgets({{.substitutions = 1}});
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().ToString(), "(f1 <= 4)");
+}
+
+TEST(RuleForEditBudgetsTest, MultipleBudgetsConjoin) {
+  // The paper's PH rule C1: one edit on f1 and f2, two on f3.
+  Result<Rule> rule = RuleForEditBudgets(
+      {{.substitutions = 1}, {.substitutions = 1}, {.substitutions = 2}});
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule.value().ToString(),
+            "((f1 <= 4) AND (f2 <= 4) AND (f3 <= 8))");
+}
+
+TEST(RuleForEditBudgetsTest, EmptyRejected) {
+  EXPECT_FALSE(RuleForEditBudgets({}).ok());
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,83 @@
+#include "src/common/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_EQ(uf.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.NumSets(), 4u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_EQ(uf.NumSets(), 3u);
+}
+
+TEST(UnionFindTest, TransitivityChain) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) {
+    uf.Union(i, i + 1);
+  }
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_TRUE(uf.Connected(0, 99));
+  EXPECT_EQ(uf.SetSize(50), 100u);
+}
+
+TEST(UnionFindTest, SetsMaterialization) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  uf.Union(1, 5);
+  const auto sets = uf.Sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(sets[1], (std::vector<size_t>{1, 5}));
+  EXPECT_EQ(sets[2], (std::vector<size_t>{3}));
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaiveModel) {
+  Rng rng(1);
+  constexpr size_t kN = 200;
+  UnionFind uf(kN);
+  // Naive model: label array; union relabels.
+  std::vector<size_t> label(kN);
+  for (size_t i = 0; i < kN; ++i) label[i] = i;
+  for (int op = 0; op < 500; ++op) {
+    const size_t a = rng.Below(kN);
+    const size_t b = rng.Below(kN);
+    uf.Union(a, b);
+    const size_t from = label[b];
+    const size_t to = label[a];
+    for (size_t& l : label) {
+      if (l == from) l = to;
+    }
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const size_t a = rng.Below(kN);
+    const size_t b = rng.Below(kN);
+    EXPECT_EQ(uf.Connected(a, b), label[a] == label[b])
+        << a << " vs " << b;
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink
