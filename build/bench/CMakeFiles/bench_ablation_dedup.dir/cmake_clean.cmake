@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dedup.dir/bench_ablation_dedup.cc.o"
+  "CMakeFiles/bench_ablation_dedup.dir/bench_ablation_dedup.cc.o.d"
+  "bench_ablation_dedup"
+  "bench_ablation_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mopt.dir/bench_ablation_mopt.cc.o"
+  "CMakeFiles/bench_ablation_mopt.dir/bench_ablation_mopt.cc.o.d"
+  "bench_ablation_mopt"
+  "bench_ablation_mopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

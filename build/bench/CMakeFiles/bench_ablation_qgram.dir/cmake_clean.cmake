@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qgram.dir/bench_ablation_qgram.cc.o"
+  "CMakeFiles/bench_ablation_qgram.dir/bench_ablation_qgram.cc.o.d"
+  "bench_ablation_qgram"
+  "bench_ablation_qgram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

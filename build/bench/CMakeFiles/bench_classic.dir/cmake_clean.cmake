@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classic.dir/bench_classic.cc.o"
+  "CMakeFiles/bench_classic.dir/bench_classic.cc.o.d"
+  "bench_classic"
+  "bench_classic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_10.dir/bench_fig9_10.cc.o"
+  "CMakeFiles/bench_fig9_10.dir/bench_fig9_10.cc.o.d"
+  "bench_fig9_10"
+  "bench_fig9_10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

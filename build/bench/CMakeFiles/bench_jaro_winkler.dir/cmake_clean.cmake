@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jaro_winkler.dir/bench_jaro_winkler.cc.o"
+  "CMakeFiles/bench_jaro_winkler.dir/bench_jaro_winkler.cc.o.d"
+  "bench_jaro_winkler"
+  "bench_jaro_winkler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jaro_winkler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

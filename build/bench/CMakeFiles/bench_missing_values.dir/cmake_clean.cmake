@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missing_values.dir/bench_missing_values.cc.o"
+  "CMakeFiles/bench_missing_values.dir/bench_missing_values.cc.o.d"
+  "bench_missing_values"
+  "bench_missing_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missing_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparsity.dir/bench_sparsity.cc.o"
+  "CMakeFiles/bench_sparsity.dir/bench_sparsity.cc.o.d"
+  "bench_sparsity"
+  "bench_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliographic_linkage.dir/bibliographic_linkage.cpp.o"
+  "CMakeFiles/bibliographic_linkage.dir/bibliographic_linkage.cpp.o.d"
+  "bibliographic_linkage"
+  "bibliographic_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliographic_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

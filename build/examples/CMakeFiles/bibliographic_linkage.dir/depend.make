@@ -1,0 +1,2 @@
+# Empty dependencies file for bibliographic_linkage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_catalog.dir/dedup_catalog.cpp.o"
+  "CMakeFiles/dedup_catalog.dir/dedup_catalog.cpp.o.d"
+  "dedup_catalog"
+  "dedup_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

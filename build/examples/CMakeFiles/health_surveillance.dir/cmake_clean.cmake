@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_surveillance.dir/health_surveillance.cpp.o"
+  "CMakeFiles/health_surveillance.dir/health_surveillance.cpp.o.d"
+  "health_surveillance"
+  "health_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for health_surveillance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_party.dir/multi_party.cpp.o"
+  "CMakeFiles/multi_party.dir/multi_party.cpp.o.d"
+  "multi_party"
+  "multi_party.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

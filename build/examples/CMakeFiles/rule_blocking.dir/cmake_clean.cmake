@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_blocking.dir/rule_blocking.cpp.o"
+  "CMakeFiles/rule_blocking.dir/rule_blocking.cpp.o.d"
+  "rule_blocking"
+  "rule_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

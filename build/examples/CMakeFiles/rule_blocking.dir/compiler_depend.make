@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rule_blocking.
+# This may be replaced when dependencies are built.

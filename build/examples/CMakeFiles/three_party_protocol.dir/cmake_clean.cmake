@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_party_protocol.dir/three_party_protocol.cpp.o"
+  "CMakeFiles/three_party_protocol.dir/three_party_protocol.cpp.o.d"
+  "three_party_protocol"
+  "three_party_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_party_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

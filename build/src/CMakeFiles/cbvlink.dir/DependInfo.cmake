@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocking/attribute_blocker.cc" "src/CMakeFiles/cbvlink.dir/blocking/attribute_blocker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/blocking/attribute_blocker.cc.o.d"
+  "/root/repo/src/blocking/classic.cc" "src/CMakeFiles/cbvlink.dir/blocking/classic.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/blocking/classic.cc.o.d"
+  "/root/repo/src/blocking/matcher.cc" "src/CMakeFiles/cbvlink.dir/blocking/matcher.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/blocking/matcher.cc.o.d"
+  "/root/repo/src/blocking/record_blocker.cc" "src/CMakeFiles/cbvlink.dir/blocking/record_blocker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/blocking/record_blocker.cc.o.d"
+  "/root/repo/src/common/bitvector.cc" "src/CMakeFiles/cbvlink.dir/common/bitvector.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/bitvector.cc.o.d"
+  "/root/repo/src/common/hashing.cc" "src/CMakeFiles/cbvlink.dir/common/hashing.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/hashing.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/cbvlink.dir/common/random.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cbvlink.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str.cc" "src/CMakeFiles/cbvlink.dir/common/str.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/str.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/cbvlink.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/union_find.cc" "src/CMakeFiles/cbvlink.dir/common/union_find.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/common/union_find.cc.o.d"
+  "/root/repo/src/datagen/corpora.cc" "src/CMakeFiles/cbvlink.dir/datagen/corpora.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/datagen/corpora.cc.o.d"
+  "/root/repo/src/datagen/dataset.cc" "src/CMakeFiles/cbvlink.dir/datagen/dataset.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/datagen/dataset.cc.o.d"
+  "/root/repo/src/datagen/generators.cc" "src/CMakeFiles/cbvlink.dir/datagen/generators.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/datagen/generators.cc.o.d"
+  "/root/repo/src/datagen/perturbator.cc" "src/CMakeFiles/cbvlink.dir/datagen/perturbator.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/datagen/perturbator.cc.o.d"
+  "/root/repo/src/embedding/bloom_filter.cc" "src/CMakeFiles/cbvlink.dir/embedding/bloom_filter.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/bloom_filter.cc.o.d"
+  "/root/repo/src/embedding/cvector.cc" "src/CMakeFiles/cbvlink.dir/embedding/cvector.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/cvector.cc.o.d"
+  "/root/repo/src/embedding/optimal_size.cc" "src/CMakeFiles/cbvlink.dir/embedding/optimal_size.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/optimal_size.cc.o.d"
+  "/root/repo/src/embedding/qgram_vector.cc" "src/CMakeFiles/cbvlink.dir/embedding/qgram_vector.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/qgram_vector.cc.o.d"
+  "/root/repo/src/embedding/record_encoder.cc" "src/CMakeFiles/cbvlink.dir/embedding/record_encoder.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/record_encoder.cc.o.d"
+  "/root/repo/src/embedding/stringmap.cc" "src/CMakeFiles/cbvlink.dir/embedding/stringmap.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/embedding/stringmap.cc.o.d"
+  "/root/repo/src/eval/block_stats.cc" "src/CMakeFiles/cbvlink.dir/eval/block_stats.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/eval/block_stats.cc.o.d"
+  "/root/repo/src/eval/calibration.cc" "src/CMakeFiles/cbvlink.dir/eval/calibration.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/eval/calibration.cc.o.d"
+  "/root/repo/src/eval/csv.cc" "src/CMakeFiles/cbvlink.dir/eval/csv.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/eval/csv.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/cbvlink.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/measures.cc" "src/CMakeFiles/cbvlink.dir/eval/measures.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/eval/measures.cc.o.d"
+  "/root/repo/src/io/csv_reader.cc" "src/CMakeFiles/cbvlink.dir/io/csv_reader.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/io/csv_reader.cc.o.d"
+  "/root/repo/src/io/serialization.cc" "src/CMakeFiles/cbvlink.dir/io/serialization.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/io/serialization.cc.o.d"
+  "/root/repo/src/linkage/bfh_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/bfh_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/bfh_linker.cc.o.d"
+  "/root/repo/src/linkage/cbv_hb_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/cbv_hb_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/cbv_hb_linker.cc.o.d"
+  "/root/repo/src/linkage/classic_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/classic_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/classic_linker.cc.o.d"
+  "/root/repo/src/linkage/dedup.cc" "src/CMakeFiles/cbvlink.dir/linkage/dedup.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/dedup.cc.o.d"
+  "/root/repo/src/linkage/harra_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/harra_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/harra_linker.cc.o.d"
+  "/root/repo/src/linkage/linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/linker.cc.o.d"
+  "/root/repo/src/linkage/multi_party.cc" "src/CMakeFiles/cbvlink.dir/linkage/multi_party.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/multi_party.cc.o.d"
+  "/root/repo/src/linkage/online_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/online_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/online_linker.cc.o.d"
+  "/root/repo/src/linkage/smeb_linker.cc" "src/CMakeFiles/cbvlink.dir/linkage/smeb_linker.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/linkage/smeb_linker.cc.o.d"
+  "/root/repo/src/lsh/blocking_table.cc" "src/CMakeFiles/cbvlink.dir/lsh/blocking_table.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/lsh/blocking_table.cc.o.d"
+  "/root/repo/src/lsh/euclidean_lsh.cc" "src/CMakeFiles/cbvlink.dir/lsh/euclidean_lsh.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/lsh/euclidean_lsh.cc.o.d"
+  "/root/repo/src/lsh/hamming_lsh.cc" "src/CMakeFiles/cbvlink.dir/lsh/hamming_lsh.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/lsh/hamming_lsh.cc.o.d"
+  "/root/repo/src/lsh/minhash_lsh.cc" "src/CMakeFiles/cbvlink.dir/lsh/minhash_lsh.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/lsh/minhash_lsh.cc.o.d"
+  "/root/repo/src/lsh/params.cc" "src/CMakeFiles/cbvlink.dir/lsh/params.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/lsh/params.cc.o.d"
+  "/root/repo/src/metrics/edit_distance.cc" "src/CMakeFiles/cbvlink.dir/metrics/edit_distance.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/metrics/edit_distance.cc.o.d"
+  "/root/repo/src/metrics/jaccard.cc" "src/CMakeFiles/cbvlink.dir/metrics/jaccard.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/metrics/jaccard.cc.o.d"
+  "/root/repo/src/metrics/jaro_winkler.cc" "src/CMakeFiles/cbvlink.dir/metrics/jaro_winkler.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/metrics/jaro_winkler.cc.o.d"
+  "/root/repo/src/protocol/party.cc" "src/CMakeFiles/cbvlink.dir/protocol/party.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/protocol/party.cc.o.d"
+  "/root/repo/src/rules/probability.cc" "src/CMakeFiles/cbvlink.dir/rules/probability.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/rules/probability.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/cbvlink.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_parser.cc" "src/CMakeFiles/cbvlink.dir/rules/rule_parser.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/rules/rule_parser.cc.o.d"
+  "/root/repo/src/rules/threshold.cc" "src/CMakeFiles/cbvlink.dir/rules/threshold.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/rules/threshold.cc.o.d"
+  "/root/repo/src/text/alphabet.cc" "src/CMakeFiles/cbvlink.dir/text/alphabet.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/text/alphabet.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/cbvlink.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/qgram.cc" "src/CMakeFiles/cbvlink.dir/text/qgram.cc.o" "gcc" "src/CMakeFiles/cbvlink.dir/text/qgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

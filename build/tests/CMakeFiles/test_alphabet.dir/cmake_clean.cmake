@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alphabet.dir/test_alphabet.cc.o"
+  "CMakeFiles/test_alphabet.dir/test_alphabet.cc.o.d"
+  "test_alphabet"
+  "test_alphabet.pdb"
+  "test_alphabet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alphabet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

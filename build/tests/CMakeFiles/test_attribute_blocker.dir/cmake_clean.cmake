@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute_blocker.dir/test_attribute_blocker.cc.o"
+  "CMakeFiles/test_attribute_blocker.dir/test_attribute_blocker.cc.o.d"
+  "test_attribute_blocker"
+  "test_attribute_blocker.pdb"
+  "test_attribute_blocker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute_blocker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_attribute_blocker.
+# This may be replaced when dependencies are built.

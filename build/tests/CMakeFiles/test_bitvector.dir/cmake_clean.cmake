@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvector.dir/test_bitvector.cc.o"
+  "CMakeFiles/test_bitvector.dir/test_bitvector.cc.o.d"
+  "test_bitvector"
+  "test_bitvector.pdb"
+  "test_bitvector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking_table.dir/test_blocking_table.cc.o"
+  "CMakeFiles/test_blocking_table.dir/test_blocking_table.cc.o.d"
+  "test_blocking_table"
+  "test_blocking_table.pdb"
+  "test_blocking_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloom_filter.dir/test_bloom_filter.cc.o"
+  "CMakeFiles/test_bloom_filter.dir/test_bloom_filter.cc.o.d"
+  "test_bloom_filter"
+  "test_bloom_filter.pdb"
+  "test_bloom_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloom_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpora.dir/test_corpora.cc.o"
+  "CMakeFiles/test_corpora.dir/test_corpora.cc.o.d"
+  "test_corpora"
+  "test_corpora.pdb"
+  "test_corpora[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_reader.dir/test_csv_reader.cc.o"
+  "CMakeFiles/test_csv_reader.dir/test_csv_reader.cc.o.d"
+  "test_csv_reader"
+  "test_csv_reader.pdb"
+  "test_csv_reader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

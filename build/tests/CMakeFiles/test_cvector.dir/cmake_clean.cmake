@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cvector.dir/test_cvector.cc.o"
+  "CMakeFiles/test_cvector.dir/test_cvector.cc.o.d"
+  "test_cvector"
+  "test_cvector.pdb"
+  "test_cvector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

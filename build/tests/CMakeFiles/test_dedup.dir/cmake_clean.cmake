@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedup.dir/test_dedup.cc.o"
+  "CMakeFiles/test_dedup.dir/test_dedup.cc.o.d"
+  "test_dedup"
+  "test_dedup.pdb"
+  "test_dedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

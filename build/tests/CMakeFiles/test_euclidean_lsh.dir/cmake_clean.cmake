@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euclidean_lsh.dir/test_euclidean_lsh.cc.o"
+  "CMakeFiles/test_euclidean_lsh.dir/test_euclidean_lsh.cc.o.d"
+  "test_euclidean_lsh"
+  "test_euclidean_lsh.pdb"
+  "test_euclidean_lsh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euclidean_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

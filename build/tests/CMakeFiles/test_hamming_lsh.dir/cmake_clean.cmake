@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hamming_lsh.dir/test_hamming_lsh.cc.o"
+  "CMakeFiles/test_hamming_lsh.dir/test_hamming_lsh.cc.o.d"
+  "test_hamming_lsh"
+  "test_hamming_lsh.pdb"
+  "test_hamming_lsh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hamming_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

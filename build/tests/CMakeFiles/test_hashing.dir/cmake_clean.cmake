@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashing.dir/test_hashing.cc.o"
+  "CMakeFiles/test_hashing.dir/test_hashing.cc.o.d"
+  "test_hashing"
+  "test_hashing.pdb"
+  "test_hashing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jaccard.dir/test_jaccard.cc.o"
+  "CMakeFiles/test_jaccard.dir/test_jaccard.cc.o.d"
+  "test_jaccard"
+  "test_jaccard.pdb"
+  "test_jaccard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

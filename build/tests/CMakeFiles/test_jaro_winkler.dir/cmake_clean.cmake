@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jaro_winkler.dir/test_jaro_winkler.cc.o"
+  "CMakeFiles/test_jaro_winkler.dir/test_jaro_winkler.cc.o.d"
+  "test_jaro_winkler"
+  "test_jaro_winkler.pdb"
+  "test_jaro_winkler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jaro_winkler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

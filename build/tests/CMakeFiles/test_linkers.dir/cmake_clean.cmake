@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linkers.dir/test_linkers.cc.o"
+  "CMakeFiles/test_linkers.dir/test_linkers.cc.o.d"
+  "test_linkers"
+  "test_linkers.pdb"
+  "test_linkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

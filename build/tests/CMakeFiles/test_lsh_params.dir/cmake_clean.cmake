@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh_params.dir/test_lsh_params.cc.o"
+  "CMakeFiles/test_lsh_params.dir/test_lsh_params.cc.o.d"
+  "test_lsh_params"
+  "test_lsh_params.pdb"
+  "test_lsh_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

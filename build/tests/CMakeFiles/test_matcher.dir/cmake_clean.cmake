@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matcher.dir/test_matcher.cc.o"
+  "CMakeFiles/test_matcher.dir/test_matcher.cc.o.d"
+  "test_matcher"
+  "test_matcher.pdb"
+  "test_matcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

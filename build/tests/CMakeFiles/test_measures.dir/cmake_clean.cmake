@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measures.dir/test_measures.cc.o"
+  "CMakeFiles/test_measures.dir/test_measures.cc.o.d"
+  "test_measures"
+  "test_measures.pdb"
+  "test_measures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

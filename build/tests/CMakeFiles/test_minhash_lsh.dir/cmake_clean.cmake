@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minhash_lsh.dir/test_minhash_lsh.cc.o"
+  "CMakeFiles/test_minhash_lsh.dir/test_minhash_lsh.cc.o.d"
+  "test_minhash_lsh"
+  "test_minhash_lsh.pdb"
+  "test_minhash_lsh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minhash_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_based.dir/test_model_based.cc.o"
+  "CMakeFiles/test_model_based.dir/test_model_based.cc.o.d"
+  "test_model_based"
+  "test_model_based.pdb"
+  "test_model_based[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

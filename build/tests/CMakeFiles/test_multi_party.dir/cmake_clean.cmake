@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_party.dir/test_multi_party.cc.o"
+  "CMakeFiles/test_multi_party.dir/test_multi_party.cc.o.d"
+  "test_multi_party"
+  "test_multi_party.pdb"
+  "test_multi_party[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_party.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_linker.dir/test_online_linker.cc.o"
+  "CMakeFiles/test_online_linker.dir/test_online_linker.cc.o.d"
+  "test_online_linker"
+  "test_online_linker.pdb"
+  "test_online_linker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

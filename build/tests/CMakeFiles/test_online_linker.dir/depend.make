@@ -1,0 +1,2 @@
+# Empty dependencies file for test_online_linker.
+# This may be replaced when dependencies are built.

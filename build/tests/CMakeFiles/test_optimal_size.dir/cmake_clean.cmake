@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimal_size.dir/test_optimal_size.cc.o"
+  "CMakeFiles/test_optimal_size.dir/test_optimal_size.cc.o.d"
+  "test_optimal_size"
+  "test_optimal_size.pdb"
+  "test_optimal_size[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimal_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

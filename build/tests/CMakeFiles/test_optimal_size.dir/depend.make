@@ -1,0 +1,2 @@
+# Empty dependencies file for test_optimal_size.
+# This may be replaced when dependencies are built.

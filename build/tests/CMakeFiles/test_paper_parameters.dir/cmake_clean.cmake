@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_parameters.dir/test_paper_parameters.cc.o"
+  "CMakeFiles/test_paper_parameters.dir/test_paper_parameters.cc.o.d"
+  "test_paper_parameters"
+  "test_paper_parameters.pdb"
+  "test_paper_parameters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perturbator.dir/test_perturbator.cc.o"
+  "CMakeFiles/test_perturbator.dir/test_perturbator.cc.o.d"
+  "test_perturbator"
+  "test_perturbator.pdb"
+  "test_perturbator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perturbator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

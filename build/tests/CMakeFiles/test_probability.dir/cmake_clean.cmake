@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probability.dir/test_probability.cc.o"
+  "CMakeFiles/test_probability.dir/test_probability.cc.o.d"
+  "test_probability"
+  "test_probability.pdb"
+  "test_probability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

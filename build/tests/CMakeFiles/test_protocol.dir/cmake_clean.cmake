@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/test_protocol.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol.cc.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

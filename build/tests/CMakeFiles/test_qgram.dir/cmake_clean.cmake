@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qgram.dir/test_qgram.cc.o"
+  "CMakeFiles/test_qgram.dir/test_qgram.cc.o.d"
+  "test_qgram"
+  "test_qgram.pdb"
+  "test_qgram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qgram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qgram_vector.dir/test_qgram_vector.cc.o"
+  "CMakeFiles/test_qgram_vector.dir/test_qgram_vector.cc.o.d"
+  "test_qgram_vector"
+  "test_qgram_vector.pdb"
+  "test_qgram_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qgram_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_blocker.dir/test_record_blocker.cc.o"
+  "CMakeFiles/test_record_blocker.dir/test_record_blocker.cc.o.d"
+  "test_record_blocker"
+  "test_record_blocker.pdb"
+  "test_record_blocker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_blocker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_encoder.dir/test_record_encoder.cc.o"
+  "CMakeFiles/test_record_encoder.dir/test_record_encoder.cc.o.d"
+  "test_record_encoder"
+  "test_record_encoder.pdb"
+  "test_record_encoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule.dir/test_rule.cc.o"
+  "CMakeFiles/test_rule.dir/test_rule.cc.o.d"
+  "test_rule"
+  "test_rule.pdb"
+  "test_rule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

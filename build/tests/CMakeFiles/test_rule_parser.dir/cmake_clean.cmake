@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_parser.dir/test_rule_parser.cc.o"
+  "CMakeFiles/test_rule_parser.dir/test_rule_parser.cc.o.d"
+  "test_rule_parser"
+  "test_rule_parser.pdb"
+  "test_rule_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

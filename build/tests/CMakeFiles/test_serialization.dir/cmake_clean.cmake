@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialization.dir/test_serialization.cc.o"
+  "CMakeFiles/test_serialization.dir/test_serialization.cc.o.d"
+  "test_serialization"
+  "test_serialization.pdb"
+  "test_serialization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status.dir/test_status.cc.o"
+  "CMakeFiles/test_status.dir/test_status.cc.o.d"
+  "test_status"
+  "test_status.pdb"
+  "test_status[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_str.dir/test_str.cc.o"
+  "CMakeFiles/test_str.dir/test_str.cc.o.d"
+  "test_str"
+  "test_str.pdb"
+  "test_str[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_str.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stringmap.dir/test_stringmap.cc.o"
+  "CMakeFiles/test_stringmap.dir/test_stringmap.cc.o.d"
+  "test_stringmap"
+  "test_stringmap.pdb"
+  "test_stringmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stringmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold.dir/test_threshold.cc.o"
+  "CMakeFiles/test_threshold.dir/test_threshold.cc.o.d"
+  "test_threshold"
+  "test_threshold.pdb"
+  "test_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_union_find.dir/test_union_find.cc.o"
+  "CMakeFiles/test_union_find.dir/test_union_find.cc.o.d"
+  "test_union_find"
+  "test_union_find.pdb"
+  "test_union_find[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_union_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

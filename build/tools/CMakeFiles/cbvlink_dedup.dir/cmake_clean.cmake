@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbvlink_dedup.dir/cbvlink_dedup.cc.o"
+  "CMakeFiles/cbvlink_dedup.dir/cbvlink_dedup.cc.o.d"
+  "cbvlink_dedup"
+  "cbvlink_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbvlink_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

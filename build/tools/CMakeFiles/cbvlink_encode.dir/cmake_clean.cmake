@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbvlink_encode.dir/cbvlink_encode.cc.o"
+  "CMakeFiles/cbvlink_encode.dir/cbvlink_encode.cc.o.d"
+  "cbvlink_encode"
+  "cbvlink_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbvlink_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbvlink_encode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbvlink_link.dir/cbvlink_link.cc.o"
+  "CMakeFiles/cbvlink_link.dir/cbvlink_link.cc.o.d"
+  "cbvlink_link"
+  "cbvlink_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbvlink_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_link_smoke "bash" "-c" "set -e; d=\$(mktemp -d);     printf 'id,first,last\\n1,JOHN,SMITH\\n2,MARY,JONES\\n' > \$d/a.csv;     printf 'id,first,last\\n10,JOHN,SMITH\\n11,ZZZZ,QQQQ\\n' > \$d/b.csv;     /root/repo/build/tools/cbvlink_link --a \$d/a.csv --b \$d/b.csv --theta 1       --out \$d/m.csv;     grep -q '^1,10\$' \$d/m.csv;     ! grep -q ',11\$' \$d/m.csv; rm -rf \$d")
+set_tests_properties(tools_link_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_encode_smoke "bash" "-c" "set -e; d=\$(mktemp -d);     printf 'id,first,last\\n1,JOHN,SMITH\\n2,MARY,JONES\\n3,PAUL,DAVIS\\n'       > \$d/a.csv;     /root/repo/build/tools/cbvlink_encode --in \$d/a.csv --out \$d/a.cbv;     test -s \$d/a.cbv; rm -rf \$d")
+set_tests_properties(tools_encode_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_dedup_smoke "bash" "-c" "set -e; d=\$(mktemp -d);     printf 'id,first,last\\n1,JOHN,SMITH\\n2,JOHN,SMITH\\n3,MARY,JONES\\n'       > \$d/a.csv;     /root/repo/build/tools/cbvlink_dedup --in \$d/a.csv --theta 1 > \$d/clusters.txt;     grep -q '^1,2\$' \$d/clusters.txt; rm -rf \$d")
+set_tests_properties(tools_dedup_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
