@@ -13,6 +13,8 @@ namespace {
 
 constexpr uint32_t kMagic = 0x4c564243;  // "CBVL" little-endian
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSnapshotMagic = 0x53564243;  // "CBVS" little-endian
+constexpr uint32_t kSnapshotVersion = 1;
 
 void PutU32(std::ostream& out, uint32_t v) {
   unsigned char buf[4];
@@ -40,6 +42,32 @@ bool GetU64(std::istream& in, uint64_t* v) {
   *v = 0;
   for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
   return true;
+}
+
+void PutF64(std::ostream& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool GetF64(std::istream& in, double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(in, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+void PutStr(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetStr(std::istream& in, std::string* s) {
+  uint32_t size = 0;
+  if (!GetU32(in, &size)) return false;
+  s->resize(size);
+  return size == 0 ||
+         static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(size)));
 }
 
 }  // namespace
@@ -126,6 +154,131 @@ Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
   return ReadEncodedRecords(in);
+}
+
+Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
+                            std::ostream& out) {
+  PutU32(out, kSnapshotMagic);
+  PutU32(out, kSnapshotVersion);
+  PutU64(out, snapshot.seed);
+  PutU64(out, snapshot.record_K);
+  PutU64(out, snapshot.record_theta);
+  PutF64(out, snapshot.delta);
+  PutF64(out, snapshot.sizing_max_collisions);
+  PutF64(out, snapshot.sizing_confidence_ratio);
+  PutU64(out, snapshot.num_shards);
+  PutU64(out, snapshot.max_bucket_size);
+  PutU32(out, snapshot.overflow_policy);
+  PutStr(out, snapshot.rule_text);
+  PutU32(out, static_cast<uint32_t>(snapshot.attributes.size()));
+  for (const SnapshotAttribute& attr : snapshot.attributes) {
+    PutStr(out, attr.name);
+    PutStr(out, attr.alphabet_symbols);
+    PutU64(out, attr.qgram_q);
+    PutU32(out, attr.qgram_pad ? 1 : 0);
+  }
+  PutU32(out, static_cast<uint32_t>(snapshot.expected_qgrams.size()));
+  for (double b : snapshot.expected_qgrams) PutF64(out, b);
+  // The record payload reuses the standalone encoded-record block format,
+  // nested header included, so tooling can share the reader.
+  CBVLINK_RETURN_NOT_OK(WriteEncodedRecords(snapshot.records, out));
+  PutU64(out, snapshot.buckets.size());
+  for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
+    PutU64(out, bucket.group);
+    PutU64(out, bucket.key);
+    PutU32(out, bucket.overflowed ? 1 : 0);
+    PutU64(out, bucket.ids.size());
+    for (RecordId id : bucket.ids) PutU64(out, id);
+  }
+  if (!out) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteServiceSnapshotToFile(const ServiceSnapshot& snapshot,
+                                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  return WriteServiceSnapshot(snapshot, out);
+}
+
+Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!GetU32(in, &magic) || !GetU32(in, &version)) {
+    return Status::IOError("truncated snapshot header");
+  }
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a cbvlink service snapshot");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot version %u", version));
+  }
+  ServiceSnapshot snapshot;
+  uint32_t policy = 0;
+  if (!GetU64(in, &snapshot.seed) || !GetU64(in, &snapshot.record_K) ||
+      !GetU64(in, &snapshot.record_theta) || !GetF64(in, &snapshot.delta) ||
+      !GetF64(in, &snapshot.sizing_max_collisions) ||
+      !GetF64(in, &snapshot.sizing_confidence_ratio) ||
+      !GetU64(in, &snapshot.num_shards) ||
+      !GetU64(in, &snapshot.max_bucket_size) || !GetU32(in, &policy) ||
+      !GetStr(in, &snapshot.rule_text)) {
+    return Status::IOError("truncated snapshot configuration");
+  }
+  snapshot.overflow_policy = policy;
+  uint32_t num_attributes = 0;
+  if (!GetU32(in, &num_attributes)) {
+    return Status::IOError("truncated snapshot schema");
+  }
+  snapshot.attributes.resize(num_attributes);
+  for (SnapshotAttribute& attr : snapshot.attributes) {
+    uint32_t pad = 0;
+    if (!GetStr(in, &attr.name) || !GetStr(in, &attr.alphabet_symbols) ||
+        !GetU64(in, &attr.qgram_q) || !GetU32(in, &pad)) {
+      return Status::IOError("truncated snapshot schema");
+    }
+    attr.qgram_pad = pad != 0;
+  }
+  uint32_t num_expected = 0;
+  if (!GetU32(in, &num_expected)) {
+    return Status::IOError("truncated snapshot expected-qgram block");
+  }
+  snapshot.expected_qgrams.resize(num_expected);
+  for (double& b : snapshot.expected_qgrams) {
+    if (!GetF64(in, &b)) {
+      return Status::IOError("truncated snapshot expected-qgram block");
+    }
+  }
+  Result<std::vector<EncodedRecord>> records = ReadEncodedRecords(in);
+  if (!records.ok()) return records.status();
+  snapshot.records = std::move(records).value();
+  uint64_t num_buckets = 0;
+  if (!GetU64(in, &num_buckets)) {
+    return Status::IOError("truncated snapshot bucket block");
+  }
+  snapshot.buckets.resize(static_cast<size_t>(num_buckets));
+  for (IndexBucketSnapshot& bucket : snapshot.buckets) {
+    uint32_t overflowed = 0;
+    uint64_t count = 0;
+    if (!GetU64(in, &bucket.group) || !GetU64(in, &bucket.key) ||
+        !GetU32(in, &overflowed) || !GetU64(in, &count)) {
+      return Status::IOError("truncated snapshot bucket block");
+    }
+    bucket.overflowed = overflowed != 0;
+    bucket.ids.resize(static_cast<size_t>(count));
+    for (RecordId& id : bucket.ids) {
+      if (!GetU64(in, &id)) {
+        return Status::IOError("truncated snapshot bucket block");
+      }
+    }
+  }
+  return snapshot;
+}
+
+Result<ServiceSnapshot> ReadServiceSnapshotFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  return ReadServiceSnapshot(in);
 }
 
 }  // namespace cbvlink

@@ -1,4 +1,4 @@
-// Binary serialization of encoded record sets.
+// Binary serialization of encoded record sets and service snapshots.
 //
 // The paper's motivation for compact embeddings is distributed settings
 // where custodians ship embeddings instead of strings (Sections 1 and
@@ -10,6 +10,13 @@
 // Layout (little-endian):
 //   u32 magic 'CBVL'   u32 version   u64 num_records   u64 bits_per_record
 //   repeated: u64 id, ceil(bits/64) * u64 words
+//
+// A *service snapshot* ('CBVS') additionally persists everything a
+// long-lived linkage service needs to restart warm: the encoder/linker
+// configuration (schema, rule text, LSH and sizing parameters, seed —
+// enough to rebuild the random components identically), the service's
+// sharding options, the encoded records, and the blocking-table bucket
+// contents.  See ServiceSnapshot below.
 
 #ifndef CBVLINK_IO_SERIALIZATION_H_
 #define CBVLINK_IO_SERIALIZATION_H_
@@ -39,6 +46,69 @@ Result<std::vector<EncodedRecord>> ReadEncodedRecords(std::istream& in);
 /// Reads from a file path.
 Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
     const std::string& path);
+
+/// One linkage attribute of a persisted schema.  The alphabet is stored by
+/// value (its ordered symbol string) so a restore does not depend on the
+/// process that wrote the snapshot.
+struct SnapshotAttribute {
+  std::string name;
+  std::string alphabet_symbols;
+  uint64_t qgram_q = 2;
+  bool qgram_pad = false;
+};
+
+/// One persisted bucket of a blocking index: bucket (group, key) holds
+/// `ids`; `overflowed` records that the bucket-size cap dropped entries.
+struct IndexBucketSnapshot {
+  uint64_t group = 0;
+  uint64_t key = 0;
+  bool overflowed = false;
+  std::vector<RecordId> ids;
+};
+
+/// Everything a linkage service persists: configuration + data.  The
+/// random components (encoder hash functions, LSH bit samples) are not
+/// stored bit-for-bit — they are reproduced deterministically from `seed`
+/// and the configuration, which this struct captures completely.
+struct ServiceSnapshot {
+  // Encoder / linker configuration.
+  std::vector<SnapshotAttribute> attributes;
+  /// Resolved expected q-gram counts (estimation is not redone on restore).
+  std::vector<double> expected_qgrams;
+  /// Classification rule in ParseRule() syntax.
+  std::string rule_text;
+  uint64_t record_K = 30;
+  uint64_t record_theta = 4;
+  double delta = 0.1;
+  double sizing_max_collisions = 1.0;
+  double sizing_confidence_ratio = 1.0 / 3.0;
+  uint64_t seed = 7;
+
+  // Service options.
+  uint64_t num_shards = 16;
+  uint64_t max_bucket_size = 0;
+  /// Raw service-layer overflow-policy tag (opaque to this module).
+  uint32_t overflow_policy = 0;
+
+  // Data.
+  std::vector<EncodedRecord> records;
+  std::vector<IndexBucketSnapshot> buckets;
+};
+
+/// Writes a service snapshot.  Returns IOError on stream failure.
+Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
+                            std::ostream& out);
+
+/// Writes to a file path.
+Status WriteServiceSnapshotToFile(const ServiceSnapshot& snapshot,
+                                  const std::string& path);
+
+/// Reads a service snapshot.  Returns InvalidArgument on a corrupt or
+/// foreign header and IOError on truncated input.
+Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in);
+
+/// Reads from a file path.
+Result<ServiceSnapshot> ReadServiceSnapshotFromFile(const std::string& path);
 
 }  // namespace cbvlink
 

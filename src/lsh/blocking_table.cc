@@ -5,12 +5,16 @@
 namespace cbvlink {
 
 void BlockingTable::Erase(RecordId id) {
+  max_bucket_size_ = 0;
   for (auto it = buckets_.begin(); it != buckets_.end();) {
     std::vector<RecordId>& bucket = it->second;
+    const size_t before = bucket.size();
     bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    num_entries_ -= before - bucket.size();
     if (bucket.empty()) {
       it = buckets_.erase(it);
     } else {
+      if (bucket.size() > max_bucket_size_) max_bucket_size_ = bucket.size();
       ++it;
     }
   }

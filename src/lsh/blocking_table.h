@@ -24,7 +24,12 @@ class BlockingTable {
   BlockingTable() = default;
 
   /// Appends `id` to the bucket for `key`.
-  void Insert(uint64_t key, RecordId id) { buckets_[key].push_back(id); }
+  void Insert(uint64_t key, RecordId id) {
+    std::vector<RecordId>& bucket = buckets_[key];
+    bucket.push_back(id);
+    ++num_entries_;
+    if (bucket.size() > max_bucket_size_) max_bucket_size_ = bucket.size();
+  }
 
   /// The bucket for `key`; empty when no record hashed there.
   std::span<const RecordId> Get(uint64_t key) const {
@@ -36,24 +41,20 @@ class BlockingTable {
   /// Number of non-empty buckets.
   size_t NumBuckets() const { return buckets_.size(); }
 
-  /// Total stored Ids across buckets.
-  size_t NumEntries() const {
-    size_t total = 0;
-    for (const auto& [key, bucket] : buckets_) total += bucket.size();
-    return total;
-  }
+  /// Total stored Ids across buckets.  O(1): maintained incrementally by
+  /// Insert/Erase, so per-record diagnostics stay cheap on hot paths.
+  size_t NumEntries() const { return num_entries_; }
 
-  /// Size of the largest bucket (0 for an empty table).
-  size_t MaxBucketSize() const {
-    size_t best = 0;
-    for (const auto& [key, bucket] : buckets_) {
-      if (bucket.size() > best) best = bucket.size();
-    }
-    return best;
-  }
+  /// Size of the largest bucket (0 for an empty table).  O(1); Erase()
+  /// recomputes it since a removal can shrink the maximum.
+  size_t MaxBucketSize() const { return max_bucket_size_; }
 
   /// Removes every bucket.
-  void Clear() { buckets_.clear(); }
+  void Clear() {
+    buckets_.clear();
+    num_entries_ = 0;
+    max_bucket_size_ = 0;
+  }
 
   /// Removes `id` from every bucket it appears in (linear scan; used by
   /// HARRA's iterative early-pruning, which operates one table at a time).
@@ -66,6 +67,8 @@ class BlockingTable {
 
  private:
   std::unordered_map<uint64_t, std::vector<RecordId>> buckets_;
+  size_t num_entries_ = 0;
+  size_t max_bucket_size_ = 0;
 };
 
 }  // namespace cbvlink

@@ -1,0 +1,389 @@
+#include "src/service/linkage_service.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "src/common/stopwatch.h"
+#include "src/lsh/params.h"
+#include "src/rules/rule_parser.h"
+
+namespace cbvlink {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t Nanos(const Stopwatch& sw) {
+  return static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9);
+}
+
+}  // namespace
+
+ConcurrentVectorStore::ConcurrentVectorStore(size_t num_shards) {
+  const size_t n = RoundUpPowerOfTwo(std::max<size_t>(num_shards, 1));
+  mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void ConcurrentVectorStore::Add(const EncodedRecord& record) {
+  Shard& shard = *shards_[ShardOf(record.id)];
+  std::unique_lock lock(shard.mu);
+  shard.vectors.insert_or_assign(record.id, record.bits);
+}
+
+bool ConcurrentVectorStore::Find(RecordId id, BitVector* out) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.vectors.find(id);
+  if (it == shard.vectors.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ConcurrentVectorStore::ForEach(
+    const std::function<void(RecordId, const BitVector&)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [id, bits] : shard->vectors) fn(id, bits);
+  }
+}
+
+size_t ConcurrentVectorStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    total += shard->vectors.size();
+  }
+  return total;
+}
+
+std::vector<EncodedRecord> ConcurrentVectorStore::Export() const {
+  std::vector<EncodedRecord> out;
+  out.reserve(size());
+  ForEach([&out](RecordId id, const BitVector& bits) {
+    out.push_back(EncodedRecord{id, bits});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const EncodedRecord& a, const EncodedRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+LinkageService::LinkageService(CbvHbConfig config,
+                               LinkageServiceOptions options)
+    : config_(std::move(config)),
+      options_(options),
+      store_(options.num_shards) {}
+
+Result<std::unique_ptr<LinkageService>> LinkageService::Create(
+    CbvHbConfig config, LinkageServiceOptions options,
+    const std::vector<Record>& calibration_sample) {
+  if (config.attribute_level_blocking) {
+    return Status::InvalidArgument(
+        "LinkageService shards record-level HB blocking; "
+        "attribute-level structures are not supported");
+  }
+  // Reuse the batch linker's validation rules.
+  {
+    CbvHbConfig copy = config;
+    Result<CbvHbLinker> check = CbvHbLinker::Create(std::move(copy));
+    if (!check.ok()) return check.status();
+  }
+  if (config.expected_qgrams.empty()) {
+    if (calibration_sample.empty()) {
+      return Status::InvalidArgument(
+          "linkage service needs expected_qgrams or a calibration sample");
+    }
+    config.expected_qgrams =
+        EstimateExpectedQGrams(config.schema, calibration_sample);
+  }
+  std::unique_ptr<LinkageService> service(
+      new LinkageService(std::move(config), options));
+  Status init = service->Init();
+  if (!init.ok()) return init;
+  return service;
+}
+
+Status LinkageService::Init() {
+  // The RNG consumption order (encoder, then family) must stay fixed:
+  // Restore() depends on the seed reproducing both exactly.
+  Rng rng(config_.seed);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      config_.schema, config_.expected_qgrams, rng, config_.sizing);
+  if (!encoder.ok()) return encoder.status();
+  encoder_.emplace(std::move(encoder).value());
+
+  Result<double> p =
+      HammingBaseProbability(config_.record_theta, encoder_->total_bits());
+  if (!p.ok()) return p.status();
+  Result<size_t> L = OptimalGroups(p.value(), config_.record_K, config_.delta);
+  if (!L.ok()) return L.status();
+  Result<HammingLshFamily> family = HammingLshFamily::CreateFull(
+      config_.record_K, L.value(), encoder_->total_bits(), rng);
+  if (!family.ok()) return family.status();
+
+  ShardedIndexOptions index_options;
+  index_options.num_shards = options_.num_shards;
+  index_options.max_bucket_size = options_.max_bucket_size;
+  Result<ShardedHammingIndex> index =
+      ShardedHammingIndex::Create(std::move(family).value(), index_options);
+  if (!index.ok()) return index.status();
+  index_.emplace(std::move(index).value());
+
+  classifier_ = MakeRuleClassifier(config_.rule, encoder_->layout());
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  return Status::OK();
+}
+
+void LinkageService::InsertEncoded(const EncodedRecord& record) {
+  // Store before index: a concurrent Match that sees the id in a bucket
+  // must be able to retrieve the vector.
+  store_.Add(record);
+  index_->Insert(record);
+}
+
+Status LinkageService::Insert(const Record& record) {
+  Stopwatch sw;
+  Result<EncodedRecord> encoded = encoder_->Encode(record);
+  if (!encoded.ok()) return encoded.status();
+  InsertEncoded(encoded.value());
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  insert_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void LinkageService::MatchEncoded(const EncodedRecord& b,
+                                  std::vector<IdPair>* out) const {
+  std::vector<RecordId> candidates;
+  bool saw_overflow = false;
+  index_->Collect(b.bits, &candidates, &saw_overflow);
+  candidate_occurrences_.fetch_add(candidates.size(),
+                                   std::memory_order_relaxed);
+  // Algorithm 2's unique collection C, as sort+unique over the gathered
+  // occurrences (cheaper than a hash set at bucket-sized cardinalities).
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  uint64_t compared = 0;
+  uint64_t matched = 0;
+  BitVector scratch;
+  for (RecordId id : candidates) {
+    if (!store_.Find(id, &scratch)) continue;  // indexed but not yet stored
+    ++compared;
+    if (classifier_(scratch, b.bits)) {
+      ++matched;
+      out->push_back(IdPair{id, b.id});
+    }
+  }
+
+  if (saw_overflow &&
+      options_.overflow_policy == OverflowPolicy::kScanFallback) {
+    // A probed bucket dropped entries: preserve recall by scanning the
+    // store, skipping ids the blocked path already compared.
+    scan_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    store_.ForEach([&](RecordId id, const BitVector& bits) {
+      if (std::binary_search(candidates.begin(), candidates.end(), id)) {
+        return;
+      }
+      ++compared;
+      if (classifier_(bits, b.bits)) {
+        ++matched;
+        out->push_back(IdPair{id, b.id});
+      }
+    });
+  }
+
+  comparisons_.fetch_add(compared, std::memory_order_relaxed);
+  matches_.fetch_add(matched, std::memory_order_relaxed);
+}
+
+Status LinkageService::Match(const Record& record,
+                             std::vector<IdPair>* out) const {
+  Stopwatch sw;
+  Result<EncodedRecord> encoded = encoder_->Encode(record);
+  if (!encoded.ok()) return encoded.status();
+  MatchEncoded(encoded.value(), out);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  query_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LinkageService::MatchAndInsert(const Record& record,
+                                      std::vector<IdPair>* out) {
+  Stopwatch sw;
+  Result<EncodedRecord> encoded = encoder_->Encode(record);
+  if (!encoded.ok()) return encoded.status();
+  MatchEncoded(encoded.value(), out);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  query_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  sw.Restart();
+  InsertEncoded(encoded.value());
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  insert_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LinkageService::InsertBatch(const std::vector<Record>& records) {
+  std::mutex mu;
+  Status first_error;
+  std::scoped_lock pool_lock(pool_mu_);
+  pool_->ParallelFor(records.size(),
+                     [&](size_t /*chunk*/, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         Status st = Insert(records[i]);
+                         if (!st.ok()) {
+                           std::scoped_lock lock(mu);
+                           if (first_error.ok()) first_error = st;
+                           return;
+                         }
+                       }
+                     });
+  return first_error;
+}
+
+Status LinkageService::MatchBatch(const std::vector<Record>& records,
+                                  std::vector<IdPair>* out) {
+  std::mutex mu;
+  Status first_error;
+  std::scoped_lock pool_lock(pool_mu_);
+  pool_->ParallelFor(records.size(),
+                     [&](size_t /*chunk*/, size_t begin, size_t end) {
+                       std::vector<IdPair> local;
+                       for (size_t i = begin; i < end; ++i) {
+                         Status st = Match(records[i], &local);
+                         if (!st.ok()) {
+                           std::scoped_lock lock(mu);
+                           if (first_error.ok()) first_error = st;
+                           return;
+                         }
+                       }
+                       std::scoped_lock lock(mu);
+                       out->insert(out->end(), local.begin(), local.end());
+                     });
+  return first_error;
+}
+
+ServiceSnapshot LinkageService::ExportSnapshot() const {
+  ServiceSnapshot snapshot;
+  for (const AttributeSpec& attr : config_.schema.attributes) {
+    snapshot.attributes.push_back(SnapshotAttribute{
+        attr.name, attr.alphabet->symbols(), attr.qgram.q, attr.qgram.pad});
+  }
+  snapshot.expected_qgrams = config_.expected_qgrams;
+  snapshot.rule_text = config_.rule.ToString();
+  snapshot.record_K = config_.record_K;
+  snapshot.record_theta = config_.record_theta;
+  snapshot.delta = config_.delta;
+  snapshot.sizing_max_collisions = config_.sizing.max_collisions;
+  snapshot.sizing_confidence_ratio = config_.sizing.confidence_ratio;
+  snapshot.seed = config_.seed;
+  snapshot.num_shards = options_.num_shards;
+  snapshot.max_bucket_size = options_.max_bucket_size;
+  snapshot.overflow_policy = static_cast<uint32_t>(options_.overflow_policy);
+  snapshot.records = store_.Export();
+  snapshot.buckets = index_->ExportBuckets();
+  return snapshot;
+}
+
+Status LinkageService::SaveSnapshot(std::ostream& out) const {
+  return WriteServiceSnapshot(ExportSnapshot(), out);
+}
+
+Status LinkageService::SaveSnapshotToFile(const std::string& path) const {
+  return WriteServiceSnapshotToFile(ExportSnapshot(), path);
+}
+
+Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
+    const ServiceSnapshot& snapshot) {
+  if (snapshot.attributes.empty()) {
+    return Status::InvalidArgument("snapshot has no attributes");
+  }
+  if (snapshot.expected_qgrams.size() != snapshot.attributes.size()) {
+    return Status::InvalidArgument(
+        "snapshot expected_qgrams/attribute count mismatch");
+  }
+  Result<Rule> rule = ParseRule(snapshot.rule_text);
+  if (!rule.ok()) return rule.status();
+
+  // Rebuild the schema over owned alphabets (the snapshot stores each
+  // alphabet by value).
+  std::vector<std::unique_ptr<Alphabet>> alphabets;
+  CbvHbConfig config;
+  for (const SnapshotAttribute& attr : snapshot.attributes) {
+    alphabets.push_back(std::make_unique<Alphabet>(attr.alphabet_symbols));
+    config.schema.attributes.push_back(AttributeSpec{
+        attr.name, alphabets.back().get(),
+        QGramOptions{static_cast<size_t>(attr.qgram_q), attr.qgram_pad}});
+  }
+  config.rule = std::move(rule).value();
+  config.expected_qgrams = snapshot.expected_qgrams;
+  config.record_K = static_cast<size_t>(snapshot.record_K);
+  config.record_theta = static_cast<size_t>(snapshot.record_theta);
+  config.delta = snapshot.delta;
+  config.sizing.max_collisions = snapshot.sizing_max_collisions;
+  config.sizing.confidence_ratio = snapshot.sizing_confidence_ratio;
+  config.seed = snapshot.seed;
+
+  LinkageServiceOptions options;
+  options.num_shards = static_cast<size_t>(snapshot.num_shards);
+  options.max_bucket_size = static_cast<size_t>(snapshot.max_bucket_size);
+  options.overflow_policy =
+      snapshot.overflow_policy == 0 ? OverflowPolicy::kTruncate
+                                    : OverflowPolicy::kScanFallback;
+
+  Result<std::unique_ptr<LinkageService>> service =
+      Create(std::move(config), options);
+  if (!service.ok()) return service.status();
+  service.value()->owned_alphabets_ = std::move(alphabets);
+
+  const size_t expected_bits = service.value()->encoder_->total_bits();
+  for (const EncodedRecord& record : snapshot.records) {
+    if (record.bits.size() != expected_bits) {
+      return Status::InvalidArgument(
+          "snapshot record width does not match the restored encoder");
+    }
+    service.value()->store_.Add(record);
+  }
+  for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
+    Status st = service.value()->index_->RestoreBucket(bucket);
+    if (!st.ok()) return st;
+  }
+  service.value()->inserts_.store(snapshot.records.size(),
+                                  std::memory_order_relaxed);
+  return service;
+}
+
+Result<std::unique_ptr<LinkageService>> LinkageService::RestoreFromFile(
+    const std::string& path) {
+  Result<ServiceSnapshot> snapshot = ReadServiceSnapshotFromFile(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return Restore(snapshot.value());
+}
+
+ServiceMetrics LinkageService::metrics() const {
+  ServiceMetrics m;
+  m.inserts = inserts_.load(std::memory_order_relaxed);
+  m.queries = queries_.load(std::memory_order_relaxed);
+  m.candidate_occurrences =
+      candidate_occurrences_.load(std::memory_order_relaxed);
+  m.comparisons = comparisons_.load(std::memory_order_relaxed);
+  m.matches = matches_.load(std::memory_order_relaxed);
+  m.scan_fallbacks = scan_fallbacks_.load(std::memory_order_relaxed);
+  m.dropped_entries = index_->dropped_entries();
+  m.insert_seconds =
+      static_cast<double>(insert_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  m.query_seconds =
+      static_cast<double>(query_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return m;
+}
+
+}  // namespace cbvlink

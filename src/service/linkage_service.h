@@ -1,0 +1,204 @@
+// LinkageService — the long-lived, concurrent serving layer over cBV-HB.
+//
+// The introduction motivates 120-bit embeddings with "nearly real-time
+// analysis ... involving streaming data"; this facade turns the one-shot
+// pipeline into that service: a fixed encoder, a sharded blocking index
+// (src/service/sharded_index.h), and a concurrent vector store behind
+// thread-safe Match / MatchAndInsert calls, batch APIs driven by a thread
+// pool, per-call latency and volume counters, and snapshot/restore so a
+// restarted process resumes warm from disk (src/io/serialization.h).
+//
+// Concurrency model: Match is wait-free against other Matches (shared
+// locks only); Insert takes exclusive locks one shard at a time.  A
+// MatchAndInsert is atomic per shard, not globally: two concurrent
+// arrivals of the same entity may each miss the other (both match before
+// either inserts) — the same anomaly any eventually-consistent ingest
+// path has, and why batch deduplication remains available offline.
+
+#ifndef CBVLINK_SERVICE_LINKAGE_SERVICE_H_
+#define CBVLINK_SERVICE_LINKAGE_SERVICE_H_
+
+#include <atomic>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blocking/matcher.h"
+#include "src/common/thread_pool.h"
+#include "src/io/serialization.h"
+#include "src/linkage/cbv_hb_linker.h"
+#include "src/service/sharded_index.h"
+#include "src/text/alphabet.h"
+
+namespace cbvlink {
+
+/// What a query does when a probed bucket hit the bucket-size cap.
+enum class OverflowPolicy : uint32_t {
+  /// Accept the capped bucket as-is (bounded latency, possible recall
+  /// loss on the overpopulated key).
+  kTruncate = 0,
+  /// Additionally scan the whole vector store for that query, so recall
+  /// is preserved at a latency cost paid only by affected queries.
+  kScanFallback = 1,
+};
+
+/// Service-layer options on top of CbvHbConfig.
+struct LinkageServiceOptions {
+  /// Lock shards for the blocking index and the vector store.
+  size_t num_shards = 16;
+  /// Bucket entry cap; 0 = unlimited.
+  size_t max_bucket_size = 0;
+  OverflowPolicy overflow_policy = OverflowPolicy::kScanFallback;
+  /// Worker threads for the batch APIs; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// A point-in-time copy of the service counters.
+struct ServiceMetrics {
+  uint64_t inserts = 0;
+  uint64_t queries = 0;
+  uint64_t candidate_occurrences = 0;
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+  uint64_t scan_fallbacks = 0;
+  uint64_t dropped_entries = 0;
+  /// CPU-side time summed across calls (and threads, for batches).
+  double insert_seconds = 0;
+  double query_seconds = 0;
+
+  double AvgQueryMicros() const {
+    return queries == 0 ? 0 : query_seconds * 1e6 / static_cast<double>(queries);
+  }
+  double QueriesPerSecond() const {
+    return query_seconds <= 0 ? 0 : static_cast<double>(queries) / query_seconds;
+  }
+};
+
+/// Id -> BitVector storage sharded like the index, so concurrent Match
+/// calls can retrieve vectors while inserts land.  Find() copies the
+/// vector out under the shard lock (a pointer would dangle on rehash).
+class ConcurrentVectorStore {
+ public:
+  explicit ConcurrentVectorStore(size_t num_shards);
+
+  void Add(const EncodedRecord& record);
+
+  /// Copies the vector for `id` into `*out`; false when unknown.
+  bool Find(RecordId id, BitVector* out) const;
+
+  /// Invokes `fn(id, bits)` for every stored record, one shard at a time
+  /// under that shard's shared lock.  Weakly consistent against
+  /// concurrent Adds (a record inserted mid-scan may or may not appear).
+  void ForEach(
+      const std::function<void(RecordId, const BitVector&)>& fn) const;
+
+  size_t size() const;
+
+  /// Every stored record, ordered by id (snapshot determinism).
+  std::vector<EncodedRecord> Export() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<RecordId, BitVector> vectors;
+  };
+
+  size_t ShardOf(RecordId id) const { return id & mask_; }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t mask_;
+};
+
+/// The concurrent linkage service.  All public methods are thread-safe.
+class LinkageService {
+ public:
+  /// Creates a service.  `config` follows CbvHbLinker semantics except
+  /// that attribute-level blocking is rejected (the sharded index covers
+  /// record-level HB).  When config.expected_qgrams is empty they are
+  /// estimated from `calibration_sample` (which must then be non-empty).
+  static Result<std::unique_ptr<LinkageService>> Create(
+      CbvHbConfig config, LinkageServiceOptions options = {},
+      const std::vector<Record>& calibration_sample = {});
+
+  /// Rebuilds a service from a snapshot: the encoder and LSH family are
+  /// reproduced from the persisted configuration and seed, the store and
+  /// blocking tables are loaded from the persisted data.
+  static Result<std::unique_ptr<LinkageService>> Restore(
+      const ServiceSnapshot& snapshot);
+  static Result<std::unique_ptr<LinkageService>> RestoreFromFile(
+      const std::string& path);
+
+  /// Encodes and indexes one registry record.
+  Status Insert(const Record& record);
+
+  /// Matches one query against everything indexed so far; appends
+  /// (registry_id, query_id) pairs to `out`.  Never blocks other Match
+  /// calls.
+  Status Match(const Record& record, std::vector<IdPair>* out) const;
+
+  /// Match, then insert the query so future arrivals can link to it.
+  Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
+
+  /// Parallel bulk insert over the service thread pool.
+  Status InsertBatch(const std::vector<Record>& records);
+
+  /// Parallel bulk match; appends every matched pair to `out` (order
+  /// unspecified across queries).
+  Status MatchBatch(const std::vector<Record>& records,
+                    std::vector<IdPair>* out);
+
+  /// Captures the full service state for persistence.
+  ServiceSnapshot ExportSnapshot() const;
+  Status SaveSnapshot(std::ostream& out) const;
+  Status SaveSnapshotToFile(const std::string& path) const;
+
+  /// A point-in-time copy of the counters.
+  ServiceMetrics metrics() const;
+
+  size_t size() const { return store_.size(); }
+  size_t blocking_groups() const { return index_->L(); }
+  const CVectorRecordEncoder& encoder() const { return *encoder_; }
+  const LinkageServiceOptions& options() const { return options_; }
+
+ private:
+  LinkageService(CbvHbConfig config, LinkageServiceOptions options);
+
+  Status Init();
+
+  /// Algorithm 2 against the sharded structures, plus the overflow
+  /// fallback.  `b` must be encoded by this service's encoder.
+  void MatchEncoded(const EncodedRecord& b, std::vector<IdPair>* out) const;
+
+  void InsertEncoded(const EncodedRecord& record);
+
+  CbvHbConfig config_;
+  LinkageServiceOptions options_;
+  /// Alphabets reconstructed from a snapshot (Create()d services borrow
+  /// the caller's alphabets instead).
+  std::vector<std::unique_ptr<Alphabet>> owned_alphabets_;
+  std::optional<CVectorRecordEncoder> encoder_;
+  std::optional<ShardedHammingIndex> index_;
+  ConcurrentVectorStore store_;
+  PairClassifier classifier_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex pool_mu_;  // ThreadPool::ParallelFor is not reentrant
+
+  // Counters (relaxed; read via metrics()).
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> candidate_occurrences_{0};
+  mutable std::atomic<uint64_t> comparisons_{0};
+  mutable std::atomic<uint64_t> matches_{0};
+  mutable std::atomic<uint64_t> scan_fallbacks_{0};
+  mutable std::atomic<uint64_t> insert_nanos_{0};
+  mutable std::atomic<uint64_t> query_nanos_{0};
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_SERVICE_LINKAGE_SERVICE_H_

@@ -1,0 +1,154 @@
+#include "src/service/sharded_index.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace cbvlink {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedHammingIndex::ShardedHammingIndex(HammingLshFamily family,
+                                         size_t num_shards,
+                                         size_t max_bucket_size)
+    : family_(std::move(family)),
+      shard_mask_(num_shards - 1),
+      max_bucket_size_(max_bucket_size) {
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->tables.resize(family_.L());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Result<ShardedHammingIndex> ShardedHammingIndex::Create(
+    HammingLshFamily family, const ShardedIndexOptions& options) {
+  const size_t num_shards =
+      RoundUpPowerOfTwo(std::max<size_t>(options.num_shards, 1));
+  return ShardedHammingIndex(std::move(family), num_shards,
+                             options.max_bucket_size);
+}
+
+void ShardedHammingIndex::Insert(const EncodedRecord& record) {
+  // Keys are computed lock-free; each group then takes exactly one
+  // exclusive shard lock.
+  for (size_t l = 0; l < family_.L(); ++l) {
+    const uint64_t key = family_.Key(record.bits, l);
+    Shard& shard = *shards_[ShardOf(key)];
+    std::unique_lock lock(shard.mu);
+    Bucket& bucket = shard.tables[l][key];
+    if (max_bucket_size_ != 0 && bucket.ids.size() >= max_bucket_size_) {
+      bucket.overflowed = true;
+      shard.dropped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    bucket.ids.push_back(record.id);
+  }
+}
+
+void ShardedHammingIndex::Collect(const BitVector& probe,
+                                  std::vector<RecordId>* out,
+                                  bool* saw_overflow) const {
+  if (saw_overflow != nullptr) *saw_overflow = false;
+  for (size_t l = 0; l < family_.L(); ++l) {
+    const uint64_t key = family_.Key(probe, l);
+    const Shard& shard = *shards_[ShardOf(key)];
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.tables[l].find(key);
+    if (it == shard.tables[l].end()) continue;
+    out->insert(out->end(), it->second.ids.begin(), it->second.ids.end());
+    if (it->second.overflowed && saw_overflow != nullptr) {
+      *saw_overflow = true;
+    }
+  }
+}
+
+void ShardedHammingIndex::ForEachCandidate(
+    const BitVector& probe, const std::function<void(RecordId)>& cb) const {
+  std::vector<RecordId> candidates;
+  Collect(probe, &candidates, nullptr);
+  for (RecordId id : candidates) cb(id);
+}
+
+Status ShardedHammingIndex::RestoreBucket(
+    const IndexBucketSnapshot& bucket) {
+  if (bucket.group >= family_.L()) {
+    return Status::InvalidArgument("bucket group out of range");
+  }
+  Shard& shard = *shards_[ShardOf(bucket.key)];
+  std::unique_lock lock(shard.mu);
+  Bucket& target = shard.tables[bucket.group][bucket.key];
+  target.ids = bucket.ids;
+  target.overflowed = bucket.overflowed;
+  return Status::OK();
+}
+
+std::vector<IndexBucketSnapshot> ShardedHammingIndex::ExportBuckets() const {
+  std::vector<IndexBucketSnapshot> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (size_t l = 0; l < shard->tables.size(); ++l) {
+      for (const auto& [key, bucket] : shard->tables[l]) {
+        if (bucket.ids.empty() && !bucket.overflowed) continue;
+        out.push_back(
+            IndexBucketSnapshot{l, key, bucket.overflowed, bucket.ids});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const IndexBucketSnapshot& a,
+                                       const IndexBucketSnapshot& b) {
+    return a.group != b.group ? a.group < b.group : a.key < b.key;
+  });
+  return out;
+}
+
+size_t ShardedHammingIndex::NumBuckets() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& table : shard->tables) total += table.size();
+  }
+  return total;
+}
+
+size_t ShardedHammingIndex::NumEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& table : shard->tables) {
+      for (const auto& [key, bucket] : table) total += bucket.ids.size();
+    }
+  }
+  return total;
+}
+
+size_t ShardedHammingIndex::MaxBucketSize() const {
+  size_t best = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& table : shard->tables) {
+      for (const auto& [key, bucket] : table) {
+        best = std::max(best, bucket.ids.size());
+      }
+    }
+  }
+  return best;
+}
+
+uint64_t ShardedHammingIndex::dropped_entries() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,117 @@
+// Concurrent sharded HB blocking index (the serving-layer counterpart of
+// RecordLevelBlocker).
+//
+// The L blocking tables of Section 4.2 are partitioned across N shards:
+// bucket (l, key) lives in shard key mod N, guarded by that shard's
+// std::shared_mutex.  Inserts take exclusive locks one shard at a time;
+// queries take shared locks, so readers never block readers and the
+// service layer scales Match throughput with cores.
+//
+// Each bucket is capped at `max_bucket_size` entries (0 = unlimited).
+// Inserting into a full bucket marks it overflowed and drops the entry —
+// the Section 5.2 "few overpopulated buckets" failure mode then costs a
+// flag instead of an ever-growing candidate list; the service layer
+// decides how to compensate (see OverflowPolicy in linkage_service.h).
+
+#ifndef CBVLINK_SERVICE_SHARDED_INDEX_H_
+#define CBVLINK_SERVICE_SHARDED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/blocking/record_blocker.h"
+#include "src/common/bitvector.h"
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/embedding/record_encoder.h"
+#include "src/io/serialization.h"
+#include "src/lsh/hamming_lsh.h"
+
+namespace cbvlink {
+
+/// Options of a sharded index.
+struct ShardedIndexOptions {
+  /// Number of lock shards; rounded up to a power of two, clamped to >= 1.
+  size_t num_shards = 16;
+  /// Bucket entry cap; 0 = unlimited.
+  size_t max_bucket_size = 0;
+};
+
+/// L blocking tables sharded by key with per-shard reader/writer locks.
+/// Thread-safe: Insert/Query/statistics may be called concurrently.
+class ShardedHammingIndex : public CandidateSource {
+ public:
+  /// Creates an index over `family`'s L composite hash functions.
+  static Result<ShardedHammingIndex> Create(HammingLshFamily family,
+                                            const ShardedIndexOptions& options);
+
+  /// Hashes `record` into every group's bucket.  Entries beyond the bucket
+  /// cap are dropped and counted (see dropped_entries()).
+  void Insert(const EncodedRecord& record);
+
+  /// Appends the candidate Ids of `probe` (duplicates across groups
+  /// included, as in Algorithm 2's input) to `out`.  Sets `*saw_overflow`
+  /// when any probed bucket had dropped entries, so callers can fall back
+  /// to a scan for guaranteed recall.
+  void Collect(const BitVector& probe, std::vector<RecordId>* out,
+               bool* saw_overflow) const;
+
+  /// CandidateSource adapter (overflow information discarded), so the
+  /// index is a drop-in source for the single-threaded Matcher.
+  void ForEachCandidate(
+      const BitVector& probe,
+      const std::function<void(RecordId)>& cb) const override;
+
+  /// Restores one bucket from a snapshot, replacing any current contents.
+  /// Returns InvalidArgument for a group index >= L().
+  Status RestoreBucket(const IndexBucketSnapshot& bucket);
+
+  /// Every non-empty bucket, for snapshots.  Deterministically ordered
+  /// (by group, then key).
+  std::vector<IndexBucketSnapshot> ExportBuckets() const;
+
+  size_t L() const { return family_.L(); }
+  size_t K() const { return family_.K(); }
+  size_t num_shards() const { return shards_.size(); }
+  size_t max_bucket_size() const { return max_bucket_size_; }
+
+  /// Aggregate statistics (each takes the shard locks shared).
+  size_t NumBuckets() const;
+  size_t NumEntries() const;
+  size_t MaxBucketSize() const;
+
+  /// Entries dropped by the bucket cap since construction.
+  uint64_t dropped_entries() const;
+
+ private:
+  struct Bucket {
+    std::vector<RecordId> ids;
+    bool overflowed = false;
+  };
+
+  /// One lock shard: a bucket map per blocking group.  unique_ptr keeps
+  /// the index movable despite the mutex and counter.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<std::unordered_map<uint64_t, Bucket>> tables;
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  ShardedHammingIndex(HammingLshFamily family, size_t num_shards,
+                      size_t max_bucket_size);
+
+  size_t ShardOf(uint64_t key) const { return key & shard_mask_; }
+
+  HammingLshFamily family_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  size_t max_bucket_size_ = 0;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_SERVICE_SHARDED_INDEX_H_

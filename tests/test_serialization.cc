@@ -111,6 +111,88 @@ TEST(SerializationTest, FileErrorsSurfaceAsIOError) {
             StatusCode::kIOError);
 }
 
+TEST(SerializationTest, ServiceSnapshotRoundTrip) {
+  ServiceSnapshot snapshot;
+  snapshot.attributes = {
+      {"LastName", "ABCDEFGHIJKLMNOPQRSTUVWXYZ_", 2, false},
+      {"FirstName", "ABCDEFGHIJKLMNOPQRSTUVWXYZ_", 3, true},
+  };
+  snapshot.expected_qgrams = {5.1, 7.25};
+  snapshot.rule_text = "((f1 <= 4) AND (f2 <= 8))";
+  snapshot.record_K = 25;
+  snapshot.record_theta = 3;
+  snapshot.delta = 0.05;
+  snapshot.sizing_max_collisions = 2.0;
+  snapshot.sizing_confidence_ratio = 0.25;
+  snapshot.seed = 99;
+  snapshot.num_shards = 8;
+  snapshot.max_bucket_size = 128;
+  snapshot.overflow_policy = 1;
+  for (RecordId id = 0; id < 10; ++id) {
+    snapshot.records.push_back(MakeRecord(id, 40, id + 1));
+  }
+  snapshot.buckets = {
+      {0, 0x1234, false, {1, 2, 3}},
+      {2, 0xffff, true, {7}},
+  };
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteServiceSnapshot(snapshot, stream).ok());
+  Result<ServiceSnapshot> loaded = ReadServiceSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ServiceSnapshot& got = loaded.value();
+  ASSERT_EQ(got.attributes.size(), 2u);
+  EXPECT_EQ(got.attributes[0].name, "LastName");
+  EXPECT_EQ(got.attributes[1].alphabet_symbols,
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ_");
+  EXPECT_EQ(got.attributes[1].qgram_q, 3u);
+  EXPECT_TRUE(got.attributes[1].qgram_pad);
+  EXPECT_FALSE(got.attributes[0].qgram_pad);
+  EXPECT_EQ(got.expected_qgrams, snapshot.expected_qgrams);
+  EXPECT_EQ(got.rule_text, snapshot.rule_text);
+  EXPECT_EQ(got.record_K, 25u);
+  EXPECT_EQ(got.record_theta, 3u);
+  EXPECT_DOUBLE_EQ(got.delta, 0.05);
+  EXPECT_DOUBLE_EQ(got.sizing_max_collisions, 2.0);
+  EXPECT_DOUBLE_EQ(got.sizing_confidence_ratio, 0.25);
+  EXPECT_EQ(got.seed, 99u);
+  EXPECT_EQ(got.num_shards, 8u);
+  EXPECT_EQ(got.max_bucket_size, 128u);
+  EXPECT_EQ(got.overflow_policy, 1u);
+  ASSERT_EQ(got.records.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(got.records[i].bits, snapshot.records[i].bits);
+  }
+  ASSERT_EQ(got.buckets.size(), 2u);
+  EXPECT_EQ(got.buckets[1].group, 2u);
+  EXPECT_EQ(got.buckets[1].key, 0xffffu);
+  EXPECT_TRUE(got.buckets[1].overflowed);
+  EXPECT_EQ(got.buckets[1].ids, (std::vector<RecordId>{7}));
+}
+
+TEST(SerializationTest, ServiceSnapshotForeignMagicRejected) {
+  std::stringstream stream;
+  ASSERT_TRUE(WriteEncodedRecords({}, stream).ok());
+  Result<ServiceSnapshot> loaded = ReadServiceSnapshot(stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, ServiceSnapshotTruncationDetected) {
+  ServiceSnapshot snapshot;
+  snapshot.attributes = {{"f1", "ABC_", 2, true}};
+  snapshot.expected_qgrams = {4.0};
+  snapshot.rule_text = "f1 <= 4";
+  snapshot.records.push_back(MakeRecord(1, 16, 5));
+  std::stringstream stream;
+  ASSERT_TRUE(WriteServiceSnapshot(snapshot, stream).ok());
+  const std::string full = stream.str();
+  for (const size_t cut : {size_t{4}, size_t{40}, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(ReadServiceSnapshot(truncated).ok()) << "cut=" << cut;
+  }
+}
+
 TEST(SerializationTest, WireCostMatchesPaperClaim) {
   // A 120-bit NCVR record costs 8 (id) + 16 (two words) bytes on the
   // wire, versus tens of bytes of raw strings — the compactness claim.

@@ -1,0 +1,274 @@
+#include "src/service/linkage_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/datagen/generators.h"
+
+namespace cbvlink {
+namespace {
+
+CbvHbConfig BaseConfig(const Schema& schema) {
+  CbvHbConfig config;
+  config.schema = schema;
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  config.seed = 5;
+  return config;
+}
+
+std::vector<Record> GenerateRecords(const NcvrGenerator& gen, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(gen.Generate(i, rng));
+  }
+  return records;
+}
+
+std::vector<IdPair> Sorted(std::vector<IdPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(ServiceTest, RejectsAttributeLevelBlocking) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.attribute_level_blocking = true;
+  config.attribute_K = {5, 5, 10, 5};
+  EXPECT_FALSE(LinkageService::Create(std::move(config)).ok());
+}
+
+TEST(ServiceTest, NeedsCalibrationOrExplicitB) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  CbvHbConfig config = BaseConfig(gen.value().schema());
+  config.expected_qgrams.clear();
+  EXPECT_FALSE(LinkageService::Create(config).ok());
+  const std::vector<Record> sample = GenerateRecords(gen.value(), 50, 1);
+  EXPECT_TRUE(LinkageService::Create(config, {}, sample).ok());
+}
+
+TEST(ServiceTest, InsertThenMatchFindsDuplicates) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(service.ok());
+
+  const std::vector<Record> records = GenerateRecords(gen.value(), 2, 1);
+  for (const Record& r : records) {
+    ASSERT_TRUE(service.value()->Insert(r).ok());
+  }
+  EXPECT_EQ(service.value()->size(), 2u);
+
+  Record query = records[0];
+  query.id = 100;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(service.value()->Match(query, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a_id, records[0].id);
+  EXPECT_EQ(out[0].b_id, 100u);
+
+  const ServiceMetrics metrics = service.value()->metrics();
+  EXPECT_EQ(metrics.inserts, 2u);
+  EXPECT_EQ(metrics.queries, 1u);
+  EXPECT_EQ(metrics.matches, 1u);
+  EXPECT_GT(metrics.comparisons, 0u);
+  EXPECT_GT(metrics.query_seconds, 0.0);
+  EXPECT_GT(metrics.QueriesPerSecond(), 0.0);
+}
+
+TEST(ServiceTest, BatchMatchEqualsSerialMatch) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkageServiceOptions options;
+  options.num_threads = 4;
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()), options);
+  ASSERT_TRUE(service.ok());
+
+  const std::vector<Record> registry = GenerateRecords(gen.value(), 200, 2);
+  ASSERT_TRUE(service.value()->InsertBatch(registry).ok());
+  EXPECT_EQ(service.value()->size(), registry.size());
+
+  std::vector<Record> queries;
+  for (size_t i = 0; i < 50; ++i) {
+    Record q = registry[i];
+    q.id = 1000 + i;
+    queries.push_back(std::move(q));
+  }
+  std::vector<IdPair> serial;
+  for (const Record& q : queries) {
+    ASSERT_TRUE(service.value()->Match(q, &serial).ok());
+  }
+  std::vector<IdPair> batch;
+  ASSERT_TRUE(service.value()->MatchBatch(queries, &batch).ok());
+  EXPECT_EQ(Sorted(std::move(batch)), Sorted(std::move(serial)));
+}
+
+TEST(ServiceTest, ConcurrentMatchAndInsertInterleaving) {
+  // Eight threads stream duplicate arrivals of disjoint base entities
+  // concurrently; every arrival must link back to its pre-inserted base.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> created =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(created.ok());
+  LinkageService& service = *created.value();
+
+  const std::vector<Record> base = GenerateRecords(gen.value(), 80, 3);
+  for (const Record& r : base) {
+    ASSERT_TRUE(service.Insert(r).ok());
+  }
+
+  constexpr size_t kThreads = 8;
+  const size_t per_thread = base.size() / kThreads;
+  std::vector<std::vector<IdPair>> found(kThreads);
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        Record arrival = base[i];
+        arrival.id = 10000 + i;
+        if (!service.MatchAndInsert(arrival, &found[t]).ok()) ++failures[t];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(service.size(), base.size() * 2);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0);
+    for (size_t i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+      const IdPair expected{base[i].id, 10000 + i};
+      EXPECT_TRUE(std::find(found[t].begin(), found[t].end(), expected) !=
+                  found[t].end())
+          << "arrival " << i << " did not link to its base record";
+    }
+  }
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.queries, base.size());
+  EXPECT_EQ(metrics.inserts, base.size() * 2);
+}
+
+TEST(ServiceTest, SnapshotRestoreRoundTripIdenticalMatches) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> created =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(created.ok());
+  LinkageService& service = *created.value();
+
+  const std::vector<Record> registry = GenerateRecords(gen.value(), 150, 4);
+  ASSERT_TRUE(service.InsertBatch(registry).ok());
+
+  std::vector<Record> queries;
+  for (size_t i = 0; i < 40; ++i) {
+    Record q = registry[i * 3];
+    q.id = 5000 + i;
+    queries.push_back(std::move(q));
+  }
+  std::vector<IdPair> before;
+  for (const Record& q : queries) {
+    ASSERT_TRUE(service.Match(q, &before).ok());
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(service.SaveSnapshot(buffer).ok());
+  Result<ServiceSnapshot> snapshot = ReadServiceSnapshot(buffer);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().records.size(), registry.size());
+  Result<std::unique_ptr<LinkageService>> restored =
+      LinkageService::Restore(snapshot.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->size(), registry.size());
+  EXPECT_EQ(restored.value()->blocking_groups(), service.blocking_groups());
+
+  std::vector<IdPair> after;
+  for (const Record& q : queries) {
+    ASSERT_TRUE(restored.value()->Match(q, &after).ok());
+  }
+  EXPECT_EQ(Sorted(std::move(after)), Sorted(std::move(before)));
+
+  // The restored service keeps ingesting: a brand-new arrival links to
+  // its duplicate inserted after the restore.
+  Rng rng(77);
+  Record fresh = gen.value().Generate(90000, rng);
+  ASSERT_TRUE(restored.value()->Insert(fresh).ok());
+  Record again = fresh;
+  again.id = 90001;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(restored.value()->Match(again, &out).ok());
+  EXPECT_TRUE(std::find(out.begin(), out.end(),
+                        IdPair{90000u, 90001u}) != out.end());
+}
+
+TEST(ServiceTest, ScanFallbackPreservesRecallUnderBucketCap) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkageServiceOptions options;
+  options.max_bucket_size = 1;
+  options.overflow_policy = OverflowPolicy::kScanFallback;
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()), options);
+  ASSERT_TRUE(service.ok());
+
+  // Three identical records share every bucket; the cap keeps only the
+  // first, so the other two are reachable only through the fallback scan.
+  Rng rng(8);
+  const Record entity = gen.value().Generate(0, rng);
+  for (RecordId id = 1; id <= 3; ++id) {
+    Record copy = entity;
+    copy.id = id;
+    ASSERT_TRUE(service.value()->Insert(copy).ok());
+  }
+  Record query = entity;
+  query.id = 42;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(service.value()->Match(query, &out).ok());
+  EXPECT_EQ(Sorted(std::move(out)),
+            (std::vector<IdPair>{{1, 42}, {2, 42}, {3, 42}}));
+  const ServiceMetrics metrics = service.value()->metrics();
+  EXPECT_GT(metrics.scan_fallbacks, 0u);
+  EXPECT_GT(metrics.dropped_entries, 0u);
+}
+
+TEST(ServiceTest, TruncatePolicyBoundsWorkUnderBucketCap) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkageServiceOptions options;
+  options.max_bucket_size = 1;
+  options.overflow_policy = OverflowPolicy::kTruncate;
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()), options);
+  ASSERT_TRUE(service.ok());
+
+  Rng rng(8);
+  const Record entity = gen.value().Generate(0, rng);
+  for (RecordId id = 1; id <= 3; ++id) {
+    Record copy = entity;
+    copy.id = id;
+    ASSERT_TRUE(service.value()->Insert(copy).ok());
+  }
+  Record query = entity;
+  query.id = 42;
+  std::vector<IdPair> out;
+  ASSERT_TRUE(service.value()->Match(query, &out).ok());
+  EXPECT_EQ(out, (std::vector<IdPair>{{1, 42}}));
+  EXPECT_EQ(service.value()->metrics().scan_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -1,0 +1,185 @@
+#include "src/service/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/blocking/record_blocker.h"
+#include "src/common/random.h"
+
+namespace cbvlink {
+namespace {
+
+BitVector RandomVector(size_t bits, Rng& rng) {
+  BitVector bv(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.NextBool(0.5)) bv.Set(i);
+  }
+  return bv;
+}
+
+std::vector<EncodedRecord> RandomRecords(size_t n, size_t bits, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EncodedRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(EncodedRecord{i, RandomVector(bits, rng)});
+  }
+  return records;
+}
+
+std::vector<RecordId> SortedCandidates(const CandidateSource& source,
+                                       const BitVector& probe) {
+  std::vector<RecordId> out;
+  source.ForEachCandidate(probe, [&](RecordId id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ShardedHammingIndex MakeIndex(size_t K, size_t L, size_t bits,
+                              const ShardedIndexOptions& options = {},
+                              uint64_t seed = 42) {
+  Rng rng(seed);
+  Result<HammingLshFamily> family =
+      HammingLshFamily::CreateFull(K, L, bits, rng);
+  EXPECT_TRUE(family.ok());
+  Result<ShardedHammingIndex> index =
+      ShardedHammingIndex::Create(std::move(family).value(), options);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(ShardedIndexTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedIndexOptions options;
+  options.num_shards = 5;
+  ShardedHammingIndex index = MakeIndex(4, 6, 64, options);
+  EXPECT_EQ(index.num_shards(), 8u);
+  options.num_shards = 0;
+  EXPECT_EQ(MakeIndex(4, 6, 64, options).num_shards(), 1u);
+}
+
+TEST(ShardedIndexTest, MatchesRecordLevelBlockerCandidates) {
+  // Built from the same seed, the sharded index and the single-threaded
+  // blocker hold identical families and must serve identical candidates.
+  const size_t kBits = 64;
+  ShardedHammingIndex index = MakeIndex(5, 10, kBits, {}, 42);
+  Rng rng(42);
+  Result<RecordLevelBlocker> blocker =
+      RecordLevelBlocker::CreateWithL(kBits, 5, 10, rng);
+  ASSERT_TRUE(blocker.ok());
+
+  const std::vector<EncodedRecord> records = RandomRecords(200, kBits, 7);
+  for (const EncodedRecord& r : records) {
+    index.Insert(r);
+    blocker.value().Insert(r);
+  }
+  EXPECT_EQ(index.NumEntries(), 200u * 10u);
+
+  Rng probe_rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const BitVector probe = RandomVector(kBits, probe_rng);
+    EXPECT_EQ(SortedCandidates(index, probe),
+              SortedCandidates(blocker.value(), probe));
+  }
+}
+
+TEST(ShardedIndexTest, BucketCapDropsAndFlagsOverflow) {
+  ShardedIndexOptions options;
+  options.max_bucket_size = 2;
+  ShardedHammingIndex index = MakeIndex(4, 3, 32, options);
+
+  // Identical vectors share every bucket; the third insert overflows all
+  // three groups' buckets.
+  BitVector bits(32);
+  bits.Set(1);
+  bits.Set(7);
+  for (RecordId id = 0; id < 3; ++id) {
+    index.Insert(EncodedRecord{id, bits});
+  }
+  EXPECT_EQ(index.dropped_entries(), 3u);  // one drop per group
+  EXPECT_EQ(index.MaxBucketSize(), 2u);
+
+  std::vector<RecordId> candidates;
+  bool overflow = false;
+  index.Collect(bits, &candidates, &overflow);
+  EXPECT_TRUE(overflow);
+  EXPECT_EQ(candidates.size(), 6u);  // 2 ids x 3 groups
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 2u) ==
+              candidates.end());
+}
+
+TEST(ShardedIndexTest, ExportRestoreRoundTrip) {
+  ShardedIndexOptions options;
+  options.max_bucket_size = 4;
+  ShardedHammingIndex index = MakeIndex(5, 8, 64, options, 11);
+  for (const EncodedRecord& r : RandomRecords(100, 64, 3)) {
+    index.Insert(r);
+  }
+  const std::vector<IndexBucketSnapshot> buckets = index.ExportBuckets();
+  EXPECT_GT(buckets.size(), 0u);
+
+  ShardedHammingIndex restored = MakeIndex(5, 8, 64, options, 11);
+  for (const IndexBucketSnapshot& bucket : buckets) {
+    ASSERT_TRUE(restored.RestoreBucket(bucket).ok());
+  }
+  EXPECT_EQ(restored.NumBuckets(), index.NumBuckets());
+  EXPECT_EQ(restored.NumEntries(), index.NumEntries());
+  const std::vector<IndexBucketSnapshot> round = restored.ExportBuckets();
+  ASSERT_EQ(round.size(), buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ(round[i].group, buckets[i].group);
+    EXPECT_EQ(round[i].key, buckets[i].key);
+    EXPECT_EQ(round[i].overflowed, buckets[i].overflowed);
+    EXPECT_EQ(round[i].ids, buckets[i].ids);
+  }
+}
+
+TEST(ShardedIndexTest, RestoreRejectsForeignGroup) {
+  ShardedHammingIndex index = MakeIndex(4, 3, 32);
+  IndexBucketSnapshot bucket;
+  bucket.group = 3;  // L == 3, so valid groups are 0..2
+  EXPECT_FALSE(index.RestoreBucket(bucket).ok());
+}
+
+TEST(ShardedIndexTest, ConcurrentInsertAndQuery) {
+  // Writers insert disjoint id ranges while readers continuously probe;
+  // afterwards every inserted record must be findable via its own bits.
+  const size_t kBits = 64;
+  ShardedHammingIndex index = MakeIndex(5, 10, kBits);
+  const std::vector<EncodedRecord> records = RandomRecords(400, kBits, 17);
+
+  constexpr size_t kWriters = 4;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = w; i < records.size(); i += kWriters) {
+        index.Insert(records[i]);
+      }
+    });
+  }
+  std::atomic<uint64_t> observed{0};
+  for (size_t r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      std::vector<RecordId> scratch;
+      for (int probe = 0; probe < 50; ++probe) {
+        scratch.clear();
+        index.Collect(records[probe % records.size()].bits, &scratch, nullptr);
+        observed.fetch_add(scratch.size());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(index.NumEntries(), records.size() * index.L());
+  for (const EncodedRecord& r : records) {
+    std::vector<RecordId> candidates;
+    index.Collect(r.bits, &candidates, nullptr);
+    EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), r.id) !=
+                candidates.end());
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

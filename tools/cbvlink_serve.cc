@@ -1,0 +1,350 @@
+// cbvlink_serve: run the concurrent linkage service from the command line.
+//
+// Builds (or restores) a registry index, then streams query CSV records
+// through it, writing matched (registry_id, query_id) pairs.  This is the
+// introduction's "nearly real-time" deployment: the registry is a
+// long-lived service artifact that can be snapshotted to disk and
+// restarted warm.
+//
+// Usage:
+//   cbvlink_serve --registry A.csv --queries B.csv [options]
+//   cbvlink_serve --snapshot-in S.cbvs --queries B.csv [options]
+//
+// Options:
+//   --registry FILE        registry CSV (header; see --id-column)
+//   --queries FILE         query CSV streamed against the registry
+//   --snapshot-in FILE     restore the service from a snapshot instead of
+//                          building it from --registry
+//   --snapshot-out FILE    write a snapshot after serving
+//   --insert               MatchAndInsert: queries join the registry so
+//                          later arrivals can link to them
+//   --id-column NAME       id column (default "id"; row numbers when
+//                          absent — query auto-ids start after registry)
+//   --rule RULE            classification rule (default: every attribute
+//                          <= --theta)
+//   --theta N              per-attribute threshold default (default 4)
+//   --k N                  base hashes per blocking group (default 30)
+//   --delta X              miss probability (default 0.1)
+//   --alphanumeric         alphanumeric alphabet for every attribute
+//   --seed N               RNG seed (default 7)
+//   --threads N            batch worker threads (default 0 = hardware)
+//   --shards N             lock shards (default 16)
+//   --max-bucket N         bucket-size cap (default 0 = unlimited)
+//   --overflow POLICY      truncate | scan (default scan)
+//   --batch N              stream queries in batches of N (default 1024;
+//                          1 = strictly sequential arrivals)
+//   --out FILE             matched pairs CSV (default stdout)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/stopwatch.h"
+#include "src/common/str.h"
+#include "src/io/csv_reader.h"
+#include "src/rules/rule_parser.h"
+#include "src/service/linkage_service.h"
+
+namespace cbvlink {
+namespace {
+
+struct Args {
+  std::string registry_path;
+  std::string queries_path;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  bool insert = false;
+  std::string id_column = "id";
+  std::string rule_text;
+  size_t theta = 4;
+  size_t k = 30;
+  double delta = 0.1;
+  bool alphanumeric = false;
+  uint64_t seed = 7;
+  size_t threads = 0;
+  size_t shards = 16;
+  size_t max_bucket = 0;
+  std::string overflow = "scan";
+  size_t batch = 1024;
+  std::string out_path;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: cbvlink_serve (--registry A.csv | --snapshot-in S) "
+               "--queries B.csv\n"
+               "  [--insert] [--snapshot-out FILE] [--rule RULE] [--theta N]\n"
+               "  [--k N] [--delta X] [--alphanumeric] [--id-column NAME]\n"
+               "  [--threads N] [--shards N] [--max-bucket N] "
+               "[--overflow truncate|scan]\n"
+               "  [--batch N] [--out FILE] [--seed N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const auto next_size = [&](size_t* out) {
+      const char* v = next();
+      if (!v) return false;
+      *out = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      return true;
+    };
+    if (flag == "--registry") {
+      const char* v = next();
+      if (!v) return false;
+      args->registry_path = v;
+    } else if (flag == "--queries") {
+      const char* v = next();
+      if (!v) return false;
+      args->queries_path = v;
+    } else if (flag == "--snapshot-in") {
+      const char* v = next();
+      if (!v) return false;
+      args->snapshot_in = v;
+    } else if (flag == "--snapshot-out") {
+      const char* v = next();
+      if (!v) return false;
+      args->snapshot_out = v;
+    } else if (flag == "--insert") {
+      args->insert = true;
+    } else if (flag == "--id-column") {
+      const char* v = next();
+      if (!v) return false;
+      args->id_column = v;
+    } else if (flag == "--rule") {
+      const char* v = next();
+      if (!v) return false;
+      args->rule_text = v;
+    } else if (flag == "--theta") {
+      if (!next_size(&args->theta)) return false;
+    } else if (flag == "--k") {
+      if (!next_size(&args->k)) return false;
+    } else if (flag == "--delta") {
+      const char* v = next();
+      if (!v) return false;
+      args->delta = std::strtod(v, nullptr);
+    } else if (flag == "--alphanumeric") {
+      args->alphanumeric = true;
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads") {
+      if (!next_size(&args->threads)) return false;
+    } else if (flag == "--shards") {
+      if (!next_size(&args->shards)) return false;
+    } else if (flag == "--max-bucket") {
+      if (!next_size(&args->max_bucket)) return false;
+    } else if (flag == "--overflow") {
+      const char* v = next();
+      if (!v) return false;
+      args->overflow = v;
+    } else if (flag == "--batch") {
+      if (!next_size(&args->batch)) return false;
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->overflow != "scan" && args->overflow != "truncate") {
+    std::fprintf(stderr, "--overflow must be 'scan' or 'truncate'\n");
+    return false;
+  }
+  if (args->batch == 0) args->batch = 1;
+  return (!args->registry_path.empty() || !args->snapshot_in.empty()) &&
+         !args->queries_path.empty();
+}
+
+int RunMain(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  LinkageServiceOptions options;
+  options.num_shards = args.shards;
+  options.max_bucket_size = args.max_bucket;
+  options.overflow_policy = args.overflow == "truncate"
+                                ? OverflowPolicy::kTruncate
+                                : OverflowPolicy::kScanFallback;
+  options.num_threads = args.threads;
+
+  std::unique_ptr<LinkageService> service;
+  RecordId first_query_auto_id = 0;
+  Stopwatch build_watch;
+  if (!args.snapshot_in.empty()) {
+    Result<std::unique_ptr<LinkageService>> restored =
+        LinkageService::RestoreFromFile(args.snapshot_in);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore %s: %s\n", args.snapshot_in.c_str(),
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(restored).value();
+    first_query_auto_id = service->size();
+    std::fprintf(stderr, "restored %zu records, %zu blocking groups (%.2fs)\n",
+                 service->size(), service->blocking_groups(),
+                 build_watch.ElapsedSeconds());
+  } else {
+    CsvReadOptions read_options;
+    read_options.id_column = args.id_column;
+    Result<CsvDataset> registry =
+        ReadCsvDataset(args.registry_path, read_options);
+    if (!registry.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", args.registry_path.c_str(),
+                   registry.status().ToString().c_str());
+      return 1;
+    }
+    first_query_auto_id = registry.value().records.size();
+    const size_t nf = registry.value().attribute_names.size();
+
+    Schema schema;
+    const Alphabet& alphabet =
+        args.alphanumeric ? Alphabet::Alphanumeric() : Alphabet::Uppercase();
+    for (const std::string& name : registry.value().attribute_names) {
+      schema.attributes.push_back(
+          {name, &alphabet, QGramOptions{.q = 2, .pad = false}});
+    }
+
+    Rule rule = Rule::Pred(0, args.theta);
+    if (!args.rule_text.empty()) {
+      Result<Rule> parsed = ParseRule(args.rule_text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "rule: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      rule = std::move(parsed).value();
+    } else if (nf > 1) {
+      std::vector<Rule> preds;
+      for (size_t i = 0; i < nf; ++i) {
+        preds.push_back(Rule::Pred(i, args.theta));
+      }
+      rule = Rule::And(std::move(preds));
+    }
+
+    CbvHbConfig config;
+    config.schema = std::move(schema);
+    config.rule = std::move(rule);
+    config.record_K = args.k;
+    config.record_theta = args.theta;
+    config.delta = args.delta;
+    config.seed = args.seed;
+
+    Result<std::unique_ptr<LinkageService>> created = LinkageService::Create(
+        std::move(config), options, registry.value().records);
+    if (!created.ok()) {
+      std::fprintf(stderr, "config: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(created).value();
+    Status indexed = service->InsertBatch(registry.value().records);
+    if (!indexed.ok()) {
+      std::fprintf(stderr, "indexing: %s\n", indexed.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "indexed %zu records, %zu blocking groups, %zu shards "
+                 "(%.2fs)\n",
+                 service->size(), service->blocking_groups(),
+                 service->options().num_shards, build_watch.ElapsedSeconds());
+  }
+
+  CsvReadOptions query_options;
+  query_options.id_column = args.id_column;
+  query_options.first_auto_id = first_query_auto_id;
+  Result<CsvDataset> queries = ReadCsvDataset(args.queries_path, query_options);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "reading %s: %s\n", args.queries_path.c_str(),
+                 queries.status().ToString().c_str());
+    return 1;
+  }
+
+  FILE* out = stdout;
+  if (!args.out_path.empty()) {
+    out = std::fopen(args.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(out, "a_id,b_id\n");
+
+  const std::vector<Record>& stream = queries.value().records;
+  Stopwatch serve_watch;
+  std::vector<IdPair> pairs;
+  for (size_t begin = 0; begin < stream.size(); begin += args.batch) {
+    const size_t end = std::min(begin + args.batch, stream.size());
+    pairs.clear();
+    Status st;
+    if (args.insert) {
+      // Arrival order matters when queries join the registry: keep the
+      // stream sequential within the process.
+      for (size_t i = begin; i < end && st.ok(); ++i) {
+        st = service->MatchAndInsert(stream[i], &pairs);
+      }
+    } else {
+      const std::vector<Record> chunk(stream.begin() + begin,
+                                      stream.begin() + end);
+      st = service->MatchBatch(chunk, &pairs);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "serving: %s\n", st.ToString().c_str());
+      if (out != stdout) std::fclose(out);
+      return 1;
+    }
+    for (const IdPair& pair : pairs) {
+      std::fprintf(out, "%llu,%llu\n",
+                   static_cast<unsigned long long>(pair.a_id),
+                   static_cast<unsigned long long>(pair.b_id));
+    }
+  }
+  const double serve_seconds = serve_watch.ElapsedSeconds();
+  if (out != stdout) std::fclose(out);
+
+  const ServiceMetrics metrics = service->metrics();
+  std::fprintf(stderr,
+               "served %llu queries in %.2fs (%.0f q/s wall), "
+               "%llu matches, %llu comparisons, avg latency %.1f us\n",
+               static_cast<unsigned long long>(metrics.queries),
+               serve_seconds,
+               serve_seconds > 0
+                   ? static_cast<double>(metrics.queries) / serve_seconds
+                   : 0.0,
+               static_cast<unsigned long long>(metrics.matches),
+               static_cast<unsigned long long>(metrics.comparisons),
+               metrics.AvgQueryMicros());
+  if (metrics.dropped_entries > 0 || metrics.scan_fallbacks > 0) {
+    std::fprintf(stderr, "bucket cap: %llu dropped entries, %llu scan "
+                         "fallbacks\n",
+                 static_cast<unsigned long long>(metrics.dropped_entries),
+                 static_cast<unsigned long long>(metrics.scan_fallbacks));
+  }
+
+  if (!args.snapshot_out.empty()) {
+    Status saved = service->SaveSnapshotToFile(args.snapshot_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot %s: %s\n", args.snapshot_out.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot written to %s (%zu records)\n",
+                 args.snapshot_out.c_str(), service->size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main(int argc, char** argv) { return cbvlink::RunMain(argc, argv); }
