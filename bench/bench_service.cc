@@ -5,6 +5,7 @@
 // is >= 3x batch query throughput at 8 threads.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -17,6 +18,10 @@ namespace {
 void Run() {
   const size_t n = RecordsFromEnv(20000);
   bench::Banner("Service: insert/query throughput vs worker threads");
+  if (std::getenv("CBVLINK_FAILPOINTS") != nullptr) {
+    std::printf("NOTE: CBVLINK_FAILPOINTS is set — fault injection is "
+                "active; timings below are not representative.\n");
+  }
 
   Result<NcvrGenerator> gen = NcvrGenerator::Create();
   bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");

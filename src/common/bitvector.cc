@@ -43,6 +43,16 @@ BitVector BitVector::Slice(size_t offset, size_t length) const {
   return out;
 }
 
+BitVector BitVector::FromWords(size_t num_bits, std::vector<uint64_t> words) {
+  assert(words.size() == (num_bits + 63) / 64);
+  assert((num_bits & 63) == 0 || words.empty() ||
+         (words.back() >> (num_bits & 63)) == 0);
+  BitVector out;
+  out.num_bits_ = num_bits;
+  out.words_ = std::move(words);
+  return out;
+}
+
 size_t BitVector::HammingDistanceRange(const BitVector& other, size_t offset,
                                        size_t length) const noexcept {
   assert(offset + length <= num_bits_);

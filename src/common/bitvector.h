@@ -86,6 +86,15 @@ class BitVector {
   /// Raw word storage (little-endian bit order within each word).
   const std::vector<uint64_t>& words() const noexcept { return words_; }
 
+  /// Rebuilds a vector of `num_bits` bits from its word representation —
+  /// the exact inverse of words(), used by deserialization so the on-disk
+  /// word layout round-trips without a bit-by-bit reconstruction.
+  /// Requires words.size() == ceil(num_bits / 64) and every padding bit
+  /// past `num_bits` in the last word to be zero (operator== and
+  /// PopCount() depend on that invariant); callers deserializing
+  /// untrusted input must validate both before calling.
+  static BitVector FromWords(size_t num_bits, std::vector<uint64_t> words);
+
   /// Hamming distance to `other`.  Requires equal sizes.
   size_t HammingDistance(const BitVector& other) const noexcept {
     assert(num_bits_ == other.num_bits_);

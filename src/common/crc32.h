@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli) checksums for on-disk integrity.
+//
+// Snapshot and encoded-record files append a CRC32C trailer over every
+// preceding byte (src/io/serialization.h), so bit rot, torn writes, and
+// adversarial edits are detected before any length field is trusted.
+// CRC32C detects all single-byte errors and all burst errors up to 32
+// bits, which is exactly the failure class a single flipped disk byte
+// produces.
+//
+// The implementation is a portable table-driven one (no SSE4.2
+// dependency); snapshot IO is not a hot path.
+
+#ifndef CBVLINK_COMMON_CRC32_H_
+#define CBVLINK_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbvlink {
+
+/// Extends a running CRC32C with `n` bytes.  Start from
+/// `kCrc32cInit` (0) and feed chunks in order; the result is
+/// independent of the chunking.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of one contiguous buffer.
+uint32_t Crc32c(const void* data, size_t n);
+
+inline constexpr uint32_t kCrc32cInit = 0;
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_CRC32_H_

@@ -1,0 +1,192 @@
+#include "src/common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/str.h"
+
+namespace cbvlink {
+
+namespace {
+
+struct Entry {
+  FailpointAction action = FailpointAction::kOff;
+  uint64_t param = 0;
+  uint64_t trigger_at = 0;  // 0 = every hit
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> sites;
+  std::once_flag env_once;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry;  // leaked: outlives static dtors
+  return *r;
+}
+
+// Count of active sites; call sites gate on it with one relaxed load.
+std::atomic<int> g_active{0};
+
+void ParseEnvOnce() {
+  std::call_once(TheRegistry().env_once, [] {
+    const char* spec = std::getenv("CBVLINK_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') {
+      // Errors in the env spec are intentionally fatal-free: the spec is
+      // operator input, and a typo should not take the process down.
+      (void)Failpoints::ActivateFromSpec(spec);
+    }
+  });
+}
+
+}  // namespace
+
+void Failpoints::Activate(const std::string& site, FailpointAction action,
+                          uint64_t param, uint64_t trigger_at) {
+  if (action == FailpointAction::kOff) {
+    Deactivate(site);
+    return;
+  }
+  Registry& r = TheRegistry();
+  std::scoped_lock lock(r.mu);
+  auto [it, inserted] = r.sites.insert_or_assign(
+      site, Entry{action, param, trigger_at, 0});
+  (void)it;
+  if (inserted) g_active.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Failpoints::Deactivate(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::scoped_lock lock(r.mu);
+  if (r.sites.erase(site) > 0) {
+    g_active.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DeactivateAll() {
+  Registry& r = TheRegistry();
+  std::scoped_lock lock(r.mu);
+  g_active.fetch_sub(static_cast<int>(r.sites.size()),
+                     std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+Status Failpoints::ActivateFromSpec(const std::string& spec) {
+  for (const std::string& raw : StrSplit(spec, ';')) {
+    const std::string_view item = StripAsciiWhitespace(raw);
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint spec item '%s' is not site=action",
+                    std::string(item).c_str()));
+    }
+    const std::string site(StripAsciiWhitespace(item.substr(0, eq)));
+    std::string_view action_str = StripAsciiWhitespace(item.substr(eq + 1));
+
+    uint64_t trigger_at = 0;
+    const size_t at = action_str.rfind('@');
+    if (at != std::string_view::npos) {
+      const std::string count(action_str.substr(at + 1));
+      char* end = nullptr;
+      trigger_at = std::strtoull(count.c_str(), &end, 10);
+      if (end == count.c_str() || *end != '\0' || trigger_at == 0) {
+        return Status::InvalidArgument(
+            StrFormat("failpoint '%s': bad hit index '%s'", site.c_str(),
+                      count.c_str()));
+      }
+      action_str = action_str.substr(0, at);
+    }
+
+    uint64_t param = 0;
+    std::string_view name = action_str;
+    const size_t paren = action_str.find('(');
+    if (paren != std::string_view::npos) {
+      if (action_str.back() != ')') {
+        return Status::InvalidArgument(
+            StrFormat("failpoint '%s': unterminated parameter", site.c_str()));
+      }
+      const std::string num(
+          action_str.substr(paren + 1, action_str.size() - paren - 2));
+      char* end = nullptr;
+      param = std::strtoull(num.c_str(), &end, 10);
+      if (end == num.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            StrFormat("failpoint '%s': bad parameter '%s'", site.c_str(),
+                      num.c_str()));
+      }
+      name = action_str.substr(0, paren);
+    }
+
+    FailpointAction action;
+    if (name == "error") {
+      action = FailpointAction::kError;
+    } else if (name == "short_write") {
+      action = FailpointAction::kShortWrite;
+    } else if (name == "delay") {
+      action = FailpointAction::kDelay;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%s': unknown action '%s'", site.c_str(),
+                    std::string(name).c_str()));
+    }
+    Activate(site, action, param, trigger_at);
+  }
+  return Status::OK();
+}
+
+bool Failpoints::AnyActive() {
+  ParseEnvOnce();
+  return g_active.load(std::memory_order_relaxed) > 0;
+}
+
+FailpointHit Failpoints::Eval(const char* site) {
+  ParseEnvOnce();
+  if (g_active.load(std::memory_order_relaxed) == 0) return {};
+  Registry& r = TheRegistry();
+  std::scoped_lock lock(r.mu);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return {};
+  Entry& e = it->second;
+  ++e.hits;
+  if (e.trigger_at != 0 && e.hits != e.trigger_at) return {};
+  return FailpointHit{e.action, e.param};
+}
+
+uint64_t Failpoints::HitCount(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::scoped_lock lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+Status FailpointInject(const char* site) {
+  const FailpointHit hit = Failpoints::Eval(site);
+  switch (hit.action) {
+    case FailpointAction::kOff:
+      return Status::OK();
+    case FailpointAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(hit.param));
+      return Status::OK();
+    case FailpointAction::kError:
+    case FailpointAction::kShortWrite:
+      return Status::IOError(
+          StrFormat("failpoint '%s' injected failure", site));
+  }
+  return Status::OK();
+}
+
+void FailpointDelay(const char* site) {
+  const FailpointHit hit = Failpoints::Eval(site);
+  if (hit.action == FailpointAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.param));
+  }
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,105 @@
+// Failpoints: deterministic fault injection for tests and benches.
+//
+// A failpoint is a named site in production code ("io.atomic.rename",
+// "service.insert", ...) that normally costs one relaxed atomic load.
+// Tests — or an operator via the CBVLINK_FAILPOINTS environment
+// variable — activate a site with an action, and the next hits of that
+// site inject the fault:
+//
+//   error            the site returns Status::IOError
+//   short_write(N)   a file-write site persists only the first N bytes
+//                    and then fails (simulates a torn write / crash)
+//   delay(MS)        the site sleeps MS milliseconds (exposes lock-path
+//                    races and latency tails)
+//
+// Spec grammar (environment variable or ActivateFromSpec):
+//
+//   CBVLINK_FAILPOINTS="site=action[;site=action...]"
+//   action := error | short_write(N) | delay(MS)            every hit
+//           | error@K | short_write(N)@K | delay(MS)@K      K-th hit only
+//
+// Hits are counted per site from activation (1-based), so "@3" lets a
+// test kill the third write of a multi-step save.  The environment
+// variable is parsed once, on the first evaluation of any site.
+
+#ifndef CBVLINK_COMMON_FAILPOINT_H_
+#define CBVLINK_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// What an activated failpoint does when hit.
+enum class FailpointAction : int {
+  kOff = 0,
+  kError = 1,
+  kShortWrite = 2,
+  kDelay = 3,
+};
+
+/// The outcome of evaluating a site: the triggered action (kOff when
+/// the site is inactive or this hit is not the targeted one) plus its
+/// parameter (bytes for short_write, milliseconds for delay).
+struct FailpointHit {
+  FailpointAction action = FailpointAction::kOff;
+  uint64_t param = 0;
+};
+
+/// Global failpoint registry.  All methods are thread-safe.
+class Failpoints {
+ public:
+  /// Activates `site`.  `param` is the action parameter (short_write
+  /// bytes / delay ms).  `trigger_at` = 0 triggers on every hit;
+  /// K > 0 triggers on the K-th hit only (counted from activation).
+  static void Activate(const std::string& site, FailpointAction action,
+                       uint64_t param = 0, uint64_t trigger_at = 0);
+
+  static void Deactivate(const std::string& site);
+  static void DeactivateAll();
+
+  /// Activates sites from a spec string (see grammar above).
+  static Status ActivateFromSpec(const std::string& spec);
+
+  /// True when any site is active; a single relaxed load, so production
+  /// call sites are free when fault injection is off.
+  static bool AnyActive();
+
+  /// Records a hit of `site` and returns the triggered action.  Sleeps
+  /// are NOT performed here (see FailpointInject / FailpointDelay).
+  static FailpointHit Eval(const char* site);
+
+  /// Hits recorded for `site` since activation (0 if inactive).
+  static uint64_t HitCount(const std::string& site);
+};
+
+/// Evaluates `site` performing the delay action inline; returns a non-OK
+/// Status for error/short_write actions, OK otherwise.
+Status FailpointInject(const char* site);
+
+/// Evaluates `site` performing only the delay action (for void contexts).
+void FailpointDelay(const char* site);
+
+}  // namespace cbvlink
+
+/// Injects an error return at an activated site; free when no failpoint
+/// is active anywhere.
+#define CBVLINK_FAILPOINT(site)                               \
+  do {                                                        \
+    if (::cbvlink::Failpoints::AnyActive()) {                 \
+      ::cbvlink::Status _fp_st = ::cbvlink::FailpointInject(site); \
+      if (!_fp_st.ok()) return _fp_st;                        \
+    }                                                         \
+  } while (false)
+
+/// Delay-only variant for void functions / lock paths.
+#define CBVLINK_FAILPOINT_DELAY(site)                         \
+  do {                                                        \
+    if (::cbvlink::Failpoints::AnyActive()) {                 \
+      ::cbvlink::FailpointDelay(site);                        \
+    }                                                         \
+  } while (false)
+
+#endif  // CBVLINK_COMMON_FAILPOINT_H_

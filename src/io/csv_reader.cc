@@ -103,20 +103,43 @@ Result<CsvDataset> ReadCsvDataset(const std::string& path,
 
   RecordId auto_id = options.first_auto_id;
   size_t line_no = 1;
+  // Degrades a malformed data row to a skip count in lenient mode;
+  // returns true when the caller should fail the read.
+  constexpr size_t kMaxSkipErrors = 10;
+  const auto row_error = [&](Status* out, Status bad) {
+    if (!options.skip_malformed_rows) {
+      *out = std::move(bad);
+      return true;
+    }
+    ++dataset.skipped_rows;
+    if (dataset.skip_errors.size() < kMaxSkipErrors) {
+      dataset.skip_errors.push_back(std::string(bad.message()));
+    }
+    return false;
+  };
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
+    Status bad;
     Result<std::vector<std::string>> fields = ParseCsvLine(line);
     if (!fields.ok()) {
-      return Status::InvalidArgument(
-          StrFormat("line %zu: %s", line_no,
-                    std::string(fields.status().message()).c_str()));
+      if (row_error(&bad,
+                    Status::InvalidArgument(StrFormat(
+                        "line %zu: %s", line_no,
+                        std::string(fields.status().message()).c_str())))) {
+        return bad;
+      }
+      continue;
     }
     if (fields.value().size() != header.value().size()) {
-      return Status::InvalidArgument(
-          StrFormat("line %zu: %zu fields, header has %zu", line_no,
-                    fields.value().size(), header.value().size()));
+      if (row_error(&bad, Status::InvalidArgument(StrFormat(
+                              "line %zu: %zu fields, header has %zu", line_no,
+                              fields.value().size(),
+                              header.value().size())))) {
+        return bad;
+      }
+      continue;
     }
     Record record;
     if (id_index >= 0) {
@@ -124,8 +147,12 @@ Result<CsvDataset> ReadCsvDataset(const std::string& path,
       char* end = nullptr;
       const unsigned long long parsed = std::strtoull(raw.c_str(), &end, 10);
       if (end == raw.c_str() || *end != '\0') {
-        return Status::InvalidArgument(
-            StrFormat("line %zu: unparsable id '%s'", line_no, raw.c_str()));
+        if (row_error(&bad, Status::InvalidArgument(
+                                StrFormat("line %zu: unparsable id '%s'",
+                                          line_no, raw.c_str())))) {
+          return bad;
+        }
+        continue;
       }
       record.id = static_cast<RecordId>(parsed);
     } else {

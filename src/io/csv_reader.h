@@ -25,6 +25,10 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
 struct CsvDataset {
   std::vector<std::string> attribute_names;
   std::vector<Record> records;
+  /// Malformed data rows dropped under skip_malformed_rows.
+  uint64_t skipped_rows = 0;
+  /// Reasons for the first skipped rows ("line 7: ..."), for reporting.
+  std::vector<std::string> skip_errors;
 };
 
 /// Options for ReadCsvDataset.
@@ -36,11 +40,16 @@ struct CsvReadOptions {
   /// Columns to use as attributes, in this order.  Empty = every
   /// non-id column in header order.
   std::vector<std::string> attribute_columns;
+  /// When true, a malformed data row (bad quoting, wrong field count,
+  /// unparsable id) is skipped and counted in CsvDataset::skipped_rows
+  /// instead of failing the whole read.  Header errors stay fatal.
+  bool skip_malformed_rows = false;
 };
 
 /// Reads a CSV file into records.  Returns IOError when the file cannot
 /// be opened, InvalidArgument on malformed rows (wrong field count,
-/// unparsable id, duplicate or missing requested columns).
+/// unparsable id, duplicate or missing requested columns) unless
+/// skip_malformed_rows degrades those to skip counts.
 Result<CsvDataset> ReadCsvDataset(const std::string& path,
                                   const CsvReadOptions& options = {});
 

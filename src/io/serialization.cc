@@ -1,10 +1,18 @@
 #include "src/io/serialization.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "src/common/crc32.h"
+#include "src/common/failpoint.h"
 #include "src/common/str.h"
 
 namespace cbvlink {
@@ -12,68 +20,229 @@ namespace cbvlink {
 namespace {
 
 constexpr uint32_t kMagic = 0x4c564243;  // "CBVL" little-endian
-constexpr uint32_t kVersion = 1;
 constexpr uint32_t kSnapshotMagic = 0x53564243;  // "CBVS" little-endian
-constexpr uint32_t kSnapshotVersion = 1;
+// Version 1: no CRC trailer, lengths trusted.  Version 2: CRC32C trailer
+// on top-level files, every length field capped and bounds-checked.
+// Writers emit version 2; readers accept both.
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
 
-void PutU32(std::ostream& out, uint32_t v) {
-  unsigned char buf[4];
+// Hard caps on untrusted length fields.  Each bounds the single largest
+// allocation a corrupt field can demand (the "allocation budget" of the
+// corruption-sweep tests) well above any legitimate value: the paper's
+// record vectors are 120–267 bits, schemas a handful of attributes.
+constexpr uint64_t kMaxBitsPerRecord = uint64_t{1} << 20;   // 128 KiB/record
+constexpr uint32_t kMaxStringBytes = uint32_t{1} << 20;     // 1 MiB
+constexpr uint32_t kMaxAttributes = 1u << 12;
+constexpr uint64_t kMaxRecordCount = uint64_t{1} << 33;
+constexpr uint64_t kMaxBucketCount = uint64_t{1} << 33;
+// When the stream size is unknown (non-seekable), reserve at most this
+// many elements up front; growth past it is pay-as-you-read.
+constexpr uint64_t kBlindReserveLimit = uint64_t{1} << 16;
+
+void EncodeU32(uint32_t v, unsigned char buf[4]) {
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
-  out.write(reinterpret_cast<const char*>(buf), 4);
 }
 
-void PutU64(std::ostream& out, uint64_t v) {
-  unsigned char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
-  out.write(reinterpret_cast<const char*>(buf), 8);
-}
+/// Stream writer that folds every written byte into a running CRC32C.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ostream& out) : out_(out) {}
 
-bool GetU32(std::istream& in, uint32_t* v) {
-  unsigned char buf[4];
-  if (!in.read(reinterpret_cast<char*>(buf), 4)) return false;
-  *v = 0;
-  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
-  return true;
-}
+  void Raw(const void* p, size_t n) {
+    crc_ = Crc32cExtend(crc_, p, n);
+    out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
 
-bool GetU64(std::istream& in, uint64_t* v) {
-  unsigned char buf[8];
-  if (!in.read(reinterpret_cast<char*>(buf), 8)) return false;
-  *v = 0;
-  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
-  return true;
-}
+  void U32(uint32_t v) {
+    unsigned char buf[4];
+    EncodeU32(v, buf);
+    Raw(buf, 4);
+  }
 
-void PutF64(std::ostream& out, double v) {
-  uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
+  void U64(uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    Raw(buf, 8);
+  }
 
-bool GetF64(std::istream& in, double* v) {
-  uint64_t bits = 0;
-  if (!GetU64(in, &bits)) return false;
-  std::memcpy(v, &bits, sizeof(bits));
-  return true;
-}
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
 
-void PutStr(std::ostream& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
 
-bool GetStr(std::istream& in, std::string* s) {
-  uint32_t size = 0;
-  if (!GetU32(in, &size)) return false;
-  s->resize(size);
-  return size == 0 ||
-         static_cast<bool>(in.read(s->data(), static_cast<std::streamsize>(size)));
-}
+  /// Appends the accumulated CRC (the trailer itself is not folded in).
+  void CrcTrailer() {
+    unsigned char buf[4];
+    EncodeU32(crc_, buf);
+    out_.write(reinterpret_cast<const char*>(buf), 4);
+  }
 
-}  // namespace
+ private:
+  std::ostream& out_;
+  uint32_t crc_ = kCrc32cInit;
+};
 
-Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
-                           std::ostream& out) {
+/// Stream reader that folds every consumed byte into a running CRC32C
+/// and validates length fields against hard caps and (for seekable
+/// streams) the bytes actually remaining.  Getters return false on
+/// failure; Error() then maps the failure to a Status: IOError for
+/// truncation, InvalidArgument for cap/bounds/CRC violations.
+class CrcReader {
+ public:
+  explicit CrcReader(std::istream& in) : in_(in) {
+    const std::istream::pos_type pos = in.tellg();
+    if (pos != std::istream::pos_type(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::istream::pos_type end = in.tellg();
+      if (end != std::istream::pos_type(-1) && end >= pos) {
+        remaining_ = static_cast<uint64_t>(end - pos);
+        bounded_ = true;
+      }
+      in.clear();
+      in.seekg(pos);
+    } else {
+      in.clear();
+    }
+  }
+
+  bool bounded() const { return bounded_; }
+
+  bool Raw(void* p, size_t n) {
+    if (failed_) return false;
+    if (bounded_ && n > remaining_) {
+      failed_ = true;
+      return false;
+    }
+    if (!in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n))) {
+      failed_ = true;
+      return false;
+    }
+    if (bounded_) remaining_ -= n;
+    crc_ = Crc32cExtend(crc_, p, n);
+    return true;
+  }
+
+  bool U32(uint32_t* v) {
+    unsigned char buf[4];
+    if (!Raw(buf, 4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    unsigned char buf[8];
+    if (!Raw(buf, 8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return true;
+  }
+
+  bool F64(double* v) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  /// Length-prefixed string; the length is capped and checked against
+  /// the remaining stream before any allocation.
+  bool Str(std::string* s) {
+    uint32_t size = 0;
+    if (!U32(&size)) return false;
+    if (size > kMaxStringBytes) {
+      return Invalid(StrFormat("string length %u exceeds cap %u", size,
+                               kMaxStringBytes));
+    }
+    if (bounded_ && size > remaining_) {
+      failed_ = true;
+      return false;
+    }
+    s->resize(size);
+    return size == 0 || Raw(s->data(), size);
+  }
+
+  /// Validates a just-read count of items costing at least `item_bytes`
+  /// each: rejects counts over `max_count` (InvalidArgument) and counts
+  /// whose payload cannot fit in the remaining stream (truncation).
+  bool CheckCount(uint64_t count, uint64_t max_count, uint64_t item_bytes,
+                  const char* what) {
+    if (count > max_count) {
+      return Invalid(StrFormat("%s count %llu exceeds cap %llu", what,
+                               static_cast<unsigned long long>(count),
+                               static_cast<unsigned long long>(max_count)));
+    }
+    if (bounded_ && item_bytes != 0 && count > remaining_ / item_bytes) {
+      failed_ = true;  // declares more payload than the stream holds
+      return false;
+    }
+    return true;
+  }
+
+  /// How many elements to reserve for a validated count: the full count
+  /// when the stream bound proves it fits, a fixed limit otherwise.
+  size_t ReserveHint(uint64_t count) const {
+    return static_cast<size_t>(
+        bounded_ ? count : std::min(count, kBlindReserveLimit));
+  }
+
+  /// Reads and checks the CRC trailer (the stored CRC is not folded
+  /// into the running one).
+  bool VerifyCrcTrailer() {
+    const uint32_t expected = crc_;
+    unsigned char buf[4];
+    if (failed_ || (bounded_ && remaining_ < 4) ||
+        !in_.read(reinterpret_cast<char*>(buf), 4)) {
+      failed_ = true;
+      return false;
+    }
+    if (bounded_) remaining_ -= 4;
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<uint32_t>(buf[i]) << (8 * i);
+    }
+    if (stored != expected) return Invalid("checksum mismatch");
+    return true;
+  }
+
+  /// The Status for the first recorded failure, contextualized.
+  Status Error(const char* context) const {
+    if (!invalid_.empty()) {
+      return Status::InvalidArgument(invalid_ + " in " + context);
+    }
+    return Status::IOError(std::string("truncated ") + context);
+  }
+
+ private:
+  bool Invalid(std::string why) {
+    failed_ = true;
+    if (invalid_.empty()) invalid_ = std::move(why);
+    return false;
+  }
+
+  std::istream& in_;
+  uint32_t crc_ = kCrc32cInit;
+  uint64_t remaining_ = 0;
+  bool bounded_ = false;
+  bool failed_ = false;
+  std::string invalid_;
+};
+
+// ---------------------------------------------------------------------
+// Encoded-record block (shared between standalone files and the nested
+// block inside snapshots; the CRC trailer exists only at top level).
+
+Status WriteEncodedRecordsBody(CrcWriter& w,
+                               const std::vector<EncodedRecord>& records) {
   const uint64_t bits = records.empty() ? 0 : records.front().bits.size();
   for (const EncodedRecord& r : records) {
     if (r.bits.size() != bits) {
@@ -83,68 +252,202 @@ Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
                     static_cast<unsigned long long>(bits)));
     }
   }
-  PutU32(out, kMagic);
-  PutU32(out, kVersion);
-  PutU64(out, records.size());
-  PutU64(out, bits);
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U64(records.size());
+  w.U64(bits);
   for (const EncodedRecord& r : records) {
-    PutU64(out, r.id);
-    for (uint64_t word : r.bits.words()) PutU64(out, word);
+    w.U64(r.id);
+    for (uint64_t word : r.bits.words()) w.U64(word);
   }
+  return Status::OK();
+}
+
+Status ReadEncodedRecordsBody(CrcReader& r, std::vector<EncodedRecord>* out,
+                              uint32_t* version_out) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  uint64_t bits = 0;
+  if (!r.U32(&magic)) return r.Error("header");
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a cbvlink encoded-record file");
+  }
+  if (!r.U32(&version)) return r.Error("header");
+  if (version != kVersionLegacy && version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported version %u", version));
+  }
+  *version_out = version;
+  if (!r.U64(&count) || !r.U64(&bits)) return r.Error("header");
+  if (bits > kMaxBitsPerRecord) {
+    return Status::InvalidArgument(
+        StrFormat("record width %llu bits exceeds cap %llu",
+                  static_cast<unsigned long long>(bits),
+                  static_cast<unsigned long long>(kMaxBitsPerRecord)));
+  }
+  const size_t words_per_record = (static_cast<size_t>(bits) + 63) / 64;
+  const uint64_t record_bytes = 8 + 8 * words_per_record;
+  if (!r.CheckCount(count, kMaxRecordCount, record_bytes, "record")) {
+    return r.Error("record count");
+  }
+  out->reserve(r.ReserveHint(count));
+  const size_t tail_bits = static_cast<size_t>(bits) & 63;
+  std::vector<uint64_t> words;
+  for (uint64_t i = 0; i < count; ++i) {
+    EncodedRecord rec;
+    if (!r.U64(&rec.id)) {
+      return r.Error(
+          StrFormat("record %llu", static_cast<unsigned long long>(i))
+              .c_str());
+    }
+    words.assign(words_per_record, 0);
+    for (size_t w = 0; w < words_per_record; ++w) {
+      if (!r.U64(&words[w])) {
+        return r.Error(
+            StrFormat("record %llu", static_cast<unsigned long long>(i))
+                .c_str());
+      }
+    }
+    // Padding bits past the declared width must be zero — BitVector's
+    // equality and popcount invariants depend on it, and a set padding
+    // bit can only come from corruption.
+    if (tail_bits != 0 && !words.empty() &&
+        (words.back() >> tail_bits) != 0) {
+      return Status::InvalidArgument(
+          StrFormat("record %llu has set bits past its %llu-bit width",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(bits)));
+    }
+    rec.bits = BitVector::FromWords(static_cast<size_t>(bits), words);
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Atomic file persistence: write path.tmp, fsync, (optionally) hard-link
+// the previous path to path.bak, rename, fsync the directory.  The
+// rename is the commit point; a crash at any earlier step leaves the
+// previous file untouched.
+
+Status AtomicWriteFile(const std::string& path, const std::string& payload,
+                       bool keep_backup) {
+  const std::string tmp = AtomicTempPath(path);
+  CBVLINK_FAILPOINT("io.atomic.open");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+
+  size_t limit = payload.size();
+  if (Failpoints::AnyActive()) {
+    const FailpointHit hit = Failpoints::Eval("io.atomic.write");
+    if (hit.action == FailpointAction::kError) {
+      ::close(fd);  // tmp left behind, as a crash would leave it
+      return Status::IOError("failpoint 'io.atomic.write' injected failure");
+    }
+    if (hit.action == FailpointAction::kShortWrite) {
+      limit = std::min<size_t>(limit, static_cast<size_t>(hit.param));
+    }
+  }
+
+  const char* p = payload.data();
+  size_t left = limit;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IOError(
+          StrFormat("write %s: %s", tmp.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return st;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (limit != payload.size()) {
+    ::close(fd);  // simulated torn write: partial tmp persisted
+    return Status::IOError(
+        "failpoint 'io.atomic.write' injected short write");
+  }
+
+  {
+    const Status st = FailpointInject("io.atomic.fsync");
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = Status::IOError(
+        StrFormat("fsync %s: %s", tmp.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+
+  if (keep_backup && ::access(path.c_str(), F_OK) == 0) {
+    // Best-effort: the previous good file survives the rename as .bak,
+    // giving RestoreFromFile a fallback against later primary bit rot.
+    const std::string bak = SnapshotBackupPath(path);
+    ::unlink(bak.c_str());
+    (void)::link(path.c_str(), bak.c_str());
+  }
+
+  CBVLINK_FAILPOINT("io.atomic.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(StrFormat("rename %s -> %s: %s", tmp.c_str(),
+                                     path.c_str(), std::strerror(errno)));
+  }
+
+  // Make the rename itself durable (best-effort; not all filesystems
+  // support directory fsync).
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
+
+std::string SnapshotBackupPath(const std::string& path) {
+  return path + ".bak";
+}
+
+Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
+                           std::ostream& out) {
+  CBVLINK_FAILPOINT("io.write_records");
+  CrcWriter w(out);
+  CBVLINK_RETURN_NOT_OK(WriteEncodedRecordsBody(w, records));
+  w.CrcTrailer();
   if (!out) return Status::IOError("stream write failed");
   return Status::OK();
 }
 
 Status WriteEncodedRecordsToFile(const std::vector<EncodedRecord>& records,
                                  const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
-  return WriteEncodedRecords(records, out);
+  std::ostringstream buffer;
+  CBVLINK_RETURN_NOT_OK(WriteEncodedRecords(records, buffer));
+  return AtomicWriteFile(path, buffer.str(), /*keep_backup=*/false);
 }
 
 Result<std::vector<EncodedRecord>> ReadEncodedRecords(std::istream& in) {
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  uint64_t count = 0;
-  uint64_t bits = 0;
-  if (!GetU32(in, &magic) || !GetU32(in, &version) || !GetU64(in, &count) ||
-      !GetU64(in, &bits)) {
-    return Status::IOError("truncated header");
-  }
-  if (magic != kMagic) {
-    return Status::InvalidArgument("not a cbvlink encoded-record file");
-  }
-  if (version != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("unsupported version %u", version));
-  }
-  const size_t words_per_record = (static_cast<size_t>(bits) + 63) / 64;
+  CrcReader r(in);
   std::vector<EncodedRecord> records;
-  records.reserve(static_cast<size_t>(count));
-  for (uint64_t i = 0; i < count; ++i) {
-    EncodedRecord r;
-    if (!GetU64(in, &r.id)) {
-      return Status::IOError(
-          StrFormat("truncated at record %llu",
-                    static_cast<unsigned long long>(i)));
-    }
-    r.bits = BitVector(static_cast<size_t>(bits));
-    for (size_t w = 0; w < words_per_record; ++w) {
-      uint64_t word = 0;
-      if (!GetU64(in, &word)) {
-        return Status::IOError(
-            StrFormat("truncated inside record %llu",
-                      static_cast<unsigned long long>(i)));
-      }
-      // Reconstruct bit by bit within the word to stay independent of
-      // BitVector's internal layout guarantees.
-      for (size_t b = 0; b < 64; ++b) {
-        const size_t pos = w * 64 + b;
-        if (pos >= bits) break;
-        if ((word >> b) & 1) r.bits.Set(pos);
-      }
-    }
-    records.push_back(std::move(r));
+  uint32_t version = 0;
+  Status st = ReadEncodedRecordsBody(r, &records, &version);
+  if (!st.ok()) return st;
+  if (version >= kVersion && !r.VerifyCrcTrailer()) {
+    return r.Error("record-file checksum");
   }
   return records;
 }
@@ -158,119 +461,133 @@ Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
 
 Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
                             std::ostream& out) {
-  PutU32(out, kSnapshotMagic);
-  PutU32(out, kSnapshotVersion);
-  PutU64(out, snapshot.seed);
-  PutU64(out, snapshot.record_K);
-  PutU64(out, snapshot.record_theta);
-  PutF64(out, snapshot.delta);
-  PutF64(out, snapshot.sizing_max_collisions);
-  PutF64(out, snapshot.sizing_confidence_ratio);
-  PutU64(out, snapshot.num_shards);
-  PutU64(out, snapshot.max_bucket_size);
-  PutU32(out, snapshot.overflow_policy);
-  PutStr(out, snapshot.rule_text);
-  PutU32(out, static_cast<uint32_t>(snapshot.attributes.size()));
+  CBVLINK_FAILPOINT("io.write_snapshot");
+  CrcWriter w(out);
+  w.U32(kSnapshotMagic);
+  w.U32(kVersion);
+  w.U64(snapshot.seed);
+  w.U64(snapshot.record_K);
+  w.U64(snapshot.record_theta);
+  w.F64(snapshot.delta);
+  w.F64(snapshot.sizing_max_collisions);
+  w.F64(snapshot.sizing_confidence_ratio);
+  w.U64(snapshot.num_shards);
+  w.U64(snapshot.max_bucket_size);
+  w.U32(snapshot.overflow_policy);
+  w.Str(snapshot.rule_text);
+  w.U32(static_cast<uint32_t>(snapshot.attributes.size()));
   for (const SnapshotAttribute& attr : snapshot.attributes) {
-    PutStr(out, attr.name);
-    PutStr(out, attr.alphabet_symbols);
-    PutU64(out, attr.qgram_q);
-    PutU32(out, attr.qgram_pad ? 1 : 0);
+    w.Str(attr.name);
+    w.Str(attr.alphabet_symbols);
+    w.U64(attr.qgram_q);
+    w.U32(attr.qgram_pad ? 1 : 0);
   }
-  PutU32(out, static_cast<uint32_t>(snapshot.expected_qgrams.size()));
-  for (double b : snapshot.expected_qgrams) PutF64(out, b);
+  w.U32(static_cast<uint32_t>(snapshot.expected_qgrams.size()));
+  for (double b : snapshot.expected_qgrams) w.F64(b);
   // The record payload reuses the standalone encoded-record block format,
-  // nested header included, so tooling can share the reader.
-  CBVLINK_RETURN_NOT_OK(WriteEncodedRecords(snapshot.records, out));
-  PutU64(out, snapshot.buckets.size());
+  // nested header included, so tooling can share the reader.  The
+  // snapshot's single trailing CRC covers the nested block too.
+  CBVLINK_RETURN_NOT_OK(WriteEncodedRecordsBody(w, snapshot.records));
+  w.U64(snapshot.buckets.size());
   for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
-    PutU64(out, bucket.group);
-    PutU64(out, bucket.key);
-    PutU32(out, bucket.overflowed ? 1 : 0);
-    PutU64(out, bucket.ids.size());
-    for (RecordId id : bucket.ids) PutU64(out, id);
+    w.U64(bucket.group);
+    w.U64(bucket.key);
+    w.U32(bucket.overflowed ? 1 : 0);
+    w.U64(bucket.ids.size());
+    for (RecordId id : bucket.ids) w.U64(id);
   }
+  w.CrcTrailer();
   if (!out) return Status::IOError("stream write failed");
   return Status::OK();
 }
 
 Status WriteServiceSnapshotToFile(const ServiceSnapshot& snapshot,
                                   const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
-  return WriteServiceSnapshot(snapshot, out);
+  std::ostringstream buffer;
+  CBVLINK_RETURN_NOT_OK(WriteServiceSnapshot(snapshot, buffer));
+  return AtomicWriteFile(path, buffer.str(), /*keep_backup=*/true);
 }
 
 Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in) {
+  CrcReader r(in);
   uint32_t magic = 0;
   uint32_t version = 0;
-  if (!GetU32(in, &magic) || !GetU32(in, &version)) {
-    return Status::IOError("truncated snapshot header");
-  }
+  if (!r.U32(&magic)) return r.Error("snapshot header");
   if (magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a cbvlink service snapshot");
   }
-  if (version != kSnapshotVersion) {
+  if (!r.U32(&version)) return r.Error("snapshot header");
+  if (version != kVersionLegacy && version != kVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported snapshot version %u", version));
   }
   ServiceSnapshot snapshot;
   uint32_t policy = 0;
-  if (!GetU64(in, &snapshot.seed) || !GetU64(in, &snapshot.record_K) ||
-      !GetU64(in, &snapshot.record_theta) || !GetF64(in, &snapshot.delta) ||
-      !GetF64(in, &snapshot.sizing_max_collisions) ||
-      !GetF64(in, &snapshot.sizing_confidence_ratio) ||
-      !GetU64(in, &snapshot.num_shards) ||
-      !GetU64(in, &snapshot.max_bucket_size) || !GetU32(in, &policy) ||
-      !GetStr(in, &snapshot.rule_text)) {
-    return Status::IOError("truncated snapshot configuration");
+  if (!r.U64(&snapshot.seed) || !r.U64(&snapshot.record_K) ||
+      !r.U64(&snapshot.record_theta) || !r.F64(&snapshot.delta) ||
+      !r.F64(&snapshot.sizing_max_collisions) ||
+      !r.F64(&snapshot.sizing_confidence_ratio) ||
+      !r.U64(&snapshot.num_shards) || !r.U64(&snapshot.max_bucket_size) ||
+      !r.U32(&policy) || !r.Str(&snapshot.rule_text)) {
+    return r.Error("snapshot configuration");
   }
   snapshot.overflow_policy = policy;
   uint32_t num_attributes = 0;
-  if (!GetU32(in, &num_attributes)) {
-    return Status::IOError("truncated snapshot schema");
+  if (!r.U32(&num_attributes) ||
+      // Each attribute costs at least two empty strings + u64 + u32.
+      !r.CheckCount(num_attributes, kMaxAttributes, 4 + 4 + 8 + 4,
+                    "attribute")) {
+    return r.Error("snapshot schema");
   }
   snapshot.attributes.resize(num_attributes);
   for (SnapshotAttribute& attr : snapshot.attributes) {
     uint32_t pad = 0;
-    if (!GetStr(in, &attr.name) || !GetStr(in, &attr.alphabet_symbols) ||
-        !GetU64(in, &attr.qgram_q) || !GetU32(in, &pad)) {
-      return Status::IOError("truncated snapshot schema");
+    if (!r.Str(&attr.name) || !r.Str(&attr.alphabet_symbols) ||
+        !r.U64(&attr.qgram_q) || !r.U32(&pad)) {
+      return r.Error("snapshot schema");
     }
     attr.qgram_pad = pad != 0;
   }
   uint32_t num_expected = 0;
-  if (!GetU32(in, &num_expected)) {
-    return Status::IOError("truncated snapshot expected-qgram block");
+  if (!r.U32(&num_expected) ||
+      !r.CheckCount(num_expected, kMaxAttributes, 8, "expected-qgram")) {
+    return r.Error("snapshot expected-qgram block");
   }
   snapshot.expected_qgrams.resize(num_expected);
   for (double& b : snapshot.expected_qgrams) {
-    if (!GetF64(in, &b)) {
-      return Status::IOError("truncated snapshot expected-qgram block");
-    }
+    if (!r.F64(&b)) return r.Error("snapshot expected-qgram block");
   }
-  Result<std::vector<EncodedRecord>> records = ReadEncodedRecords(in);
-  if (!records.ok()) return records.status();
-  snapshot.records = std::move(records).value();
+  uint32_t nested_version = 0;
+  Status records_st =
+      ReadEncodedRecordsBody(r, &snapshot.records, &nested_version);
+  if (!records_st.ok()) return records_st;
   uint64_t num_buckets = 0;
-  if (!GetU64(in, &num_buckets)) {
-    return Status::IOError("truncated snapshot bucket block");
+  if (!r.U64(&num_buckets) ||
+      // Minimum bucket: group + key + flag + empty id list.
+      !r.CheckCount(num_buckets, kMaxBucketCount, 8 + 8 + 4 + 8, "bucket")) {
+    return r.Error("snapshot bucket block");
   }
-  snapshot.buckets.resize(static_cast<size_t>(num_buckets));
-  for (IndexBucketSnapshot& bucket : snapshot.buckets) {
+  snapshot.buckets.reserve(r.ReserveHint(num_buckets));
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    IndexBucketSnapshot bucket;
     uint32_t overflowed = 0;
     uint64_t count = 0;
-    if (!GetU64(in, &bucket.group) || !GetU64(in, &bucket.key) ||
-        !GetU32(in, &overflowed) || !GetU64(in, &count)) {
-      return Status::IOError("truncated snapshot bucket block");
+    if (!r.U64(&bucket.group) || !r.U64(&bucket.key) ||
+        !r.U32(&overflowed) || !r.U64(&count) ||
+        !r.CheckCount(count, kMaxRecordCount, 8, "bucket id")) {
+      return r.Error("snapshot bucket block");
     }
     bucket.overflowed = overflowed != 0;
-    bucket.ids.resize(static_cast<size_t>(count));
-    for (RecordId& id : bucket.ids) {
-      if (!GetU64(in, &id)) {
-        return Status::IOError("truncated snapshot bucket block");
-      }
+    bucket.ids.reserve(r.ReserveHint(count));
+    for (uint64_t j = 0; j < count; ++j) {
+      RecordId id = 0;
+      if (!r.U64(&id)) return r.Error("snapshot bucket block");
+      bucket.ids.push_back(id);
     }
+    snapshot.buckets.push_back(std::move(bucket));
+  }
+  if (version >= kVersion && !r.VerifyCrcTrailer()) {
+    return r.Error("snapshot checksum");
   }
   return snapshot;
 }

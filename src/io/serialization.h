@@ -7,9 +7,10 @@
 // (id, bits) entries, so a 120-bit NCVR record costs 8 + 16 bytes on
 // disk/wire.
 //
-// Layout (little-endian):
+// Layout (little-endian), format version 2:
 //   u32 magic 'CBVL'   u32 version   u64 num_records   u64 bits_per_record
 //   repeated: u64 id, ceil(bits/64) * u64 words
+//   u32 CRC32C over every preceding byte   (top-level files only)
 //
 // A *service snapshot* ('CBVS') additionally persists everything a
 // long-lived linkage service needs to restart warm: the encoder/linker
@@ -17,6 +18,25 @@
 // enough to rebuild the random components identically), the service's
 // sharding options, the encoded records, and the blocking-table bucket
 // contents.  See ServiceSnapshot below.
+//
+// Durability contract (version 2):
+//  * Every top-level file ends in a CRC32C trailer (src/common/crc32.h)
+//    over all preceding bytes, so bit rot and torn writes are detected
+//    before any content is trusted.  Readers still accept version-1
+//    files (no trailer).
+//  * Every length field is validated against a hard cap and, when the
+//    stream is seekable, against the bytes actually remaining — a
+//    corrupt count can never demand an unbounded allocation.
+//  * The *ToFile writers are atomic: they write `path.tmp`, fsync,
+//    hard-link the previous `path` to `path.bak` (snapshots only), and
+//    rename over `path`.  A crash at any point leaves the previous good
+//    file intact; `path.tmp` is never trusted by readers because the
+//    rename is the commit point.
+//
+// Fault injection: the writers hit the failpoints `io.write_records`,
+// `io.write_snapshot`, `io.atomic.open`, `io.atomic.write` (supports
+// short_write), `io.atomic.fsync`, and `io.atomic.rename`
+// (src/common/failpoint.h).
 
 #ifndef CBVLINK_IO_SERIALIZATION_H_
 #define CBVLINK_IO_SERIALIZATION_H_
@@ -30,17 +50,28 @@
 
 namespace cbvlink {
 
-/// Writes encoded records (all of equal width) to a stream.  Returns
-/// InvalidArgument on width mismatches, IOError on stream failure.
+/// Where an atomic *ToFile write stages its data before the commit
+/// rename (`path` + ".tmp").
+std::string AtomicTempPath(const std::string& path);
+
+/// Where the atomic snapshot writer hard-links the previous good
+/// snapshot (`path` + ".bak") — the fallback candidate for
+/// LinkageService::RestoreFromFile when the primary is corrupt.
+std::string SnapshotBackupPath(const std::string& path);
+
+/// Writes encoded records (all of equal width) to a stream, ending in a
+/// CRC32C trailer.  Returns InvalidArgument on width mismatches, IOError
+/// on stream failure.
 Status WriteEncodedRecords(const std::vector<EncodedRecord>& records,
                            std::ostream& out);
 
-/// Writes to a file path.
+/// Writes to a file path atomically (tmp + fsync + rename).
 Status WriteEncodedRecordsToFile(const std::vector<EncodedRecord>& records,
                                  const std::string& path);
 
-/// Reads an encoded record set.  Returns InvalidArgument on a corrupt or
-/// foreign header and IOError on truncated input.
+/// Reads an encoded record set (version 1 or 2).  Returns
+/// InvalidArgument on a corrupt or foreign header, an over-cap length
+/// field, or a checksum mismatch, and IOError on truncated input.
 Result<std::vector<EncodedRecord>> ReadEncodedRecords(std::istream& in);
 
 /// Reads from a file path.
@@ -95,16 +126,22 @@ struct ServiceSnapshot {
   std::vector<IndexBucketSnapshot> buckets;
 };
 
-/// Writes a service snapshot.  Returns IOError on stream failure.
+/// Writes a service snapshot, ending in a CRC32C trailer.  Returns
+/// IOError on stream failure.
 Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
                             std::ostream& out);
 
-/// Writes to a file path.
+/// Writes to a file path atomically: the snapshot is staged in
+/// AtomicTempPath(path), fsynced, the previous snapshot (if any) is
+/// hard-linked to SnapshotBackupPath(path), and the stage is renamed
+/// over `path`.  A crash at any step never loses the previous good
+/// snapshot.
 Status WriteServiceSnapshotToFile(const ServiceSnapshot& snapshot,
                                   const std::string& path);
 
-/// Reads a service snapshot.  Returns InvalidArgument on a corrupt or
-/// foreign header and IOError on truncated input.
+/// Reads a service snapshot (version 1 or 2).  Returns InvalidArgument
+/// on a corrupt or foreign header, an over-cap length field, or a
+/// checksum mismatch, and IOError on truncated input.
 Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in);
 
 /// Reads from a file path.

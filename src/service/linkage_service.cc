@@ -1,8 +1,11 @@
 #include "src/service/linkage_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
+#include <unordered_set>
 
+#include "src/common/failpoint.h"
 #include "src/common/stopwatch.h"
 #include "src/lsh/params.h"
 #include "src/rules/rule_parser.h"
@@ -33,12 +36,14 @@ ConcurrentVectorStore::ConcurrentVectorStore(size_t num_shards) {
 }
 
 void ConcurrentVectorStore::Add(const EncodedRecord& record) {
+  CBVLINK_FAILPOINT_DELAY("store.add");
   Shard& shard = *shards_[ShardOf(record.id)];
   std::unique_lock lock(shard.mu);
   shard.vectors.insert_or_assign(record.id, record.bits);
 }
 
 bool ConcurrentVectorStore::Find(RecordId id, BitVector* out) const {
+  CBVLINK_FAILPOINT_DELAY("store.find");
   const Shard& shard = *shards_[ShardOf(id)];
   std::shared_lock lock(shard.mu);
   const auto it = shard.vectors.find(id);
@@ -81,7 +86,12 @@ LinkageService::LinkageService(CbvHbConfig config,
                                LinkageServiceOptions options)
     : config_(std::move(config)),
       options_(options),
-      store_(options.num_shards) {}
+      store_(options.num_shards) {
+  // Normalize eagerly so options(), snapshots, and the sharded
+  // structures all agree on the effective shard count — Restore()
+  // validates the persisted value as a power of two.
+  options_.num_shards = RoundUpPowerOfTwo(std::max<size_t>(options.num_shards, 1));
+}
 
 Result<std::unique_ptr<LinkageService>> LinkageService::Create(
     CbvHbConfig config, LinkageServiceOptions options,
@@ -151,6 +161,7 @@ void LinkageService::InsertEncoded(const EncodedRecord& record) {
 }
 
 Status LinkageService::Insert(const Record& record) {
+  CBVLINK_FAILPOINT("service.insert");
   Stopwatch sw;
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
@@ -208,6 +219,7 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
 
 Status LinkageService::Match(const Record& record,
                              std::vector<IdPair>* out) const {
+  CBVLINK_FAILPOINT("service.match");
   Stopwatch sw;
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
@@ -219,6 +231,8 @@ Status LinkageService::Match(const Record& record,
 
 Status LinkageService::MatchAndInsert(const Record& record,
                                       std::vector<IdPair>* out) {
+  CBVLINK_FAILPOINT("service.match");
+  CBVLINK_FAILPOINT("service.insert");
   Stopwatch sw;
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
@@ -289,8 +303,13 @@ ServiceSnapshot LinkageService::ExportSnapshot() const {
   snapshot.num_shards = options_.num_shards;
   snapshot.max_bucket_size = options_.max_bucket_size;
   snapshot.overflow_policy = static_cast<uint32_t>(options_.overflow_policy);
-  snapshot.records = store_.Export();
+  // Buckets before records: Insert() stores the vector before indexing
+  // it, so every id visible in a bucket here is already in the store —
+  // the later record export can only be a superset, and Restore()'s
+  // bucket-ids-are-stored invariant holds even when inserts race the
+  // snapshot.
   snapshot.buckets = index_->ExportBuckets();
+  snapshot.records = store_.Export();
   return snapshot;
 }
 
@@ -302,8 +321,13 @@ Status LinkageService::SaveSnapshotToFile(const std::string& path) const {
   return WriteServiceSnapshotToFile(ExportSnapshot(), path);
 }
 
-Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
-    const ServiceSnapshot& snapshot) {
+namespace {
+
+/// Cross-checks a decoded snapshot before any of it is acted on: a
+/// snapshot that passed the CRC can still be semantically inconsistent
+/// (hand-edited, produced by a buggy writer, or a v1 file with flipped
+/// bits predating checksums).
+Status ValidateSnapshot(const ServiceSnapshot& snapshot) {
   if (snapshot.attributes.empty()) {
     return Status::InvalidArgument("snapshot has no attributes");
   }
@@ -311,6 +335,60 @@ Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
     return Status::InvalidArgument(
         "snapshot expected_qgrams/attribute count mismatch");
   }
+  for (double b : snapshot.expected_qgrams) {
+    if (!std::isfinite(b) || b <= 0) {
+      return Status::InvalidArgument(
+          "snapshot expected q-gram counts must be finite and positive");
+    }
+  }
+  if (!std::isfinite(snapshot.delta) || snapshot.delta <= 0 ||
+      snapshot.delta >= 1) {
+    return Status::InvalidArgument(
+        "snapshot delta must be finite and in (0, 1)");
+  }
+  if (!std::isfinite(snapshot.sizing_max_collisions) ||
+      snapshot.sizing_max_collisions <= 0) {
+    return Status::InvalidArgument(
+        "snapshot sizing_max_collisions must be finite and positive");
+  }
+  if (!std::isfinite(snapshot.sizing_confidence_ratio) ||
+      snapshot.sizing_confidence_ratio <= 0 ||
+      snapshot.sizing_confidence_ratio > 1) {
+    return Status::InvalidArgument(
+        "snapshot sizing_confidence_ratio must be finite and in (0, 1]");
+  }
+  if (snapshot.num_shards == 0 ||
+      (snapshot.num_shards & (snapshot.num_shards - 1)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot num_shards must be a nonzero power of two");
+  }
+  if (snapshot.overflow_policy > 1) {
+    return Status::InvalidArgument("snapshot overflow policy unknown");
+  }
+  std::unordered_set<RecordId> stored;
+  stored.reserve(snapshot.records.size());
+  for (const EncodedRecord& record : snapshot.records) {
+    if (!stored.insert(record.id).second) {
+      return Status::InvalidArgument(
+          "snapshot contains duplicate record ids");
+    }
+  }
+  for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
+    for (RecordId id : bucket.ids) {
+      if (stored.find(id) == stored.end()) {
+        return Status::InvalidArgument(
+            "snapshot bucket references a record id that is not stored");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
+    const ServiceSnapshot& snapshot) {
+  CBVLINK_RETURN_NOT_OK(ValidateSnapshot(snapshot));
   Result<Rule> rule = ParseRule(snapshot.rule_text);
   if (!rule.ok()) return rule.status();
 
@@ -364,9 +442,34 @@ Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
 
 Result<std::unique_ptr<LinkageService>> LinkageService::RestoreFromFile(
     const std::string& path) {
-  Result<ServiceSnapshot> snapshot = ReadServiceSnapshotFromFile(path);
-  if (!snapshot.ok()) return snapshot.status();
-  return Restore(snapshot.value());
+  Status primary_error;
+  {
+    Result<ServiceSnapshot> snapshot = ReadServiceSnapshotFromFile(path);
+    if (snapshot.ok()) {
+      Result<std::unique_ptr<LinkageService>> service =
+          Restore(snapshot.value());
+      if (service.ok()) return service;
+      primary_error = service.status();
+    } else {
+      primary_error = snapshot.status();
+    }
+  }
+  // Primary unreadable or invalid: the atomic saver keeps the previous
+  // good snapshot hard-linked at path.bak — the newest committed state
+  // that can still be valid.  (path.tmp is deliberately not a candidate:
+  // rename is the commit point, so tmp contents were never committed.)
+  Result<ServiceSnapshot> backup =
+      ReadServiceSnapshotFromFile(SnapshotBackupPath(path));
+  if (backup.ok()) {
+    Result<std::unique_ptr<LinkageService>> service =
+        Restore(backup.value());
+    if (service.ok()) {
+      service.value()->restore_fallbacks_.fetch_add(
+          1, std::memory_order_relaxed);
+      return service;
+    }
+  }
+  return primary_error;
 }
 
 ServiceMetrics LinkageService::metrics() const {
@@ -378,6 +481,8 @@ ServiceMetrics LinkageService::metrics() const {
   m.comparisons = comparisons_.load(std::memory_order_relaxed);
   m.matches = matches_.load(std::memory_order_relaxed);
   m.scan_fallbacks = scan_fallbacks_.load(std::memory_order_relaxed);
+  m.restore_fallbacks = restore_fallbacks_.load(std::memory_order_relaxed);
+  m.skipped_rows = skipped_rows_.load(std::memory_order_relaxed);
   m.dropped_entries = index_->dropped_entries();
   m.insert_seconds =
       static_cast<double>(insert_nanos_.load(std::memory_order_relaxed)) * 1e-9;

@@ -67,6 +67,11 @@ struct ServiceMetrics {
   uint64_t matches = 0;
   uint64_t scan_fallbacks = 0;
   uint64_t dropped_entries = 0;
+  /// 1 when RestoreFromFile served this process from the .bak snapshot
+  /// because the primary was corrupt.
+  uint64_t restore_fallbacks = 0;
+  /// Malformed input rows the feeding layer skipped (RecordSkippedRows).
+  uint64_t skipped_rows = 0;
   /// CPU-side time summed across calls (and threads, for batches).
   double insert_seconds = 0;
   double query_seconds = 0;
@@ -127,9 +132,19 @@ class LinkageService {
 
   /// Rebuilds a service from a snapshot: the encoder and LSH family are
   /// reproduced from the persisted configuration and seed, the store and
-  /// blocking tables are loaded from the persisted data.
+  /// blocking tables are loaded from the persisted data.  The snapshot
+  /// is semantically validated first (finite parameters, power-of-two
+  /// num_shards, known overflow policy, unique record ids, every bucket
+  /// id backed by a stored record, record widths matching the rebuilt
+  /// encoder) — InvalidArgument on any violation.
   static Result<std::unique_ptr<LinkageService>> Restore(
       const ServiceSnapshot& snapshot);
+
+  /// Restore from `path`; when the primary file is corrupt or invalid,
+  /// falls back to the backup the atomic saver keeps at
+  /// SnapshotBackupPath(path) (metrics().restore_fallbacks records the
+  /// fallback).  `path.tmp` is never trusted — rename is the commit
+  /// point.  Returns the primary's error when both fail.
   static Result<std::unique_ptr<LinkageService>> RestoreFromFile(
       const std::string& path);
 
@@ -159,6 +174,13 @@ class LinkageService {
 
   /// A point-in-time copy of the counters.
   ServiceMetrics metrics() const;
+
+  /// Lets the feeding layer (e.g. the serve CLI) account malformed input
+  /// rows it skipped, so operational dashboards see them next to the
+  /// serving counters.
+  void RecordSkippedRows(uint64_t n) {
+    skipped_rows_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   size_t size() const { return store_.size(); }
   size_t blocking_groups() const { return index_->L(); }
@@ -195,6 +217,8 @@ class LinkageService {
   mutable std::atomic<uint64_t> comparisons_{0};
   mutable std::atomic<uint64_t> matches_{0};
   mutable std::atomic<uint64_t> scan_fallbacks_{0};
+  mutable std::atomic<uint64_t> restore_fallbacks_{0};
+  mutable std::atomic<uint64_t> skipped_rows_{0};
   mutable std::atomic<uint64_t> insert_nanos_{0};
   mutable std::atomic<uint64_t> query_nanos_{0};
 };

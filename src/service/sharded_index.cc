@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "src/common/failpoint.h"
+
 namespace cbvlink {
 
 namespace {
@@ -38,6 +40,7 @@ Result<ShardedHammingIndex> ShardedHammingIndex::Create(
 }
 
 void ShardedHammingIndex::Insert(const EncodedRecord& record) {
+  CBVLINK_FAILPOINT_DELAY("index.insert");
   // Keys are computed lock-free; each group then takes exactly one
   // exclusive shard lock.
   for (size_t l = 0; l < family_.L(); ++l) {
@@ -57,6 +60,7 @@ void ShardedHammingIndex::Insert(const EncodedRecord& record) {
 void ShardedHammingIndex::Collect(const BitVector& probe,
                                   std::vector<RecordId>* out,
                                   bool* saw_overflow) const {
+  CBVLINK_FAILPOINT_DELAY("index.collect");
   if (saw_overflow != nullptr) *saw_overflow = false;
   for (size_t l = 0; l < family_.L(); ++l) {
     const uint64_t key = family_.Key(probe, l);

@@ -1,0 +1,46 @@
+#include "src/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cbvlink {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // RFC 3720 / iSCSI CRC32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // 32 zero bytes (iSCSI test vector).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  // 32 0xFF bytes (iSCSI test vector).
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32Test, ExtendIsChunkingIndependent) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(kCrc32cInit, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32Test, DetectsEverySingleByteFlip) {
+  std::string data = "cbvlink snapshot payload bytes";
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (const unsigned char delta : {0x01, 0x80, 0xFF}) {
+      std::string corrupt = data;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ delta);
+      EXPECT_NE(Crc32c(corrupt.data(), corrupt.size()), clean)
+          << "offset=" << i << " delta=" << int{delta};
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -114,6 +114,33 @@ TEST(ReadCsvDatasetTest, MissingFileAndEmptyFile) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ReadCsvDatasetTest, LenientModeSkipsAndCountsMalformedRows) {
+  const std::string path = WriteTempCsv(
+      "lenient.csv",
+      "id,a,b\n"
+      "1,x,y\n"
+      "2,onlyone\n"          // field-count mismatch
+      "seven,p,q\n"          // unparsable id
+      "3,\"unterminated\n"   // parse error
+      "4,m,n\n");
+  CsvReadOptions options;
+  options.skip_malformed_rows = true;
+  Result<CsvDataset> dataset = ReadCsvDataset(path, options);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  ASSERT_EQ(dataset.value().records.size(), 2u);
+  EXPECT_EQ(dataset.value().records[0].id, 1u);
+  EXPECT_EQ(dataset.value().records[1].id, 4u);
+  EXPECT_EQ(dataset.value().skipped_rows, 3u);
+  ASSERT_EQ(dataset.value().skip_errors.size(), 3u);
+
+  // Header problems stay fatal even in lenient mode.
+  const std::string bad_header = WriteTempCsv("lenient_hdr.csv", "\"x\n1\n");
+  EXPECT_FALSE(ReadCsvDataset(bad_header, options).ok());
+
+  // Strict mode still rejects the whole file.
+  EXPECT_FALSE(ReadCsvDataset(path).ok());
+}
+
 TEST(ReadCsvDatasetTest, QuotedFieldWithCommaRoundTrips) {
   const std::string path = WriteTempCsv(
       "quoted.csv", "id,address\n1,\"12 OAK ST, APT 4\"\n");

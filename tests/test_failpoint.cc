@@ -1,0 +1,93 @@
+#include "src/common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stopwatch.h"
+
+namespace cbvlink {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DeactivateAll(); }
+};
+
+TEST_F(FailpointTest, InactiveSiteIsOff) {
+  EXPECT_EQ(Failpoints::Eval("nothing.here").action, FailpointAction::kOff);
+  EXPECT_TRUE(FailpointInject("nothing.here").ok());
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsIOError) {
+  Failpoints::Activate("t.error", FailpointAction::kError);
+  EXPECT_TRUE(Failpoints::AnyActive());
+  const Status st = FailpointInject("t.error");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  // Every hit triggers until deactivation.
+  EXPECT_FALSE(FailpointInject("t.error").ok());
+  Failpoints::Deactivate("t.error");
+  EXPECT_TRUE(FailpointInject("t.error").ok());
+}
+
+TEST_F(FailpointTest, TriggerAtTargetsOneHit) {
+  Failpoints::Activate("t.third", FailpointAction::kError, 0,
+                       /*trigger_at=*/3);
+  EXPECT_TRUE(FailpointInject("t.third").ok());
+  EXPECT_TRUE(FailpointInject("t.third").ok());
+  EXPECT_FALSE(FailpointInject("t.third").ok());
+  EXPECT_TRUE(FailpointInject("t.third").ok());
+  EXPECT_EQ(Failpoints::HitCount("t.third"), 4u);
+}
+
+TEST_F(FailpointTest, ShortWriteCarriesByteParam) {
+  Failpoints::Activate("t.short", FailpointAction::kShortWrite, 17);
+  const FailpointHit hit = Failpoints::Eval("t.short");
+  EXPECT_EQ(hit.action, FailpointAction::kShortWrite);
+  EXPECT_EQ(hit.param, 17u);
+  // Injected as an error by the Status helper.
+  EXPECT_FALSE(FailpointInject("t.short").ok());
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  Failpoints::Activate("t.delay", FailpointAction::kDelay, 20);
+  Stopwatch sw;
+  FailpointDelay("t.delay");
+  EXPECT_GE(sw.ElapsedSeconds(), 0.015);
+  // Delay is not an error.
+  EXPECT_TRUE(FailpointInject("t.delay").ok());
+}
+
+TEST_F(FailpointTest, SpecGrammar) {
+  ASSERT_TRUE(Failpoints::ActivateFromSpec(
+                  "a=error; b=short_write(9)@2 ;c=delay(0)")
+                  .ok());
+  EXPECT_EQ(Failpoints::Eval("a").action, FailpointAction::kError);
+  // b triggers on its second hit only.
+  EXPECT_EQ(Failpoints::Eval("b").action, FailpointAction::kOff);
+  const FailpointHit b2 = Failpoints::Eval("b");
+  EXPECT_EQ(b2.action, FailpointAction::kShortWrite);
+  EXPECT_EQ(b2.param, 9u);
+  EXPECT_EQ(Failpoints::Eval("c").action, FailpointAction::kDelay);
+}
+
+TEST_F(FailpointTest, SpecErrorsRejected) {
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("noequals").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("a=explode").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("a=delay(xy)").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("a=error@0").ok());
+  EXPECT_FALSE(Failpoints::ActivateFromSpec("a=short_write(3").ok());
+}
+
+TEST_F(FailpointTest, MacroIsNoopWhenNothingActive) {
+  // No active sites: the macro's fast path must not evaluate anything.
+  ASSERT_FALSE(Failpoints::AnyActive());
+  const auto guarded = []() -> Status {
+    CBVLINK_FAILPOINT("t.macro");
+    return Status::OK();
+  };
+  EXPECT_TRUE(guarded().ok());
+  Failpoints::Activate("t.macro", FailpointAction::kError);
+  EXPECT_FALSE(guarded().ok());
+}
+
+}  // namespace
+}  // namespace cbvlink

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
+#include "src/common/crc32.h"
 #include "src/common/random.h"
 
 namespace cbvlink {
@@ -196,11 +198,69 @@ TEST(SerializationTest, ServiceSnapshotTruncationDetected) {
 TEST(SerializationTest, WireCostMatchesPaperClaim) {
   // A 120-bit NCVR record costs 8 (id) + 16 (two words) bytes on the
   // wire, versus tens of bytes of raw strings — the compactness claim.
+  // The v2 container adds a fixed 4-byte CRC32C trailer per file.
   std::vector<EncodedRecord> records{MakeRecord(1, 120, 1)};
   std::stringstream stream;
   ASSERT_TRUE(WriteEncodedRecords(records, stream).ok());
   const size_t header = 4 + 4 + 8 + 8;
-  EXPECT_EQ(stream.str().size(), header + 8 + 16);
+  const size_t trailer = 4;
+  EXPECT_EQ(stream.str().size(), header + 8 + 16 + trailer);
+}
+
+TEST(SerializationTest, OnDiskByteLayoutIsPinned) {
+  // Regression for the reader/writer word-layout contract: bit i of a
+  // record lives at bit (i % 64) of little-endian word (i / 64), exactly
+  // as BitVector::words() stores it. A layout change would silently
+  // corrupt every snapshot in the field, so the bytes are pinned here.
+  EncodedRecord record;
+  record.id = 9;
+  record.bits = BitVector(67);
+  record.bits.Set(0);
+  record.bits.Set(2);
+  record.bits.Set(64);  // second word, bit 0
+  record.bits.Set(66);  // second word, bit 2
+  std::stringstream stream;
+  ASSERT_TRUE(WriteEncodedRecords({record}, stream).ok());
+  const std::string bytes = stream.str();
+
+  const auto le32 = [](uint32_t v) {
+    std::string s(4, '\0');
+    for (int i = 0; i < 4; ++i) s[i] = static_cast<char>(v >> (8 * i));
+    return s;
+  };
+  const auto le64 = [](uint64_t v) {
+    std::string s(8, '\0');
+    for (int i = 0; i < 8; ++i) s[i] = static_cast<char>(v >> (8 * i));
+    return s;
+  };
+  std::string expected;
+  expected += "CBVL";                  // magic
+  expected += le32(2);                 // format version
+  expected += le64(1);                 // record count
+  expected += le64(67);                // bits per record
+  expected += le64(9);                 // record id
+  expected += le64(0b101);             // word 0: bits 0 and 2
+  expected += le64(0b101);             // word 1: bits 64 and 66
+  expected += le32(Crc32c(expected.data(), expected.size()));
+  EXPECT_EQ(bytes, expected);
+
+  // And the reader reconstructs the identical BitVector from it.
+  std::stringstream in(bytes);
+  Result<std::vector<EncodedRecord>> loaded = ReadEncodedRecords(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()[0].bits, record.bits);
+  ASSERT_EQ(record.bits.words().size(), 2u);
+  EXPECT_EQ(record.bits.words()[0], 0b101u);
+  EXPECT_EQ(record.bits.words()[1], 0b101u);
+}
+
+TEST(SerializationTest, AtomicFileWriteLeavesNoTemp) {
+  const std::string path = testing::TempDir() + "/atomic_records.cbv";
+  std::vector<EncodedRecord> records{MakeRecord(5, 120, 11)};
+  ASSERT_TRUE(WriteEncodedRecordsToFile(records, path).ok());
+  std::ifstream tmp(AtomicTempPath(path), std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temp file survived a successful commit";
+  ASSERT_TRUE(ReadEncodedRecordsFromFile(path).ok());
 }
 
 }  // namespace

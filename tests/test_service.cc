@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "src/common/failpoint.h"
 #include "src/datagen/generators.h"
 
 namespace cbvlink {
@@ -213,6 +215,109 @@ TEST(ServiceTest, SnapshotRestoreRoundTripIdenticalMatches) {
   ASSERT_TRUE(restored.value()->Match(again, &out).ok());
   EXPECT_TRUE(std::find(out.begin(), out.end(),
                         IdPair{90000u, 90001u}) != out.end());
+}
+
+// A decoded-but-inconsistent snapshot must be rejected by Restore's
+// semantic validation, not acted on.
+class RestoreValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<NcvrGenerator> gen = NcvrGenerator::Create();
+    ASSERT_TRUE(gen.ok());
+    Result<std::unique_ptr<LinkageService>> service =
+        LinkageService::Create(BaseConfig(gen.value().schema()));
+    ASSERT_TRUE(service.ok());
+    for (const Record& r : GenerateRecords(gen.value(), 10, 6)) {
+      ASSERT_TRUE(service.value()->Insert(r).ok());
+    }
+    snapshot_ = service.value()->ExportSnapshot();
+    ASSERT_TRUE(LinkageService::Restore(snapshot_).ok())
+        << "baseline snapshot must restore before mutation";
+  }
+
+  void ExpectRejected(const char* what) {
+    const Status st = LinkageService::Restore(snapshot_).status();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << what;
+  }
+
+  ServiceSnapshot snapshot_;
+};
+
+TEST_F(RestoreValidationTest, DanglingBucketIdRejected) {
+  ASSERT_FALSE(snapshot_.buckets.empty());
+  snapshot_.buckets[0].ids.push_back(999999);
+  ExpectRejected("bucket id not in stored records");
+}
+
+TEST_F(RestoreValidationTest, DuplicateRecordIdsRejected) {
+  ASSERT_GE(snapshot_.records.size(), 2u);
+  snapshot_.records[1].id = snapshot_.records[0].id;
+  ExpectRejected("duplicate record ids");
+}
+
+TEST_F(RestoreValidationTest, ZeroShardsRejected) {
+  snapshot_.num_shards = 0;
+  ExpectRejected("num_shards == 0");
+}
+
+TEST_F(RestoreValidationTest, NonPowerOfTwoShardsRejected) {
+  snapshot_.num_shards = 6;
+  ExpectRejected("num_shards not a power of two");
+}
+
+TEST_F(RestoreValidationTest, NonFiniteDeltaRejected) {
+  snapshot_.delta = std::numeric_limits<double>::quiet_NaN();
+  ExpectRejected("NaN delta");
+  snapshot_.delta = std::numeric_limits<double>::infinity();
+  ExpectRejected("infinite delta");
+  snapshot_.delta = 1.5;
+  ExpectRejected("delta outside (0, 1)");
+}
+
+TEST_F(RestoreValidationTest, BadExpectedQgramsRejected) {
+  snapshot_.expected_qgrams.pop_back();
+  ExpectRejected("qgram/attribute count mismatch");
+  snapshot_.expected_qgrams.push_back(-3.0);
+  ExpectRejected("negative expected qgrams");
+}
+
+TEST_F(RestoreValidationTest, UnknownOverflowPolicyRejected) {
+  snapshot_.overflow_policy = 7;
+  ExpectRejected("unknown overflow policy");
+}
+
+TEST_F(RestoreValidationTest, RecordWidthMismatchRejected) {
+  // Records narrower than what the restored encoder produces cannot be
+  // compared against fresh encodings; must fail, not silently mismatch.
+  for (EncodedRecord& r : snapshot_.records) {
+    r.bits = BitVector(8);
+  }
+  ExpectRejected("record width != encoder width");
+}
+
+TEST(ServiceFailpointTest, InjectedFaultsSurfaceAsStatus) {
+  Failpoints::DeactivateAll();
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(service.ok());
+  const std::vector<Record> records = GenerateRecords(gen.value(), 2, 9);
+  ASSERT_TRUE(service.value()->Insert(records[0]).ok());
+
+  Failpoints::Activate("service.insert", FailpointAction::kError);
+  EXPECT_EQ(service.value()->Insert(records[1]).code(),
+            StatusCode::kIOError);
+  Failpoints::Deactivate("service.insert");
+  // The failed insert must not have touched the store.
+  EXPECT_EQ(service.value()->size(), 1u);
+
+  std::vector<IdPair> out;
+  Failpoints::Activate("service.match", FailpointAction::kError);
+  EXPECT_EQ(service.value()->Match(records[0], &out).code(),
+            StatusCode::kIOError);
+  Failpoints::DeactivateAll();
+  EXPECT_TRUE(service.value()->Match(records[0], &out).ok());
 }
 
 TEST(ServiceTest, ScanFallbackPreservesRecallUnderBucketCap) {

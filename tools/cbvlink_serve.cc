@@ -34,6 +34,15 @@
 //   --batch N              stream queries in batches of N (default 1024;
 //                          1 = strictly sequential arrivals)
 //   --out FILE             matched pairs CSV (default stdout)
+//
+// Malformed query-CSV rows are skipped (not fatal): each skip is
+// counted, the first reasons are reported at exit, and the process
+// exits 3 instead of 0 so pipelines notice degraded input.  Exit codes:
+// 0 success, 1 runtime error, 2 usage error, 3 served with skipped rows.
+//
+// Fault injection: CBVLINK_FAILPOINTS activates failpoints (e.g.
+// "service.insert=delay(5)" or "io.atomic.rename=error") in the serving
+// and snapshot paths; see src/common/failpoint.h for the grammar.
 
 #include <cstdio>
 #include <cstring>
@@ -194,6 +203,13 @@ int RunMain(int argc, char** argv) {
     std::fprintf(stderr, "restored %zu records, %zu blocking groups (%.2fs)\n",
                  service->size(), service->blocking_groups(),
                  build_watch.ElapsedSeconds());
+    if (service->metrics().restore_fallbacks > 0) {
+      std::fprintf(stderr,
+                   "warning: primary snapshot %s was corrupt; restored from "
+                   "backup %s\n",
+                   args.snapshot_in.c_str(),
+                   SnapshotBackupPath(args.snapshot_in).c_str());
+    }
   } else {
     CsvReadOptions read_options;
     read_options.id_column = args.id_column;
@@ -263,11 +279,20 @@ int RunMain(int argc, char** argv) {
   CsvReadOptions query_options;
   query_options.id_column = args.id_column;
   query_options.first_auto_id = first_query_auto_id;
+  // The query stream is external input: degrade on malformed rows
+  // instead of aborting everything already served.
+  query_options.skip_malformed_rows = true;
   Result<CsvDataset> queries = ReadCsvDataset(args.queries_path, query_options);
   if (!queries.ok()) {
     std::fprintf(stderr, "reading %s: %s\n", args.queries_path.c_str(),
                  queries.status().ToString().c_str());
     return 1;
+  }
+  if (queries.value().skipped_rows > 0) {
+    service->RecordSkippedRows(queries.value().skipped_rows);
+    for (const std::string& why : queries.value().skip_errors) {
+      std::fprintf(stderr, "skipped query row: %s\n", why.c_str());
+    }
   }
 
   FILE* out = stdout;
@@ -330,6 +355,10 @@ int RunMain(int argc, char** argv) {
                  static_cast<unsigned long long>(metrics.dropped_entries),
                  static_cast<unsigned long long>(metrics.scan_fallbacks));
   }
+  if (metrics.skipped_rows > 0) {
+    std::fprintf(stderr, "skipped %llu malformed query rows\n",
+                 static_cast<unsigned long long>(metrics.skipped_rows));
+  }
 
   if (!args.snapshot_out.empty()) {
     Status saved = service->SaveSnapshotToFile(args.snapshot_out);
@@ -341,7 +370,9 @@ int RunMain(int argc, char** argv) {
     std::fprintf(stderr, "snapshot written to %s (%zu records)\n",
                  args.snapshot_out.c_str(), service->size());
   }
-  return 0;
+  // Exit 3: everything that could be served was served, but some query
+  // rows were malformed and dropped — distinct from hard failures (1).
+  return metrics.skipped_rows > 0 ? 3 : 0;
 }
 
 }  // namespace
