@@ -32,6 +32,7 @@ void Run() {
 
   std::printf("%-10s %8s %10s %10s %10s %14s\n", "records", "PC",
               "embed(s)", "index(s)", "match(s)", "comparisons");
+  std::vector<std::pair<std::string, double>> series;
   for (size_t n = 2500; n <= max_n; n *= 2) {
     LinkagePairOptions options;
     options.num_records = n;
@@ -53,7 +54,14 @@ void Run() {
            avg.value().index_seconds, avg.value().match_seconds,
            avg.value().comparisons});
     }
+    const std::string prefix = StrFormat("n_%zu.", n);
+    series.emplace_back(prefix + "pc", avg.value().pairs_completeness);
+    series.emplace_back(prefix + "embed_s", avg.value().embed_seconds);
+    series.emplace_back(prefix + "index_s", avg.value().index_seconds);
+    series.emplace_back(prefix + "match_s", avg.value().match_seconds);
+    series.emplace_back(prefix + "comparisons", avg.value().comparisons);
   }
+  bench::EmitBenchJson("BENCH_scale.json", series);
   std::printf(
       "\nReading: PC holds at the Eq. 2 level at every scale; embed/index "
       "grow linearly,\nmatching with the candidate volume (names repeat, "

@@ -40,6 +40,10 @@ void Run() {
   std::printf("%-8s %14s %9s %14s %9s %10s\n", "threads", "insert(rec/s)",
               "speedup", "query(q/s)", "speedup", "matches");
 
+  std::vector<std::pair<std::string, double>> series;
+  series.emplace_back("records", static_cast<double>(registry.size()));
+  series.emplace_back("queries", static_cast<double>(queries.size()));
+
   double insert_base = 0;
   double query_base = 0;
   size_t matches_base = 0;
@@ -76,7 +80,16 @@ void Run() {
     std::printf("%-8zu %14.0f %8.2fx %14.0f %8.2fx %10zu\n", threads,
                 insert_rate, insert_rate / insert_base, query_rate,
                 query_rate / query_base, pairs.size());
+
+    const std::string prefix = StrFormat("threads_%zu.", threads);
+    series.emplace_back(prefix + "insert_rate", insert_rate);
+    series.emplace_back(prefix + "insert_speedup", insert_rate / insert_base);
+    series.emplace_back(prefix + "query_rate", query_rate);
+    series.emplace_back(prefix + "query_speedup", query_rate / query_base);
+    series.emplace_back(prefix + "matches",
+                        static_cast<double>(pairs.size()));
   }
+  bench::EmitBenchJson("BENCH_service.json", series);
   std::printf(
       "\nReading: both phases parallelize over the pool; shard striping "
       "keeps writer\ncontention low and queries take shared locks only, so "

@@ -7,14 +7,20 @@
 #ifndef CBVLINK_BENCH_BENCH_UTIL_H_
 #define CBVLINK_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/str.h"
 #include "src/datagen/dataset.h"
 #include "src/datagen/generators.h"
 #include "src/eval/csv.h"
 #include "src/eval/experiment.h"
+#include "src/io/serialization.h"
 #include "src/linkage/bfh_linker.h"
 #include "src/linkage/cbv_hb_linker.h"
 #include "src/linkage/harra_linker.h"
@@ -156,12 +162,60 @@ inline void Banner(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
 
+/// Where a bench trajectory file named `file` goes: $CBVLINK_BENCH_DIR
+/// when set, the working directory otherwise.  All benches use this so
+/// CI can collect every BENCH_*.json from one place.
+inline std::string BenchJsonPath(const std::string& file) {
+  const char* dir = std::getenv("CBVLINK_BENCH_DIR");
+  if (dir == nullptr || *dir == '\0') return file;
+  return std::string(dir) + "/" + file;
+}
+
+/// Writes an ordered key -> number map as a flat JSON object to `path`
+/// through the atomic tmp+rename path (a half-written trajectory file
+/// would poison perf-history diffs).  Keys are emitted in the order
+/// given; integral values render as integers.  This is the one helper
+/// every bench binary shares, so BENCH_*.json files stay uniform.
+inline Status WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& values) {
+  std::string payload = "{";
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    payload += first ? "\n  " : ",\n  ";
+    first = false;
+    payload += "\"" + key + "\": ";
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+      payload += StrFormat("%lld", static_cast<long long>(value));
+    } else if (std::isfinite(value)) {
+      payload += StrFormat("%.9g", value);
+    } else {
+      payload += "null";  // JSON has no NaN/Inf
+    }
+  }
+  payload += first ? "}\n" : "\n}\n";
+  return WriteFileAtomically(path, payload);
+}
+
+
 /// Aborts the bench with a readable message on configuration errors.
 inline void DieOnError(const Status& status, const char* what) {
   if (!status.ok()) {
     std::fprintf(stderr, "FATAL (%s): %s\n", what, status.ToString().c_str());
     std::exit(1);
   }
+}
+
+/// WriteBenchJson + a stderr note, aborting the bench on IO errors (a
+/// trajectory file silently missing defeats the point of emitting it).
+inline void EmitBenchJson(
+    const std::string& file,
+    const std::vector<std::pair<std::string, double>>& values) {
+  const std::string path = BenchJsonPath(file);
+  DieOnError(WriteBenchJson(path, values), file.c_str());
+  std::fprintf(stderr, "wrote %s (%zu series)\n", path.c_str(),
+               values.size());
 }
 
 }  // namespace bench

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/common/str.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 
@@ -156,6 +157,15 @@ FailpointHit Failpoints::Eval(const char* site) {
   Entry& e = it->second;
   ++e.hits;
   if (e.trigger_at != 0 && e.hits != e.trigger_at) return {};
+  // An injected fault is an operational event: surface it in telemetry
+  // (total + per-site) so a dump taken during a fault drill explains
+  // its own anomalies.  Triggers are rare by construction, so the
+  // registry lookups here cost nothing on real traffic.
+  telemetry::Registry& treg = telemetry::Registry::Global();
+  treg.GetCounter("failpoint_triggered_total")->Add(1);
+  treg.GetCounter(
+          telemetry::LabeledName("failpoint_triggered_total", "site", site))
+      ->Add(1);
   return FailpointHit{e.action, e.param};
 }
 

@@ -419,6 +419,11 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
 
 std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
 
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& payload) {
+  return AtomicWriteFile(path, payload, /*keep_backup=*/false);
+}
+
 std::string SnapshotBackupPath(const std::string& path) {
   return path + ".bak";
 }

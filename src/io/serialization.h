@@ -59,6 +59,15 @@ std::string AtomicTempPath(const std::string& path);
 /// LinkageService::RestoreFromFile when the primary is corrupt.
 std::string SnapshotBackupPath(const std::string& path);
 
+/// Writes `payload` to `path` through the atomic protocol every writer
+/// in this module uses (stage in AtomicTempPath(path), fsync, rename —
+/// the commit point — then fsync the directory, best-effort).  No .bak
+/// is kept.  Exposed for small operational artifacts that must never be
+/// read torn (telemetry dumps, bench trajectory files); hits the
+/// io.atomic.* failpoints like every other writer.
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& payload);
+
 /// Writes encoded records (all of equal width) to a stream, ending in a
 /// CRC32C trailer.  Returns InvalidArgument on width mismatches, IOError
 /// on stream failure.

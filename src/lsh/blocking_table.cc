@@ -1,8 +1,21 @@
 #include "src/lsh/blocking_table.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace cbvlink {
+
+std::vector<uint64_t> BlockingTable::OccupancyHistogram(size_t slots) const {
+  std::vector<uint64_t> histogram(std::max<size_t>(slots, 1), 0);
+  for (const auto& [key, bucket] : buckets_) {
+    if (bucket.empty()) continue;
+    const size_t slot = std::min(
+        histogram.size() - 1,
+        static_cast<size_t>(std::bit_width(bucket.size()) - 1));
+    ++histogram[slot];
+  }
+  return histogram;
+}
 
 void BlockingTable::Erase(RecordId id) {
   max_bucket_size_ = 0;

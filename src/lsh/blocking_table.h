@@ -49,6 +49,24 @@ class BlockingTable {
   /// recomputes it since a removal can shrink the maximum.
   size_t MaxBucketSize() const { return max_bucket_size_; }
 
+  /// Mean entries per non-empty bucket (0 for an empty table).  The
+  /// Eq. 2 health signal: under the paper's model each table should
+  /// spread records near-uniformly, so a mean far below the max flags
+  /// the Section 5.2 "few overpopulated buckets" skew.
+  double MeanBucketSize() const {
+    return buckets_.empty()
+               ? 0
+               : static_cast<double>(num_entries_) /
+                     static_cast<double>(buckets_.size());
+  }
+
+  /// Log2 bucket-occupancy histogram: slot i counts buckets whose size
+  /// s satisfies 2^i <= s < 2^(i+1) (slot 0 holds size-1 buckets; the
+  /// last slot also absorbs anything larger).  This is the distribution
+  /// blocking-method comparisons report, exported per table by the
+  /// telemetry layer.
+  std::vector<uint64_t> OccupancyHistogram(size_t slots = 16) const;
+
   /// Removes every bucket.
   void Clear() {
     buckets_.clear();

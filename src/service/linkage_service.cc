@@ -6,9 +6,10 @@
 #include <unordered_set>
 
 #include "src/common/failpoint.h"
-#include "src/common/stopwatch.h"
+#include "src/common/str.h"
 #include "src/lsh/params.h"
 #include "src/rules/rule_parser.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 
@@ -20,8 +21,20 @@ size_t RoundUpPowerOfTwo(size_t n) {
   return p;
 }
 
-uint64_t Nanos(const Stopwatch& sw) {
-  return static_cast<uint64_t>(sw.ElapsedSeconds() * 1e9);
+void AtomicMinRelaxed(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur > value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxRelaxed(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -86,7 +99,8 @@ LinkageService::LinkageService(CbvHbConfig config,
                                LinkageServiceOptions options)
     : config_(std::move(config)),
       options_(options),
-      store_(options.num_shards) {
+      store_(options.num_shards),
+      epoch_(std::chrono::steady_clock::now()) {
   // Normalize eagerly so options(), snapshots, and the sharded
   // structures all agree on the effective shard count — Restore()
   // validates the persisted value as a power of two.
@@ -150,7 +164,37 @@ Status LinkageService::Init() {
 
   classifier_ = MakeRuleClassifier(config_.rule, encoder_->layout());
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+
+  // Resolve process-wide telemetry handles once; every Record/Add after
+  // this point is lock-free.  Several services in one process share
+  // these series by design (the registry is process-scoped).
+  telemetry::Registry& reg = telemetry::Registry::Global();
+  t_query_latency_ = reg.GetHistogram("query_latency_us");
+  t_insert_latency_ = reg.GetHistogram("insert_latency_us");
+  t_batch_latency_ = reg.GetHistogram("batch_latency_us");
+  t_queries_ = reg.GetCounter("service_queries_total");
+  t_inserts_ = reg.GetCounter("service_inserts_total");
+  t_candidates_ = reg.GetCounter("service_candidates_total");
+  t_comparisons_ = reg.GetCounter("service_comparisons_total");
+  t_matches_ = reg.GetCounter("service_matches_total");
+  t_scan_fallbacks_ = reg.GetCounter("service_scan_fallbacks_total");
   return Status::OK();
+}
+
+uint64_t LinkageService::NowNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void LinkageService::RecordSpan(uint64_t start, uint64_t end,
+                                std::atomic<uint64_t>* nanos,
+                                std::atomic<uint64_t>* first_start,
+                                std::atomic<uint64_t>* last_end) {
+  nanos->fetch_add(end - start, std::memory_order_relaxed);
+  AtomicMinRelaxed(first_start, start);
+  AtomicMaxRelaxed(last_end, end);
 }
 
 void LinkageService::InsertEncoded(const EncodedRecord& record) {
@@ -162,12 +206,16 @@ void LinkageService::InsertEncoded(const EncodedRecord& record) {
 
 Status LinkageService::Insert(const Record& record) {
   CBVLINK_FAILPOINT("service.insert");
-  Stopwatch sw;
+  const uint64_t start = NowNanos();
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
   InsertEncoded(encoded.value());
+  const uint64_t end = NowNanos();
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  insert_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  RecordSpan(start, end, &insert_nanos_, &first_insert_start_ns_,
+             &last_insert_end_ns_);
+  t_inserts_->Add(1);
+  t_insert_latency_->Record((end - start) / 1000);
   return Status::OK();
 }
 
@@ -178,6 +226,7 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
   index_->Collect(b.bits, &candidates, &saw_overflow);
   candidate_occurrences_.fetch_add(candidates.size(),
                                    std::memory_order_relaxed);
+  t_candidates_->Add(candidates.size());
   // Algorithm 2's unique collection C, as sort+unique over the gathered
   // occurrences (cheaper than a hash set at bucket-sized cardinalities).
   std::sort(candidates.begin(), candidates.end());
@@ -201,6 +250,7 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
     // A probed bucket dropped entries: preserve recall by scanning the
     // store, skipping ids the blocked path already compared.
     scan_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    t_scan_fallbacks_->Add(1);
     store_.ForEach([&](RecordId id, const BitVector& bits) {
       if (std::binary_search(candidates.begin(), candidates.end(), id)) {
         return;
@@ -215,17 +265,27 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
 
   comparisons_.fetch_add(compared, std::memory_order_relaxed);
   matches_.fetch_add(matched, std::memory_order_relaxed);
+  // Match-funnel telemetry: candidates -> comparisons -> matches.  The
+  // ratios are the paper's RR/PQ analogues at serving time (a drifting
+  // comparisons/candidates ratio means the Eq. 2 tables stopped
+  // discriminating).
+  t_comparisons_->Add(compared);
+  t_matches_->Add(matched);
 }
 
 Status LinkageService::Match(const Record& record,
                              std::vector<IdPair>* out) const {
   CBVLINK_FAILPOINT("service.match");
-  Stopwatch sw;
+  const uint64_t start = NowNanos();
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
   MatchEncoded(encoded.value(), out);
+  const uint64_t end = NowNanos();
   queries_.fetch_add(1, std::memory_order_relaxed);
-  query_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  RecordSpan(start, end, &query_nanos_, &first_query_start_ns_,
+             &last_query_end_ns_);
+  t_queries_->Add(1);
+  t_query_latency_->Record((end - start) / 1000);
   return Status::OK();
 }
 
@@ -233,16 +293,23 @@ Status LinkageService::MatchAndInsert(const Record& record,
                                       std::vector<IdPair>* out) {
   CBVLINK_FAILPOINT("service.match");
   CBVLINK_FAILPOINT("service.insert");
-  Stopwatch sw;
+  const uint64_t start = NowNanos();
   Result<EncodedRecord> encoded = encoder_->Encode(record);
   if (!encoded.ok()) return encoded.status();
   MatchEncoded(encoded.value(), out);
+  const uint64_t mid = NowNanos();
   queries_.fetch_add(1, std::memory_order_relaxed);
-  query_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
-  sw.Restart();
+  RecordSpan(start, mid, &query_nanos_, &first_query_start_ns_,
+             &last_query_end_ns_);
+  t_queries_->Add(1);
+  t_query_latency_->Record((mid - start) / 1000);
   InsertEncoded(encoded.value());
+  const uint64_t end = NowNanos();
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  insert_nanos_.fetch_add(Nanos(sw), std::memory_order_relaxed);
+  RecordSpan(mid, end, &insert_nanos_, &first_insert_start_ns_,
+             &last_insert_end_ns_);
+  t_inserts_->Add(1);
+  t_insert_latency_->Record((end - mid) / 1000);
   return Status::OK();
 }
 
@@ -250,6 +317,7 @@ Status LinkageService::InsertBatch(const std::vector<Record>& records) {
   std::mutex mu;
   Status first_error;
   std::scoped_lock pool_lock(pool_mu_);
+  telemetry::ScopedTimer batch_timer(t_batch_latency_);
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
                        for (size_t i = begin; i < end; ++i) {
@@ -269,6 +337,7 @@ Status LinkageService::MatchBatch(const std::vector<Record>& records,
   std::mutex mu;
   Status first_error;
   std::scoped_lock pool_lock(pool_mu_);
+  telemetry::ScopedTimer batch_timer(t_batch_latency_);
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
                        std::vector<IdPair> local;
@@ -466,6 +535,9 @@ Result<std::unique_ptr<LinkageService>> LinkageService::RestoreFromFile(
     if (service.ok()) {
       service.value()->restore_fallbacks_.fetch_add(
           1, std::memory_order_relaxed);
+      telemetry::Registry::Global()
+          .GetCounter("service_restore_fallbacks_total")
+          ->Add(1);
       return service;
     }
   }
@@ -488,7 +560,66 @@ ServiceMetrics LinkageService::metrics() const {
       static_cast<double>(insert_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   m.query_seconds =
       static_cast<double>(query_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  const auto wall_span = [](const std::atomic<uint64_t>& first,
+                            const std::atomic<uint64_t>& last) {
+    const uint64_t start = first.load(std::memory_order_relaxed);
+    const uint64_t end = last.load(std::memory_order_relaxed);
+    return end > start ? static_cast<double>(end - start) * 1e-9 : 0.0;
+  };
+  m.insert_wall_seconds =
+      wall_span(first_insert_start_ns_, last_insert_end_ns_);
+  m.query_wall_seconds = wall_span(first_query_start_ns_, last_query_end_ns_);
   return m;
+}
+
+void LinkageService::RecordSkippedRows(uint64_t n) {
+  skipped_rows_.fetch_add(n, std::memory_order_relaxed);
+  telemetry::Registry::Global()
+      .GetCounter("service_skipped_rows_total")
+      ->Add(n);
+}
+
+void LinkageService::FillTelemetry(telemetry::Registry* registry) const {
+  telemetry::Registry& reg =
+      registry != nullptr ? *registry : telemetry::Registry::Global();
+
+  reg.GetGauge("service_records")->Set(static_cast<double>(store_.size()));
+  reg.GetGauge("service_shards")
+      ->Set(static_cast<double>(options_.num_shards));
+  const ServiceMetrics m = metrics();
+  reg.GetGauge("service_query_wall_seconds")->Set(m.query_wall_seconds);
+  reg.GetGauge("service_insert_wall_seconds")->Set(m.insert_wall_seconds);
+  reg.GetGauge("service_queries_per_second")->Set(m.QueriesPerSecond());
+
+  const IndexHealth health = index_->CollectHealth();
+  reg.GetGauge("lsh_tables")->Set(static_cast<double>(index_->L()));
+  reg.GetGauge("lsh_k")->Set(static_cast<double>(index_->K()));
+  reg.GetGauge("lsh_dropped_entries")
+      ->Set(static_cast<double>(health.dropped_entries));
+  reg.GetGauge("lsh_overflowed_buckets")
+      ->Set(static_cast<double>(health.overflowed_buckets));
+  for (size_t l = 0; l < health.tables.size(); ++l) {
+    const TableHealth& table = health.tables[l];
+    const std::string label = StrFormat("%zu", l);
+    reg.GetGauge(telemetry::LabeledName("lsh_table_buckets", "table", label))
+        ->Set(static_cast<double>(table.buckets));
+    reg.GetGauge(telemetry::LabeledName("lsh_table_entries", "table", label))
+        ->Set(static_cast<double>(table.entries));
+    reg.GetGauge(
+           telemetry::LabeledName("lsh_table_max_bucket", "table", label))
+        ->Set(static_cast<double>(table.max_bucket));
+    reg.GetGauge(
+           telemetry::LabeledName("lsh_table_mean_bucket", "table", label))
+        ->Set(table.mean_bucket);
+  }
+  // Cross-table occupancy: bin k counts buckets of size in
+  // [2^k, 2^(k+1)).  All bins are always exported so a scrape sees the
+  // full distribution shape, including its zeros.
+  for (size_t bin = 0; bin < IndexHealth::kOccupancySlots; ++bin) {
+    reg.GetGauge(telemetry::LabeledName("lsh_bucket_occupancy", "size_log2",
+                                        StrFormat("%zu", bin)))
+        ->Set(static_cast<double>(health.occupancy[bin]));
+  }
 }
 
 }  // namespace cbvlink

@@ -19,6 +19,7 @@
 #define CBVLINK_SERVICE_LINKAGE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,12 @@
 #include "src/text/alphabet.h"
 
 namespace cbvlink {
+
+namespace telemetry {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace telemetry
 
 /// What a query does when a probed bucket hit the bucket-size cap.
 enum class OverflowPolicy : uint32_t {
@@ -72,14 +79,34 @@ struct ServiceMetrics {
   uint64_t restore_fallbacks = 0;
   /// Malformed input rows the feeding layer skipped (RecordSkippedRows).
   uint64_t skipped_rows = 0;
-  /// CPU-side time summed across calls (and threads, for batches).
+  /// Busy time summed across calls — and across threads for the batch
+  /// APIs, so with T workers this can exceed wall time by up to T×.
   double insert_seconds = 0;
   double query_seconds = 0;
+  /// Wall-clock span from the first call's start to the last call's
+  /// end (0 before any call).  Under the batch APIs this is the real
+  /// elapsed time, not the per-thread sum; it also includes idle gaps
+  /// between calls, so it measures the serving window, not busy time.
+  double insert_wall_seconds = 0;
+  double query_wall_seconds = 0;
 
+  /// Mean per-call latency (busy time / calls; thread count does not
+  /// distort this one).
   double AvgQueryMicros() const {
     return queries == 0 ? 0 : query_seconds * 1e6 / static_cast<double>(queries);
   }
+  /// Wall-clock throughput: queries / query_wall_seconds.  This is the
+  /// number operators compare against offered load.
   double QueriesPerSecond() const {
+    return query_wall_seconds <= 0
+               ? 0
+               : static_cast<double>(queries) / query_wall_seconds;
+  }
+  /// Per-thread throughput: queries / summed busy seconds.  With T
+  /// batch workers this is ~QueriesPerSecond() / T — useful for
+  /// spotting per-core regressions, misleading as "QPS" (the bug the
+  /// old single QueriesPerSecond() had).
+  double PerThreadQueriesPerSecond() const {
     return query_seconds <= 0 ? 0 : static_cast<double>(queries) / query_seconds;
   }
 };
@@ -175,12 +202,21 @@ class LinkageService {
   /// A point-in-time copy of the counters.
   ServiceMetrics metrics() const;
 
+  /// Refreshes the polled (gauge) telemetry in `registry`: record/index
+  /// sizes, per-table LSH health (bucket count, max/mean bucket size,
+  /// overflow counts) and the cross-table bucket-occupancy histogram —
+  /// the runtime observables of Theorem 1's m_opt and Eq. 2's L.  Call
+  /// before exporting (stats reporter tick, scrape, shutdown dump); the
+  /// event-driven metrics (latency histograms, funnel counters) are
+  /// maintained live and need no refresh.  Takes each index shard lock
+  /// shared once; do not call from a latency-critical path.  Null
+  /// `registry` targets the process-wide telemetry::Registry::Global().
+  void FillTelemetry(telemetry::Registry* registry = nullptr) const;
+
   /// Lets the feeding layer (e.g. the serve CLI) account malformed input
   /// rows it skipped, so operational dashboards see them next to the
   /// serving counters.
-  void RecordSkippedRows(uint64_t n) {
-    skipped_rows_.fetch_add(n, std::memory_order_relaxed);
-  }
+  void RecordSkippedRows(uint64_t n);
 
   size_t size() const { return store_.size(); }
   size_t blocking_groups() const { return index_->L(); }
@@ -210,6 +246,17 @@ class LinkageService {
   std::unique_ptr<ThreadPool> pool_;
   std::mutex pool_mu_;  // ThreadPool::ParallelFor is not reentrant
 
+  /// Nanoseconds since `epoch_` (the service's construction instant —
+  /// the zero point for the wall-clock span tracking below).
+  uint64_t NowNanos() const;
+
+  /// Folds one call's [start, end) span (NowNanos() values) into the
+  /// busy-time sum and the first-start/last-end wall markers.
+  static void RecordSpan(uint64_t start, uint64_t end,
+                         std::atomic<uint64_t>* nanos,
+                         std::atomic<uint64_t>* first_start,
+                         std::atomic<uint64_t>* last_end);
+
   // Counters (relaxed; read via metrics()).
   mutable std::atomic<uint64_t> inserts_{0};
   mutable std::atomic<uint64_t> queries_{0};
@@ -221,6 +268,25 @@ class LinkageService {
   mutable std::atomic<uint64_t> skipped_rows_{0};
   mutable std::atomic<uint64_t> insert_nanos_{0};
   mutable std::atomic<uint64_t> query_nanos_{0};
+  // Wall-clock activity spans (see ServiceMetrics::*_wall_seconds):
+  // first call start and last call end, as NowNanos() values.
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::atomic<uint64_t> first_query_start_ns_{UINT64_MAX};
+  mutable std::atomic<uint64_t> last_query_end_ns_{0};
+  mutable std::atomic<uint64_t> first_insert_start_ns_{UINT64_MAX};
+  mutable std::atomic<uint64_t> last_insert_end_ns_{0};
+
+  // Process-wide telemetry handles (resolved once in Init(); the
+  // registry outlives every service, so raw pointers are safe).
+  telemetry::Histogram* t_query_latency_ = nullptr;
+  telemetry::Histogram* t_insert_latency_ = nullptr;
+  telemetry::Histogram* t_batch_latency_ = nullptr;
+  telemetry::Counter* t_queries_ = nullptr;
+  telemetry::Counter* t_inserts_ = nullptr;
+  telemetry::Counter* t_candidates_ = nullptr;
+  telemetry::Counter* t_comparisons_ = nullptr;
+  telemetry::Counter* t_matches_ = nullptr;
+  telemetry::Counter* t_scan_fallbacks_ = nullptr;
 };
 
 }  // namespace cbvlink

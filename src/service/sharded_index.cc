@@ -1,6 +1,7 @@
 #include "src/service/sharded_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <mutex>
 
 #include "src/common/failpoint.h"
@@ -145,6 +146,40 @@ size_t ShardedHammingIndex::MaxBucketSize() const {
     }
   }
   return best;
+}
+
+IndexHealth ShardedHammingIndex::CollectHealth() const {
+  IndexHealth health;
+  health.tables.resize(family_.L());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (size_t l = 0; l < shard->tables.size(); ++l) {
+      TableHealth& table = health.tables[l];
+      for (const auto& [key, bucket] : shard->tables[l]) {
+        if (bucket.overflowed) {
+          ++table.overflowed;
+          ++health.overflowed_buckets;
+        }
+        if (bucket.ids.empty()) continue;
+        ++table.buckets;
+        table.entries += bucket.ids.size();
+        table.max_bucket = std::max(table.max_bucket, bucket.ids.size());
+        const size_t slot = std::min(
+            IndexHealth::kOccupancySlots - 1,
+            static_cast<size_t>(std::bit_width(bucket.ids.size()) - 1));
+        ++health.occupancy[slot];
+      }
+    }
+    health.dropped_entries +=
+        shard->dropped.load(std::memory_order_relaxed);
+  }
+  for (TableHealth& table : health.tables) {
+    table.mean_bucket = table.buckets == 0
+                            ? 0
+                            : static_cast<double>(table.entries) /
+                                  static_cast<double>(table.buckets);
+  }
+  return health;
 }
 
 uint64_t ShardedHammingIndex::dropped_entries() const {

@@ -16,6 +16,7 @@
 #ifndef CBVLINK_SERVICE_SHARDED_INDEX_H_
 #define CBVLINK_SERVICE_SHARDED_INDEX_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -39,6 +40,29 @@ struct ShardedIndexOptions {
   size_t num_shards = 16;
   /// Bucket entry cap; 0 = unlimited.
   size_t max_bucket_size = 0;
+};
+
+/// Per-blocking-group health statistics (one of the L tables).
+struct TableHealth {
+  size_t buckets = 0;       ///< non-empty buckets
+  size_t entries = 0;       ///< stored ids across buckets
+  size_t max_bucket = 0;    ///< largest bucket
+  size_t overflowed = 0;    ///< buckets that hit the cap and dropped ids
+  double mean_bucket = 0;   ///< entries / buckets (0 when empty)
+};
+
+/// A point-in-time health snapshot of the whole index.  `occupancy` is
+/// the log2 bucket-size histogram across every (group, key) bucket:
+/// slot i counts buckets of size in [2^i, 2^(i+1)), the last slot
+/// absorbing anything larger — the distribution Eq. 2's collision
+/// behaviour shows up in (uniform spread when the tuned L/K hold,
+/// heavy tail under the Section 5.2 skew).
+struct IndexHealth {
+  static constexpr size_t kOccupancySlots = 16;
+  std::vector<TableHealth> tables;            ///< size L()
+  std::array<uint64_t, kOccupancySlots> occupancy{};
+  uint64_t overflowed_buckets = 0;
+  uint64_t dropped_entries = 0;
 };
 
 /// L blocking tables sharded by key with per-shard reader/writer locks.
@@ -83,6 +107,12 @@ class ShardedHammingIndex : public CandidateSource {
   size_t NumBuckets() const;
   size_t NumEntries() const;
   size_t MaxBucketSize() const;
+
+  /// Full LSH-health sweep: per-table bucket/entry/max/mean statistics
+  /// plus the cross-table occupancy histogram, in one pass that takes
+  /// each shard lock shared exactly once.  Weakly consistent against
+  /// concurrent inserts (like every statistic here).
+  IndexHealth CollectHealth() const;
 
   /// Entries dropped by the bucket cap since construction.
   uint64_t dropped_entries() const;

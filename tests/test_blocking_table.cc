@@ -65,6 +65,37 @@ TEST(BlockingTableTest, EraseUnknownIdIsNoOp) {
   EXPECT_EQ(table.NumEntries(), 1u);
 }
 
+TEST(BlockingTableTest, MeanBucketSize) {
+  BlockingTable table;
+  EXPECT_DOUBLE_EQ(table.MeanBucketSize(), 0.0);
+  table.Insert(1, 100);
+  table.Insert(1, 101);
+  table.Insert(1, 102);
+  table.Insert(2, 103);
+  EXPECT_DOUBLE_EQ(table.MeanBucketSize(), 2.0);  // 4 entries / 2 buckets
+}
+
+TEST(BlockingTableTest, OccupancyHistogramLog2Slots) {
+  BlockingTable table;
+  table.Insert(1, 1);                              // size 1 -> slot 0
+  for (int i = 0; i < 3; ++i) table.Insert(2, i);  // size 3 -> slot 1
+  for (int i = 0; i < 4; ++i) table.Insert(3, i);  // size 4 -> slot 2
+  const std::vector<uint64_t> histogram = table.OccupancyHistogram(16);
+  ASSERT_EQ(histogram.size(), 16u);
+  EXPECT_EQ(histogram[0], 1u);
+  EXPECT_EQ(histogram[1], 1u);
+  EXPECT_EQ(histogram[2], 1u);
+  for (size_t i = 3; i < histogram.size(); ++i) EXPECT_EQ(histogram[i], 0u);
+}
+
+TEST(BlockingTableTest, OccupancyHistogramClampsToLastSlot) {
+  BlockingTable table;
+  for (int i = 0; i < 100; ++i) table.Insert(7, i);  // log2(100) = 6 > 3
+  const std::vector<uint64_t> histogram = table.OccupancyHistogram(4);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[3], 1u);
+}
+
 TEST(BlockingTableTest, BucketsIterable) {
   BlockingTable table;
   table.Insert(1, 10);

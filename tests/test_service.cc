@@ -10,6 +10,7 @@
 
 #include "src/common/failpoint.h"
 #include "src/datagen/generators.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 namespace {
@@ -89,6 +90,98 @@ TEST(ServiceTest, InsertThenMatchFindsDuplicates) {
   EXPECT_GT(metrics.comparisons, 0u);
   EXPECT_GT(metrics.query_seconds, 0.0);
   EXPECT_GT(metrics.QueriesPerSecond(), 0.0);
+}
+
+TEST(ServiceTest, WallClockQpsUsesWallSpanNotCpuSeconds) {
+  // With T batch workers, summed per-thread busy time is ~T times the
+  // wall span; QueriesPerSecond() must divide by the latter.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkageServiceOptions options;
+  options.num_threads = 4;
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()), options);
+  ASSERT_TRUE(service.ok());
+
+  const std::vector<Record> registry = GenerateRecords(gen.value(), 200, 12);
+  ASSERT_TRUE(service.value()->InsertBatch(registry).ok());
+  std::vector<IdPair> out;
+  ASSERT_TRUE(service.value()->MatchBatch(registry, &out).ok());
+
+  const ServiceMetrics metrics = service.value()->metrics();
+  EXPECT_GT(metrics.query_wall_seconds, 0.0);
+  EXPECT_GT(metrics.insert_wall_seconds, 0.0);
+  EXPECT_GT(metrics.query_seconds, 0.0);
+  // The two rates divide by different denominators: QueriesPerSecond()
+  // by the wall span, PerThreadQueriesPerSecond() by summed busy time.
+  // (The absolute values are timing-dependent; the definitions are not.)
+  EXPECT_DOUBLE_EQ(
+      metrics.QueriesPerSecond(),
+      static_cast<double>(metrics.queries) / metrics.query_wall_seconds);
+  EXPECT_DOUBLE_EQ(
+      metrics.PerThreadQueriesPerSecond(),
+      static_cast<double>(metrics.queries) / metrics.query_seconds);
+}
+
+TEST(ServiceTest, SkippedRowsCountedInMetrics) {
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(service.ok());
+  service.value()->RecordSkippedRows(2);
+  service.value()->RecordSkippedRows(1);
+  EXPECT_EQ(service.value()->metrics().skipped_rows, 3u);
+}
+
+TEST(ServiceTest, FillTelemetryExportsGaugesAndFunnelCounters) {
+  telemetry::Registry registry;  // private registry: gauge isolation
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(gen.value().schema()));
+  ASSERT_TRUE(service.ok());
+
+  const std::vector<Record> records = GenerateRecords(gen.value(), 20, 13);
+  ASSERT_TRUE(service.value()->InsertBatch(records).ok());
+  std::vector<IdPair> out;
+  ASSERT_TRUE(service.value()->Match(records[0], &out).ok());
+
+  service.value()->FillTelemetry(&registry);
+  EXPECT_EQ(registry.GetGauge("service_records")->Value(), 20.0);
+  EXPECT_GT(registry.GetGauge("service_shards")->Value(), 0.0);
+  EXPECT_GT(registry.GetGauge("lsh_tables")->Value(), 0.0);
+  // Per-table gauges exist for table 0 and the occupancy histogram
+  // covers every bucket exactly once.
+  EXPECT_GT(registry
+                .GetGauge(telemetry::LabeledName("lsh_table_buckets",
+                                                 "table", "0"))
+                ->Value(),
+            0.0);
+  double occupied = 0;
+  double buckets = 0;
+  for (size_t i = 0; i < 16; ++i) {
+    occupied += registry
+                    .GetGauge(telemetry::LabeledName(
+                        "lsh_bucket_occupancy", "size_log2",
+                        std::to_string(i)))
+                    ->Value();
+  }
+  const double tables = registry.GetGauge("lsh_tables")->Value();
+  for (size_t t = 0; t < static_cast<size_t>(tables); ++t) {
+    buckets += registry
+                   .GetGauge(telemetry::LabeledName("lsh_table_buckets",
+                                                    "table",
+                                                    std::to_string(t)))
+                   ->Value();
+  }
+  EXPECT_EQ(occupied, buckets);
+
+  // The match funnel lives in the global registry (resolved at Init).
+  const ServiceMetrics metrics = service.value()->metrics();
+  EXPECT_GT(metrics.candidate_occurrences, 0u);
+  EXPECT_GT(metrics.comparisons, 0u);
+  EXPECT_GE(metrics.candidate_occurrences, metrics.matches);
 }
 
 TEST(ServiceTest, BatchMatchEqualsSerialMatch) {

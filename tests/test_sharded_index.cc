@@ -110,6 +110,57 @@ TEST(ShardedIndexTest, BucketCapDropsAndFlagsOverflow) {
               candidates.end());
 }
 
+TEST(ShardedIndexTest, CollectHealthPerTableAndOccupancy) {
+  ShardedIndexOptions options;
+  options.max_bucket_size = 2;
+  ShardedHammingIndex index = MakeIndex(4, 3, 32, options);
+
+  BitVector bits(32);
+  bits.Set(1);
+  bits.Set(7);
+  for (RecordId id = 0; id < 3; ++id) {
+    index.Insert(EncodedRecord{id, bits});
+  }
+
+  const IndexHealth health = index.CollectHealth();
+  ASSERT_EQ(health.tables.size(), index.L());
+  for (const TableHealth& table : health.tables) {
+    // Identical vectors share one bucket per group, capped at 2 entries.
+    EXPECT_EQ(table.buckets, 1u);
+    EXPECT_EQ(table.entries, 2u);
+    EXPECT_EQ(table.max_bucket, 2u);
+    EXPECT_EQ(table.overflowed, 1u);
+    EXPECT_DOUBLE_EQ(table.mean_bucket, 2.0);
+  }
+  EXPECT_EQ(health.overflowed_buckets, 3u);
+  EXPECT_EQ(health.dropped_entries, 3u);
+  // All three buckets have size 2 -> log2 slot 1.
+  EXPECT_EQ(health.occupancy[1], 3u);
+  EXPECT_EQ(health.occupancy[0], 0u);
+}
+
+TEST(ShardedIndexTest, CollectHealthTotalsMatchAggregates) {
+  ShardedHammingIndex index = MakeIndex(5, 10, 64, {}, 42);
+  const std::vector<EncodedRecord> records = RandomRecords(100, 64, 11);
+  for (const EncodedRecord& r : records) index.Insert(r);
+
+  const IndexHealth health = index.CollectHealth();
+  size_t buckets = 0, entries = 0, max_bucket = 0;
+  for (const TableHealth& table : health.tables) {
+    buckets += table.buckets;
+    entries += table.entries;
+    max_bucket = std::max(max_bucket, table.max_bucket);
+  }
+  EXPECT_EQ(buckets, index.NumBuckets());
+  EXPECT_EQ(entries, records.size() * index.L());
+  EXPECT_EQ(max_bucket, index.MaxBucketSize());
+  uint64_t occupied = 0;
+  for (const uint64_t slot : health.occupancy) occupied += slot;
+  EXPECT_EQ(occupied, buckets);  // every bucket lands in exactly one slot
+  EXPECT_EQ(health.dropped_entries, 0u);
+  EXPECT_EQ(health.overflowed_buckets, 0u);
+}
+
 TEST(ShardedIndexTest, ExportRestoreRoundTrip) {
   ShardedIndexOptions options;
   options.max_bucket_size = 4;

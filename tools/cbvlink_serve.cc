@@ -34,19 +34,34 @@
 //   --batch N              stream queries in batches of N (default 1024;
 //                          1 = strictly sequential arrivals)
 //   --out FILE             matched pairs CSV (default stdout)
+//   --metrics-out FILE     telemetry JSON dump (latency quantiles,
+//                          match-funnel counters, per-table LSH health),
+//                          written atomically at exit and at every
+//                          stats interval
+//   --stats-interval SEC   periodic stats reporter: every SEC seconds
+//                          print a one-line summary to stderr and
+//                          refresh --metrics-out (0 = off, default)
 //
 // Malformed query-CSV rows are skipped (not fatal): each skip is
 // counted, the first reasons are reported at exit, and the process
 // exits 3 instead of 0 so pipelines notice degraded input.  Exit codes:
 // 0 success, 1 runtime error, 2 usage error, 3 served with skipped rows.
+// The shutdown summary always states the skipped-row count and the
+// restore-fallback status, so exit 3 is explainable from stderr alone.
 //
 // Fault injection: CBVLINK_FAILPOINTS activates failpoints (e.g.
 // "service.insert=delay(5)" or "io.atomic.rename=error") in the serving
 // and snapshot paths; see src/common/failpoint.h for the grammar.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/stopwatch.h"
@@ -54,6 +69,8 @@
 #include "src/io/csv_reader.h"
 #include "src/rules/rule_parser.h"
 #include "src/service/linkage_service.h"
+#include "src/telemetry/exporters.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 namespace {
@@ -77,6 +94,80 @@ struct Args {
   std::string overflow = "scan";
   size_t batch = 1024;
   std::string out_path;
+  std::string metrics_out;
+  size_t stats_interval = 0;
+};
+
+/// Background stats reporter: every `interval` seconds, prints a
+/// one-line delta summary to stderr and (when `metrics_path` is set)
+/// refreshes the telemetry JSON dump.  Stop() is prompt: the sleep is a
+/// condition-variable wait, not a blind sleep.
+class StatsReporter {
+ public:
+  StatsReporter(const LinkageService* service, size_t interval_seconds,
+                std::string metrics_path)
+      : service_(service),
+        interval_(interval_seconds),
+        metrics_path_(std::move(metrics_path)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~StatsReporter() { Stop(); }
+
+  void Stop() {
+    {
+      std::scoped_lock lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    uint64_t last_queries = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mu_);
+        if (cv_.wait_for(lock, std::chrono::seconds(interval_),
+                         [this] { return stopped_; })) {
+          return;
+        }
+      }
+      const ServiceMetrics m = service_->metrics();
+      std::fprintf(stderr,
+                   "[stats] queries=%llu (+%llu) matches=%llu "
+                   "comparisons=%llu candidates=%llu dropped=%llu "
+                   "scan_fallbacks=%llu skipped_rows=%llu\n",
+                   static_cast<unsigned long long>(m.queries),
+                   static_cast<unsigned long long>(m.queries - last_queries),
+                   static_cast<unsigned long long>(m.matches),
+                   static_cast<unsigned long long>(m.comparisons),
+                   static_cast<unsigned long long>(m.candidate_occurrences),
+                   static_cast<unsigned long long>(m.dropped_entries),
+                   static_cast<unsigned long long>(m.scan_fallbacks),
+                   static_cast<unsigned long long>(m.skipped_rows));
+      last_queries = m.queries;
+      if (!metrics_path_.empty()) {
+        service_->FillTelemetry();
+        const Status st =
+            telemetry::DumpJson(telemetry::Registry::Global(), metrics_path_);
+        if (!st.ok()) {
+          std::fprintf(stderr, "[stats] metrics dump %s: %s\n",
+                       metrics_path_.c_str(), st.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  const LinkageService* service_;
+  const size_t interval_;
+  const std::string metrics_path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 void Usage() {
@@ -87,7 +178,8 @@ void Usage() {
                "  [--k N] [--delta X] [--alphanumeric] [--id-column NAME]\n"
                "  [--threads N] [--shards N] [--max-bucket N] "
                "[--overflow truncate|scan]\n"
-               "  [--batch N] [--out FILE] [--seed N]\n");
+               "  [--batch N] [--out FILE] [--seed N]\n"
+               "  [--metrics-out FILE] [--stats-interval SEC]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -158,6 +250,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->out_path = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args->metrics_out = v;
+    } else if (flag == "--stats-interval") {
+      if (!next_size(&args->stats_interval)) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -203,12 +301,17 @@ int RunMain(int argc, char** argv) {
     std::fprintf(stderr, "restored %zu records, %zu blocking groups (%.2fs)\n",
                  service->size(), service->blocking_groups(),
                  build_watch.ElapsedSeconds());
+    // Always state the fallback status (not only on failure): a later
+    // exit-3 investigation should find the restore health on stderr.
     if (service->metrics().restore_fallbacks > 0) {
       std::fprintf(stderr,
                    "warning: primary snapshot %s was corrupt; restored from "
-                   "backup %s\n",
+                   "backup %s (restore_fallbacks=1)\n",
                    args.snapshot_in.c_str(),
                    SnapshotBackupPath(args.snapshot_in).c_str());
+    } else {
+      std::fprintf(stderr, "restore: primary snapshot ok "
+                           "(restore_fallbacks=0)\n");
     }
   } else {
     CsvReadOptions read_options;
@@ -295,6 +398,11 @@ int RunMain(int argc, char** argv) {
     }
   }
 
+  std::optional<StatsReporter> reporter;
+  if (args.stats_interval > 0) {
+    reporter.emplace(service.get(), args.stats_interval, args.metrics_out);
+  }
+
   FILE* out = stdout;
   if (!args.out_path.empty()) {
     out = std::fopen(args.out_path.c_str(), "w");
@@ -336,6 +444,7 @@ int RunMain(int argc, char** argv) {
   }
   const double serve_seconds = serve_watch.ElapsedSeconds();
   if (out != stdout) std::fclose(out);
+  if (reporter.has_value()) reporter->Stop();
 
   const ServiceMetrics metrics = service->metrics();
   std::fprintf(stderr,
@@ -349,15 +458,41 @@ int RunMain(int argc, char** argv) {
                static_cast<unsigned long long>(metrics.matches),
                static_cast<unsigned long long>(metrics.comparisons),
                metrics.AvgQueryMicros());
+  {
+    const telemetry::Histogram::Snapshot latency =
+        telemetry::Registry::Global()
+            .GetHistogram("query_latency_us")
+            ->Snap();
+    std::fprintf(stderr,
+                 "query latency (us): p50=%.0f p90=%.0f p99=%.0f max=%llu\n",
+                 latency.Quantile(0.50), latency.Quantile(0.90),
+                 latency.Quantile(0.99),
+                 static_cast<unsigned long long>(latency.max));
+  }
   if (metrics.dropped_entries > 0 || metrics.scan_fallbacks > 0) {
     std::fprintf(stderr, "bucket cap: %llu dropped entries, %llu scan "
                          "fallbacks\n",
                  static_cast<unsigned long long>(metrics.dropped_entries),
                  static_cast<unsigned long long>(metrics.scan_fallbacks));
   }
-  if (metrics.skipped_rows > 0) {
-    std::fprintf(stderr, "skipped %llu malformed query rows\n",
-                 static_cast<unsigned long long>(metrics.skipped_rows));
+  // Input/restore health, stated unconditionally: the skipped-row count
+  // and fallback status are the two facts that explain a non-zero exit
+  // without needing --metrics-out.
+  std::fprintf(stderr, "input health: skipped_rows=%llu restore_fallbacks=%llu\n",
+               static_cast<unsigned long long>(metrics.skipped_rows),
+               static_cast<unsigned long long>(metrics.restore_fallbacks));
+
+  if (!args.metrics_out.empty()) {
+    service->FillTelemetry();
+    const Status dumped =
+        telemetry::DumpJson(telemetry::Registry::Global(), args.metrics_out);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "metrics %s: %s\n", args.metrics_out.c_str(),
+                   dumped.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "telemetry written to %s\n",
+                 args.metrics_out.c_str());
   }
 
   if (!args.snapshot_out.empty()) {
@@ -372,7 +507,13 @@ int RunMain(int argc, char** argv) {
   }
   // Exit 3: everything that could be served was served, but some query
   // rows were malformed and dropped — distinct from hard failures (1).
-  return metrics.skipped_rows > 0 ? 3 : 0;
+  if (metrics.skipped_rows > 0) {
+    std::fprintf(stderr,
+                 "exiting 3: %llu malformed query rows were skipped\n",
+                 static_cast<unsigned long long>(metrics.skipped_rows));
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace
