@@ -1,59 +1,283 @@
 #include "src/blocking/matcher.h"
 
-#include <unordered_set>
+#include <cassert>
+#include <utility>
+
+#include "src/common/thread_pool.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
+namespace {
+
+/// Match-stage funnel counters, resolved once per process.
+struct MatcherMetrics {
+  telemetry::Counter* candidates;
+  telemetry::Counter* comparisons;
+  telemetry::Counter* matches;
+  telemetry::Counter* dedup_skipped;
+  telemetry::Histogram* batch_latency;
+
+  static const MatcherMetrics& Get() {
+    static const MatcherMetrics m = [] {
+      telemetry::Registry& reg = telemetry::Registry::Global();
+      MatcherMetrics out;
+      out.candidates = reg.GetCounter("matcher_candidates_total");
+      out.comparisons = reg.GetCounter("matcher_comparisons_total");
+      out.matches = reg.GetCounter("matcher_matches_total");
+      out.dedup_skipped = reg.GetCounter("matcher_dedup_skipped_total");
+      out.batch_latency = reg.GetHistogram("matcher_batch_latency_us");
+      return out;
+    }();
+    return m;
+  }
+
+  void Record(const MatchStats& stats) const {
+    if (stats.candidate_occurrences != 0)
+      candidates->Add(stats.candidate_occurrences);
+    if (stats.comparisons != 0) comparisons->Add(stats.comparisons);
+    if (stats.matches != 0) matches->Add(stats.matches);
+    if (stats.dedup_skipped != 0) dedup_skipped->Add(stats.dedup_skipped);
+  }
+};
+
+}  // namespace
+
+void VectorStore::Add(const EncodedRecord& record) {
+  if (ids_.empty()) {
+    num_bits_ = record.bits.size();
+    stride_ = record.bits.words().size();
+  }
+  // The arena has one stride for every record; mixed widths are a caller
+  // bug (all vectors come from one encoder layout).
+  assert(record.bits.size() == num_bits_);
+  if (ids_.size() + 1 > (slots_.size() * 3) / 4) {
+    Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+  }
+  // First Add wins, matching the emplace semantics of the map-based store.
+  size_t pos = Hash(record.id) & slot_mask_;
+  while (true) {
+    const uint32_t dense = slots_[pos];
+    if (dense == kNotFound) break;
+    if (ids_[dense] == record.id) return;
+    pos = (pos + 1) & slot_mask_;
+  }
+  const uint32_t dense = static_cast<uint32_t>(ids_.size());
+  slots_[pos] = dense;
+  ids_.push_back(record.id);
+  const std::vector<uint64_t>& words = record.bits.words();
+  words_.insert(words_.end(), words.begin(), words.end());
+  // BitVector zero-pads past size(); the arena inherits the invariant, so
+  // whole-word kernels are exact.
+}
+
+void VectorStore::AddAll(const std::vector<EncodedRecord>& records) {
+  if (!records.empty() && ids_.empty()) {
+    words_.reserve(records.size() * records.front().bits.words().size());
+    ids_.reserve(records.size());
+  }
+  for (const EncodedRecord& record : records) Add(record);
+}
+
+void VectorStore::Rehash(size_t min_slots) {
+  size_t n = 16;
+  while (n < min_slots) n *= 2;
+  slots_.assign(n, kNotFound);
+  slot_mask_ = n - 1;
+  for (uint32_t dense = 0; dense < ids_.size(); ++dense) {
+    size_t pos = Hash(ids_[dense]) & slot_mask_;
+    while (slots_[pos] != kNotFound) pos = (pos + 1) & slot_mask_;
+    slots_[pos] = dense;
+  }
+}
+
+BitVector VectorStore::VectorAt(uint32_t dense) const {
+  const uint64_t* words = WordsAt(dense);
+  return BitVector::FromWords(num_bits_,
+                              std::vector<uint64_t>(words, words + stride_));
+}
+
+namespace {
+
+/// True when the rule is a bare predicate or an AND of predicates — the
+/// shape the conjunction fast path handles.
+bool IsConjunctionOfPredicates(const Rule& rule) {
+  if (rule.kind() == Rule::Kind::kPredicate) return true;
+  if (rule.kind() != Rule::Kind::kAnd) return false;
+  for (const Rule& child : rule.children()) {
+    if (child.kind() != Rule::Kind::kPredicate) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 PairClassifier MakeRuleClassifier(Rule rule, const RecordLayout& layout) {
-  // Copy the segments so the classifier does not dangle on the layout.
-  std::vector<RecordLayout::Segment> segments;
-  segments.reserve(layout.num_attributes());
-  for (size_t i = 0; i < layout.num_attributes(); ++i) {
-    segments.push_back(layout.segment(i));
+  PairClassifier classifier;
+  if (IsConjunctionOfPredicates(rule)) {
+    classifier.kind_ = PairClassifier::Kind::kConjunction;
+    const auto add_pred = [&](const Predicate& pred) {
+      const RecordLayout::Segment& seg = layout.segment(pred.attribute);
+      PairClassifier::Node node;
+      node.offset = static_cast<uint32_t>(seg.offset);
+      node.length = static_cast<uint32_t>(seg.size);
+      node.theta = static_cast<uint32_t>(pred.threshold);
+      classifier.nodes_.push_back(node);
+    };
+    if (rule.kind() == Rule::Kind::kPredicate) {
+      add_pred(rule.predicate());
+    } else {
+      for (const Rule& child : rule.children()) add_pred(child.predicate());
+    }
+    return classifier;
   }
-  return [rule = std::move(rule), segments = std::move(segments)](
-             const BitVector& a, const BitVector& b) {
-    return rule.Evaluate([&](size_t attr) {
-      const RecordLayout::Segment& seg = segments[attr];
-      return a.HammingDistanceRange(b, seg.offset, seg.size);
-    });
-  };
+  classifier.kind_ = PairClassifier::Kind::kRule;
+  // Flatten the tree breadth-first so every node's children sit
+  // contiguously; evaluation then walks small indices instead of chasing
+  // child vectors.
+  std::vector<const Rule*> order;
+  order.push_back(&rule);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (const Rule& child : order[i]->children()) order.push_back(&child);
+  }
+  classifier.nodes_.resize(order.size());
+  uint32_t next_child = 1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Rule& node = *order[i];
+    PairClassifier::Node& compiled = classifier.nodes_[i];
+    compiled.kind = node.kind();
+    compiled.first_child = next_child;
+    compiled.num_children = static_cast<uint32_t>(node.children().size());
+    next_child += compiled.num_children;
+    if (node.kind() == Rule::Kind::kPredicate) {
+      const RecordLayout::Segment& seg =
+          layout.segment(node.predicate().attribute);
+      compiled.offset = static_cast<uint32_t>(seg.offset);
+      compiled.length = static_cast<uint32_t>(seg.size);
+      compiled.theta = static_cast<uint32_t>(node.predicate().threshold);
+    }
+  }
+  return classifier;
 }
 
 PairClassifier MakeRecordThresholdClassifier(size_t theta) {
-  return [theta](const BitVector& a, const BitVector& b) {
-    return a.HammingDistance(b) <= theta;
-  };
+  PairClassifier classifier;
+  classifier.kind_ = PairClassifier::Kind::kThreshold;
+  classifier.theta_ = theta;
+  return classifier;
+}
+
+bool PairClassifier::EvalNode(uint32_t index, const uint64_t* a,
+                              const uint64_t* b) const {
+  const Node& node = nodes_[index];
+  switch (node.kind) {
+    case Rule::Kind::kPredicate:
+      return HammingDistanceRangeWords(a, b, node.offset, node.length) <=
+             node.theta;
+    case Rule::Kind::kAnd:
+      for (uint32_t c = 0; c < node.num_children; ++c) {
+        if (!EvalNode(node.first_child + c, a, b)) return false;
+      }
+      return true;
+    case Rule::Kind::kOr:
+      for (uint32_t c = 0; c < node.num_children; ++c) {
+        if (EvalNode(node.first_child + c, a, b)) return true;
+      }
+      return false;
+    case Rule::Kind::kNot:
+      return !EvalNode(node.first_child, a, b);
+  }
+  return false;
 }
 
 void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
                        std::vector<IdPair>* out, MatchStats* stats) const {
-  // The paper's unique collection C of already-compared A-Ids (line 1 of
-  // Algorithm 2).
-  std::unordered_set<RecordId> compared;
-  source_->ForEachCandidate(b.bits, [&](RecordId a_id) {
-    ++stats->candidate_occurrences;
-    if (!compared.insert(a_id).second) {
-      ++stats->dedup_skipped;
-      return;
-    }
-    const BitVector* a_bits = store_a_->Find(a_id);
-    if (a_bits == nullptr) return;  // Id indexed but vector unknown
-    ++stats->comparisons;
-    if (classifier(*a_bits, b.bits)) {
-      ++stats->matches;
-      out->push_back(IdPair{a_id, b.id});
-    }
-  });
+  MatchOne(b, classifier, out, stats, &scratch_);
+}
+
+void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
+                       std::vector<IdPair>* out, MatchStats* stats,
+                       Scratch* scratch) const {
+  scratch->Prepare(store_a_->size());
+  uint32_t* const stamps = scratch->stamps_.data();
+  const uint32_t epoch = scratch->epoch_;
+  // Counters are optional (some callers only want the pairs); fold into a
+  // local and copy out once so the hot loop never branches on stats.
+  MatchStats local;
+  MatchStats* const s = stats != nullptr ? stats : &local;
+  const uint64_t* const b_words = b.bits.words().data();
+  const size_t num_words = store_a_->words_per_record();
+  source_->ForEachCandidateSpan(
+      b.bits, [&](std::span<const RecordId> bucket) {
+        s->candidate_occurrences += bucket.size();
+        for (const RecordId a_id : bucket) {
+          const uint32_t dense = store_a_->DenseIndex(a_id);
+          if (dense == VectorStore::kNotFound) {
+            // Id indexed but vector unknown: no dense slot to stamp, so
+            // de-duplicate through the (steady-state empty) side set.
+            if (!scratch->unknown_.insert(a_id).second) ++s->dedup_skipped;
+            continue;
+          }
+          if (stamps[dense] == epoch) {
+            ++s->dedup_skipped;
+            continue;
+          }
+          stamps[dense] = epoch;
+          ++s->comparisons;
+          if (classifier.ClassifyWords(store_a_->WordsAt(dense), b_words,
+                                       num_words)) {
+            ++s->matches;
+            out->push_back(IdPair{a_id, b.id});
+          }
+        }
+      });
 }
 
 std::vector<IdPair> Matcher::MatchAll(
     const std::vector<EncodedRecord>& b_records,
     const PairClassifier& classifier, MatchStats* stats) const {
+  return MatchAll(b_records, classifier, stats, nullptr);
+}
+
+std::vector<IdPair> Matcher::MatchAll(
+    const std::vector<EncodedRecord>& b_records,
+    const PairClassifier& classifier, MatchStats* stats,
+    ThreadPool* pool) const {
+  const MatcherMetrics& metrics = MatcherMetrics::Get();
+  telemetry::ScopedTimer timer(metrics.batch_latency);
+  MatchStats batch;
   std::vector<IdPair> out;
-  for (const EncodedRecord& b : b_records) {
-    MatchOne(b, classifier, &out, stats);
+  if (pool == nullptr || pool->num_threads() <= 1 || b_records.size() <= 1) {
+    Scratch scratch;
+    for (const EncodedRecord& b : b_records) {
+      MatchOne(b, classifier, &out, &batch, &scratch);
+    }
+  } else {
+    // One shard per ParallelFor chunk.  Chunk boundaries depend only on
+    // the record count and the pool size (thread_pool.h), so buffers
+    // concatenated in chunk order reproduce the serial output exactly.
+    const size_t max_chunks = std::min(b_records.size(), pool->num_threads());
+    std::vector<std::vector<IdPair>> shard_pairs(max_chunks);
+    std::vector<MatchStats> shard_stats(max_chunks);
+    pool->ParallelFor(
+        b_records.size(), [&](size_t chunk, size_t begin, size_t end) {
+          Scratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            MatchOne(b_records[i], classifier, &shard_pairs[chunk],
+                     &shard_stats[chunk], &scratch);
+          }
+        });
+    size_t total_pairs = 0;
+    for (const std::vector<IdPair>& shard : shard_pairs) {
+      total_pairs += shard.size();
+    }
+    out.reserve(total_pairs);
+    for (size_t c = 0; c < max_chunks; ++c) {
+      out.insert(out.end(), shard_pairs[c].begin(), shard_pairs[c].end());
+      batch += shard_stats[c];
+    }
   }
+  metrics.Record(batch);
+  if (stats != nullptr) *stats += batch;
   return out;
 }
 

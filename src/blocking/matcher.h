@@ -1,16 +1,34 @@
-// The matching step with de-duplication (Section 5.3, Algorithm 2).
+// The matching step with de-duplication (Section 5.3, Algorithm 2), as a
+// parallel, allocation-free engine.
 //
 // For each record of data set B the matcher walks the buckets the
 // blocking mechanism maps it to, skips A-Ids already seen for this B
 // record (the paper's unique collection C), applies the classification
 // rule to each fresh pair, and reports matches plus the counters behind
 // the PC / PQ / RR measures.
+//
+// Engine design (DESIGN.md §9):
+//  * VectorStore is a flat arena: every word-packed vector lives in one
+//    contiguous uint64_t buffer at a fixed words-per-record stride, with
+//    an open-addressing RecordId -> dense-index table.  The Hamming
+//    kernels run directly on the arena — no per-record heap vectors, no
+//    node-based hash map on the hot path.
+//  * The unique collection C is a generation-stamped visited array
+//    indexed by dense id: one epoch bump per probe, zero allocations in
+//    steady state (a per-probe std::unordered_set in the seed engine).
+//  * Candidates arrive as bucket spans (CandidateSource::
+//    ForEachCandidateSpan), so the engine pays one indirect call per
+//    blocking group instead of one std::function invocation per Id.
+//  * MatchAll shards the B records over a ThreadPool with per-thread
+//    stats and match buffers, merged in shard order — the output is
+//    byte-identical to the serial engine at any thread count.
 
 #ifndef CBVLINK_BLOCKING_MATCHER_H_
 #define CBVLINK_BLOCKING_MATCHER_H_
 
-#include <functional>
-#include <unordered_map>
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "src/blocking/record_blocker.h"
@@ -20,6 +38,8 @@
 #include "src/rules/rule.h"
 
 namespace cbvlink {
+
+class ThreadPool;
 
 /// Counters accumulated by the matcher.
 struct MatchStats {
@@ -44,33 +64,156 @@ struct MatchStats {
   }
 };
 
-/// Id-addressable storage of encoded records (the paper's retrieve(Id)).
+/// Id-addressable storage of encoded records (the paper's retrieve(Id)),
+/// laid out as a flat arena: all vectors in one contiguous word buffer at
+/// a fixed stride, plus an open-addressing index from RecordId to the
+/// dense position.  Every record must carry the same bit width (the
+/// encoder's total_bits) — the first Add fixes the stride.  Re-adding an
+/// existing id keeps the first vector.
 class VectorStore {
  public:
-  void Add(const EncodedRecord& record) {
-    vectors_.emplace(record.id, record.bits);
+  /// Sentinel dense index for "id not stored".
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  VectorStore() = default;
+
+  void Add(const EncodedRecord& record);
+
+  void AddAll(const std::vector<EncodedRecord>& records);
+
+  /// Dense index of `id` in [0, size()), or kNotFound.  O(1): one hash
+  /// probe over the flat slot table.
+  uint32_t DenseIndex(RecordId id) const {
+    if (slots_.empty()) return kNotFound;
+    size_t pos = Hash(id) & slot_mask_;
+    while (true) {
+      const uint32_t dense = slots_[pos];
+      if (dense == kNotFound) return kNotFound;
+      if (ids_[dense] == id) return dense;
+      pos = (pos + 1) & slot_mask_;
+    }
   }
 
-  void AddAll(const std::vector<EncodedRecord>& records) {
-    vectors_.reserve(vectors_.size() + records.size());
-    for (const EncodedRecord& r : records) Add(r);
+  bool Contains(RecordId id) const { return DenseIndex(id) != kNotFound; }
+
+  /// The words of the vector at dense index `dense` — exactly
+  /// words_per_record() words, zero-padded past num_bits() (the kernels
+  /// read whole words and rely on that invariant).
+  const uint64_t* WordsAt(uint32_t dense) const {
+    return words_.data() + static_cast<size_t>(dense) * stride_;
   }
 
-  /// The vector for `id`, or nullptr when unknown.
-  const BitVector* Find(RecordId id) const {
-    const auto it = vectors_.find(id);
-    return it == vectors_.end() ? nullptr : &it->second;
-  }
+  /// RecordId of the vector at dense index `dense`.
+  RecordId IdAt(uint32_t dense) const { return ids_[dense]; }
 
-  size_t size() const { return vectors_.size(); }
+  /// Reconstructs the BitVector at dense index `dense` (copies; for
+  /// tests and diagnostics, not the hot path).
+  BitVector VectorAt(uint32_t dense) const;
+
+  size_t size() const { return ids_.size(); }
+
+  /// Bit width shared by every stored vector (0 before the first Add).
+  size_t num_bits() const { return num_bits_; }
+
+  /// Arena stride: words per record, ceil(num_bits / 64).
+  size_t words_per_record() const { return stride_; }
+
+  /// The raw arena (size() * words_per_record() words), for invariant
+  /// checks.
+  const std::vector<uint64_t>& arena() const { return words_; }
 
  private:
-  std::unordered_map<RecordId, BitVector> vectors_;
+  static uint64_t Hash(RecordId id) {
+    // Mix64 (splittable-random finalizer), inlined to keep this header
+    // free of the hashing dependency.
+    uint64_t z = id;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  void Rehash(size_t min_slots);
+
+  size_t num_bits_ = 0;
+  size_t stride_ = 0;
+  /// Contiguous arena: vector i occupies words [i*stride_, (i+1)*stride_).
+  std::vector<uint64_t> words_;
+  /// Dense index -> RecordId.
+  std::vector<RecordId> ids_;
+  /// Open-addressing slot table: slot -> dense index or kNotFound.
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
 };
 
-/// Decides whether an (A, B) vector pair is a match.
-using PairClassifier =
-    std::function<bool(const BitVector& a, const BitVector& b)>;
+/// Decides whether an (A, B) vector pair is a match.  A small value type
+/// (not a std::function): the rule tree is compiled once into a flat node
+/// program evaluated directly on raw words, so the per-candidate cost is
+/// a handful of popcounts with no type-erased indirection.
+class PairClassifier {
+ public:
+  /// An empty classifier classifies nothing (returns false); assign from
+  /// MakeRuleClassifier / MakeRecordThresholdClassifier before use.
+  PairClassifier() = default;
+
+  /// Classifies a pair of equally sized vectors.
+  bool operator()(const BitVector& a, const BitVector& b) const {
+    return ClassifyWords(a.words().data(), b.words().data(),
+                         b.words().size());
+  }
+
+  /// Hot-path entry: classifies two word-packed vectors of `num_words`
+  /// words each (zero-padded past the logical width).  `num_words` is
+  /// only consulted by whole-record threshold classifiers; rule
+  /// classifiers read the ranges their segments name.
+  bool ClassifyWords(const uint64_t* a, const uint64_t* b,
+                     size_t num_words) const {
+    switch (kind_) {
+      case Kind::kThreshold:
+        return HammingDistanceWords(a, b, num_words) <= theta_;
+      case Kind::kConjunction:
+        // AND-of-predicates (the paper's PL shape): a flat short-circuit
+        // loop, no tree walk.
+        for (const Node& node : nodes_) {
+          if (HammingDistanceRangeWords(a, b, node.offset, node.length) >
+              node.theta) {
+            return false;
+          }
+        }
+        return true;
+      case Kind::kRule:
+        return EvalNode(0, a, b);
+      case Kind::kEmpty:
+        return false;
+    }
+    return false;
+  }
+
+ private:
+  friend PairClassifier MakeRuleClassifier(Rule rule,
+                                           const RecordLayout& layout);
+  friend PairClassifier MakeRecordThresholdClassifier(size_t theta);
+
+  enum class Kind : uint8_t { kEmpty, kThreshold, kConjunction, kRule };
+
+  /// One node of the compiled rule: the tree flattened breadth-first so
+  /// each node's children are contiguous at [first_child,
+  /// first_child + num_children).
+  struct Node {
+    Rule::Kind kind = Rule::Kind::kPredicate;
+    uint32_t first_child = 0;
+    uint32_t num_children = 0;
+    /// Predicate payload: the attribute's bit segment and threshold.
+    uint32_t offset = 0;
+    uint32_t length = 0;
+    uint32_t theta = 0;
+  };
+
+  bool EvalNode(uint32_t index, const uint64_t* a, const uint64_t* b) const;
+
+  Kind kind_ = Kind::kEmpty;
+  size_t theta_ = 0;
+  std::vector<Node> nodes_;
+};
 
 /// Builds a classifier that evaluates `rule` on attribute-level Hamming
 /// distances under `layout`.  The rule must already be validated for the
@@ -84,21 +227,71 @@ PairClassifier MakeRecordThresholdClassifier(size_t theta);
 /// Both referenced objects must outlive the matcher.
 class Matcher {
  public:
+  /// Reusable per-thread probe state: the generation-stamped visited
+  /// array that implements the unique collection C without per-probe
+  /// allocations.  One Scratch must not be shared across threads.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class Matcher;
+
+    /// Sizes the stamp array for `num_dense` records and opens a new
+    /// probe epoch (clearing stamps only on the ~never wrap of the
+    /// 32-bit epoch).
+    void Prepare(size_t num_dense) {
+      if (stamps_.size() < num_dense) stamps_.resize(num_dense, 0);
+      if (++epoch_ == 0) {
+        std::fill(stamps_.begin(), stamps_.end(), 0);
+        epoch_ = 1;
+      }
+      if (!unknown_.empty()) unknown_.clear();
+    }
+
+    /// stamps_[dense] == epoch_  <=>  dense already seen this probe.
+    std::vector<uint32_t> stamps_;
+    uint32_t epoch_ = 0;
+    /// Dedup for candidate Ids absent from the store (indexed but vector
+    /// unknown) — they have no dense index to stamp.  Empty in steady
+    /// state, so it never allocates on the healthy path.
+    std::unordered_set<RecordId> unknown_;
+  };
+
   Matcher(const CandidateSource* source, const VectorStore* store_a)
       : source_(source), store_a_(store_a) {}
 
-  /// Matches one B record; appends matched pairs to `out`.
+  /// Matches one B record; appends matched pairs to `out`.  `stats` may
+  /// be null when the caller does not need counters.  Uses the matcher's
+  /// internal scratch — not thread-safe across concurrent MatchOne calls
+  /// on one Matcher; use the Scratch overload for that.
   void MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
                 std::vector<IdPair>* out, MatchStats* stats) const;
 
-  /// Matches every B record in sequence.
+  /// MatchOne with caller-owned scratch (per-thread reuse).
+  void MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
+                std::vector<IdPair>* out, MatchStats* stats,
+                Scratch* scratch) const;
+
+  /// Matches every B record in sequence.  `stats` may be null.
   std::vector<IdPair> MatchAll(const std::vector<EncodedRecord>& b_records,
                                const PairClassifier& classifier,
                                MatchStats* stats) const;
 
+  /// Parallel MatchAll: shards the B records over `pool` (null or a
+  /// single-worker pool falls back to the serial path).  Each shard keeps
+  /// private stats and match buffers; buffers are concatenated in shard
+  /// order, so pairs and stats totals are identical to the serial engine
+  /// at any thread count.
+  std::vector<IdPair> MatchAll(const std::vector<EncodedRecord>& b_records,
+                               const PairClassifier& classifier,
+                               MatchStats* stats, ThreadPool* pool) const;
+
  private:
   const CandidateSource* source_;
   const VectorStore* store_a_;
+  /// Scratch behind the scratch-less MatchOne overload.
+  mutable Scratch scratch_;
 };
 
 }  // namespace cbvlink

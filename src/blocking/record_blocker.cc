@@ -42,6 +42,16 @@ void RecordLevelBlocker::ForEachCandidate(
   }
 }
 
+void RecordLevelBlocker::ForEachCandidateSpan(
+    const BitVector& probe,
+    FunctionRef<void(std::span<const RecordId>)> cb) const {
+  for (size_t l = 0; l < tables_.size(); ++l) {
+    const std::span<const RecordId> bucket =
+        tables_[l].Get(family_.Key(probe, l));
+    if (!bucket.empty()) cb(bucket);
+  }
+}
+
 size_t RecordLevelBlocker::TotalBuckets() const {
   size_t total = 0;
   for (const BlockingTable& table : tables_) total += table.NumBuckets();

@@ -10,9 +10,11 @@
 #define CBVLINK_BLOCKING_RECORD_BLOCKER_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/common/bitvector.h"
+#include "src/common/function_ref.h"
 #include "src/common/random.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
@@ -35,6 +37,22 @@ class CandidateSource {
   virtual void ForEachCandidate(
       const BitVector& probe,
       const std::function<void(RecordId)>& cb) const = 0;
+
+  /// Bucket-span variant of ForEachCandidate: invokes `cb` once per
+  /// candidate group with a view of that group's Ids, in the same order
+  /// ForEachCandidate would deliver them, so the matching engine iterates
+  /// raw bucket storage with one indirect call per *group* instead of one
+  /// std::function invocation per Id.  Spans are only valid for the
+  /// duration of the callback.  The default adapter wraps
+  /// ForEachCandidate with single-Id spans (exact same Ids and order);
+  /// sources whose buckets are contiguous in memory override it.
+  virtual void ForEachCandidateSpan(
+      const BitVector& probe,
+      FunctionRef<void(std::span<const RecordId>)> cb) const {
+    ForEachCandidate(probe, [&cb](RecordId id) {
+      cb(std::span<const RecordId>(&id, 1));
+    });
+  }
 };
 
 /// Record-level Hamming LSH blocker.
@@ -61,6 +79,12 @@ class RecordLevelBlocker : public CandidateSource {
   void ForEachCandidate(
       const BitVector& probe,
       const std::function<void(RecordId)>& cb) const override;
+
+  /// Emits each probed bucket as one span over the table's own storage —
+  /// no per-Id callback, no copying.
+  void ForEachCandidateSpan(
+      const BitVector& probe,
+      FunctionRef<void(std::span<const RecordId>)> cb) const override;
 
   size_t L() const { return tables_.size(); }
   size_t K() const { return family_.K(); }

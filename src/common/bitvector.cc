@@ -57,24 +57,8 @@ size_t BitVector::HammingDistanceRange(const BitVector& other, size_t offset,
                                        size_t length) const noexcept {
   assert(offset + length <= num_bits_);
   assert(offset + length <= other.num_bits_);
-  if (length == 0) return 0;
-  const size_t first_word = offset >> 6;
-  const size_t last_bit = offset + length - 1;
-  const size_t last_word = last_bit >> 6;
-  size_t dist = 0;
-  for (size_t w = first_word; w <= last_word; ++w) {
-    uint64_t x = words_[w] ^ other.words_[w];
-    if (w == first_word) {
-      const size_t lead = offset & 63;
-      x &= ~uint64_t{0} << lead;
-    }
-    if (w == last_word) {
-      const size_t trail = last_bit & 63;
-      if (trail != 63) x &= (uint64_t{1} << (trail + 1)) - 1;
-    }
-    dist += static_cast<size_t>(std::popcount(x));
-  }
-  return dist;
+  return HammingDistanceRangeWords(words_.data(), other.words_.data(), offset,
+                                   length);
 }
 
 double BitVector::JaccardDistance(const BitVector& other) const noexcept {

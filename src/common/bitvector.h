@@ -19,6 +19,46 @@
 
 namespace cbvlink {
 
+/// Hamming distance between two word-packed bit sequences of `num_words`
+/// 64-bit words.  Padding bits past the logical length must be zero in
+/// both operands (the BitVector invariant), so whole-word XOR+popcount is
+/// exact.  This is the kernel the arena-backed matching engine runs
+/// directly on contiguous storage, bypassing BitVector objects.
+inline size_t HammingDistanceWords(const uint64_t* a, const uint64_t* b,
+                                   size_t num_words) noexcept {
+  size_t dist = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    dist += static_cast<size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return dist;
+}
+
+/// Hamming distance restricted to the bit range [offset, offset+length)
+/// of two word-packed sequences.  The range must lie within both
+/// sequences; bit 0 of word 0 is bit 0.
+inline size_t HammingDistanceRangeWords(const uint64_t* a, const uint64_t* b,
+                                        size_t offset,
+                                        size_t length) noexcept {
+  if (length == 0) return 0;
+  const size_t first_word = offset >> 6;
+  const size_t last_bit = offset + length - 1;
+  const size_t last_word = last_bit >> 6;
+  size_t dist = 0;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    uint64_t x = a[w] ^ b[w];
+    if (w == first_word) {
+      const size_t lead = offset & 63;
+      x &= ~uint64_t{0} << lead;
+    }
+    if (w == last_word) {
+      const size_t trail = last_bit & 63;
+      if (trail != 63) x &= (uint64_t{1} << (trail + 1)) - 1;
+    }
+    dist += static_cast<size_t>(std::popcount(x));
+  }
+  return dist;
+}
+
 /// Fixed-size sequence of bits packed into 64-bit words.
 class BitVector {
  public:
@@ -98,11 +138,8 @@ class BitVector {
   /// Hamming distance to `other`.  Requires equal sizes.
   size_t HammingDistance(const BitVector& other) const noexcept {
     assert(num_bits_ == other.num_bits_);
-    size_t dist = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      dist += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
-    }
-    return dist;
+    return HammingDistanceWords(words_.data(), other.words_.data(),
+                                words_.size());
   }
 
   /// Hamming distance restricted to the bit range [offset, offset+length),

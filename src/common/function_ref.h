@@ -1,0 +1,50 @@
+// A non-owning, trivially copyable reference to a callable.
+//
+// std::function on a hot path costs a potential heap allocation at
+// construction and an indirect call through a type-erasure vtable per
+// invocation.  FunctionRef erases to a raw object pointer plus a plain
+// function pointer: construction never allocates, invocation is one
+// indirect call, and the object is two words.  The referenced callable
+// must outlive the FunctionRef — it is only safe as a parameter type
+// whose referent lives for the duration of the call (the same contract
+// as std::string_view for strings).
+
+#ifndef CBVLINK_COMMON_FUNCTION_REF_H_
+#define CBVLINK_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace cbvlink {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Non-owning callable reference with signature R(Args...).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return fn_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*fn_)(void*, Args...);
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_FUNCTION_REF_H_

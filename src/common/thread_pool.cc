@@ -42,13 +42,29 @@ void ThreadPool::ParallelFor(
   if (total == 0) return;
   const size_t chunks = std::min(total, workers_.size());
   const size_t per = (total + chunks - 1) / chunks;
+  // Each call owns its completion latch.  Waiting on the pool-wide
+  // in_flight_ counter (the old implementation) made two concurrent
+  // ParallelFor calls wait for *each other's* tasks: one caller could be
+  // held hostage by another caller's long-running (or blocked) chunks.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  Completion done;
+  done.remaining = (total + per - 1) / per;  // chunks actually submitted
   for (size_t c = 0; c < chunks; ++c) {
     const size_t begin = c * per;
     const size_t end = std::min(total, begin + per);
     if (begin >= end) break;
-    Submit([&fn, c, begin, end] { fn(c, begin, end); });
+    Submit([&fn, &done, c, begin, end] {
+      fn(c, begin, end);
+      std::unique_lock<std::mutex> lock(done.mu);
+      if (--done.remaining == 0) done.cv.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(done.mu);
+  done.cv.wait(lock, [&done] { return done.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -40,7 +40,14 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Splits [0, total) into roughly equal chunks, runs
-  /// `fn(chunk_index, begin, end)` for each on the pool, and waits.
+  /// `fn(chunk_index, begin, end)` for each on the pool, and waits for
+  /// *this call's* chunks only (a private completion latch), so multiple
+  /// threads may run ParallelFor on one pool concurrently without
+  /// blocking on each other's tasks.  The chunk count is
+  /// min(total, num_threads()) and chunk boundaries depend only on
+  /// `total` and the pool size, which is what lets callers merge
+  /// per-chunk results deterministically.  Must not be called from a
+  /// worker thread of the same pool.
   void ParallelFor(size_t total,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 

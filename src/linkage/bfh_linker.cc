@@ -1,7 +1,10 @@
 #include "src/linkage/bfh_linker.h"
 
+#include <memory>
+
 #include "src/blocking/record_blocker.h"
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 
 namespace cbvlink {
 
@@ -59,7 +62,12 @@ Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
   Matcher matcher(&blocker.value(), &store_a);
   const PairClassifier classifier =
       MakeRuleClassifier(config_.rule, encoder.value().layout());
-  result.matches = matcher.MatchAll(encoded_b, classifier, &result.stats);
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  result.matches =
+      matcher.MatchAll(encoded_b, classifier, &result.stats, pool.get());
   result.match_seconds = watch.ElapsedSeconds();
   return result;
 }

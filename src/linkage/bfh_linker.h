@@ -33,6 +33,10 @@ struct BfhConfig {
   size_t record_theta = 45;
   double delta = 0.1;
   uint64_t seed = 13;
+  /// Worker threads for the sharded matching step; 1 = serial,
+  /// 0 = hardware concurrency.  The matching output is identical at any
+  /// setting.
+  size_t num_threads = 1;
 };
 
 /// The BfH linker.

@@ -1,6 +1,7 @@
 #include "src/linkage/cbv_hb_linker.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 
 #include "src/blocking/attribute_blocker.h"
@@ -36,9 +37,22 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
   LinkageResult result;
   Stopwatch watch;
 
+  // One pool for every parallel stage (embedding and matching); null when
+  // the run is configured serial.
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+
   // --- Embedding ---------------------------------------------------------
   std::vector<double> expected = config_.expected_qgrams;
   if (expected.empty()) {
+    if (a.empty()) {
+      // The sizing estimate has nothing to sample from; an empty sample
+      // would silently produce degenerate vector sizes.
+      return Status::InvalidArgument(
+          "data set A is empty; provide expected_qgrams");
+    }
     // Charlie samples the records to estimate b^(f_i) (Section 5.2).
     std::vector<Record> sample;
     const size_t n = std::min(config_.estimation_sample, a.size());
@@ -75,14 +89,13 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
         (*out)[i] = std::move(enc).value();
       }
     };
-    if (config_.num_threads == 1) {
+    if (pool == nullptr) {
       encode_range(0, records.size());
     } else {
-      ThreadPool pool(config_.num_threads);
-      pool.ParallelFor(records.size(),
-                       [&](size_t, size_t begin, size_t end) {
-                         encode_range(begin, end);
-                       });
+      pool->ParallelFor(records.size(),
+                        [&](size_t, size_t begin, size_t end) {
+                          encode_range(begin, end);
+                        });
     }
     return first_error;
   };
@@ -133,7 +146,7 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
   const PairClassifier classifier =
       MakeRuleClassifier(config_.rule, encoder_->layout());
   result.matches =
-      matcher.MatchAll(encoded_b, classifier, &result.stats);
+      matcher.MatchAll(encoded_b, classifier, &result.stats, pool.get());
   result.match_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -48,8 +48,9 @@ struct CbvHbConfig {
   size_t estimation_sample = 1000;
   /// Seed for every random component of the pipeline.
   uint64_t seed = 7;
-  /// Worker threads for the embarrassingly parallel embedding step;
-  /// 1 = serial, 0 = hardware concurrency.
+  /// Worker threads for the parallel stages (embedding, and the sharded
+  /// matching step); 1 = serial, 0 = hardware concurrency.  The matching
+  /// output is identical at any setting.
   size_t num_threads = 1;
 };
 

@@ -1,7 +1,6 @@
 #include "src/linkage/harra_linker.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/common/stopwatch.h"
 #include "src/lsh/blocking_table.h"
@@ -71,6 +70,12 @@ Result<LinkageResult> HarraLinker::Link(const std::vector<Record>& a,
   std::vector<bool> alive_a(a.size(), true);
   std::vector<bool> alive_b(b.size(), true);
 
+  // Per-probe dedup as a generation-stamped visited array over the dense
+  // A indices (same scheme as the matching engine, DESIGN.md §9) instead
+  // of allocating an unordered_set per probe.
+  std::vector<uint32_t> stamps(a.size(), 0);
+  uint32_t epoch = 0;
+
   watch.Restart();
   double index_seconds = 0.0;
   Stopwatch phase;
@@ -87,15 +92,19 @@ Result<LinkageResult> HarraLinker::Link(const std::vector<Record>& a,
     for (size_t j = 0; j < b.size(); ++j) {
       if (!alive_b[j]) continue;
       const uint64_t key = family.value().Key(sets_b[j], l);
-      std::unordered_set<RecordId> compared;
+      if (++epoch == 0) {
+        std::fill(stamps.begin(), stamps.end(), 0);
+        epoch = 1;
+      }
       for (RecordId ai : table.Get(key)) {
         ++result.stats.candidate_occurrences;
         const size_t i = static_cast<size_t>(ai);
         if (!alive_a[i]) continue;  // matched earlier in this iteration
-        if (!compared.insert(ai).second) {
+        if (stamps[i] == epoch) {
           ++result.stats.dedup_skipped;
           continue;
         }
+        stamps[i] = epoch;
         ++result.stats.comparisons;
         if (JaccardDistance(sets_a[i], sets_b[j]) <= config_.theta) {
           ++result.stats.matches;

@@ -76,7 +76,7 @@ Status OnlineCbvHbLinker::Match(const Record& record,
   Result<EncodedRecord> encoded = Encode(record);
   if (!encoded.ok()) return encoded.status();
   Matcher matcher(&source(), &store_);
-  matcher.MatchOne(encoded.value(), classifier_, out, &stats_);
+  matcher.MatchOne(encoded.value(), classifier_, out, &stats_, &scratch_);
   return Status::OK();
 }
 

@@ -75,6 +75,9 @@ class OnlineCbvHbLinker {
   PairClassifier classifier_;
   VectorStore store_;
   MatchStats stats_;
+  /// Probe scratch reused across Match calls, so the steady-state stream
+  /// path allocates nothing per query.
+  Matcher::Scratch scratch_;
   size_t blocking_groups_ = 0;
 };
 

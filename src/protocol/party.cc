@@ -1,6 +1,9 @@
 #include "src/protocol/party.h"
 
+#include <memory>
+
 #include "src/blocking/record_blocker.h"
+#include "src/common/thread_pool.h"
 #include "src/io/serialization.h"
 
 namespace cbvlink {
@@ -84,7 +87,12 @@ Result<LinkageResultLite> LinkageUnit::LinkEncoded(
   Matcher matcher(&blocker.value(), &store);
   const PairClassifier classifier =
       MakeRuleClassifier(options_.rule, layout_);
-  result.matches = matcher.MatchAll(from_b, classifier, &result.stats);
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  result.matches =
+      matcher.MatchAll(from_b, classifier, &result.stats, pool.get());
   return result;
 }
 

@@ -89,6 +89,10 @@ class LinkageUnit {
     size_t record_theta = 4;
     double delta = 0.1;
     uint64_t seed = 103;
+    /// Worker threads for Charlie's sharded matching step; 1 = serial,
+    /// 0 = hardware concurrency.  Matching output is identical at any
+    /// setting.
+    size_t num_threads = 1;
   };
 
   /// Creates Charlie with the published parameters and his own blocking

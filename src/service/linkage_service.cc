@@ -316,7 +316,6 @@ Status LinkageService::MatchAndInsert(const Record& record,
 Status LinkageService::InsertBatch(const std::vector<Record>& records) {
   std::mutex mu;
   Status first_error;
-  std::scoped_lock pool_lock(pool_mu_);
   telemetry::ScopedTimer batch_timer(t_batch_latency_);
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
@@ -336,7 +335,6 @@ Status LinkageService::MatchBatch(const std::vector<Record>& records,
                                   std::vector<IdPair>* out) {
   std::mutex mu;
   Status first_error;
-  std::scoped_lock pool_lock(pool_mu_);
   telemetry::ScopedTimer batch_timer(t_batch_latency_);
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {

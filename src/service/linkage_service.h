@@ -243,8 +243,9 @@ class LinkageService {
   std::optional<ShardedHammingIndex> index_;
   ConcurrentVectorStore store_;
   PairClassifier classifier_;
+  // ParallelFor keeps a per-call completion latch, so concurrent batch
+  // calls share the pool without serializing on each other.
   std::unique_ptr<ThreadPool> pool_;
-  std::mutex pool_mu_;  // ThreadPool::ParallelFor is not reentrant
 
   /// Nanoseconds since `epoch_` (the service's construction instant —
   /// the zero point for the wall-clock span tracking below).

@@ -168,6 +168,56 @@ TEST(BitVectorTest, HammingDistanceRangeMatchesSlice) {
   }
 }
 
+TEST(BitVectorTest, HammingDistanceRangeWordBoundaries) {
+  // The range kernel masks the first and last word of the range; these
+  // are the exact boundary shapes that masking must get right.
+  BitVector a(256);
+  BitVector b(256);
+  for (size_t i = 0; i < 256; ++i) b.Set(i);  // every bit differs
+
+  // Word-aligned start (offset % 64 == 0).
+  EXPECT_EQ(a.HammingDistanceRange(b, 64, 10), 10u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 128, 64), 64u);
+  // Range ending exactly on bit 63 of a word (trail == 63: no tail mask).
+  EXPECT_EQ(a.HammingDistanceRange(b, 60, 4), 4u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 0, 64), 64u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 100, 28), 28u);  // ends at bit 127
+  // Range spanning exactly one word but unaligned within it.
+  EXPECT_EQ(a.HammingDistanceRange(b, 65, 5), 5u);
+  // Single bits at the extreme positions of a word.
+  EXPECT_EQ(a.HammingDistanceRange(b, 63, 1), 1u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 64, 1), 1u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 255, 1), 1u);
+  // Length zero anywhere, including at a word boundary.
+  EXPECT_EQ(a.HammingDistanceRange(b, 0, 0), 0u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 64, 0), 0u);
+  EXPECT_EQ(a.HammingDistanceRange(b, 256, 0), 0u);
+  // Full-width range equals the unrestricted distance.
+  EXPECT_EQ(a.HammingDistanceRange(b, 0, 256), a.HammingDistance(b));
+}
+
+TEST(BitVectorTest, RawWordRangeKernelAgreesWithBitVector) {
+  Rng rng(23);
+  BitVector a(200);
+  BitVector b(200);
+  for (int i = 0; i < 80; ++i) {
+    a.Set(rng.Below(200));
+    b.Set(rng.Below(200));
+  }
+  for (const auto& [offset, length] :
+       {std::pair<size_t, size_t>{0, 200}, {0, 64}, {64, 64}, {64, 1},
+        {63, 1}, {63, 2}, {199, 1}, {32, 0}, {1, 127}}) {
+    SCOPED_TRACE(testing::Message() << "offset=" << offset
+                                    << " length=" << length);
+    EXPECT_EQ(HammingDistanceRangeWords(a.words().data(), b.words().data(),
+                                        offset, length),
+              a.HammingDistanceRange(b, offset, length));
+  }
+  EXPECT_EQ(HammingDistanceWords(a.words().data(), b.words().data(),
+                                 a.words().size()),
+            a.HammingDistance(b));
+}
+
 TEST(BitVectorTest, RangeDistancesSumToTotal) {
   Rng rng(9);
   BitVector a(120);

@@ -72,6 +72,65 @@ TEST_F(LinkersTest, CbvHbRecordLevelFindsMostPairs) {
               120.0, 10.0);
 }
 
+TEST_F(LinkersTest, CbvHbEmptyAWithoutExpectedQGramsIsAnError) {
+  // With no expected_qgrams the sizing estimate samples data set A; an
+  // empty A must be rejected up front instead of silently producing
+  // degenerate vector sizes.
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.seed = 5;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link({}, data_->b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LinkersTest, CbvHbEmptyAWithExpectedQGramsIsAllowed) {
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.expected_qgrams = {8.0, 9.0, 20.0, 7.0};
+  config.seed = 5;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<LinkageResult> result = linker.value().Link({}, data_->b);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().matches.empty());
+}
+
+TEST_F(LinkersTest, CbvHbParallelMatchingReproducesSerialOutput) {
+  // The acceptance bar of the parallel engine: pairs and stats must be
+  // identical across thread counts on a fixed-seed dataset.
+  auto run = [&](size_t num_threads) {
+    CbvHbConfig config;
+    config.schema = generator_->schema();
+    config.rule = PlRule();
+    config.record_K = 30;
+    config.record_theta = 4;
+    config.seed = 1;
+    config.num_threads = num_threads;
+    Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  };
+  const LinkageResult serial = run(1);
+  EXPECT_GT(serial.matches.size(), 0u);
+  for (size_t threads : {2u, 8u}) {
+    const LinkageResult parallel = run(threads);
+    EXPECT_EQ(parallel.matches, serial.matches)
+        << "matches diverge at " << threads << " threads";
+    EXPECT_EQ(parallel.stats.candidate_occurrences,
+              serial.stats.candidate_occurrences);
+    EXPECT_EQ(parallel.stats.comparisons, serial.stats.comparisons);
+    EXPECT_EQ(parallel.stats.matches, serial.stats.matches);
+    EXPECT_EQ(parallel.stats.dedup_skipped, serial.stats.dedup_skipped);
+  }
+}
+
 TEST_F(LinkersTest, CbvHbAttributeLevelFindsMostPairs) {
   CbvHbConfig config;
   config.schema = generator_->schema();

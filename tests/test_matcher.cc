@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/common/thread_pool.h"
 
 namespace cbvlink {
 namespace {
@@ -32,19 +33,76 @@ EncodedRecord MakeRecord(RecordId id, size_t bits,
   return r;
 }
 
-TEST(VectorStoreTest, AddAndFind) {
+TEST(VectorStoreTest, AddAndLookup) {
   VectorStore store;
   store.Add(MakeRecord(5, 16, {1}));
   EXPECT_EQ(store.size(), 1u);
-  ASSERT_NE(store.Find(5), nullptr);
-  EXPECT_TRUE(store.Find(5)->Test(1));
-  EXPECT_EQ(store.Find(6), nullptr);
+  const uint32_t dense = store.DenseIndex(5);
+  ASSERT_NE(dense, VectorStore::kNotFound);
+  EXPECT_EQ(store.IdAt(dense), 5u);
+  EXPECT_TRUE(store.VectorAt(dense).Test(1));
+  EXPECT_EQ(store.DenseIndex(6), VectorStore::kNotFound);
+  EXPECT_TRUE(store.Contains(5));
+  EXPECT_FALSE(store.Contains(6));
 }
 
 TEST(VectorStoreTest, AddAll) {
   VectorStore store;
   store.AddAll({MakeRecord(1, 8, {}), MakeRecord(2, 8, {})});
   EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(VectorStoreTest, DenseIndicesAreInsertionOrder) {
+  VectorStore store;
+  store.AddAll({MakeRecord(9, 8, {0}), MakeRecord(4, 8, {1}),
+                MakeRecord(7, 8, {2})});
+  EXPECT_EQ(store.DenseIndex(9), 0u);
+  EXPECT_EQ(store.DenseIndex(4), 1u);
+  EXPECT_EQ(store.DenseIndex(7), 2u);
+}
+
+TEST(VectorStoreTest, FirstAddWinsOnDuplicateId) {
+  // Matches the emplace semantics of the original map-based store.
+  VectorStore store;
+  store.Add(MakeRecord(1, 8, {0}));
+  store.Add(MakeRecord(1, 8, {1}));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.VectorAt(store.DenseIndex(1)).Test(0));
+  EXPECT_FALSE(store.VectorAt(store.DenseIndex(1)).Test(1));
+}
+
+TEST(VectorStoreTest, SurvivesRehashing) {
+  // Enough inserts to force several slot-table rehashes; every id must
+  // stay reachable with its own vector.
+  VectorStore store;
+  for (RecordId id = 0; id < 1000; ++id) {
+    store.Add(MakeRecord(id * 7919 + 1, 64, {static_cast<size_t>(id % 64)}));
+  }
+  EXPECT_EQ(store.size(), 1000u);
+  for (RecordId id = 0; id < 1000; ++id) {
+    const uint32_t dense = store.DenseIndex(id * 7919 + 1);
+    ASSERT_NE(dense, VectorStore::kNotFound);
+    EXPECT_TRUE(store.VectorAt(dense).Test(id % 64));
+  }
+}
+
+TEST(VectorStoreTest, ArenaIsContiguousAndZeroPadded) {
+  // 70 bits -> 2 words per record with 58 padding bits in the second
+  // word; the whole-word kernels rely on the padding staying zero.
+  VectorStore store;
+  store.AddAll({MakeRecord(1, 70, {0, 69}), MakeRecord(2, 70, {69})});
+  EXPECT_EQ(store.num_bits(), 70u);
+  EXPECT_EQ(store.words_per_record(), 2u);
+  ASSERT_EQ(store.arena().size(), 4u);
+  for (uint32_t dense = 0; dense < store.size(); ++dense) {
+    const uint64_t trailing = store.WordsAt(dense)[1];
+    EXPECT_EQ(trailing & ~((uint64_t{1} << (70 - 64)) - 1), 0u)
+        << "padding bits must be zero at dense index " << dense;
+  }
+  // The two records are adjacent in one buffer at the fixed stride.
+  EXPECT_EQ(store.WordsAt(1), store.WordsAt(0) + store.words_per_record());
+  // Distance across the word boundary: bit 0 differs, bit 69 agrees.
+  EXPECT_EQ(HammingDistanceWords(store.WordsAt(0), store.WordsAt(1), 2), 1u);
 }
 
 TEST(MatcherTest, Algorithm2DeduplicatesPerProbe) {
@@ -91,6 +149,39 @@ TEST(MatcherTest, UnknownIdsSkippedSafely) {
                    MakeRecordThresholdClassifier(0), &out, &stats);
   EXPECT_EQ(stats.comparisons, 0u);
   EXPECT_TRUE(out.empty());
+}
+
+TEST(MatcherTest, RepeatedUnknownIdsCountAsDedupSkipped) {
+  // An Id that is indexed but has no stored vector still participates in
+  // the unique collection: its second and later occurrences are skips.
+  FixedSource source({42, 42, 42});
+  VectorStore store;
+  store.Add(MakeRecord(1, 16, {0}));  // non-empty store, 42 still unknown
+  Matcher matcher(&source, &store);
+  MatchStats stats;
+  std::vector<IdPair> out;
+  matcher.MatchOne(MakeRecord(100, 16, {0}),
+                   MakeRecordThresholdClassifier(0), &out, &stats);
+  EXPECT_EQ(stats.candidate_occurrences, 3u);
+  EXPECT_EQ(stats.comparisons, 0u);
+  EXPECT_EQ(stats.dedup_skipped, 2u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MatcherTest, NullStatsAccepted) {
+  // Callers that only want the pairs may pass stats == nullptr.
+  FixedSource source({1, 1, 42});
+  VectorStore store;
+  store.Add(MakeRecord(1, 16, {0}));
+  Matcher matcher(&source, &store);
+  std::vector<IdPair> out;
+  matcher.MatchOne(MakeRecord(100, 16, {0}),
+                   MakeRecordThresholdClassifier(0), &out, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a_id, 1u);
+  out = matcher.MatchAll({MakeRecord(100, 16, {0})},
+                         MakeRecordThresholdClassifier(0), nullptr);
+  EXPECT_EQ(out.size(), 1u);
 }
 
 TEST(MatcherTest, ThresholdClassifierFiltersByDistance) {
@@ -153,6 +244,141 @@ TEST(MatcherTest, MatchStatsAccumulate) {
   EXPECT_EQ(a.comparisons, 6u);
   EXPECT_EQ(a.matches, 3u);
   EXPECT_EQ(a.dedup_skipped, 3u);
+}
+
+/// A probe-dependent candidate source: each probe maps to a different mix
+/// of bucket spans (with cross-bucket duplicates and some unknown Ids), so
+/// the parallel determinism tests exercise uneven per-probe work.
+class HashedSpanSource : public CandidateSource {
+ public:
+  HashedSpanSource(size_t num_a, size_t num_buckets) {
+    buckets_.resize(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+      const size_t len = 1 + (b * 7) % 13;
+      for (size_t k = 0; k < len; ++k) {
+        // Mostly known Ids, a few unknown ones (>= num_a) sprinkled in.
+        buckets_[b].push_back(
+            static_cast<RecordId>((b * 31 + k * 17) % (num_a + 3)));
+      }
+    }
+  }
+
+  void ForEachCandidate(
+      const BitVector& probe,
+      const std::function<void(RecordId)>& cb) const override {
+    ForEachCandidateSpan(probe, [&](std::span<const RecordId> bucket) {
+      for (RecordId id : bucket) cb(id);
+    });
+  }
+
+  void ForEachCandidateSpan(
+      const BitVector& probe,
+      FunctionRef<void(std::span<const RecordId>)> cb) const override {
+    const uint64_t h = probe.words().empty() ? 0 : probe.words()[0];
+    const size_t groups = 1 + h % 5;
+    for (size_t g = 0; g < groups; ++g) {
+      cb(buckets_[(h + g * 13) % buckets_.size()]);
+    }
+  }
+
+ private:
+  std::vector<std::vector<RecordId>> buckets_;
+};
+
+std::vector<EncodedRecord> RandomRecords(size_t n, size_t bits,
+                                         RecordId first_id, Rng& rng) {
+  std::vector<EncodedRecord> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    EncodedRecord r;
+    r.id = first_id + i;
+    r.bits = BitVector(bits);
+    for (size_t b = 0; b < bits; ++b) {
+      if (rng.Below(3) == 0) r.bits.Set(b);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(MatcherParallelTest, OutputIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const size_t kNumA = 64;
+  std::vector<EncodedRecord> a = RandomRecords(kNumA, 96, 0, rng);
+  std::vector<EncodedRecord> b = RandomRecords(257, 96, 1000, rng);
+  HashedSpanSource source(kNumA, 23);
+  VectorStore store;
+  store.AddAll(a);
+  Matcher matcher(&source, &store);
+  const PairClassifier classifier = MakeRecordThresholdClassifier(40);
+
+  MatchStats serial_stats;
+  const std::vector<IdPair> serial =
+      matcher.MatchAll(b, classifier, &serial_stats);
+  EXPECT_GT(serial_stats.matches, 0u) << "test needs a non-trivial workload";
+  EXPECT_GT(serial_stats.dedup_skipped, 0u);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    MatchStats stats;
+    const std::vector<IdPair> parallel =
+        matcher.MatchAll(b, classifier, &stats, &pool);
+    EXPECT_EQ(parallel, serial) << "pairs diverge at " << threads
+                                << " threads";
+    EXPECT_EQ(stats.candidate_occurrences, serial_stats.candidate_occurrences);
+    EXPECT_EQ(stats.comparisons, serial_stats.comparisons);
+    EXPECT_EQ(stats.matches, serial_stats.matches);
+    EXPECT_EQ(stats.dedup_skipped, serial_stats.dedup_skipped);
+  }
+}
+
+TEST(MatcherParallelTest, NullPoolAndEmptyInputAreSafe) {
+  Rng rng(7);
+  std::vector<EncodedRecord> a = RandomRecords(4, 32, 0, rng);
+  HashedSpanSource source(4, 5);
+  VectorStore store;
+  store.AddAll(a);
+  Matcher matcher(&source, &store);
+  ThreadPool pool(4);
+  MatchStats stats;
+  EXPECT_TRUE(matcher
+                  .MatchAll({}, MakeRecordThresholdClassifier(8), &stats,
+                            &pool)
+                  .empty());
+  EXPECT_EQ(stats.candidate_occurrences, 0u);
+  EXPECT_TRUE(matcher
+                  .MatchAll({}, MakeRecordThresholdClassifier(8), &stats,
+                            nullptr)
+                  .empty());
+}
+
+TEST(MatcherParallelTest, RuleClassifierIdenticalAcrossThreadCounts) {
+  RecordLayout layout;
+  layout.Add(48);
+  layout.Add(48);
+  const Rule rule = Rule::Or(
+      {Rule::And({Rule::Pred(0, 14), Rule::Pred(1, 14)}), Rule::Pred(0, 8)});
+  const PairClassifier classifier = MakeRuleClassifier(rule, layout);
+
+  Rng rng(11);
+  const size_t kNumA = 48;
+  std::vector<EncodedRecord> a = RandomRecords(kNumA, 96, 0, rng);
+  std::vector<EncodedRecord> b = RandomRecords(128, 96, 500, rng);
+  HashedSpanSource source(kNumA, 17);
+  VectorStore store;
+  store.AddAll(a);
+  Matcher matcher(&source, &store);
+
+  MatchStats serial_stats;
+  const std::vector<IdPair> serial =
+      matcher.MatchAll(b, classifier, &serial_stats);
+  ThreadPool pool(8);
+  MatchStats stats;
+  const std::vector<IdPair> parallel =
+      matcher.MatchAll(b, classifier, &stats, &pool);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(stats.matches, serial_stats.matches);
+  EXPECT_EQ(stats.comparisons, serial_stats.comparisons);
 }
 
 }  // namespace

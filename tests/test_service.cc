@@ -212,6 +212,54 @@ TEST(ServiceTest, BatchMatchEqualsSerialMatch) {
   EXPECT_EQ(Sorted(std::move(batch)), Sorted(std::move(serial)));
 }
 
+TEST(ServiceTest, ConcurrentMatchBatchCallsShareThePool) {
+  // Batch calls used to serialize on a service-level mutex because
+  // ParallelFor could not take concurrent callers; with the per-call
+  // completion latch they run the pool together.  Each caller must still
+  // get exactly its own results.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  LinkageServiceOptions options;
+  options.num_threads = 4;
+  Result<std::unique_ptr<LinkageService>> created =
+      LinkageService::Create(BaseConfig(gen.value().schema()), options);
+  ASSERT_TRUE(created.ok());
+  LinkageService& service = *created.value();
+
+  const std::vector<Record> registry = GenerateRecords(gen.value(), 120, 7);
+  ASSERT_TRUE(service.InsertBatch(registry).ok());
+
+  constexpr size_t kCallers = 4;
+  const size_t per_caller = registry.size() / kCallers;
+  std::vector<std::vector<IdPair>> results(kCallers);
+  // vector<bool> packs bits; distinct int elements keep the per-thread
+  // writes race-free.
+  std::vector<int> ok(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<Record> queries;
+      for (size_t i = c * per_caller; i < (c + 1) * per_caller; ++i) {
+        Record q = registry[i];
+        q.id = 5000 + i;
+        queries.push_back(std::move(q));
+      }
+      ok[c] = service.MatchBatch(queries, &results[c]).ok() ? 1 : 0;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_TRUE(ok[c]);
+    for (size_t i = c * per_caller; i < (c + 1) * per_caller; ++i) {
+      const IdPair expected{registry[i].id, 5000 + i};
+      EXPECT_TRUE(std::find(results[c].begin(), results[c].end(), expected) !=
+                  results[c].end())
+          << "caller " << c << " missed its query " << i;
+    }
+  }
+}
+
 TEST(ServiceTest, ConcurrentMatchAndInsertInterleaving) {
   // Eight threads stream duplicate arrivals of disjoint base entities
   // concurrently; every arrival must link back to its pre-inserted base.

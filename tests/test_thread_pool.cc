@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 namespace cbvlink {
@@ -64,6 +68,78 @@ TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
     total.fetch_add(static_cast<int>(end - begin));
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotBlockEachOther) {
+  // Regression: ParallelFor used to wait on the pool-wide in_flight_
+  // counter, so one caller's completion was held hostage by another
+  // caller's still-running tasks.  Here a background caller's chunks
+  // block on a promise that is only released *after* the foreground
+  // ParallelFor returns — with the old implementation this deadlocked.
+  ThreadPool pool(4);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> background_done{0};
+
+  std::thread background([&] {
+    pool.ParallelFor(2, [&](size_t, size_t, size_t) {
+      gate.wait();
+      background_done.fetch_add(1);
+    });
+  });
+
+  // Give the background chunks time to occupy workers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::atomic<int> foreground_done{0};
+  pool.ParallelFor(8, [&](size_t, size_t begin, size_t end) {
+    foreground_done.fetch_add(static_cast<int>(end - begin));
+  });
+  // Old behavior: the line above never returns while the background tasks
+  // are parked on the gate.
+  EXPECT_EQ(foreground_done.load(), 8);
+  EXPECT_EQ(background_done.load(), 0);
+
+  release.set_value();
+  background.join();
+  EXPECT_EQ(background_done.load(), 2);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 400;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      pool.ParallelFor(kItems, [&sums, c](size_t, size_t begin, size_t end) {
+        sums[c].fetch_add(end - begin);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const auto& sum : sums) EXPECT_EQ(sum.load(), kItems);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkBoundariesAreDeterministic) {
+  // The matcher's shard-order merge relies on chunk boundaries depending
+  // only on (total, pool size).
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::tuple<size_t, size_t, size_t>> chunks(4);
+    std::atomic<size_t> seen{0};
+    pool.ParallelFor(10, [&](size_t chunk, size_t begin, size_t end) {
+      chunks[chunk] = {chunk, begin, end};
+      seen.fetch_add(1);
+    });
+    EXPECT_EQ(seen.load(), 4u);
+    EXPECT_EQ(chunks[0], std::make_tuple(0u, 0u, 3u));
+    EXPECT_EQ(chunks[1], std::make_tuple(1u, 3u, 6u));
+    EXPECT_EQ(chunks[2], std::make_tuple(2u, 6u, 9u));
+    EXPECT_EQ(chunks[3], std::make_tuple(3u, 9u, 10u));
+  }
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
