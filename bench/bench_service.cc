@@ -49,7 +49,7 @@ void Run() {
   size_t matches_base = 0;
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     LinkageServiceOptions options;
-    options.num_threads = threads;
+    options.execution = ExecutionOptions::WithThreads(threads);
     Result<std::unique_ptr<LinkageService>> service = LinkageService::Create(
         bench::CbvHbFor(gen.value().schema(), bench::Scheme::kPL, 7),
         options, registry);

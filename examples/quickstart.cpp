@@ -63,8 +63,15 @@ int main() {
   }
   const ExperimentResult& r = result.value();
   std::printf("\ncBV-HB results\n");
+  // encoder() is FailedPrecondition before the first Link(); RunLinkage
+  // above already linked, so it is available here.
+  Result<const CVectorRecordEncoder*> encoder = linker.value().encoder();
+  if (!encoder.ok()) {
+    std::fprintf(stderr, "%s\n", encoder.status().ToString().c_str());
+    return 1;
+  }
   std::printf("  record embedding size : %zu bits\n",
-              linker.value().last_encoder()->total_bits());
+              encoder.value()->total_bits());
   std::printf("  blocking groups (L)   : %zu\n", r.linkage.blocking_groups);
   std::printf("  matched pairs         : %zu\n", r.linkage.matches.size());
   std::printf("  pairs completeness    : %.3f\n",

@@ -4,7 +4,9 @@
 
 #include "src/common/hashing.h"
 #include "src/common/str.h"
+#include "src/common/thread_pool.h"
 #include "src/lsh/params.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 
@@ -219,6 +221,81 @@ void AttributeLevelBlocker::Insert(const EncodedRecord& record) {
 void AttributeLevelBlocker::Index(const std::vector<EncodedRecord>& records) {
   indexed_.reserve(indexed_.size() + records.size());
   for (const EncodedRecord& record : records) Insert(record);
+}
+
+void AttributeLevelBlocker::BulkInsert(std::span<const EncodedRecord> records,
+                                       ThreadPool* pool, size_t min_chunk) {
+  telemetry::Registry& reg = telemetry::Registry::Global();
+  telemetry::ScopedTimer timer(
+      reg.GetHistogram("index_build_batch_latency_us"));
+  if (pool == nullptr || pool->num_threads() <= 1 || records.size() <= 1) {
+    indexed_.reserve(indexed_.size() + records.size());
+    for (const EncodedRecord& record : records) Insert(record);
+    reg.GetCounter("index_build_records_total")->Add(records.size());
+    return;
+  }
+
+  // Flatten the per-structure tables into one global enumeration so
+  // phase 2 can shard them uniformly.  Global table t of structure s is
+  // local table t - base: AND structures key group l = local index;
+  // OR structures key (predicate, group) = (local / L, local % L).
+  struct TableRef {
+    size_t structure;
+    size_t local;
+  };
+  std::vector<TableRef> table_refs;
+  std::vector<size_t> structure_base(structures_.size(), 0);
+  for (size_t s = 0; s < structures_.size(); ++s) {
+    structure_base[s] = table_refs.size();
+    for (size_t t = 0; t < structures_[s].tables.size(); ++t) {
+      table_refs.push_back(TableRef{s, t});
+    }
+  }
+  const size_t total_tables = table_refs.size();
+
+  // Phase 1: the key matrix keys[i * total_tables + global_table],
+  // sharded over records.
+  std::vector<uint64_t> keys(records.size() * total_tables);
+  std::vector<RecordId> ids(records.size());
+  pool->ParallelFor(
+      records.size(), min_chunk, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          ids[i] = records[i].id;
+          uint64_t* row = keys.data() + i * total_tables;
+          for (size_t s = 0; s < structures_.size(); ++s) {
+            const Structure& st = structures_[s];
+            uint64_t* cell = row + structure_base[s];
+            if (st.kind == Structure::Kind::kAnd) {
+              for (size_t l = 0; l < st.L; ++l) {
+                cell[l] = CompoundKey(st, records[i].bits, l);
+              }
+            } else {
+              for (size_t p = 0; p < st.predicates.size(); ++p) {
+                for (size_t l = 0; l < st.L; ++l) {
+                  cell[p * st.L + l] = st.families[p].Key(records[i].bits, l);
+                }
+              }
+            }
+          }
+        }
+      });
+
+  // Phase 2: per-table merge in record order.
+  pool->ParallelFor(total_tables, [&](size_t, size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const TableRef& ref = table_refs[t];
+      structures_[ref.structure].tables[ref.local].BulkInsert(
+          keys.data() + t, total_tables, ids);
+    }
+  });
+
+  // The retained vector map is filled serially (unordered_map is not
+  // concurrent); identical contents either way since ids are the keys.
+  indexed_.reserve(indexed_.size() + records.size());
+  for (const EncodedRecord& record : records) {
+    indexed_.emplace(record.id, record.bits);
+  }
+  reg.GetCounter("index_build_records_total")->Add(records.size());
 }
 
 bool AttributeLevelBlocker::CollidesInStructure(const Structure& s,

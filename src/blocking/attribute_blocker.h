@@ -63,6 +63,14 @@ class AttributeLevelBlocker : public CandidateSource {
   /// retains their vectors for rule-membership evaluation.
   void Index(const std::vector<EncodedRecord>& records);
 
+  /// Bulk Index with the two-phase parallel build (see
+  /// RecordLevelBlocker::BulkInsert): phase 1 computes every structure's
+  /// keys into a per-record matrix over `pool`; phase 2 merges each of
+  /// the TotalTables() tables in record order.  Tables and the retained
+  /// vector map are identical to Index() at any thread count.
+  void BulkInsert(std::span<const EncodedRecord> records,
+                  ThreadPool* pool = nullptr, size_t min_chunk = 0);
+
   /// Inserts a single record (streaming ingestion).
   void Insert(const EncodedRecord& record);
 

@@ -24,6 +24,8 @@
 
 namespace cbvlink {
 
+class ThreadPool;
+
 /// Source of candidate Ids for a probe vector; implemented by both the
 /// record-level and the attribute-level blockers so the matcher is
 /// agnostic to the blocking strategy.
@@ -72,6 +74,17 @@ class RecordLevelBlocker : public CandidateSource {
   /// Inserts every record of data set A.  May be called repeatedly to add
   /// more records.
   void Index(const std::vector<EncodedRecord>& records);
+
+  /// Bulk Index with a two-phase parallel build: phase 1 computes the
+  /// L-wide blocking-key matrix sharded over `pool` (per-slot writes, so
+  /// chunking cannot reorder anything); phase 2 merges each table's key
+  /// column in record order.  The resulting tables are identical to
+  /// Index() at any thread count — same buckets, same per-bucket id
+  /// order, same counters.  Null `pool` (or a single worker) runs the
+  /// plain serial path; `min_chunk` only bounds phase-1 scheduling
+  /// overhead.
+  void BulkInsert(std::span<const EncodedRecord> records,
+                  ThreadPool* pool = nullptr, size_t min_chunk = 0);
 
   /// Inserts a single record (streaming ingestion).
   void Insert(const EncodedRecord& record);

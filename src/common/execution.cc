@@ -1,0 +1,42 @@
+#include "src/common/execution.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+
+namespace cbvlink {
+
+size_t ResolveNumThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ExecutionOptions MergeDeprecatedNumThreads(ExecutionOptions exec,
+                                           size_t exec_default,
+                                           size_t legacy_num_threads,
+                                           size_t legacy_default) {
+  if (exec.pool == nullptr && exec.num_threads == exec_default &&
+      legacy_num_threads != legacy_default) {
+    exec.num_threads = legacy_num_threads;
+  }
+  return exec;
+}
+
+ExecutionContext::ExecutionContext(const ExecutionOptions& options)
+    : chunk_size_hint_(options.chunk_size_hint) {
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+    threads_used_ = std::max<size_t>(1, pool_->num_threads());
+    return;
+  }
+  const size_t resolved = ResolveNumThreads(options.num_threads);
+  if (resolved <= 1) return;  // serial: pool_ stays null
+  owned_ = std::make_unique<ThreadPool>(resolved);
+  pool_ = owned_.get();
+  threads_used_ = resolved;
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+}  // namespace cbvlink

@@ -1,0 +1,102 @@
+// The cross-cutting execution surface: one options struct for every
+// parallel stage of the pipeline (embedding, bulk index build, matching)
+// instead of a per-config `num_threads` knob with drifting conventions.
+//
+// Convention (unified across the whole code base, DESIGN.md §10):
+//   num_threads == 0  ->  hardware concurrency
+//   num_threads == 1  ->  serial (no pool is created)
+//   num_threads == N  ->  N workers
+// A non-null `pool` overrides `num_threads`: the caller keeps ownership
+// and the pool must outlive every call it is passed to.  All parallel
+// stages guarantee byte-identical output to the serial path at any
+// thread count (deterministic chunking + in-order merges).
+
+#ifndef CBVLINK_COMMON_EXECUTION_H_
+#define CBVLINK_COMMON_EXECUTION_H_
+
+#include <cstddef>
+#include <memory>
+
+namespace cbvlink {
+
+class ThreadPool;
+
+/// How a Link / bulk-build / batch call should execute.
+struct ExecutionOptions {
+  /// Shared pool to run on (borrowed, never owned; must outlive the
+  /// call).  When set, `num_threads` is ignored.
+  ThreadPool* pool = nullptr;
+  /// Worker threads when no pool is supplied: 0 = hardware concurrency,
+  /// 1 = serial (the default), N = N workers.
+  size_t num_threads = 1;
+  /// Minimum items per parallel chunk; 0 lets each stage pick.  Raising
+  /// it bounds scheduling overhead for cheap per-item work without
+  /// affecting results (chunk boundaries stay deterministic).
+  size_t chunk_size_hint = 0;
+
+  /// Serial execution (the default-constructed state).
+  static ExecutionOptions Serial() { return ExecutionOptions{}; }
+
+  /// `n` workers under the unified convention (0 = hardware).
+  static ExecutionOptions WithThreads(size_t n) {
+    ExecutionOptions options;
+    options.num_threads = n;
+    return options;
+  }
+
+  /// Runs on a caller-owned pool.
+  static ExecutionOptions WithPool(ThreadPool* pool) {
+    ExecutionOptions options;
+    options.pool = pool;
+    return options;
+  }
+};
+
+/// Maps the unified `num_threads` convention to a concrete worker count:
+/// 0 -> hardware concurrency (>= 1), anything else unchanged.
+size_t ResolveNumThreads(size_t num_threads);
+
+/// Deprecation shim used by configs that kept a legacy `num_threads`
+/// field next to the new ExecutionOptions: the legacy value is folded in
+/// only when the caller left `exec` untouched (no pool, `num_threads`
+/// still at `exec_default`) and moved the legacy field off
+/// `legacy_default`.  Explicit ExecutionOptions always win.
+ExecutionOptions MergeDeprecatedNumThreads(ExecutionOptions exec,
+                                           size_t exec_default,
+                                           size_t legacy_num_threads,
+                                           size_t legacy_default);
+
+/// Resolves ExecutionOptions for the duration of one call: borrows the
+/// supplied pool, or owns a freshly created one when `num_threads`
+/// resolves to more than one worker.  pool() == nullptr means "run
+/// serially" — every parallel stage takes that branch without touching a
+/// pool.  The context (and therefore any owned pool) must outlive the
+/// stages run under it.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(const ExecutionOptions& options);
+  ~ExecutionContext();
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// The pool to run on, or null for serial execution.
+  ThreadPool* pool() const { return pool_; }
+
+  /// Worker count behind pool() (1 when serial) — what LinkageResult
+  /// reports as threads_used.
+  size_t threads_used() const { return threads_used_; }
+
+  /// The caller's chunk-size hint (0 = stage default).
+  size_t chunk_size_hint() const { return chunk_size_hint_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_ = nullptr;
+  size_t threads_used_ = 1;
+  size_t chunk_size_hint_ = 0;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_EXECUTION_H_

@@ -39,8 +39,18 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(
     size_t total, const std::function<void(size_t, size_t, size_t)>& fn) {
+  ParallelFor(total, 0, fn);
+}
+
+void ThreadPool::ParallelFor(
+    size_t total, size_t min_chunk,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
   if (total == 0) return;
-  const size_t chunks = std::min(total, workers_.size());
+  size_t chunks = std::min(total, workers_.size());
+  if (min_chunk > 1) {
+    // At least min_chunk items per chunk, still covering all of [0, total).
+    chunks = std::min(chunks, std::max<size_t>(1, total / min_chunk));
+  }
   const size_t per = (total + chunks - 1) / chunks;
   // Each call owns its completion latch.  Waiting on the pool-wide
   // in_flight_ counter (the old implementation) made two concurrent

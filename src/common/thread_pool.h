@@ -51,6 +51,15 @@ class ThreadPool {
   void ParallelFor(size_t total,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 
+  /// ParallelFor with a minimum chunk size: the chunk count is further
+  /// capped so every chunk holds at least `min_chunk` items (0 behaves
+  /// like the plain overload).  Boundaries still depend only on `total`,
+  /// the pool size, and `min_chunk`, so per-chunk merges stay
+  /// deterministic; the hint only bounds scheduling overhead for cheap
+  /// per-item work.
+  void ParallelFor(size_t total, size_t min_chunk,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -9,6 +9,7 @@
 #ifndef CBVLINK_EMBEDDING_RECORD_ENCODER_H_
 #define CBVLINK_EMBEDDING_RECORD_ENCODER_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "src/text/qgram.h"
 
 namespace cbvlink {
+
+class ThreadPool;
 
 /// Static description of one linkage attribute f_i.
 struct AttributeSpec {
@@ -95,6 +98,17 @@ class CVectorRecordEncoder {
   /// different field count than the schema.
   Result<EncodedRecord> Encode(const Record& record) const;
 
+  /// Batch Encode: out[i] = Encode(records[i]), sharded over `pool` when
+  /// one is supplied (null = serial).  Chunk boundaries depend only on
+  /// the input size and the pool size, and each output slot is written
+  /// by exactly one chunk, so the result is byte-identical to the serial
+  /// path at any thread count.  On any per-record failure the first
+  /// error (in chunk order) is returned.  `min_chunk` bounds scheduling
+  /// overhead (0 = default); it never affects the output.
+  Result<std::vector<EncodedRecord>> EncodeAll(std::span<const Record> records,
+                                               ThreadPool* pool = nullptr,
+                                               size_t min_chunk = 0) const;
+
   /// Encodes a single attribute value (raw, pre-normalization).
   BitVector EncodeAttribute(size_t attr, std::string_view raw_value) const;
 
@@ -135,6 +149,12 @@ class BloomRecordEncoder {
 
   /// Encodes one record; same contract as CVectorRecordEncoder::Encode.
   Result<EncodedRecord> Encode(const Record& record) const;
+
+  /// Batch Encode; same contract and determinism guarantee as
+  /// CVectorRecordEncoder::EncodeAll.
+  Result<std::vector<EncodedRecord>> EncodeAll(std::span<const Record> records,
+                                               ThreadPool* pool = nullptr,
+                                               size_t min_chunk = 0) const;
 
   /// Attribute-level Hamming distance (used by BfH only at match time).
   size_t AttributeDistance(const BitVector& a, const BitVector& b,

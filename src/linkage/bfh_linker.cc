@@ -1,7 +1,5 @@
 #include "src/linkage/bfh_linker.h"
 
-#include <memory>
-
 #include "src/blocking/record_blocker.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
@@ -19,29 +17,33 @@ Result<BfhLinker> BfhLinker::Create(BfhConfig config) {
 
 Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
                                       const std::vector<Record>& b) {
+  ExecutionOptions exec;
+  exec.num_threads = config_.num_threads;
+  return Link(a, b, exec);
+}
+
+Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
+                                      const std::vector<Record>& b,
+                                      const ExecutionOptions& options) {
   Rng rng(config_.seed);
   LinkageResult result;
   Stopwatch watch;
+  ExecutionContext ctx(options);
+  result.threads_used = ctx.threads_used();
 
   // --- Embedding ----------------------------------------------------------
   Result<BloomRecordEncoder> encoder =
       BloomRecordEncoder::Create(config_.schema, config_.bloom);
   if (!encoder.ok()) return encoder.status();
 
-  std::vector<EncodedRecord> encoded_a;
-  encoded_a.reserve(a.size());
-  for (const Record& record : a) {
-    Result<EncodedRecord> enc = encoder.value().Encode(record);
-    if (!enc.ok()) return enc.status();
-    encoded_a.push_back(std::move(enc).value());
-  }
-  std::vector<EncodedRecord> encoded_b;
-  encoded_b.reserve(b.size());
-  for (const Record& record : b) {
-    Result<EncodedRecord> enc = encoder.value().Encode(record);
-    if (!enc.ok()) return enc.status();
-    encoded_b.push_back(std::move(enc).value());
-  }
+  Result<std::vector<EncodedRecord>> encoded_a_result =
+      encoder.value().EncodeAll(a, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded_a_result.ok()) return encoded_a_result.status();
+  std::vector<EncodedRecord> encoded_a = std::move(encoded_a_result).value();
+  Result<std::vector<EncodedRecord>> encoded_b_result =
+      encoder.value().EncodeAll(b, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded_b_result.ok()) return encoded_b_result.status();
+  std::vector<EncodedRecord> encoded_b = std::move(encoded_b_result).value();
   result.embed_seconds = watch.ElapsedSeconds();
 
   // --- Blocking: standard record-level HB ---------------------------------
@@ -50,7 +52,7 @@ Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
       RecordLevelBlocker::Create(encoder.value().total_bits(), config_.K,
                                  config_.record_theta, config_.delta, rng);
   if (!blocker.ok()) return blocker.status();
-  blocker.value().Index(encoded_a);
+  blocker.value().BulkInsert(encoded_a, ctx.pool(), ctx.chunk_size_hint());
   result.blocking_groups = blocker.value().L();
 
   VectorStore store_a;
@@ -62,12 +64,8 @@ Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
   Matcher matcher(&blocker.value(), &store_a);
   const PairClassifier classifier =
       MakeRuleClassifier(config_.rule, encoder.value().layout());
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.num_threads != 1) {
-    pool = std::make_unique<ThreadPool>(config_.num_threads);
-  }
   result.matches =
-      matcher.MatchAll(encoded_b, classifier, &result.stats, pool.get());
+      matcher.MatchAll(encoded_b, classifier, &result.stats, ctx.pool());
   result.match_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -33,9 +33,9 @@ struct BfhConfig {
   size_t record_theta = 45;
   double delta = 0.1;
   uint64_t seed = 13;
-  /// Worker threads for the sharded matching step; 1 = serial,
-  /// 0 = hardware concurrency.  The matching output is identical at any
-  /// setting.
+  /// DEPRECATED: use Link(a, b, ExecutionOptions) instead.  Honoured only
+  /// by the two-argument Link() overload for one release (1 = serial,
+  /// 0 = hardware concurrency); see DESIGN.md §10.
   size_t num_threads = 1;
 };
 
@@ -46,6 +46,12 @@ class BfhLinker : public Linker {
 
   std::string_view name() const override { return "BfH"; }
 
+  Result<LinkageResult> Link(const std::vector<Record>& a,
+                             const std::vector<Record>& b,
+                             const ExecutionOptions& options) override;
+
+  /// Deprecated-config shim: forwards BfhConfig::num_threads into
+  /// ExecutionOptions (the only remaining use of that field).
   Result<LinkageResult> Link(const std::vector<Record>& a,
                              const std::vector<Record>& b) override;
 

@@ -1,8 +1,6 @@
 #include "src/linkage/cbv_hb_linker.h"
 
 #include <algorithm>
-#include <memory>
-#include <mutex>
 
 #include "src/blocking/attribute_blocker.h"
 #include "src/blocking/record_blocker.h"
@@ -33,16 +31,22 @@ Result<CbvHbLinker> CbvHbLinker::Create(CbvHbConfig config) {
 
 Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
                                         const std::vector<Record>& b) {
+  ExecutionOptions exec;
+  exec.num_threads = config_.num_threads;
+  return Link(a, b, exec);
+}
+
+Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
+                                        const std::vector<Record>& b,
+                                        const ExecutionOptions& options) {
   Rng rng(config_.seed);
   LinkageResult result;
   Stopwatch watch;
 
-  // One pool for every parallel stage (embedding and matching); null when
-  // the run is configured serial.
-  std::unique_ptr<ThreadPool> pool;
-  if (config_.num_threads != 1) {
-    pool = std::make_unique<ThreadPool>(config_.num_threads);
-  }
+  // One execution context for every parallel stage (embedding, index
+  // build, matching); pool() is null when the run resolves serial.
+  ExecutionContext ctx(options);
+  result.threads_used = ctx.threads_used();
 
   // --- Embedding ---------------------------------------------------------
   std::vector<double> expected = config_.expected_qgrams;
@@ -70,40 +74,16 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
   if (!encoder.ok()) return encoder.status();
   encoder_.emplace(std::move(encoder).value());
 
-  // Embedding is embarrassingly parallel over records; encode both data
-  // sets on the pool when more than one worker is configured.
-  const auto encode_all =
-      [&](const std::vector<Record>& records,
-          std::vector<EncodedRecord>* out) -> Status {
-    out->resize(records.size());
-    Status first_error;
-    std::mutex error_mu;
-    const auto encode_range = [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        Result<EncodedRecord> enc = encoder_->Encode(records[i]);
-        if (!enc.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = enc.status();
-          return;
-        }
-        (*out)[i] = std::move(enc).value();
-      }
-    };
-    if (pool == nullptr) {
-      encode_range(0, records.size());
-    } else {
-      pool->ParallelFor(records.size(),
-                        [&](size_t, size_t begin, size_t end) {
-                          encode_range(begin, end);
-                        });
-    }
-    return first_error;
-  };
-
-  std::vector<EncodedRecord> encoded_a;
-  CBVLINK_RETURN_NOT_OK(encode_all(a, &encoded_a));
-  std::vector<EncodedRecord> encoded_b;
-  CBVLINK_RETURN_NOT_OK(encode_all(b, &encoded_b));
+  // Embedding is embarrassingly parallel over records; EncodeAll shards
+  // both data sets over the context's pool (byte-identical to serial).
+  Result<std::vector<EncodedRecord>> encoded_a_result =
+      encoder_->EncodeAll(a, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded_a_result.ok()) return encoded_a_result.status();
+  std::vector<EncodedRecord> encoded_a = std::move(encoded_a_result).value();
+  Result<std::vector<EncodedRecord>> encoded_b_result =
+      encoder_->EncodeAll(b, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded_b_result.ok()) return encoded_b_result.status();
+  std::vector<EncodedRecord> encoded_b = std::move(encoded_b_result).value();
   result.embed_seconds = watch.ElapsedSeconds();
 
   // --- Blocking ----------------------------------------------------------
@@ -120,7 +100,8 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
         config_.rule, encoder_->layout(), options, rng);
     if (!blocker.ok()) return blocker.status();
     attribute_blocker.emplace(std::move(blocker).value());
-    attribute_blocker->Index(encoded_a);
+    attribute_blocker->BulkInsert(encoded_a, ctx.pool(),
+                                  ctx.chunk_size_hint());
     for (size_t s = 0; s < attribute_blocker->num_structures(); ++s) {
       result.blocking_groups += attribute_blocker->structure_L(s);
     }
@@ -131,7 +112,8 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
                                    config_.record_theta, config_.delta, rng);
     if (!blocker.ok()) return blocker.status();
     record_blocker.emplace(std::move(blocker).value());
-    record_blocker->Index(encoded_a);
+    record_blocker->BulkInsert(encoded_a, ctx.pool(),
+                               ctx.chunk_size_hint());
     result.blocking_groups = record_blocker->L();
     source = &*record_blocker;
   }
@@ -146,7 +128,7 @@ Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
   const PairClassifier classifier =
       MakeRuleClassifier(config_.rule, encoder_->layout());
   result.matches =
-      matcher.MatchAll(encoded_b, classifier, &result.stats, pool.get());
+      matcher.MatchAll(encoded_b, classifier, &result.stats, ctx.pool());
   result.match_seconds = watch.ElapsedSeconds();
   return result;
 }

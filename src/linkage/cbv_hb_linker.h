@@ -48,9 +48,9 @@ struct CbvHbConfig {
   size_t estimation_sample = 1000;
   /// Seed for every random component of the pipeline.
   uint64_t seed = 7;
-  /// Worker threads for the parallel stages (embedding, and the sharded
-  /// matching step); 1 = serial, 0 = hardware concurrency.  The matching
-  /// output is identical at any setting.
+  /// DEPRECATED: use Link(a, b, ExecutionOptions) instead.  Honoured only
+  /// by the two-argument Link() overload for one release (1 = serial,
+  /// 0 = hardware concurrency); see DESIGN.md §10.
   size_t num_threads = 1;
 };
 
@@ -63,12 +63,23 @@ class CbvHbLinker : public Linker {
   std::string_view name() const override { return "cBV-HB"; }
 
   Result<LinkageResult> Link(const std::vector<Record>& a,
+                             const std::vector<Record>& b,
+                             const ExecutionOptions& options) override;
+
+  /// Deprecated-config shim: forwards CbvHbConfig::num_threads into
+  /// ExecutionOptions (the only remaining use of that field).
+  Result<LinkageResult> Link(const std::vector<Record>& a,
                              const std::vector<Record>& b) override;
 
-  /// The record encoder built during the last Link() call (null before);
-  /// exposed for Table 3-style introspection of m_opt.
-  const CVectorRecordEncoder* last_encoder() const {
-    return encoder_ ? &*encoder_ : nullptr;
+  /// The record encoder built during the last Link() call, exposed for
+  /// Table 3-style introspection of m_opt.  FailedPrecondition before the
+  /// first Link() — the encoder only exists once sizing has run.
+  Result<const CVectorRecordEncoder*> encoder() const {
+    if (!encoder_) {
+      return Status::FailedPrecondition(
+          "CbvHbLinker::encoder() called before Link()");
+    }
+    return &*encoder_;
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "src/linkage/classic_linker.h"
 
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/metrics/edit_distance.h"
 #include "src/text/normalize.h"
 
@@ -15,9 +16,12 @@ Result<ClassicLinker> ClassicLinker::Create(ClassicConfig config) {
 }
 
 Result<LinkageResult> ClassicLinker::Link(const std::vector<Record>& a,
-                                          const std::vector<Record>& b) {
+                                          const std::vector<Record>& b,
+                                          const ExecutionOptions& options) {
   LinkageResult result;
   Stopwatch watch;
+  ExecutionContext ctx(options);
+  result.threads_used = ctx.threads_used();
 
   // Index records by id for candidate resolution.  Classic methods skip
   // the embedding step entirely (embed_seconds stays 0).
@@ -36,27 +40,58 @@ Result<LinkageResult> ClassicLinker::Link(const std::vector<Record>& a,
   result.index_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
-  for (const IdPair& pair : candidates.value()) {
-    ++result.stats.candidate_occurrences;
-    const auto it_a = by_id_a.find(pair.a_id);
-    const auto it_b = by_id_b.find(pair.b_id);
-    if (it_a == by_id_a.end() || it_b == by_id_b.end()) continue;
-    ++result.stats.comparisons;
-    const Record& ra = *it_a->second;
-    const Record& rb = *it_b->second;
-    bool match = true;
-    const size_t nf = std::min(ra.fields.size(), rb.fields.size());
-    for (size_t i = 0; i < nf && i < config_.edit_thresholds.size(); ++i) {
-      const std::string na = Normalize(ra.fields[i], Alphabet::Alphanumeric());
-      const std::string nb = Normalize(rb.fields[i], Alphabet::Alphanumeric());
-      if (!EditDistanceWithin(na, nb, config_.edit_thresholds[i])) {
-        match = false;
-        break;
+  // The candidate comparisons are independent; shard them over the pool
+  // with per-chunk stats and matches, merged in chunk order so the output
+  // sequence (candidate order) and counters match the serial loop.
+  const std::vector<IdPair>& pairs = candidates.value();
+  const auto compare_range = [&](size_t begin, size_t end, MatchStats* stats,
+                                 std::vector<IdPair>* matches) {
+    for (size_t p = begin; p < end; ++p) {
+      const IdPair& pair = pairs[p];
+      ++stats->candidate_occurrences;
+      const auto it_a = by_id_a.find(pair.a_id);
+      const auto it_b = by_id_b.find(pair.b_id);
+      if (it_a == by_id_a.end() || it_b == by_id_b.end()) continue;
+      ++stats->comparisons;
+      const Record& ra = *it_a->second;
+      const Record& rb = *it_b->second;
+      bool match = true;
+      const size_t nf = std::min(ra.fields.size(), rb.fields.size());
+      for (size_t i = 0; i < nf && i < config_.edit_thresholds.size(); ++i) {
+        const std::string na =
+            Normalize(ra.fields[i], Alphabet::Alphanumeric());
+        const std::string nb =
+            Normalize(rb.fields[i], Alphabet::Alphanumeric());
+        if (!EditDistanceWithin(na, nb, config_.edit_thresholds[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        ++stats->matches;
+        matches->push_back(pair);
       }
     }
-    if (match) {
-      ++result.stats.matches;
-      result.matches.push_back(pair);
+  };
+  if (ctx.pool() == nullptr) {
+    compare_range(0, pairs.size(), &result.stats, &result.matches);
+  } else {
+    std::vector<MatchStats> chunk_stats(ctx.pool()->num_threads());
+    std::vector<std::vector<IdPair>> chunk_matches(ctx.pool()->num_threads());
+    ctx.pool()->ParallelFor(
+        pairs.size(), ctx.chunk_size_hint(),
+        [&](size_t chunk, size_t begin, size_t end) {
+          compare_range(begin, end, &chunk_stats[chunk],
+                        &chunk_matches[chunk]);
+        });
+    for (size_t c = 0; c < chunk_stats.size(); ++c) {
+      result.stats.candidate_occurrences +=
+          chunk_stats[c].candidate_occurrences;
+      result.stats.comparisons += chunk_stats[c].comparisons;
+      result.stats.matches += chunk_stats[c].matches;
+      result.stats.dedup_skipped += chunk_stats[c].dedup_skipped;
+      result.matches.insert(result.matches.end(), chunk_matches[c].begin(),
+                            chunk_matches[c].end());
     }
   }
   result.match_seconds = watch.ElapsedSeconds();

@@ -42,8 +42,10 @@ class ClassicLinker : public Linker {
                : "Canopy";
   }
 
+  using Linker::Link;
   Result<LinkageResult> Link(const std::vector<Record>& a,
-                             const std::vector<Record>& b) override;
+                             const std::vector<Record>& b,
+                             const ExecutionOptions& options) override;
 
  private:
   explicit ClassicLinker(ClassicConfig config) : config_(std::move(config)) {}

@@ -9,6 +9,12 @@ namespace cbvlink {
 
 Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
                                    const CbvHbConfig& config) {
+  return FindDuplicates(records, config, ExecutionOptions::Serial());
+}
+
+Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
+                                   const CbvHbConfig& config,
+                                   const ExecutionOptions& options) {
   // The online linker's match-then-insert loop visits each unordered
   // pair at most once (a record only probes those inserted before it).
   Result<OnlineCbvHbLinker> linker =
@@ -17,9 +23,15 @@ Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
 
   DedupResult result;
   result.blocking_groups = linker.value().blocking_groups();
-  for (const Record& record : records) {
-    CBVLINK_RETURN_NOT_OK(
-        linker.value().MatchAndInsert(record, &result.duplicate_pairs));
+  // Embedding is the parallel part; the stream itself is order-dependent
+  // by construction and stays serial.
+  ExecutionContext ctx(options);
+  Result<std::vector<EncodedRecord>> encoded = linker.value().encoder().EncodeAll(
+      records, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded.ok()) return encoded.status();
+  for (const EncodedRecord& record : encoded.value()) {
+    CBVLINK_RETURN_NOT_OK(linker.value().MatchAndInsertEncoded(
+        record, &result.duplicate_pairs));
   }
   result.stats = linker.value().stats();
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/blocking/matcher.h"
+#include "src/common/execution.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
 #include "src/linkage/cbv_hb_linker.h"
@@ -35,6 +36,14 @@ struct DedupResult {
 /// honored too).  Record ids must be unique.
 Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
                                    const CbvHbConfig& config);
+
+/// FindDuplicates under an execution policy: the embedding runs on the
+/// policy's pool up front; the match-then-insert stream itself stays
+/// sequential (each record may only probe those inserted before it), so
+/// pairs, clusters, and counters are identical at any thread count.
+Result<DedupResult> FindDuplicates(const std::vector<Record>& records,
+                                   const CbvHbConfig& config,
+                                   const ExecutionOptions& options);
 
 }  // namespace cbvlink
 

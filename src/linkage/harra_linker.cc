@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/lsh/blocking_table.h"
 #include "src/lsh/minhash_lsh.h"
 #include "src/metrics/jaccard.h"
@@ -41,24 +42,39 @@ Result<HarraLinker> HarraLinker::Create(HarraConfig config) {
 }
 
 Result<LinkageResult> HarraLinker::Link(const std::vector<Record>& a,
-                                        const std::vector<Record>& b) {
+                                        const std::vector<Record>& b,
+                                        const ExecutionOptions& options) {
   Rng rng(config_.seed);
   LinkageResult result;
   Stopwatch watch;
+  ExecutionContext ctx(options);
+  result.threads_used = ctx.threads_used();
 
   Result<QGramExtractor> extractor =
       QGramExtractor::Create(*config_.alphabet, config_.qgram);
   if (!extractor.ok()) return extractor.status();
 
   // --- Embedding: one merged bigram set per record -----------------------
+  // Each slot is written exactly once, so the sharded fill is identical to
+  // the serial loop at any thread count.
   std::vector<std::vector<uint64_t>> sets_a(a.size());
   std::vector<std::vector<uint64_t>> sets_b(b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    sets_a[i] = RecordIndexSet(a[i], extractor.value(), *config_.alphabet);
-  }
-  for (size_t i = 0; i < b.size(); ++i) {
-    sets_b[i] = RecordIndexSet(b[i], extractor.value(), *config_.alphabet);
-  }
+  const auto embed_all = [&](const std::vector<Record>& records,
+                             std::vector<std::vector<uint64_t>>& sets) {
+    const auto fill = [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        sets[i] =
+            RecordIndexSet(records[i], extractor.value(), *config_.alphabet);
+      }
+    };
+    if (ctx.pool() == nullptr) {
+      fill(0, 0, records.size());
+    } else {
+      ctx.pool()->ParallelFor(records.size(), ctx.chunk_size_hint(), fill);
+    }
+  };
+  embed_all(a, sets_a);
+  embed_all(b, sets_b);
   result.embed_seconds = watch.ElapsedSeconds();
 
   Result<MinHashLshFamily> family = MinHashLshFamily::Create(
@@ -79,19 +95,40 @@ Result<LinkageResult> HarraLinker::Link(const std::vector<Record>& a,
   watch.Restart();
   double index_seconds = 0.0;
   Stopwatch phase;
+  // MinHash keys of one iteration, recomputed per group for the records
+  // still alive; per-slot writes keep the parallel fill deterministic.
+  std::vector<uint64_t> keys_a(a.size());
+  std::vector<uint64_t> keys_b(b.size());
+  const auto compute_keys = [&](const std::vector<std::vector<uint64_t>>& sets,
+                                const std::vector<bool>& alive,
+                                std::vector<uint64_t>& keys, size_t l) {
+    const auto fill = [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        if (alive[i]) keys[i] = family.value().Key(sets[i], l);
+      }
+    };
+    if (ctx.pool() == nullptr) {
+      fill(0, 0, sets.size());
+    } else {
+      ctx.pool()->ParallelFor(sets.size(), ctx.chunk_size_hint(), fill);
+    }
+  };
   for (size_t l = 0; l < config_.L; ++l) {
-    // Build this iteration's table over the records still alive.
+    // Build this iteration's table over the records still alive: keys in
+    // parallel, inserts serial in index order (deterministic buckets).
     phase.Restart();
+    compute_keys(sets_a, alive_a, keys_a, l);
+    compute_keys(sets_b, alive_b, keys_b, l);
     BlockingTable table;
     for (size_t i = 0; i < a.size(); ++i) {
       if (!alive_a[i]) continue;
-      table.Insert(family.value().Key(sets_a[i], l), static_cast<RecordId>(i));
+      table.Insert(keys_a[i], static_cast<RecordId>(i));
     }
     index_seconds += phase.ElapsedSeconds();
 
     for (size_t j = 0; j < b.size(); ++j) {
       if (!alive_b[j]) continue;
-      const uint64_t key = family.value().Key(sets_b[j], l);
+      const uint64_t key = keys_b[j];
       if (++epoch == 0) {
         std::fill(stamps.begin(), stamps.end(), 0);
         epoch = 1;

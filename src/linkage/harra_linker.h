@@ -39,8 +39,10 @@ class HarraLinker : public Linker {
 
   std::string_view name() const override { return "HARRA"; }
 
+  using Linker::Link;
   Result<LinkageResult> Link(const std::vector<Record>& a,
-                             const std::vector<Record>& b) override;
+                             const std::vector<Record>& b,
+                             const ExecutionOptions& options) override;
 
  private:
   explicit HarraLinker(HarraConfig config) : config_(std::move(config)) {}

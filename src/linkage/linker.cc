@@ -6,4 +6,9 @@ namespace cbvlink {
 // key function so every user does not emit a copy.
 Linker::~Linker() = default;
 
+Result<LinkageResult> Linker::Link(const std::vector<Record>& a,
+                                   const std::vector<Record>& b) {
+  return Link(a, b, ExecutionOptions::Serial());
+}
+
 }  // namespace cbvlink

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/blocking/matcher.h"
+#include "src/common/execution.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
 
@@ -28,6 +29,9 @@ struct LinkageResult {
   /// Total blocking groups used (sum over structures for attribute-level
   /// blocking).
   size_t blocking_groups = 0;
+  /// Worker threads the run actually executed on (1 = serial), so bench
+  /// JSON can record real parallelism next to the timings.
+  size_t threads_used = 1;
 
   double total_seconds() const {
     return embed_seconds + index_seconds + match_seconds;
@@ -42,9 +46,17 @@ class Linker {
   /// Human-readable method name ("cBV-HB", "BfH", ...).
   virtual std::string_view name() const = 0;
 
-  /// Links data sets A and B, returning matches and statistics.
+  /// Links data sets A and B under `options`' execution policy,
+  /// returning matches and statistics.  Every implementation produces
+  /// byte-identical matches and counters at any thread count.
   virtual Result<LinkageResult> Link(const std::vector<Record>& a,
-                                     const std::vector<Record>& b) = 0;
+                                     const std::vector<Record>& b,
+                                     const ExecutionOptions& options) = 0;
+
+  /// Convenience overload: serial execution.  Linkers whose config kept
+  /// a deprecated `num_threads` field override this shim to forward it.
+  virtual Result<LinkageResult> Link(const std::vector<Record>& a,
+                                     const std::vector<Record>& b);
 };
 
 }  // namespace cbvlink

@@ -71,6 +71,23 @@ Status OnlineCbvHbLinker::Insert(const Record& record) {
   return Status::OK();
 }
 
+Status OnlineCbvHbLinker::InsertBatch(const std::vector<Record>& records,
+                                      const ExecutionOptions& options) {
+  ExecutionContext ctx(options);
+  Result<std::vector<EncodedRecord>> encoded =
+      encoder_->EncodeAll(records, ctx.pool(), ctx.chunk_size_hint());
+  if (!encoded.ok()) return encoded.status();
+  if (attribute_blocker_.has_value()) {
+    attribute_blocker_->BulkInsert(encoded.value(), ctx.pool(),
+                                   ctx.chunk_size_hint());
+  } else {
+    record_blocker_->BulkInsert(encoded.value(), ctx.pool(),
+                                ctx.chunk_size_hint());
+  }
+  store_.AddAll(encoded.value());
+  return Status::OK();
+}
+
 Status OnlineCbvHbLinker::Match(const Record& record,
                                 std::vector<IdPair>* out) {
   Result<EncodedRecord> encoded = Encode(record);
@@ -84,6 +101,25 @@ Status OnlineCbvHbLinker::MatchAndInsert(const Record& record,
                                          std::vector<IdPair>* out) {
   CBVLINK_RETURN_NOT_OK(Match(record, out));
   return Insert(record);
+}
+
+Status OnlineCbvHbLinker::MatchAndInsertEncoded(const EncodedRecord& encoded,
+                                                std::vector<IdPair>* out) {
+  if (encoded.bits.size() != encoder_->total_bits()) {
+    return Status::InvalidArgument(
+        StrFormat("encoded record is %zu bits; this stream's encoder "
+                  "produces %zu",
+                  encoded.bits.size(), encoder_->total_bits()));
+  }
+  Matcher matcher(&source(), &store_);
+  matcher.MatchOne(encoded, classifier_, out, &stats_, &scratch_);
+  if (attribute_blocker_.has_value()) {
+    attribute_blocker_->Insert(encoded);
+  } else {
+    record_blocker_->Insert(encoded);
+  }
+  store_.Add(encoded);
+  return Status::OK();
 }
 
 }  // namespace cbvlink

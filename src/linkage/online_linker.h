@@ -17,6 +17,7 @@
 #include "src/blocking/attribute_blocker.h"
 #include "src/blocking/matcher.h"
 #include "src/blocking/record_blocker.h"
+#include "src/common/execution.h"
 #include "src/linkage/cbv_hb_linker.h"
 
 namespace cbvlink {
@@ -36,12 +37,25 @@ class OnlineCbvHbLinker {
   /// Encodes and indexes a registry record.
   Status Insert(const Record& record);
 
+  /// Encodes and indexes a batch of registry records: EncodeAll over the
+  /// execution policy's pool, then the blocker's two-phase BulkInsert —
+  /// the resulting index is byte-identical to a serial Insert() loop at
+  /// any thread count.
+  Status InsertBatch(const std::vector<Record>& records,
+                     const ExecutionOptions& options = {});
+
   /// Matches a query record against everything inserted so far; appends
   /// matched (registry_id, query_id) pairs to `out`.
   Status Match(const Record& record, std::vector<IdPair>* out);
 
   /// Match, then insert the query so future arrivals can link to it.
   Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
+
+  /// MatchAndInsert for a record encoded up front (e.g. by a parallel
+  /// EncodeAll pass); InvalidArgument when the vector width does not
+  /// match this stream's encoder.
+  Status MatchAndInsertEncoded(const EncodedRecord& encoded,
+                               std::vector<IdPair>* out);
 
   /// Matcher counters accumulated across every Match call.
   const MatchStats& stats() const { return stats_; }

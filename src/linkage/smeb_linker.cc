@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
 #include "src/lsh/blocking_table.h"
 #include "src/lsh/euclidean_lsh.h"
 #include "src/lsh/params.h"
@@ -27,10 +28,15 @@ Result<SmEbLinker> SmEbLinker::Create(SmEbConfig config) {
 }
 
 Result<LinkageResult> SmEbLinker::Link(const std::vector<Record>& a,
-                                       const std::vector<Record>& b) {
+                                       const std::vector<Record>& b,
+                                       const ExecutionOptions& options) {
   Rng rng(config_.seed);
   LinkageResult result;
   Stopwatch watch;
+  // StringMap training stays serial (pivot selection walks the pooled
+  // corpus in order); everything per-record runs on the context's pool.
+  ExecutionContext ctx(options);
+  result.threads_used = ctx.threads_used();
 
   const size_t nf = config_.schema.num_attributes();
   const size_t d = config_.stringmap.dimensions;
@@ -75,10 +81,23 @@ Result<LinkageResult> SmEbLinker::Link(const std::vector<Record>& a,
     return out;
   };
 
+  // Per-slot writes keep the parallel embedding identical to the serial
+  // loop at any thread count.
   std::vector<std::vector<double>> points_a(a.size());
   std::vector<std::vector<double>> points_b(b.size());
-  for (size_t i = 0; i < a.size(); ++i) points_a[i] = embed_record(a[i]);
-  for (size_t j = 0; j < b.size(); ++j) points_b[j] = embed_record(b[j]);
+  const auto embed_all = [&](const std::vector<Record>& records,
+                             std::vector<std::vector<double>>& points) {
+    const auto fill = [&](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) points[i] = embed_record(records[i]);
+    };
+    if (ctx.pool() == nullptr) {
+      fill(0, 0, records.size());
+    } else {
+      ctx.pool()->ParallelFor(records.size(), ctx.chunk_size_hint(), fill);
+    }
+  };
+  embed_all(a, points_a);
+  embed_all(b, points_b);
   result.embed_seconds = watch.ElapsedSeconds();
 
   // --- Blocking: p-stable LSH over the concatenated vectors ---------------
@@ -102,11 +121,33 @@ Result<LinkageResult> SmEbLinker::Link(const std::vector<Record>& a,
   if (!family.ok()) return family.status();
 
   std::vector<BlockingTable> tables(L);
-  for (size_t i = 0; i < a.size(); ++i) {
-    for (size_t l = 0; l < L; ++l) {
-      tables[l].Insert(family.value().Key(points_a[i], l),
-                       static_cast<RecordId>(i));
+  if (ctx.pool() == nullptr) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t l = 0; l < L; ++l) {
+        tables[l].Insert(family.value().Key(points_a[i], l),
+                         static_cast<RecordId>(i));
+      }
     }
+  } else {
+    // Two-phase build (DESIGN.md §10): keys into a per-slot matrix, then
+    // one deterministic column merge per table.
+    std::vector<uint64_t> keys(a.size() * L);
+    std::vector<RecordId> ids(a.size());
+    ctx.pool()->ParallelFor(a.size(), ctx.chunk_size_hint(),
+                            [&](size_t, size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) {
+                                ids[i] = static_cast<RecordId>(i);
+                                for (size_t l = 0; l < L; ++l) {
+                                  keys[i * L + l] =
+                                      family.value().Key(points_a[i], l);
+                                }
+                              }
+                            });
+    ctx.pool()->ParallelFor(L, [&](size_t, size_t begin, size_t end) {
+      for (size_t l = begin; l < end; ++l) {
+        tables[l].BulkInsert(keys.data() + l, L, ids);
+      }
+    });
   }
   result.index_seconds = watch.ElapsedSeconds();
 
@@ -127,23 +168,49 @@ Result<LinkageResult> SmEbLinker::Link(const std::vector<Record>& a,
     return true;
   };
 
-  for (size_t j = 0; j < b.size(); ++j) {
-    std::unordered_set<RecordId> compared;
-    for (size_t l = 0; l < L; ++l) {
-      const uint64_t key = family.value().Key(points_b[j], l);
-      for (RecordId ai : tables[l].Get(key)) {
-        ++result.stats.candidate_occurrences;
-        if (!compared.insert(ai).second) {
-          ++result.stats.dedup_skipped;
-          continue;
-        }
-        ++result.stats.comparisons;
-        if (classify(points_a[static_cast<size_t>(ai)], points_b[j])) {
-          ++result.stats.matches;
-          result.matches.push_back(
-              IdPair{a[static_cast<size_t>(ai)].id, b[j].id});
+  // Probes only read the tables, so they shard over the pool; per-chunk
+  // stats and matches are merged in chunk order, matching the serial
+  // probe sequence exactly.
+  const auto match_range = [&](size_t begin, size_t end, MatchStats* stats,
+                               std::vector<IdPair>* matches) {
+    for (size_t j = begin; j < end; ++j) {
+      std::unordered_set<RecordId> compared;
+      for (size_t l = 0; l < L; ++l) {
+        const uint64_t key = family.value().Key(points_b[j], l);
+        for (RecordId ai : tables[l].Get(key)) {
+          ++stats->candidate_occurrences;
+          if (!compared.insert(ai).second) {
+            ++stats->dedup_skipped;
+            continue;
+          }
+          ++stats->comparisons;
+          if (classify(points_a[static_cast<size_t>(ai)], points_b[j])) {
+            ++stats->matches;
+            matches->push_back(
+                IdPair{a[static_cast<size_t>(ai)].id, b[j].id});
+          }
         }
       }
+    }
+  };
+  if (ctx.pool() == nullptr) {
+    match_range(0, b.size(), &result.stats, &result.matches);
+  } else {
+    std::vector<MatchStats> chunk_stats(ctx.pool()->num_threads());
+    std::vector<std::vector<IdPair>> chunk_matches(ctx.pool()->num_threads());
+    ctx.pool()->ParallelFor(
+        b.size(), ctx.chunk_size_hint(),
+        [&](size_t chunk, size_t begin, size_t end) {
+          match_range(begin, end, &chunk_stats[chunk], &chunk_matches[chunk]);
+        });
+    for (size_t c = 0; c < chunk_stats.size(); ++c) {
+      result.stats.candidate_occurrences +=
+          chunk_stats[c].candidate_occurrences;
+      result.stats.comparisons += chunk_stats[c].comparisons;
+      result.stats.matches += chunk_stats[c].matches;
+      result.stats.dedup_skipped += chunk_stats[c].dedup_skipped;
+      result.matches.insert(result.matches.end(), chunk_matches[c].begin(),
+                            chunk_matches[c].end());
     }
   }
   result.match_seconds = watch.ElapsedSeconds();

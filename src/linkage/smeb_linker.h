@@ -46,8 +46,10 @@ class SmEbLinker : public Linker {
 
   std::string_view name() const override { return "SM-EB"; }
 
+  using Linker::Link;
   Result<LinkageResult> Link(const std::vector<Record>& a,
-                             const std::vector<Record>& b) override;
+                             const std::vector<Record>& b,
+                             const ExecutionOptions& options) override;
 
  private:
   explicit SmEbLinker(SmEbConfig config) : config_(std::move(config)) {}

@@ -31,6 +31,20 @@ class BlockingTable {
     if (bucket.size() > max_bucket_size_) max_bucket_size_ = bucket.size();
   }
 
+  /// Bulk merge primitive for the two-phase parallel index build:
+  /// inserts ids[i] under keys[i * key_stride] for i in [0, ids.size()),
+  /// identical to that sequence of Insert() calls (same per-bucket id
+  /// order, same counters).  The strided layout lets callers that
+  /// compute an L-wide key matrix in parallel (keys[i * L + l]) merge
+  /// table l's column — base pointer keys + l, stride L — without
+  /// copying.
+  void BulkInsert(const uint64_t* keys, size_t key_stride,
+                  std::span<const RecordId> ids) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      Insert(keys[i * key_stride], ids[i]);
+    }
+  }
+
   /// The bucket for `key`; empty when no record hashed there.
   std::span<const RecordId> Get(uint64_t key) const {
     const auto it = buckets_.find(key);

@@ -1,7 +1,5 @@
 #include "src/protocol/party.h"
 
-#include <memory>
-
 #include "src/blocking/record_blocker.h"
 #include "src/common/thread_pool.h"
 #include "src/io/serialization.h"
@@ -31,20 +29,17 @@ Result<DataCustodian> DataCustodian::Create(
 }
 
 Result<std::vector<EncodedRecord>> DataCustodian::EncodeRecords(
-    const std::vector<Record>& records) const {
-  std::vector<EncodedRecord> encoded;
-  encoded.reserve(records.size());
-  for (const Record& record : records) {
-    Result<EncodedRecord> enc = encoder_.Encode(record);
-    if (!enc.ok()) return enc.status();
-    encoded.push_back(std::move(enc).value());
-  }
-  return encoded;
+    const std::vector<Record>& records,
+    const ExecutionOptions& options) const {
+  ExecutionContext ctx(options);
+  return encoder_.EncodeAll(records, ctx.pool(), ctx.chunk_size_hint());
 }
 
 Status DataCustodian::ExportRecords(const std::vector<Record>& records,
-                                    const std::string& path) const {
-  Result<std::vector<EncodedRecord>> encoded = EncodeRecords(records);
+                                    const std::string& path,
+                                    const ExecutionOptions& options) const {
+  Result<std::vector<EncodedRecord>> encoded =
+      EncodeRecords(records, options);
   if (!encoded.ok()) return encoded.status();
   return WriteEncodedRecordsToFile(encoded.value(), path);
 }
@@ -73,11 +68,16 @@ Result<LinkageResultLite> LinkageUnit::LinkEncoded(
   }
 
   Rng rng(options_.seed);
+  // The deprecated Options::num_threads only applies while `execution`
+  // is left at its default (DESIGN.md §10 deprecation table).
+  ExecutionContext ctx(MergeDeprecatedNumThreads(
+      options_.execution, /*exec_default=*/1, options_.num_threads,
+      /*legacy_default=*/1));
   Result<RecordLevelBlocker> blocker = RecordLevelBlocker::Create(
       layout_.total_bits(), options_.record_K, options_.record_theta,
       options_.delta, rng);
   if (!blocker.ok()) return blocker.status();
-  blocker.value().Index(from_a);
+  blocker.value().BulkInsert(from_a, ctx.pool(), ctx.chunk_size_hint());
 
   VectorStore store;
   store.AddAll(from_a);
@@ -87,12 +87,8 @@ Result<LinkageResultLite> LinkageUnit::LinkEncoded(
   Matcher matcher(&blocker.value(), &store);
   const PairClassifier classifier =
       MakeRuleClassifier(options_.rule, layout_);
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.num_threads != 1) {
-    pool = std::make_unique<ThreadPool>(options_.num_threads);
-  }
   result.matches =
-      matcher.MatchAll(from_b, classifier, &result.stats, pool.get());
+      matcher.MatchAll(from_b, classifier, &result.stats, ctx.pool());
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/blocking/matcher.h"
+#include "src/common/execution.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
 #include "src/embedding/record_encoder.h"
@@ -51,14 +52,17 @@ class DataCustodian {
 
   const std::string& name() const { return name_; }
 
-  /// Encodes the custodian's records.  This is the only artifact that
-  /// leaves the custodian's premises.
+  /// Encodes the custodian's records over `options`' execution policy
+  /// (byte-identical at any thread count).  This is the only artifact
+  /// that leaves the custodian's premises.
   Result<std::vector<EncodedRecord>> EncodeRecords(
-      const std::vector<Record>& records) const;
+      const std::vector<Record>& records,
+      const ExecutionOptions& options = {}) const;
 
   /// Writes the encoded records to `path` in the binary wire format.
   Status ExportRecords(const std::vector<Record>& records,
-                       const std::string& path) const;
+                       const std::string& path,
+                       const ExecutionOptions& options = {}) const;
 
   /// Payload bits per shipped record.
   size_t record_bits() const { return encoder_.total_bits(); }
@@ -89,9 +93,11 @@ class LinkageUnit {
     size_t record_theta = 4;
     double delta = 0.1;
     uint64_t seed = 103;
-    /// Worker threads for Charlie's sharded matching step; 1 = serial,
-    /// 0 = hardware concurrency.  Matching output is identical at any
-    /// setting.
+    /// Charlie's execution policy (index build + sharded matching).
+    ExecutionOptions execution;
+    /// DEPRECATED: set `execution` instead.  Honoured for one release
+    /// when `execution` is left at its default (1 = serial,
+    /// 0 = hardware concurrency); see DESIGN.md §10.
     size_t num_threads = 1;
   };
 

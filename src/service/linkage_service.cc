@@ -163,7 +163,17 @@ Status LinkageService::Init() {
   index_.emplace(std::move(index).value());
 
   classifier_ = MakeRuleClassifier(config_.rule, encoder_->layout());
-  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  // The deprecated options_.num_threads only applies while `execution`
+  // is left at its default (both defaults mean "hardware concurrency").
+  const ExecutionOptions exec = MergeDeprecatedNumThreads(
+      options_.execution, /*exec_default=*/0, options_.num_threads,
+      /*legacy_default=*/0);
+  if (exec.pool != nullptr) {
+    pool_ = exec.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(exec.num_threads);
+    pool_ = owned_pool_.get();
+  }
 
   // Resolve process-wide telemetry handles once; every Record/Add after
   // this point is lock-free.  Several services in one process share
@@ -496,12 +506,19 @@ Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
       return Status::InvalidArgument(
           "snapshot record width does not match the restored encoder");
     }
-    service.value()->store_.Add(record);
   }
-  for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
-    Status st = service.value()->index_->RestoreBucket(bucket);
-    if (!st.ok()) return st;
-  }
+  // Widths validated; load the store over the service pool (Add is
+  // thread-safe and ids are unique, so the result is order-independent)
+  // and the buckets through the index's shard-parallel restore.
+  ThreadPool* pool = service.value()->pool_;
+  pool->ParallelFor(snapshot.records.size(),
+                    [&](size_t, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        service.value()->store_.Add(snapshot.records[i]);
+                      }
+                    });
+  CBVLINK_RETURN_NOT_OK(
+      service.value()->index_->BulkRestore(snapshot.buckets, pool));
   service.value()->inserts_.store(snapshot.records.size(),
                                   std::memory_order_relaxed);
   return service;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/blocking/matcher.h"
+#include "src/common/execution.h"
 #include "src/common/thread_pool.h"
 #include "src/io/serialization.h"
 #include "src/linkage/cbv_hb_linker.h"
@@ -61,7 +62,13 @@ struct LinkageServiceOptions {
   /// Bucket entry cap; 0 = unlimited.
   size_t max_bucket_size = 0;
   OverflowPolicy overflow_policy = OverflowPolicy::kScanFallback;
-  /// Worker threads for the batch APIs; 0 = hardware concurrency.
+  /// Execution policy for the batch APIs and snapshot restore.  A
+  /// supplied pool is borrowed (must outlive the service); otherwise the
+  /// service owns a pool of `execution.num_threads` workers
+  /// (0 = hardware concurrency, the service default).
+  ExecutionOptions execution = ExecutionOptions::WithThreads(0);
+  /// DEPRECATED: set `execution` instead.  Honoured for one release when
+  /// `execution` is left at its default; see DESIGN.md §10.
   size_t num_threads = 0;
 };
 
@@ -244,8 +251,11 @@ class LinkageService {
   ConcurrentVectorStore store_;
   PairClassifier classifier_;
   // ParallelFor keeps a per-call completion latch, so concurrent batch
-  // calls share the pool without serializing on each other.
-  std::unique_ptr<ThreadPool> pool_;
+  // calls share the pool without serializing on each other.  `pool_`
+  // points at either the owned pool or a borrowed
+  // options_.execution.pool (never null after Init()).
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;
 
   /// Nanoseconds since `epoch_` (the service's construction instant —
   /// the zero point for the wall-clock span tracking below).

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "src/common/failpoint.h"
+#include "src/common/thread_pool.h"
+#include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 
@@ -58,6 +60,65 @@ void ShardedHammingIndex::Insert(const EncodedRecord& record) {
   }
 }
 
+void ShardedHammingIndex::BulkInsert(std::span<const EncodedRecord> records,
+                                     ThreadPool* pool, size_t min_chunk) {
+  telemetry::Registry& reg = telemetry::Registry::Global();
+  telemetry::ScopedTimer timer(
+      reg.GetHistogram("index_build_batch_latency_us"));
+  if (pool == nullptr || pool->num_threads() <= 1 || records.size() <= 1) {
+    for (const EncodedRecord& record : records) Insert(record);
+    reg.GetCounter("index_build_records_total")->Add(records.size());
+    return;
+  }
+  const size_t L = family_.L();
+  const size_t num_shards = shards_.size();
+  // Phase 1: stage (group, key, id) entries per (chunk, shard).  Within a
+  // chunk a shard's entries are appended in (record, group) order, and
+  // chunk boundaries are deterministic, so concatenating chunks in order
+  // reproduces the per-shard arrival sequence of a serial Insert() loop.
+  struct Staged {
+    uint32_t l;
+    uint64_t key;
+    RecordId id;
+  };
+  std::vector<std::vector<std::vector<Staged>>> staged(
+      pool->num_threads(),
+      std::vector<std::vector<Staged>>(num_shards));
+  pool->ParallelFor(
+      records.size(), min_chunk, [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<std::vector<Staged>>& mine = staged[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t l = 0; l < L; ++l) {
+            const uint64_t key = family_.Key(records[i].bits, l);
+            mine[ShardOf(key)].push_back(
+                Staged{static_cast<uint32_t>(l), key, records[i].id});
+          }
+        }
+      });
+  // Phase 2: each shard is merged by exactly one worker under one
+  // exclusive lock, applying the staged chunks in chunk order — the same
+  // bucket contents, overflow flags and drop counts as serial Insert().
+  pool->ParallelFor(num_shards, [&](size_t, size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      Shard& shard = *shards_[s];
+      std::unique_lock lock(shard.mu);
+      for (const std::vector<std::vector<Staged>>& chunk : staged) {
+        for (const Staged& entry : chunk[s]) {
+          Bucket& bucket = shard.tables[entry.l][entry.key];
+          if (max_bucket_size_ != 0 &&
+              bucket.ids.size() >= max_bucket_size_) {
+            bucket.overflowed = true;
+            shard.dropped.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          bucket.ids.push_back(entry.id);
+        }
+      }
+    }
+  });
+  reg.GetCounter("index_build_records_total")->Add(records.size());
+}
+
 void ShardedHammingIndex::Collect(const BitVector& probe,
                                   std::vector<RecordId>* out,
                                   bool* saw_overflow) const {
@@ -93,6 +154,40 @@ Status ShardedHammingIndex::RestoreBucket(
   Bucket& target = shard.tables[bucket.group][bucket.key];
   target.ids = bucket.ids;
   target.overflowed = bucket.overflowed;
+  return Status::OK();
+}
+
+Status ShardedHammingIndex::BulkRestore(
+    const std::vector<IndexBucketSnapshot>& buckets, ThreadPool* pool) {
+  for (const IndexBucketSnapshot& bucket : buckets) {
+    if (bucket.group >= family_.L()) {
+      return Status::InvalidArgument("bucket group out of range");
+    }
+  }
+  if (pool == nullptr || pool->num_threads() <= 1 || buckets.size() <= 1) {
+    for (const IndexBucketSnapshot& bucket : buckets) {
+      CBVLINK_RETURN_NOT_OK(RestoreBucket(bucket));
+    }
+    return Status::OK();
+  }
+  // (group, key) pairs are unique within a snapshot, so restoring the
+  // buckets of different shards concurrently is order-independent.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    by_shard[ShardOf(buckets[i].key)].push_back(i);
+  }
+  pool->ParallelFor(shards_.size(), [&](size_t, size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      if (by_shard[s].empty()) continue;
+      Shard& shard = *shards_[s];
+      std::unique_lock lock(shard.mu);
+      for (size_t i : by_shard[s]) {
+        Bucket& target = shard.tables[buckets[i].group][buckets[i].key];
+        target.ids = buckets[i].ids;
+        target.overflowed = buckets[i].overflowed;
+      }
+    }
+  });
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,8 @@
 #include "src/lsh/hamming_lsh.h"
 
 namespace cbvlink {
+
+class ThreadPool;
 
 /// Options of a sharded index.
 struct ShardedIndexOptions {
@@ -77,6 +80,17 @@ class ShardedHammingIndex : public CandidateSource {
   /// cap are dropped and counted (see dropped_entries()).
   void Insert(const EncodedRecord& record);
 
+  /// Two-phase parallel bulk Insert: phase 1 computes blocking keys into
+  /// per-chunk, per-shard staging buffers over `pool`; phase 2 merges
+  /// each shard's entries in (chunk, record, group) order — the exact
+  /// arrival order a serial Insert() loop produces per shard, so bucket
+  /// contents, overflow flags, and drop counters are identical at any
+  /// thread count.  Thread-safe against concurrent queries (phase 2
+  /// takes each shard's exclusive lock once).  Null `pool` (or a single
+  /// worker) degrades to the serial Insert() loop.
+  void BulkInsert(std::span<const EncodedRecord> records,
+                  ThreadPool* pool = nullptr, size_t min_chunk = 0);
+
   /// Appends the candidate Ids of `probe` (duplicates across groups
   /// included, as in Algorithm 2's input) to `out`.  Sets `*saw_overflow`
   /// when any probed bucket had dropped entries, so callers can fall back
@@ -93,6 +107,14 @@ class ShardedHammingIndex : public CandidateSource {
   /// Restores one bucket from a snapshot, replacing any current contents.
   /// Returns InvalidArgument for a group index >= L().
   Status RestoreBucket(const IndexBucketSnapshot& bucket);
+
+  /// Parallel RestoreBucket over every snapshot bucket: buckets are
+  /// partitioned by owning shard and each shard restored by one worker.
+  /// (group, key) pairs are unique within a snapshot, so the result is
+  /// order-independent and identical to sequential RestoreBucket calls.
+  /// Validates every group index before touching any shard.
+  Status BulkRestore(const std::vector<IndexBucketSnapshot>& buckets,
+                     ThreadPool* pool = nullptr);
 
   /// Every non-empty bucket, for snapshots.  Deterministically ordered
   /// (by group, then key).

@@ -1,0 +1,158 @@
+// ExecutionOptions / ExecutionContext: the unified execution surface
+// every Link / bulk-build / batch call goes through (DESIGN.md §10).
+
+#include "src/common/execution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace cbvlink {
+namespace {
+
+TEST(ExecutionTest, ResolveNumThreadsUnifiedConvention) {
+  // 0 = hardware concurrency, 1 = serial, N = N.
+  const size_t hardware = ResolveNumThreads(0);
+  EXPECT_GE(hardware, 1u);
+  EXPECT_EQ(hardware,
+            std::max<size_t>(1, std::thread::hardware_concurrency()));
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+TEST(ExecutionTest, DefaultIsSerial) {
+  ExecutionOptions options;
+  EXPECT_EQ(options.pool, nullptr);
+  EXPECT_EQ(options.num_threads, 1u);
+  EXPECT_EQ(options.chunk_size_hint, 0u);
+
+  ExecutionContext ctx(options);
+  EXPECT_EQ(ctx.pool(), nullptr);
+  EXPECT_EQ(ctx.threads_used(), 1u);
+  EXPECT_EQ(ctx.chunk_size_hint(), 0u);
+}
+
+TEST(ExecutionTest, SerialFactoryEqualsDefault) {
+  ExecutionContext ctx(ExecutionOptions::Serial());
+  EXPECT_EQ(ctx.pool(), nullptr);
+  EXPECT_EQ(ctx.threads_used(), 1u);
+}
+
+TEST(ExecutionTest, WithThreadsOwnsAPool) {
+  ExecutionContext ctx(ExecutionOptions::WithThreads(3));
+  ASSERT_NE(ctx.pool(), nullptr);
+  EXPECT_EQ(ctx.pool()->num_threads(), 3u);
+  EXPECT_EQ(ctx.threads_used(), 3u);
+}
+
+TEST(ExecutionTest, WithThreadsOneStaysSerial) {
+  // num_threads == 1 must not spin up a pool at all.
+  ExecutionContext ctx(ExecutionOptions::WithThreads(1));
+  EXPECT_EQ(ctx.pool(), nullptr);
+  EXPECT_EQ(ctx.threads_used(), 1u);
+}
+
+TEST(ExecutionTest, WithThreadsZeroResolvesHardware) {
+  ExecutionContext ctx(ExecutionOptions::WithThreads(0));
+  const size_t hardware =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_EQ(ctx.threads_used(), hardware);
+  if (hardware > 1) {
+    ASSERT_NE(ctx.pool(), nullptr);
+    EXPECT_EQ(ctx.pool()->num_threads(), hardware);
+  } else {
+    // Single-core machine: hardware resolution degenerates to serial.
+    EXPECT_EQ(ctx.pool(), nullptr);
+  }
+}
+
+TEST(ExecutionTest, BorrowedPoolOverridesNumThreads) {
+  ThreadPool pool(2);
+  ExecutionOptions options = ExecutionOptions::WithPool(&pool);
+  options.num_threads = 16;  // ignored when a pool is supplied
+  ExecutionContext ctx(options);
+  EXPECT_EQ(ctx.pool(), &pool);
+  EXPECT_EQ(ctx.threads_used(), 2u);
+}
+
+TEST(ExecutionTest, ChunkSizeHintPassesThrough) {
+  ExecutionOptions options = ExecutionOptions::WithThreads(2);
+  options.chunk_size_hint = 128;
+  ExecutionContext ctx(options);
+  EXPECT_EQ(ctx.chunk_size_hint(), 128u);
+}
+
+TEST(ExecutionTest, MergeDeprecatedLegacyWinsWhenExecUntouched) {
+  // The caller never touched ExecutionOptions but set the old
+  // config-level num_threads: the legacy value carries over.
+  const ExecutionOptions merged = MergeDeprecatedNumThreads(
+      ExecutionOptions{}, /*exec_default=*/1, /*legacy_num_threads=*/4,
+      /*legacy_default=*/1);
+  EXPECT_EQ(merged.num_threads, 4u);
+}
+
+TEST(ExecutionTest, MergeDeprecatedExplicitExecWins) {
+  // Both set: the new surface wins.
+  const ExecutionOptions merged = MergeDeprecatedNumThreads(
+      ExecutionOptions::WithThreads(2), /*exec_default=*/1,
+      /*legacy_num_threads=*/8, /*legacy_default=*/1);
+  EXPECT_EQ(merged.num_threads, 2u);
+}
+
+TEST(ExecutionTest, MergeDeprecatedPoolWins) {
+  // A supplied pool always wins over the legacy field.
+  ThreadPool pool(2);
+  const ExecutionOptions merged = MergeDeprecatedNumThreads(
+      ExecutionOptions::WithPool(&pool), /*exec_default=*/1,
+      /*legacy_num_threads=*/8, /*legacy_default=*/1);
+  EXPECT_EQ(merged.pool, &pool);
+  EXPECT_EQ(merged.num_threads, 1u);
+}
+
+TEST(ExecutionTest, MergeDeprecatedBothDefaultIsNoop) {
+  const ExecutionOptions merged = MergeDeprecatedNumThreads(
+      ExecutionOptions{}, /*exec_default=*/1, /*legacy_num_threads=*/1,
+      /*legacy_default=*/1);
+  EXPECT_EQ(merged.pool, nullptr);
+  EXPECT_EQ(merged.num_threads, 1u);
+}
+
+TEST(ExecutionTest, MergeDeprecatedServiceConvention) {
+  // The service's defaults are 0 (= hardware) on both surfaces.
+  const ExecutionOptions both_default = MergeDeprecatedNumThreads(
+      ExecutionOptions::WithThreads(0), /*exec_default=*/0,
+      /*legacy_num_threads=*/0, /*legacy_default=*/0);
+  EXPECT_EQ(both_default.num_threads, 0u);
+
+  const ExecutionOptions legacy_set = MergeDeprecatedNumThreads(
+      ExecutionOptions::WithThreads(0), /*exec_default=*/0,
+      /*legacy_num_threads=*/3, /*legacy_default=*/0);
+  EXPECT_EQ(legacy_set.num_threads, 3u);
+
+  const ExecutionOptions exec_set = MergeDeprecatedNumThreads(
+      ExecutionOptions::WithThreads(2), /*exec_default=*/0,
+      /*legacy_num_threads=*/3, /*legacy_default=*/0);
+  EXPECT_EQ(exec_set.num_threads, 2u);
+}
+
+TEST(ExecutionTest, ContextRunsWorkOnItsPool) {
+  ExecutionContext ctx(ExecutionOptions::WithThreads(4));
+  ASSERT_NE(ctx.pool(), nullptr);
+  std::vector<int> out(1000, 0);
+  ctx.pool()->ParallelFor(out.size(), /*min_chunk=*/1,
+                          [&](size_t, size_t begin, size_t end) {
+                            for (size_t i = begin; i < end; ++i) {
+                              out[i] = static_cast<int>(i);
+                            }
+                          });
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace cbvlink

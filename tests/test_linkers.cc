@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/common/thread_pool.h"
 #include "src/eval/experiment.h"
 #include "src/linkage/bfh_linker.h"
 #include "src/linkage/cbv_hb_linker.h"
@@ -67,9 +68,24 @@ TEST_F(LinkersTest, CbvHbRecordLevelFindsMostPairs) {
   EXPECT_GE(result.value().quality.pairs_completeness, 0.9);
   EXPECT_GE(result.value().quality.reduction_ratio, 0.9);
   // m-bar should be near the 120 bits of Table 3.
-  ASSERT_NE(linker.value().last_encoder(), nullptr);
-  EXPECT_NEAR(static_cast<double>(linker.value().last_encoder()->total_bits()),
-              120.0, 10.0);
+  Result<const CVectorRecordEncoder*> encoder = linker.value().encoder();
+  ASSERT_TRUE(encoder.ok()) << encoder.status().ToString();
+  EXPECT_NEAR(static_cast<double>(encoder.value()->total_bits()), 120.0,
+              10.0);
+}
+
+TEST_F(LinkersTest, CbvHbEncoderBeforeLinkIsFailedPrecondition) {
+  // encoder() used to return a silent null before the first Link();
+  // now the misuse is a typed error.
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.seed = 1;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  Result<const CVectorRecordEncoder*> encoder = linker.value().encoder();
+  ASSERT_FALSE(encoder.ok());
+  EXPECT_EQ(encoder.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST_F(LinkersTest, CbvHbEmptyAWithoutExpectedQGramsIsAnError) {
@@ -110,11 +126,12 @@ TEST_F(LinkersTest, CbvHbParallelMatchingReproducesSerialOutput) {
     config.record_K = 30;
     config.record_theta = 4;
     config.seed = 1;
-    config.num_threads = num_threads;
     Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
     EXPECT_TRUE(linker.ok());
-    Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+    Result<LinkageResult> result = linker.value().Link(
+        data_->a, data_->b, ExecutionOptions::WithThreads(num_threads));
     EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().threads_used, num_threads);
     return std::move(result).value();
   };
   const LinkageResult serial = run(1);
@@ -128,6 +145,88 @@ TEST_F(LinkersTest, CbvHbParallelMatchingReproducesSerialOutput) {
     EXPECT_EQ(parallel.stats.comparisons, serial.stats.comparisons);
     EXPECT_EQ(parallel.stats.matches, serial.stats.matches);
     EXPECT_EQ(parallel.stats.dedup_skipped, serial.stats.dedup_skipped);
+  }
+}
+
+TEST_F(LinkersTest, DeprecatedConfigNumThreadsStillForwards) {
+  // CbvHbConfig::num_threads is deprecated but must keep working through
+  // the two-argument Link() for one release.
+  auto run = [&](size_t num_threads, bool via_config) {
+    CbvHbConfig config;
+    config.schema = generator_->schema();
+    config.rule = PlRule();
+    config.seed = 1;
+    if (via_config) config.num_threads = num_threads;
+    Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result =
+        via_config
+            ? linker.value().Link(data_->a, data_->b)
+            : linker.value().Link(data_->a, data_->b,
+                                  ExecutionOptions::WithThreads(num_threads));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().threads_used, num_threads);
+    return std::move(result).value().matches;
+  };
+  EXPECT_EQ(run(2, /*via_config=*/true), run(2, /*via_config=*/false));
+}
+
+TEST_F(LinkersTest, SharedPoolOverridesNumThreads) {
+  // A caller-owned pool drives every parallel stage; num_threads is
+  // ignored and threads_used reports the pool's width.
+  ThreadPool pool(3);
+  CbvHbConfig config;
+  config.schema = generator_->schema();
+  config.rule = PlRule();
+  config.seed = 1;
+  Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
+  ASSERT_TRUE(linker.ok());
+  ExecutionOptions options = ExecutionOptions::WithPool(&pool);
+  options.num_threads = 16;  // must be ignored
+  Result<LinkageResult> result =
+      linker.value().Link(data_->a, data_->b, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().threads_used, 3u);
+}
+
+TEST_F(LinkersTest, BaselinesAreThreadCountInvariant) {
+  // Every linker — not just cBV-HB — must produce identical output at
+  // any thread count (the Linker interface's contract).
+  const auto run_harra = [&](size_t threads) {
+    HarraConfig config;
+    config.K = 5;
+    config.L = 30;
+    config.theta = 0.35;
+    config.seed = 4;
+    Result<HarraLinker> linker = HarraLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result = linker.value().Link(
+        data_->a, data_->b, ExecutionOptions::WithThreads(threads));
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value().matches;
+  };
+  const auto run_smeb = [&](size_t threads) {
+    SmEbConfig config;
+    config.schema = generator_->schema();
+    config.thresholds = {4.5, 4.5, 4.5, 4.5};
+    config.stringmap.dimensions = 6;
+    config.stringmap.max_train_sample = 200;
+    config.L = 8;
+    config.seed = 5;
+    Result<SmEbLinker> linker = SmEbLinker::Create(std::move(config));
+    EXPECT_TRUE(linker.ok());
+    Result<LinkageResult> result = linker.value().Link(
+        data_->a, data_->b, ExecutionOptions::WithThreads(threads));
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value().matches;
+  };
+  const std::vector<IdPair> harra_serial = run_harra(1);
+  const std::vector<IdPair> smeb_serial = run_smeb(1);
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(run_harra(threads), harra_serial)
+        << "HARRA diverges at " << threads << " threads";
+    EXPECT_EQ(run_smeb(threads), smeb_serial)
+        << "SM-EB diverges at " << threads << " threads";
   }
 }
 
@@ -231,10 +330,10 @@ TEST_F(LinkersTest, ParallelEmbeddingMatchesSerialExactly) {
     config.record_K = 30;
     config.record_theta = 4;
     config.seed = 77;
-    config.num_threads = threads;
     Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
     EXPECT_TRUE(linker.ok());
-    Result<LinkageResult> result = linker.value().Link(data_->a, data_->b);
+    Result<LinkageResult> result = linker.value().Link(
+        data_->a, data_->b, ExecutionOptions::WithThreads(threads));
     EXPECT_TRUE(result.ok());
     std::vector<IdPair> matches = std::move(result).value().matches;
     std::sort(matches.begin(), matches.end());

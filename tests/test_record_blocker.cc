@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace cbvlink {
 namespace {
@@ -132,6 +136,118 @@ TEST(RecordLevelBlockerTest, StatsReflectIndexedRecords) {
   EXPECT_GT(blocker.TotalBuckets(), 0u);
   EXPECT_GE(blocker.MaxBucketSize(), 1u);
   EXPECT_LE(blocker.MaxBucketSize(), 50u);
+}
+
+// --- BulkInsert determinism: identical tables to Index() at any thread
+// count (buckets, per-bucket id order, counters).
+
+std::vector<EncodedRecord> RandomRecords(size_t n, size_t bits,
+                                         uint64_t seed) {
+  std::vector<EncodedRecord> records;
+  Rng data(seed);
+  for (RecordId id = 0; id < n; ++id) {
+    EncodedRecord r = MakeRecord(id, bits, {});
+    for (size_t i = 0; i < bits / 4; ++i) r.bits.Set(data.Below(bits));
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void ExpectSameTables(const RecordLevelBlocker& actual,
+                      const RecordLevelBlocker& expected, size_t threads) {
+  ASSERT_EQ(actual.L(), expected.L());
+  for (size_t l = 0; l < expected.L(); ++l) {
+    const BlockingTable& a = actual.tables()[l];
+    const BlockingTable& e = expected.tables()[l];
+    EXPECT_EQ(a.NumEntries(), e.NumEntries())
+        << "table " << l << " at " << threads << " threads";
+    EXPECT_EQ(a.MaxBucketSize(), e.MaxBucketSize())
+        << "table " << l << " at " << threads << " threads";
+    // unordered_map equality compares bucket contents including the
+    // per-bucket id order Insert() would have produced.
+    EXPECT_EQ(a.buckets(), e.buckets())
+        << "table " << l << " at " << threads << " threads";
+  }
+}
+
+TEST(RecordLevelBlockerBulkInsertTest, IdenticalToIndexAtAnyThreadCount) {
+  const auto make_blocker = [] {
+    Rng rng(99);
+    return RecordLevelBlocker::CreateWithL(120, 30, 6, rng).value();
+  };
+  const std::vector<EncodedRecord> records = RandomRecords(400, 120, 12345);
+
+  RecordLevelBlocker serial = make_blocker();
+  serial.Index(records);
+
+  // Null pool takes the plain serial path.
+  RecordLevelBlocker no_pool = make_blocker();
+  no_pool.BulkInsert(records);
+  ExpectSameTables(no_pool, serial, 0);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    RecordLevelBlocker parallel = make_blocker();
+    parallel.BulkInsert(records, &pool);
+    ExpectSameTables(parallel, serial, threads);
+  }
+}
+
+TEST(RecordLevelBlockerBulkInsertTest, MinChunkDoesNotChangeTables) {
+  const auto make_blocker = [] {
+    Rng rng(17);
+    return RecordLevelBlocker::CreateWithL(64, 8, 4, rng).value();
+  };
+  const std::vector<EncodedRecord> records = RandomRecords(100, 64, 5);
+  RecordLevelBlocker serial = make_blocker();
+  serial.Index(records);
+  ThreadPool pool(4);
+  for (size_t min_chunk : {1u, 9u, 1000u}) {
+    RecordLevelBlocker parallel = make_blocker();
+    parallel.BulkInsert(records, &pool, min_chunk);
+    ExpectSameTables(parallel, serial, min_chunk);
+  }
+}
+
+TEST(RecordLevelBlockerBulkInsertTest, EmptyAndSingleRecordInputs) {
+  const auto make_blocker = [] {
+    Rng rng(21);
+    return RecordLevelBlocker::CreateWithL(64, 8, 4, rng).value();
+  };
+  ThreadPool pool(4);
+
+  RecordLevelBlocker empty = make_blocker();
+  empty.BulkInsert(std::span<const EncodedRecord>{}, &pool);
+  EXPECT_EQ(empty.TotalBuckets(), 0u);
+
+  const std::vector<EncodedRecord> one = RandomRecords(1, 64, 6);
+  RecordLevelBlocker serial = make_blocker();
+  serial.Index(one);
+  RecordLevelBlocker parallel = make_blocker();
+  parallel.BulkInsert(one, &pool);
+  ExpectSameTables(parallel, serial, 1);
+}
+
+TEST(RecordLevelBlockerBulkInsertTest, AppendsAfterPriorInserts) {
+  // BulkInsert on a non-empty blocker must behave like more Insert()
+  // calls, not a rebuild.
+  const auto make_blocker = [] {
+    Rng rng(23);
+    return RecordLevelBlocker::CreateWithL(64, 8, 4, rng).value();
+  };
+  const std::vector<EncodedRecord> first = RandomRecords(30, 64, 7);
+  std::vector<EncodedRecord> second = RandomRecords(40, 64, 8);
+  for (EncodedRecord& r : second) r.id += 1000;
+
+  RecordLevelBlocker serial = make_blocker();
+  serial.Index(first);
+  serial.Index(second);
+
+  ThreadPool pool(3);
+  RecordLevelBlocker parallel = make_blocker();
+  parallel.BulkInsert(first, &pool);
+  parallel.BulkInsert(second, &pool);
+  ExpectSameTables(parallel, serial, 3);
 }
 
 }  // namespace

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
 namespace cbvlink {
 namespace {
 
@@ -146,6 +152,132 @@ TEST(BloomRecordEncoderTest, EncodeAndAttributeDistance) {
 
 TEST(BloomRecordEncoderTest, RejectsEmptySchema) {
   EXPECT_FALSE(BloomRecordEncoder::Create(Schema{}).ok());
+}
+
+// --- EncodeAll determinism: byte-identical to serial at any thread count.
+
+std::vector<Record> SyntheticRecords(size_t n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back({static_cast<RecordId>(i),
+                       {"NAME" + std::to_string(i % 97),
+                        "LAST" + std::to_string(i % 53),
+                        std::to_string(i) + " OAK ST",
+                        "TOWN" + std::to_string(i % 11)}});
+  }
+  return records;
+}
+
+void ExpectSameEncodings(const std::vector<EncodedRecord>& actual,
+                         const std::vector<EncodedRecord>& expected,
+                         size_t threads) {
+  ASSERT_EQ(actual.size(), expected.size()) << threads << " threads";
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i].id, expected[i].id)
+        << "record " << i << " at " << threads << " threads";
+    ASSERT_EQ(actual[i].bits, expected[i].bits)
+        << "record " << i << " at " << threads << " threads";
+  }
+}
+
+TEST(EncodeAllParallelTest, CVectorByteIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  const std::vector<Record> records = SyntheticRecords(500);
+
+  Result<std::vector<EncodedRecord>> serial = encoder.value().EncodeAll(records);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial.value().size(), records.size());
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    Result<std::vector<EncodedRecord>> parallel =
+        encoder.value().EncodeAll(records, &pool);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameEncodings(parallel.value(), serial.value(), threads);
+  }
+}
+
+TEST(EncodeAllParallelTest, BloomByteIdenticalAcrossThreadCounts) {
+  Result<BloomRecordEncoder> encoder =
+      BloomRecordEncoder::Create(NcvrLikeSchema());
+  ASSERT_TRUE(encoder.ok());
+  const std::vector<Record> records = SyntheticRecords(300);
+
+  Result<std::vector<EncodedRecord>> serial = encoder.value().EncodeAll(records);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    Result<std::vector<EncodedRecord>> parallel =
+        encoder.value().EncodeAll(records, &pool);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameEncodings(parallel.value(), serial.value(), threads);
+  }
+}
+
+TEST(EncodeAllParallelTest, ChunkSizeHintDoesNotChangeOutput) {
+  Rng rng(12);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  const std::vector<Record> records = SyntheticRecords(200);
+  Result<std::vector<EncodedRecord>> serial = encoder.value().EncodeAll(records);
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(4);
+  for (size_t min_chunk : {1u, 7u, 64u, 1000u}) {
+    Result<std::vector<EncodedRecord>> parallel =
+        encoder.value().EncodeAll(records, &pool, min_chunk);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameEncodings(parallel.value(), serial.value(), min_chunk);
+  }
+}
+
+TEST(EncodeAllParallelTest, EmptyAndSingleRecordInputs) {
+  Rng rng(13);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  ThreadPool pool(4);
+
+  Result<std::vector<EncodedRecord>> empty =
+      encoder.value().EncodeAll(std::span<const Record>{}, &pool);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+
+  const std::vector<Record> one = SyntheticRecords(1);
+  Result<std::vector<EncodedRecord>> single =
+      encoder.value().EncodeAll(one, &pool);
+  ASSERT_TRUE(single.ok());
+  ASSERT_EQ(single.value().size(), 1u);
+  EXPECT_EQ(single.value()[0].bits, encoder.value().Encode(one[0]).value().bits);
+}
+
+TEST(EncodeAllParallelTest, ParallelErrorMatchesSerialError) {
+  // A malformed record must yield the same (first-in-order) error at any
+  // thread count.
+  Rng rng(14);
+  Result<CVectorRecordEncoder> encoder = CVectorRecordEncoder::Create(
+      NcvrLikeSchema(), {5.1, 5.0, 20.0, 7.2}, rng);
+  ASSERT_TRUE(encoder.ok());
+  std::vector<Record> records = SyntheticRecords(100);
+  records[40].fields.pop_back();  // first bad record
+  records[90].fields.pop_back();  // a later one in another chunk
+
+  Result<std::vector<EncodedRecord>> serial = encoder.value().EncodeAll(records);
+  ASSERT_FALSE(serial.ok());
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    Result<std::vector<EncodedRecord>> parallel =
+        encoder.value().EncodeAll(records, &pool);
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status().ToString(), serial.status().ToString())
+        << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ TEST(ServiceTest, WallClockQpsUsesWallSpanNotCpuSeconds) {
   Result<NcvrGenerator> gen = NcvrGenerator::Create();
   ASSERT_TRUE(gen.ok());
   LinkageServiceOptions options;
-  options.num_threads = 4;
+  options.execution = ExecutionOptions::WithThreads(4);
   Result<std::unique_ptr<LinkageService>> service =
       LinkageService::Create(BaseConfig(gen.value().schema()), options);
   ASSERT_TRUE(service.ok());
@@ -188,7 +188,7 @@ TEST(ServiceTest, BatchMatchEqualsSerialMatch) {
   Result<NcvrGenerator> gen = NcvrGenerator::Create();
   ASSERT_TRUE(gen.ok());
   LinkageServiceOptions options;
-  options.num_threads = 4;
+  options.execution = ExecutionOptions::WithThreads(4);
   Result<std::unique_ptr<LinkageService>> service =
       LinkageService::Create(BaseConfig(gen.value().schema()), options);
   ASSERT_TRUE(service.ok());
@@ -220,7 +220,7 @@ TEST(ServiceTest, ConcurrentMatchBatchCallsShareThePool) {
   Result<NcvrGenerator> gen = NcvrGenerator::Create();
   ASSERT_TRUE(gen.ok());
   LinkageServiceOptions options;
-  options.num_threads = 4;
+  options.execution = ExecutionOptions::WithThreads(4);
   Result<std::unique_ptr<LinkageService>> created =
       LinkageService::Create(BaseConfig(gen.value().schema()), options);
   ASSERT_TRUE(created.ok());

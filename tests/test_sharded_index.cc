@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "src/blocking/record_blocker.h"
 #include "src/common/random.h"
+#include "src/common/thread_pool.h"
 
 namespace cbvlink {
 namespace {
@@ -230,6 +232,126 @@ TEST(ShardedIndexTest, ConcurrentInsertAndQuery) {
     EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), r.id) !=
                 candidates.end());
   }
+}
+
+// --- BulkInsert / BulkRestore determinism.
+
+void ExpectSameSnapshots(const ShardedHammingIndex& actual,
+                         const ShardedHammingIndex& expected, size_t threads) {
+  EXPECT_EQ(actual.NumBuckets(), expected.NumBuckets());
+  EXPECT_EQ(actual.NumEntries(), expected.NumEntries());
+  const std::vector<IndexBucketSnapshot> a = actual.ExportBuckets();
+  const std::vector<IndexBucketSnapshot> e = expected.ExportBuckets();
+  ASSERT_EQ(a.size(), e.size()) << threads << " threads";
+  for (size_t i = 0; i < e.size(); ++i) {
+    ASSERT_EQ(a[i].group, e[i].group) << "bucket " << i;
+    ASSERT_EQ(a[i].key, e[i].key) << "bucket " << i;
+    ASSERT_EQ(a[i].overflowed, e[i].overflowed)
+        << "bucket " << i << " at " << threads << " threads";
+    ASSERT_EQ(a[i].ids, e[i].ids)
+        << "bucket " << i << " at " << threads << " threads";
+  }
+}
+
+TEST(ShardedIndexTest, BulkInsertIdenticalToSerialAtAnyThreadCount) {
+  ShardedIndexOptions options;
+  options.num_shards = 8;
+  const std::vector<EncodedRecord> records = RandomRecords(300, 64, 29);
+
+  ShardedHammingIndex serial = MakeIndex(5, 10, 64, options, 13);
+  for (const EncodedRecord& r : records) serial.Insert(r);
+
+  ShardedHammingIndex no_pool = MakeIndex(5, 10, 64, options, 13);
+  no_pool.BulkInsert(records);
+  ExpectSameSnapshots(no_pool, serial, 0);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ShardedHammingIndex parallel = MakeIndex(5, 10, 64, options, 13);
+    parallel.BulkInsert(records, &pool);
+    ExpectSameSnapshots(parallel, serial, threads);
+  }
+}
+
+TEST(ShardedIndexTest, BulkInsertPreservesBucketCapSemantics) {
+  // Overflow flags and drop counters depend on arrival order; the
+  // (chunk, record, group) merge must reproduce the serial order even
+  // with a tight cap that many records exceed.
+  ShardedIndexOptions options;
+  options.num_shards = 4;
+  options.max_bucket_size = 3;
+  BitVector bits(32);
+  bits.Set(1);
+  std::vector<EncodedRecord> records;
+  for (RecordId id = 0; id < 40; ++id) {
+    records.push_back(EncodedRecord{id, bits});  // all collide everywhere
+  }
+
+  ShardedHammingIndex serial = MakeIndex(4, 6, 32, options, 19);
+  for (const EncodedRecord& r : records) serial.Insert(r);
+  EXPECT_GT(serial.dropped_entries(), 0u);
+
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    ShardedHammingIndex parallel = MakeIndex(4, 6, 32, options, 19);
+    parallel.BulkInsert(records, &pool);
+    EXPECT_EQ(parallel.dropped_entries(), serial.dropped_entries());
+    ExpectSameSnapshots(parallel, serial, threads);
+  }
+}
+
+TEST(ShardedIndexTest, BulkInsertEmptyAndSingleRecord) {
+  ThreadPool pool(4);
+  ShardedHammingIndex empty = MakeIndex(4, 6, 32);
+  empty.BulkInsert(std::span<const EncodedRecord>{}, &pool);
+  EXPECT_EQ(empty.NumEntries(), 0u);
+
+  const std::vector<EncodedRecord> one = RandomRecords(1, 32, 23);
+  ShardedHammingIndex serial = MakeIndex(4, 6, 32);
+  serial.Insert(one[0]);
+  ShardedHammingIndex bulk = MakeIndex(4, 6, 32);
+  bulk.BulkInsert(one, &pool);
+  ExpectSameSnapshots(bulk, serial, 1);
+}
+
+TEST(ShardedIndexTest, BulkRestoreIdenticalToSequentialRestore) {
+  ShardedIndexOptions options;
+  options.num_shards = 8;
+  options.max_bucket_size = 4;
+  ShardedHammingIndex index = MakeIndex(5, 8, 64, options, 11);
+  for (const EncodedRecord& r : RandomRecords(200, 64, 31)) index.Insert(r);
+  const std::vector<IndexBucketSnapshot> buckets = index.ExportBuckets();
+  ASSERT_GT(buckets.size(), 0u);
+
+  ShardedHammingIndex sequential = MakeIndex(5, 8, 64, options, 11);
+  for (const IndexBucketSnapshot& bucket : buckets) {
+    ASSERT_TRUE(sequential.RestoreBucket(bucket).ok());
+  }
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ShardedHammingIndex parallel = MakeIndex(5, 8, 64, options, 11);
+    ASSERT_TRUE(parallel.BulkRestore(buckets, &pool).ok());
+    ExpectSameSnapshots(parallel, sequential, threads);
+  }
+
+  // Null pool: serial fallback, same result.
+  ShardedHammingIndex no_pool = MakeIndex(5, 8, 64, options, 11);
+  ASSERT_TRUE(no_pool.BulkRestore(buckets, nullptr).ok());
+  ExpectSameSnapshots(no_pool, sequential, 0);
+}
+
+TEST(ShardedIndexTest, BulkRestoreValidatesBeforeMutating) {
+  ShardedHammingIndex index = MakeIndex(4, 3, 32);
+  std::vector<IndexBucketSnapshot> buckets(2);
+  buckets[0].group = 0;
+  buckets[0].key = 7;
+  buckets[0].ids = {1, 2};
+  buckets[1].group = 9;  // invalid: L == 3
+  ThreadPool pool(2);
+  EXPECT_FALSE(index.BulkRestore(buckets, &pool).ok());
+  // The valid bucket must not have been applied.
+  EXPECT_EQ(index.NumEntries(), 0u);
 }
 
 }  // namespace

@@ -13,6 +13,9 @@
 //   --alphanumeric     alphanumeric alphabet (default: uppercase letters)
 //   --pairs FILE       also write the raw duplicate pairs CSV
 //   --seed N           RNG seed (default 7)
+//   --num-threads N    worker threads for the embedding pass (1 = serial,
+//                      0 = hardware; default 1); output is identical at
+//                      any setting
 //
 // Output: one line per non-singleton cluster, ids comma-separated.
 
@@ -34,6 +37,7 @@ int RunMain(int argc, char** argv) {
   size_t k = 30;
   bool alphanumeric = false;
   uint64_t seed = 7;
+  size_t num_threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -66,6 +70,10 @@ int RunMain(int argc, char** argv) {
       const char* v = next();
       if (!v) return 2;
       seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--num-threads") {
+      const char* v = next();
+      if (!v) return 2;
+      num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
@@ -75,7 +83,7 @@ int RunMain(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: cbvlink_dedup --in records.csv [--theta N] [--k N] "
                  "[--id-column NAME]\n  [--alphanumeric] [--pairs FILE] "
-                 "[--seed N]\n");
+                 "[--seed N] [--num-threads N]\n");
     return 2;
   }
 
@@ -107,7 +115,8 @@ int RunMain(int argc, char** argv) {
   config.seed = seed;
 
   Result<DedupResult> result =
-      FindDuplicates(dataset.value().records, config);
+      FindDuplicates(dataset.value().records, config,
+                     ExecutionOptions::WithThreads(num_threads));
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

@@ -23,6 +23,9 @@
 //   --truth FILE           ground-truth CSV with columns a_id,b_id;
 //                          prints PC/PQ/RR when given
 //   --seed N               RNG seed (default 7)
+//   --num-threads N        worker threads for embed/index/match
+//                          (1 = serial, 0 = hardware; default 1);
+//                          output is identical at any setting
 
 #include <cstdio>
 #include <cstring>
@@ -54,6 +57,7 @@ struct Args {
   std::string out_path;
   std::string truth_path;
   uint64_t seed = 7;
+  size_t num_threads = 1;
 };
 
 void Usage() {
@@ -62,7 +66,8 @@ void Usage() {
                "[--theta N] [--k N]\n"
                "  [--delta X] [--attribute-level] [--attribute-k 5,5,10,5]\n"
                "  [--alphanumeric] [--id-column NAME] [--out FILE] "
-               "[--truth FILE] [--seed N]\n");
+               "[--truth FILE] [--seed N]\n"
+               "  [--num-threads N]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -119,6 +124,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--num-threads") {
+      const char* v = next();
+      if (!v) return false;
+      args->num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -206,7 +215,8 @@ int RunMain(int argc, char** argv) {
     return 1;
   }
   Result<LinkageResult> result =
-      linker.value().Link(a.value().records, b.value().records);
+      linker.value().Link(a.value().records, b.value().records,
+                          ExecutionOptions::WithThreads(args.num_threads));
   if (!result.ok()) {
     std::fprintf(stderr, "linkage: %s\n", result.status().ToString().c_str());
     return 1;
@@ -214,13 +224,13 @@ int RunMain(int argc, char** argv) {
 
   std::fprintf(stderr,
                "matched %zu pairs (comparisons: %llu, groups: %zu, "
-               "embed %.2fs + index %.2fs + match %.2fs)\n",
+               "embed %.2fs + index %.2fs + match %.2fs, %zu threads)\n",
                result.value().matches.size(),
                static_cast<unsigned long long>(
                    result.value().stats.comparisons),
                result.value().blocking_groups,
                result.value().embed_seconds, result.value().index_seconds,
-               result.value().match_seconds);
+               result.value().match_seconds, result.value().threads_used);
 
   // Emit matches.
   FILE* out = stdout;

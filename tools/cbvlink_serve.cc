@@ -27,7 +27,8 @@
 //   --delta X              miss probability (default 0.1)
 //   --alphanumeric         alphanumeric alphabet for every attribute
 //   --seed N               RNG seed (default 7)
-//   --threads N            batch worker threads (default 0 = hardware)
+//   --num-threads N        batch worker threads (default 0 = hardware;
+//                          --threads is a deprecated alias)
 //   --shards N             lock shards (default 16)
 //   --max-bucket N         bucket-size cap (default 0 = unlimited)
 //   --overflow POLICY      truncate | scan (default scan)
@@ -176,7 +177,7 @@ void Usage() {
                "--queries B.csv\n"
                "  [--insert] [--snapshot-out FILE] [--rule RULE] [--theta N]\n"
                "  [--k N] [--delta X] [--alphanumeric] [--id-column NAME]\n"
-               "  [--threads N] [--shards N] [--max-bucket N] "
+               "  [--num-threads N] [--shards N] [--max-bucket N] "
                "[--overflow truncate|scan]\n"
                "  [--batch N] [--out FILE] [--seed N]\n"
                "  [--metrics-out FILE] [--stats-interval SEC]\n");
@@ -234,7 +235,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--threads") {
+    } else if (flag == "--num-threads" || flag == "--threads") {
+      // --threads is the deprecated spelling, kept one release.
       if (!next_size(&args->threads)) return false;
     } else if (flag == "--shards") {
       if (!next_size(&args->shards)) return false;
@@ -283,7 +285,7 @@ int RunMain(int argc, char** argv) {
   options.overflow_policy = args.overflow == "truncate"
                                 ? OverflowPolicy::kTruncate
                                 : OverflowPolicy::kScanFallback;
-  options.num_threads = args.threads;
+  options.execution = ExecutionOptions::WithThreads(args.threads);
 
   std::unique_ptr<LinkageService> service;
   RecordId first_query_auto_id = 0;
