@@ -1,0 +1,234 @@
+// Network serving tier throughput: an in-process epoll server
+// (src/net/server.h) in front of the same NCVR registry the service
+// bench uses, driven by loopback binary-protocol clients.
+//
+// Gate: the pairs collected over the wire must equal the in-process
+// MatchBatch result exactly (the network tier may add latency, never
+// change answers).  Then synchronous request/response throughput is
+// measured at 1..8 client connections with p50/p99 latency, and the
+// pipelined single-connection path (which the server executes through
+// MatchBatch runs) is measured separately.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/service/linkage_service.h"
+
+namespace cbvlink {
+namespace {
+
+double PercentileMicros(std::vector<double>* sorted_micros, double q) {
+  if (sorted_micros->empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_micros->size() - 1));
+  return (*sorted_micros)[index];
+}
+
+void Run() {
+  const size_t n = RecordsFromEnv(5000);
+  bench::Banner("Network tier: loopback serving throughput");
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+
+  LinkagePairOptions data_options;
+  data_options.num_records = n;
+  data_options.seed = 42;
+  Result<LinkagePair> data = BuildLinkagePair(
+      gen.value(), PerturbationScheme::Light(), data_options);
+  bench::DieOnError(data.ok() ? Status::OK() : data.status(), "dataset");
+  const std::vector<Record>& registry = data.value().a;
+  const std::vector<Record>& queries = data.value().b;
+
+  Result<std::unique_ptr<LinkageService>> service = LinkageService::Create(
+      bench::CbvHbFor(gen.value().schema(), bench::Scheme::kPL, 7), {},
+      registry);
+  bench::DieOnError(service.ok() ? Status::OK() : service.status(), "service");
+  bench::DieOnError(service.value()->InsertBatch(registry), "insert");
+
+  net::NetServerOptions server_options;
+  // The pipelined measurement below intentionally outruns request
+  // admission pacing; size the queue so nothing is shed and the numbers
+  // stay pure throughput.
+  server_options.max_queue = queries.size() + 64;
+  Result<std::unique_ptr<net::NetServer>> server =
+      net::NetServer::Start(service.value().get(), server_options);
+  bench::DieOnError(server.ok() ? Status::OK() : server.status(), "server");
+  const uint16_t port = server.value()->port();
+
+  std::printf("registry %zu records, %zu queries (NCVR, PL), port %u\n\n",
+              registry.size(), queries.size(), port);
+
+  // --- Equivalence gate ---------------------------------------------------
+  std::vector<IdPair> expected;
+  bench::DieOnError(service.value()->MatchBatch(queries, &expected),
+                    "in-process match");
+
+  std::vector<IdPair> over_wire;
+  std::mutex wire_mu;
+  std::atomic<bool> wire_failed{false};
+  {
+    constexpr size_t kEquivClients = 4;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kEquivClients; ++t) {
+      threads.emplace_back([&, t]() {
+        Result<std::unique_ptr<net::NetClient>> client =
+            net::NetClient::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          wire_failed = true;
+          return;
+        }
+        std::vector<IdPair> local;
+        std::vector<IdPair> pairs;
+        for (size_t i = t; i < queries.size(); i += kEquivClients) {
+          pairs.clear();
+          if (!client.value()->Match(queries[i], &pairs).ok()) {
+            wire_failed = true;
+            return;
+          }
+          local.insert(local.end(), pairs.begin(), pairs.end());
+        }
+        std::lock_guard<std::mutex> lock(wire_mu);
+        over_wire.insert(over_wire.end(), local.begin(), local.end());
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(over_wire.begin(), over_wire.end());
+  if (wire_failed || over_wire != expected) {
+    std::fprintf(stderr,
+                 "FATAL: network results diverge from in-process MatchBatch "
+                 "(%zu vs %zu pairs)\n",
+                 over_wire.size(), expected.size());
+    std::exit(1);
+  }
+  std::printf("equivalence: %zu pairs over the wire == in-process  [OK]\n\n",
+              expected.size());
+
+  std::vector<std::pair<std::string, double>> series;
+  series.emplace_back("records", static_cast<double>(registry.size()));
+  series.emplace_back("queries", static_cast<double>(queries.size()));
+  series.emplace_back("matches", static_cast<double>(expected.size()));
+  series.emplace_back("equivalence_ok", 1.0);
+
+  // --- Synchronous request/response scaling -------------------------------
+  std::printf("%-8s %12s %9s %11s %11s\n", "clients", "query(q/s)", "speedup",
+              "p50(us)", "p99(us)");
+  double base_rate = 0;
+  for (size_t clients : {1u, 2u, 4u, 8u}) {
+    std::vector<std::vector<double>> latencies(clients);
+    std::atomic<bool> failed{false};
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t]() {
+        Result<std::unique_ptr<net::NetClient>> client =
+            net::NetClient::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          failed = true;
+          return;
+        }
+        std::vector<IdPair> pairs;
+        latencies[t].reserve(queries.size() / clients + 1);
+        for (size_t i = t; i < queries.size(); i += clients) {
+          pairs.clear();
+          const auto start = std::chrono::steady_clock::now();
+          if (!client.value()->Match(queries[i], &pairs).ok()) {
+            failed = true;
+            return;
+          }
+          latencies[t].push_back(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds = watch.ElapsedSeconds();
+    if (failed) {
+      std::fprintf(stderr, "FATAL: network error at %zu clients\n", clients);
+      std::exit(1);
+    }
+    const double rate = static_cast<double>(queries.size()) / seconds;
+    if (clients == 1) base_rate = rate;
+
+    std::vector<double> merged;
+    for (const std::vector<double>& slice : latencies) {
+      merged.insert(merged.end(), slice.begin(), slice.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const double p50 = PercentileMicros(&merged, 0.50);
+    const double p99 = PercentileMicros(&merged, 0.99);
+    std::printf("%-8zu %12.0f %8.2fx %11.1f %11.1f\n", clients, rate,
+                rate / base_rate, p50, p99);
+
+    const std::string prefix = StrFormat("clients_%zu.", clients);
+    series.emplace_back(prefix + "query_rate", rate);
+    series.emplace_back(prefix + "speedup", rate / base_rate);
+    series.emplace_back(prefix + "latency_p50_us", p50);
+    series.emplace_back(prefix + "latency_p99_us", p99);
+  }
+
+  // --- Pipelined single connection ----------------------------------------
+  // One connection writes every request before reading any reply; the
+  // server folds consecutive kMatch frames into MatchBatch runs, so this
+  // is the batch path's wire-facing throughput.
+  {
+    Result<std::unique_ptr<net::NetClient>> client =
+        net::NetClient::Connect("127.0.0.1", port);
+    bench::DieOnError(client.ok() ? Status::OK() : client.status(),
+                      "pipelined client");
+    Record base = queries[0];
+    base.id = 1u << 20;
+    std::atomic<size_t> replies{0};
+    std::atomic<size_t> sheds{0};
+    Stopwatch watch;
+    const Status burst = client.value()->PipelinedBurst(
+        net::MsgType::kMatch, base, queries.size(),
+        [&](size_t, const net::Frame& frame) {
+          ++replies;
+          if (frame.type != net::MsgType::kMatchResult) ++sheds;
+        });
+    const double seconds = watch.ElapsedSeconds();
+    bench::DieOnError(burst, "pipelined burst");
+    if (sheds.load() != 0) {
+      std::fprintf(stderr, "FATAL: %zu pipelined requests shed\n",
+                   sheds.load());
+      std::exit(1);
+    }
+    const double rate = static_cast<double>(replies.load()) / seconds;
+    std::printf("\npipelined 1 connection: %12.0f q/s (%.2fx of 1-client "
+                "sync)\n",
+                rate, rate / base_rate);
+    series.emplace_back("pipelined.query_rate", rate);
+    series.emplace_back("pipelined.speedup_vs_sync", rate / base_rate);
+  }
+
+  bench::EmitBenchJson("BENCH_net.json", series);
+  std::printf(
+      "\nReading: sync throughput is bounded by one in-flight request per "
+      "connection\n(latency-dominated); the pipelined path amortizes wire "
+      "turnarounds through the\nserver's per-connection MatchBatch folding "
+      "and should approach the batch\nengine's rate from bench_service.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

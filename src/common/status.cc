@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -28,6 +28,10 @@ enum class StatusCode : int {
   kInternal = 6,
   kNotImplemented = 7,
   kIOError = 8,
+  /// A bounded resource (admission queue, connection table) is full and
+  /// the request was shed rather than queued — the retryable overload
+  /// signal the network tier maps to HTTP 429.
+  kResourceExhausted = 9,
 };
 
 /// Returns a static, human-readable name for a status code ("InvalidArgument").
@@ -75,6 +79,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -1,0 +1,492 @@
+#include "src/io/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/crc32.h"
+#include "src/common/failpoint.h"
+#include "src/common/str.h"
+#include "src/io/serialization.h"
+#include "src/telemetry/metrics.h"
+
+namespace cbvlink {
+
+namespace {
+
+// Process-wide journal counters (the registry outlives every journal,
+// and ResetForTest zeroes in place, so the statics stay valid).
+telemetry::Counter* AppendsCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("journal_appends_total");
+  return c;
+}
+telemetry::Counter* AppendBytesCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("journal_append_bytes_total");
+  return c;
+}
+telemetry::Counter* FsyncsCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("journal_fsyncs_total");
+  return c;
+}
+telemetry::Counter* RotationsCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("journal_rotations_total");
+  return c;
+}
+
+constexpr uint32_t kJournalMagic = 0x4a564243;  // "CBVJ" little-endian
+constexpr uint32_t kJournalVersion = 1;
+// Smallest legal payload: op byte + a zero-field record (8 + 4 bytes).
+constexpr uint32_t kMinJournalPayload = 13;
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeHeader(uint64_t epoch) {
+  std::string header;
+  PutU32(kJournalMagic, &header);
+  PutU32(kJournalVersion, &header);
+  PutU64(epoch, &header);
+  return header;
+}
+
+/// Parses a 16-byte journal header; InvalidArgument on a foreign one.
+Status DecodeHeader(const char* bytes, uint64_t* epoch) {
+  if (GetU32(bytes) != kJournalMagic) {
+    return Status::InvalidArgument("not a journal file (bad magic)");
+  }
+  const uint32_t version = GetU32(bytes + 4);
+  if (version != kJournalVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported journal version %u", version));
+  }
+  *epoch = GetU64(bytes + 8);
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const char* p, size_t n, uint64_t offset,
+                const std::string& path) {
+  while (n > 0) {
+    const ssize_t written = ::pwrite(fd, p, n, static_cast<off_t>(offset));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("pwrite %s: %s", path.c_str(), std::strerror(errno)));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+    offset += static_cast<uint64_t>(written);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void JournalFrameDecoder::Feed(std::string_view bytes) {
+  // Compact the consumed prefix before it grows unbounded on long tails.
+  if (pos_ > (1u << 20) && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+JournalFrameDecoder::Next JournalFrameDecoder::Pop(Record* record,
+                                                   JournalOp* op) {
+  if (!error_.ok()) return Next::kCorrupt;
+  if (buffer_.size() - pos_ < 8) return Next::kNeedMore;
+  const uint32_t payload_len = GetU32(buffer_.data() + pos_);
+  const uint32_t expected_crc = GetU32(buffer_.data() + pos_ + 4);
+  if (payload_len < kMinJournalPayload || payload_len > kMaxJournalPayload) {
+    error_ = Status::InvalidArgument(
+        StrFormat("journal frame length %u outside [%u, %u]", payload_len,
+                  kMinJournalPayload, kMaxJournalPayload));
+    return Next::kCorrupt;
+  }
+  if (buffer_.size() - pos_ < 8 + static_cast<size_t>(payload_len)) {
+    return Next::kNeedMore;
+  }
+  const char* payload = buffer_.data() + pos_ + 8;
+  if (Crc32c(payload, payload_len) != expected_crc) {
+    error_ = Status::InvalidArgument("journal frame CRC mismatch");
+    return Next::kCorrupt;
+  }
+  const uint8_t op_byte = static_cast<uint8_t>(payload[0]);
+  if (op_byte != static_cast<uint8_t>(JournalOp::kInsert)) {
+    error_ = Status::InvalidArgument(
+        StrFormat("unknown journal op %u", op_byte));
+    return Next::kCorrupt;
+  }
+  size_t consumed = 0;
+  const Status decoded = WireDecodeRecord(
+      std::string_view(payload + 1, payload_len - 1), record, &consumed);
+  if (!decoded.ok() || consumed != payload_len - 1) {
+    error_ = decoded.ok() ? Status::InvalidArgument(
+                                "journal frame has trailing payload bytes")
+                          : decoded;
+    return Next::kCorrupt;
+  }
+  if (op != nullptr) *op = static_cast<JournalOp>(op_byte);
+  pos_ += 8 + payload_len;
+  consumed_ += 8 + payload_len;
+  return Next::kRecord;
+}
+
+Journal::Journal(std::string path, int fd, uint64_t end, uint64_t epoch,
+                 JournalOptions options)
+    : path_(std::move(path)),
+      options_(options),
+      fd_(fd),
+      end_(end),
+      epoch_(epoch) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) {
+    (void)::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path,
+                                               JournalOptions options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status err = Status::IOError(
+        StrFormat("fstat %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t epoch = 0;
+
+  if (size == 0) {
+    const std::string header = EncodeHeader(0);
+    Status written = WriteAll(fd, header.data(), header.size(), 0, path);
+    if (written.ok() && ::fsync(fd) != 0) {
+      written = Status::IOError(
+          StrFormat("fsync %s: %s", path.c_str(), std::strerror(errno)));
+    }
+    if (!written.ok()) {
+      ::close(fd);
+      return written;
+    }
+    size = kJournalHeaderSize;
+  } else if (size < kJournalHeaderSize) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("journal %s truncated inside the header", path.c_str()));
+  } else {
+    char header[kJournalHeaderSize];
+    const ssize_t n = ::pread(fd, header, sizeof(header), 0);
+    if (n != static_cast<ssize_t>(sizeof(header))) {
+      ::close(fd);
+      return Status::IOError(StrFormat("read %s header", path.c_str()));
+    }
+    const Status decoded = DecodeHeader(header, &epoch);
+    if (!decoded.ok()) {
+      ::close(fd);
+      return decoded;
+    }
+  }
+
+  // Scan forward to the last valid frame boundary, then drop the torn or
+  // corrupt tail so new appends extend a clean prefix.
+  JournalFrameDecoder decoder;
+  uint64_t offset = kJournalHeaderSize;
+  char chunk[1 << 16];
+  Record scratch;
+  bool scanning = true;
+  while (scanning && offset < size) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(sizeof(chunk), size - offset));
+    const ssize_t n = ::pread(fd, chunk, want, static_cast<off_t>(offset));
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError(
+          StrFormat("read %s: %s", path.c_str(), std::strerror(errno)));
+    }
+    offset += static_cast<uint64_t>(n);
+    decoder.Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    for (;;) {
+      const JournalFrameDecoder::Next next = decoder.Pop(&scratch);
+      if (next == JournalFrameDecoder::Next::kRecord) continue;
+      if (next == JournalFrameDecoder::Next::kCorrupt) scanning = false;
+      break;
+    }
+  }
+  const uint64_t valid_end = kJournalHeaderSize + decoder.consumed_bytes();
+  if (valid_end < size && ::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    const Status err = Status::IOError(
+        StrFormat("ftruncate %s: %s", path.c_str(), std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+
+  return std::unique_ptr<Journal>(
+      new Journal(path, fd, valid_end, epoch, options));
+}
+
+Status Journal::AppendInsert(const Record& record) {
+  std::string payload;
+  payload.push_back(
+      static_cast<char>(static_cast<uint8_t>(JournalOp::kInsert)));
+  WireEncodeRecord(record, &payload);
+  if (payload.size() > kMaxJournalPayload) {
+    return Status::InvalidArgument("journal record exceeds payload cap");
+  }
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), &frame);
+  PutU32(Crc32c(payload.data(), payload.size()), &frame);
+  frame += payload;
+
+  std::scoped_lock lock(mu_);
+  size_t limit = frame.size();
+  if (Failpoints::AnyActive()) {
+    const FailpointHit hit = Failpoints::Eval("journal.append");
+    if (hit.action == FailpointAction::kError) {
+      return Status::IOError("failpoint 'journal.append' injected failure");
+    }
+    if (hit.action == FailpointAction::kShortWrite) {
+      limit = std::min<size_t>(limit, static_cast<size_t>(hit.param));
+    }
+  }
+  CBVLINK_RETURN_NOT_OK(WriteAll(fd_, frame.data(), limit, end_, path_));
+  if (limit != frame.size()) {
+    // Simulated kill-during-append: the torn bytes stay on disk (as a
+    // real crash would leave them) and the in-memory end offset stays at
+    // the last valid boundary — the handle should be abandoned, and the
+    // next Open() will truncate the torn tail.
+    (void)::fsync(fd_);
+    return Status::IOError("failpoint 'journal.append' injected short write");
+  }
+  end_ += frame.size();
+  ++appended_;
+  ++unsynced_appends_;
+  AppendsCounter()->Add(1);
+  AppendBytesCounter()->Add(frame.size());
+  if (options_.fsync_every > 0 && unsynced_appends_ >= options_.fsync_every) {
+    CBVLINK_RETURN_NOT_OK(SyncLocked());
+  }
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  std::scoped_lock lock(mu_);
+  return SyncLocked();
+}
+
+Status Journal::SyncLocked() {
+  if (unsynced_appends_ == 0) return Status::OK();
+  CBVLINK_FAILPOINT("journal.fsync");
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(
+        StrFormat("fsync %s: %s", path_.c_str(), std::strerror(errno)));
+  }
+  unsynced_appends_ = 0;
+  FsyncsCounter()->Add(1);
+  return Status::OK();
+}
+
+Status Journal::DropCommitted(uint64_t through_offset) {
+  std::scoped_lock lock(mu_);
+  if (through_offset < kJournalHeaderSize) through_offset = kJournalHeaderSize;
+  if (through_offset > end_) {
+    return Status::InvalidArgument(
+        StrFormat("DropCommitted offset %llu past journal end %llu",
+                  static_cast<unsigned long long>(through_offset),
+                  static_cast<unsigned long long>(end_)));
+  }
+  CBVLINK_FAILPOINT("journal.rotate");
+
+  // Rewrite as header(epoch+1) + uncovered tail, committed by rename —
+  // a crash mid-rotate leaves the previous journal intact (replaying it
+  // onto the new snapshot is safe: replay dedupes by record id).
+  std::string next = EncodeHeader(epoch_ + 1);
+  if (through_offset < end_) {
+    const size_t tail_len = static_cast<size_t>(end_ - through_offset);
+    const size_t header_len = next.size();
+    next.resize(header_len + tail_len);
+    char* dst = next.data() + header_len;
+    size_t got = 0;
+    while (got < tail_len) {
+      const ssize_t n =
+          ::pread(fd_, dst + got, tail_len - got,
+                  static_cast<off_t>(through_offset + got));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        return Status::IOError(
+            StrFormat("read %s tail: %s", path_.c_str(),
+                      std::strerror(errno)));
+      }
+      got += static_cast<size_t>(n);
+    }
+  }
+
+  const std::string tmp = AtomicTempPath(path_);
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IOError(
+        StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  Status written = WriteAll(tmp_fd, next.data(), next.size(), 0, tmp);
+  if (written.ok() && ::fsync(tmp_fd) != 0) {
+    written = Status::IOError(
+        StrFormat("fsync %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  if (!written.ok()) {
+    ::close(tmp_fd);
+    return written;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const Status err = Status::IOError(StrFormat(
+        "rename %s -> %s: %s", tmp.c_str(), path_.c_str(),
+        std::strerror(errno)));
+    ::close(tmp_fd);
+    return err;
+  }
+  ::close(fd_);
+  fd_ = tmp_fd;  // the renamed inode is the one tmp_fd already points at
+  end_ = next.size();
+  epoch_ += 1;
+  unsynced_appends_ = 0;
+  RotationsCounter()->Add(1);
+  return Status::OK();
+}
+
+Status Journal::ReadSegment(uint64_t from_offset, size_t max_bytes,
+                            std::string* out, uint64_t* end_offset,
+                            uint64_t* epoch) const {
+  std::scoped_lock lock(mu_);
+  *end_offset = end_;
+  *epoch = epoch_;
+  out->clear();
+  if (from_offset < kJournalHeaderSize) from_offset = kJournalHeaderSize;
+  if (from_offset >= end_) return Status::OK();
+  const size_t want =
+      static_cast<size_t>(std::min<uint64_t>(max_bytes, end_ - from_offset));
+  out->resize(want);
+  size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::pread(fd_, out->data() + got, want - got,
+                              static_cast<off_t>(from_offset + got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      out->clear();
+      return Status::IOError(
+          StrFormat("read %s: %s", path_.c_str(), std::strerror(errno)));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+uint64_t Journal::EndOffset() const {
+  std::scoped_lock lock(mu_);
+  return end_;
+}
+
+uint64_t Journal::epoch() const {
+  std::scoped_lock lock(mu_);
+  return epoch_;
+}
+
+uint64_t Journal::appended_frames() const {
+  std::scoped_lock lock(mu_);
+  return appended_;
+}
+
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(const Record&)>& apply) {
+  JournalReplayStats stats;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return stats;  // nothing to replay
+  stats.existed = true;
+
+  char header[kJournalHeaderSize];
+  in.read(header, sizeof(header));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(header))) {
+    return Status::InvalidArgument(
+        StrFormat("journal %s truncated inside the header", path.c_str()));
+  }
+  CBVLINK_RETURN_NOT_OK(DecodeHeader(header, &stats.epoch));
+
+  JournalFrameDecoder decoder;
+  Record record;
+  char chunk[1 << 16];
+  bool more_input = true;
+  while (more_input) {
+    in.read(chunk, sizeof(chunk));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    more_input = n == static_cast<std::streamsize>(sizeof(chunk));
+    decoder.Feed(std::string_view(chunk, static_cast<size_t>(n)));
+    for (;;) {
+      const JournalFrameDecoder::Next next = decoder.Pop(&record);
+      if (next == JournalFrameDecoder::Next::kRecord) {
+        ++stats.frames;
+        ++stats.applied;
+        CBVLINK_RETURN_NOT_OK(apply(record));
+        continue;
+      }
+      if (next == JournalFrameDecoder::Next::kCorrupt) {
+        stats.tail_truncated = true;
+        more_input = false;
+      }
+      break;
+    }
+  }
+  stats.valid_bytes = kJournalHeaderSize + decoder.consumed_bytes();
+  if (!stats.tail_truncated) {
+    // A trailing partial frame (torn append) also counts as a truncation.
+    in.clear();
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size >= 0 && static_cast<uint64_t>(size) > stats.valid_bytes) {
+      stats.tail_truncated = true;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cbvlink

@@ -1,0 +1,201 @@
+// Append-only insert journal: the durability layer between snapshots.
+//
+// Snapshots (src/io/serialization.h) make restarts warm but are periodic;
+// every insert acknowledged after the last snapshot would be lost on a
+// crash.  The journal closes that gap: each successful
+// Insert/MatchAndInsert/InsertBatch record is appended as one CRC32C-framed
+// entry and fsynced per policy *before* the caller's acknowledgement, so
+// startup recovery = snapshot restore + journal tail replay, and a warm
+// standby can follow a primary by tailing the same byte stream over the
+// network (src/net/replication.h).
+//
+// File layout (little-endian):
+//   u32 magic 'CBVJ'   u32 version (1)   u64 epoch
+//   repeated frames: u32 payload_len  u32 crc32c(payload)  payload
+//   payload: u8 op (1 = insert)  WireEncodeRecord bytes
+//
+// Torn-tail contract: an append is not atomic on disk, so a crash can
+// leave a partial frame at the end.  Every reader (Open's end scan,
+// ReplayJournal, JournalFrameDecoder) stops at the first frame whose
+// length field or CRC does not check out; everything before it is valid
+// by construction.  Open() truncates the torn tail so new appends never
+// land after garbage.
+//
+// Epoch + prefix drop: when a snapshot save commits, the frames it
+// covers are dropped (DropCommitted) by atomically rewriting the journal
+// with epoch+1 and only the uncovered tail.  Replication clients carry
+// (epoch, offset) cursors; an epoch mismatch tells a follower its cursor
+// predates a rotation and it must re-sync from a snapshot.
+//
+// Failpoints: journal.append (error, short_write — a simulated
+// kill-during-append), journal.fsync (error), journal.rotate (error).
+
+#ifndef CBVLINK_IO_JOURNAL_H_
+#define CBVLINK_IO_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+/// Journal entry operation tags (the u8 leading each frame payload).
+enum class JournalOp : uint8_t {
+  kInsert = 1,
+};
+
+/// Bytes before the first frame (magic + version + epoch).
+inline constexpr uint64_t kJournalHeaderSize = 16;
+
+/// Hard cap on one frame's payload length — bounds the allocation a
+/// corrupt length field can demand, like the snapshot readers' caps.
+inline constexpr uint32_t kMaxJournalPayload = 16u << 20;
+
+struct JournalOptions {
+  /// fsync cadence: 1 = every append (full durability, the default),
+  /// N > 1 = every N-th append, 0 = never (leave it to the OS; a crash
+  /// may lose the un-synced suffix, which replay then cleanly drops).
+  size_t fsync_every = 1;
+};
+
+/// Incremental frame decoder: feed raw journal bytes (file tail, network
+/// segment), pop decoded records.  Stops permanently at the first
+/// corrupt frame; a partial frame at the end of the fed bytes is simply
+/// "need more".  `consumed_bytes` counts only fully validated frames, so
+/// it is always a frame boundary — the resume offset for a follower.
+class JournalFrameDecoder {
+ public:
+  enum class Next {
+    kRecord,    ///< one record decoded
+    kNeedMore,  ///< buffered bytes end mid-frame; feed more
+    kCorrupt,   ///< invalid frame; error() has details, decoder is dead
+  };
+
+  /// Appends bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  /// Attempts to decode the next frame into `*record` (and `*op` when
+  /// non-null).
+  Next Pop(Record* record, JournalOp* op = nullptr);
+
+  /// Total bytes of fully validated frames consumed so far.
+  uint64_t consumed_bytes() const { return consumed_; }
+
+  /// Why the decoder declared corruption (OK until then).
+  const Status& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+  uint64_t consumed_ = 0;
+  Status error_;
+};
+
+/// The primary-side journal writer.  All methods are thread-safe; the
+/// append order under concurrent writers is the journal's serialization
+/// order (see DESIGN.md §11 for the consistency caveats this shares with
+/// the service's per-shard atomicity).
+class Journal {
+ public:
+  /// Opens (or creates) the journal at `path`.  An existing file is
+  /// validated (magic/version) and scanned: a torn tail is truncated so
+  /// the next append lands on the last valid frame boundary.  Returns
+  /// InvalidArgument for a foreign or corrupt header.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& path,
+                                               JournalOptions options = {});
+
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one insert frame and applies the fsync policy.  On any
+  /// error the in-memory end offset is left at the last durable frame
+  /// boundary and the file is truncated back to it (best-effort), so a
+  /// failed append never poisons the tail for later ones.
+  Status AppendInsert(const Record& record);
+
+  /// Forces an fsync now (e.g. before acknowledging a batch when
+  /// fsync_every > 1).
+  Status Sync();
+
+  /// Drops every frame below `through_offset` (a frame boundary captured
+  /// via EndOffset() before a snapshot export began): the journal is
+  /// atomically rewritten with epoch+1 carrying only [through_offset,
+  /// end).  Frames kept may still duplicate snapshot contents; replay
+  /// dedupes by record id.
+  Status DropCommitted(uint64_t through_offset);
+
+  /// Reads up to `max_bytes` raw journal bytes starting at
+  /// `from_offset` (clamped to the header boundary), for replication.
+  /// Returns the current epoch and end offset alongside, so a follower
+  /// can detect rotations and measure its lag.
+  Status ReadSegment(uint64_t from_offset, size_t max_bytes, std::string* out,
+                     uint64_t* end_offset, uint64_t* epoch) const;
+
+  /// Current append offset (a frame boundary; kJournalHeaderSize when
+  /// empty).
+  uint64_t EndOffset() const;
+
+  /// Rotation generation (bumped by DropCommitted).
+  uint64_t epoch() const;
+
+  /// Frames appended through this handle (not counting pre-existing ones).
+  uint64_t appended_frames() const;
+
+  const std::string& path() const { return path_; }
+  const JournalOptions& options() const { return options_; }
+
+ private:
+  Journal(std::string path, int fd, uint64_t end, uint64_t epoch,
+          JournalOptions options);
+
+  Status SyncLocked();
+
+  std::string path_;
+  JournalOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t end_ = kJournalHeaderSize;
+  uint64_t epoch_ = 0;
+  uint64_t appended_ = 0;
+  size_t unsynced_appends_ = 0;
+};
+
+/// Outcome of a journal replay.
+struct JournalReplayStats {
+  /// True when the journal file existed (false = nothing to replay).
+  bool existed = false;
+  /// Fully validated frames decoded.
+  uint64_t frames = 0;
+  /// Frames actually applied.  ReplayJournal sets this equal to
+  /// `frames`; callers that dedupe (LinkageService::ReplayJournalFile
+  /// skips ids the snapshot already covers) overwrite it with their own
+  /// count.
+  uint64_t applied = 0;
+  /// Byte offset of the last valid frame boundary.
+  uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes were dropped (torn or corrupt tail).
+  bool tail_truncated = false;
+  /// The journal's epoch.
+  uint64_t epoch = 0;
+};
+
+/// Replays the journal at `path`: decodes frames in order and invokes
+/// `apply` for each record, stopping cleanly at the first invalid frame
+/// (stats.tail_truncated notes the drop).  A missing file is not an
+/// error — stats.existed stays false.  A non-OK `apply` aborts the
+/// replay with that status.
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(const Record&)>& apply);
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_IO_JOURNAL_H_

@@ -417,6 +417,70 @@ Status AtomicWriteFile(const std::string& path, const std::string& payload,
 
 }  // namespace
 
+void WireEncodeRecord(const Record& record, std::string* out) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(record.id >> (8 * i));
+  }
+  out->append(reinterpret_cast<const char*>(buf), 8);
+  EncodeU32(static_cast<uint32_t>(record.fields.size()), buf);
+  out->append(reinterpret_cast<const char*>(buf), 4);
+  for (const std::string& field : record.fields) {
+    EncodeU32(static_cast<uint32_t>(field.size()), buf);
+    out->append(reinterpret_cast<const char*>(buf), 4);
+    out->append(field);
+  }
+}
+
+Status WireDecodeRecord(std::string_view data, Record* record,
+                        size_t* consumed) {
+  size_t pos = 0;
+  const auto u32 = [&](uint32_t* v) {
+    if (data.size() - pos < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(data[pos + static_cast<size_t>(i)]))
+            << (8 * i);
+    }
+    pos += 4;
+    return true;
+  };
+  if (data.size() < 12) return Status::IOError("record payload truncated");
+  record->id = 0;
+  for (int i = 0; i < 8; ++i) {
+    record->id |= static_cast<uint64_t>(
+                      static_cast<unsigned char>(data[static_cast<size_t>(i)]))
+                  << (8 * i);
+  }
+  pos = 8;
+  uint32_t num_fields = 0;
+  u32(&num_fields);
+  if (num_fields > kMaxAttributes) {
+    return Status::InvalidArgument(
+        StrFormat("record field count %u exceeds cap %u", num_fields,
+                  kMaxAttributes));
+  }
+  record->fields.clear();
+  record->fields.reserve(num_fields);
+  for (uint32_t f = 0; f < num_fields; ++f) {
+    uint32_t len = 0;
+    if (!u32(&len)) return Status::IOError("record payload truncated");
+    if (len > kMaxStringBytes) {
+      return Status::InvalidArgument(
+          StrFormat("record field length %u exceeds cap %u", len,
+                    kMaxStringBytes));
+    }
+    if (data.size() - pos < len) {
+      return Status::IOError("record payload truncated");
+    }
+    record->fields.emplace_back(data.substr(pos, len));
+    pos += len;
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
 std::string AtomicTempPath(const std::string& path) { return path + ".tmp"; }
 
 Status WriteFileAtomically(const std::string& path,

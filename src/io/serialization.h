@@ -43,12 +43,29 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/record.h"
 #include "src/common/status.h"
 #include "src/embedding/record_encoder.h"
 
 namespace cbvlink {
+
+/// Flat little-endian encoding of one raw (string-field) Record — the
+/// payload format shared by journal frames (src/io/journal.h) and the
+/// binary network protocol (src/net/protocol.h): u64 id, u32 num_fields,
+/// then u32 length + bytes per field.  Appends to `*out`.
+void WireEncodeRecord(const Record& record, std::string* out);
+
+/// Decodes one WireEncodeRecord payload from the front of `data`.  On
+/// success `*consumed` is the number of bytes read (trailing bytes are
+/// left for the caller).  Returns InvalidArgument on an over-cap field
+/// count/length and IOError on truncated input — the same split the
+/// snapshot readers use, so framing layers can tell corruption from a
+/// partial read.
+Status WireDecodeRecord(std::string_view data, Record* record,
+                        size_t* consumed);
 
 /// Where an atomic *ToFile write stages its data before the commit
 /// rename (`path` + ".tmp").

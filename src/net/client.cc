@@ -1,0 +1,242 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/str.h"
+#include "src/io/serialization.h"
+
+namespace cbvlink {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SetTimeout(int fd, int which, int ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  std::string host_part = "127.0.0.1";
+  std::string port_part = spec;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host_part = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty())
+    return Status::InvalidArgument(StrFormat("missing port in '%s'", spec.c_str()));
+  uint32_t value = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9')
+      return Status::InvalidArgument(StrFormat("bad port in '%s'", spec.c_str()));
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+    if (value > 65535)
+      return Status::InvalidArgument(StrFormat("port out of range in '%s'", spec.c_str()));
+  }
+  *host = host_part;
+  *port = static_cast<uint16_t>(value);
+  return Status::OK();
+}
+
+NetClient::NetClient(int fd, NetClientOptions options)
+    : fd_(fd), options_(options) {}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, NetClientOptions options) {
+  if (port == 0) return Status::InvalidArgument("cannot connect to port 0");
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    return Status::IOError(
+        StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+  int fd = -1;
+  Status last = Status::IOError(StrFormat("no addresses for %s", host.c_str()));
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    SetTimeout(fd, SO_SNDTIMEO, options.connect_timeout_ms);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Errno("connect");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return last;
+
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetTimeout(fd, SO_SNDTIMEO, options.io_timeout_ms);
+  SetTimeout(fd, SO_RCVTIMEO, options.io_timeout_ms);
+
+  auto client =
+      std::unique_ptr<NetClient>(new NetClient(fd, options));
+  CBVLINK_RETURN_NOT_OK(client->SendAll(
+      std::string_view(kBinaryPreamble, sizeof(kBinaryPreamble))));
+  return client;
+}
+
+Status NetClient::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status NetClient::ReadFrame(Frame* frame) {
+  char buf[64 * 1024];
+  while (true) {
+    FrameDecoder::Next next = decoder_.Pop(frame);
+    if (next == FrameDecoder::Next::kFrame) return Status::OK();
+    if (next == FrameDecoder::Next::kCorrupt) return decoder_.error();
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status::IOError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status NetClient::Call(MsgType type, std::string_view payload, Frame* reply) {
+  std::string wire;
+  EncodeFrame(type, payload, &wire);
+  CBVLINK_RETURN_NOT_OK(SendAll(wire));
+  return ReadFrame(reply);
+}
+
+Status NetClient::Roundtrip(MsgType type, std::string_view payload,
+                            MsgType expect, Frame* reply) {
+  CBVLINK_RETURN_NOT_OK(Call(type, payload, reply));
+  if (reply->type == MsgType::kError) {
+    Status carried = Status::OK();
+    CBVLINK_RETURN_NOT_OK(DecodeErrorPayload(reply->payload, &carried));
+    return carried;
+  }
+  if (reply->type != expect) {
+    return Status::IOError(
+        StrFormat("unexpected reply type %u", static_cast<unsigned>(reply->type)));
+  }
+  return Status::OK();
+}
+
+Status NetClient::Ping() {
+  Frame reply;
+  return Roundtrip(MsgType::kPing, {}, MsgType::kPong, &reply);
+}
+
+Status NetClient::Match(const Record& record, std::vector<IdPair>* out) {
+  std::string payload;
+  WireEncodeRecord(record, &payload);
+  Frame reply;
+  CBVLINK_RETURN_NOT_OK(
+      Roundtrip(MsgType::kMatch, payload, MsgType::kMatchResult, &reply));
+  return DecodePairs(reply.payload, out);
+}
+
+Status NetClient::MatchAndInsert(const Record& record,
+                                 std::vector<IdPair>* out) {
+  std::string payload;
+  WireEncodeRecord(record, &payload);
+  Frame reply;
+  CBVLINK_RETURN_NOT_OK(Roundtrip(MsgType::kMatchAndInsert, payload,
+                                  MsgType::kMatchResult, &reply));
+  return DecodePairs(reply.payload, out);
+}
+
+Status NetClient::Insert(const Record& record) {
+  std::string payload;
+  WireEncodeRecord(record, &payload);
+  Frame reply;
+  return Roundtrip(MsgType::kInsert, payload, MsgType::kInserted, &reply);
+}
+
+Status NetClient::FetchSnapshot(std::string* snapshot_bytes) {
+  Frame reply;
+  CBVLINK_RETURN_NOT_OK(
+      Roundtrip(MsgType::kFetchSnapshot, {}, MsgType::kSnapshotData, &reply));
+  *snapshot_bytes = std::move(reply.payload);
+  return Status::OK();
+}
+
+Status NetClient::FetchJournal(uint64_t epoch, uint64_t offset,
+                               uint64_t* out_epoch, uint64_t* out_end,
+                               std::string* frames) {
+  std::string payload;
+  EncodeJournalFetch(epoch, offset, &payload);
+  Frame reply;
+  CBVLINK_RETURN_NOT_OK(
+      Roundtrip(MsgType::kFetchJournal, payload, MsgType::kJournalData, &reply));
+  return DecodeJournalData(reply.payload, out_epoch, out_end, frames);
+}
+
+Status NetClient::PipelinedBurst(
+    MsgType type, const Record& base, size_t count,
+    const std::function<void(size_t, const Frame&)>& on_reply) {
+  std::string wire;
+  Record record = base;
+  for (size_t i = 0; i < count; ++i) {
+    record.id = base.id + i;
+    std::string payload;
+    WireEncodeRecord(record, &payload);
+    EncodeFrame(type, payload, &wire);
+  }
+  CBVLINK_RETURN_NOT_OK(SendAll(wire));
+  for (size_t i = 0; i < count; ++i) {
+    Frame reply;
+    CBVLINK_RETURN_NOT_OK(ReadFrame(&reply));
+    on_reply(i, reply);
+  }
+  return Status::OK();
+}
+
+Status NetClient::Stats(std::string* json) {
+  Frame reply;
+  CBVLINK_RETURN_NOT_OK(
+      Roundtrip(MsgType::kStats, {}, MsgType::kStatsJson, &reply));
+  *json = std::move(reply.payload);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace cbvlink

@@ -1,0 +1,101 @@
+// Blocking binary-protocol client for the network serving tier — the
+// counterpart of src/net/server.h used by the cbvlink_query CLI, the
+// replication follower (src/net/replication.h), the network tests and
+// bench_net.
+//
+// One NetClient is one TCP connection in binary mode (it sends the
+// "CBVP" preamble on connect).  Calls are synchronous request/response
+// and the object is NOT thread-safe — use one client per thread.  A
+// server-side kError frame comes back as the carried Status (so a shed
+// request surfaces as ResourceExhausted, distinguishable from transport
+// failures, which surface as IOError).
+
+#ifndef CBVLINK_NET_CLIENT_H_
+#define CBVLINK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/net/protocol.h"
+
+namespace cbvlink {
+namespace net {
+
+struct NetClientOptions {
+  /// Connect timeout (SO_SNDTIMEO during the handshake).
+  int connect_timeout_ms = 5000;
+  /// Per-call send/receive timeout; 0 = no timeout.
+  int io_timeout_ms = 30000;
+};
+
+/// Splits "host:port" (or ":port" / "port", meaning 127.0.0.1).  Port 0
+/// is accepted — its meaning (ephemeral bind) is the caller's; Connect
+/// rejects it.
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+class NetClient {
+ public:
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, uint16_t port, NetClientOptions options = {});
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  Status Ping();
+  Status Match(const Record& record, std::vector<IdPair>* out);
+  Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
+  Status Insert(const Record& record);
+
+  /// Fetches a complete snapshot stream (the bytes WriteServiceSnapshot
+  /// produces) into `*snapshot_bytes`.
+  Status FetchSnapshot(std::string* snapshot_bytes);
+
+  /// Fetches raw journal frames from (epoch, offset).  On return
+  /// `*out_epoch` is the server's current epoch (a mismatch with
+  /// `epoch` means the journal rotated and the caller must re-sync) and
+  /// `*out_end` its end offset (lag = out_end - offset - frames.size()).
+  Status FetchJournal(uint64_t epoch, uint64_t offset, uint64_t* out_epoch,
+                      uint64_t* out_end, std::string* frames);
+
+  /// Fetches the server's telemetry JSON.
+  Status Stats(std::string* json);
+
+  /// One raw request/response exchange (test support; production code
+  /// should prefer the typed calls above).
+  Status Call(MsgType type, std::string_view payload, Frame* reply);
+
+  /// Pipelines `count` requests of `type` — copies of `base` with ids
+  /// base.id, base.id+1, ... — writing them all before reading any
+  /// reply, then invokes `on_reply(i, frame)` for each response in
+  /// order.  This is how a client overruns the server's admission queue
+  /// on purpose (shed replies arrive as kError frames carrying
+  /// ResourceExhausted).  Returns the first transport error.
+  Status PipelinedBurst(MsgType type, const Record& base, size_t count,
+                        const std::function<void(size_t, const Frame&)>& on_reply);
+
+ private:
+  NetClient(int fd, NetClientOptions options);
+
+  Status SendAll(std::string_view bytes);
+  Status ReadFrame(Frame* frame);
+  /// Call() + kError unwrapping + reply-type check.
+  Status Roundtrip(MsgType type, std::string_view payload, MsgType expect,
+                   Frame* reply);
+
+  int fd_ = -1;
+  NetClientOptions options_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace cbvlink
+
+#endif  // CBVLINK_NET_CLIENT_H_

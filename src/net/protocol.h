@@ -1,0 +1,162 @@
+// Wire protocol of the network serving tier (src/net/server.h): a
+// length-prefixed, CRC32C-framed binary protocol plus a minimal
+// HTTP/1.1 JSON mapping, both speaking to the same LinkageService
+// operations.
+//
+// Binary connections open with the 4-byte preamble "CBVP" (how the
+// server tells them apart from HTTP, whose first bytes are an ASCII
+// method).  After the preamble, both directions exchange frames:
+//
+//   u32 payload_len   u8 type   payload   u32 crc32c(type + payload)
+//
+// CRC framing reuses src/common/crc32 exactly like the v2 snapshot wire
+// format, so a bit flip anywhere in a frame is detected before the
+// payload is trusted; payload_len is capped so a corrupt length can
+// never demand an unbounded allocation.
+//
+// The HTTP mapping serves the same operations for curl-ability:
+//   GET  /healthz            -> 200 "ok"
+//   GET  /metrics            -> Prometheus text exposition
+//   GET  /stats              -> telemetry JSON
+//   POST /match              -> {"pairs": [[a_id, b_id], ...]}
+//   POST /insert             -> {"pairs": []}
+//   POST /match_and_insert   -> {"pairs": [[a_id, b_id], ...]}
+// POST bodies are {"id": N, "fields": ["F1", "F2", ...]}; a shed
+// request answers 429, a malformed one 400, a read-only replica 403.
+
+#ifndef CBVLINK_NET_PROTOCOL_H_
+#define CBVLINK_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+
+namespace cbvlink {
+namespace net {
+
+/// The binary-mode connection preamble.
+inline constexpr char kBinaryPreamble[4] = {'C', 'B', 'V', 'P'};
+
+/// Hard cap on one frame's payload (snapshot transfers are the largest
+/// legitimate frames).
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+/// Frame types.  Requests are < 64, responses >= 64.
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kMatch = 2,           ///< payload: WireEncodeRecord
+  kMatchAndInsert = 3,  ///< payload: WireEncodeRecord
+  kInsert = 4,          ///< payload: WireEncodeRecord
+  kFetchSnapshot = 5,   ///< empty payload
+  kFetchJournal = 6,    ///< payload: u64 epoch, u64 offset
+  kStats = 7,           ///< empty payload
+
+  kPong = 65,
+  kMatchResult = 66,    ///< payload: u32 n, n * (u64 a_id, u64 b_id)
+  kInserted = 67,       ///< empty payload
+  kError = 68,          ///< payload: u32 status code, u32 len, message
+  kSnapshotData = 69,   ///< payload: a complete CBVS snapshot stream
+  kJournalData = 70,    ///< payload: u64 epoch, u64 end_offset, raw frames
+  kStatsJson = 71,      ///< payload: telemetry JSON text
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `*out`.
+void EncodeFrame(MsgType type, std::string_view payload, std::string* out);
+
+/// Incremental frame decoder for a byte stream.  Corruption (bad CRC,
+/// over-cap length) is terminal: the connection should be dropped.
+class FrameDecoder {
+ public:
+  enum class Next { kFrame, kNeedMore, kCorrupt };
+
+  void Feed(std::string_view bytes);
+  Next Pop(Frame* frame);
+
+  const Status& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+  Status error_;
+};
+
+// --- Frame payload codecs -------------------------------------------------
+
+void EncodePairs(const std::vector<IdPair>& pairs, std::string* out);
+Status DecodePairs(std::string_view payload, std::vector<IdPair>* out);
+
+/// kError payload <-> Status (the code survives the round trip, so a
+/// client can distinguish shed RESOURCE_EXHAUSTED from hard failures).
+void EncodeErrorPayload(const Status& status, std::string* out);
+Status DecodeErrorPayload(std::string_view payload, Status* out);
+
+void EncodeJournalFetch(uint64_t epoch, uint64_t offset, std::string* out);
+Status DecodeJournalFetch(std::string_view payload, uint64_t* epoch,
+                          uint64_t* offset);
+
+void EncodeJournalData(uint64_t epoch, uint64_t end_offset,
+                       std::string_view frames, std::string* out);
+Status DecodeJournalData(std::string_view payload, uint64_t* epoch,
+                         uint64_t* end_offset, std::string* frames);
+
+// --- HTTP/JSON mapping ----------------------------------------------------
+
+/// One parsed HTTP request (the subset the server speaks: no chunked
+/// bodies, no continuation lines).
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  bool keep_alive = true;
+  std::string body;
+};
+
+/// Incremental HTTP/1.1 request parser.  kBad is terminal (respond 400
+/// and close).
+class HttpParser {
+ public:
+  enum class Next { kRequest, kNeedMore, kBad };
+
+  void Feed(std::string_view bytes);
+  Next Pop(HttpRequest* request);
+
+  const Status& error() const { return error_; }
+
+ private:
+  std::string buffer_;
+  Status error_;
+};
+
+/// Renders a complete HTTP/1.1 response.
+std::string HttpResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive);
+
+/// Parses {"id": N, "fields": ["A", ...]} (keys in any order, "id"
+/// optional).  Strict: unknown keys or non-string fields are
+/// InvalidArgument.
+Status ParseJsonRecord(std::string_view json, Record* out);
+
+/// {"pairs": [[a_id, b_id], ...]}
+std::string PairsToJson(const std::vector<IdPair>& pairs);
+
+/// {"error": {"code": "...", "message": "..."}}
+std::string StatusToJson(const Status& status);
+
+/// The HTTP status code a Status maps to (429 for ResourceExhausted,
+/// 400 for InvalidArgument, 403 for FailedPrecondition, 500 otherwise).
+int HttpCodeFor(const Status& status);
+
+}  // namespace net
+}  // namespace cbvlink
+
+#endif  // CBVLINK_NET_PROTOCOL_H_

@@ -1,0 +1,217 @@
+#include "src/net/replication.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "src/io/serialization.h"
+#include "src/service/linkage_service.h"
+#include "src/telemetry/metrics.h"
+
+namespace cbvlink {
+namespace net {
+
+namespace {
+
+telemetry::Gauge* LagGauge() {
+  static telemetry::Gauge* g =
+      telemetry::Registry::Global().GetGauge("replication_lag_bytes");
+  return g;
+}
+telemetry::Counter* AppliedCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("replication_applied_total");
+  return c;
+}
+telemetry::Counter* SyncsCounter() {
+  static telemetry::Counter* c =
+      telemetry::Registry::Global().GetCounter("replication_syncs_total");
+  return c;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Replica>> Replica::Start(ReplicaOptions options) {
+  auto replica = std::unique_ptr<Replica>(new Replica());
+  replica->options_ = std::move(options);
+  // The initial sync runs synchronously so a returned Replica already
+  // holds a serviceable copy of the primary.
+  CBVLINK_RETURN_NOT_OK(replica->SyncFromSnapshot());
+  replica->follow_thread_ = std::thread([r = replica.get()] { r->FollowLoop(); });
+  return replica;
+}
+
+Replica::~Replica() { Stop(); }
+
+void Replica::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (follow_thread_.joinable()) follow_thread_.join();
+}
+
+LinkageService* Replica::service() const { return service_.get(); }
+
+ReplicaProgress Replica::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return progress_;
+}
+
+std::unique_ptr<LinkageService> Replica::Promote() {
+  Stop();
+  return std::move(service_);
+}
+
+Status Replica::SyncFromSnapshot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_.syncing = true;
+  }
+  auto client = NetClient::Connect(
+      options_.primary_host, options_.primary_port,
+      NetClientOptions{options_.connect_timeout_ms, options_.io_timeout_ms});
+  CBVLINK_RETURN_NOT_OK(client.status());
+  client_ = std::move(client).value();
+
+  std::string bytes;
+  CBVLINK_RETURN_NOT_OK(client_->FetchSnapshot(&bytes));
+  std::istringstream in(bytes);
+  auto snapshot = ReadServiceSnapshot(in);
+  CBVLINK_RETURN_NOT_OK(snapshot.status());
+  uint64_t merged_records = 0;
+  if (service_ == nullptr) {
+    // Initial sync, before the follow thread or any serving NetServer
+    // exists: building the service from scratch is safe here and only
+    // here.
+    auto service = LinkageService::Restore(snapshot.value());
+    CBVLINK_RETURN_NOT_OK(service.status());
+    service_ = std::move(service).value();
+  } else {
+    // Re-sync (journal rotated under the cursor, or the tail went
+    // corrupt).  service_ must stay pointer-stable — a read-only
+    // NetServer and Promote() hold it — so merge the snapshot into the
+    // live service instead of swapping it.  Insert-only semantics make
+    // the merge equivalent to a fresh restore.
+    auto merged = service_->MergeSnapshotRecords(snapshot.value());
+    CBVLINK_RETURN_NOT_OK(merged.status());
+    merged_records = merged.value();
+    if (merged_records > 0) AppliedCounter()->Add(merged_records);
+  }
+
+  // Ask the primary where its journal stands right now; the snapshot we
+  // just restored covers at least everything before the rotation that
+  // snapshot save performed, and id-dedupe absorbs the overlap.
+  uint64_t epoch = 0, end = 0;
+  std::string frames;
+  Status st = client_->FetchJournal(0, 0, &epoch, &end, &frames);
+  if (st.code() == StatusCode::kFailedPrecondition) {
+    // Primary runs without a journal: snapshot-only replication.
+    epoch = 0;
+    end = kJournalHeaderSize;
+    frames.clear();
+  } else {
+    CBVLINK_RETURN_NOT_OK(st);
+  }
+  epoch_ = epoch;
+  fetch_offset_ = kJournalHeaderSize;
+  decoder_ = JournalFrameDecoder();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_.syncing = false;
+    progress_.epoch = epoch_;
+    progress_.applied_offset = fetch_offset_;
+    progress_.end_offset = end;
+    progress_.lag_bytes = end > fetch_offset_ ? end - fetch_offset_ : 0;
+    progress_.applied_records += merged_records;
+    ++progress_.syncs;
+  }
+  SyncsCounter()->Add(1);
+  return Status::OK();
+}
+
+Status Replica::FetchOnce(bool* made_progress) {
+  *made_progress = false;
+  uint64_t epoch = 0, end = 0;
+  std::string frames;
+  CBVLINK_RETURN_NOT_OK(
+      client_->FetchJournal(epoch_, fetch_offset_, &epoch, &end, &frames));
+  if (epoch != epoch_) {
+    // The journal rotated under our cursor: the dropped prefix is
+    // covered by a newer snapshot, so bootstrap again from it.
+    CBVLINK_RETURN_NOT_OK(SyncFromSnapshot());
+    *made_progress = true;
+    return Status::OK();
+  }
+  uint64_t applied = 0;
+  if (!frames.empty()) {
+    *made_progress = true;
+    fetch_offset_ += frames.size();
+    decoder_.Feed(frames);
+    while (true) {
+      Record record;
+      JournalFrameDecoder::Next next = decoder_.Pop(&record);
+      if (next == JournalFrameDecoder::Next::kNeedMore) break;
+      if (next == JournalFrameDecoder::Next::kCorrupt) {
+        // A corrupt frame over a CRC-checked transport means the
+        // primary's journal itself is torn past our cursor; re-sync.
+        CBVLINK_RETURN_NOT_OK(SyncFromSnapshot());
+        return Status::OK();
+      }
+      if (!service_->Contains(record.id)) {
+        CBVLINK_RETURN_NOT_OK(service_->Insert(record));
+        ++applied;
+      }
+    }
+  }
+  if (applied > 0) AppliedCounter()->Add(applied);
+  const uint64_t applied_offset = kJournalHeaderSize + decoder_.consumed_bytes();
+  const uint64_t lag = end > applied_offset ? end - applied_offset : 0;
+  LagGauge()->Set(static_cast<double>(lag));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_.epoch = epoch_;
+    progress_.applied_offset = applied_offset;
+    progress_.end_offset = end;
+    progress_.lag_bytes = lag;
+    progress_.applied_records += applied;
+  }
+  return Status::OK();
+}
+
+void Replica::FollowLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    bool made_progress = false;
+    Status st = FetchOnce(&made_progress);
+    if (!st.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        progress_.last_error = st.ToString();
+      }
+      // Transport errors: drop the connection and re-sync on the next
+      // pass (the primary may have restarted with a rotated journal).
+      client_.reset();
+      for (int waited = 0;
+           waited < options_.poll_interval_ms &&
+           !stopping_.load(std::memory_order_acquire);
+           waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      if (stopping_.load(std::memory_order_acquire)) return;
+      Status resync = SyncFromSnapshot();
+      if (!resync.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        progress_.last_error = resync.ToString();
+      }
+      continue;
+    }
+    if (!made_progress) {
+      for (int waited = 0;
+           waited < options_.poll_interval_ms &&
+           !stopping_.load(std::memory_order_acquire);
+           waited += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace cbvlink

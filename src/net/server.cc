@@ -1,0 +1,925 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/str.h"
+#include "src/io/journal.h"
+#include "src/io/serialization.h"
+#include "src/net/protocol.h"
+#include "src/service/linkage_service.h"
+#include "src/telemetry/exporters.h"
+#include "src/telemetry/metrics.h"
+
+namespace cbvlink {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bytes the IO thread reads per recv() call.
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// Journal bytes served per kFetchJournal response.
+constexpr size_t kJournalSegmentBytes = 4u << 20;
+
+/// Idle sweep cadence.
+constexpr int kSweepIntervalMs = 1000;
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+/// One parsed, admitted request waiting for a worker.
+struct PendingRequest {
+  bool is_http = false;
+  Frame frame;       // binary mode
+  HttpRequest http;  // HTTP mode
+  Clock::time_point admitted_at;
+};
+
+enum class ConnMode { kUnknown, kBinary, kHttp };
+
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in), last_activity(Clock::now()) {}
+
+  const int fd;
+  ConnMode mode = ConnMode::kUnknown;
+
+  // IO-thread-only state (never touched by workers).
+  FrameDecoder frame_decoder;
+  HttpParser http_parser;
+  std::string preamble;  // first bytes until the mode is known
+  bool write_armed = false;
+  Clock::time_point last_activity;
+
+  // Shared state.
+  std::mutex mu;
+  std::deque<PendingRequest> pending;  // admitted, unprocessed
+  bool in_worker = false;              // a worker currently owns `pending`
+  std::string write_buf;               // response bytes awaiting the socket
+  size_t write_pos = 0;
+  bool want_close = false;  // close once write_buf drains
+  bool closed = false;      // fd is gone; workers must not append output
+};
+
+}  // namespace
+
+struct NetServer::Impl {
+  LinkageService* service = nullptr;
+  NetServerOptions options;
+
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;  // eventfd: worker -> IO thread, and shutdown
+  uint16_t bound_port = 0;
+
+  std::thread io_thread;
+  std::vector<std::thread> workers;
+
+  std::atomic<bool> stopping{false};
+
+  // Admission control: admitted-but-unanswered requests.
+  std::atomic<size_t> queued{0};
+
+  // Worker job queue: connections with pending requests.
+  std::mutex jobs_mu;
+  std::condition_variable jobs_cv;
+  std::deque<std::shared_ptr<Connection>> jobs;
+
+  // Worker -> IO thread: connections with fresh output to flush.
+  std::mutex notify_mu;
+  std::vector<std::shared_ptr<Connection>> notify;
+
+  // IO-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections;
+
+  // Telemetry (registry outlives the server; raw pointers are safe).
+  telemetry::Counter* t_accepted = nullptr;
+  telemetry::Gauge* t_active = nullptr;
+  telemetry::Counter* t_requests = nullptr;
+  telemetry::Counter* t_shed = nullptr;
+  telemetry::Gauge* t_queue_depth = nullptr;
+  telemetry::Histogram* t_latency = nullptr;
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  // --- setup --------------------------------------------------------------
+
+  Status Bind();
+  void StartThreads();
+  void ShutdownAll();
+
+  // --- IO thread ----------------------------------------------------------
+
+  void IoLoop();
+  void AcceptAll();
+  void Wake();
+  void DrainNotifications();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  void ArmWrite(const std::shared_ptr<Connection>& conn, bool want_read);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void SweepIdle();
+  /// Parses whatever is buffered on `conn`, admitting or shedding each
+  /// complete request.  Returns false when the connection must close
+  /// (protocol corruption / unparseable HTTP).
+  bool IngestParsed(const std::shared_ptr<Connection>& conn);
+  void ShedBinary(const std::shared_ptr<Connection>& conn);
+  void ShedHttp(const std::shared_ptr<Connection>& conn, bool keep_alive);
+  void Dispatch(const std::shared_ptr<Connection>& conn);
+
+  // --- workers ------------------------------------------------------------
+
+  void WorkerLoop();
+  void ProcessConnection(const std::shared_ptr<Connection>& conn);
+  /// Takes a batch of requests off `conn`, executes them, appends the
+  /// responses.  Returns the response bytes to append under the lock.
+  void ExecuteBatch(const std::shared_ptr<Connection>& conn,
+                    std::vector<PendingRequest>* batch, std::string* out,
+                    bool* close_after);
+  void HandleBinary(const PendingRequest& req, std::string* out);
+  void HandleHttp(const PendingRequest& req, std::string* out,
+                  bool* close_after);
+  /// Executes a run of kMatch frames as one MatchBatch when the ids are
+  /// distinct; returns the number of requests consumed (>= 1).
+  size_t HandleMatchRun(const std::vector<PendingRequest>& batch, size_t begin,
+                        std::string* out);
+  void FinishRequest(const PendingRequest& req);
+};
+
+// --- setup ----------------------------------------------------------------
+
+Status NetServer::Impl::Bind() {
+  t_accepted = telemetry::Registry::Global().GetCounter(
+      "net_connections_accepted_total");
+  t_active = telemetry::Registry::Global().GetGauge("net_connections_active");
+  t_requests = telemetry::Registry::Global().GetCounter("net_requests_total");
+  t_shed = telemetry::Registry::Global().GetCounter("net_shed_total");
+  t_queue_depth = telemetry::Registry::Global().GetGauge("net_queue_depth");
+  t_latency = telemetry::Registry::Global().GetHistogram(
+      "net_request_latency_us");
+
+  listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad bind address: %s", options.bind_address.c_str()));
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return Errno("bind");
+  if (::listen(listen_fd, 128) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return Errno("getsockname");
+  bound_port = ntohs(bound.sin_port);
+
+  epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return Errno("epoll_create1");
+  wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) != 0)
+    return Errno("epoll_ctl(listen)");
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) != 0)
+    return Errno("epoll_ctl(wake)");
+  return Status::OK();
+}
+
+void NetServer::Impl::StartThreads() {
+  size_t n = options.num_workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 2;
+  }
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread = std::thread([this] { IoLoop(); });
+}
+
+void NetServer::Impl::ShutdownAll() {
+  bool was_stopping = stopping.exchange(true);
+  if (!was_stopping) Wake();
+  if (io_thread.joinable()) io_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu);
+    jobs.clear();
+  }
+  jobs_cv.notify_all();
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  workers.clear();
+}
+
+// --- IO thread ------------------------------------------------------------
+
+void NetServer::Impl::Wake() {
+  uint64_t one = 1;
+  ssize_t rc = ::write(wake_fd, &one, sizeof(one));
+  (void)rc;  // EAGAIN just means a wakeup is already pending
+}
+
+void NetServer::Impl::IoLoop() {
+  std::vector<epoll_event> events(64);
+  Clock::time_point last_sweep = Clock::now();
+  while (!stopping.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd, events.data(),
+                         static_cast<int>(events.size()), kSweepIntervalMs);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.fd == listen_fd) {
+        AcceptAll();
+        continue;
+      }
+      if (ev.data.fd == wake_fd) {
+        uint64_t buf;
+        while (::read(wake_fd, &buf, sizeof(buf)) > 0) {
+        }
+        DrainNotifications();
+        continue;
+      }
+      auto it = connections.find(ev.data.fd);
+      if (it == connections.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((ev.events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((ev.events & EPOLLIN) != 0) HandleReadable(conn);
+      // HandleReadable may have closed it.
+      if (connections.count(conn->fd) != 0 && (ev.events & EPOLLOUT) != 0) {
+        HandleWritable(conn);
+      }
+    }
+    if (options.idle_timeout_ms > 0 &&
+        Clock::now() - last_sweep >=
+            std::chrono::milliseconds(kSweepIntervalMs)) {
+      SweepIdle();
+      last_sweep = Clock::now();
+    }
+  }
+  // Shutdown: close everything from the IO thread, which owns the fds.
+  std::vector<std::shared_ptr<Connection>> all;
+  all.reserve(connections.size());
+  for (auto& [fd, conn] : connections) all.push_back(conn);
+  for (auto& conn : all) CloseConnection(conn);
+}
+
+void NetServer::Impl::AcceptAll() {
+  while (true) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (connections.size() >= options.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections.emplace(fd, std::move(conn));
+    t_accepted->Add(1);
+    t_active->Set(static_cast<double>(connections.size()));
+  }
+}
+
+void NetServer::Impl::DrainNotifications() {
+  std::vector<std::shared_ptr<Connection>> batch;
+  {
+    std::lock_guard<std::mutex> lock(notify_mu);
+    batch.swap(notify);
+  }
+  for (auto& conn : batch) {
+    if (connections.count(conn->fd) == 0) continue;
+    HandleWritable(conn);
+  }
+}
+
+void NetServer::Impl::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[kReadChunk];
+  bool got_bytes = false;
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      got_bytes = true;
+      std::string_view bytes(buf, static_cast<size_t>(n));
+      if (conn->mode == ConnMode::kUnknown) {
+        conn->preamble.append(bytes);
+        if (conn->preamble.size() < sizeof(kBinaryPreamble)) continue;
+        if (std::memcmp(conn->preamble.data(), kBinaryPreamble,
+                        sizeof(kBinaryPreamble)) == 0) {
+          conn->mode = ConnMode::kBinary;
+          conn->frame_decoder.Feed(std::string_view(conn->preamble)
+                                       .substr(sizeof(kBinaryPreamble)));
+        } else {
+          conn->mode = ConnMode::kHttp;
+          conn->http_parser.Feed(conn->preamble);
+        }
+        conn->preamble.clear();
+        conn->preamble.shrink_to_fit();
+      } else if (conn->mode == ConnMode::kBinary) {
+        conn->frame_decoder.Feed(bytes);
+      } else {
+        conn->http_parser.Feed(bytes);
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  if (got_bytes) conn->last_activity = Clock::now();
+  if (!IngestParsed(conn)) CloseConnection(conn);
+}
+
+bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
+  if (conn->mode == ConnMode::kUnknown) return true;
+  bool dispatch = false;
+  while (true) {
+    PendingRequest req;
+    if (conn->mode == ConnMode::kBinary) {
+      FrameDecoder::Next next = conn->frame_decoder.Pop(&req.frame);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      if (next == FrameDecoder::Next::kCorrupt) return false;
+      req.is_http = false;
+    } else {
+      HttpParser::Next next = conn->http_parser.Pop(&req.http);
+      if (next == HttpParser::Next::kNeedMore) break;
+      if (next == HttpParser::Next::kBad) {
+        // One parse error response, then close (the stream is unframed
+        // garbage from here on).
+        std::string resp = HttpResponse(
+            400, "application/json",
+            StatusToJson(conn->http_parser.error()), /*keep_alive=*/false);
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->write_buf.append(resp);
+        conn->want_close = true;
+        ArmWrite(conn, /*want_read=*/false);
+        return true;  // keep open to flush the 400
+      }
+      req.is_http = true;
+    }
+    // Admission control.
+    size_t depth = queued.load(std::memory_order_relaxed);
+    if (depth >= options.max_queue) {
+      t_shed->Add(1);
+      if (conn->mode == ConnMode::kBinary) {
+        ShedBinary(conn);
+      } else {
+        ShedHttp(conn, req.http.keep_alive);
+        if (!req.http.keep_alive) {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->want_close = true;
+        }
+      }
+      continue;
+    }
+    queued.fetch_add(1, std::memory_order_relaxed);
+    t_queue_depth->Set(static_cast<double>(depth + 1));
+    req.admitted_at = Clock::now();
+    bool was_idle;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      was_idle = !conn->in_worker;
+      conn->in_worker = true;
+      conn->pending.push_back(std::move(req));
+    }
+    if (was_idle) dispatch = true;
+  }
+  if (dispatch) Dispatch(conn);
+  return true;
+}
+
+void NetServer::Impl::ShedBinary(const std::shared_ptr<Connection>& conn) {
+  std::string payload;
+  EncodeErrorPayload(
+      Status::ResourceExhausted("server overloaded: request queue full"),
+      &payload);
+  std::string resp;
+  EncodeFrame(MsgType::kError, payload, &resp);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->write_buf.append(resp);
+  ArmWrite(conn, /*want_read=*/true);
+}
+
+void NetServer::Impl::ShedHttp(const std::shared_ptr<Connection>& conn,
+                               bool keep_alive) {
+  Status shed = Status::ResourceExhausted("server overloaded");
+  std::string resp =
+      HttpResponse(429, "application/json", StatusToJson(shed), keep_alive);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->write_buf.append(resp);
+  ArmWrite(conn, /*want_read=*/true);
+}
+
+void NetServer::Impl::Dispatch(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu);
+    jobs.push_back(conn);
+  }
+  jobs_cv.notify_one();
+}
+
+void NetServer::Impl::ArmWrite(const std::shared_ptr<Connection>& conn,
+                               bool want_read) {
+  // IO-thread only.  Arms EPOLLOUT (plus EPOLLIN unless the connection
+  // is draining toward close).
+  if (conn->write_armed) return;
+  epoll_event ev{};
+  ev.events = EPOLLOUT | (want_read ? EPOLLIN : 0u);
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev) == 0)
+    conn->write_armed = true;
+}
+
+void NetServer::Impl::HandleWritable(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (conn->write_pos < conn->write_buf.size()) {
+      ssize_t n = ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+                         conn->write_buf.size() - conn->write_pos,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->write_pos += static_cast<size_t>(n);
+        conn->last_activity = Clock::now();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_now = true;  // hard write error
+      break;
+    }
+    if (conn->write_pos >= conn->write_buf.size()) {
+      conn->write_buf.clear();
+      conn->write_pos = 0;
+      drained = true;
+      if (conn->want_close) close_now = true;
+    }
+  }
+  if (close_now) {
+    CloseConnection(conn);
+    return;
+  }
+  if (drained) {
+    if (conn->write_armed) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+      conn->write_armed = false;
+    }
+  } else {
+    conn->write_armed = false;  // force a re-arm
+    std::lock_guard<std::mutex> lock(conn->mu);
+    ArmWrite(conn, !conn->want_close);
+  }
+}
+
+void NetServer::Impl::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    // Admitted requests die with the connection; release their queue
+    // slots (a worker holding this connection re-checks `closed`).
+    if (!conn->in_worker) {
+      dropped = conn->pending.size();
+      conn->pending.clear();
+    }
+  }
+  if (dropped > 0) {
+    queued.fetch_sub(dropped, std::memory_order_relaxed);
+    t_queue_depth->Set(
+        static_cast<double>(queued.load(std::memory_order_relaxed)));
+  }
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections.erase(conn->fd);
+  t_active->Set(static_cast<double>(connections.size()));
+}
+
+void NetServer::Impl::SweepIdle() {
+  const auto cutoff =
+      Clock::now() - std::chrono::milliseconds(options.idle_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [fd, conn] : connections) {
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      busy = conn->in_worker || !conn->pending.empty();
+    }
+    if (!busy && conn->last_activity < cutoff) idle.push_back(conn);
+  }
+  for (auto& conn : idle) CloseConnection(conn);
+}
+
+// --- workers --------------------------------------------------------------
+
+void NetServer::Impl::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu);
+      jobs_cv.wait(lock, [this] {
+        return stopping.load(std::memory_order_acquire) || !jobs.empty();
+      });
+      if (jobs.empty()) return;  // stopping
+      conn = std::move(jobs.front());
+      jobs.pop_front();
+    }
+    ProcessConnection(conn);
+  }
+}
+
+void NetServer::Impl::ProcessConnection(
+    const std::shared_ptr<Connection>& conn) {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed || conn->pending.empty()) {
+        conn->in_worker = false;
+        if (!conn->pending.empty()) {
+          // Closed with admitted requests still queued: release slots.
+          queued.fetch_sub(conn->pending.size(), std::memory_order_relaxed);
+          conn->pending.clear();
+        }
+        t_queue_depth->Set(
+            static_cast<double>(queued.load(std::memory_order_relaxed)));
+        return;
+      }
+      batch.reserve(conn->pending.size());
+      for (auto& req : conn->pending) batch.push_back(std::move(req));
+      conn->pending.clear();
+    }
+    std::string out;
+    bool close_after = false;
+    ExecuteBatch(conn, &batch, &out, &close_after);
+    bool notify_io = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->write_buf.append(out);
+        if (close_after) conn->want_close = true;
+        notify_io = true;
+      }
+    }
+    queued.fetch_sub(batch.size(), std::memory_order_relaxed);
+    t_queue_depth->Set(
+        static_cast<double>(queued.load(std::memory_order_relaxed)));
+    if (notify_io) {
+      {
+        std::lock_guard<std::mutex> lock(notify_mu);
+        notify.push_back(conn);
+      }
+      Wake();
+    }
+    // Loop: new requests may have been admitted while we were busy
+    // (in_worker stayed true, so nobody else dispatched them).
+  }
+}
+
+void NetServer::Impl::ExecuteBatch(const std::shared_ptr<Connection>& conn,
+                                   std::vector<PendingRequest>* batch,
+                                   std::string* out, bool* close_after) {
+  (void)conn;
+  size_t i = 0;
+  while (i < batch->size()) {
+    const PendingRequest& req = (*batch)[i];
+    if (!req.is_http && req.frame.type == MsgType::kMatch) {
+      size_t consumed = HandleMatchRun(*batch, i, out);
+      for (size_t k = 0; k < consumed; ++k) FinishRequest((*batch)[i + k]);
+      i += consumed;
+      continue;
+    }
+    if (req.is_http) {
+      HandleHttp(req, out, close_after);
+    } else {
+      HandleBinary(req, out);
+    }
+    FinishRequest(req);
+    ++i;
+  }
+}
+
+void NetServer::Impl::FinishRequest(const PendingRequest& req) {
+  t_requests->Add(1);
+  t_latency->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - req.admitted_at)
+          .count()));
+}
+
+size_t NetServer::Impl::HandleMatchRun(const std::vector<PendingRequest>& batch,
+                                       size_t begin, std::string* out) {
+  // Collect the run of consecutive binary kMatch frames.
+  size_t end = begin;
+  while (end < batch.size() && !batch[end].is_http &&
+         batch[end].frame.type == MsgType::kMatch) {
+    ++end;
+  }
+  const size_t run = end - begin;
+  std::vector<Record> records(run);
+  bool decodable = true;
+  bool distinct = true;
+  std::unordered_map<RecordId, size_t> by_id;
+  by_id.reserve(run);
+  for (size_t k = 0; k < run; ++k) {
+    size_t consumed = 0;
+    Status st = WireDecodeRecord(batch[begin + k].frame.payload, &records[k],
+                                 &consumed);
+    if (!st.ok() || consumed != batch[begin + k].frame.payload.size()) {
+      decodable = false;
+      break;
+    }
+    if (!by_id.emplace(records[k].id, k).second) distinct = false;
+  }
+  if (run >= 2 && decodable && distinct) {
+    // One MatchBatch over the service pool; demux by query id (pairs
+    // are (registry_id, query_id)).
+    std::vector<IdPair> pairs;
+    Status st = service->MatchBatch(records, &pairs);
+    if (st.ok()) {
+      std::vector<std::vector<IdPair>> per_request(run);
+      for (const IdPair& p : pairs) {
+        auto it = by_id.find(p.b_id);
+        if (it != by_id.end()) per_request[it->second].push_back(p);
+      }
+      for (size_t k = 0; k < run; ++k) {
+        std::string payload;
+        EncodePairs(per_request[k], &payload);
+        EncodeFrame(MsgType::kMatchResult, payload, out);
+      }
+      return run;
+    }
+    // Fall through: answer each request individually so one bad record
+    // doesn't fail the whole run.
+  }
+  for (size_t k = 0; k < run; ++k) HandleBinary(batch[begin + k], out);
+  return run;
+}
+
+void NetServer::Impl::HandleBinary(const PendingRequest& req,
+                                   std::string* out) {
+  const Frame& frame = req.frame;
+  auto reply_error = [out](const Status& status) {
+    std::string payload;
+    EncodeErrorPayload(status, &payload);
+    EncodeFrame(MsgType::kError, payload, out);
+  };
+  auto decode_record = [this, &frame](Record* record) -> Status {
+    size_t consumed = 0;
+    Status st = WireDecodeRecord(frame.payload, record, &consumed);
+    if (st.ok() && consumed != frame.payload.size()) {
+      st = Status::InvalidArgument("trailing bytes after record");
+    }
+    // A malformed record over the wire is the network-mode analogue of
+    // a malformed CSV row: account it where dashboards already look.
+    if (!st.ok()) service->RecordSkippedRows(1);
+    return st;
+  };
+  switch (frame.type) {
+    case MsgType::kPing: {
+      EncodeFrame(MsgType::kPong, {}, out);
+      return;
+    }
+    case MsgType::kMatch: {
+      Record record;
+      Status st = decode_record(&record);
+      if (!st.ok()) return reply_error(st);
+      std::vector<IdPair> pairs;
+      st = service->Match(record, &pairs);
+      if (!st.ok()) return reply_error(st);
+      std::string payload;
+      EncodePairs(pairs, &payload);
+      EncodeFrame(MsgType::kMatchResult, payload, out);
+      return;
+    }
+    case MsgType::kMatchAndInsert: {
+      if (options.read_only) {
+        return reply_error(
+            Status::FailedPrecondition("replica is read-only"));
+      }
+      Record record;
+      Status st = decode_record(&record);
+      if (!st.ok()) return reply_error(st);
+      std::vector<IdPair> pairs;
+      st = service->MatchAndInsert(record, &pairs);
+      if (!st.ok()) return reply_error(st);
+      std::string payload;
+      EncodePairs(pairs, &payload);
+      EncodeFrame(MsgType::kMatchResult, payload, out);
+      return;
+    }
+    case MsgType::kInsert: {
+      if (options.read_only) {
+        return reply_error(
+            Status::FailedPrecondition("replica is read-only"));
+      }
+      Record record;
+      Status st = decode_record(&record);
+      if (!st.ok()) return reply_error(st);
+      st = service->Insert(record);
+      if (!st.ok()) return reply_error(st);
+      EncodeFrame(MsgType::kInserted, {}, out);
+      return;
+    }
+    case MsgType::kFetchSnapshot: {
+      std::ostringstream snapshot;
+      Status st = service->SaveSnapshot(snapshot);
+      if (!st.ok()) return reply_error(st);
+      EncodeFrame(MsgType::kSnapshotData, snapshot.str(), out);
+      return;
+    }
+    case MsgType::kFetchJournal: {
+      std::shared_ptr<Journal> journal = service->journal();
+      if (journal == nullptr) {
+        return reply_error(
+            Status::FailedPrecondition("no journal attached"));
+      }
+      uint64_t want_epoch = 0, offset = 0;
+      Status st = DecodeJournalFetch(frame.payload, &want_epoch, &offset);
+      if (!st.ok()) return reply_error(st);
+      std::string payload;
+      if (want_epoch != journal->epoch()) {
+        // Rotation happened since the follower's cursor: answer with
+        // the current epoch and no frames, which tells it to re-sync
+        // from a snapshot.
+        EncodeJournalData(journal->epoch(), journal->EndOffset(), {},
+                          &payload);
+      } else {
+        std::string frames;
+        uint64_t end_offset = 0, epoch = 0;
+        st = journal->ReadSegment(offset, kJournalSegmentBytes, &frames,
+                                  &end_offset, &epoch);
+        if (!st.ok()) return reply_error(st);
+        EncodeJournalData(epoch, end_offset, frames, &payload);
+      }
+      EncodeFrame(MsgType::kJournalData, payload, out);
+      return;
+    }
+    case MsgType::kStats: {
+      service->FillTelemetry();
+      EncodeFrame(MsgType::kStatsJson,
+                  telemetry::ToJson(telemetry::Registry::Global()), out);
+      return;
+    }
+    default:
+      return reply_error(Status::InvalidArgument(
+          StrFormat("unknown message type %u", static_cast<unsigned>(frame.type))));
+  }
+}
+
+void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
+                                 bool* close_after) {
+  const HttpRequest& http = req.http;
+  const bool keep = http.keep_alive;
+  if (!keep) *close_after = true;
+  auto reply_status = [&](const Status& status) {
+    out->append(HttpResponse(HttpCodeFor(status), "application/json",
+                             StatusToJson(status), keep));
+  };
+  if (http.method == "GET") {
+    if (http.target == "/healthz") {
+      out->append(HttpResponse(200, "text/plain", "ok\n", keep));
+      return;
+    }
+    if (http.target == "/metrics") {
+      service->FillTelemetry();
+      out->append(HttpResponse(
+          200, "text/plain; version=0.0.4",
+          telemetry::ToPrometheusText(telemetry::Registry::Global()), keep));
+      return;
+    }
+    if (http.target == "/stats") {
+      service->FillTelemetry();
+      out->append(HttpResponse(200, "application/json",
+                               telemetry::ToJson(telemetry::Registry::Global()),
+                               keep));
+      return;
+    }
+    return reply_status(Status::NotFound(StrFormat("no such path: %s", http.target.c_str())));
+  }
+  if (http.method != "POST") {
+    return reply_status(
+        Status::InvalidArgument(StrFormat("unsupported method: %s", http.method.c_str())));
+  }
+  const bool is_match = http.target == "/match";
+  const bool is_insert = http.target == "/insert";
+  const bool is_both = http.target == "/match_and_insert";
+  if (!is_match && !is_insert && !is_both) {
+    return reply_status(Status::NotFound(StrFormat("no such path: %s", http.target.c_str())));
+  }
+  if (options.read_only && !is_match) {
+    return reply_status(Status::FailedPrecondition("replica is read-only"));
+  }
+  Record record;
+  Status st = ParseJsonRecord(http.body, &record);
+  if (!st.ok()) {
+    // Network-mode analogue of a skipped CSV row (see HandleBinary).
+    service->RecordSkippedRows(1);
+    return reply_status(st);
+  }
+  std::vector<IdPair> pairs;
+  if (is_match) {
+    st = service->Match(record, &pairs);
+  } else if (is_both) {
+    st = service->MatchAndInsert(record, &pairs);
+  } else {
+    st = service->Insert(record);
+  }
+  if (!st.ok()) return reply_status(st);
+  out->append(HttpResponse(200, "application/json", PairsToJson(pairs), keep));
+}
+
+// --- NetServer ------------------------------------------------------------
+
+NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+NetServer::~NetServer() { Shutdown(); }
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(LinkageService* service,
+                                                    NetServerOptions options) {
+  if (service == nullptr)
+    return Status::InvalidArgument("NetServer needs a service");
+  if (options.max_queue == 0)
+    return Status::InvalidArgument("max_queue must be > 0");
+  auto impl = std::make_unique<Impl>();
+  impl->service = service;
+  impl->options = std::move(options);
+  CBVLINK_RETURN_NOT_OK(impl->Bind());
+  impl->StartThreads();
+  return std::unique_ptr<NetServer>(new NetServer(std::move(impl)));
+}
+
+void NetServer::Shutdown() {
+  if (impl_ != nullptr) impl_->ShutdownAll();
+}
+
+uint16_t NetServer::port() const { return impl_->bound_port; }
+
+const NetServerOptions& NetServer::options() const { return impl_->options; }
+
+}  // namespace net
+}  // namespace cbvlink

@@ -1,0 +1,95 @@
+// The network serving tier: a small epoll-based non-blocking server in
+// front of a LinkageService, speaking both the CRC-framed binary
+// protocol and the HTTP/JSON mapping of src/net/protocol.h on the same
+// port (told apart by the "CBVP" connection preamble).
+//
+// Threading model: ONE IO thread owns the listener, the epoll set and
+// every socket read/write; a pool of worker threads executes the
+// service calls.  Parsed requests land in a per-connection queue and a
+// connection is handed to at most one worker at a time, so responses
+// leave in request order without any per-request sequencing machinery.
+// Workers never touch file descriptors — they append to the
+// connection's write buffer and nudge the IO thread over an eventfd.
+//
+// Admission control: the server tracks the total number of admitted,
+// not-yet-answered requests.  A request parsed while that count is at
+// `max_queue` is shed immediately from the IO thread — HTTP 429 with
+// Retry-After, or a kError frame carrying ResourceExhausted — without
+// ever reaching the workers, so overload degrades into cheap rejections
+// instead of latency collapse or unbounded memory.  Connections idle
+// past `idle_timeout_ms` (no bytes read or written) are closed by a
+// periodic sweep, bounding the cost of dead peers.
+//
+// Per-connection batching: a run of consecutive binary kMatch requests
+// with distinct query ids is executed as one LinkageService::MatchBatch
+// over the service thread pool, then demultiplexed back into one
+// response per request (pairs carry the query id).  A pipelining client
+// therefore gets batch throughput without a batch API.
+
+#ifndef CBVLINK_NET_SERVER_H_
+#define CBVLINK_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+
+class LinkageService;
+
+namespace net {
+
+struct NetServerOptions {
+  /// IPv4 address to bind ("0.0.0.0" for all interfaces).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads executing service calls; 0 = hardware concurrency.
+  size_t num_workers = 0;
+  /// Admitted-but-unanswered request cap; requests beyond it are shed
+  /// with 429 / ResourceExhausted.
+  size_t max_queue = 256;
+  /// Accepted-connection cap; excess accepts are closed immediately.
+  size_t max_connections = 1024;
+  /// A connection with no socket activity for this long is closed.
+  /// 0 disables the sweep.
+  int idle_timeout_ms = 60000;
+  /// Read-only mode (warm standby): kInsert / kMatchAndInsert and their
+  /// HTTP POSTs answer FailedPrecondition / 403.
+  bool read_only = false;
+};
+
+/// The server.  Start() binds, spawns the IO and worker threads and
+/// returns; Shutdown() (or the destructor) stops them and closes every
+/// connection.  `service` must outlive the server.
+class NetServer {
+ public:
+  static Result<std::unique_ptr<NetServer>> Start(LinkageService* service,
+                                                  NetServerOptions options = {});
+
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Shutdown();
+
+  /// The bound port (the resolved one when options.port was 0).
+  uint16_t port() const;
+
+  const NetServerOptions& options() const;
+
+ private:
+  struct Impl;
+  explicit NetServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net
+}  // namespace cbvlink
+
+#endif  // CBVLINK_NET_SERVER_H_

@@ -65,6 +65,12 @@ bool ConcurrentVectorStore::Find(RecordId id, BitVector* out) const {
   return true;
 }
 
+bool ConcurrentVectorStore::Contains(RecordId id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mu);
+  return shard.vectors.contains(id);
+}
+
 void ConcurrentVectorStore::ForEach(
     const std::function<void(RecordId, const BitVector&)>& fn) const {
   for (const auto& shard : shards_) {
@@ -214,7 +220,7 @@ void LinkageService::InsertEncoded(const EncodedRecord& record) {
   index_->Insert(record);
 }
 
-Status LinkageService::Insert(const Record& record) {
+Status LinkageService::InsertUnjournaled(const Record& record) {
   CBVLINK_FAILPOINT("service.insert");
   const uint64_t start = NowNanos();
   Result<EncodedRecord> encoded = encoder_->Encode(record);
@@ -227,6 +233,66 @@ Status LinkageService::Insert(const Record& record) {
   t_inserts_->Add(1);
   t_insert_latency_->Record((end - start) / 1000);
   return Status::OK();
+}
+
+Status LinkageService::Insert(const Record& record) {
+  CBVLINK_RETURN_NOT_OK(InsertUnjournaled(record));
+  return JournalAppend(record);
+}
+
+Status LinkageService::JournalAppend(const Record& record) {
+  std::shared_ptr<Journal> journal = this->journal();
+  if (journal == nullptr) return Status::OK();
+  return journal->AppendInsert(record);
+}
+
+void LinkageService::AttachJournal(std::shared_ptr<Journal> journal) {
+  std::scoped_lock lock(journal_mu_);
+  journal_ = std::move(journal);
+}
+
+std::shared_ptr<Journal> LinkageService::journal() const {
+  std::scoped_lock lock(journal_mu_);
+  return journal_;
+}
+
+bool LinkageService::Contains(RecordId id) const {
+  return store_.Contains(id);
+}
+
+Result<JournalReplayStats> LinkageService::ReplayJournalFile(
+    const std::string& path) {
+  uint64_t applied = 0;
+  Result<JournalReplayStats> replayed =
+      ReplayJournal(path, [this, &applied](const Record& record) {
+        if (Contains(record.id)) return Status::OK();  // snapshot overlap
+        ++applied;
+        return InsertUnjournaled(record);
+      });
+  if (!replayed.ok()) return replayed;
+  JournalReplayStats stats = replayed.value();
+  stats.applied = applied;
+  return stats;
+}
+
+Result<uint64_t> LinkageService::MergeSnapshotRecords(
+    const ServiceSnapshot& snapshot) {
+  const size_t expected_bits = encoder_->total_bits();
+  for (const EncodedRecord& record : snapshot.records) {
+    if (record.bits.size() != expected_bits) {
+      return Status::InvalidArgument(
+          "snapshot record width does not match this service's encoder");
+    }
+  }
+  uint64_t applied = 0;
+  for (const EncodedRecord& record : snapshot.records) {
+    if (Contains(record.id)) continue;
+    InsertEncoded(record);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    t_inserts_->Add(1);
+    ++applied;
+  }
+  return applied;
 }
 
 void LinkageService::MatchEncoded(const EncodedRecord& b,
@@ -320,7 +386,7 @@ Status LinkageService::MatchAndInsert(const Record& record,
              &last_insert_end_ns_);
   t_inserts_->Add(1);
   t_insert_latency_->Record((end - mid) / 1000);
-  return Status::OK();
+  return JournalAppend(record);
 }
 
 Status LinkageService::InsertBatch(const std::vector<Record>& records) {
@@ -330,7 +396,7 @@ Status LinkageService::InsertBatch(const std::vector<Record>& records) {
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
                        for (size_t i = begin; i < end; ++i) {
-                         Status st = Insert(records[i]);
+                         Status st = InsertUnjournaled(records[i]);
                          if (!st.ok()) {
                            std::scoped_lock lock(mu);
                            if (first_error.ok()) first_error = st;
@@ -338,7 +404,21 @@ Status LinkageService::InsertBatch(const std::vector<Record>& records) {
                          }
                        }
                      });
-  return first_error;
+  if (!first_error.ok()) return first_error;
+  // Journal in record order after the parallel apply, so the journal's
+  // frame order is deterministic for a given batch; sync once at the
+  // batch boundary so the whole batch is durable before the caller's
+  // acknowledgement even under a relaxed per-append fsync policy.
+  std::shared_ptr<Journal> journal = this->journal();
+  if (journal != nullptr) {
+    for (const Record& record : records) {
+      CBVLINK_RETURN_NOT_OK(journal->AppendInsert(record));
+    }
+    if (journal->options().fsync_every != 0) {
+      CBVLINK_RETURN_NOT_OK(journal->Sync());
+    }
+  }
+  return Status::OK();
 }
 
 Status LinkageService::MatchBatch(const std::vector<Record>& records,
@@ -395,7 +475,18 @@ Status LinkageService::SaveSnapshot(std::ostream& out) const {
 }
 
 Status LinkageService::SaveSnapshotToFile(const std::string& path) const {
-  return WriteServiceSnapshotToFile(ExportSnapshot(), path);
+  // Capture the journal mark BEFORE exporting: every frame below the
+  // mark was applied before the export began and is therefore in the
+  // snapshot, so dropping [0, mark) can never lose an acknowledged
+  // insert.  Frames past the mark are kept even when the export also
+  // caught them — replay's id-dedupe makes the overlap harmless.
+  std::shared_ptr<Journal> journal = this->journal();
+  const uint64_t mark = journal != nullptr ? journal->EndOffset() : 0;
+  CBVLINK_RETURN_NOT_OK(WriteServiceSnapshotToFile(ExportSnapshot(), path));
+  if (journal != nullptr) {
+    CBVLINK_RETURN_NOT_OK(journal->DropCommitted(mark));
+  }
+  return Status::OK();
 }
 
 namespace {

@@ -32,6 +32,7 @@
 #include "src/blocking/matcher.h"
 #include "src/common/execution.h"
 #include "src/common/thread_pool.h"
+#include "src/io/journal.h"
 #include "src/io/serialization.h"
 #include "src/linkage/cbv_hb_linker.h"
 #include "src/service/sharded_index.h"
@@ -130,6 +131,10 @@ class ConcurrentVectorStore {
   /// Copies the vector for `id` into `*out`; false when unknown.
   bool Find(RecordId id, BitVector* out) const;
 
+  /// True when `id` is stored (no vector copy — the journal-replay
+  /// dedupe check).
+  bool Contains(RecordId id) const;
+
   /// Invokes `fn(id, bits)` for every stored record, one shard at a time
   /// under that shard's shared lock.  Weakly consistent against
   /// concurrent Adds (a record inserted mid-scan may or may not appear).
@@ -201,9 +206,42 @@ class LinkageService {
   Status MatchBatch(const std::vector<Record>& records,
                     std::vector<IdPair>* out);
 
+  /// Attaches the insert journal: every subsequent successful
+  /// Insert/MatchAndInsert/InsertBatch record is appended (and fsynced
+  /// per the journal's policy) BEFORE the call returns, so an
+  /// acknowledged insert survives a crash as snapshot + journal tail.
+  /// SaveSnapshotToFile drops the journal prefix the snapshot covers.
+  /// Attach AFTER ReplayJournalFile, or replayed frames are re-appended.
+  void AttachJournal(std::shared_ptr<Journal> journal);
+  std::shared_ptr<Journal> journal() const;
+
+  /// Replays the journal at `path` into this service: each frame's
+  /// record is Insert()ed unless its id is already stored (frames
+  /// overlapping the restored snapshot are skipped, which is what makes
+  /// a crash between snapshot commit and journal rotation harmless).
+  /// stats.applied counts the records actually inserted.
+  Result<JournalReplayStats> ReplayJournalFile(const std::string& path);
+
+  /// Merges `snapshot`'s records into this live service: each encoded
+  /// record whose id is not already stored is indexed as-is, without
+  /// re-encoding.  This is the replication follower's re-sync path — the
+  /// service object (and every pointer a serving NetServer holds to it)
+  /// stays stable while the state catches up past a journal rotation,
+  /// which is sound because the system is insert-only.  All record
+  /// widths are validated against this service's encoder before anything
+  /// is applied; InvalidArgument leaves the service unchanged.  Returns
+  /// the number of records actually added.
+  Result<uint64_t> MergeSnapshotRecords(const ServiceSnapshot& snapshot);
+
+  /// True when a record with `id` is stored.
+  bool Contains(RecordId id) const;
+
   /// Captures the full service state for persistence.
   ServiceSnapshot ExportSnapshot() const;
   Status SaveSnapshot(std::ostream& out) const;
+  /// Atomic snapshot save; with a journal attached, additionally drops
+  /// the journal prefix captured before the export began (frames kept
+  /// past the mark may duplicate snapshot contents — replay dedupes).
   Status SaveSnapshotToFile(const std::string& path) const;
 
   /// A point-in-time copy of the counters.
@@ -241,6 +279,13 @@ class LinkageService {
 
   void InsertEncoded(const EncodedRecord& record);
 
+  /// Insert without the journal append — the batch path journals in
+  /// record order itself, after the parallel apply.
+  Status InsertUnjournaled(const Record& record);
+
+  /// Appends `record` to the attached journal, if any.
+  Status JournalAppend(const Record& record);
+
   CbvHbConfig config_;
   LinkageServiceOptions options_;
   /// Alphabets reconstructed from a snapshot (Create()d services borrow
@@ -256,6 +301,12 @@ class LinkageService {
   // options_.execution.pool (never null after Init()).
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;
+
+  /// The attached insert journal (null until AttachJournal).  Guarded by
+  /// journal_mu_ only for the pointer swap; Journal itself is
+  /// thread-safe.
+  mutable std::mutex journal_mu_;
+  std::shared_ptr<Journal> journal_;
 
   /// Nanoseconds since `epoch_` (the service's construction instant —
   /// the zero point for the wall-clock span tracking below).

@@ -1,0 +1,511 @@
+// End-to-end tests for the network serving tier (src/net/server.h):
+// loopback clients against a real epoll server — result equivalence with
+// in-process calls, pipelined overload shedding, HTTP endpoints,
+// read-only mode, journal-backed crash recovery, warm-standby
+// replication and promotion, and idle-connection sweeping.
+
+#include "src/net/server.h"
+
+#include <gtest/gtest.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/failpoint.h"
+#include "src/datagen/generators.h"
+#include "src/io/journal.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+#include "src/net/replication.h"
+#include "src/service/linkage_service.h"
+
+namespace cbvlink {
+namespace net {
+namespace {
+
+CbvHbConfig BaseConfig(const Schema& schema) {
+  CbvHbConfig config;
+  config.schema = schema;
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  config.seed = 5;
+  return config;
+}
+
+std::vector<Record> GenerateRecords(const NcvrGenerator& gen, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(gen.Generate(i, rng));
+  }
+  return records;
+}
+
+std::vector<IdPair> Sorted(std::vector<IdPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::string TempPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Polls `pred` (10ms cadence) until true or `timeout_ms` elapses.
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+/// One raw HTTP/1.1 exchange: connect, send `request` (which must carry
+/// "Connection: close"), read until the server closes.
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo("127.0.0.1", std::to_string(port).c_str(), &hints, &res) !=
+      0) {
+    return "";
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return "";
+  }
+  timeval tv{};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  return HttpExchange(port, "GET " + target +
+                                " HTTP/1.1\r\nHost: t\r\nConnection: close"
+                                "\r\n\r\n");
+}
+
+std::string HttpPost(uint16_t port, const std::string& target,
+                     const std::string& body) {
+  return HttpExchange(
+      port, "POST " + target + " HTTP/1.1\r\nHost: t\r\nConnection: close"
+                               "\r\nContent-Length: " +
+                std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+/// A service pre-loaded with `n` generated records plus the generator's
+/// record set, and a running server.
+struct ServingFixture {
+  std::unique_ptr<NcvrGenerator> gen;
+  std::unique_ptr<LinkageService> service;
+  std::unique_ptr<NetServer> server;
+  std::vector<Record> records;
+
+  static ServingFixture Start(size_t n, NetServerOptions options = {}) {
+    ServingFixture f;
+    Result<NcvrGenerator> gen = NcvrGenerator::Create();
+    EXPECT_TRUE(gen.ok());
+    f.gen = std::make_unique<NcvrGenerator>(std::move(gen.value()));
+    Result<std::unique_ptr<LinkageService>> service =
+        LinkageService::Create(BaseConfig(f.gen->schema()));
+    EXPECT_TRUE(service.ok());
+    f.service = std::move(service.value());
+    f.records = GenerateRecords(*f.gen, n, 21);
+    for (const Record& r : f.records) {
+      EXPECT_TRUE(f.service->Insert(r).ok());
+    }
+    Result<std::unique_ptr<NetServer>> server =
+        NetServer::Start(f.service.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    f.server = std::move(server.value());
+    return f;
+  }
+};
+
+TEST(NetServerTest, StartsOnEphemeralPortAndShutsDownIdempotently) {
+  ServingFixture f = ServingFixture::Start(2);
+  EXPECT_GT(f.server->port(), 0);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client.value()->Ping().ok());
+  f.server->Shutdown();
+  f.server->Shutdown();  // idempotent
+  EXPECT_FALSE(client.value()->Ping().ok());  // connections are closed
+}
+
+// Concurrent network clients must see byte-identical match results to
+// in-process calls against the same service.
+TEST(NetServerTest, ConcurrentClientsMatchInProcessResults) {
+  ServingFixture f = ServingFixture::Start(40);
+
+  // In-process ground truth: every record queried back with a fresh id.
+  std::vector<std::vector<IdPair>> expected(f.records.size());
+  std::vector<Record> queries = f.records;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].id = 1000 + i;
+    ASSERT_TRUE(f.service->Match(queries[i], &expected[i]).ok());
+  }
+
+  constexpr size_t kThreads = 4;
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      Result<std::unique_ptr<NetClient>> client =
+          NetClient::Connect("127.0.0.1", f.server->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (size_t i = t; i < queries.size(); i += kThreads) {
+        std::vector<IdPair> got;
+        if (!client.value()->Match(queries[i], &got).ok() ||
+            Sorted(got) != Sorted(expected[i])) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(NetServerTest, MatchAndInsertOverTheWire) {
+  ServingFixture f = ServingFixture::Start(10);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+
+  // A duplicate of record 0 arriving with a new id links to it...
+  Record dup = f.records[0];
+  dup.id = 500;
+  std::vector<IdPair> pairs;
+  ASSERT_TRUE(client.value()->MatchAndInsert(dup, &pairs).ok());
+  bool found = false;
+  for (const IdPair& p : pairs) {
+    found = found || (p.a_id == f.records[0].id && p.b_id == 500u);
+  }
+  EXPECT_TRUE(found);
+  // ...and is itself indexed afterwards.
+  EXPECT_TRUE(WaitUntil([&]() { return f.service->Contains(500); }, 1000));
+
+  Record next = f.records[0];
+  next.id = 501;
+  pairs.clear();
+  ASSERT_TRUE(client.value()->Match(next, &pairs).ok());
+  bool linked_to_500 = false;
+  for (const IdPair& p : pairs) {
+    linked_to_500 = linked_to_500 || p.a_id == 500u;
+  }
+  EXPECT_TRUE(linked_to_500);
+}
+
+TEST(NetServerTest, MalformedBinaryPayloadAnswersErrorAndCountsSkippedRow) {
+  ServingFixture f = ServingFixture::Start(2);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+
+  Frame reply;
+  ASSERT_TRUE(client.value()->Call(MsgType::kInsert, "not a record", &reply).ok());
+  ASSERT_EQ(reply.type, MsgType::kError);
+  Status carried = Status::OK();
+  ASSERT_TRUE(DecodeErrorPayload(reply.payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.service->metrics().skipped_rows, 1u);
+
+  // The connection survives a rejected payload.
+  EXPECT_TRUE(client.value()->Ping().ok());
+}
+
+// Overload shedding: pipeline far more requests than the admission queue
+// holds while one slow worker is pinned; the excess must come back as
+// ResourceExhausted errors — quickly, not after queueing behind the
+// slow request — and every request must get exactly one reply.
+TEST(NetServerTest, PipelinedBurstShedsBeyondTheAdmissionQueue) {
+  NetServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 2;
+  ServingFixture f = ServingFixture::Start(10, options);
+
+  // Pin the worker inside the first admitted match.
+  Failpoints::Activate("index.collect", FailpointAction::kDelay, 100);
+
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr size_t kBurst = 32;
+  Record base = f.records[0];
+  base.id = 2000;
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t other = 0;
+  const Status burst = client.value()->PipelinedBurst(
+      MsgType::kMatch, base, kBurst,
+      [&](size_t, const Frame& frame) {
+        if (frame.type == MsgType::kMatchResult) {
+          ++ok;
+          return;
+        }
+        Status carried = Status::OK();
+        if (frame.type == MsgType::kError &&
+            DecodeErrorPayload(frame.payload, &carried).ok() &&
+            carried.code() == StatusCode::kResourceExhausted) {
+          ++shed;
+        } else {
+          ++other;
+        }
+      });
+  Failpoints::DeactivateAll();
+
+  ASSERT_TRUE(burst.ok()) << burst.ToString();
+  EXPECT_EQ(ok + shed + other, kBurst);
+  EXPECT_EQ(other, 0u);
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(shed, 1u);
+
+  // The connection is still healthy after shedding.
+  EXPECT_TRUE(client.value()->Ping().ok());
+}
+
+TEST(NetServerTest, ReadOnlyModeRejectsMutations) {
+  NetServerOptions options;
+  options.read_only = true;
+  ServingFixture f = ServingFixture::Start(5, options);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+
+  Record record = f.records[0];
+  record.id = 700;
+  EXPECT_EQ(client.value()->Insert(record).code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<IdPair> pairs;
+  EXPECT_EQ(client.value()->MatchAndInsert(record, &pairs).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(f.service->Contains(700));
+
+  // Reads still work.
+  EXPECT_TRUE(client.value()->Match(record, &pairs).ok());
+
+  // The HTTP mapping answers 403 for the same operations.
+  const std::string resp =
+      HttpPost(f.server->port(), "/insert",
+               R"({"id": 701, "fields": ["A", "B", "C", "D"]})");
+  EXPECT_NE(resp.find("403 Forbidden"), std::string::npos);
+}
+
+TEST(NetServerTest, HttpEndpoints) {
+  ServingFixture f = ServingFixture::Start(10);
+  const uint16_t port = f.server->port();
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  // A duplicate of record 0 posted as JSON matches it.
+  const Record& r0 = f.records[0];
+  std::string body = R"({"id": 900, "fields": [)";
+  for (size_t i = 0; i < r0.fields.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + r0.fields[i] + "\"";
+  }
+  body += "]}";
+  const std::string match = HttpPost(port, "/match", body);
+  EXPECT_NE(match.find("200 OK"), std::string::npos);
+  EXPECT_NE(match.find("\"pairs\":["), std::string::npos);
+  EXPECT_NE(match.find("[" + std::to_string(r0.id) + ",900]"),
+            std::string::npos);
+
+  // Insert over HTTP, then verify in process.
+  std::string insert_body = body;
+  const size_t id_pos = insert_body.find("900");
+  insert_body.replace(id_pos, 3, "901");
+  const std::string inserted = HttpPost(port, "/insert", insert_body);
+  EXPECT_NE(inserted.find("200 OK"), std::string::npos);
+  EXPECT_TRUE(WaitUntil([&]() { return f.service->Contains(901); }, 1000));
+
+  // Malformed JSON answers 400 and counts a skipped row.
+  const uint64_t skipped_before = f.service->metrics().skipped_rows;
+  const std::string bad = HttpPost(port, "/match", "{nonsense");
+  EXPECT_NE(bad.find("400 Bad Request"), std::string::npos);
+  EXPECT_EQ(f.service->metrics().skipped_rows, skipped_before + 1);
+
+  // Unknown target answers 404.
+  EXPECT_NE(HttpGet(port, "/nope").find("404 Not Found"), std::string::npos);
+
+  // Telemetry endpoints expose the net metrics.
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("net_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("net_connections_accepted_total"), std::string::npos);
+  const std::string stats = HttpGet(port, "/stats");
+  EXPECT_NE(stats.find("net_requests_total"), std::string::npos);
+}
+
+TEST(NetServerTest, BinaryStatsCallReturnsTelemetryJson) {
+  ServingFixture f = ServingFixture::Start(3);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+  std::string json;
+  ASSERT_TRUE(client.value()->Stats(&json).ok());
+  EXPECT_NE(json.find("net_requests_total"), std::string::npos);
+  EXPECT_NE(json.find("service_records"), std::string::npos);
+}
+
+// An insert acknowledged over the wire must survive a crash: replaying
+// the journal into a fresh service restores it.
+TEST(NetServerTest, AcknowledgedNetworkInsertSurvivesRestartViaJournal) {
+  const std::string journal_path = TempPath("net_server_recovery.cbvj");
+  ServingFixture f = ServingFixture::Start(8);
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    f.service->AttachJournal(std::move(journal.value()));
+  }
+
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+  Record record = f.records[0];
+  record.id = 600;
+  ASSERT_TRUE(client.value()->Insert(record).ok());
+
+  // "Crash": tear down the serving process state without any snapshot.
+  f.server->Shutdown();
+  f.service.reset();
+
+  Result<std::unique_ptr<LinkageService>> restarted =
+      LinkageService::Create(BaseConfig(f.gen->schema()));
+  ASSERT_TRUE(restarted.ok());
+  for (const Record& r : f.records) {
+    ASSERT_TRUE(restarted.value()->Insert(r).ok());
+  }
+  Result<JournalReplayStats> stats =
+      restarted.value()->ReplayJournalFile(journal_path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().applied, 1u);
+  EXPECT_TRUE(restarted.value()->Contains(600));
+}
+
+TEST(NetServerTest, ReplicaFollowsPrimaryAndPromotes) {
+  const std::string journal_path = TempPath("net_replica.cbvj");
+  const std::string snapshot_path = TempPath("net_replica.cbvs");
+  ServingFixture f = ServingFixture::Start(20);
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    f.service->AttachJournal(std::move(journal.value()));
+  }
+
+  ReplicaOptions options;
+  options.primary_port = f.server->port();
+  options.poll_interval_ms = 20;
+  Result<std::unique_ptr<Replica>> replica = Replica::Start(options);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+
+  // The initial sync is synchronous: the snapshot's records are there.
+  EXPECT_EQ(replica.value()->service()->size(), 20u);
+
+  // Live inserts flow through the journal to the follower.
+  const std::vector<Record> extra = GenerateRecords(*f.gen, 25, 21);
+  for (size_t i = 20; i < 25; ++i) {
+    ASSERT_TRUE(f.service->Insert(extra[i]).ok());
+  }
+  ASSERT_TRUE(WaitUntil([&]() {
+    return replica.value()->service()->Contains(extra[24].id);
+  })) << "last error: " << replica.value()->progress().last_error;
+  const ReplicaProgress progress = replica.value()->progress();
+  EXPECT_GE(progress.applied_records, 5u);
+  EXPECT_GE(progress.syncs, 1u);
+
+  // A snapshot save rotates the journal (epoch bump) under the
+  // follower's cursor; it must re-sync and keep following.
+  ASSERT_TRUE(f.service->SaveSnapshotToFile(snapshot_path).ok());
+  Record after_rotate = f.records[0];
+  after_rotate.id = 800;
+  ASSERT_TRUE(f.service->Insert(after_rotate).ok());
+  ASSERT_TRUE(WaitUntil([&]() {
+    return replica.value()->service()->Contains(800);
+  })) << "last error: " << replica.value()->progress().last_error;
+  EXPECT_GE(replica.value()->progress().syncs, 2u);
+
+  // Promotion: the primary dies, the standby takes over writable.
+  f.server->Shutdown();
+  std::unique_ptr<LinkageService> promoted = replica.value()->Promote();
+  ASSERT_NE(promoted, nullptr);
+  EXPECT_EQ(replica.value()->service(), nullptr);
+  EXPECT_EQ(promoted->size(), 26u);
+  Record post_promotion = f.records[1];
+  post_promotion.id = 801;
+  EXPECT_TRUE(promoted->Insert(post_promotion).ok());
+  EXPECT_TRUE(promoted->Contains(801));
+}
+
+TEST(NetServerTest, IdleConnectionsAreSweptAfterTheTimeout) {
+  NetServerOptions options;
+  options.idle_timeout_ms = 100;
+  ServingFixture f = ServingFixture::Start(2, options);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Ping().ok());
+
+  // The sweep runs every second; well past it the connection is gone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+  EXPECT_FALSE(client.value()->Ping().ok());
+
+  // New connections are of course still welcome.
+  Result<std::unique_ptr<NetClient>> fresh =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh.value()->Ping().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cbvlink

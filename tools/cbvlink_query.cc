@@ -1,0 +1,576 @@
+// cbvlink_query: command-line client for a cbvlink_serve --listen
+// instance, speaking either the CRC-framed binary protocol (default)
+// or the HTTP/JSON mapping (--mode http).  Used by the network tests,
+// bench_net and the CI serving smoke job.
+//
+// Usage:
+//   cbvlink_query --connect HOST:PORT [--mode binary|http] COMMAND
+//
+// Commands (exactly one):
+//   --ping                 round-trip health check
+//   --stats                print the server's telemetry JSON
+//   --record "F1,F2,..."   one record operation; with:
+//       --id N             record id (default 0)
+//       --op OP            match | insert | match_and_insert
+//                          (default match)
+//       --burst N          pipeline N copies (ids N consecutive from
+//                          --id) before reading any reply — the shed
+//                          probe: report ok/shed/error counts
+//   --queries FILE         stream a query CSV (same format cbvlink_serve
+//                          reads); matched pairs go to --out as
+//                          "a_id,b_id" CSV
+//
+// Options:
+//   --insert               with --queries: match_and_insert each row
+//   --id-column NAME       CSV id column (default "id")
+//   --first-auto-id N      auto-id base for rows without ids (default 0)
+//   --out FILE             pairs CSV destination (default stdout)
+//   --allow-shed           shed (429/RESOURCE_EXHAUSTED) replies are
+//                          tolerated instead of failing the run
+//   --timeout-ms N         per-call IO timeout (default 30000)
+//
+// Exit codes mirror cbvlink_serve: 0 success, 1 runtime/request error,
+// 2 usage error, 3 success but some CSV rows were malformed and skipped
+// (the network-mode twin of the serve exit-3 contract).  Shed replies
+// exit 1 unless --allow-shed; the summary line always reports
+// "ok=N shed=N error=N" so the smoke job can assert a burst actually
+// shed without parsing exit codes.
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/record.h"
+#include "src/common/status.h"
+#include "src/common/str.h"
+#include "src/io/csv_reader.h"
+#include "src/net/client.h"
+#include "src/net/protocol.h"
+
+namespace cbvlink {
+namespace {
+
+struct Args {
+  std::string connect;
+  std::string mode = "binary";
+  bool ping = false;
+  bool stats = false;
+  std::string record_fields;
+  uint64_t id = 0;
+  std::string op = "match";
+  size_t burst = 1;
+  std::string queries_path;
+  bool insert = false;
+  std::string id_column = "id";
+  uint64_t first_auto_id = 0;
+  std::string out_path;
+  bool allow_shed = false;
+  int timeout_ms = 30000;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cbvlink_query --connect HOST:PORT [--mode binary|http]\n"
+      "  (--ping | --stats | --record \"F1,F2,...\" [--id N] [--op OP]\n"
+      "   [--burst N] | --queries FILE [--insert])\n"
+      "  [--id-column NAME] [--first-auto-id N] [--out FILE]\n"
+      "  [--allow-shed] [--timeout-ms N]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--connect") {
+      const char* v = next();
+      if (!v) return false;
+      args->connect = v;
+    } else if (flag == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      args->mode = v;
+    } else if (flag == "--ping") {
+      args->ping = true;
+    } else if (flag == "--stats") {
+      args->stats = true;
+    } else if (flag == "--record") {
+      const char* v = next();
+      if (!v) return false;
+      args->record_fields = v;
+    } else if (flag == "--id") {
+      const char* v = next();
+      if (!v) return false;
+      args->id = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--op") {
+      const char* v = next();
+      if (!v) return false;
+      args->op = v;
+    } else if (flag == "--burst") {
+      const char* v = next();
+      if (!v) return false;
+      args->burst = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      if (args->burst == 0) args->burst = 1;
+    } else if (flag == "--queries") {
+      const char* v = next();
+      if (!v) return false;
+      args->queries_path = v;
+    } else if (flag == "--insert") {
+      args->insert = true;
+    } else if (flag == "--id-column") {
+      const char* v = next();
+      if (!v) return false;
+      args->id_column = v;
+    } else if (flag == "--first-auto-id") {
+      const char* v = next();
+      if (!v) return false;
+      args->first_auto_id = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out_path = v;
+    } else if (flag == "--allow-shed") {
+      args->allow_shed = true;
+    } else if (flag == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->connect.empty()) return false;
+  if (args->mode != "binary" && args->mode != "http") {
+    std::fprintf(stderr, "--mode must be 'binary' or 'http'\n");
+    return false;
+  }
+  const int commands = (args->ping ? 1 : 0) + (args->stats ? 1 : 0) +
+                       (!args->record_fields.empty() ? 1 : 0) +
+                       (!args->queries_path.empty() ? 1 : 0);
+  if (commands != 1) {
+    std::fprintf(stderr, "exactly one of --ping/--stats/--record/--queries\n");
+    return false;
+  }
+  if (args->op != "match" && args->op != "insert" &&
+      args->op != "match_and_insert") {
+    std::fprintf(stderr, "--op must be match|insert|match_and_insert\n");
+    return false;
+  }
+  return true;
+}
+
+/// Outcome tally for the summary line the smoke job greps.
+struct Tally {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t error = 0;
+
+  void Count(const Status& status) {
+    if (status.ok()) {
+      ++ok;
+    } else if (status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      ++error;
+    }
+  }
+};
+
+// --- minimal HTTP client (JSON mode) --------------------------------------
+
+class HttpClient {
+ public:
+  static Result<std::unique_ptr<HttpClient>> Connect(const std::string& host,
+                                                     uint16_t port,
+                                                     int timeout_ms) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                           &res);
+    if (rc != 0) {
+      return Status::IOError(
+          StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+    }
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) return Status::IOError(StrFormat("connect %s", host.c_str()));
+    if (timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = timeout_ms / 1000;
+      tv.tv_usec = (timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    return std::unique_ptr<HttpClient>(new HttpClient(fd, host));
+  }
+
+  ~HttpClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// One keep-alive request; fills `*code` and `*body`.
+  Status Call(const std::string& method, const std::string& target,
+              const std::string& body, int* code, std::string* resp_body) {
+    std::string req = StrFormat(
+        "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %zu\r\n", method.c_str(),
+        target.c_str(), host_.c_str(), body.size());
+    if (!body.empty()) req += "Content-Type: application/json\r\n";
+    req += "\r\n";
+    req += body;
+    size_t sent = 0;
+    while (sent < req.size()) {
+      ssize_t n = ::send(fd_, req.data() + sent, req.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send failed");
+    }
+    // Read headers.
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!Fill()) return Status::IOError("connection closed mid-headers");
+    }
+    const size_t header_end = buffer_.find("\r\n\r\n") + 4;
+    const std::string headers = buffer_.substr(0, header_end);
+    // Status line: HTTP/1.1 NNN ...
+    if (headers.size() < 12) return Status::IOError("short status line");
+    *code = std::atoi(headers.c_str() + 9);
+    size_t content_length = 0;
+    {
+      // Case-insensitive Content-Length scan.
+      std::string lower;
+      lower.reserve(headers.size());
+      for (char c : headers)
+        lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+      const size_t pos = lower.find("content-length:");
+      if (pos != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
+      }
+    }
+    while (buffer_.size() < header_end + content_length) {
+      if (!Fill()) return Status::IOError("connection closed mid-body");
+    }
+    *resp_body = buffer_.substr(header_end, content_length);
+    buffer_.erase(0, header_end + content_length);
+    return Status::OK();
+  }
+
+ private:
+  HttpClient(int fd, std::string host) : fd_(fd), host_(std::move(host)) {}
+
+  bool Fill() {
+    char buf[16 * 1024];
+    while (true) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        buffer_.append(buf, static_cast<size_t>(n));
+        return true;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  int fd_;
+  std::string host_;
+  std::string buffer_;
+};
+
+/// Maps an HTTP response to the Tally classification.
+Status StatusFromHttp(int code, const std::string& body) {
+  if (code == 200) return Status::OK();
+  if (code == 429)
+    return Status::ResourceExhausted(StrFormat("HTTP 429: %s", body.c_str()));
+  return Status::IOError(StrFormat("HTTP %d: %s", code, body.c_str()));
+}
+
+std::string RecordToJson(const Record& record) {
+  std::string json =
+      StrFormat("{\"id\": %llu, \"fields\": [",
+                static_cast<unsigned long long>(record.id));
+  for (size_t i = 0; i < record.fields.size(); ++i) {
+    if (i > 0) json += ", ";
+    json += '"';
+    for (char c : record.fields[i]) {
+      if (c == '"' || c == '\\') json += '\\';
+      json += c;
+    }
+    json += '"';
+  }
+  json += "]}";
+  return json;
+}
+
+/// Prints "a_id,b_id" rows.
+void PrintPairs(FILE* out, const std::vector<IdPair>& pairs) {
+  for (const IdPair& pair : pairs) {
+    std::fprintf(out, "%llu,%llu\n",
+                 static_cast<unsigned long long>(pair.a_id),
+                 static_cast<unsigned long long>(pair.b_id));
+  }
+}
+
+/// Extracts pairs out of the HTTP {"pairs": [[a, b], ...]} body — a
+/// two-integer-tuple scan is all the shape needs.
+std::vector<IdPair> PairsFromJson(const std::string& body) {
+  std::vector<IdPair> pairs;
+  size_t pos = body.find('[');
+  if (pos == std::string::npos) return pairs;
+  ++pos;
+  while (pos < body.size()) {
+    const size_t open = body.find('[', pos);
+    if (open == std::string::npos) break;
+    char* end = nullptr;
+    const uint64_t a = std::strtoull(body.c_str() + open + 1, &end, 10);
+    if (end == nullptr || *end != ',') break;
+    const uint64_t b = std::strtoull(end + 1, &end, 10);
+    if (end == nullptr || *end != ']') break;
+    pairs.push_back(IdPair{a, b});
+    pos = static_cast<size_t>(end - body.c_str()) + 1;
+  }
+  return pairs;
+}
+
+int RunMain(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(args.connect, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--connect %s: %s\n", args.connect.c_str(),
+                 parsed.ToString().c_str());
+    return 2;
+  }
+
+  FILE* out = stdout;
+  if (!args.out_path.empty()) {
+    out = std::fopen(args.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", args.out_path.c_str());
+      return 1;
+    }
+  }
+  const auto close_out = [&] {
+    if (out != stdout) std::fclose(out);
+  };
+
+  Tally tally;
+  uint64_t skipped_rows = 0;
+
+  const bool http = args.mode == "http";
+  std::unique_ptr<net::NetClient> bin;
+  std::unique_ptr<HttpClient> web;
+  if (http) {
+    Result<std::unique_ptr<HttpClient>> connected =
+        HttpClient::Connect(host, port, args.timeout_ms);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   connected.status().ToString().c_str());
+      close_out();
+      return 1;
+    }
+    web = std::move(connected).value();
+  } else {
+    net::NetClientOptions client_options;
+    client_options.io_timeout_ms = args.timeout_ms;
+    Result<std::unique_ptr<net::NetClient>> connected =
+        net::NetClient::Connect(host, port, client_options);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   connected.status().ToString().c_str());
+      close_out();
+      return 1;
+    }
+    bin = std::move(connected).value();
+  }
+
+  // One record operation in the selected mode; pairs (if any) go to out.
+  const auto run_op = [&](const std::string& op,
+                          const Record& record) -> Status {
+    std::vector<IdPair> pairs;
+    Status st;
+    if (http) {
+      int code = 0;
+      std::string body;
+      st = web->Call("POST", StrFormat("/%s", op.c_str()),
+                     RecordToJson(record), &code, &body);
+      if (st.ok()) st = StatusFromHttp(code, body);
+      if (st.ok() && op != "insert") pairs = PairsFromJson(body);
+    } else {
+      if (op == "match") {
+        st = bin->Match(record, &pairs);
+      } else if (op == "insert") {
+        st = bin->Insert(record);
+      } else {
+        st = bin->MatchAndInsert(record, &pairs);
+      }
+    }
+    if (st.ok()) PrintPairs(out, pairs);
+    return st;
+  };
+
+  if (args.ping) {
+    Status st;
+    if (http) {
+      int code = 0;
+      std::string body;
+      st = web->Call("GET", "/healthz", "", &code, &body);
+      if (st.ok()) st = StatusFromHttp(code, body);
+    } else {
+      st = bin->Ping();
+    }
+    tally.Count(st);
+    if (!st.ok()) std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
+  } else if (args.stats) {
+    std::string json;
+    Status st;
+    if (http) {
+      int code = 0;
+      st = web->Call("GET", "/stats", "", &code, &json);
+      if (st.ok()) st = StatusFromHttp(code, json);
+    } else {
+      st = bin->Stats(&json);
+    }
+    tally.Count(st);
+    if (st.ok()) {
+      std::fprintf(out, "%s\n", json.c_str());
+    } else {
+      std::fprintf(stderr, "stats: %s\n", st.ToString().c_str());
+    }
+  } else if (!args.record_fields.empty()) {
+    Record record;
+    record.id = args.id;
+    for (const std::string& field : StrSplit(args.record_fields, ',')) {
+      record.fields.push_back(field);
+    }
+    if (args.burst <= 1 || http) {
+      // Sequential (HTTP has no pipelined mode here).
+      for (size_t i = 0; i < args.burst; ++i) {
+        Record r = record;
+        r.id = args.id + i;
+        Status st = run_op(args.op, r);
+        tally.Count(st);
+        if (!st.ok() &&
+            !(args.allow_shed &&
+              st.code() == StatusCode::kResourceExhausted)) {
+          std::fprintf(stderr, "%s: %s\n", args.op.c_str(),
+                       st.ToString().c_str());
+        }
+      }
+    } else {
+      // Pipelined burst: send everything, then read everything — the
+      // admission queue fills faster than the workers drain it, so a
+      // large enough burst must shed.
+      net::MsgType type = net::MsgType::kMatch;
+      net::MsgType expect = net::MsgType::kMatchResult;
+      if (args.op == "insert") {
+        type = net::MsgType::kInsert;
+        expect = net::MsgType::kInserted;
+      } else if (args.op == "match_and_insert") {
+        type = net::MsgType::kMatchAndInsert;
+      }
+      Status st = bin->PipelinedBurst(
+          type, record, args.burst,
+          [&](size_t, const net::Frame& reply) {
+            if (reply.type == net::MsgType::kError) {
+              Status carried = Status::OK();
+              if (!net::DecodeErrorPayload(reply.payload, &carried).ok()) {
+                carried = Status::IOError("undecodable error frame");
+              }
+              tally.Count(carried);
+              return;
+            }
+            if (reply.type != expect) {
+              ++tally.error;
+              return;
+            }
+            ++tally.ok;
+            if (reply.type == net::MsgType::kMatchResult) {
+              std::vector<IdPair> pairs;
+              if (net::DecodePairs(reply.payload, &pairs).ok()) {
+                PrintPairs(out, pairs);
+              }
+            }
+          });
+      if (!st.ok()) {
+        std::fprintf(stderr, "burst: %s\n", st.ToString().c_str());
+        tally.error += 1;
+      }
+    }
+  } else {
+    CsvReadOptions read_options;
+    read_options.id_column = args.id_column;
+    read_options.first_auto_id = args.first_auto_id;
+    read_options.skip_malformed_rows = true;
+    Result<CsvDataset> queries =
+        ReadCsvDataset(args.queries_path, read_options);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", args.queries_path.c_str(),
+                   queries.status().ToString().c_str());
+      close_out();
+      return 1;
+    }
+    skipped_rows = queries.value().skipped_rows;
+    for (const std::string& why : queries.value().skip_errors) {
+      std::fprintf(stderr, "skipped query row: %s\n", why.c_str());
+    }
+    std::fprintf(out, "a_id,b_id\n");
+    const std::string op = args.insert ? "match_and_insert" : "match";
+    for (const Record& record : queries.value().records) {
+      Status st = run_op(op, record);
+      tally.Count(st);
+      if (!st.ok() &&
+          !(args.allow_shed &&
+            st.code() == StatusCode::kResourceExhausted)) {
+        std::fprintf(stderr, "row %llu: %s\n",
+                     static_cast<unsigned long long>(record.id),
+                     st.ToString().c_str());
+      }
+    }
+  }
+
+  close_out();
+  std::fprintf(stderr, "summary: ok=%zu shed=%zu error=%zu skipped_rows=%llu\n",
+               tally.ok, tally.shed, tally.error,
+               static_cast<unsigned long long>(skipped_rows));
+  if (tally.error > 0) return 1;
+  if (tally.shed > 0 && !args.allow_shed) return 1;
+  if (skipped_rows > 0) {
+    std::fprintf(stderr,
+                 "exiting 3: %llu malformed query rows were skipped\n",
+                 static_cast<unsigned long long>(skipped_rows));
+    return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main(int argc, char** argv) { return cbvlink::RunMain(argc, argv); }

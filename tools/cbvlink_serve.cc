@@ -43,6 +43,29 @@
 //                          print a one-line summary to stderr and
 //                          refresh --metrics-out (0 = off, default)
 //
+// Network serving (src/net/): with --listen the process keeps serving
+// after the optional query stream, speaking the binary protocol and
+// HTTP/JSON on one port until SIGINT/SIGTERM:
+//   --listen [ADDR:]PORT   serve over TCP (port 0 = ephemeral; the
+//                          bound address is printed to stderr as
+//                          "listening on ADDR:PORT")
+//   --journal FILE         append-only insert journal: replayed on
+//                          startup (after the registry/snapshot load),
+//                          then every acknowledged insert is appended
+//                          so a crash loses nothing
+//   --fsync POLICY         journal durability: always (default), none,
+//                          or a number N (fsync every N appends)
+//   --queue-cap N          admission cap on queued requests; beyond it
+//                          requests are shed with 429/RESOURCE_EXHAUSTED
+//                          (default 256)
+//   --max-conns N          accepted-connection cap (default 1024)
+//   --idle-timeout SEC     close connections idle this long (default 60)
+//   --follow HOST:PORT     warm-standby mode: bootstrap from the
+//                          primary's snapshot, tail its journal, and
+//                          (with --listen) serve read-only
+// --num-threads (and its deprecated --threads alias) sizes the network
+// worker pool too, so one flag governs batch and network parallelism.
+//
 // Malformed query-CSV rows are skipped (not fatal): each skip is
 // counted, the first reasons are reported at exit, and the process
 // exits 3 instead of 0 so pipelines notice degraded input.  Exit codes:
@@ -57,6 +80,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -68,6 +92,10 @@
 #include "src/common/stopwatch.h"
 #include "src/common/str.h"
 #include "src/io/csv_reader.h"
+#include "src/io/journal.h"
+#include "src/net/client.h"
+#include "src/net/replication.h"
+#include "src/net/server.h"
 #include "src/rules/rule_parser.h"
 #include "src/service/linkage_service.h"
 #include "src/telemetry/exporters.h"
@@ -97,7 +125,36 @@ struct Args {
   std::string out_path;
   std::string metrics_out;
   size_t stats_interval = 0;
+  // Network serving.
+  std::string listen;   // "[ADDR:]PORT"; empty = no server
+  std::string journal_path;
+  std::string fsync = "always";
+  std::string follow;   // "HOST:PORT"; standby mode
+  size_t queue_cap = 256;
+  size_t max_conns = 1024;
+  size_t idle_timeout_sec = 60;
 };
+
+/// SIGINT/SIGTERM latch for the --listen wait loop.
+std::atomic<int> g_signal{0};
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+/// Parses --fsync (always | none | N) into JournalOptions::fsync_every.
+bool ParseFsyncPolicy(const std::string& text, size_t* fsync_every) {
+  if (text == "always") {
+    *fsync_every = 1;
+    return true;
+  }
+  if (text == "none") {
+    *fsync_every = 0;
+    return true;
+  }
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return false;
+  *fsync_every = static_cast<size_t>(n);
+  return true;
+}
 
 /// Background stats reporter: every `interval` seconds, prints a
 /// one-line delta summary to stderr and (when `metrics_path` is set)
@@ -180,7 +237,11 @@ void Usage() {
                "  [--num-threads N] [--shards N] [--max-bucket N] "
                "[--overflow truncate|scan]\n"
                "  [--batch N] [--out FILE] [--seed N]\n"
-               "  [--metrics-out FILE] [--stats-interval SEC]\n");
+               "  [--metrics-out FILE] [--stats-interval SEC]\n"
+               "  [--listen [ADDR:]PORT] [--journal FILE] "
+               "[--fsync always|none|N]\n"
+               "  [--queue-cap N] [--max-conns N] [--idle-timeout SEC]\n"
+               "  [--follow HOST:PORT]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -258,6 +319,28 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_out = v;
     } else if (flag == "--stats-interval") {
       if (!next_size(&args->stats_interval)) return false;
+    } else if (flag == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      args->listen = v;
+    } else if (flag == "--journal") {
+      const char* v = next();
+      if (!v) return false;
+      args->journal_path = v;
+    } else if (flag == "--fsync") {
+      const char* v = next();
+      if (!v) return false;
+      args->fsync = v;
+    } else if (flag == "--follow") {
+      const char* v = next();
+      if (!v) return false;
+      args->follow = v;
+    } else if (flag == "--queue-cap") {
+      if (!next_size(&args->queue_cap)) return false;
+    } else if (flag == "--max-conns") {
+      if (!next_size(&args->max_conns)) return false;
+    } else if (flag == "--idle-timeout") {
+      if (!next_size(&args->idle_timeout_sec)) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -268,8 +351,126 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     return false;
   }
   if (args->batch == 0) args->batch = 1;
-  return (!args->registry_path.empty() || !args->snapshot_in.empty()) &&
-         !args->queries_path.empty();
+  size_t fsync_every = 1;
+  if (!ParseFsyncPolicy(args->fsync, &fsync_every)) {
+    std::fprintf(stderr, "--fsync must be 'always', 'none', or a number\n");
+    return false;
+  }
+  if (!args->follow.empty()) {
+    if (!args->registry_path.empty() || !args->snapshot_in.empty() ||
+        !args->queries_path.empty() || args->insert) {
+      std::fprintf(stderr,
+                   "--follow is standby mode: it excludes --registry, "
+                   "--snapshot-in, --queries and --insert\n");
+      return false;
+    }
+    return true;
+  }
+  if (args->registry_path.empty() && args->snapshot_in.empty()) return false;
+  // --queries is optional when a network listener will serve instead.
+  return !args->queries_path.empty() || !args->listen.empty();
+}
+
+/// Starts the network server (shared by primary and standby paths).
+/// Prints the canonical "listening on ADDR:PORT" line the smoke tooling
+/// greps for.  Returns null (with a message) on failure.
+std::unique_ptr<net::NetServer> StartServer(LinkageService* service,
+                                            const Args& args, bool read_only) {
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(args.listen, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--listen %s: %s\n", args.listen.c_str(),
+                 parsed.ToString().c_str());
+    return nullptr;
+  }
+  net::NetServerOptions options;
+  options.bind_address = host;
+  options.port = port;
+  // One thread flag governs batch and network workers alike (the
+  // --threads alias feeds the same field).
+  options.num_workers = args.threads;
+  options.max_queue = args.queue_cap;
+  options.max_connections = args.max_conns;
+  options.idle_timeout_ms = static_cast<int>(args.idle_timeout_sec * 1000);
+  options.read_only = read_only;
+  Result<std::unique_ptr<net::NetServer>> server =
+      net::NetServer::Start(service, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "listen %s: %s\n", args.listen.c_str(),
+                 server.status().ToString().c_str());
+    return nullptr;
+  }
+  std::fprintf(stderr, "listening on %s:%u\n", host.c_str(),
+               static_cast<unsigned>(server.value()->port()));
+  std::fflush(stderr);
+  return std::move(server).value();
+}
+
+/// Blocks until SIGINT/SIGTERM.  Returns the signal received.
+int WaitForSignal() {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+/// Standby mode: bootstrap from the primary, follow its journal, serve
+/// read-only when --listen is given.
+int RunStandby(const Args& args) {
+  std::string host;
+  uint16_t port = 0;
+  Status parsed = net::ParseHostPort(args.follow, &host, &port);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--follow %s: %s\n", args.follow.c_str(),
+                 parsed.ToString().c_str());
+    return 2;
+  }
+  net::ReplicaOptions options;
+  options.primary_host = host;
+  options.primary_port = port;
+  Result<std::unique_ptr<net::Replica>> replica =
+      net::Replica::Start(options);
+  if (!replica.ok()) {
+    std::fprintf(stderr, "follow %s: %s\n", args.follow.c_str(),
+                 replica.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "following %s:%u (%zu records synced)\n", host.c_str(),
+               static_cast<unsigned>(port), replica.value()->service()->size());
+
+  std::unique_ptr<net::NetServer> server;
+  if (!args.listen.empty()) {
+    server = StartServer(replica.value()->service(), args, /*read_only=*/true);
+    if (server == nullptr) return 1;
+  }
+  const int sig = WaitForSignal();
+  std::fprintf(stderr, "signal %d: shutting down standby\n", sig);
+  if (server != nullptr) server->Shutdown();
+  const net::ReplicaProgress progress = replica.value()->progress();
+  std::fprintf(stderr,
+               "standby: epoch=%llu applied_offset=%llu lag_bytes=%llu "
+               "applied_records=%llu syncs=%llu\n",
+               static_cast<unsigned long long>(progress.epoch),
+               static_cast<unsigned long long>(progress.applied_offset),
+               static_cast<unsigned long long>(progress.lag_bytes),
+               static_cast<unsigned long long>(progress.applied_records),
+               static_cast<unsigned long long>(progress.syncs));
+  replica.value()->Stop();
+  if (!args.snapshot_out.empty()) {
+    Status saved =
+        replica.value()->service()->SaveSnapshotToFile(args.snapshot_out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot %s: %s\n", args.snapshot_out.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot written to %s (%zu records)\n",
+                 args.snapshot_out.c_str(), replica.value()->service()->size());
+  }
+  return 0;
 }
 
 int RunMain(int argc, char** argv) {
@@ -278,6 +479,7 @@ int RunMain(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (!args.follow.empty()) return RunStandby(args);
 
   LinkageServiceOptions options;
   options.num_shards = args.shards;
@@ -381,23 +583,36 @@ int RunMain(int argc, char** argv) {
                  service->options().num_shards, build_watch.ElapsedSeconds());
   }
 
-  CsvReadOptions query_options;
-  query_options.id_column = args.id_column;
-  query_options.first_auto_id = first_query_auto_id;
-  // The query stream is external input: degrade on malformed rows
-  // instead of aborting everything already served.
-  query_options.skip_malformed_rows = true;
-  Result<CsvDataset> queries = ReadCsvDataset(args.queries_path, query_options);
-  if (!queries.ok()) {
-    std::fprintf(stderr, "reading %s: %s\n", args.queries_path.c_str(),
-                 queries.status().ToString().c_str());
-    return 1;
-  }
-  if (queries.value().skipped_rows > 0) {
-    service->RecordSkippedRows(queries.value().skipped_rows);
-    for (const std::string& why : queries.value().skip_errors) {
-      std::fprintf(stderr, "skipped query row: %s\n", why.c_str());
+  // Journal: replay the tail BEFORE attaching (attached frames are
+  // re-appended), then open — Open() truncates any torn tail so new
+  // appends land on a valid frame boundary.
+  if (!args.journal_path.empty()) {
+    Result<JournalReplayStats> replayed =
+        service->ReplayJournalFile(args.journal_path);
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "journal replay %s: %s\n", args.journal_path.c_str(),
+                   replayed.status().ToString().c_str());
+      return 1;
     }
+    const JournalReplayStats& stats = replayed.value();
+    std::fprintf(stderr,
+                 "journal replay: existed=%d frames=%llu applied=%llu "
+                 "tail_truncated=%d epoch=%llu\n",
+                 stats.existed ? 1 : 0,
+                 static_cast<unsigned long long>(stats.frames),
+                 static_cast<unsigned long long>(stats.applied),
+                 stats.tail_truncated ? 1 : 0,
+                 static_cast<unsigned long long>(stats.epoch));
+    JournalOptions journal_options;
+    ParseFsyncPolicy(args.fsync, &journal_options.fsync_every);
+    Result<std::unique_ptr<Journal>> journal =
+        Journal::Open(args.journal_path, journal_options);
+    if (!journal.ok()) {
+      std::fprintf(stderr, "journal open %s: %s\n", args.journal_path.c_str(),
+                   journal.status().ToString().c_str());
+      return 1;
+    }
+    service->AttachJournal(std::move(journal).value());
   }
 
   std::optional<StatsReporter> reporter;
@@ -405,47 +620,78 @@ int RunMain(int argc, char** argv) {
     reporter.emplace(service.get(), args.stats_interval, args.metrics_out);
   }
 
-  FILE* out = stdout;
-  if (!args.out_path.empty()) {
-    out = std::fopen(args.out_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", args.out_path.c_str());
-      return 1;
-    }
-  }
-  std::fprintf(out, "a_id,b_id\n");
-
-  const std::vector<Record>& stream = queries.value().records;
   Stopwatch serve_watch;
-  std::vector<IdPair> pairs;
-  for (size_t begin = 0; begin < stream.size(); begin += args.batch) {
-    const size_t end = std::min(begin + args.batch, stream.size());
-    pairs.clear();
-    Status st;
-    if (args.insert) {
-      // Arrival order matters when queries join the registry: keep the
-      // stream sequential within the process.
-      for (size_t i = begin; i < end && st.ok(); ++i) {
-        st = service->MatchAndInsert(stream[i], &pairs);
-      }
-    } else {
-      const std::vector<Record> chunk(stream.begin() + begin,
-                                      stream.begin() + end);
-      st = service->MatchBatch(chunk, &pairs);
-    }
-    if (!st.ok()) {
-      std::fprintf(stderr, "serving: %s\n", st.ToString().c_str());
-      if (out != stdout) std::fclose(out);
+  if (!args.queries_path.empty()) {
+    CsvReadOptions query_options;
+    query_options.id_column = args.id_column;
+    query_options.first_auto_id = first_query_auto_id;
+    // The query stream is external input: degrade on malformed rows
+    // instead of aborting everything already served.
+    query_options.skip_malformed_rows = true;
+    Result<CsvDataset> queries =
+        ReadCsvDataset(args.queries_path, query_options);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "reading %s: %s\n", args.queries_path.c_str(),
+                   queries.status().ToString().c_str());
       return 1;
     }
-    for (const IdPair& pair : pairs) {
-      std::fprintf(out, "%llu,%llu\n",
-                   static_cast<unsigned long long>(pair.a_id),
-                   static_cast<unsigned long long>(pair.b_id));
+    if (queries.value().skipped_rows > 0) {
+      service->RecordSkippedRows(queries.value().skipped_rows);
+      for (const std::string& why : queries.value().skip_errors) {
+        std::fprintf(stderr, "skipped query row: %s\n", why.c_str());
+      }
     }
+
+    FILE* out = stdout;
+    if (!args.out_path.empty()) {
+      out = std::fopen(args.out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", args.out_path.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(out, "a_id,b_id\n");
+
+    const std::vector<Record>& stream = queries.value().records;
+    std::vector<IdPair> pairs;
+    for (size_t begin = 0; begin < stream.size(); begin += args.batch) {
+      const size_t end = std::min(begin + args.batch, stream.size());
+      pairs.clear();
+      Status st;
+      if (args.insert) {
+        // Arrival order matters when queries join the registry: keep the
+        // stream sequential within the process.
+        for (size_t i = begin; i < end && st.ok(); ++i) {
+          st = service->MatchAndInsert(stream[i], &pairs);
+        }
+      } else {
+        const std::vector<Record> chunk(stream.begin() + begin,
+                                        stream.begin() + end);
+        st = service->MatchBatch(chunk, &pairs);
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "serving: %s\n", st.ToString().c_str());
+        if (out != stdout) std::fclose(out);
+        return 1;
+      }
+      for (const IdPair& pair : pairs) {
+        std::fprintf(out, "%llu,%llu\n",
+                     static_cast<unsigned long long>(pair.a_id),
+                     static_cast<unsigned long long>(pair.b_id));
+      }
+    }
+    if (out != stdout) std::fclose(out);
+  }
+
+  if (!args.listen.empty()) {
+    std::unique_ptr<net::NetServer> server =
+        StartServer(service.get(), args, /*read_only=*/false);
+    if (server == nullptr) return 1;
+    const int sig = WaitForSignal();
+    std::fprintf(stderr, "signal %d: shutting down server\n", sig);
+    server->Shutdown();
   }
   const double serve_seconds = serve_watch.ElapsedSeconds();
-  if (out != stdout) std::fclose(out);
   if (reporter.has_value()) reporter->Stop();
 
   const ServiceMetrics metrics = service->metrics();
