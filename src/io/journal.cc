@@ -362,8 +362,10 @@ Status Journal::DropCommitted(uint64_t through_offset) {
   }
 
   const std::string tmp = AtomicTempPath(path_);
+  // O_RDWR, not O_WRONLY: this fd becomes fd_ after the rename, and
+  // ReadSegment / the next rotation's tail copy pread it.
   const int tmp_fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (tmp_fd < 0) {
     return Status::IOError(
         StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));

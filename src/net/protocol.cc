@@ -349,6 +349,12 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
     }
     return Next::kNeedMore;
   }
+  // The cap applies even when the terminator arrived in the same Feed
+  // as the oversized header.
+  if (header_end > kMaxHttpHeaderBytes) {
+    error_ = Status::InvalidArgument("HTTP header too large");
+    return Next::kBad;
+  }
   const std::string_view head(buffer_.data(), header_end);
 
   // Request line: METHOD SP TARGET SP VERSION
@@ -379,6 +385,10 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
     std::string_view value = line.substr(colon + 1);
     while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
     if (IEquals(name, "content-length")) {
+      if (value.empty()) {
+        error_ = Status::InvalidArgument("bad Content-Length");
+        return Next::kBad;
+      }
       uint64_t n = 0;
       for (const char c : value) {
         if (c < '0' || c > '9') {

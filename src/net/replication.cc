@@ -65,6 +65,17 @@ Status Replica::SyncFromSnapshot() {
     std::lock_guard<std::mutex> lock(mu_);
     progress_.syncing = true;
   }
+  const Status st = SyncFromSnapshotImpl();
+  {
+    // Cleared on every exit path: a failed sync must not report
+    // `syncing` while the follow loop is sleeping before its retry.
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_.syncing = false;
+  }
+  return st;
+}
+
+Status Replica::SyncFromSnapshotImpl() {
   auto client = NetClient::Connect(
       options_.primary_host, options_.primary_port,
       NetClientOptions{options_.connect_timeout_ms, options_.io_timeout_ms});
@@ -115,7 +126,6 @@ Status Replica::SyncFromSnapshot() {
   decoder_ = JournalFrameDecoder();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    progress_.syncing = false;
     progress_.epoch = epoch_;
     progress_.applied_offset = fetch_offset_;
     progress_.end_offset = end;

@@ -101,8 +101,9 @@ class Replica {
   void FollowLoop();
   /// One snapshot sync: fetch, restore (first time) or merge into the
   /// existing service (re-sync — keeps service() pointer-stable), reset
-  /// the cursor.
+  /// the cursor.  Maintains progress().syncing around the Impl body.
   Status SyncFromSnapshot();
+  Status SyncFromSnapshotImpl();
   /// One journal fetch + apply pass.  Sets `*made_progress` when frames
   /// were received.
   Status FetchOnce(bool* made_progress);

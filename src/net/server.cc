@@ -288,8 +288,11 @@ void NetServer::Impl::IoLoop() {
         continue;
       }
       if ((ev.events & EPOLLIN) != 0) HandleReadable(conn);
-      // HandleReadable may have closed it.
-      if (connections.count(conn->fd) != 0 && (ev.events & EPOLLOUT) != 0) {
+      // HandleReadable may have closed it (identity check: see
+      // DrainNotifications).
+      auto again = connections.find(conn->fd);
+      if (again != connections.end() && again->second == conn &&
+          (ev.events & EPOLLOUT) != 0) {
         HandleWritable(conn);
       }
     }
@@ -343,7 +346,10 @@ void NetServer::Impl::DrainNotifications() {
     batch.swap(notify);
   }
   for (auto& conn : batch) {
-    if (connections.count(conn->fd) == 0) continue;
+    // Identity check, not fd check: the fd may have been closed and
+    // reused by a newly accepted connection before this entry drained.
+    auto it = connections.find(conn->fd);
+    if (it == connections.end() || it->second != conn) continue;
     HandleWritable(conn);
   }
 }
@@ -394,6 +400,14 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
   if (conn->mode == ConnMode::kUnknown) return true;
   bool dispatch = false;
   while (true) {
+    {
+      // Once the connection is draining toward close (shed without
+      // keep-alive, a 400, or a worker honoring "Connection: close"),
+      // stop admitting pipelined requests — no response may follow the
+      // one marked close.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->want_close) break;
+    }
     PendingRequest req;
     if (conn->mode == ConnMode::kBinary) {
       FrameDecoder::Next next = conn->frame_decoder.Pop(&req.frame);
@@ -423,18 +437,22 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
       t_shed->Add(1);
       if (conn->mode == ConnMode::kBinary) {
         ShedBinary(conn);
-      } else {
-        ShedHttp(conn, req.http.keep_alive);
-        if (!req.http.keep_alive) {
-          std::lock_guard<std::mutex> lock(conn->mu);
-          conn->want_close = true;
-        }
+        continue;
+      }
+      ShedHttp(conn, req.http.keep_alive);
+      if (!req.http.keep_alive) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->want_close = true;
+        break;  // the 429 said "Connection: close"; admit nothing more
       }
       continue;
     }
     queued.fetch_add(1, std::memory_order_relaxed);
     t_queue_depth->Set(static_cast<double>(depth + 1));
     req.admitted_at = Clock::now();
+    // "Connection: close" makes this the connection's last request; the
+    // worker will set want_close, so admit nothing pipelined behind it.
+    const bool last_request = req.is_http && !req.http.keep_alive;
     bool was_idle;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
@@ -443,6 +461,7 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
       conn->pending.push_back(std::move(req));
     }
     if (was_idle) dispatch = true;
+    if (last_request) break;
   }
   if (dispatch) Dispatch(conn);
   return true;
@@ -495,6 +514,7 @@ void NetServer::Impl::HandleWritable(const std::shared_ptr<Connection>& conn) {
   bool drained = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;  // fd is gone (and may belong to someone else)
     while (conn->write_pos < conn->write_buf.size()) {
       ssize_t n = ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
                          conn->write_buf.size() - conn->write_pos,

@@ -402,6 +402,57 @@ TEST(JournalTest, DropCommittedRotatesEpochAndKeepsTheTail) {
   telemetry::Registry::Global().ResetForTest();
 }
 
+// Regression: DropCommitted swaps in the rotated file's fd, which must
+// stay readable — ReadSegment (replication fetch) and the next
+// rotation's tail copy both pread it without reopening the journal.
+TEST(JournalTest, RotatedJournalStaysReadableWithoutReopen) {
+  const std::string path = TempPath("journal_rotate_read.cbvj");
+  Result<std::unique_ptr<Journal>> journal = Journal::Open(path);
+  ASSERT_TRUE(journal.ok());
+  std::vector<uint64_t> boundaries;
+  for (RecordId id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(journal.value()->AppendInsert(MakeRecord(id)).ok());
+    boundaries.push_back(journal.value()->EndOffset());
+  }
+
+  // Rotate keeping frames 3 and 4 as the uncovered tail.
+  ASSERT_TRUE(journal.value()->DropCommitted(boundaries[1]).ok());
+  ASSERT_EQ(journal.value()->epoch(), 1u);
+
+  // ReadSegment on the post-rotation fd must serve the tail frames.
+  std::string segment;
+  uint64_t seg_end = 0;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(journal.value()
+                  ->ReadSegment(kJournalHeaderSize, 1u << 20, &segment,
+                                &seg_end, &epoch)
+                  .ok());
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(seg_end, journal.value()->EndOffset());
+  JournalFrameDecoder decoder;
+  decoder.Feed(segment);
+  Record record;
+  ASSERT_EQ(decoder.Pop(&record), JournalFrameDecoder::Next::kRecord);
+  EXPECT_EQ(record.id, 3u);
+  ASSERT_EQ(decoder.Pop(&record), JournalFrameDecoder::Next::kRecord);
+  EXPECT_EQ(record.id, 4u);
+  EXPECT_EQ(decoder.Pop(&record), JournalFrameDecoder::Next::kNeedMore);
+
+  // A second tailed rotation on the same handle preads the same fd for
+  // its tail copy: append 5, drop through frame 4, keep 5.
+  const uint64_t before_5 = journal.value()->EndOffset();
+  ASSERT_TRUE(journal.value()->AppendInsert(MakeRecord(5)).ok());
+  ASSERT_TRUE(journal.value()->DropCommitted(before_5).ok());
+  EXPECT_EQ(journal.value()->epoch(), 2u);
+  journal.value().reset();
+
+  JournalReplayStats stats;
+  const std::vector<Record> replayed = ReplayAll(path, &stats);
+  EXPECT_EQ(stats.epoch, 2u);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].id, 5u);
+}
+
 TEST(JournalTest, ReadSegmentServesRawBytesWithCursorMetadata) {
   const std::string path = TempPath("journal_segment.cbvj");
   Result<std::unique_ptr<Journal>> journal = Journal::Open(path);

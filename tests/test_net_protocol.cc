@@ -200,12 +200,34 @@ TEST(NetProtocolTest, HttpParserRejectsBadInput) {
     HttpRequest request;
     EXPECT_EQ(parser.Pop(&request), HttpParser::Next::kBad);
   }
+  // Empty Content-Length value is rejected, not parsed as 0.
+  {
+    HttpParser parser;
+    parser.Feed("POST /match HTTP/1.1\r\nContent-Length:\r\n\r\n");
+    HttpRequest request;
+    EXPECT_EQ(parser.Pop(&request), HttpParser::Next::kBad);
+  }
+  {
+    HttpParser parser;
+    parser.Feed("POST /match HTTP/1.1\r\nContent-Length: \r\n\r\n");
+    HttpRequest request;
+    EXPECT_EQ(parser.Pop(&request), HttpParser::Next::kBad);
+  }
   // A header that never terminates trips the size cap instead of
   // buffering forever.
   {
     HttpParser parser;
     parser.Feed("GET / HTTP/1.1\r\n");
     parser.Feed("X-Junk: " + std::string(20u << 10, 'a'));
+    HttpRequest request;
+    EXPECT_EQ(parser.Pop(&request), HttpParser::Next::kBad);
+  }
+  // ...and so does an oversized header whose terminator arrives in the
+  // same Feed.
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nX-Junk: " + std::string(20u << 10, 'a') +
+                "\r\n\r\n");
     HttpRequest request;
     EXPECT_EQ(parser.Pop(&request), HttpParser::Next::kBad);
   }

@@ -474,12 +474,25 @@ TEST(NetServerTest, ReplicaFollowsPrimaryAndPromotes) {
   })) << "last error: " << replica.value()->progress().last_error;
   EXPECT_GE(replica.value()->progress().syncs, 2u);
 
+  // Post-rotation the follower must tail via kFetchJournal reads of the
+  // rotated fd — a fetch error would degrade it to snapshot re-syncs
+  // and leave last_error set (regression: DropCommitted once installed
+  // a write-only fd, so every post-rotation ReadSegment failed).
+  Record tail_record = f.records[1];
+  tail_record.id = 802;
+  ASSERT_TRUE(f.service->Insert(tail_record).ok());
+  ASSERT_TRUE(WaitUntil([&]() {
+    return replica.value()->service()->Contains(802);
+  })) << "last error: " << replica.value()->progress().last_error;
+  EXPECT_TRUE(replica.value()->progress().last_error.empty())
+      << replica.value()->progress().last_error;
+
   // Promotion: the primary dies, the standby takes over writable.
   f.server->Shutdown();
   std::unique_ptr<LinkageService> promoted = replica.value()->Promote();
   ASSERT_NE(promoted, nullptr);
   EXPECT_EQ(replica.value()->service(), nullptr);
-  EXPECT_EQ(promoted->size(), 26u);
+  EXPECT_EQ(promoted->size(), 27u);
   Record post_promotion = f.records[1];
   post_promotion.id = 801;
   EXPECT_TRUE(promoted->Insert(post_promotion).ok());
