@@ -21,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "src/common/stopwatch.h"
 #include "src/net/client.h"
+#include "src/net/faultproxy.h"
 #include "src/net/protocol.h"
 #include "src/net/server.h"
 #include "src/service/linkage_service.h"
@@ -218,6 +219,162 @@ void Run() {
   }
 
   bench::EmitBenchJson("BENCH_net.json", series);
+
+  // --- Faults dimension ---------------------------------------------------
+  // The same traffic through an in-process FaultProxy under three
+  // conditions, driven by RetryingClient: a clean link (proxy overhead
+  // only), 5ms injected latency, and ~1%-of-requests connection resets
+  // with retries absorbing them.  Gate: every scenario must return
+  // byte-identical match results — faults may cost time and retries,
+  // never answers.
+  {
+    std::printf("\nFaults dimension (through FaultProxy, RetryingClient):\n");
+    const size_t fault_queries = std::min<size_t>(queries.size(), 1200);
+    std::vector<Record> slice(queries.begin(),
+                              queries.begin() + fault_queries);
+    std::vector<IdPair> slice_expected;
+    bench::DieOnError(service.value()->MatchBatch(slice, &slice_expected),
+                      "faults expected");
+    std::sort(slice_expected.begin(), slice_expected.end());
+
+    constexpr size_t kFaultClients = 4;
+    struct ScenarioResult {
+      double rate = 0;
+      double p50 = 0;
+      double p99 = 0;
+      net::RetryingClient::Counters counters;
+      bool ok = false;
+      uint64_t proxied_bytes = 0;
+    };
+    // Runs `slice` through the proxy with per-thread RetryingClients and
+    // checks the merged pairs against slice_expected.
+    const auto run_scenario = [&](net::FaultProxy& proxy,
+                                  const net::RetryPolicy& policy) {
+      ScenarioResult result;
+      const uint64_t bytes_before = proxy.forwarded_bytes();
+      std::vector<std::vector<double>> lats(kFaultClients);
+      std::vector<net::RetryingClient::Counters> counters(kFaultClients);
+      std::vector<IdPair> merged_pairs;
+      std::mutex merged_mu;
+      std::atomic<bool> failed{false};
+      Stopwatch watch;
+      std::vector<std::thread> threads;
+      for (size_t t = 0; t < kFaultClients; ++t) {
+        threads.emplace_back([&, t]() {
+          net::RetryingClient client("127.0.0.1", proxy.port(), policy);
+          std::vector<IdPair> local;
+          std::vector<IdPair> pairs;
+          for (size_t i = t; i < slice.size(); i += kFaultClients) {
+            pairs.clear();
+            const auto start = std::chrono::steady_clock::now();
+            if (!client.Match(slice[i], &pairs).ok()) {
+              failed = true;
+              return;
+            }
+            lats[t].push_back(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+            local.insert(local.end(), pairs.begin(), pairs.end());
+          }
+          counters[t] = client.counters();
+          std::lock_guard<std::mutex> lock(merged_mu);
+          merged_pairs.insert(merged_pairs.end(), local.begin(), local.end());
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      const double seconds = watch.ElapsedSeconds();
+      if (failed) return result;
+      std::sort(merged_pairs.begin(), merged_pairs.end());
+      result.ok = merged_pairs == slice_expected;
+      result.rate = static_cast<double>(slice.size()) / seconds;
+      std::vector<double> merged_lats;
+      for (const std::vector<double>& part : lats) {
+        merged_lats.insert(merged_lats.end(), part.begin(), part.end());
+      }
+      std::sort(merged_lats.begin(), merged_lats.end());
+      result.p50 = PercentileMicros(&merged_lats, 0.50);
+      result.p99 = PercentileMicros(&merged_lats, 0.99);
+      for (const net::RetryingClient::Counters& c : counters) {
+        result.counters.attempts += c.attempts;
+        result.counters.retries += c.retries;
+        result.counters.reconnects += c.reconnects;
+        result.counters.transport_errors += c.transport_errors;
+      }
+      result.proxied_bytes = proxy.forwarded_bytes() - bytes_before;
+      return result;
+    };
+
+    Result<std::unique_ptr<net::FaultProxy>> proxy =
+        net::FaultProxy::Start("127.0.0.1", port);
+    bench::DieOnError(proxy.ok() ? Status::OK() : proxy.status(),
+                      "fault proxy");
+
+    net::RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.per_attempt_timeout_ms = 10000;
+    policy.backoff.base_ms = 5;
+    policy.backoff.max_ms = 100;
+
+    std::vector<std::pair<std::string, double>> fault_series;
+    fault_series.emplace_back("queries", static_cast<double>(slice.size()));
+    std::printf("%-14s %12s %11s %11s %9s %11s\n", "scenario", "query(q/s)",
+                "p50(us)", "p99(us)", "retries", "reconnects");
+    const auto report = [&](const std::string& name,
+                            const ScenarioResult& result) {
+      if (!result.ok) {
+        std::fprintf(stderr,
+                     "FATAL: scenario %s failed or diverged from in-process "
+                     "MatchBatch\n",
+                     name.c_str());
+        std::exit(1);
+      }
+      std::printf("%-14s %12.0f %11.1f %11.1f %9llu %11llu\n", name.c_str(),
+                  result.rate, result.p50, result.p99,
+                  static_cast<unsigned long long>(result.counters.retries),
+                  static_cast<unsigned long long>(result.counters.reconnects));
+      fault_series.emplace_back(name + ".query_rate", result.rate);
+      fault_series.emplace_back(name + ".latency_p50_us", result.p50);
+      fault_series.emplace_back(name + ".latency_p99_us", result.p99);
+      fault_series.emplace_back(
+          name + ".retries", static_cast<double>(result.counters.retries));
+      fault_series.emplace_back(
+          name + ".reconnects",
+          static_cast<double>(result.counters.reconnects));
+      fault_series.emplace_back(name + ".equivalence_ok", 1.0);
+    };
+
+    // Clean link: proxy overhead only; also calibrates bytes/request for
+    // the reset scenario.
+    const ScenarioResult clean = run_scenario(*proxy.value(), policy);
+    report("clean", clean);
+
+    proxy.value()->faults().latency_ms.store(5);
+    report("latency_5ms", run_scenario(*proxy.value(), policy));
+    proxy.value()->faults().latency_ms.store(0);
+
+    // ~1% of requests hit a reset: RST each connection after it has
+    // forwarded about 100 requests' worth of bytes.
+    const uint64_t bytes_per_request =
+        std::max<uint64_t>(1, clean.proxied_bytes / slice.size());
+    proxy.value()->faults().reset_after_bytes.store(
+        static_cast<int64_t>(bytes_per_request * 100));
+    const ScenarioResult resets = run_scenario(*proxy.value(), policy);
+    proxy.value()->faults().reset_after_bytes.store(0);
+    if (resets.counters.reconnects == 0) {
+      std::fprintf(stderr,
+                   "FATAL: reset scenario produced no reconnects — the fault "
+                   "never fired\n");
+      std::exit(1);
+    }
+    report("resets_1pct", resets);
+
+    proxy.value()->Shutdown();
+    bench::EmitBenchJson("BENCH_net_faults.json", fault_series);
+    std::printf(
+        "\nReading: the clean row prices the extra proxy hop; latency_5ms "
+        "adds the\ninjected RTT to every request; resets_1pct shows retries "
+        "absorbing ~1%%\nconnection resets with identical answers.\n");
+  }
   std::printf(
       "\nReading: sync throughput is bounded by one in-flight request per "
       "connection\n(latency-dominated); the pipelined path amortizes wire "

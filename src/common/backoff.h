@@ -1,0 +1,71 @@
+// Capped exponential backoff with decorrelated jitter.
+//
+// Shared by every retry loop in the network tier (NetClient's retry
+// policy, the Replica's failure path, cbvlink_query) so all of them
+// desynchronize the same way: the next delay is drawn uniformly from
+// [base, prev * 3] and capped ("decorrelated jitter", the variant that
+// empirically spreads a thundering herd fastest), seeded explicitly so
+// tests are reproducible.
+
+#ifndef CBVLINK_COMMON_BACKOFF_H_
+#define CBVLINK_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace cbvlink {
+
+struct BackoffOptions {
+  /// First delay, and the lower bound of every jittered draw.
+  int64_t base_ms = 20;
+  /// Upper cap on any delay.
+  int64_t max_ms = 2000;
+  /// Seed for the jitter Rng; fixed default keeps tests deterministic,
+  /// callers that want per-instance spread mix in their own entropy.
+  uint64_t seed = 0x6ac0ffbac0ffULL;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {})
+      : options_(options), rng_(options.seed), prev_ms_(options.base_ms) {}
+
+  /// Delay before the next attempt.  The first call returns base_ms
+  /// exactly (a deterministic floor); subsequent calls draw from
+  /// [base, prev * 3] capped at max_ms.
+  int64_t NextDelayMs() {
+    ++failures_;
+    if (failures_ == 1) {
+      prev_ms_ = options_.base_ms;
+      return prev_ms_;
+    }
+    const int64_t lo = options_.base_ms;
+    const int64_t hi = std::min(options_.max_ms,
+                                std::max(lo, prev_ms_ * 3));
+    prev_ms_ = rng_.Uniform(lo, hi);
+    return prev_ms_;
+  }
+
+  /// Call after a success: the next failure starts from base_ms again.
+  void Reset() {
+    failures_ = 0;
+    prev_ms_ = options_.base_ms;
+  }
+
+  /// Consecutive failures since the last Reset().
+  int failures() const { return failures_; }
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  int failures_ = 0;
+  int64_t prev_ms_;
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_BACKOFF_H_

@@ -1,0 +1,84 @@
+// A monotonic deadline: "this work is worthless after instant T".
+//
+// Deadlines travel across the network tier as *relative* millisecond
+// budgets (a kDeadline prefix frame on the binary protocol, the
+// `X-Deadline-Ms` header on HTTP) because wall clocks on two machines
+// cannot be compared; each hop re-anchors the remaining budget against
+// its own std::chrono::steady_clock.  Within a process a Deadline is an
+// absolute steady_clock instant, so queue wait, retry sleeps, and
+// socket timeouts all debit the same budget.
+//
+// The infinite deadline is the default and never expires; it encodes
+// "no caller-imposed budget" without a sentinel magic number leaking
+// into call sites.
+
+#ifndef CBVLINK_COMMON_DEADLINE_H_
+#define CBVLINK_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace cbvlink {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The default deadline is infinite: Expired() is always false and
+  /// RemainingMs() saturates at kInfiniteMs.
+  Deadline() = default;
+
+  /// A deadline that never expires.
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `budget_ms` from now.  A non-positive budget is already
+  /// expired.
+  static Deadline AfterMs(int64_t budget_ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(budget_ms));
+  }
+
+  /// A deadline at an absolute monotonic instant.
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  bool IsInfinite() const { return infinite_; }
+
+  /// True once the instant has passed.  Infinite deadlines never expire.
+  bool Expired() const { return !infinite_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry, clamped to >= 0.  Infinite deadlines
+  /// report kInfiniteMs.
+  int64_t RemainingMs() const {
+    if (infinite_) return kInfiniteMs;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when_ - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+
+  /// The absolute instant.  Meaningless (time_point::max) when infinite.
+  Clock::time_point when() const {
+    return infinite_ ? Clock::time_point::max() : when_;
+  }
+
+  /// The earlier of two deadlines.
+  static Deadline Min(const Deadline& a, const Deadline& b) {
+    if (a.infinite_) return b;
+    if (b.infinite_) return a;
+    return Deadline(std::min(a.when_, b.when_));
+  }
+
+  /// Sentinel RemainingMs() for an infinite deadline — large enough that
+  /// any timeout arithmetic saturates, small enough not to overflow when
+  /// converted to microseconds.
+  static constexpr int64_t kInfiniteMs = int64_t{1} << 40;
+
+ private:
+  explicit Deadline(Clock::time_point when) : infinite_(false), when_(when) {}
+
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_DEADLINE_H_

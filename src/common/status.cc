@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -32,6 +32,12 @@ enum class StatusCode : int {
   /// the request was shed rather than queued — the retryable overload
   /// signal the network tier maps to HTTP 429.
   kResourceExhausted = 9,
+  /// The caller's deadline expired before (or while) the work ran.  The
+  /// network tier sheds already-expired requests with this code — both
+  /// at admission and again at worker dequeue — and maps it to HTTP 504.
+  /// Distinct from kResourceExhausted: the queue may have had room; the
+  /// *time budget* did not.
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a static, human-readable name for a status code ("InvalidArgument").
@@ -82,6 +88,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the status represents success.

@@ -7,8 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/common/str.h"
 #include "src/io/serialization.h"
@@ -27,6 +30,16 @@ void SetTimeout(int fd, int which, int ms) {
   timeval tv{};
   tv.tv_sec = ms / 1000;
   tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+/// Like SetTimeout, but ms == 0 clears the timeout (blocking socket).
+void SetTimeoutOrClear(int fd, int which, int ms) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+  }
   ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
 }
 
@@ -116,6 +129,9 @@ Status NetClient::SendAll(std::string_view bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("send timed out");
+    }
     return Errno("send");
   }
   return Status::OK();
@@ -134,8 +150,19 @@ Status NetClient::ReadFrame(Frame* frame) {
     }
     if (n == 0) return Status::IOError("connection closed by server");
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO fired.  The reply may still arrive later, so this
+      // connection is out of sync — an IOError tells retry layers to
+      // reconnect rather than reuse it.
+      return Status::IOError("recv timed out");
+    }
     return Errno("recv");
   }
+}
+
+void NetClient::ApplyTimeouts(int ms) {
+  SetTimeoutOrClear(fd_, SO_SNDTIMEO, ms);
+  SetTimeoutOrClear(fd_, SO_RCVTIMEO, ms);
 }
 
 Status NetClient::Call(MsgType type, std::string_view payload, Frame* reply) {
@@ -145,12 +172,45 @@ Status NetClient::Call(MsgType type, std::string_view payload, Frame* reply) {
   return ReadFrame(reply);
 }
 
+Status NetClient::CallWithDeadline(MsgType type, std::string_view payload,
+                                   const Deadline& deadline, Frame* reply) {
+  if (deadline.IsInfinite()) return Call(type, payload, reply);
+  if (deadline.Expired()) {
+    return Status::DeadlineExceeded("deadline expired before send");
+  }
+  const int64_t remaining = deadline.RemainingMs();
+  // Propagate the budget, then bound the exchange's socket timeouts by
+  // it (rounded up so a sub-millisecond remainder doesn't become an
+  // infinite timeout).
+  std::string wire;
+  std::string budget;
+  EncodeDeadlinePayload(
+      static_cast<uint32_t>(std::min<int64_t>(remaining, UINT32_MAX)),
+      &budget);
+  EncodeFrame(MsgType::kDeadline, budget, &wire);
+  EncodeFrame(type, payload, &wire);
+  int io_ms = static_cast<int>(std::min<int64_t>(remaining + 1, INT32_MAX));
+  if (options_.io_timeout_ms > 0) io_ms = std::min(io_ms, options_.io_timeout_ms);
+  ApplyTimeouts(io_ms);
+  Status send_st = SendAll(wire);
+  Status st = send_st.ok() ? ReadFrame(reply) : send_st;
+  ApplyTimeouts(options_.io_timeout_ms);
+  if (!st.ok() && st.code() == StatusCode::kIOError && deadline.Expired()) {
+    return Status::DeadlineExceeded(
+        StrFormat("deadline expired mid-call: %s", st.ToString().c_str()));
+  }
+  return st;
+}
+
 Status NetClient::Roundtrip(MsgType type, std::string_view payload,
-                            MsgType expect, Frame* reply) {
-  CBVLINK_RETURN_NOT_OK(Call(type, payload, reply));
+                            MsgType expect, Frame* reply,
+                            const Deadline& deadline) {
+  last_retry_after_ms_ = 0;
+  CBVLINK_RETURN_NOT_OK(CallWithDeadline(type, payload, deadline, reply));
   if (reply->type == MsgType::kError) {
     Status carried = Status::OK();
-    CBVLINK_RETURN_NOT_OK(DecodeErrorPayload(reply->payload, &carried));
+    CBVLINK_RETURN_NOT_OK(
+        DecodeErrorPayload(reply->payload, &carried, &last_retry_after_ms_));
     return carried;
   }
   if (reply->type != expect) {
@@ -160,35 +220,38 @@ Status NetClient::Roundtrip(MsgType type, std::string_view payload,
   return Status::OK();
 }
 
-Status NetClient::Ping() {
+Status NetClient::Ping(const Deadline& deadline) {
   Frame reply;
-  return Roundtrip(MsgType::kPing, {}, MsgType::kPong, &reply);
+  return Roundtrip(MsgType::kPing, {}, MsgType::kPong, &reply, deadline);
 }
 
-Status NetClient::Match(const Record& record, std::vector<IdPair>* out) {
+Status NetClient::Match(const Record& record, std::vector<IdPair>* out,
+                        const Deadline& deadline) {
   std::string payload;
   WireEncodeRecord(record, &payload);
   Frame reply;
-  CBVLINK_RETURN_NOT_OK(
-      Roundtrip(MsgType::kMatch, payload, MsgType::kMatchResult, &reply));
+  CBVLINK_RETURN_NOT_OK(Roundtrip(MsgType::kMatch, payload,
+                                  MsgType::kMatchResult, &reply, deadline));
   return DecodePairs(reply.payload, out);
 }
 
 Status NetClient::MatchAndInsert(const Record& record,
-                                 std::vector<IdPair>* out) {
+                                 std::vector<IdPair>* out,
+                                 const Deadline& deadline) {
   std::string payload;
   WireEncodeRecord(record, &payload);
   Frame reply;
   CBVLINK_RETURN_NOT_OK(Roundtrip(MsgType::kMatchAndInsert, payload,
-                                  MsgType::kMatchResult, &reply));
+                                  MsgType::kMatchResult, &reply, deadline));
   return DecodePairs(reply.payload, out);
 }
 
-Status NetClient::Insert(const Record& record) {
+Status NetClient::Insert(const Record& record, const Deadline& deadline) {
   std::string payload;
   WireEncodeRecord(record, &payload);
   Frame reply;
-  return Roundtrip(MsgType::kInsert, payload, MsgType::kInserted, &reply);
+  return Roundtrip(MsgType::kInsert, payload, MsgType::kInserted, &reply,
+                   deadline);
 }
 
 Status NetClient::FetchSnapshot(std::string* snapshot_bytes) {
@@ -230,12 +293,139 @@ Status NetClient::PipelinedBurst(
   return Status::OK();
 }
 
-Status NetClient::Stats(std::string* json) {
+Status NetClient::Stats(std::string* json, const Deadline& deadline) {
   Frame reply;
   CBVLINK_RETURN_NOT_OK(
-      Roundtrip(MsgType::kStats, {}, MsgType::kStatsJson, &reply));
+      Roundtrip(MsgType::kStats, {}, MsgType::kStatsJson, &reply, deadline));
   *json = std::move(reply.payload);
   return Status::OK();
+}
+
+// --- RetryingClient -------------------------------------------------------
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               RetryPolicy policy,
+                               NetClientOptions conn_options)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      conn_options_(conn_options),
+      backoff_(policy.backoff) {}
+
+Status RetryingClient::EnsureConnected(const Deadline& attempt_deadline) {
+  if (client_ != nullptr) return Status::OK();
+  NetClientOptions options = conn_options_;
+  const int64_t remaining = attempt_deadline.RemainingMs();
+  if (!attempt_deadline.IsInfinite()) {
+    const int budget = static_cast<int>(
+        std::min<int64_t>(std::max<int64_t>(remaining, 1), INT32_MAX));
+    if (options.connect_timeout_ms <= 0 || budget < options.connect_timeout_ms) {
+      options.connect_timeout_ms = budget;
+    }
+  }
+  auto connected = NetClient::Connect(host_, port_, options);
+  if (!connected.ok()) return connected.status();
+  client_ = std::move(connected).value();
+  if (counters_.attempts > 1 || counters_.transport_errors > 0) {
+    ++counters_.reconnects;
+  }
+  return Status::OK();
+}
+
+Status RetryingClient::Execute(
+    const std::function<Status(NetClient&, const Deadline&)>& op) {
+  const Deadline total = policy_.total_timeout_ms > 0
+                             ? Deadline::AfterMs(policy_.total_timeout_ms)
+                             : Deadline::Infinite();
+  backoff_.Reset();
+  Status last = Status::Internal("no attempts made");
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (total.Expired()) break;
+    ++counters_.attempts;
+    if (attempt > 1) ++counters_.retries;
+    Deadline attempt_deadline = total;
+    if (policy_.per_attempt_timeout_ms > 0) {
+      attempt_deadline = Deadline::Min(
+          total, Deadline::AfterMs(policy_.per_attempt_timeout_ms));
+    }
+    Status st = EnsureConnected(attempt_deadline);
+    uint32_t retry_after_ms = 0;
+    if (st.ok()) {
+      st = op(*client_, attempt_deadline);
+      if (st.ok()) {
+        backoff_.Reset();
+        return st;
+      }
+      retry_after_ms = client_->last_retry_after_ms();
+    }
+    last = st;
+    switch (st.code()) {
+      case StatusCode::kIOError:
+        // Transport failure (reset, timeout, refused): the connection
+        // is unusable or out of sync; reconnect on the next attempt.
+        ++counters_.transport_errors;
+        client_.reset();
+        break;
+      case StatusCode::kResourceExhausted:
+        ++counters_.sheds_seen;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        // Server-side shed of expired work, or a local mid-call expiry;
+        // the next attempt gets a fresh per-attempt budget.  Drop the
+        // connection: a local expiry leaves it out of sync.
+        ++counters_.deadline_seen;
+        client_.reset();
+        break;
+      default:
+        return st;  // not retryable (bad request, read-only, ...)
+    }
+    if (attempt == max_attempts) break;
+    int64_t delay_ms = backoff_.NextDelayMs();
+    if (policy_.honor_retry_after &&
+        static_cast<int64_t>(retry_after_ms) > delay_ms) {
+      delay_ms = retry_after_ms;
+    }
+    if (delay_ms >= total.RemainingMs()) break;  // sleep would eat the budget
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (total.Expired() || total.RemainingMs() == 0) {
+    return Status::DeadlineExceeded(
+        StrFormat("retry budget exhausted; last error: %s",
+                  last.ToString().c_str()));
+  }
+  return last;
+}
+
+Status RetryingClient::Ping() {
+  return Execute([](NetClient& client, const Deadline& deadline) {
+    return client.Ping(deadline);
+  });
+}
+
+Status RetryingClient::Match(const Record& record, std::vector<IdPair>* out) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.Match(record, out, deadline);
+  });
+}
+
+Status RetryingClient::MatchAndInsert(const Record& record,
+                                      std::vector<IdPair>* out) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.MatchAndInsert(record, out, deadline);
+  });
+}
+
+Status RetryingClient::Insert(const Record& record) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.Insert(record, deadline);
+  });
+}
+
+Status RetryingClient::Stats(std::string* json) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.Stats(json, deadline);
+  });
 }
 
 }  // namespace net

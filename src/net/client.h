@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/backoff.h"
+#include "src/common/deadline.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
 #include "src/net/protocol.h"
@@ -49,10 +51,17 @@ class NetClient {
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
-  Status Ping();
-  Status Match(const Record& record, std::vector<IdPair>* out);
-  Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
-  Status Insert(const Record& record);
+  /// Typed calls.  A finite `deadline` is propagated to the server (a
+  /// kDeadline prefix frame carrying the remaining budget) and bounds
+  /// the local socket timeouts for the exchange, so the call returns —
+  /// success or failure — within roughly the budget.  The default
+  /// (infinite) deadline keeps the plain io_timeout_ms behavior.
+  Status Ping(const Deadline& deadline = {});
+  Status Match(const Record& record, std::vector<IdPair>* out,
+               const Deadline& deadline = {});
+  Status MatchAndInsert(const Record& record, std::vector<IdPair>* out,
+                        const Deadline& deadline = {});
+  Status Insert(const Record& record, const Deadline& deadline = {});
 
   /// Fetches a complete snapshot stream (the bytes WriteServiceSnapshot
   /// produces) into `*snapshot_bytes`.
@@ -66,7 +75,11 @@ class NetClient {
                       uint64_t* out_end, std::string* frames);
 
   /// Fetches the server's telemetry JSON.
-  Status Stats(std::string* json);
+  Status Stats(std::string* json, const Deadline& deadline = {});
+
+  /// The retry_after_ms hint carried by the last kError reply (0 when
+  /// the server sent none) — the binary analogue of HTTP Retry-After.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
 
   /// One raw request/response exchange (test support; production code
   /// should prefer the typed calls above).
@@ -86,13 +99,78 @@ class NetClient {
 
   Status SendAll(std::string_view bytes);
   Status ReadFrame(Frame* frame);
+  /// Call() with an optional kDeadline prefix and deadline-bounded
+  /// socket timeouts.
+  Status CallWithDeadline(MsgType type, std::string_view payload,
+                          const Deadline& deadline, Frame* reply);
   /// Call() + kError unwrapping + reply-type check.
   Status Roundtrip(MsgType type, std::string_view payload, MsgType expect,
-                   Frame* reply);
+                   Frame* reply, const Deadline& deadline = {});
+  void ApplyTimeouts(int ms);
 
   int fd_ = -1;
   NetClientOptions options_;
   FrameDecoder decoder_;
+  uint32_t last_retry_after_ms_ = 0;
+};
+
+/// How RetryingClient retries.  Every operation is safe to retry:
+/// ping/match/stats are pure reads, and insert/match_and_insert are
+/// idempotent because the journal replay (and replication apply) path
+/// dedupes by record id — a duplicate insert of the same record is a
+/// no-op (tests/test_chaos.cc asserts this).
+struct RetryPolicy {
+  /// Total tries, including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Budget per attempt; 0 = only the connection's io_timeout_ms.
+  int per_attempt_timeout_ms = 5000;
+  /// Total budget across attempts and backoff sleeps; 0 = unbounded.
+  int total_timeout_ms = 0;
+  /// Obey the server's Retry-After hint when it exceeds the backoff.
+  bool honor_retry_after = true;
+  BackoffOptions backoff;
+};
+
+/// A reconnecting, retrying wrapper over NetClient.  Transport errors
+/// drop the connection and the next attempt reconnects; server sheds
+/// (ResourceExhausted) honor the Retry-After hint; DEADLINE_EXCEEDED
+/// retries with a fresh per-attempt budget while the total budget
+/// lasts.  Non-retryable statuses (InvalidArgument, FailedPrecondition,
+/// NotFound, ...) return immediately.  NOT thread-safe, like NetClient.
+class RetryingClient {
+ public:
+  struct Counters {
+    uint64_t attempts = 0;          ///< operations tried (>= calls)
+    uint64_t retries = 0;           ///< attempts after the first
+    uint64_t reconnects = 0;        ///< connections re-established
+    uint64_t sheds_seen = 0;        ///< ResourceExhausted replies
+    uint64_t deadline_seen = 0;     ///< DeadlineExceeded replies
+    uint64_t transport_errors = 0;  ///< IOError (reset, timeout, EOF)
+  };
+
+  RetryingClient(std::string host, uint16_t port, RetryPolicy policy = {},
+                 NetClientOptions conn_options = {});
+
+  Status Ping();
+  Status Match(const Record& record, std::vector<IdPair>* out);
+  Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
+  Status Insert(const Record& record);
+  Status Stats(std::string* json);
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Status Execute(
+      const std::function<Status(NetClient&, const Deadline&)>& op);
+  Status EnsureConnected(const Deadline& attempt_deadline);
+
+  std::string host_;
+  uint16_t port_;
+  RetryPolicy policy_;
+  NetClientOptions conn_options_;
+  Backoff backoff_;
+  std::unique_ptr<NetClient> client_;
+  Counters counters_;
 };
 
 }  // namespace net

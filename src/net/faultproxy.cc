@@ -1,0 +1,423 @@
+#include "src/net/faultproxy.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/str.h"
+
+namespace cbvlink {
+namespace net {
+
+namespace {
+
+/// Pump recv/send timeout: the granularity at which pumps notice
+/// shutdown, blackhole toggles, and connection kills.
+constexpr int kPumpTickMs = 50;
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+void SetTickTimeouts(int fd) {
+  timeval tv{};
+  tv.tv_usec = kPumpTickMs * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// One proxied connection: the accepted client socket, its upstream
+/// socket, and two pump threads.  The *last* pump to exit closes both
+/// fds — nobody else does, so a pump can never recv() on a closed (and
+/// possibly reused) descriptor.
+struct ProxyConn {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  std::atomic<bool> dead{false};
+  std::atomic<int64_t> forwarded{0};  // both directions
+  std::atomic<int> pumps_left{2};
+  std::thread pump_in, pump_out;
+};
+
+/// Abortive kill: arm SO_LINGER-0 (so the eventual close RSTs when the
+/// scenario calls for it) and shutdown both sockets, which wakes the
+/// pumps without freeing the fd numbers.
+void KillConn(ProxyConn* conn, bool rst) {
+  bool expected = false;
+  if (!conn->dead.compare_exchange_strong(expected, true)) return;
+  if (rst) {
+    linger lg{1, 0};
+    ::setsockopt(conn->client_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::setsockopt(conn->upstream_fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+  ::shutdown(conn->client_fd, SHUT_RDWR);
+  ::shutdown(conn->upstream_fd, SHUT_RDWR);
+}
+
+}  // namespace
+
+Status FaultSpec::Parse(std::string_view spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    std::string_view item = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("fault spec item '%.*s' has no '='",
+                    static_cast<int>(item.size()), item.data()));
+    }
+    const std::string_view name = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    int64_t n = 0;
+    for (const char c : value) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(
+            StrFormat("fault spec value '%.*s' is not a number",
+                      static_cast<int>(value.size()), value.data()));
+      }
+      n = n * 10 + (c - '0');
+      if (n > (int64_t{1} << 40)) break;  // saturate, don't overflow
+    }
+    if (name == "latency") latency_ms.store(static_cast<int>(n));
+    else if (name == "jitter") jitter_ms.store(static_cast<int>(n));
+    else if (name == "bandwidth") bandwidth_bps.store(n);
+    else if (name == "slice") slice_bytes.store(static_cast<int>(n));
+    else if (name == "corrupt") corrupt_ppm.store(static_cast<int>(n));
+    else if (name == "reset_after") reset_after_bytes.store(n);
+    else if (name == "blackhole") blackhole.store(n != 0);
+    else if (name == "seed") seed.store(static_cast<uint64_t>(n));
+    else {
+      return Status::InvalidArgument(
+          StrFormat("unknown fault '%.*s' (latency, jitter, bandwidth, "
+                    "slice, corrupt, reset_after, blackhole, seed)",
+                    static_cast<int>(name.size()), name.data()));
+    }
+  }
+  return Status::OK();
+}
+
+struct FaultProxy::Impl {
+  std::string upstream_host;
+  uint16_t upstream_port = 0;
+  std::string bind_address;
+  uint16_t listen_port = 0;
+
+  int listen_fd = -1;
+  uint16_t bound_port = 0;
+  FaultSpec faults;
+  std::atomic<bool> stopping{false};
+  std::atomic<uint64_t> total_forwarded{0};
+  std::atomic<uint64_t> conn_seq{0};
+
+  std::thread accept_thread;
+  mutable std::mutex conns_mu;
+  std::vector<std::shared_ptr<ProxyConn>> conns;
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  Status Bind();
+  void AcceptLoop();
+  int ConnectUpstream();
+  void Pump(std::shared_ptr<ProxyConn> conn, int from_fd, int to_fd,
+            uint64_t seed);
+  /// Joins and drops connections whose pumps have both exited.
+  void Reap();
+  void ShutdownAll();
+};
+
+Status FaultProxy::Impl::Bind() {
+  listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listen_port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad bind address: %s", bind_address.c_str()));
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return Errno("bind");
+  if (::listen(listen_fd, 64) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return Errno("getsockname");
+  bound_port = ntohs(bound.sin_port);
+  // accept() honors SO_RCVTIMEO: the accept loop ticks to notice stop.
+  SetTickTimeouts(listen_fd);
+  return Status::OK();
+}
+
+int FaultProxy::Impl::ConnectUpstream() {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(upstream_host.c_str(),
+                    std::to_string(upstream_port).c_str(), &hints, &res) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+void FaultProxy::Impl::AcceptLoop() {
+  while (!stopping.load(std::memory_order_acquire)) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        Reap();
+        continue;
+      }
+      break;
+    }
+    int upstream = ConnectUpstream();
+    if (upstream < 0) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(upstream, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetTickTimeouts(fd);
+    SetTickTimeouts(upstream);
+    auto conn = std::make_shared<ProxyConn>();
+    conn->client_fd = fd;
+    conn->upstream_fd = upstream;
+    const uint64_t base_seed =
+        faults.seed.load(std::memory_order_relaxed) +
+        conn_seq.fetch_add(1, std::memory_order_relaxed) * 2;
+    conn->pump_in = std::thread(
+        [this, conn, base_seed] {
+          Pump(conn, conn->client_fd, conn->upstream_fd, base_seed);
+        });
+    conn->pump_out = std::thread(
+        [this, conn, base_seed] {
+          Pump(conn, conn->upstream_fd, conn->client_fd, base_seed + 1);
+        });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(std::move(conn));
+    }
+    Reap();
+  }
+}
+
+void FaultProxy::Impl::Pump(std::shared_ptr<ProxyConn> conn, int from_fd,
+                            int to_fd, uint64_t seed) {
+  Rng rng(seed);
+  char buf[16 * 1024];
+  while (!stopping.load(std::memory_order_acquire) &&
+         !conn->dead.load(std::memory_order_acquire)) {
+    // Blackhole: stop reading.  The kernel's receive buffer (and the
+    // peer's TCP flow control) hold the bytes, so clearing the flag
+    // releases everything unharmed — a partition, not packet loss.
+    if (faults.blackhole.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPumpTickMs));
+      continue;
+    }
+    const int slice = faults.slice_bytes.load(std::memory_order_relaxed);
+    const size_t want =
+        slice > 0 ? std::min<size_t>(static_cast<size_t>(slice), sizeof(buf))
+                  : sizeof(buf);
+    ssize_t n = ::recv(from_fd, buf, want, 0);
+    if (n == 0) {
+      // EOF: forward the half-close and let the other pump finish any
+      // opposite-direction traffic.
+      ::shutdown(to_fd, SHUT_WR);
+      break;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      KillConn(conn.get(), /*rst=*/false);
+      break;
+    }
+    // Latency + jitter, per chunk.
+    const int latency = faults.latency_ms.load(std::memory_order_relaxed);
+    const int jitter = faults.jitter_ms.load(std::memory_order_relaxed);
+    int64_t delay = latency;
+    if (jitter > 0) delay += rng.Uniform(0, jitter);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+    // Byte corruption: flip one random bit per corrupted byte.
+    const int ppm = faults.corrupt_ppm.load(std::memory_order_relaxed);
+    if (ppm > 0) {
+      const double p = static_cast<double>(ppm) * 1e-6;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (rng.NextBool(p)) buf[i] ^= static_cast<char>(1u << rng.Below(8));
+      }
+    }
+    // Forward (the send side also ticks so kills are prompt).
+    ssize_t sent = 0;
+    bool broken = false;
+    while (sent < n) {
+      if (stopping.load(std::memory_order_acquire) ||
+          conn->dead.load(std::memory_order_acquire)) {
+        broken = true;
+        break;
+      }
+      ssize_t m = ::send(to_fd, buf + sent, static_cast<size_t>(n - sent),
+                         MSG_NOSIGNAL);
+      if (m > 0) {
+        sent += m;
+        continue;
+      }
+      if (m < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+        continue;
+      KillConn(conn.get(), /*rst=*/false);
+      broken = true;
+      break;
+    }
+    if (broken) break;
+    total_forwarded.fetch_add(static_cast<uint64_t>(n),
+                              std::memory_order_relaxed);
+    const int64_t conn_total =
+        conn->forwarded.fetch_add(n, std::memory_order_relaxed) + n;
+    // Scenario: reset the connection after N forwarded bytes.
+    const int64_t reset_after =
+        faults.reset_after_bytes.load(std::memory_order_relaxed);
+    if (reset_after > 0 && conn_total >= reset_after) {
+      KillConn(conn.get(), /*rst=*/true);
+      break;
+    }
+    // Bandwidth cap: pay for these bytes in sleep.
+    const int64_t bps = faults.bandwidth_bps.load(std::memory_order_relaxed);
+    if (bps > 0) {
+      const int64_t ms = n * 1000 / std::max<int64_t>(bps, 1);
+      if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  }
+  // Last pump out closes both fds (sole closer — see ProxyConn).
+  if (conn->pumps_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    ::close(conn->client_fd);
+    ::close(conn->upstream_fd);
+  }
+}
+
+void FaultProxy::Impl::Reap() {
+  std::vector<std::shared_ptr<ProxyConn>> done;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    auto it = conns.begin();
+    while (it != conns.end()) {
+      if ((*it)->pumps_left.load(std::memory_order_acquire) == 0) {
+        done.push_back(*it);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : done) {
+    if (conn->pump_in.joinable()) conn->pump_in.join();
+    if (conn->pump_out.joinable()) conn->pump_out.join();
+  }
+}
+
+void FaultProxy::Impl::ShutdownAll() {
+  if (stopping.exchange(true)) {
+    if (accept_thread.joinable()) accept_thread.join();
+    return;
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  // Release the port: without this a shut-down proxy still holds the
+  // listening socket, so the kernel keeps completing handshakes into
+  // the backlog and nobody can rebind the port (a "healed" proxy in the
+  // partition drills restarts on the same port).
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+    listen_fd = -1;
+  }
+  std::vector<std::shared_ptr<ProxyConn>> all;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    all.swap(conns);
+  }
+  for (auto& conn : all) KillConn(conn.get(), /*rst=*/false);
+  for (auto& conn : all) {
+    if (conn->pump_in.joinable()) conn->pump_in.join();
+    if (conn->pump_out.joinable()) conn->pump_out.join();
+  }
+}
+
+FaultProxy::FaultProxy(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+FaultProxy::~FaultProxy() { Shutdown(); }
+
+Result<std::unique_ptr<FaultProxy>> FaultProxy::Start(
+    std::string upstream_host, uint16_t upstream_port, uint16_t listen_port,
+    std::string bind_address) {
+  if (upstream_port == 0) {
+    return Status::InvalidArgument("upstream port must be nonzero");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->upstream_host = std::move(upstream_host);
+  impl->upstream_port = upstream_port;
+  impl->bind_address = std::move(bind_address);
+  impl->listen_port = listen_port;
+  CBVLINK_RETURN_NOT_OK(impl->Bind());
+  impl->accept_thread = std::thread([p = impl.get()] { p->AcceptLoop(); });
+  return std::unique_ptr<FaultProxy>(new FaultProxy(std::move(impl)));
+}
+
+uint16_t FaultProxy::port() const { return impl_->bound_port; }
+
+FaultSpec& FaultProxy::faults() { return impl_->faults; }
+
+void FaultProxy::ResetAllConnections() {
+  std::lock_guard<std::mutex> lock(impl_->conns_mu);
+  for (auto& conn : impl_->conns) KillConn(conn.get(), /*rst=*/true);
+}
+
+size_t FaultProxy::active_connections() const {
+  std::lock_guard<std::mutex> lock(impl_->conns_mu);
+  size_t live = 0;
+  for (auto& conn : impl_->conns) {
+    if (conn->pumps_left.load(std::memory_order_acquire) > 0 &&
+        !conn->dead.load(std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+uint64_t FaultProxy::forwarded_bytes() const {
+  return impl_->total_forwarded.load(std::memory_order_relaxed);
+}
+
+void FaultProxy::Shutdown() {
+  if (impl_ != nullptr) impl_->ShutdownAll();
+}
+
+}  // namespace net
+}  // namespace cbvlink

@@ -187,6 +187,9 @@ class JsonScanner {
 
 constexpr size_t kMaxHttpHeaderBytes = 16u << 10;
 constexpr size_t kMaxHttpBodyBytes = 8u << 20;
+// X-Deadline-Ms values saturate here (~12 days) so header arithmetic
+// can never overflow a steady_clock time_point.
+constexpr uint64_t kMaxDeadlineMs = 1u << 30;
 
 /// Case-insensitive ASCII compare.
 bool IEquals(std::string_view a, std::string_view b) {
@@ -210,6 +213,7 @@ const char* HttpReason(int code) {
     case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -284,21 +288,49 @@ Status DecodePairs(std::string_view payload, std::vector<IdPair>* out) {
 }
 
 void EncodeErrorPayload(const Status& status, std::string* out) {
+  EncodeErrorPayload(status, 0, out);
+}
+
+void EncodeErrorPayload(const Status& status, uint32_t retry_after_ms,
+                        std::string* out) {
   PutU32(static_cast<uint32_t>(status.code()), out);
   const std::string_view msg = status.message();
   PutU32(static_cast<uint32_t>(msg.size()), out);
   out->append(msg.data(), msg.size());
+  if (retry_after_ms > 0) PutU32(retry_after_ms, out);
 }
 
 Status DecodeErrorPayload(std::string_view payload, Status* out) {
+  return DecodeErrorPayload(payload, out, nullptr);
+}
+
+Status DecodeErrorPayload(std::string_view payload, Status* out,
+                          uint32_t* retry_after_ms) {
+  if (retry_after_ms != nullptr) *retry_after_ms = 0;
   if (payload.size() < 8) return Status::InvalidArgument("error truncated");
   const uint32_t code = GetU32(payload.data());
   const uint32_t len = GetU32(payload.data() + 4);
-  if (payload.size() != 8 + static_cast<size_t>(len)) {
+  const size_t base = 8 + static_cast<size_t>(len);
+  if (payload.size() != base && payload.size() != base + 4) {
     return Status::InvalidArgument("error length mismatch");
+  }
+  if (payload.size() == base + 4 && retry_after_ms != nullptr) {
+    *retry_after_ms = GetU32(payload.data() + base);
   }
   *out = Status(static_cast<StatusCode>(code),
                 std::string(payload.substr(8, len)));
+  return Status::OK();
+}
+
+void EncodeDeadlinePayload(uint32_t budget_ms, std::string* out) {
+  PutU32(budget_ms, out);
+}
+
+Status DecodeDeadlinePayload(std::string_view payload, uint32_t* budget_ms) {
+  if (payload.size() != 4) {
+    return Status::InvalidArgument("deadline payload must be 4 bytes");
+  }
+  *budget_ms = GetU32(payload.data());
   return Status::OK();
 }
 
@@ -371,6 +403,7 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
   request->method = std::string(request_line.substr(0, sp1));
   request->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
   request->keep_alive = true;
+  request->deadline_ms = -1;
 
   size_t content_length = 0;
   size_t cursor = line_end == std::string_view::npos ? head.size() : line_end + 2;
@@ -404,6 +437,21 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
       content_length = static_cast<size_t>(n);
     } else if (IEquals(name, "connection")) {
       if (IEquals(value, "close")) request->keep_alive = false;
+    } else if (IEquals(name, "x-deadline-ms")) {
+      uint64_t n = 0;
+      if (value.empty()) {
+        error_ = Status::InvalidArgument("bad X-Deadline-Ms");
+        return Next::kBad;
+      }
+      for (const char c : value) {
+        if (c < '0' || c > '9') {
+          error_ = Status::InvalidArgument("bad X-Deadline-Ms");
+          return Next::kBad;
+        }
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+        if (n > kMaxDeadlineMs) n = kMaxDeadlineMs;
+      }
+      request->deadline_ms = static_cast<int64_t>(n);
     } else if (IEquals(name, "transfer-encoding")) {
       error_ = Status::InvalidArgument("chunked bodies unsupported");
       return Next::kBad;
@@ -419,11 +467,20 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
 
 std::string HttpResponse(int code, std::string_view content_type,
                          std::string_view body, bool keep_alive) {
+  return HttpResponse(code, content_type, body, keep_alive, 0);
+}
+
+std::string HttpResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive,
+                         int retry_after_s) {
+  // A 429 always advertises a retry hint; other codes only when the
+  // caller supplies one.
+  if (code == 429 && retry_after_s < 1) retry_after_s = 1;
   std::string out = StrFormat("HTTP/1.1 %d %s\r\n", code, HttpReason(code));
   out += StrFormat("Content-Type: %.*s\r\n",
                    static_cast<int>(content_type.size()), content_type.data());
   out += StrFormat("Content-Length: %zu\r\n", body.size());
-  if (code == 429) out += "Retry-After: 1\r\n";
+  if (retry_after_s > 0) out += StrFormat("Retry-After: %d\r\n", retry_after_s);
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out.append(body.data(), body.size());
@@ -506,6 +563,7 @@ int HttpCodeFor(const Status& status) {
     case StatusCode::kNotFound: return 404;
     case StatusCode::kFailedPrecondition: return 403;
     case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kDeadlineExceeded: return 504;
     default: return 500;
   }
 }

@@ -54,6 +54,13 @@ enum class MsgType : uint8_t {
   kFetchSnapshot = 5,   ///< empty payload
   kFetchJournal = 6,    ///< payload: u64 epoch, u64 offset
   kStats = 7,           ///< empty payload
+  /// Deadline prefix: payload u32 budget_ms.  Arms a deadline for the
+  /// *next* request frame on the connection (send kDeadline, then the
+  /// request).  Not a request itself — it gets no reply and does not
+  /// count against the admission queue.  Prefixing (rather than a field
+  /// in every request frame) keeps all existing payload codecs and
+  /// pipelined-batch folding unchanged.
+  kDeadline = 8,
 
   kPong = 65,
   kMatchResult = 66,    ///< payload: u32 n, n * (u64 a_id, u64 b_id)
@@ -98,8 +105,20 @@ Status DecodePairs(std::string_view payload, std::vector<IdPair>* out);
 
 /// kError payload <-> Status (the code survives the round trip, so a
 /// client can distinguish shed RESOURCE_EXHAUSTED from hard failures).
+/// The payload optionally carries a trailing u32 retry_after_ms hint
+/// (the binary analogue of HTTP Retry-After, derived from the server's
+/// observed queue drain rate); encoders omit it when it is 0 and
+/// decoders accept both shapes, so old and new peers interoperate.
 void EncodeErrorPayload(const Status& status, std::string* out);
+void EncodeErrorPayload(const Status& status, uint32_t retry_after_ms,
+                        std::string* out);
 Status DecodeErrorPayload(std::string_view payload, Status* out);
+Status DecodeErrorPayload(std::string_view payload, Status* out,
+                          uint32_t* retry_after_ms);
+
+/// kDeadline payload <-> relative budget in milliseconds.
+void EncodeDeadlinePayload(uint32_t budget_ms, std::string* out);
+Status DecodeDeadlinePayload(std::string_view payload, uint32_t* budget_ms);
 
 void EncodeJournalFetch(uint64_t epoch, uint64_t offset, std::string* out);
 Status DecodeJournalFetch(std::string_view payload, uint64_t* epoch,
@@ -118,6 +137,10 @@ struct HttpRequest {
   std::string method;
   std::string target;
   bool keep_alive = true;
+  /// From the `X-Deadline-Ms` header: the caller's remaining budget in
+  /// milliseconds, re-anchored server-side against steady_clock at
+  /// parse time.  -1 when the header is absent (no caller deadline).
+  int64_t deadline_ms = -1;
   std::string body;
 };
 
@@ -131,15 +154,24 @@ class HttpParser {
   Next Pop(HttpRequest* request);
 
   const Status& error() const { return error_; }
+  /// Bytes of a not-yet-complete request sitting in the buffer (the
+  /// server's slow-loris progress check keys off this going nonzero).
+  size_t buffered_bytes() const { return buffer_.size(); }
 
  private:
   std::string buffer_;
   Status error_;
 };
 
-/// Renders a complete HTTP/1.1 response.
+/// Renders a complete HTTP/1.1 response.  A 429 carries `Retry-After: 1`
+/// by default; the overload below lets the server substitute a hint
+/// computed from its queue drain rate (for any code; 0 suppresses the
+/// header except on 429, which always advertises at least 1s).
 std::string HttpResponse(int code, std::string_view content_type,
                          std::string_view body, bool keep_alive);
+std::string HttpResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive,
+                         int retry_after_s);
 
 /// Parses {"id": N, "fields": ["A", ...]} (keys in any order, "id"
 /// optional).  Strict: unknown keys or non-string fields are
@@ -153,7 +185,8 @@ std::string PairsToJson(const std::vector<IdPair>& pairs);
 std::string StatusToJson(const Status& status);
 
 /// The HTTP status code a Status maps to (429 for ResourceExhausted,
-/// 400 for InvalidArgument, 403 for FailedPrecondition, 500 otherwise).
+/// 504 for DeadlineExceeded, 400 for InvalidArgument, 403 for
+/// FailedPrecondition, 404 for NotFound, 500 otherwise).
 int HttpCodeFor(const Status& status);
 
 }  // namespace net

@@ -28,12 +28,22 @@ telemetry::Counter* SyncsCounter() {
       telemetry::Registry::Global().GetCounter("replication_syncs_total");
   return c;
 }
+telemetry::Gauge* CircuitGauge() {
+  static telemetry::Gauge* g =
+      telemetry::Registry::Global().GetGauge("replication_circuit_state");
+  return g;
+}
 
 }  // namespace
 
 Result<std::unique_ptr<Replica>> Replica::Start(ReplicaOptions options) {
   auto replica = std::unique_ptr<Replica>(new Replica());
   replica->options_ = std::move(options);
+  // Mix the instance address into the jitter seed so a fleet of
+  // followers spreads its retries even when nobody tuned the seed.
+  BackoffOptions backoff = replica->options_.failure_backoff;
+  backoff.seed ^= reinterpret_cast<uintptr_t>(replica.get());
+  replica->backoff_ = Backoff(backoff);
   // The initial sync runs synchronously so a returned Replica already
   // holds a serviceable copy of the primary.
   CBVLINK_RETURN_NOT_OK(replica->SyncFromSnapshot());
@@ -45,7 +55,51 @@ Replica::~Replica() { Stop(); }
 
 void Replica::Stop() {
   stopping_.store(true, std::memory_order_release);
+  // Empty critical section: pairs with SleepFor so the notify cannot
+  // land between its predicate check and its wait.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  wake_cv_.notify_all();
   if (follow_thread_.joinable()) follow_thread_.join();
+}
+
+bool Replica::SleepFor(int64_t ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return !wake_cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] {
+    return stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void Replica::NoteSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  progress_.consecutive_failures = 0;
+  progress_.last_error.clear();
+  if (progress_.circuit != CircuitState::kClosed) {
+    progress_.circuit = CircuitState::kClosed;
+    CircuitGauge()->Set(0.0);
+  }
+}
+
+void Replica::NoteFailure(const Status& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  progress_.last_error = error.ToString();
+  ++progress_.consecutive_failures;
+  if (progress_.circuit == CircuitState::kHalfOpen ||
+      (progress_.circuit == CircuitState::kClosed &&
+       progress_.consecutive_failures >=
+           static_cast<uint64_t>(options_.circuit_open_after_failures))) {
+    // A failed half-open probe re-opens; enough closed-state failures
+    // open for the first time.
+    progress_.circuit = CircuitState::kOpen;
+  }
+  CircuitGauge()->Set(static_cast<double>(progress_.circuit));
+}
+
+void Replica::MaybeHalfOpen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (progress_.circuit == CircuitState::kOpen) {
+    progress_.circuit = CircuitState::kHalfOpen;
+    CircuitGauge()->Set(static_cast<double>(progress_.circuit));
+  }
 }
 
 LinkageService* Replica::service() const { return service_.get(); }
@@ -139,6 +193,12 @@ Status Replica::SyncFromSnapshotImpl() {
 
 Status Replica::FetchOnce(bool* made_progress) {
   *made_progress = false;
+  // The failure path drops the connection and the re-sync may fail
+  // before re-establishing it (primary down, connection refused);
+  // reaching here with no client is a link-down condition, not a bug.
+  if (client_ == nullptr) {
+    return Status::IOError("replication link down: not connected");
+  }
   uint64_t epoch = 0, end = 0;
   std::string frames;
   CBVLINK_RETURN_NOT_OK(
@@ -190,35 +250,27 @@ void Replica::FollowLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     bool made_progress = false;
     Status st = FetchOnce(&made_progress);
-    if (!st.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        progress_.last_error = st.ToString();
-      }
-      // Transport errors: drop the connection and re-sync on the next
-      // pass (the primary may have restarted with a rotated journal).
-      client_.reset();
-      for (int waited = 0;
-           waited < options_.poll_interval_ms &&
-           !stopping_.load(std::memory_order_acquire);
-           waited += 10) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
-      if (stopping_.load(std::memory_order_acquire)) return;
-      Status resync = SyncFromSnapshot();
-      if (!resync.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
-        progress_.last_error = resync.ToString();
-      }
+    if (st.ok()) {
+      NoteSuccess();
+      backoff_.Reset();
+      // Caught up: wait out the poll interval (or a Stop()).
+      if (!made_progress && !SleepFor(options_.poll_interval_ms)) return;
       continue;
     }
-    if (!made_progress) {
-      for (int waited = 0;
-           waited < options_.poll_interval_ms &&
-           !stopping_.load(std::memory_order_acquire);
-           waited += 10) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      }
+    // Transport errors: drop the connection, back off (capped
+    // exponential + jitter — consecutive failures wait longer and
+    // desynchronize), then re-sync from a snapshot (the primary may
+    // have restarted with a rotated journal).
+    NoteFailure(st);
+    client_.reset();
+    if (!SleepFor(backoff_.NextDelayMs())) return;
+    MaybeHalfOpen();  // the re-sync below is the circuit's probe
+    Status resync = SyncFromSnapshot();
+    if (resync.ok()) {
+      NoteSuccess();
+      backoff_.Reset();
+    } else {
+      NoteFailure(resync);
     }
   }
 }

@@ -21,12 +21,14 @@
 #define CBVLINK_NET_REPLICATION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "src/common/backoff.h"
 #include "src/common/status.h"
 #include "src/io/journal.h"
 #include "src/net/client.h"
@@ -46,7 +48,22 @@ struct ReplicaOptions {
   /// Client timeouts for the follow connection.
   int connect_timeout_ms = 5000;
   int io_timeout_ms = 30000;
+  /// Wait between retries after a failed fetch/re-sync: capped
+  /// exponential with decorrelated jitter, so a fleet of followers that
+  /// lost the same primary does not stampede it on recovery.
+  BackoffOptions failure_backoff{/*base_ms=*/100, /*max_ms=*/5000};
+  /// Consecutive failures before the circuit breaker opens.
+  int circuit_open_after_failures = 3;
 };
+
+/// Circuit-breaker state of the follow connection, exported as the
+/// `replication_circuit_state` gauge (0/1/2 in enum order).
+///   closed    — following normally.
+///   open      — consecutive failures crossed the threshold; the
+///               follower is backing off, not hammering the primary.
+///   half_open — backoff elapsed; the next sync attempt is the probe
+///               that either closes the circuit or re-opens it.
+enum class CircuitState : int { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
 
 /// A point-in-time view of the follower's progress.
 struct ReplicaProgress {
@@ -63,8 +80,12 @@ struct ReplicaProgress {
   uint64_t applied_records = 0;
   /// Snapshot (re-)syncs completed.
   uint64_t syncs = 0;
-  /// Last follow-loop error (transient errors are retried).
+  /// Last follow-loop error (transient errors are retried; cleared once
+  /// the follower recovers).
   std::string last_error;
+  /// Circuit breaker over the follow connection.
+  CircuitState circuit = CircuitState::kClosed;
+  uint64_t consecutive_failures = 0;
 };
 
 /// The warm standby.  Start() performs the initial snapshot sync
@@ -92,13 +113,21 @@ class Replica {
   /// writes).  The Replica is inert afterwards.
   std::unique_ptr<LinkageService> Promote();
 
-  /// Stops the follow thread without releasing the service.
+  /// Stops the follow thread without releasing the service.  Returns
+  /// promptly: the follow thread sleeps on a condition variable that
+  /// Stop() signals, never on fixed ticks.
   void Stop();
 
  private:
   Replica() = default;
 
   void FollowLoop();
+  /// Interruptible sleep: returns early (false) when Stop() is called.
+  bool SleepFor(int64_t ms);
+  void NoteSuccess();
+  void NoteFailure(const Status& error);
+  /// open -> half_open, once the backoff before a probe has elapsed.
+  void MaybeHalfOpen();
   /// One snapshot sync: fetch, restore (first time) or merge into the
   /// existing service (re-sync — keeps service() pointer-stable), reset
   /// the cursor.  Maintains progress().syncing around the Impl body.
@@ -115,7 +144,11 @@ class Replica {
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex mu_;
+  std::condition_variable wake_cv_;  // signalled by Stop()
   ReplicaProgress progress_;
+
+  // Follow-thread-only retry pacing.
+  Backoff backoff_;
 
   // Follow-thread-only cursor state (also touched by Start's initial
   // synchronous sync, before the thread exists).

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -20,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/common/str.h"
 #include "src/io/journal.h"
 #include "src/io/serialization.h"
@@ -54,7 +56,26 @@ struct PendingRequest {
   Frame frame;       // binary mode
   HttpRequest http;  // HTTP mode
   Clock::time_point admitted_at;
+  /// Caller deadline (kDeadline prefix frame / X-Deadline-Ms header),
+  /// re-anchored against our steady_clock at parse time.  Checked at
+  /// admission and again at worker dequeue: work whose budget lapsed in
+  /// the queue is answered DEADLINE_EXCEEDED instead of executed.
+  Deadline deadline;
 };
+
+/// True for requests that do linkage work (the ones a draining server
+/// sheds).  Probes, stats, and snapshot/journal fetches pass.
+bool IsWorkRequest(const PendingRequest& req) {
+  if (req.is_http) return req.http.method == "POST";
+  switch (req.frame.type) {
+    case MsgType::kMatch:
+    case MsgType::kMatchAndInsert:
+    case MsgType::kInsert:
+      return true;
+    default:
+      return false;
+  }
+}
 
 enum class ConnMode { kUnknown, kBinary, kHttp };
 
@@ -70,6 +91,15 @@ struct Connection {
   std::string preamble;  // first bytes until the mode is known
   bool write_armed = false;
   Clock::time_point last_activity;
+  /// Armed by a kDeadline prefix frame, consumed by the next request
+  /// frame on this connection.
+  Deadline next_deadline;
+  /// Slow-loris tracking: when an *incomplete* request is buffered,
+  /// `partial_since` marks when its first byte arrived; the sweep reaps
+  /// the connection if completion takes longer than
+  /// request_progress_timeout_ms.
+  bool has_partial = false;
+  Clock::time_point partial_since;
 
   // Shared state.
   std::mutex mu;
@@ -100,6 +130,19 @@ struct NetServer::Impl {
   // Admission control: admitted-but-unanswered requests.
   std::atomic<size_t> queued{0};
 
+  // Graceful drain (see NetServer::Drain).
+  std::atomic<bool> draining{false};
+  std::mutex drain_mu;
+  std::condition_variable drain_cv;
+
+  // Queue drain rate, for Retry-After hints: FinishRequest bumps
+  // finished_total; the IO thread differentiates it about once a second
+  // and publishes a shed-retry hint derived from the current depth.
+  std::atomic<uint64_t> finished_total{0};
+  uint64_t rate_last_finished = 0;                // IO-thread only
+  Clock::time_point rate_last_time{};             // IO-thread only
+  std::atomic<uint32_t> retry_after_ms_hint{1000};
+
   // Worker job queue: connections with pending requests.
   std::mutex jobs_mu;
   std::condition_variable jobs_cv;
@@ -117,6 +160,7 @@ struct NetServer::Impl {
   telemetry::Gauge* t_active = nullptr;
   telemetry::Counter* t_requests = nullptr;
   telemetry::Counter* t_shed = nullptr;
+  telemetry::Counter* t_deadline_shed = nullptr;
   telemetry::Gauge* t_queue_depth = nullptr;
   telemetry::Histogram* t_latency = nullptr;
 
@@ -147,9 +191,22 @@ struct NetServer::Impl {
   /// complete request.  Returns false when the connection must close
   /// (protocol corruption / unparseable HTTP).
   bool IngestParsed(const std::shared_ptr<Connection>& conn);
-  void ShedBinary(const std::shared_ptr<Connection>& conn);
-  void ShedHttp(const std::shared_ptr<Connection>& conn, bool keep_alive);
+  /// Answers a request from the IO thread without queueing it (shed /
+  /// deadline-expired / draining).  retry_after_ms == 0 omits the hint.
+  void RejectBinary(const std::shared_ptr<Connection>& conn,
+                    const Status& status, uint32_t retry_after_ms);
+  void RejectHttp(const std::shared_ptr<Connection>& conn,
+                  const Status& status, bool keep_alive, int retry_after_s);
   void Dispatch(const std::shared_ptr<Connection>& conn);
+  /// IO-loop cadence: fast enough to enforce the shortest enabled
+  /// timeout with ~25% slack, capped at the 1s default.
+  int TickMs() const;
+  /// Re-derives the Retry-After hint from the observed completion rate
+  /// and current queue depth (IO thread, about once a second).
+  void UpdateDrainRate();
+  /// Wakes Drain() when the admitted-request count reaches zero.
+  void NoteQueueDrained();
+  bool DrainAll(int deadline_ms);
 
   // --- workers ------------------------------------------------------------
 
@@ -178,6 +235,8 @@ Status NetServer::Impl::Bind() {
   t_active = telemetry::Registry::Global().GetGauge("net_connections_active");
   t_requests = telemetry::Registry::Global().GetCounter("net_requests_total");
   t_shed = telemetry::Registry::Global().GetCounter("net_shed_total");
+  t_deadline_shed =
+      telemetry::Registry::Global().GetCounter("net_deadline_shed_total");
   t_queue_depth = telemetry::Registry::Global().GetGauge("net_queue_depth");
   t_latency = telemetry::Registry::Global().GetHistogram(
       "net_request_latency_us");
@@ -257,12 +316,25 @@ void NetServer::Impl::Wake() {
   (void)rc;  // EAGAIN just means a wakeup is already pending
 }
 
+int NetServer::Impl::TickMs() const {
+  int tick = kSweepIntervalMs;
+  if (options.idle_timeout_ms > 0) {
+    tick = std::min(tick, std::max(10, options.idle_timeout_ms / 4));
+  }
+  if (options.request_progress_timeout_ms > 0) {
+    tick = std::min(tick, std::max(10, options.request_progress_timeout_ms / 4));
+  }
+  return tick;
+}
+
 void NetServer::Impl::IoLoop() {
   std::vector<epoll_event> events(64);
+  const int tick_ms = TickMs();
   Clock::time_point last_sweep = Clock::now();
+  rate_last_time = last_sweep;
   while (!stopping.load(std::memory_order_acquire)) {
     int n = ::epoll_wait(epoll_fd, events.data(),
-                         static_cast<int>(events.size()), kSweepIntervalMs);
+                         static_cast<int>(events.size()), tick_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -296,10 +368,12 @@ void NetServer::Impl::IoLoop() {
         HandleWritable(conn);
       }
     }
-    if (options.idle_timeout_ms > 0 &&
-        Clock::now() - last_sweep >=
-            std::chrono::milliseconds(kSweepIntervalMs)) {
-      SweepIdle();
+    if (Clock::now() - last_sweep >= std::chrono::milliseconds(tick_ms)) {
+      UpdateDrainRate();
+      if (options.idle_timeout_ms > 0 ||
+          options.request_progress_timeout_ms > 0) {
+        SweepIdle();
+      }
       last_sweep = Clock::now();
     }
   }
@@ -393,7 +467,31 @@ void NetServer::Impl::HandleReadable(const std::shared_ptr<Connection>& conn) {
     return;
   }
   if (got_bytes) conn->last_activity = Clock::now();
-  if (!IngestParsed(conn)) CloseConnection(conn);
+  if (!IngestParsed(conn)) {
+    CloseConnection(conn);
+    return;
+  }
+  auto still = connections.find(conn->fd);
+  if (still == connections.end() || still->second != conn) return;
+  // Slow-loris accounting: a leftover *incomplete* request starts (or
+  // continues) the progress clock; a fully-consumed buffer clears it.
+  bool partial;
+  switch (conn->mode) {
+    case ConnMode::kBinary:
+      partial = conn->frame_decoder.buffered_bytes() > 0;
+      break;
+    case ConnMode::kHttp:
+      partial = conn->http_parser.buffered_bytes() > 0;
+      break;
+    default:
+      partial = !conn->preamble.empty();
+  }
+  if (partial && !conn->has_partial) {
+    conn->has_partial = true;
+    conn->partial_since = Clock::now();
+  } else if (!partial) {
+    conn->has_partial = false;
+  }
 }
 
 bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
@@ -413,6 +511,18 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
       FrameDecoder::Next next = conn->frame_decoder.Pop(&req.frame);
       if (next == FrameDecoder::Next::kNeedMore) break;
       if (next == FrameDecoder::Next::kCorrupt) return false;
+      if (req.frame.type == MsgType::kDeadline) {
+        // Not a request: arms a deadline for the next frame.  A
+        // malformed payload is protocol corruption — drop the stream.
+        uint32_t budget_ms = 0;
+        if (!DecodeDeadlinePayload(req.frame.payload, &budget_ms).ok()) {
+          return false;
+        }
+        conn->next_deadline = Deadline::AfterMs(budget_ms);
+        continue;
+      }
+      req.deadline = conn->next_deadline;
+      conn->next_deadline = Deadline::Infinite();
       req.is_http = false;
     } else {
       HttpParser::Next next = conn->http_parser.Pop(&req.http);
@@ -429,17 +539,51 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
         ArmWrite(conn, /*want_read=*/false);
         return true;  // keep open to flush the 400
       }
+      if (req.http.deadline_ms >= 0) {
+        req.deadline = Deadline::AfterMs(req.http.deadline_ms);
+      }
       req.is_http = true;
     }
-    // Admission control.
-    size_t depth = queued.load(std::memory_order_relaxed);
-    if (depth >= options.max_queue) {
-      t_shed->Add(1);
+    // Admission-time deadline check: work that is already expired (a
+    // zero budget, or parse-to-admission delay ate it) is answered
+    // DEADLINE_EXCEEDED without ever taking a queue slot.  Distinct
+    // from the 429 shed below — the queue may have had room.
+    if (req.deadline.Expired()) {
+      t_deadline_shed->Add(1);
+      const Status expired =
+          Status::DeadlineExceeded("deadline expired before admission");
       if (conn->mode == ConnMode::kBinary) {
-        ShedBinary(conn);
+        RejectBinary(conn, expired, 0);
         continue;
       }
-      ShedHttp(conn, req.http.keep_alive);
+      RejectHttp(conn, expired, req.http.keep_alive, 0);
+      if (!req.http.keep_alive) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->want_close = true;
+        break;
+      }
+      continue;
+    }
+    // Admission control: queue-full shed, and the drain-mode shed of
+    // new work (reads, probes and journal fetches still pass so health
+    // checks and replicas work through a drain).
+    const bool drain_shed =
+        draining.load(std::memory_order_acquire) && IsWorkRequest(req);
+    size_t depth = queued.load(std::memory_order_relaxed);
+    if (depth >= options.max_queue || drain_shed) {
+      t_shed->Add(1);
+      const Status shed =
+          drain_shed
+              ? Status::ResourceExhausted("server draining")
+              : Status::ResourceExhausted(
+                    "server overloaded: request queue full");
+      const uint32_t hint_ms = retry_after_ms_hint.load(std::memory_order_relaxed);
+      if (conn->mode == ConnMode::kBinary) {
+        RejectBinary(conn, shed, hint_ms);
+        continue;
+      }
+      RejectHttp(conn, shed, req.http.keep_alive,
+                 static_cast<int>((hint_ms + 999) / 1000));
       if (!req.http.keep_alive) {
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->want_close = true;
@@ -467,11 +611,11 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
   return true;
 }
 
-void NetServer::Impl::ShedBinary(const std::shared_ptr<Connection>& conn) {
+void NetServer::Impl::RejectBinary(const std::shared_ptr<Connection>& conn,
+                                   const Status& status,
+                                   uint32_t retry_after_ms) {
   std::string payload;
-  EncodeErrorPayload(
-      Status::ResourceExhausted("server overloaded: request queue full"),
-      &payload);
+  EncodeErrorPayload(status, retry_after_ms, &payload);
   std::string resp;
   EncodeFrame(MsgType::kError, payload, &resp);
   std::lock_guard<std::mutex> lock(conn->mu);
@@ -479,11 +623,12 @@ void NetServer::Impl::ShedBinary(const std::shared_ptr<Connection>& conn) {
   ArmWrite(conn, /*want_read=*/true);
 }
 
-void NetServer::Impl::ShedHttp(const std::shared_ptr<Connection>& conn,
-                               bool keep_alive) {
-  Status shed = Status::ResourceExhausted("server overloaded");
-  std::string resp =
-      HttpResponse(429, "application/json", StatusToJson(shed), keep_alive);
+void NetServer::Impl::RejectHttp(const std::shared_ptr<Connection>& conn,
+                                 const Status& status, bool keep_alive,
+                                 int retry_after_s) {
+  std::string resp = HttpResponse(HttpCodeFor(status), "application/json",
+                                  StatusToJson(status), keep_alive,
+                                  retry_after_s);
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->write_buf.append(resp);
   ArmWrite(conn, /*want_read=*/true);
@@ -572,6 +717,7 @@ void NetServer::Impl::CloseConnection(const std::shared_ptr<Connection>& conn) {
     queued.fetch_sub(dropped, std::memory_order_relaxed);
     t_queue_depth->Set(
         static_cast<double>(queued.load(std::memory_order_relaxed)));
+    NoteQueueDrained();
   }
   ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
@@ -580,18 +726,57 @@ void NetServer::Impl::CloseConnection(const std::shared_ptr<Connection>& conn) {
 }
 
 void NetServer::Impl::SweepIdle() {
-  const auto cutoff =
-      Clock::now() - std::chrono::milliseconds(options.idle_timeout_ms);
-  std::vector<std::shared_ptr<Connection>> idle;
+  const auto now = Clock::now();
+  const auto idle_cutoff =
+      now - std::chrono::milliseconds(options.idle_timeout_ms);
+  const auto progress_cutoff =
+      now - std::chrono::milliseconds(options.request_progress_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> doomed;
   for (auto& [fd, conn] : connections) {
+    // A trickling request is reaped on the progress clock no matter how
+    // recently its last byte arrived (each byte resets the idle clock,
+    // which is exactly the slow-loris hole).
+    if (options.request_progress_timeout_ms > 0 && conn->has_partial &&
+        conn->partial_since < progress_cutoff) {
+      doomed.push_back(conn);
+      continue;
+    }
+    if (options.idle_timeout_ms <= 0) continue;
     bool busy;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       busy = conn->in_worker || !conn->pending.empty();
     }
-    if (!busy && conn->last_activity < cutoff) idle.push_back(conn);
+    if (!busy && conn->last_activity < idle_cutoff) doomed.push_back(conn);
   }
-  for (auto& conn : idle) CloseConnection(conn);
+  for (auto& conn : doomed) CloseConnection(conn);
+}
+
+void NetServer::Impl::UpdateDrainRate() {
+  const auto now = Clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - rate_last_time).count();
+  if (dt < 0.5) return;
+  const uint64_t finished = finished_total.load(std::memory_order_relaxed);
+  const double rate = static_cast<double>(finished - rate_last_finished) / dt;
+  rate_last_finished = finished;
+  rate_last_time = now;
+  const double depth =
+      static_cast<double>(queued.load(std::memory_order_relaxed));
+  uint32_t hint_ms;
+  if (rate > 0.0) {
+    // Time to drain the current queue at the observed completion rate.
+    hint_ms = static_cast<uint32_t>(
+        std::min(30000.0, std::max(1000.0, 1000.0 * depth / rate)));
+  } else if (depth > 0.0) {
+    // Saturated and nothing completing: push retries out further each
+    // window, up to the cap.
+    hint_ms = std::min<uint32_t>(
+        30000, retry_after_ms_hint.load(std::memory_order_relaxed) * 2);
+  } else {
+    hint_ms = 1000;
+  }
+  retry_after_ms_hint.store(hint_ms, std::memory_order_relaxed);
 }
 
 // --- workers --------------------------------------------------------------
@@ -627,6 +812,7 @@ void NetServer::Impl::ProcessConnection(
         }
         t_queue_depth->Set(
             static_cast<double>(queued.load(std::memory_order_relaxed)));
+        NoteQueueDrained();
         return;
       }
       batch.reserve(conn->pending.size());
@@ -648,6 +834,7 @@ void NetServer::Impl::ProcessConnection(
     queued.fetch_sub(batch.size(), std::memory_order_relaxed);
     t_queue_depth->Set(
         static_cast<double>(queued.load(std::memory_order_relaxed)));
+    NoteQueueDrained();
     if (notify_io) {
       {
         std::lock_guard<std::mutex> lock(notify_mu);
@@ -667,6 +854,27 @@ void NetServer::Impl::ExecuteBatch(const std::shared_ptr<Connection>& conn,
   size_t i = 0;
   while (i < batch->size()) {
     const PendingRequest& req = (*batch)[i];
+    // Dequeue-time deadline check: the budget may have lapsed while the
+    // request sat behind others in the queue.  Answering is cheap;
+    // executing would burn worker time on an answer nobody is waiting
+    // for.
+    if (req.deadline.Expired()) {
+      t_deadline_shed->Add(1);
+      const Status expired =
+          Status::DeadlineExceeded("deadline expired in queue");
+      if (req.is_http) {
+        if (!req.http.keep_alive) *close_after = true;
+        out->append(HttpResponse(HttpCodeFor(expired), "application/json",
+                                 StatusToJson(expired), req.http.keep_alive));
+      } else {
+        std::string payload;
+        EncodeErrorPayload(expired, &payload);
+        EncodeFrame(MsgType::kError, payload, out);
+      }
+      FinishRequest(req);
+      ++i;
+      continue;
+    }
     if (!req.is_http && req.frame.type == MsgType::kMatch) {
       size_t consumed = HandleMatchRun(*batch, i, out);
       for (size_t k = 0; k < consumed; ++k) FinishRequest((*batch)[i + k]);
@@ -685,6 +893,7 @@ void NetServer::Impl::ExecuteBatch(const std::shared_ptr<Connection>& conn,
 
 void NetServer::Impl::FinishRequest(const PendingRequest& req) {
   t_requests->Add(1);
+  finished_total.fetch_add(1, std::memory_order_relaxed);
   t_latency->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           Clock::now() - req.admitted_at)
@@ -696,7 +905,10 @@ size_t NetServer::Impl::HandleMatchRun(const std::vector<PendingRequest>& batch,
   // Collect the run of consecutive binary kMatch frames.
   size_t end = begin;
   while (end < batch.size() && !batch[end].is_http &&
-         batch[end].frame.type == MsgType::kMatch) {
+         batch[end].frame.type == MsgType::kMatch &&
+         (end == begin || !batch[end].deadline.Expired())) {
+    // An expired frame ends the run; the dequeue-time check in
+    // ExecuteBatch answers it before the next run starts.
     ++end;
   }
   const size_t run = end - begin;
@@ -865,6 +1077,16 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
       out->append(HttpResponse(200, "text/plain", "ok\n", keep));
       return;
     }
+    if (http.target == "/readyz") {
+      // Liveness vs readiness: a draining server is alive (healthz 200)
+      // but must be taken out of rotation (readyz 503).
+      if (draining.load(std::memory_order_acquire)) {
+        out->append(HttpResponse(503, "text/plain", "draining\n", keep));
+      } else {
+        out->append(HttpResponse(200, "text/plain", "ok\n", keep));
+      }
+      return;
+    }
     if (http.target == "/metrics") {
       service->FillTelemetry();
       out->append(HttpResponse(
@@ -913,6 +1135,43 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
   out->append(HttpResponse(200, "application/json", PairsToJson(pairs), keep));
 }
 
+// --- drain ----------------------------------------------------------------
+
+void NetServer::Impl::NoteQueueDrained() {
+  if (!draining.load(std::memory_order_acquire)) return;
+  if (queued.load(std::memory_order_relaxed) != 0) return;
+  // Empty critical section: pairs with the wait in DrainAll so the
+  // notify cannot slip between its predicate check and its sleep.
+  { std::lock_guard<std::mutex> lock(drain_mu); }
+  drain_cv.notify_all();
+}
+
+bool NetServer::Impl::DrainAll(int deadline_ms) {
+  const Deadline deadline = Deadline::AfterMs(std::max(0, deadline_ms));
+  draining.store(true, std::memory_order_release);
+  // Stop accepting.  epoll_ctl is thread-safe against the IO thread's
+  // epoll_wait; the listener stays open (so the port stays reserved)
+  // but readiness events for it stop.
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(drain_mu);
+    drained = drain_cv.wait_for(
+        lock, std::chrono::milliseconds(deadline.RemainingMs()),
+        [this] { return queued.load(std::memory_order_relaxed) == 0; });
+  }
+  if (!drained) return false;
+  // The workers are done; give the IO thread a moment to flush the last
+  // response bytes to the sockets (bounded by what's left of the
+  // deadline — inserts are already journaled either way).
+  Wake();
+  const int64_t flush_ms = std::min<int64_t>(100, deadline.RemainingMs());
+  if (flush_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(flush_ms));
+  }
+  return true;
+}
+
 // --- NetServer ------------------------------------------------------------
 
 NetServer::NetServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -935,6 +1194,12 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(LinkageService* service,
 
 void NetServer::Shutdown() {
   if (impl_ != nullptr) impl_->ShutdownAll();
+}
+
+bool NetServer::Drain(int deadline_ms) { return impl_->DrainAll(deadline_ms); }
+
+bool NetServer::draining() const {
+  return impl_->draining.load(std::memory_order_acquire);
 }
 
 uint16_t NetServer::port() const { return impl_->bound_port; }

@@ -56,6 +56,12 @@ struct NetServerOptions {
   /// A connection with no socket activity for this long is closed.
   /// 0 disables the sweep.
   int idle_timeout_ms = 60000;
+  /// Slow-loris guard: once the first byte of a request has arrived,
+  /// the rest must follow within this window or the connection is
+  /// reaped — a peer trickling one header byte per idle-timeout can
+  /// otherwise hold a connection forever (each byte resets the idle
+  /// clock, but not this one).  0 disables the check.
+  int request_progress_timeout_ms = 10000;
   /// Read-only mode (warm standby): kInsert / kMatchAndInsert and their
   /// HTTP POSTs answer FailedPrecondition / 403.
   bool read_only = false;
@@ -77,6 +83,19 @@ class NetServer {
   /// Stops accepting, closes every connection, joins all threads.
   /// Idempotent.
   void Shutdown();
+
+  /// Graceful drain, the first half of a clean SIGTERM exit: stops
+  /// accepting new connections, flips /readyz to 503, sheds new *work*
+  /// requests (POSTs / binary match+insert — health probes and
+  /// snapshot/journal fetches still answer, so replicas keep converging
+  /// through a failover), and waits up to `deadline_ms` for every
+  /// already-admitted request to finish and flush.  Returns true when
+  /// the queue fully drained within the deadline.  Call Shutdown()
+  /// afterwards.  Idempotent.
+  bool Drain(int deadline_ms);
+
+  /// True once Drain() has started (readiness probes key off this).
+  bool draining() const;
 
   /// The bound port (the resolved one when options.port was 0).
   uint16_t port() const;

@@ -24,6 +24,7 @@
 #include "src/common/failpoint.h"
 #include "src/datagen/generators.h"
 #include "src/io/journal.h"
+#include "src/io/serialization.h"
 #include "src/net/client.h"
 #include "src/net/protocol.h"
 #include "src/net/replication.h"
@@ -497,6 +498,309 @@ TEST(NetServerTest, ReplicaFollowsPrimaryAndPromotes) {
   post_promotion.id = 801;
   EXPECT_TRUE(promoted->Insert(post_promotion).ok());
   EXPECT_TRUE(promoted->Contains(801));
+}
+
+/// Connects a raw TCP socket to 127.0.0.1:`port`; returns the fd or -1.
+int RawConnect(uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo("127.0.0.1", std::to_string(port).c_str(), &hints, &res) !=
+      0) {
+    return -1;
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd >= 0) {
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return fd;
+}
+
+bool RawSendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one reply frame off a raw socket (blocking, bounded by the
+/// socket's recv timeout).  Returns false on close/timeout.
+bool RawReadFrame(int fd, Frame* out) {
+  FrameDecoder decoder;
+  char buf[4096];
+  while (true) {
+    switch (decoder.Pop(out)) {
+      case FrameDecoder::Next::kFrame:
+        return true;
+      case FrameDecoder::Next::kCorrupt:
+        return false;
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+// Satellite (c): a slow-loris connection — bytes of a request trickling
+// in but never completing — must be reaped by the per-request progress
+// deadline even while it keeps "active" by sending a byte now and then.
+TEST(NetServerTest, SlowLorisPartialRequestIsReapedByProgressDeadline) {
+  NetServerOptions options;
+  options.request_progress_timeout_ms = 150;
+  ServingFixture f = ServingFixture::Start(2, options);
+
+  const int fd = RawConnect(f.server->port());
+  ASSERT_GE(fd, 0);
+  // A frame header promising a payload that never arrives, topped up
+  // with one stray byte to defeat any idle-only sweep.
+  std::string frame(kBinaryPreamble, sizeof(kBinaryPreamble));
+  EncodeFrame(MsgType::kPing, std::string(100, 'x'), &frame);
+  ASSERT_TRUE(RawSendAll(fd, frame.substr(0, 10)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_TRUE(RawSendAll(fd, frame.substr(10, 1)));
+
+  // The server must close the connection once the request has been
+  // partial for longer than the progress deadline.
+  char buf[64];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_LE(n, 0);
+  ::close(fd);
+
+  // And the server itself is unharmed.
+  Result<std::unique_ptr<NetClient>> fresh =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh.value()->Ping().ok());
+}
+
+// Deadline propagation, admission side: an HTTP request whose deadline
+// has already expired is shed with 504, never queued.
+TEST(NetServerTest, ExpiredHttpDeadlineIsShedWith504) {
+  ServingFixture f = ServingFixture::Start(2);
+  const std::string response = HttpExchange(
+      f.server->port(),
+      "POST /match HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+      "X-Deadline-Ms: 0\r\nContent-Length: 2\r\n\r\n{}");
+  EXPECT_NE(response.find("504"), std::string::npos) << response;
+  EXPECT_NE(response.find("eadline"), std::string::npos) << response;
+}
+
+// Deadline propagation, dequeue side: a request that waited out its
+// budget in the admission queue is answered DEADLINE_EXCEEDED by the
+// worker instead of being executed.
+TEST(NetServerTest, QueuedRequestPastItsDeadlineIsShedAtDequeue) {
+  NetServerOptions options;
+  options.num_workers = 1;
+  ServingFixture f = ServingFixture::Start(4, options);
+
+  // Pin the single worker for ~400ms.
+  Failpoints::Activate("index.collect", FailpointAction::kDelay, 400);
+  std::thread pinner([&] {
+    Result<std::unique_ptr<NetClient>> client =
+        NetClient::Connect("127.0.0.1", f.server->port());
+    ASSERT_TRUE(client.ok());
+    std::vector<IdPair> pairs;
+    Record q = f.records[0];
+    q.id = 900;
+    EXPECT_TRUE(client.value()->Match(q, &pairs).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A second request with a 50ms budget queues behind the pinned batch
+  // and expires there.  Raw frames so OUR read has no local deadline.
+  const int fd = RawConnect(f.server->port());
+  ASSERT_GE(fd, 0);
+  std::string wire(kBinaryPreamble, sizeof(kBinaryPreamble));
+  std::string payload;
+  EncodeDeadlinePayload(50, &payload);
+  EncodeFrame(MsgType::kDeadline, payload, &wire);
+  Record q = f.records[1];
+  q.id = 901;
+  payload.clear();
+  WireEncodeRecord(q, &payload);
+  EncodeFrame(MsgType::kMatch, payload, &wire);
+  ASSERT_TRUE(RawSendAll(fd, wire));
+
+  Frame reply;
+  ASSERT_TRUE(RawReadFrame(fd, &reply));
+  EXPECT_EQ(reply.type, MsgType::kError);
+  Status carried = Status::OK();
+  ASSERT_TRUE(DecodeErrorPayload(reply.payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kDeadlineExceeded)
+      << carried.ToString();
+  ::close(fd);
+  pinner.join();
+  Failpoints::DeactivateAll();
+}
+
+// Graceful drain: /readyz flips to 503, new work requests are shed with
+// 429, admitted work finishes, and Drain() then reports success.
+TEST(NetServerTest, DrainFailsReadinessShedsNewWorkAndFinishesAdmitted) {
+  NetServerOptions options;
+  options.num_workers = 1;
+  ServingFixture f = ServingFixture::Start(4, options);
+
+  EXPECT_NE(HttpGet(f.server->port(), "/readyz").find("200"),
+            std::string::npos);
+
+  // Pre-open connections, and exchange one request on each BEFORE the
+  // drain: connect() returning only proves the kernel backlog took the
+  // handshake, and a draining server stops accepting — a never-accepted
+  // fd would hang unanswered.  (Done before the failpoint pins the
+  // single worker, so these exchanges return immediately.)
+  const int probe_fd = RawConnect(f.server->port());
+  const int work_fd = RawConnect(f.server->port());
+  ASSERT_GE(probe_fd, 0);
+  ASSERT_GE(work_fd, 0);
+  {
+    std::string preamble_ping(kBinaryPreamble, sizeof(kBinaryPreamble));
+    EncodeFrame(MsgType::kPing, {}, &preamble_ping);
+    ASSERT_TRUE(RawSendAll(work_fd, preamble_ping));
+    Frame pong;
+    ASSERT_TRUE(RawReadFrame(work_fd, &pong));
+    ASSERT_EQ(pong.type, MsgType::kPong);
+  }
+  ASSERT_TRUE(RawSendAll(probe_fd,
+                         "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n"));
+  {
+    // One keep-alive response; readiness still 200 before the drain.
+    std::string ready;
+    char buf[4096];
+    while (ready.find("\r\n\r\nok\n") == std::string::npos) {
+      const ssize_t n = ::recv(probe_fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      ready.append(buf, static_cast<size_t>(n));
+    }
+    EXPECT_NE(ready.find("200"), std::string::npos) << ready;
+  }
+
+  Failpoints::Activate("index.collect", FailpointAction::kDelay, 400);
+  std::atomic<bool> match_ok{false};
+  std::thread pinner([&] {
+    Result<std::unique_ptr<NetClient>> client =
+        NetClient::Connect("127.0.0.1", f.server->port());
+    ASSERT_TRUE(client.ok());
+    std::vector<IdPair> pairs;
+    Record q = f.records[0];
+    q.id = 910;
+    match_ok.store(client.value()->Match(q, &pairs).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] { drained.store(f.server->Drain(5000)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(f.server->draining());
+
+  // Probes still answer — with failed readiness.
+  ASSERT_TRUE(RawSendAll(probe_fd,
+                         "GET /readyz HTTP/1.1\r\nHost: t\r\n"
+                         "Connection: close\r\n\r\n"));
+  std::string probe_response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(probe_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    probe_response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(probe_fd);
+  EXPECT_NE(probe_response.find("503"), std::string::npos) << probe_response;
+
+  // New work is refused while draining (the connection already sent its
+  // preamble with the pre-drain ping).
+  std::string wire;
+  std::string payload;
+  Record q = f.records[1];
+  q.id = 911;
+  WireEncodeRecord(q, &payload);
+  EncodeFrame(MsgType::kMatch, payload, &wire);
+  ASSERT_TRUE(RawSendAll(work_fd, wire));
+  Frame reply;
+  ASSERT_TRUE(RawReadFrame(work_fd, &reply));
+  EXPECT_EQ(reply.type, MsgType::kError);
+  Status carried = Status::OK();
+  ASSERT_TRUE(DecodeErrorPayload(reply.payload, &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kResourceExhausted)
+      << carried.ToString();
+  ::close(work_fd);
+
+  drainer.join();
+  pinner.join();
+  EXPECT_TRUE(drained.load());   // admitted work finished in time
+  EXPECT_TRUE(match_ok.load());  // and was answered, not dropped
+  Failpoints::DeactivateAll();
+}
+
+// Satellite (a): Replica::Stop() must return promptly even when the
+// follow thread is deep in a long poll wait (regression: it used to
+// sleep the full poll_interval_ms in one blind sleep).
+TEST(NetServerTest, ReplicaStopReturnsPromptlyDuringLongPollWait) {
+  ServingFixture f = ServingFixture::Start(6);
+  const std::string journal_path = TempPath("net_replica_stop.cbvj");
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    f.service->AttachJournal(std::move(journal.value()));
+  }
+  ReplicaOptions options;
+  options.primary_port = f.server->port();
+  options.poll_interval_ms = 60 * 1000;  // would stall Stop for a minute
+  Result<std::unique_ptr<Replica>> replica = Replica::Start(options);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+  // Let the follow thread reach its caught-up wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const auto begin = std::chrono::steady_clock::now();
+  replica.value()->Stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+  EXPECT_LT(elapsed, 1000) << "Stop took " << elapsed << "ms";
+}
+
+// ...and equally promptly while backing off from a dead primary.
+TEST(NetServerTest, ReplicaStopReturnsPromptlyWhileBackingOff) {
+  ServingFixture f = ServingFixture::Start(6);
+  const std::string journal_path = TempPath("net_replica_stop2.cbvj");
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(journal_path);
+    ASSERT_TRUE(journal.ok());
+    f.service->AttachJournal(std::move(journal.value()));
+  }
+  ReplicaOptions options;
+  options.primary_port = f.server->port();
+  options.poll_interval_ms = 20;
+  options.connect_timeout_ms = 200;
+  options.io_timeout_ms = 200;
+  options.failure_backoff.base_ms = 10 * 1000;  // long failure waits
+  Result<std::unique_ptr<Replica>> replica = Replica::Start(options);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+
+  f.server->Shutdown();  // primary dies; the follower starts failing
+  ASSERT_TRUE(WaitUntil([&] {
+    return replica.value()->progress().consecutive_failures > 0;
+  }));
+
+  const auto begin = std::chrono::steady_clock::now();
+  replica.value()->Stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count();
+  EXPECT_LT(elapsed, 2000) << "Stop took " << elapsed << "ms";
 }
 
 TEST(NetServerTest, IdleConnectionsAreSweptAfterTheTimeout) {

@@ -1,0 +1,157 @@
+// cbvlink_faultproxy: a toxiproxy-style TCP fault-injection proxy for
+// chaos drills against cbvlink_serve.  Point clients (or a replica) at
+// the proxy's listen port; it forwards to --upstream while applying the
+// configured faults in both directions.
+//
+// Usage:
+//   cbvlink_faultproxy --upstream HOST:PORT [--listen HOST:PORT]
+//                      [--faults SPEC]
+//
+// SPEC uses the failpoint-style grammar (also read from the
+// CBVLINK_FAULTS environment variable when --faults is absent):
+//   latency=MS;jitter=MS;bandwidth=BPS;slice=BYTES;corrupt=PPM;
+//   reset_after=BYTES;blackhole=0|1;seed=N
+//
+// e.g. --faults 'latency=5;jitter=2'        slow link
+//      --faults 'slice=1'                    1-byte slicer
+//      --faults 'corrupt=1000'               ~0.1% of bytes bit-flipped
+//      --faults 'reset_after=4096'           RST each conn after 4 KiB
+//      --faults 'blackhole=1'                partition (bytes held)
+//
+// Runtime signals:
+//   SIGUSR1  toggle blackhole (partition / heal)
+//   SIGUSR2  RST every active proxied connection
+//   SIGTERM/SIGINT  shut down
+//
+// Prints "proxying on HOST:PORT -> HOST:PORT" to stderr once bound, so
+// scripts can scrape the ephemeral port like they do for cbvlink_serve.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+#include "src/common/status.h"
+#include "src/net/client.h"
+#include "src/net/faultproxy.h"
+#include "src/net/protocol.h"
+
+namespace cbvlink {
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+std::sig_atomic_t g_toggle_blackhole = 0;
+std::sig_atomic_t g_reset_conns = 0;
+
+void OnStop(int) { g_stop = 1; }
+void OnUsr1(int) { g_toggle_blackhole = 1; }
+void OnUsr2(int) { g_reset_conns = 1; }
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: cbvlink_faultproxy --upstream HOST:PORT\n"
+               "  [--listen HOST:PORT (default 127.0.0.1:0)]\n"
+               "  [--faults 'latency=MS;jitter=MS;bandwidth=BPS;slice=BYTES;"
+               "corrupt=PPM;reset_after=BYTES;blackhole=0|1;seed=N']\n"
+               "  (or CBVLINK_FAULTS env)\n"
+               "signals: SIGUSR1 toggle blackhole, SIGUSR2 reset all conns\n");
+}
+
+int RunMain(int argc, char** argv) {
+  std::string upstream;
+  std::string listen = "127.0.0.1:0";
+  std::string faults_spec;
+  bool have_spec = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--upstream") {
+      const char* v = next();
+      if (!v) { Usage(); return 2; }
+      upstream = v;
+    } else if (flag == "--listen") {
+      const char* v = next();
+      if (!v) { Usage(); return 2; }
+      listen = v;
+    } else if (flag == "--faults") {
+      const char* v = next();
+      if (!v) { Usage(); return 2; }
+      faults_spec = v;
+      have_spec = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (upstream.empty()) {
+    Usage();
+    return 2;
+  }
+  if (!have_spec) {
+    const char* env = std::getenv("CBVLINK_FAULTS");
+    if (env != nullptr) faults_spec = env;
+  }
+
+  std::string up_host, listen_host;
+  uint16_t up_port = 0, listen_port = 0;
+  Status st = net::ParseHostPort(upstream, &up_host, &up_port);
+  if (st.ok()) st = net::ParseHostPort(listen, &listen_host, &listen_port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  auto proxy = net::FaultProxy::Start(up_host, up_port, listen_port,
+                                      listen_host);
+  if (!proxy.ok()) {
+    std::fprintf(stderr, "start: %s\n", proxy.status().ToString().c_str());
+    return 1;
+  }
+  if (!faults_spec.empty()) {
+    st = proxy.value()->faults().Parse(faults_spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--faults: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGTERM, OnStop);
+  std::signal(SIGINT, OnStop);
+  std::signal(SIGUSR1, OnUsr1);
+  std::signal(SIGUSR2, OnUsr2);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr, "proxying on %s:%u -> %s:%u\n", listen_host.c_str(),
+               proxy.value()->port(), up_host.c_str(), up_port);
+
+  while (!g_stop) {
+    if (g_toggle_blackhole) {
+      g_toggle_blackhole = 0;
+      net::FaultSpec& faults = proxy.value()->faults();
+      const bool now = !faults.blackhole.load();
+      faults.blackhole.store(now);
+      std::fprintf(stderr, "blackhole=%d\n", now ? 1 : 0);
+    }
+    if (g_reset_conns) {
+      g_reset_conns = 0;
+      proxy.value()->ResetAllConnections();
+      std::fprintf(stderr, "reset all connections\n");
+    }
+    ::usleep(50 * 1000);
+  }
+  proxy.value()->Shutdown();
+  std::fprintf(stderr, "forwarded %llu bytes\n",
+               static_cast<unsigned long long>(
+                   proxy.value()->forwarded_bytes()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main(int argc, char** argv) { return cbvlink::RunMain(argc, argv); }

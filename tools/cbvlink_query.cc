@@ -28,13 +28,23 @@
 //   --allow-shed           shed (429/RESOURCE_EXHAUSTED) replies are
 //                          tolerated instead of failing the run
 //   --timeout-ms N         per-call IO timeout (default 30000)
+//   --retries N            retry each operation up to N extra times on
+//                          shed / transport error, with capped
+//                          exponential backoff honoring Retry-After
+//                          (binary mode, sequential ops only)
+//   --deadline-ms N        overall per-operation deadline, propagated
+//                          to the server (kDeadline frame prefix /
+//                          X-Deadline-Ms header) and bounding retries
 //
-// Exit codes mirror cbvlink_serve: 0 success, 1 runtime/request error,
+// Exit codes mirror cbvlink_serve: 0 success, 1 runtime/request error
+// (including shed without --allow-shed and deadline-exceeded replies),
 // 2 usage error, 3 success but some CSV rows were malformed and skipped
-// (the network-mode twin of the serve exit-3 contract).  Shed replies
-// exit 1 unless --allow-shed; the summary line always reports
-// "ok=N shed=N error=N" so the smoke job can assert a burst actually
-// shed without parsing exit codes.
+// (the network-mode twin of the serve exit-3 contract).  The summary
+// line always reports "ok=N shed=N deadline=N error=N" — shed is
+// 429/RESOURCE_EXHAUSTED, deadline is 504/DEADLINE_EXCEEDED, error is
+// transport or other failures — so the smoke job can assert a burst
+// actually shed (or a drill actually timed out) without parsing exit
+// codes.
 
 #include <netdb.h>
 #include <sys/socket.h>
@@ -44,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +84,8 @@ struct Args {
   std::string out_path;
   bool allow_shed = false;
   int timeout_ms = 30000;
+  int retries = 0;
+  int64_t deadline_ms = 0;
 };
 
 void Usage() {
@@ -82,7 +95,18 @@ void Usage() {
       "  (--ping | --stats | --record \"F1,F2,...\" [--id N] [--op OP]\n"
       "   [--burst N] | --queries FILE [--insert])\n"
       "  [--id-column NAME] [--first-auto-id N] [--out FILE]\n"
-      "  [--allow-shed] [--timeout-ms N]\n");
+      "  [--allow-shed] [--timeout-ms N] [--retries N] [--deadline-ms N]\n"
+      "\n"
+      "--retries N      retry shed/transport failures up to N extra times\n"
+      "                 (binary mode; capped exponential backoff + jitter,\n"
+      "                 honors server Retry-After hints)\n"
+      "--deadline-ms N  per-operation deadline, propagated to the server\n"
+      "                 and bounding the whole retry budget\n"
+      "\n"
+      "exit codes: 0 success; 1 request/transport error, shed without\n"
+      "  --allow-shed, or deadline exceeded; 2 usage error; 3 success but\n"
+      "  malformed CSV rows were skipped.  stderr summary line:\n"
+      "  \"summary: ok=N shed=N deadline=N error=N skipped_rows=N\"\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -144,6 +168,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->timeout_ms = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (flag == "--retries") {
+      const char* v = next();
+      if (!v) return false;
+      args->retries = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (args->retries < 0) args->retries = 0;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      args->deadline_ms = std::strtoll(v, nullptr, 10);
+      if (args->deadline_ms < 0) args->deadline_ms = 0;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -169,10 +203,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-/// Outcome tally for the summary line the smoke job greps.
+/// Outcome tally for the summary line the smoke job greps.  Sheds
+/// (overload), deadline-exceeded (the server or the retry budget gave
+/// up), and transport/other errors are distinct failure modes and are
+/// counted separately.
 struct Tally {
   size_t ok = 0;
   size_t shed = 0;
+  size_t deadline = 0;
   size_t error = 0;
 
   void Count(const Status& status) {
@@ -180,6 +218,8 @@ struct Tally {
       ++ok;
     } else if (status.code() == StatusCode::kResourceExhausted) {
       ++shed;
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline;
     } else {
       ++error;
     }
@@ -227,12 +267,18 @@ class HttpClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  /// One keep-alive request; fills `*code` and `*body`.
+  /// One keep-alive request; fills `*code` and `*body`.  A positive
+  /// `deadline_ms` is propagated as the X-Deadline-Ms header.
   Status Call(const std::string& method, const std::string& target,
-              const std::string& body, int* code, std::string* resp_body) {
+              const std::string& body, int* code, std::string* resp_body,
+              int64_t deadline_ms = 0) {
     std::string req = StrFormat(
         "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %zu\r\n", method.c_str(),
         target.c_str(), host_.c_str(), body.size());
+    if (deadline_ms > 0) {
+      req += StrFormat("X-Deadline-Ms: %lld\r\n",
+                       static_cast<long long>(deadline_ms));
+    }
     if (!body.empty()) req += "Content-Type: application/json\r\n";
     req += "\r\n";
     req += body;
@@ -303,6 +349,8 @@ Status StatusFromHttp(int code, const std::string& body) {
   if (code == 200) return Status::OK();
   if (code == 429)
     return Status::ResourceExhausted(StrFormat("HTTP 429: %s", body.c_str()));
+  if (code == 504)
+    return Status::DeadlineExceeded(StrFormat("HTTP 504: %s", body.c_str()));
   return Status::IOError(StrFormat("HTTP %d: %s", code, body.c_str()));
 }
 
@@ -384,7 +432,11 @@ int RunMain(int argc, char** argv) {
   uint64_t skipped_rows = 0;
 
   const bool http = args.mode == "http";
+  // Retries only apply to sequential binary ops: HTTP mode and the
+  // pipelined burst keep their single-shot semantics.
+  const bool use_retry = !http && args.retries > 0 && args.burst <= 1;
   std::unique_ptr<net::NetClient> bin;
+  std::unique_ptr<net::RetryingClient> rbin;
   std::unique_ptr<HttpClient> web;
   if (http) {
     Result<std::unique_ptr<HttpClient>> connected =
@@ -396,6 +448,15 @@ int RunMain(int argc, char** argv) {
       return 1;
     }
     web = std::move(connected).value();
+  } else if (use_retry) {
+    net::RetryPolicy policy;
+    policy.max_attempts = args.retries + 1;
+    policy.per_attempt_timeout_ms = args.timeout_ms;
+    policy.total_timeout_ms = static_cast<int>(args.deadline_ms);
+    net::NetClientOptions client_options;
+    client_options.io_timeout_ms = args.timeout_ms;
+    rbin = std::make_unique<net::RetryingClient>(host, port, policy,
+                                                 client_options);
   } else {
     net::NetClientOptions client_options;
     client_options.io_timeout_ms = args.timeout_ms;
@@ -409,6 +470,12 @@ int RunMain(int argc, char** argv) {
     }
     bin = std::move(connected).value();
   }
+  // Per-operation deadline (infinite when unset); RetryingClient carries
+  // it through policy.total_timeout_ms instead.
+  const auto op_deadline = [&]() -> Deadline {
+    return args.deadline_ms > 0 ? Deadline::AfterMs(args.deadline_ms)
+                                : Deadline();
+  };
 
   // One record operation in the selected mode; pairs (if any) go to out.
   const auto run_op = [&](const std::string& op,
@@ -419,16 +486,24 @@ int RunMain(int argc, char** argv) {
       int code = 0;
       std::string body;
       st = web->Call("POST", StrFormat("/%s", op.c_str()),
-                     RecordToJson(record), &code, &body);
+                     RecordToJson(record), &code, &body, args.deadline_ms);
       if (st.ok()) st = StatusFromHttp(code, body);
       if (st.ok() && op != "insert") pairs = PairsFromJson(body);
+    } else if (rbin != nullptr) {
+      if (op == "match") {
+        st = rbin->Match(record, &pairs);
+      } else if (op == "insert") {
+        st = rbin->Insert(record);
+      } else {
+        st = rbin->MatchAndInsert(record, &pairs);
+      }
     } else {
       if (op == "match") {
-        st = bin->Match(record, &pairs);
+        st = bin->Match(record, &pairs, op_deadline());
       } else if (op == "insert") {
-        st = bin->Insert(record);
+        st = bin->Insert(record, op_deadline());
       } else {
-        st = bin->MatchAndInsert(record, &pairs);
+        st = bin->MatchAndInsert(record, &pairs, op_deadline());
       }
     }
     if (st.ok()) PrintPairs(out, pairs);
@@ -440,10 +515,12 @@ int RunMain(int argc, char** argv) {
     if (http) {
       int code = 0;
       std::string body;
-      st = web->Call("GET", "/healthz", "", &code, &body);
+      st = web->Call("GET", "/healthz", "", &code, &body, args.deadline_ms);
       if (st.ok()) st = StatusFromHttp(code, body);
+    } else if (rbin != nullptr) {
+      st = rbin->Ping();
     } else {
-      st = bin->Ping();
+      st = bin->Ping(op_deadline());
     }
     tally.Count(st);
     if (!st.ok()) std::fprintf(stderr, "ping: %s\n", st.ToString().c_str());
@@ -452,10 +529,12 @@ int RunMain(int argc, char** argv) {
     Status st;
     if (http) {
       int code = 0;
-      st = web->Call("GET", "/stats", "", &code, &json);
+      st = web->Call("GET", "/stats", "", &code, &json, args.deadline_ms);
       if (st.ok()) st = StatusFromHttp(code, json);
+    } else if (rbin != nullptr) {
+      st = rbin->Stats(&json);
     } else {
-      st = bin->Stats(&json);
+      st = bin->Stats(&json, op_deadline());
     }
     tally.Count(st);
     if (st.ok()) {
@@ -556,10 +635,24 @@ int RunMain(int argc, char** argv) {
   }
 
   close_out();
-  std::fprintf(stderr, "summary: ok=%zu shed=%zu error=%zu skipped_rows=%llu\n",
-               tally.ok, tally.shed, tally.error,
+  std::fprintf(stderr,
+               "summary: ok=%zu shed=%zu deadline=%zu error=%zu "
+               "skipped_rows=%llu\n",
+               tally.ok, tally.shed, tally.deadline, tally.error,
                static_cast<unsigned long long>(skipped_rows));
-  if (tally.error > 0) return 1;
+  if (rbin != nullptr) {
+    const net::RetryingClient::Counters& c = rbin->counters();
+    std::fprintf(stderr,
+                 "retries: attempts=%llu retries=%llu reconnects=%llu "
+                 "sheds_seen=%llu deadline_seen=%llu transport_errors=%llu\n",
+                 static_cast<unsigned long long>(c.attempts),
+                 static_cast<unsigned long long>(c.retries),
+                 static_cast<unsigned long long>(c.reconnects),
+                 static_cast<unsigned long long>(c.sheds_seen),
+                 static_cast<unsigned long long>(c.deadline_seen),
+                 static_cast<unsigned long long>(c.transport_errors));
+  }
+  if (tally.error > 0 || tally.deadline > 0) return 1;
   if (tally.shed > 0 && !args.allow_shed) return 1;
   if (skipped_rows > 0) {
     std::fprintf(stderr,

@@ -133,6 +133,7 @@ struct Args {
   size_t queue_cap = 256;
   size_t max_conns = 1024;
   size_t idle_timeout_sec = 60;
+  size_t drain_deadline_ms = 5000;
 };
 
 /// SIGINT/SIGTERM latch for the --listen wait loop.
@@ -241,7 +242,7 @@ void Usage() {
                "  [--listen [ADDR:]PORT] [--journal FILE] "
                "[--fsync always|none|N]\n"
                "  [--queue-cap N] [--max-conns N] [--idle-timeout SEC]\n"
-               "  [--follow HOST:PORT]\n");
+               "  [--drain-deadline-ms N] [--follow HOST:PORT]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -341,6 +342,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!next_size(&args->max_conns)) return false;
     } else if (flag == "--idle-timeout") {
       if (!next_size(&args->idle_timeout_sec)) return false;
+    } else if (flag == "--drain-deadline-ms") {
+      if (!next_size(&args->drain_deadline_ms)) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -448,7 +451,10 @@ int RunStandby(const Args& args) {
   }
   const int sig = WaitForSignal();
   std::fprintf(stderr, "signal %d: shutting down standby\n", sig);
-  if (server != nullptr) server->Shutdown();
+  if (server != nullptr) {
+    server->Drain(static_cast<int>(args.drain_deadline_ms));
+    server->Shutdown();
+  }
   const net::ReplicaProgress progress = replica.value()->progress();
   std::fprintf(stderr,
                "standby: epoch=%llu applied_offset=%llu lag_bytes=%llu "
@@ -688,8 +694,23 @@ int RunMain(int argc, char** argv) {
         StartServer(service.get(), args, /*read_only=*/false);
     if (server == nullptr) return 1;
     const int sig = WaitForSignal();
-    std::fprintf(stderr, "signal %d: shutting down server\n", sig);
+    // Graceful drain: stop accepting, fail readiness, shed new work but
+    // let admitted requests finish within the drain deadline.
+    std::fprintf(stderr, "signal %d: draining server\n", sig);
+    const bool drained =
+        server->Drain(static_cast<int>(args.drain_deadline_ms));
+    std::fprintf(stderr, "drain %s\n",
+                 drained ? "complete" : "deadline expired");
     server->Shutdown();
+    // Final durability point: every insert acked before shutdown must be
+    // on disk even under --fsync none/N.
+    if (service->journal() != nullptr) {
+      const Status synced = service->journal()->Sync();
+      if (!synced.ok()) {
+        std::fprintf(stderr, "final journal sync: %s\n",
+                     synced.ToString().c_str());
+      }
+    }
   }
   const double serve_seconds = serve_watch.ElapsedSeconds();
   if (reporter.has_value()) reporter->Stop();
