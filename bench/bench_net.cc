@@ -25,6 +25,8 @@
 #include "src/net/protocol.h"
 #include "src/net/server.h"
 #include "src/service/linkage_service.h"
+#include "src/telemetry/trace.h"
+#include "src/telemetry/trace_sink.h"
 
 namespace cbvlink {
 namespace {
@@ -216,6 +218,85 @@ void Run() {
                 rate, rate / base_rate);
     series.emplace_back("pipelined.query_rate", rate);
     series.emplace_back("pipelined.speedup_vs_sync", rate / base_rate);
+  }
+
+  // --- Server-side stage breakdown ----------------------------------------
+  // A second, TRACED server over the same service (the throughput
+  // sections above stay untraced, so their numbers price the disabled
+  // fast path).  One synchronous client sends traced matches and
+  // collects the kServerTiming per-stage durations the server attaches;
+  // p50/p99 per stage shows where a request's microseconds go
+  // (queue wait vs candidate generation vs comparison vs journal).
+  {
+    telemetry::TraceSinkOptions sink_options;
+    sink_options.capacity = 256;
+    sink_options.sample_every = 1;
+    sink_options.slow_threshold_us = 0;
+    telemetry::TraceSink sink(sink_options);
+    net::NetServerOptions traced_options;
+    traced_options.max_queue = queries.size() + 64;
+    traced_options.trace_sink = &sink;
+    Result<std::unique_ptr<net::NetServer>> traced_server =
+        net::NetServer::Start(service.value().get(), traced_options);
+    bench::DieOnError(
+        traced_server.ok() ? Status::OK() : traced_server.status(),
+        "traced server");
+    Result<std::unique_ptr<net::NetClient>> client =
+        net::NetClient::Connect("127.0.0.1", traced_server.value()->port());
+    bench::DieOnError(client.ok() ? Status::OK() : client.status(),
+                      "traced client");
+
+    constexpr net::TimingStage kStages[] = {
+        net::TimingStage::kQueue,     net::TimingStage::kEncode,
+        net::TimingStage::kCandidates, net::TimingStage::kCompare,
+        net::TimingStage::kInsert,    net::TimingStage::kJournal,
+        net::TimingStage::kTotal};
+    constexpr size_t kNumStages = sizeof(kStages) / sizeof(kStages[0]);
+    std::vector<std::vector<double>> stage_us(kNumStages);
+    const size_t stage_queries = std::min<size_t>(queries.size(), 1000);
+    size_t missing_timings = 0;
+    std::vector<IdPair> pairs;
+    for (size_t i = 0; i < stage_queries; ++i) {
+      client.value()->set_trace(telemetry::GenerateTraceId());
+      pairs.clear();
+      bench::DieOnError(client.value()->Match(queries[i], &pairs),
+                        "traced match");
+      const std::vector<net::StageTiming>& stages =
+          client.value()->last_server_timing();
+      if (stages.empty()) {
+        ++missing_timings;
+        continue;
+      }
+      for (const net::StageTiming& timing : stages) {
+        const size_t index = static_cast<size_t>(timing.stage);
+        if (index < kNumStages) {
+          stage_us[index].push_back(static_cast<double>(timing.dur_us));
+        }
+      }
+    }
+    traced_server.value()->Shutdown();
+    if (missing_timings == stage_queries) {
+      std::fprintf(stderr,
+                   "FATAL: traced server attached no kServerTiming frames\n");
+      std::exit(1);
+    }
+
+    std::printf("\nServer-side stage breakdown (traced server, %zu queries, "
+                "%llu captured traces):\n",
+                stage_queries - missing_timings,
+                static_cast<unsigned long long>(sink.captured()));
+    std::printf("%-12s %11s %11s\n", "stage", "p50(us)", "p99(us)");
+    for (size_t s = 0; s < kNumStages; ++s) {
+      std::sort(stage_us[s].begin(), stage_us[s].end());
+      const double p50 = PercentileMicros(&stage_us[s], 0.50);
+      const double p99 = PercentileMicros(&stage_us[s], 0.99);
+      const char* name = net::TimingStageName(kStages[s]);
+      std::printf("%-12s %11.1f %11.1f\n", name, p50, p99);
+      series.emplace_back(StrFormat("stage.%s_p50_us", name), p50);
+      series.emplace_back(StrFormat("stage.%s_p99_us", name), p99);
+    }
+    series.emplace_back("stage.samples",
+                        static_cast<double>(stage_queries - missing_timings));
   }
 
   bench::EmitBenchJson("BENCH_net.json", series);

@@ -165,11 +165,33 @@ void NetClient::ApplyTimeouts(int ms) {
   SetTimeoutOrClear(fd_, SO_RCVTIMEO, ms);
 }
 
+void NetClient::AppendTracePrefix(std::string* wire) const {
+  if (trace_id_ == 0) return;
+  std::string payload;
+  EncodeTraceContextPayload(trace_id_, trace_parent_span_id_, &payload);
+  EncodeFrame(MsgType::kTraceContext, payload, wire);
+}
+
+Status NetClient::ReadReply(Frame* reply) {
+  while (true) {
+    CBVLINK_RETURN_NOT_OK(ReadFrame(reply));
+    if (reply->type != MsgType::kServerTiming) return Status::OK();
+    // Annotation frame ahead of the real reply; stash and keep reading.
+    uint64_t id = 0;
+    std::vector<StageTiming> stages;
+    if (DecodeServerTimingPayload(reply->payload, &id, &stages).ok()) {
+      last_server_timing_ = std::move(stages);
+      last_server_timing_trace_id_ = id;
+    }
+  }
+}
+
 Status NetClient::Call(MsgType type, std::string_view payload, Frame* reply) {
   std::string wire;
+  AppendTracePrefix(&wire);
   EncodeFrame(type, payload, &wire);
   CBVLINK_RETURN_NOT_OK(SendAll(wire));
-  return ReadFrame(reply);
+  return ReadReply(reply);
 }
 
 Status NetClient::CallWithDeadline(MsgType type, std::string_view payload,
@@ -188,12 +210,13 @@ Status NetClient::CallWithDeadline(MsgType type, std::string_view payload,
       static_cast<uint32_t>(std::min<int64_t>(remaining, UINT32_MAX)),
       &budget);
   EncodeFrame(MsgType::kDeadline, budget, &wire);
+  AppendTracePrefix(&wire);
   EncodeFrame(type, payload, &wire);
   int io_ms = static_cast<int>(std::min<int64_t>(remaining + 1, INT32_MAX));
   if (options_.io_timeout_ms > 0) io_ms = std::min(io_ms, options_.io_timeout_ms);
   ApplyTimeouts(io_ms);
   Status send_st = SendAll(wire);
-  Status st = send_st.ok() ? ReadFrame(reply) : send_st;
+  Status st = send_st.ok() ? ReadReply(reply) : send_st;
   ApplyTimeouts(options_.io_timeout_ms);
   if (!st.ok() && st.code() == StatusCode::kIOError && deadline.Expired()) {
     return Status::DeadlineExceeded(
@@ -206,6 +229,8 @@ Status NetClient::Roundtrip(MsgType type, std::string_view payload,
                             MsgType expect, Frame* reply,
                             const Deadline& deadline) {
   last_retry_after_ms_ = 0;
+  last_server_timing_.clear();
+  last_server_timing_trace_id_ = 0;
   CBVLINK_RETURN_NOT_OK(CallWithDeadline(type, payload, deadline, reply));
   if (reply->type == MsgType::kError) {
     Status carried = Status::OK();
@@ -352,6 +377,10 @@ Status RetryingClient::Execute(
     Status st = EnsureConnected(attempt_deadline);
     uint32_t retry_after_ms = 0;
     if (st.ok()) {
+      // Stamp the trace id before every attempt: a reconnect builds a
+      // fresh NetClient, and retries must keep the original id so the
+      // server's traces show them as one logical operation.
+      client_->set_trace(trace_id_);
       st = op(*client_, attempt_deadline);
       if (st.ok()) {
         backoff_.Reset();

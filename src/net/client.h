@@ -81,6 +81,26 @@ class NetClient {
   /// the server sent none) — the binary analogue of HTTP Retry-After.
   uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
 
+  /// Arms trace propagation: subsequent typed calls carry a
+  /// kTraceContext prefix frame with this id, and the server answers
+  /// them with a kServerTiming frame (captured below).  Sticky until
+  /// changed; 0 disarms.
+  void set_trace(uint64_t trace_id, uint64_t parent_span_id = 0) {
+    trace_id_ = trace_id;
+    trace_parent_span_id_ = parent_span_id;
+  }
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// The per-stage timings carried by the last reply's kServerTiming
+  /// frame (empty when the call was untraced or the server predates
+  /// tracing), and the trace id it was stamped with.
+  const std::vector<StageTiming>& last_server_timing() const {
+    return last_server_timing_;
+  }
+  uint64_t last_server_timing_trace_id() const {
+    return last_server_timing_trace_id_;
+  }
+
   /// One raw request/response exchange (test support; production code
   /// should prefer the typed calls above).
   Status Call(MsgType type, std::string_view payload, Frame* reply);
@@ -99,6 +119,11 @@ class NetClient {
 
   Status SendAll(std::string_view bytes);
   Status ReadFrame(Frame* frame);
+  /// ReadFrame that absorbs kServerTiming annotation frames (stashing
+  /// them into last_server_timing_) and returns the next real reply.
+  Status ReadReply(Frame* frame);
+  /// Appends the armed kTraceContext prefix frame, if any.
+  void AppendTracePrefix(std::string* wire) const;
   /// Call() with an optional kDeadline prefix and deadline-bounded
   /// socket timeouts.
   Status CallWithDeadline(MsgType type, std::string_view payload,
@@ -112,6 +137,10 @@ class NetClient {
   NetClientOptions options_;
   FrameDecoder decoder_;
   uint32_t last_retry_after_ms_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t trace_parent_span_id_ = 0;
+  std::vector<StageTiming> last_server_timing_;
+  uint64_t last_server_timing_trace_id_ = 0;
 };
 
 /// How RetryingClient retries.  Every operation is safe to retry:
@@ -157,6 +186,21 @@ class RetryingClient {
   Status Insert(const Record& record);
   Status Stats(std::string* json);
 
+  /// Arms trace propagation.  The id is stamped onto the underlying
+  /// connection before EVERY attempt — including after a reconnect — so
+  /// all retries of one operation share one trace id and the server's
+  /// captured traces tell the retries of one logical call apart from
+  /// distinct calls.  Sticky until changed; 0 disarms.
+  void set_trace(uint64_t trace_id) { trace_id_ = trace_id; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Stage timings from the last successful attempt (see
+  /// NetClient::last_server_timing).
+  std::vector<StageTiming> last_server_timing() const {
+    return client_ != nullptr ? client_->last_server_timing()
+                              : std::vector<StageTiming>{};
+  }
+
   const Counters& counters() const { return counters_; }
 
  private:
@@ -171,6 +215,7 @@ class RetryingClient {
   Backoff backoff_;
   std::unique_ptr<NetClient> client_;
   Counters counters_;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace net

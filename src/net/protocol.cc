@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 #include "src/common/crc32.h"
 #include "src/common/str.h"
@@ -334,6 +335,141 @@ Status DecodeDeadlinePayload(std::string_view payload, uint32_t* budget_ms) {
   return Status::OK();
 }
 
+void EncodeTraceContextPayload(uint64_t trace_id, uint64_t parent_span_id,
+                               std::string* out) {
+  PutU64(trace_id, out);
+  PutU64(parent_span_id, out);
+}
+
+Status DecodeTraceContextPayload(std::string_view payload, uint64_t* trace_id,
+                                 uint64_t* parent_span_id) {
+  if (payload.size() != 16) {
+    return Status::InvalidArgument("trace context payload must be 16 bytes");
+  }
+  *trace_id = GetU64(payload.data());
+  *parent_span_id = GetU64(payload.data() + 8);
+  if (*trace_id == 0) {
+    return Status::InvalidArgument("trace id must be nonzero");
+  }
+  return Status::OK();
+}
+
+void EncodeServerTimingPayload(uint64_t trace_id,
+                               const std::vector<StageTiming>& stages,
+                               std::string* out) {
+  PutU64(trace_id, out);
+  PutU32(static_cast<uint32_t>(stages.size()), out);
+  for (const StageTiming& timing : stages) {
+    out->push_back(static_cast<char>(timing.stage));
+    PutU32(timing.dur_us, out);
+  }
+}
+
+Status DecodeServerTimingPayload(std::string_view payload, uint64_t* trace_id,
+                                 std::vector<StageTiming>* stages) {
+  if (payload.size() < 12) {
+    return Status::InvalidArgument("server timing payload too short");
+  }
+  *trace_id = GetU64(payload.data());
+  const uint32_t n = GetU32(payload.data() + 8);
+  if (payload.size() != 12 + static_cast<size_t>(n) * 5) {
+    return Status::InvalidArgument("server timing payload size mismatch");
+  }
+  stages->clear();
+  stages->reserve(n);
+  const char* p = payload.data() + 12;
+  for (uint32_t i = 0; i < n; ++i, p += 5) {
+    StageTiming timing;
+    timing.stage = static_cast<TimingStage>(static_cast<uint8_t>(*p));
+    timing.dur_us = GetU32(p + 1);
+    stages->push_back(timing);
+  }
+  return Status::OK();
+}
+
+const char* TimingStageName(TimingStage stage) {
+  switch (stage) {
+    case TimingStage::kQueue:
+      return "queue";
+    case TimingStage::kEncode:
+      return "encode";
+    case TimingStage::kCandidates:
+      return "candidates";
+    case TimingStage::kCompare:
+      return "compare";
+    case TimingStage::kInsert:
+      return "insert";
+    case TimingStage::kJournal:
+      return "journal";
+    case TimingStage::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+std::string ServerTimingHeaderValue(const std::vector<StageTiming>& stages) {
+  std::string out;
+  for (const StageTiming& timing : stages) {
+    if (!out.empty()) out += ", ";
+    // dur is fractional milliseconds per the Server-Timing spec.
+    out += StrFormat("%s;dur=%.3f", TimingStageName(timing.stage),
+                     static_cast<double>(timing.dur_us) / 1000.0);
+  }
+  return out;
+}
+
+std::vector<StageTiming> ParseServerTimingHeaderValue(std::string_view value) {
+  std::vector<StageTiming> out;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string_view::npos) comma = value.size();
+    std::string_view item = value.substr(pos, comma - pos);
+    pos = comma + 1;
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    const size_t semi = item.find(';');
+    if (semi == std::string_view::npos) continue;
+    const std::string_view name = item.substr(0, semi);
+    const size_t dur = item.find("dur=", semi);
+    if (dur == std::string_view::npos) continue;
+    const double ms = std::atof(std::string(item.substr(dur + 4)).c_str());
+    for (const TimingStage stage :
+         {TimingStage::kQueue, TimingStage::kEncode, TimingStage::kCandidates,
+          TimingStage::kCompare, TimingStage::kInsert, TimingStage::kJournal,
+          TimingStage::kTotal}) {
+      if (name == TimingStageName(stage)) {
+        out.push_back(StageTiming{
+            stage, static_cast<uint32_t>(ms * 1000.0 + 0.5)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(trace_id));
+}
+
+uint64_t ParseTraceIdHex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return 0;
+  uint64_t value = 0;
+  for (const char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
 void EncodeJournalFetch(uint64_t epoch, uint64_t offset, std::string* out) {
   PutU64(epoch, out);
   PutU64(offset, out);
@@ -404,6 +540,8 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
   request->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
   request->keep_alive = true;
   request->deadline_ms = -1;
+  request->trace_id = 0;
+  request->trace_parent = 0;
 
   size_t content_length = 0;
   size_t cursor = line_end == std::string_view::npos ? head.size() : line_end + 2;
@@ -452,6 +590,12 @@ HttpParser::Next HttpParser::Pop(HttpRequest* request) {
         if (n > kMaxDeadlineMs) n = kMaxDeadlineMs;
       }
       request->deadline_ms = static_cast<int64_t>(n);
+    } else if (IEquals(name, "x-trace-id")) {
+      // Unparsable ids degrade to untraced rather than 400: tracing is
+      // advisory and must never fail a request.
+      request->trace_id = ParseTraceIdHex(value);
+    } else if (IEquals(name, "x-trace-parent")) {
+      request->trace_parent = ParseTraceIdHex(value);
     } else if (IEquals(name, "transfer-encoding")) {
       error_ = Status::InvalidArgument("chunked bodies unsupported");
       return Next::kBad;
@@ -473,6 +617,13 @@ std::string HttpResponse(int code, std::string_view content_type,
 std::string HttpResponse(int code, std::string_view content_type,
                          std::string_view body, bool keep_alive,
                          int retry_after_s) {
+  return HttpResponse(code, content_type, body, keep_alive, retry_after_s,
+                      HttpResponseExtras{});
+}
+
+std::string HttpResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive,
+                         int retry_after_s, const HttpResponseExtras& extras) {
   // A 429 always advertises a retry hint; other codes only when the
   // caller supplies one.
   if (code == 429 && retry_after_s < 1) retry_after_s = 1;
@@ -481,6 +632,12 @@ std::string HttpResponse(int code, std::string_view content_type,
                    static_cast<int>(content_type.size()), content_type.data());
   out += StrFormat("Content-Length: %zu\r\n", body.size());
   if (retry_after_s > 0) out += StrFormat("Retry-After: %d\r\n", retry_after_s);
+  if (!extras.server_timing.empty()) {
+    out += StrFormat("Server-Timing: %s\r\n", extras.server_timing.c_str());
+  }
+  if (!extras.trace_id.empty()) {
+    out += StrFormat("X-Trace-Id: %s\r\n", extras.trace_id.c_str());
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out.append(body.data(), body.size());

@@ -61,6 +61,14 @@ enum class MsgType : uint8_t {
   /// in every request frame) keeps all existing payload codecs and
   /// pipelined-batch folding unchanged.
   kDeadline = 8,
+  /// Trace-context prefix: payload u64 trace_id, u64 parent_span_id.
+  /// Arms tracing for the *next* request frame on the connection, same
+  /// prefixing discipline as kDeadline: no reply, no queue slot, all
+  /// request payload codecs unchanged.  A server with tracing enabled
+  /// adopts the carried ids as the request's trace root, so client and
+  /// server spans join one tree; it also entitles the request to a
+  /// kServerTiming annotation frame ahead of its response.
+  kTraceContext = 9,
 
   kPong = 65,
   kMatchResult = 66,    ///< payload: u32 n, n * (u64 a_id, u64 b_id)
@@ -69,6 +77,36 @@ enum class MsgType : uint8_t {
   kSnapshotData = 69,   ///< payload: a complete CBVS snapshot stream
   kJournalData = 70,    ///< payload: u64 epoch, u64 end_offset, raw frames
   kStatsJson = 71,      ///< payload: telemetry JSON text
+  /// Server-timing annotation: sent immediately BEFORE the response
+  /// frame of a request that carried kTraceContext (the response-side
+  /// mirror of the request-side prefix discipline).  Payload: u64
+  /// trace_id, u32 n, n * (u8 stage, u32 dur_us).  Peers that never
+  /// send kTraceContext never receive it, so old clients are unaffected.
+  kServerTiming = 72,
+};
+
+/// Stages a kServerTiming annotation (or Server-Timing header) reports,
+/// mirroring the paper's pipeline: queue wait, embedding, HB candidate
+/// generation, cBV Hamming comparison, index insertion (insert paths
+/// only), journal append+fsync, and the server-side end-to-end total.
+enum class TimingStage : uint8_t {
+  kQueue = 0,
+  kEncode = 1,
+  kCandidates = 2,
+  kCompare = 3,
+  kInsert = 4,
+  kJournal = 5,
+  kTotal = 6,
+};
+
+/// Stable lowercase token for a stage ("queue", "encode", ...), used in
+/// the Server-Timing header and client-side printing.
+const char* TimingStageName(TimingStage stage);
+
+/// One per-stage duration.
+struct StageTiming {
+  TimingStage stage = TimingStage::kTotal;
+  uint32_t dur_us = 0;
 };
 
 /// One decoded frame.
@@ -120,6 +158,29 @@ Status DecodeErrorPayload(std::string_view payload, Status* out,
 void EncodeDeadlinePayload(uint32_t budget_ms, std::string* out);
 Status DecodeDeadlinePayload(std::string_view payload, uint32_t* budget_ms);
 
+/// kTraceContext payload <-> (trace_id, parent_span_id).  A zero
+/// trace_id is rejected on decode (0 means "untraced" everywhere).
+void EncodeTraceContextPayload(uint64_t trace_id, uint64_t parent_span_id,
+                               std::string* out);
+Status DecodeTraceContextPayload(std::string_view payload, uint64_t* trace_id,
+                                 uint64_t* parent_span_id);
+
+/// kServerTiming payload <-> (trace_id, per-stage durations).
+void EncodeServerTimingPayload(uint64_t trace_id,
+                               const std::vector<StageTiming>& stages,
+                               std::string* out);
+Status DecodeServerTimingPayload(std::string_view payload, uint64_t* trace_id,
+                                 std::vector<StageTiming>* stages);
+
+/// Renders stages as a Server-Timing header value:
+/// "queue;dur=0.123, match;dur=4.5" (dur in fractional milliseconds,
+/// per the header's spec).
+std::string ServerTimingHeaderValue(const std::vector<StageTiming>& stages);
+
+/// Parses a Server-Timing header value produced by
+/// ServerTimingHeaderValue (unknown stage tokens are skipped).
+std::vector<StageTiming> ParseServerTimingHeaderValue(std::string_view value);
+
 void EncodeJournalFetch(uint64_t epoch, uint64_t offset, std::string* out);
 Status DecodeJournalFetch(std::string_view payload, uint64_t* epoch,
                           uint64_t* offset);
@@ -141,6 +202,12 @@ struct HttpRequest {
   /// milliseconds, re-anchored server-side against steady_clock at
   /// parse time.  -1 when the header is absent (no caller deadline).
   int64_t deadline_ms = -1;
+  /// From the `X-Trace-Id` header (16 hex digits): the caller's trace
+  /// id, 0 when absent or unparsable (0 = untraced everywhere).
+  uint64_t trace_id = 0;
+  /// From the `X-Trace-Parent` header: the caller's span the server's
+  /// root span hangs under; 0 when absent.
+  uint64_t trace_parent = 0;
   std::string body;
 };
 
@@ -172,6 +239,26 @@ std::string HttpResponse(int code, std::string_view content_type,
 std::string HttpResponse(int code, std::string_view content_type,
                          std::string_view body, bool keep_alive,
                          int retry_after_s);
+
+/// Extra response headers a traced request earns.  Rendered by the
+/// HttpResponse overload below; both strings may be empty (header
+/// omitted).
+struct HttpResponseExtras {
+  /// `Server-Timing:` value (see ServerTimingHeaderValue).
+  std::string server_timing;
+  /// `X-Trace-Id:` value (16 hex digits) echoing the request's trace.
+  std::string trace_id;
+};
+
+std::string HttpResponse(int code, std::string_view content_type,
+                         std::string_view body, bool keep_alive,
+                         int retry_after_s, const HttpResponseExtras& extras);
+
+/// 16-lowercase-hex-digit rendering of a trace id (the X-Trace-Id wire
+/// form) and its inverse; ParseTraceIdHex returns 0 on any malformed
+/// input.
+std::string TraceIdHex(uint64_t trace_id);
+uint64_t ParseTraceIdHex(std::string_view hex);
 
 /// Parses {"id": N, "fields": ["A", ...]} (keys in any order, "id"
 /// optional).  Strict: unknown keys or non-string fields are

@@ -7,6 +7,8 @@
 #include "src/io/serialization.h"
 #include "src/service/linkage_service.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/telemetry/trace_sink.h"
 
 namespace cbvlink {
 namespace net {
@@ -136,8 +138,10 @@ Status Replica::SyncFromSnapshotImpl() {
   CBVLINK_RETURN_NOT_OK(client.status());
   client_ = std::move(client).value();
 
+  telemetry::TraceSpan sync_span("replica_sync");
   std::string bytes;
   CBVLINK_RETURN_NOT_OK(client_->FetchSnapshot(&bytes));
+  sync_span.Annotate("snapshot_bytes", bytes.size());
   std::istringstream in(bytes);
   auto snapshot = ReadServiceSnapshot(in);
   CBVLINK_RETURN_NOT_OK(snapshot.status());
@@ -199,21 +203,51 @@ Status Replica::FetchOnce(bool* made_progress) {
   if (client_ == nullptr) {
     return Status::IOError("replication link down: not connected");
   }
+  // One trace per follow cycle.  Only cycles that made progress reach
+  // the sink — offering every idle poll would evict the interesting
+  // traces from the sink's ring.
+  std::shared_ptr<telemetry::TraceCollector> trace;
+  uint64_t cycle_start_us = 0;
+  if (options_.trace_sink != nullptr) {
+    trace = std::make_shared<telemetry::TraceCollector>(
+        telemetry::GenerateTraceId());
+    cycle_start_us = telemetry::TraceNowMicros();
+  }
+  telemetry::ScopedTraceContext trace_scope(
+      trace.get(), trace != nullptr ? trace->root_span_id() : 0);
+  auto finish_trace = [&]() {
+    if (trace == nullptr || !*made_progress) return;
+    const uint64_t now = telemetry::TraceNowMicros();
+    telemetry::Span root;
+    root.name = "replica_cycle";
+    root.span_id = trace->root_span_id();
+    root.start_us = cycle_start_us;
+    root.dur_us = now > cycle_start_us ? now - cycle_start_us : 0;
+    root.thread = telemetry::TraceThreadSlot();
+    trace->Record(root);
+    options_.trace_sink->Finish(*trace, root.dur_us);
+  };
   uint64_t epoch = 0, end = 0;
   std::string frames;
-  CBVLINK_RETURN_NOT_OK(
-      client_->FetchJournal(epoch_, fetch_offset_, &epoch, &end, &frames));
+  {
+    telemetry::TraceSpan fetch_span("replica_fetch");
+    CBVLINK_RETURN_NOT_OK(
+        client_->FetchJournal(epoch_, fetch_offset_, &epoch, &end, &frames));
+    fetch_span.Annotate("bytes", frames.size());
+  }
   if (epoch != epoch_) {
     // The journal rotated under our cursor: the dropped prefix is
     // covered by a newer snapshot, so bootstrap again from it.
     CBVLINK_RETURN_NOT_OK(SyncFromSnapshot());
     *made_progress = true;
+    finish_trace();
     return Status::OK();
   }
   uint64_t applied = 0;
   if (!frames.empty()) {
     *made_progress = true;
     fetch_offset_ += frames.size();
+    telemetry::TraceSpan apply_span("replica_apply");
     decoder_.Feed(frames);
     while (true) {
       Record record;
@@ -222,7 +256,9 @@ Status Replica::FetchOnce(bool* made_progress) {
       if (next == JournalFrameDecoder::Next::kCorrupt) {
         // A corrupt frame over a CRC-checked transport means the
         // primary's journal itself is torn past our cursor; re-sync.
+        apply_span.End();
         CBVLINK_RETURN_NOT_OK(SyncFromSnapshot());
+        finish_trace();
         return Status::OK();
       }
       if (!service_->Contains(record.id)) {
@@ -230,6 +266,7 @@ Status Replica::FetchOnce(bool* made_progress) {
         ++applied;
       }
     }
+    apply_span.Annotate("applied", applied);
   }
   if (applied > 0) AppliedCounter()->Add(applied);
   const uint64_t applied_offset = kJournalHeaderSize + decoder_.consumed_bytes();
@@ -243,6 +280,7 @@ Status Replica::FetchOnce(bool* made_progress) {
     progress_.lag_bytes = lag;
     progress_.applied_records += applied;
   }
+  finish_trace();
   return Status::OK();
 }
 

@@ -37,6 +37,10 @@ namespace cbvlink {
 
 class LinkageService;
 
+namespace telemetry {
+class TraceSink;
+}  // namespace telemetry
+
 namespace net {
 
 struct ReplicaOptions {
@@ -54,6 +58,13 @@ struct ReplicaOptions {
   BackoffOptions failure_backoff{/*base_ms=*/100, /*max_ms=*/5000};
   /// Consecutive failures before the circuit breaker opens.
   int circuit_open_after_failures = 3;
+  /// Request tracing sink.  When set, every follow cycle that made
+  /// progress (frames applied or a re-sync) records a span tree —
+  /// replica_fetch / replica_apply / replica_sync — under a
+  /// "replica_cycle" root; idle polls are discarded without touching
+  /// the sink.  Null (default) disables tracing.  Borrowed: must
+  /// outlive the Replica.
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 /// Circuit-breaker state of the follow connection, exported as the

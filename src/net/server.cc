@@ -29,6 +29,8 @@
 #include "src/service/linkage_service.h"
 #include "src/telemetry/exporters.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/telemetry/trace_sink.h"
 
 namespace cbvlink {
 namespace net {
@@ -50,6 +52,18 @@ Status Errno(const char* what) {
   return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
 }
 
+/// Maps a steady_clock time point onto the trace timeline (see
+/// telemetry::TraceNowMicros); both run on steady_clock, so the
+/// conversion is a subtraction of the elapsed gap.
+uint64_t TraceMicrosAt(Clock::time_point tp) {
+  const uint64_t now_us = telemetry::TraceNowMicros();
+  const int64_t behind = std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - tp)
+                             .count();
+  const uint64_t gap = behind > 0 ? static_cast<uint64_t>(behind) : 0;
+  return now_us > gap ? now_us - gap : 0;
+}
+
 /// One parsed, admitted request waiting for a worker.
 struct PendingRequest {
   bool is_http = false;
@@ -61,6 +75,15 @@ struct PendingRequest {
   /// admission and again at worker dequeue: work whose budget lapsed in
   /// the queue is answered DEADLINE_EXCEEDED instead of executed.
   Deadline deadline;
+  /// Tracing (all default when the server has no sink).  `trace` is the
+  /// request's span collector; `wire_trace_id`/`trace_parent` are the
+  /// ids carried by kTraceContext / X-Trace-Id (0 = none, the server
+  /// mints an id); `client_traced` marks peers that opted in on the
+  /// wire — only those understand a kServerTiming frame.
+  std::shared_ptr<telemetry::TraceCollector> trace;
+  uint64_t wire_trace_id = 0;
+  uint64_t trace_parent = 0;
+  bool client_traced = false;
 };
 
 /// True for requests that do linkage work (the ones a draining server
@@ -94,6 +117,10 @@ struct Connection {
   /// Armed by a kDeadline prefix frame, consumed by the next request
   /// frame on this connection.
   Deadline next_deadline;
+  /// Armed by a kTraceContext prefix frame, consumed by the next
+  /// request frame on this connection (0 = none).
+  uint64_t next_trace_id = 0;
+  uint64_t next_trace_parent = 0;
   /// Slow-loris tracking: when an *incomplete* request is buffered,
   /// `partial_since` marks when its first byte arrived; the sweep reaps
   /// the connection if completion takes longer than
@@ -162,6 +189,7 @@ struct NetServer::Impl {
   telemetry::Counter* t_shed = nullptr;
   telemetry::Counter* t_deadline_shed = nullptr;
   telemetry::Gauge* t_queue_depth = nullptr;
+  telemetry::Gauge* t_drain_rate = nullptr;
   telemetry::Histogram* t_latency = nullptr;
 
   ~Impl() {
@@ -225,6 +253,23 @@ struct NetServer::Impl {
   size_t HandleMatchRun(const std::vector<PendingRequest>& batch, size_t begin,
                         std::string* out);
   void FinishRequest(const PendingRequest& req);
+
+  // --- tracing ------------------------------------------------------------
+
+  /// Records the request's queue-wait span (admission -> dequeue).
+  /// Call once, when a worker picks the request up.  No-op untraced.
+  void StartRequestTrace(const PendingRequest& req);
+  /// Per-stage durations extracted from the request's spans so far,
+  /// plus the running end-to-end total — the Server-Timing payload.
+  std::vector<StageTiming> StageTimingsFor(const PendingRequest& req) const;
+  /// Emits the kServerTiming annotation frame (clients that sent
+  /// kTraceContext expect it immediately before their response frame).
+  void AppendServerTiming(const PendingRequest& req, std::string* out);
+  /// Server-Timing / X-Trace-Id response headers for a traced request.
+  HttpResponseExtras TraceExtras(const PendingRequest& req) const;
+  /// HandleBinary plus the traced wrapping (scoped context, timing
+  /// frame).  StartRequestTrace must already have run.
+  void HandleBinaryTraced(const PendingRequest& req, std::string* out);
 };
 
 // --- setup ----------------------------------------------------------------
@@ -238,6 +283,8 @@ Status NetServer::Impl::Bind() {
   t_deadline_shed =
       telemetry::Registry::Global().GetCounter("net_deadline_shed_total");
   t_queue_depth = telemetry::Registry::Global().GetGauge("net_queue_depth");
+  t_drain_rate =
+      telemetry::Registry::Global().GetGauge("net_queue_drain_rate");
   t_latency = telemetry::Registry::Global().GetHistogram(
       "net_request_latency_us");
 
@@ -521,8 +568,24 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
         conn->next_deadline = Deadline::AfterMs(budget_ms);
         continue;
       }
+      if (req.frame.type == MsgType::kTraceContext) {
+        // Same prefix discipline as kDeadline: arms trace ids for the
+        // next request frame; a malformed payload is corruption.
+        uint64_t trace_id = 0, parent = 0;
+        if (!DecodeTraceContextPayload(req.frame.payload, &trace_id, &parent)
+                 .ok()) {
+          return false;
+        }
+        conn->next_trace_id = trace_id;
+        conn->next_trace_parent = parent;
+        continue;
+      }
       req.deadline = conn->next_deadline;
       conn->next_deadline = Deadline::Infinite();
+      req.wire_trace_id = conn->next_trace_id;
+      req.trace_parent = conn->next_trace_parent;
+      conn->next_trace_id = 0;
+      conn->next_trace_parent = 0;
       req.is_http = false;
     } else {
       HttpParser::Next next = conn->http_parser.Pop(&req.http);
@@ -542,6 +605,8 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
       if (req.http.deadline_ms >= 0) {
         req.deadline = Deadline::AfterMs(req.http.deadline_ms);
       }
+      req.wire_trace_id = req.http.trace_id;
+      req.trace_parent = req.http.trace_parent;
       req.is_http = true;
     }
     // Admission-time deadline check: work that is already expired (a
@@ -594,6 +659,15 @@ bool NetServer::Impl::IngestParsed(const std::shared_ptr<Connection>& conn) {
     queued.fetch_add(1, std::memory_order_relaxed);
     t_queue_depth->Set(static_cast<double>(depth + 1));
     req.admitted_at = Clock::now();
+    if (options.trace_sink != nullptr) {
+      // Every admitted request records (tail capture needs the spans of
+      // traces that only turn out slow at the end); the sink's policy
+      // decides at FinishRequest which trees survive.
+      req.client_traced = req.wire_trace_id != 0;
+      req.trace = std::make_shared<telemetry::TraceCollector>(
+          req.client_traced ? req.wire_trace_id
+                            : telemetry::GenerateTraceId());
+    }
     // "Connection: close" makes this the connection's last request; the
     // worker will set want_close, so admit nothing pipelined behind it.
     const bool last_request = req.is_http && !req.http.keep_alive;
@@ -761,6 +835,9 @@ void NetServer::Impl::UpdateDrainRate() {
   const double rate = static_cast<double>(finished - rate_last_finished) / dt;
   rate_last_finished = finished;
   rate_last_time = now;
+  // Published so operators (and the serve CLI's --stats-interval line)
+  // see the same drain rate the Retry-After hint is derived from.
+  t_drain_rate->Set(rate);
   const double depth =
       static_cast<double>(queued.load(std::memory_order_relaxed));
   uint32_t hint_ms;
@@ -881,23 +958,123 @@ void NetServer::Impl::ExecuteBatch(const std::shared_ptr<Connection>& conn,
       i += consumed;
       continue;
     }
+    StartRequestTrace(req);
     if (req.is_http) {
+      telemetry::ScopedTraceContext scope(
+          req.trace.get(), req.trace ? req.trace->root_span_id() : 0);
       HandleHttp(req, out, close_after);
     } else {
-      HandleBinary(req, out);
+      HandleBinaryTraced(req, out);
     }
     FinishRequest(req);
     ++i;
   }
 }
 
+void NetServer::Impl::StartRequestTrace(const PendingRequest& req) {
+  if (req.trace == nullptr) return;
+  telemetry::Span queue;
+  queue.name = "queue";
+  queue.span_id = req.trace->NextSpanId();
+  queue.parent_span_id = req.trace->root_span_id();
+  queue.start_us = TraceMicrosAt(req.admitted_at);
+  const uint64_t now_us = telemetry::TraceNowMicros();
+  queue.dur_us = now_us > queue.start_us ? now_us - queue.start_us : 0;
+  queue.thread = telemetry::TraceThreadSlot();
+  req.trace->Record(queue);
+}
+
+std::vector<StageTiming> NetServer::Impl::StageTimingsFor(
+    const PendingRequest& req) const {
+  std::vector<StageTiming> stages;
+  if (req.trace == nullptr) return stages;
+  constexpr TimingStage kStages[] = {
+      TimingStage::kQueue, TimingStage::kEncode, TimingStage::kCandidates,
+      TimingStage::kCompare, TimingStage::kInsert, TimingStage::kJournal};
+  constexpr size_t kNumStages = sizeof(kStages) / sizeof(kStages[0]);
+  uint64_t sums[kNumStages] = {};
+  for (const telemetry::Span& span : req.trace->Spans()) {
+    const std::string_view name = span.name;
+    for (size_t s = 0; s < kNumStages; ++s) {
+      if (name == TimingStageName(kStages[s])) {
+        sums[s] += span.dur_us;
+        break;
+      }
+    }
+  }
+  stages.reserve(kNumStages + 1);
+  for (size_t s = 0; s < kNumStages; ++s) {
+    stages.push_back(StageTiming{
+        kStages[s],
+        static_cast<uint32_t>(std::min<uint64_t>(sums[s], UINT32_MAX))});
+  }
+  const int64_t total_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            req.admitted_at)
+          .count();
+  stages.push_back(StageTiming{
+      TimingStage::kTotal,
+      static_cast<uint32_t>(std::min<int64_t>(
+          std::max<int64_t>(total_us, 0), UINT32_MAX))});
+  return stages;
+}
+
+void NetServer::Impl::AppendServerTiming(const PendingRequest& req,
+                                         std::string* out) {
+  if (req.trace == nullptr || !req.client_traced) return;
+  std::string payload;
+  EncodeServerTimingPayload(req.trace->trace_id(), StageTimingsFor(req),
+                            &payload);
+  EncodeFrame(MsgType::kServerTiming, payload, out);
+}
+
+HttpResponseExtras NetServer::Impl::TraceExtras(
+    const PendingRequest& req) const {
+  HttpResponseExtras extras;
+  if (req.trace == nullptr) return extras;
+  extras.server_timing = ServerTimingHeaderValue(StageTimingsFor(req));
+  extras.trace_id = TraceIdHex(req.trace->trace_id());
+  return extras;
+}
+
+void NetServer::Impl::HandleBinaryTraced(const PendingRequest& req,
+                                         std::string* out) {
+  if (req.trace == nullptr) {
+    HandleBinary(req, out);
+    return;
+  }
+  telemetry::ScopedTraceContext scope(req.trace.get(),
+                                      req.trace->root_span_id());
+  // The response lands in a scratch string so the kServerTiming frame —
+  // which needs the handler's stage spans — can still precede it.
+  std::string resp;
+  HandleBinary(req, &resp);
+  AppendServerTiming(req, out);
+  out->append(resp);
+}
+
 void NetServer::Impl::FinishRequest(const PendingRequest& req) {
   t_requests->Add(1);
   finished_total.fetch_add(1, std::memory_order_relaxed);
-  t_latency->Record(static_cast<uint64_t>(
+  const uint64_t latency_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           Clock::now() - req.admitted_at)
-          .count()));
+          .count());
+  t_latency->Record(latency_us);
+  if (req.trace != nullptr) {
+    // Close the root span (admission -> response bytes buffered) and
+    // let the sink's sampling + slow-capture policy decide whether the
+    // tree survives.
+    telemetry::Span root;
+    root.name = "request";
+    root.span_id = req.trace->root_span_id();
+    root.parent_span_id = req.trace_parent;
+    root.start_us = TraceMicrosAt(req.admitted_at);
+    root.dur_us = latency_us;
+    root.thread = telemetry::TraceThreadSlot();
+    req.trace->Record(root);
+    options.trace_sink->Finish(*req.trace, latency_us);
+  }
 }
 
 size_t NetServer::Impl::HandleMatchRun(const std::vector<PendingRequest>& batch,
@@ -927,18 +1104,41 @@ size_t NetServer::Impl::HandleMatchRun(const std::vector<PendingRequest>& batch,
     }
     if (!by_id.emplace(records[k].id, k).second) distinct = false;
   }
+  for (size_t k = 0; k < run; ++k) StartRequestTrace(batch[begin + k]);
   if (run >= 2 && decodable && distinct) {
     // One MatchBatch over the service pool; demux by query id (pairs
     // are (registry_id, query_id)).
     std::vector<IdPair> pairs;
+    const uint64_t batch_start_us = telemetry::TraceNowMicros();
     Status st = service->MatchBatch(records, &pairs);
     if (st.ok()) {
+      const uint64_t batch_end_us = telemetry::TraceNowMicros();
       std::vector<std::vector<IdPair>> per_request(run);
       for (const IdPair& p : pairs) {
         auto it = by_id.find(p.b_id);
         if (it != by_id.end()) per_request[it->second].push_back(p);
       }
       for (size_t k = 0; k < run; ++k) {
+        const PendingRequest& r = batch[begin + k];
+        if (r.trace != nullptr) {
+          // The fold shares one MatchBatch across the run, so each
+          // request gets the shared span (with the batch size) rather
+          // than per-stage attribution — the sequential path has that.
+          telemetry::Span shared;
+          shared.name = "match_batch";
+          shared.span_id = r.trace->NextSpanId();
+          shared.parent_span_id = r.trace->root_span_id();
+          shared.start_us = batch_start_us;
+          shared.dur_us = batch_end_us > batch_start_us
+                              ? batch_end_us - batch_start_us
+                              : 0;
+          shared.thread = telemetry::TraceThreadSlot();
+          shared.n_annotations = 1;
+          shared.annotations[0] =
+              telemetry::SpanAnnotation{"batch", static_cast<uint64_t>(run)};
+          r.trace->Record(shared);
+          AppendServerTiming(r, out);
+        }
         std::string payload;
         EncodePairs(per_request[k], &payload);
         EncodeFrame(MsgType::kMatchResult, payload, out);
@@ -948,7 +1148,7 @@ size_t NetServer::Impl::HandleMatchRun(const std::vector<PendingRequest>& batch,
     // Fall through: answer each request individually so one bad record
     // doesn't fail the whole run.
   }
-  for (size_t k = 0; k < run; ++k) HandleBinary(batch[begin + k], out);
+  for (size_t k = 0; k < run; ++k) HandleBinaryTraced(batch[begin + k], out);
   return run;
 }
 
@@ -1070,7 +1270,7 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
   if (!keep) *close_after = true;
   auto reply_status = [&](const Status& status) {
     out->append(HttpResponse(HttpCodeFor(status), "application/json",
-                             StatusToJson(status), keep));
+                             StatusToJson(status), keep, 0, TraceExtras(req)));
   };
   if (http.method == "GET") {
     if (http.target == "/healthz") {
@@ -1099,6 +1299,15 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
       out->append(HttpResponse(200, "application/json",
                                telemetry::ToJson(telemetry::Registry::Global()),
                                keep));
+      return;
+    }
+    if (http.target == "/tracez") {
+      if (options.trace_sink == nullptr) {
+        return reply_status(
+            Status::NotFound("tracing disabled (no trace sink)"));
+      }
+      out->append(HttpResponse(200, "application/json",
+                               options.trace_sink->ToTracezJson(), keep));
       return;
     }
     return reply_status(Status::NotFound(StrFormat("no such path: %s", http.target.c_str())));
@@ -1132,7 +1341,8 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
     st = service->Insert(record);
   }
   if (!st.ok()) return reply_status(st);
-  out->append(HttpResponse(200, "application/json", PairsToJson(pairs), keep));
+  out->append(HttpResponse(200, "application/json", PairsToJson(pairs), keep,
+                           0, TraceExtras(req)));
 }
 
 // --- drain ----------------------------------------------------------------

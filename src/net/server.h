@@ -39,6 +39,10 @@ namespace cbvlink {
 
 class LinkageService;
 
+namespace telemetry {
+class TraceSink;
+}  // namespace telemetry
+
 namespace net {
 
 struct NetServerOptions {
@@ -65,6 +69,15 @@ struct NetServerOptions {
   /// Read-only mode (warm standby): kInsert / kMatchAndInsert and their
   /// HTTP POSTs answer FailedPrecondition / 403.
   bool read_only = false;
+  /// Request tracing sink (src/telemetry/trace_sink.h).  Null disables
+  /// tracing entirely — no collectors are allocated and the span sites
+  /// stay on their no-op fast path, which is the default.  When set,
+  /// every admitted request records a span tree (adopting the trace id
+  /// carried by kTraceContext / X-Trace-Id, minting one otherwise), the
+  /// sink's sampling policy decides which trees survive, GET /tracez
+  /// serves the captured set, and traced requests earn a Server-Timing
+  /// header / kServerTiming frame.  Borrowed: must outlive the server.
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 /// The server.  Start() binds, spawns the IO and worker threads and

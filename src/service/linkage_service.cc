@@ -10,6 +10,7 @@
 #include "src/lsh/params.h"
 #include "src/rules/rule_parser.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace cbvlink {
 
@@ -223,9 +224,13 @@ void LinkageService::InsertEncoded(const EncodedRecord& record) {
 Status LinkageService::InsertUnjournaled(const Record& record) {
   CBVLINK_FAILPOINT("service.insert");
   const uint64_t start = NowNanos();
+  telemetry::TraceSpan encode_span("encode");
   Result<EncodedRecord> encoded = encoder_->Encode(record);
+  encode_span.End();
   if (!encoded.ok()) return encoded.status();
+  telemetry::TraceSpan insert_span("insert");
   InsertEncoded(encoded.value());
+  insert_span.End();
   const uint64_t end = NowNanos();
   inserts_.fetch_add(1, std::memory_order_relaxed);
   RecordSpan(start, end, &insert_nanos_, &first_insert_start_ns_,
@@ -243,7 +248,15 @@ Status LinkageService::Insert(const Record& record) {
 Status LinkageService::JournalAppend(const Record& record) {
   std::shared_ptr<Journal> journal = this->journal();
   if (journal == nullptr) return Status::OK();
-  return journal->AppendInsert(record);
+  telemetry::TraceSpan span("journal");
+  const uint64_t before = span.active() ? journal->EndOffset() : 0;
+  Status st = journal->AppendInsert(record);
+  if (span.active() && st.ok()) {
+    // Approximate under concurrent appends (the delta may include a
+    // neighbour's frame); exact enough to explain an fsync stall.
+    span.Annotate("bytes", journal->EndOffset() - before);
+  }
+  return st;
 }
 
 void LinkageService::AttachJournal(std::shared_ptr<Journal> journal) {
@@ -299,16 +312,22 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
                                   std::vector<IdPair>* out) const {
   std::vector<RecordId> candidates;
   bool saw_overflow = false;
+  telemetry::TraceSpan candidates_span("candidates");
   index_->Collect(b.bits, &candidates, &saw_overflow);
   candidate_occurrences_.fetch_add(candidates.size(),
                                    std::memory_order_relaxed);
   t_candidates_->Add(candidates.size());
+  candidates_span.Annotate("occurrences", candidates.size());
   // Algorithm 2's unique collection C, as sort+unique over the gathered
   // occurrences (cheaper than a hash set at bucket-sized cardinalities).
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  candidates_span.Annotate("candidates", candidates.size());
+  candidates_span.Annotate("overflow", saw_overflow ? 1 : 0);
+  candidates_span.End();
 
+  telemetry::TraceSpan compare_span("compare");
   uint64_t compared = 0;
   uint64_t matched = 0;
   BitVector scratch;
@@ -339,6 +358,9 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
     });
   }
 
+  compare_span.Annotate("compared", compared);
+  compare_span.Annotate("matched", matched);
+  compare_span.End();
   comparisons_.fetch_add(compared, std::memory_order_relaxed);
   matches_.fetch_add(matched, std::memory_order_relaxed);
   // Match-funnel telemetry: candidates -> comparisons -> matches.  The
@@ -353,7 +375,9 @@ Status LinkageService::Match(const Record& record,
                              std::vector<IdPair>* out) const {
   CBVLINK_FAILPOINT("service.match");
   const uint64_t start = NowNanos();
+  telemetry::TraceSpan encode_span("encode");
   Result<EncodedRecord> encoded = encoder_->Encode(record);
+  encode_span.End();
   if (!encoded.ok()) return encoded.status();
   MatchEncoded(encoded.value(), out);
   const uint64_t end = NowNanos();
@@ -370,7 +394,9 @@ Status LinkageService::MatchAndInsert(const Record& record,
   CBVLINK_FAILPOINT("service.match");
   CBVLINK_FAILPOINT("service.insert");
   const uint64_t start = NowNanos();
+  telemetry::TraceSpan encode_span("encode");
   Result<EncodedRecord> encoded = encoder_->Encode(record);
+  encode_span.End();
   if (!encoded.ok()) return encoded.status();
   MatchEncoded(encoded.value(), out);
   const uint64_t mid = NowNanos();
@@ -379,7 +405,9 @@ Status LinkageService::MatchAndInsert(const Record& record,
              &last_query_end_ns_);
   t_queries_->Add(1);
   t_query_latency_->Record((mid - start) / 1000);
+  telemetry::TraceSpan insert_span("insert");
   InsertEncoded(encoded.value());
+  insert_span.End();
   const uint64_t end = NowNanos();
   inserts_.fetch_add(1, std::memory_order_relaxed);
   RecordSpan(mid, end, &insert_nanos_, &first_insert_start_ns_,
@@ -393,8 +421,17 @@ Status LinkageService::InsertBatch(const std::vector<Record>& records) {
   std::mutex mu;
   Status first_error;
   telemetry::ScopedTimer batch_timer(t_batch_latency_);
+  // Carry the caller's trace onto the pool threads: each chunk records
+  // its own span into the request's collector (slot claiming makes the
+  // concurrent writes safe; ParallelFor's completion orders the reads).
+  const telemetry::TraceContext parent_ctx = telemetry::CurrentTraceContext();
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
+                       telemetry::ScopedTraceContext scope(
+                           parent_ctx.collector, parent_ctx.parent_span_id);
+                       telemetry::TraceSpan chunk_span("insert_chunk");
+                       chunk_span.Annotate("begin", begin);
+                       chunk_span.Annotate("count", end - begin);
                        for (size_t i = begin; i < end; ++i) {
                          Status st = InsertUnjournaled(records[i]);
                          if (!st.ok()) {
@@ -411,11 +448,17 @@ Status LinkageService::InsertBatch(const std::vector<Record>& records) {
   // acknowledgement even under a relaxed per-append fsync policy.
   std::shared_ptr<Journal> journal = this->journal();
   if (journal != nullptr) {
+    telemetry::TraceSpan journal_span("journal");
+    const uint64_t before = journal_span.active() ? journal->EndOffset() : 0;
     for (const Record& record : records) {
       CBVLINK_RETURN_NOT_OK(journal->AppendInsert(record));
     }
     if (journal->options().fsync_every != 0) {
       CBVLINK_RETURN_NOT_OK(journal->Sync());
+    }
+    if (journal_span.active()) {
+      journal_span.Annotate("records", records.size());
+      journal_span.Annotate("bytes", journal->EndOffset() - before);
     }
   }
   return Status::OK();
@@ -426,8 +469,14 @@ Status LinkageService::MatchBatch(const std::vector<Record>& records,
   std::mutex mu;
   Status first_error;
   telemetry::ScopedTimer batch_timer(t_batch_latency_);
+  const telemetry::TraceContext parent_ctx = telemetry::CurrentTraceContext();
   pool_->ParallelFor(records.size(),
                      [&](size_t /*chunk*/, size_t begin, size_t end) {
+                       telemetry::ScopedTraceContext scope(
+                           parent_ctx.collector, parent_ctx.parent_span_id);
+                       telemetry::TraceSpan chunk_span("match_chunk");
+                       chunk_span.Annotate("begin", begin);
+                       chunk_span.Annotate("count", end - begin);
                        std::vector<IdPair> local;
                        for (size_t i = begin; i < end; ++i) {
                          Status st = Match(records[i], &local);

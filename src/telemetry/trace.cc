@@ -1,0 +1,120 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cbvlink {
+namespace telemetry {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+uint64_t TraceNowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+uint64_t MixTraceId(uint64_t seed) {
+  // splitmix64 finalizer: full-avalanche, cheap, and stateless, so the
+  // same seed always yields the same id (sampling determinism tests).
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z == 0 ? 1 : z;
+}
+
+uint64_t GenerateTraceId() {
+  static std::atomic<uint64_t> counter{0};
+  // Boot entropy: the clock at first use, folded in once, so two
+  // processes started apart do not mint colliding id streams.
+  static const uint64_t boot = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      std::chrono::system_clock::now().time_since_epoch().count());
+  return MixTraceId(boot + counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+void TraceCollector::Record(const Span& span) {
+  const uint32_t slot = count_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSpansPerTrace) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_[slot] = span;
+  spans_[slot].trace_id = trace_id_;
+}
+
+std::vector<Span> TraceCollector::Spans() const {
+  const uint32_t n = count_.load(std::memory_order_relaxed);
+  const size_t used = n < kMaxSpansPerTrace ? n : kMaxSpansPerTrace;
+  std::vector<Span> out(spans_.begin(), spans_.begin() + used);
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_us != b.start_us ? a.start_us < b.start_us
+                                    : a.span_id < b.span_id;
+  });
+  return out;
+}
+
+TraceContext& CurrentTraceContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceCollector* collector,
+                                       uint64_t parent_span_id) {
+  TraceContext& current = CurrentTraceContext();
+  saved_ = current;
+  current.collector = collector;
+  current.parent_span_id = parent_span_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { CurrentTraceContext() = saved_; }
+
+TraceSpan::TraceSpan(const char* name) {
+  TraceContext& context = CurrentTraceContext();
+  if (context.collector == nullptr) return;  // untraced: stay free
+  collector_ = context.collector;
+  span_.name = name;
+  span_.span_id = collector_->NextSpanId();
+  span_.parent_span_id = context.parent_span_id;
+  span_.start_us = TraceNowMicros();
+  span_.thread = TraceThreadSlot();
+  saved_parent_ = context.parent_span_id;
+  context.parent_span_id = span_.span_id;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+void TraceSpan::End() {
+  if (collector_ == nullptr) return;
+  const uint64_t now = TraceNowMicros();
+  span_.dur_us = now > span_.start_us ? now - span_.start_us : 0;
+  collector_->Record(span_);
+  CurrentTraceContext().parent_span_id = saved_parent_;
+  collector_ = nullptr;
+}
+
+void TraceSpan::Annotate(const char* key, uint64_t value) {
+  if (collector_ == nullptr) return;
+  if (span_.n_annotations >= kMaxSpanAnnotations) return;
+  span_.annotations[span_.n_annotations++] = SpanAnnotation{key, value};
+}
+
+uint32_t TraceThreadSlot() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace telemetry
+}  // namespace cbvlink

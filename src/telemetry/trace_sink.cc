@@ -1,0 +1,201 @@
+#include "src/telemetry/trace_sink.h"
+
+#include <cinttypes>
+#include <utility>
+
+#include "src/common/str.h"
+#include "src/io/serialization.h"
+
+namespace cbvlink {
+namespace telemetry {
+
+namespace {
+
+void AppendJsonString(const char* s, std::string* out) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->append(StrFormat("\\u%04x", c));
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendSpanArgs(const Span& span, std::string* out) {
+  out->append(StrFormat("{\"trace_id\":\"%016" PRIx64 "\"", span.trace_id));
+  for (uint32_t a = 0; a < span.n_annotations; ++a) {
+    out->push_back(',');
+    AppendJsonString(span.annotations[a].key, out);
+    out->append(StrFormat(":%" PRIu64, span.annotations[a].value));
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+TraceSink::TraceSink(TraceSinkOptions options) : options_(options) {
+  ring_.reserve(options_.capacity == 0 ? 1 : options_.capacity);
+}
+
+bool TraceSink::Finish(const TraceCollector& collector,
+                       uint64_t root_dur_us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++offered_;
+  }
+  if (!ShouldKeep(collector.trace_id(), root_dur_us)) return false;
+  CapturedTrace trace;
+  trace.trace_id = collector.trace_id();
+  trace.root_dur_us = root_dur_us;
+  trace.dropped_spans = collector.dropped();
+  trace.spans = collector.Spans();
+  Offer(std::move(trace));
+  return true;
+}
+
+void TraceSink::Offer(CapturedTrace trace) {
+  trace.slow = IsSlow(trace.root_dur_us);
+  const size_t capacity = options_.capacity == 0 ? 1 : options_.capacity;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace.seq = next_seq_++;
+  if (trace.slow) ++captured_slow_;
+  const size_t slot = static_cast<size_t>(trace.seq % capacity);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(trace);  // overwrite the oldest occupant
+  } else {
+    ring_.push_back(std::move(trace));
+  }
+}
+
+std::vector<CapturedTrace> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CapturedTrace> out;
+  out.reserve(ring_.size());
+  const size_t capacity = options_.capacity == 0 ? 1 : options_.capacity;
+  // Oldest first: when the ring has wrapped, the oldest entry lives at
+  // next_seq_ % capacity; before wrapping, at slot 0.
+  const size_t start =
+      next_seq_ > ring_.size() ? static_cast<size_t>(next_seq_ % capacity) : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<CapturedTrace> TraceSink::SlowTraces() const {
+  std::vector<CapturedTrace> all = Snapshot();
+  std::vector<CapturedTrace> slow;
+  for (auto& trace : all) {
+    if (trace.slow) slow.push_back(std::move(trace));
+  }
+  return slow;
+}
+
+uint64_t TraceSink::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+uint64_t TraceSink::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t TraceSink::captured_slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_slow_;
+}
+
+std::string TraceSink::ToChromeTraceJson() const {
+  const std::vector<CapturedTrace> traces = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const CapturedTrace& trace : traces) {
+    for (const Span& span : trace.spans) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("{\"name\":");
+      AppendJsonString(span.name, &out);
+      out.append(StrFormat(
+          ",\"cat\":\"cbvlink\",\"ph\":\"X\",\"ts\":%" PRIu64
+          ",\"dur\":%" PRIu64 ",\"pid\":%" PRIu64 ",\"tid\":%u,\"args\":",
+          span.start_us, span.dur_us, trace.seq, span.thread));
+      AppendSpanArgs(span, &out);
+      out.push_back('}');
+    }
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+namespace {
+
+void AppendTrace(const CapturedTrace& trace, std::string* out) {
+  out->append(StrFormat("{\"trace_id\":\"%016" PRIx64 "\",\"seq\":%" PRIu64
+                        ",\"root_dur_us\":%" PRIu64
+                        ",\"slow\":%s,\"dropped_spans\":%" PRIu64
+                        ",\"spans\":[",
+                        trace.trace_id, trace.seq, trace.root_dur_us,
+                        trace.slow ? "true" : "false", trace.dropped_spans));
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& span = trace.spans[i];
+    if (i != 0) out->push_back(',');
+    out->append("{\"name\":");
+    AppendJsonString(span.name, out);
+    out->append(StrFormat(",\"span_id\":%" PRIu64 ",\"parent_span_id\":%" PRIu64
+                          ",\"start_us\":%" PRIu64 ",\"dur_us\":%" PRIu64
+                          ",\"thread\":%u,\"args\":",
+                          span.span_id, span.parent_span_id, span.start_us,
+                          span.dur_us, span.thread));
+    AppendSpanArgs(span, out);
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+std::string TracesDocument(const std::vector<CapturedTrace>& traces,
+                           uint64_t offered, uint64_t captured,
+                           uint64_t captured_slow,
+                           const TraceSinkOptions& options) {
+  std::string out = StrFormat(
+      "{\"offered\":%" PRIu64 ",\"captured\":%" PRIu64
+      ",\"captured_slow\":%" PRIu64 ",\"sample_every\":%" PRIu64
+      ",\"slow_threshold_us\":%" PRIu64 ",\"traces\":[",
+      offered, captured, captured_slow, options.sample_every,
+      options.slow_threshold_us);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendTrace(traces[i], &out);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace
+
+std::string TraceSink::ToTracezJson() const {
+  return TracesDocument(Snapshot(), offered(), captured(), captured_slow(),
+                        options_);
+}
+
+std::string TraceSink::ToSlowTracesJson() const {
+  return TracesDocument(SlowTraces(), offered(), captured(), captured_slow(),
+                        options_);
+}
+
+Status TraceSink::DumpChromeTrace(const std::string& path) const {
+  return WriteFileAtomically(path, ToChromeTraceJson());
+}
+
+Status TraceSink::DumpSlowTraces(const std::string& path) const {
+  return WriteFileAtomically(path, ToSlowTracesJson());
+}
+
+}  // namespace telemetry
+}  // namespace cbvlink

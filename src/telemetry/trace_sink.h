@@ -1,0 +1,136 @@
+// Where finished traces go: a bounded ring of captured traces with
+// head sampling and slow-query tail capture, plus the three render
+// surfaces the serving tier exposes (chrome://tracing JSON, the
+// /tracez span-tree JSON, and the slow-query sibling dump next to the
+// metrics JSON).
+//
+// Keep/drop policy, decided once per trace when its root span closes:
+//   * head sampling — keep when `sample_every > 0` and
+//     trace_id % sample_every == 0.  Pure function of the id, so the
+//     client, the server, and a test all agree on which traces
+//     survive (sampling determinism).
+//   * tail capture — ALWAYS keep traces whose root duration reaches
+//     `slow_threshold_us`, regardless of sampling.  This is the
+//     slow-query log: the 1-in-N sampler must never lose the outlier
+//     you are hunting.
+//
+// The ring overwrites oldest-first.  Offer() happens once per KEPT
+// trace — rare by construction — so a mutex there costs nothing on
+// the request path; the per-span hot path never reaches this file
+// (see trace.h).
+
+#ifndef CBVLINK_TELEMETRY_TRACE_SINK_H_
+#define CBVLINK_TELEMETRY_TRACE_SINK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/telemetry/trace.h"
+
+namespace cbvlink {
+namespace telemetry {
+
+struct TraceSinkOptions {
+  /// Captured traces the ring holds before overwriting the oldest.
+  size_t capacity = 128;
+  /// Head sampling: keep traces whose id % sample_every == 0.
+  /// 1 keeps everything, 0 disables head sampling (slow-only).
+  uint64_t sample_every = 1;
+  /// Tail capture: always keep traces at least this slow (root span
+  /// duration, microseconds).  0 disables tail capture.
+  uint64_t slow_threshold_us = 50000;
+};
+
+/// One kept trace: the root's timing plus the full span set.
+struct CapturedTrace {
+  uint64_t trace_id = 0;
+  uint64_t root_dur_us = 0;
+  bool slow = false;          ///< Kept by (or also qualifying for) tail capture.
+  uint64_t seq = 0;           ///< Monotone capture sequence (ring-order proof).
+  uint64_t dropped_spans = 0; ///< Spans the collector arena could not hold.
+  std::vector<Span> spans;    ///< Ordered by start time.
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkOptions options);
+
+  const TraceSinkOptions& options() const { return options_; }
+
+  /// The head-sampling decision as a pure function — deterministic in
+  /// (trace_id, sample_every).
+  static bool HeadSampled(uint64_t trace_id, uint64_t sample_every) {
+    return sample_every > 0 && trace_id % sample_every == 0;
+  }
+
+  /// Whether a finished trace should be captured at all (head sample
+  /// OR slow enough for tail capture).  Callers may use this to skip
+  /// assembling the CapturedTrace for dropped traces.
+  bool ShouldKeep(uint64_t trace_id, uint64_t root_dur_us) const {
+    return HeadSampled(trace_id, options_.sample_every) ||
+           IsSlow(root_dur_us);
+  }
+
+  bool IsSlow(uint64_t root_dur_us) const {
+    return options_.slow_threshold_us > 0 &&
+           root_dur_us >= options_.slow_threshold_us;
+  }
+
+  /// Finishes `collector`'s trace: applies the keep/drop policy and,
+  /// when kept, copies its spans into the ring.  Returns true when the
+  /// trace was captured.
+  bool Finish(const TraceCollector& collector, uint64_t root_dur_us);
+
+  /// Directly offers an assembled trace (stamps seq + slow).  Used by
+  /// Finish and by tests exercising ring semantics.
+  void Offer(CapturedTrace trace);
+
+  /// Ring contents, oldest first.
+  std::vector<CapturedTrace> Snapshot() const;
+
+  /// Only the tail-captured (slow) traces, oldest first.
+  std::vector<CapturedTrace> SlowTraces() const;
+
+  /// Traces offered / kept / kept-slow since construction.
+  uint64_t offered() const;
+  uint64_t captured() const;
+  uint64_t captured_slow() const;
+
+  /// chrome://tracing "trace event format" JSON:
+  /// {"traceEvents":[{"name","cat","ph":"X","ts","dur","pid","tid",
+  ///   "args":{...}}, ...]}.  pid groups spans by trace (one track
+  /// group per trace), tid is the recording thread slot.
+  std::string ToChromeTraceJson() const;
+
+  /// The /tracez document: every captured trace as an explicit span
+  /// tree with annotations, plus sink counters.
+  std::string ToTracezJson() const;
+
+  /// Slow traces only — the sibling dump that rides next to the
+  /// metrics JSON exporter output.
+  std::string ToSlowTracesJson() const;
+
+  /// Writes ToChromeTraceJson() to `path` atomically (tmp + fsync +
+  /// rename, the io/serialization write path).
+  Status DumpChromeTrace(const std::string& path) const;
+
+  /// Writes ToSlowTracesJson() to `path` atomically.
+  Status DumpSlowTraces(const std::string& path) const;
+
+ private:
+  const TraceSinkOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<CapturedTrace> ring_;  ///< ring_[seq % capacity]
+  uint64_t next_seq_ = 0;
+  uint64_t offered_ = 0;
+  uint64_t captured_slow_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace cbvlink
+
+#endif  // CBVLINK_TELEMETRY_TRACE_SINK_H_

@@ -320,6 +320,136 @@ TEST(NetProtocolTest, ParseHostPort) {
   EXPECT_FALSE(ParseHostPort("", &host, &port).ok());
 }
 
+TEST(NetProtocolTest, TraceContextPayloadRoundTrip) {
+  std::string payload;
+  EncodeTraceContextPayload(0x1122334455667788ULL, 42, &payload);
+  uint64_t trace_id = 0;
+  uint64_t parent = 0;
+  ASSERT_TRUE(DecodeTraceContextPayload(payload, &trace_id, &parent).ok());
+  EXPECT_EQ(trace_id, 0x1122334455667788ULL);
+  EXPECT_EQ(parent, 42u);
+
+  // Zero trace id means "untraced" everywhere: rejected on decode.
+  EncodeTraceContextPayload(0, 0, &payload);
+  EXPECT_FALSE(DecodeTraceContextPayload(payload, &trace_id, &parent).ok());
+  // Truncated payloads are rejected, not misread.
+  EncodeTraceContextPayload(7, 8, &payload);
+  payload.resize(payload.size() - 1);
+  EXPECT_FALSE(DecodeTraceContextPayload(payload, &trace_id, &parent).ok());
+  EXPECT_FALSE(DecodeTraceContextPayload("", &trace_id, &parent).ok());
+}
+
+TEST(NetProtocolTest, ServerTimingPayloadRoundTrip) {
+  std::vector<StageTiming> stages = {
+      {TimingStage::kQueue, 12},    {TimingStage::kEncode, 3},
+      {TimingStage::kCandidates, 4500}, {TimingStage::kCompare, 90},
+      {TimingStage::kInsert, 700},  {TimingStage::kJournal, 55},
+      {TimingStage::kTotal, 5360},
+  };
+  std::string payload;
+  EncodeServerTimingPayload(0xfeedULL, stages, &payload);
+  uint64_t trace_id = 0;
+  std::vector<StageTiming> decoded;
+  ASSERT_TRUE(DecodeServerTimingPayload(payload, &trace_id, &decoded).ok());
+  EXPECT_EQ(trace_id, 0xfeedULL);
+  ASSERT_EQ(decoded.size(), stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    EXPECT_EQ(decoded[i].stage, stages[i].stage);
+    EXPECT_EQ(decoded[i].dur_us, stages[i].dur_us);
+  }
+
+  payload.resize(payload.size() - 2);  // truncated entry list
+  EXPECT_FALSE(DecodeServerTimingPayload(payload, &trace_id, &decoded).ok());
+}
+
+TEST(NetProtocolTest, ServerTimingHeaderRoundTrip) {
+  const std::vector<StageTiming> stages = {
+      {TimingStage::kQueue, 123},     {TimingStage::kCandidates, 4500},
+      {TimingStage::kInsert, 250},    {TimingStage::kTotal, 4873},
+  };
+  const std::string value = ServerTimingHeaderValue(stages);
+  // Fractional milliseconds per the Server-Timing spec.
+  EXPECT_NE(value.find("queue;dur=0.123"), std::string::npos) << value;
+  EXPECT_NE(value.find("candidates;dur=4.500"), std::string::npos) << value;
+  EXPECT_NE(value.find("insert;dur=0.250"), std::string::npos) << value;
+
+  const std::vector<StageTiming> parsed = ParseServerTimingHeaderValue(value);
+  ASSERT_EQ(parsed.size(), stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    EXPECT_EQ(parsed[i].stage, stages[i].stage);
+    EXPECT_EQ(parsed[i].dur_us, stages[i].dur_us);
+  }
+  // Unknown tokens are skipped, not errors.
+  EXPECT_TRUE(ParseServerTimingHeaderValue("cache;dur=1.0, x").empty());
+  EXPECT_TRUE(ParseServerTimingHeaderValue("").empty());
+}
+
+TEST(NetProtocolTest, TimingStageNamesAreStableTokens) {
+  EXPECT_STREQ(TimingStageName(TimingStage::kQueue), "queue");
+  EXPECT_STREQ(TimingStageName(TimingStage::kEncode), "encode");
+  EXPECT_STREQ(TimingStageName(TimingStage::kCandidates), "candidates");
+  EXPECT_STREQ(TimingStageName(TimingStage::kCompare), "compare");
+  EXPECT_STREQ(TimingStageName(TimingStage::kInsert), "insert");
+  EXPECT_STREQ(TimingStageName(TimingStage::kJournal), "journal");
+  EXPECT_STREQ(TimingStageName(TimingStage::kTotal), "total");
+}
+
+TEST(NetProtocolTest, TraceIdHexRoundTrip) {
+  EXPECT_EQ(TraceIdHex(0x0123456789abcdefULL), "0123456789abcdef");
+  EXPECT_EQ(ParseTraceIdHex("0123456789abcdef"), 0x0123456789abcdefULL);
+  EXPECT_EQ(ParseTraceIdHex("ABCDEF"), 0xabcdefULL);  // case-insensitive
+  EXPECT_EQ(ParseTraceIdHex(""), 0u);
+  EXPECT_EQ(ParseTraceIdHex("xyz"), 0u);
+  EXPECT_EQ(ParseTraceIdHex("00112233445566778899"), 0u);  // too long
+  for (uint64_t id : {1ULL, 0xdeadbeefULL, ~0ULL}) {
+    EXPECT_EQ(ParseTraceIdHex(TraceIdHex(id)), id);
+  }
+}
+
+TEST(NetProtocolTest, HttpParserExtractsTraceHeaders) {
+  HttpParser parser;
+  parser.Feed(
+      "POST /match HTTP/1.1\r\nHost: t\r\n"
+      "X-Trace-Id: 00000000000000ff\r\nX-Trace-Parent: 0a\r\n"
+      "Content-Length: 2\r\n\r\n{}");
+  HttpRequest request;
+  ASSERT_EQ(parser.Pop(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.trace_id, 0xffu);
+  EXPECT_EQ(request.trace_parent, 0xau);
+
+  // Trace state must reset between pipelined requests.
+  parser.Feed("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_EQ(parser.Pop(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.trace_id, 0u);
+  EXPECT_EQ(request.trace_parent, 0u);
+
+  // Malformed ids degrade to untraced, not to a parse error.
+  parser.Feed("GET / HTTP/1.1\r\nHost: t\r\nX-Trace-Id: nope\r\n\r\n");
+  ASSERT_EQ(parser.Pop(&request), HttpParser::Next::kRequest);
+  EXPECT_EQ(request.trace_id, 0u);
+}
+
+TEST(NetProtocolTest, HttpResponseRendersTraceExtras) {
+  HttpResponseExtras extras;
+  extras.server_timing = "queue;dur=0.010, total;dur=1.500";
+  extras.trace_id = "00000000000000ff";
+  const std::string response =
+      HttpResponse(200, "application/json", "{}", /*keep_alive=*/true,
+                   /*retry_after_s=*/0, extras);
+  EXPECT_NE(
+      response.find("Server-Timing: queue;dur=0.010, total;dur=1.500\r\n"),
+      std::string::npos)
+      << response;
+  EXPECT_NE(response.find("X-Trace-Id: 00000000000000ff\r\n"),
+            std::string::npos)
+      << response;
+
+  // Empty extras add no headers (byte-identical to the plain overload).
+  EXPECT_EQ(HttpResponse(200, "application/json", "{}", true, 0,
+                         HttpResponseExtras{}),
+            HttpResponse(200, "application/json", "{}", true));
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace cbvlink

@@ -1,0 +1,600 @@
+// Tests for request tracing: the span arena and thread-context core
+// (src/telemetry/trace.h), the capture ring with head sampling and
+// slow-query tail capture (src/telemetry/trace_sink.h), and end-to-end
+// propagation through the serving tier — kTraceContext / X-Trace-Id in,
+// kServerTiming / Server-Timing out, /tracez, and trace-id preservation
+// across RetryingClient retries.
+
+#include "src/telemetry/trace.h"
+
+#include <gtest/gtest.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/str.h"
+#include "src/datagen/generators.h"
+#include "src/net/client.h"
+#include "src/net/faultproxy.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+#include "src/service/linkage_service.h"
+#include "src/telemetry/trace_sink.h"
+
+namespace cbvlink {
+namespace telemetry {
+namespace {
+
+using net::NetClient;
+using net::NetServer;
+using net::NetServerOptions;
+
+// --- core: ids, sampling, arena, context ----------------------------------
+
+TEST(TraceTest, MixTraceIdIsDeterministicNonZeroAndDispersed) {
+  EXPECT_EQ(MixTraceId(42), MixTraceId(42));
+  EXPECT_NE(MixTraceId(42), MixTraceId(43));
+  std::set<uint64_t> ids;
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    const uint64_t id = MixTraceId(seed);
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);  // no collisions over a small range
+}
+
+TEST(TraceTest, GeneratedIdsAreUniqueAndNonZero) {
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = GenerateTraceId();
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(TraceTest, HeadSamplingIsAPureFunctionOfIdAndRate) {
+  // Every caller agrees: the client, the server and this test can all
+  // predict which ids survive a given sampling rate.
+  for (uint64_t id = 1; id < 100; ++id) {
+    EXPECT_TRUE(TraceSink::HeadSampled(id, 1));
+    EXPECT_FALSE(TraceSink::HeadSampled(id, 0));  // 0 = slow-only
+    EXPECT_EQ(TraceSink::HeadSampled(id, 4), id % 4 == 0);
+    EXPECT_EQ(TraceSink::HeadSampled(id, 4), TraceSink::HeadSampled(id, 4));
+  }
+}
+
+TEST(TraceTest, CollectorArenaDropsOverflowAndCountsIt) {
+  TraceCollector collector(7);
+  const size_t n = kMaxSpansPerTrace + 5;
+  for (size_t i = 0; i < n; ++i) {
+    Span span;
+    span.name = "s";
+    span.span_id = collector.NextSpanId();
+    span.start_us = n - i;  // reverse start order: Spans() must sort
+    collector.Record(span);
+  }
+  EXPECT_EQ(collector.dropped(), 5u);
+  const std::vector<Span> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), kMaxSpansPerTrace);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_us, spans[i].start_us);
+  }
+  for (const Span& span : spans) {
+    EXPECT_EQ(span.trace_id, 7u);  // stamped by Record
+  }
+}
+
+TEST(TraceTest, SpansAreNoOpsWithoutACollector) {
+  // No ScopedTraceContext installed: the hot path must stay inert.
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.Annotate("k", 1);
+  span.End();  // must not crash or record anywhere
+}
+
+TEST(TraceTest, ScopedContextNestsAndRestores) {
+  TraceCollector collector(9);
+  EXPECT_EQ(CurrentTraceContext().collector, nullptr);
+  {
+    ScopedTraceContext scope(&collector, collector.root_span_id());
+    EXPECT_EQ(CurrentTraceContext().collector, &collector);
+
+    TraceSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    // While `outer` lives it is the parent of new spans on this thread.
+    EXPECT_EQ(CurrentTraceContext().parent_span_id, outer.span_id());
+    {
+      TraceSpan inner("inner");
+      ASSERT_TRUE(inner.active());
+      EXPECT_NE(inner.span_id(), outer.span_id());
+    }
+    outer.End();
+    EXPECT_EQ(CurrentTraceContext().parent_span_id, collector.root_span_id());
+  }
+  EXPECT_EQ(CurrentTraceContext().collector, nullptr);
+
+  // Parent links recorded correctly: inner's parent is outer.
+  const std::vector<Span> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span& outer_span =
+      std::string(spans[0].name) == "outer" ? spans[0] : spans[1];
+  const Span& inner_span =
+      std::string(spans[0].name) == "inner" ? spans[0] : spans[1];
+  EXPECT_EQ(outer_span.parent_span_id, collector.root_span_id());
+  EXPECT_EQ(inner_span.parent_span_id, outer_span.span_id);
+}
+
+TEST(TraceTest, AnnotationsCapAtLimit) {
+  TraceCollector collector(3);
+  ScopedTraceContext scope(&collector, 1);
+  TraceSpan span("annotated");
+  for (size_t i = 0; i < kMaxSpanAnnotations + 3; ++i) {
+    span.Annotate("k", i);
+  }
+  span.End();
+  const std::vector<Span> spans = collector.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].n_annotations, kMaxSpanAnnotations);
+}
+
+// The wait-free recording contract, exercised under TSan: many threads
+// record into ONE collector through their own scoped contexts; every
+// span is either stored or counted dropped, with no loss or tearing.
+TEST(TraceTest, ConcurrentRecordingIsLossless) {
+  TraceCollector collector(11);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&collector]() {
+      ScopedTraceContext scope(&collector, collector.root_span_id());
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker");
+        span.Annotate("i", i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const size_t total = kThreads * kSpansPerThread;
+  const std::vector<Span> spans = collector.Spans();
+  EXPECT_EQ(spans.size() + collector.dropped(), total);
+  EXPECT_EQ(spans.size(), std::min<size_t>(total, kMaxSpansPerTrace));
+  // Span ids were claimed uniquely despite the races.
+  std::set<uint64_t> ids;
+  for (const Span& span : spans) ids.insert(span.span_id);
+  EXPECT_EQ(ids.size(), spans.size());
+}
+
+// --- sink: ring, sampling, tail capture, rendering ------------------------
+
+CapturedTrace MakeTrace(uint64_t id, uint64_t dur_us) {
+  CapturedTrace trace;
+  trace.trace_id = id;
+  trace.root_dur_us = dur_us;
+  Span root;
+  root.name = "request";
+  root.trace_id = id;
+  root.span_id = 1;
+  root.dur_us = dur_us;
+  trace.spans.push_back(root);
+  return trace;
+}
+
+TEST(TraceSinkTest, RingOverwritesOldestFirst) {
+  TraceSinkOptions options;
+  options.capacity = 4;
+  options.sample_every = 1;
+  options.slow_threshold_us = 0;
+  TraceSink sink(options);
+  for (uint64_t i = 0; i < 10; ++i) {
+    sink.Offer(MakeTrace(/*id=*/100 + i, /*dur_us=*/i));
+  }
+  const std::vector<CapturedTrace> kept = sink.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest-first, and exactly the last `capacity` offers survive.
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].trace_id, 100u + 6 + i);
+    EXPECT_EQ(kept[i].seq, 6 + i);
+    if (i > 0) {
+      EXPECT_EQ(kept[i].seq, kept[i - 1].seq + 1);
+    }
+  }
+  EXPECT_EQ(sink.captured(), 10u);  // all ten entered the ring
+}
+
+TEST(TraceSinkTest, FinishAppliesHeadSampling) {
+  TraceSinkOptions options;
+  options.sample_every = 2;
+  options.slow_threshold_us = 0;  // no tail capture: sampling only
+  TraceSink sink(options);
+  TraceCollector even(4);
+  TraceCollector odd(5);
+  EXPECT_TRUE(sink.Finish(even, /*root_dur_us=*/10));
+  EXPECT_FALSE(sink.Finish(odd, /*root_dur_us=*/10));
+  EXPECT_EQ(sink.offered(), 2u);
+  EXPECT_EQ(sink.captured(), 1u);
+  ASSERT_EQ(sink.Snapshot().size(), 1u);
+  EXPECT_EQ(sink.Snapshot()[0].trace_id, 4u);
+}
+
+TEST(TraceSinkTest, SlowTracesSurviveRegardlessOfSampling) {
+  TraceSinkOptions options;
+  options.sample_every = 0;  // head sampling off entirely
+  options.slow_threshold_us = 1000;
+  TraceSink sink(options);
+  TraceCollector fast(21);
+  TraceCollector slow(22);
+  EXPECT_FALSE(sink.Finish(fast, /*root_dur_us=*/999));
+  EXPECT_TRUE(sink.Finish(slow, /*root_dur_us=*/1000));
+  EXPECT_EQ(sink.captured(), 1u);
+  EXPECT_EQ(sink.captured_slow(), 1u);
+  const std::vector<CapturedTrace> slow_traces = sink.SlowTraces();
+  ASSERT_EQ(slow_traces.size(), 1u);
+  EXPECT_EQ(slow_traces[0].trace_id, 22u);
+  EXPECT_TRUE(slow_traces[0].slow);
+}
+
+TEST(TraceSinkTest, JsonSurfacesRenderCapturedSpans) {
+  TraceSinkOptions options;
+  options.slow_threshold_us = 1;  // everything qualifies as "slow"
+  TraceSink sink(options);
+  TraceCollector collector(0xabcdef12u);
+  {
+    ScopedTraceContext scope(&collector, collector.root_span_id());
+    TraceSpan span("candidates");
+    span.Annotate("candidates", 17);
+  }
+  ASSERT_TRUE(sink.Finish(collector, /*root_dur_us=*/5000));
+
+  const std::string chrome = sink.ToChromeTraceJson();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("candidates"), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string tracez = sink.ToTracezJson();
+  EXPECT_NE(tracez.find(net::TraceIdHex(0xabcdef12u)), std::string::npos);
+  EXPECT_NE(tracez.find("candidates"), std::string::npos);
+
+  const std::string slow = sink.ToSlowTracesJson();
+  EXPECT_NE(slow.find(net::TraceIdHex(0xabcdef12u)), std::string::npos);
+}
+
+// --- end-to-end: serving tier ---------------------------------------------
+
+CbvHbConfig BaseConfig(const Schema& schema) {
+  CbvHbConfig config;
+  config.schema = schema;
+  config.rule = Rule::And({Rule::Pred(0, 4), Rule::Pred(1, 4),
+                           Rule::Pred(2, 4), Rule::Pred(3, 4)});
+  config.record_K = 30;
+  config.record_theta = 4;
+  config.expected_qgrams = {5.1, 5.0, 20.0, 7.2};
+  config.seed = 5;
+  return config;
+}
+
+std::vector<Record> GenerateRecords(const NcvrGenerator& gen, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(gen.Generate(i, rng));
+  }
+  return records;
+}
+
+/// One raw HTTP/1.1 exchange: connect, send `request` (which must carry
+/// "Connection: close"), read until the server closes.
+std::string HttpExchange(uint16_t port, const std::string& request) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo("127.0.0.1", std::to_string(port).c_str(), &hints, &res) !=
+      0) {
+    return "";
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return "";
+  }
+  timeval tv{};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& target) {
+  return HttpExchange(port, "GET " + target +
+                                " HTTP/1.1\r\nHost: t\r\nConnection: close"
+                                "\r\n\r\n");
+}
+
+/// A service pre-loaded with `n` generated records, a trace sink, and a
+/// running server wired to it.
+struct TracedFixture {
+  std::unique_ptr<NcvrGenerator> gen;
+  std::unique_ptr<LinkageService> service;
+  std::unique_ptr<TraceSink> sink;
+  std::unique_ptr<NetServer> server;
+  std::vector<Record> records;
+
+  static TracedFixture Start(size_t n) {
+    TraceSinkOptions sink_options;
+    sink_options.sample_every = 1;  // capture everything
+    sink_options.slow_threshold_us = 0;
+    return Start(n, sink_options);
+  }
+
+  static TracedFixture Start(size_t n, const TraceSinkOptions& sink_options) {
+    TracedFixture f;
+    Result<NcvrGenerator> gen = NcvrGenerator::Create();
+    EXPECT_TRUE(gen.ok());
+    f.gen = std::make_unique<NcvrGenerator>(std::move(gen.value()));
+    Result<std::unique_ptr<LinkageService>> service =
+        LinkageService::Create(BaseConfig(f.gen->schema()));
+    EXPECT_TRUE(service.ok());
+    f.service = std::move(service.value());
+    f.records = GenerateRecords(*f.gen, n, 21);
+    for (const Record& r : f.records) {
+      EXPECT_TRUE(f.service->Insert(r).ok());
+    }
+    f.sink = std::make_unique<TraceSink>(sink_options);
+    NetServerOptions options;
+    options.trace_sink = f.sink.get();
+    Result<std::unique_ptr<NetServer>> server =
+        NetServer::Start(f.service.get(), options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    f.server = std::move(server.value());
+    return f;
+  }
+
+  /// Polls the sink until a trace with `id` is captured (or times out);
+  /// returns it (empty spans on timeout).  The sink capture runs on the
+  /// worker thread after the response is queued, so the client can see
+  /// the reply marginally before the trace lands.
+  CapturedTrace WaitForTrace(uint64_t id, int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const CapturedTrace& trace : sink->Snapshot()) {
+        if (trace.trace_id == id) return trace;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return CapturedTrace{};
+  }
+};
+
+std::set<std::string> SpanNames(const CapturedTrace& trace) {
+  std::set<std::string> names;
+  for (const Span& span : trace.spans) names.emplace(span.name);
+  return names;
+}
+
+TEST(TraceServingTest, BinaryTraceContextPropagatesThroughTheFunnel) {
+  TracedFixture f = TracedFixture::Start(12);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const uint64_t id = MixTraceId(2024);
+  client.value()->set_trace(id);
+  Record query = f.records[0];
+  query.id = 5000;
+  std::vector<IdPair> pairs;
+  ASSERT_TRUE(client.value()->Match(query, &pairs).ok());
+
+  // The reply carried the per-stage breakdown for OUR trace id.
+  const std::vector<net::StageTiming>& stages =
+      client.value()->last_server_timing();
+  ASSERT_FALSE(stages.empty());
+  EXPECT_EQ(client.value()->last_server_timing_trace_id(), id);
+  bool saw_total = false;
+  for (const net::StageTiming& timing : stages) {
+    if (timing.stage == net::TimingStage::kTotal) saw_total = true;
+  }
+  EXPECT_TRUE(saw_total);
+
+  // The server captured the span tree under the propagated id, with the
+  // funnel stages present.
+  const CapturedTrace trace = f.WaitForTrace(id);
+  ASSERT_FALSE(trace.spans.empty()) << "trace never captured";
+  const std::set<std::string> names = SpanNames(trace);
+  for (const char* expected :
+       {"request", "queue", "encode", "candidates", "compare"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+  }
+  // Non-root spans hang off the request root (directly or transitively):
+  // every parent id refers to another captured span.
+  std::set<uint64_t> span_ids;
+  for (const Span& span : trace.spans) span_ids.insert(span.span_id);
+  for (const Span& span : trace.spans) {
+    if (span.parent_span_id != 0) {
+      EXPECT_TRUE(span_ids.count(span.parent_span_id))
+          << span.name << " has a dangling parent";
+    }
+  }
+}
+
+TEST(TraceServingTest, UntracedClientsGetNoTimingFrame) {
+  TracedFixture f = TracedFixture::Start(6);
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok());
+  Record query = f.records[0];
+  query.id = 6000;
+  std::vector<IdPair> pairs;
+  ASSERT_TRUE(client.value()->Match(query, &pairs).ok());
+  // Wire compatibility: a client that never sent kTraceContext must not
+  // receive a kServerTiming frame (pre-tracing clients would reject it).
+  EXPECT_TRUE(client.value()->last_server_timing().empty());
+}
+
+TEST(TraceServingTest, HttpTracePropagatesAndTracezServes) {
+  TracedFixture f = TracedFixture::Start(8);
+  const uint64_t id = MixTraceId(77);
+  const std::string hex = net::TraceIdHex(id);
+
+  // POST /match carrying an X-Trace-Id header.
+  const Record& r0 = f.records[0];
+  std::string body = R"({"id": 7000, "fields": [)";
+  for (size_t i = 0; i < r0.fields.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\"" + r0.fields[i] + "\"";
+  }
+  body += "]}";
+  const std::string response = HttpExchange(
+      f.server->port(),
+      "POST /match HTTP/1.1\r\nHost: t\r\nX-Trace-Id: " + hex +
+          "\r\nConnection: close\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body);
+
+  // The response surfaces the trace: Server-Timing stages and the id.
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Server-Timing: "), std::string::npos) << response;
+  EXPECT_NE(response.find("X-Trace-Id: " + hex), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("total;dur="), std::string::npos) << response;
+
+  // The sink captured the span tree under the header-propagated id.
+  const CapturedTrace trace = f.WaitForTrace(id);
+  ASSERT_FALSE(trace.spans.empty());
+  const std::set<std::string> names = SpanNames(trace);
+  EXPECT_TRUE(names.count("request"));
+  EXPECT_TRUE(names.count("candidates"));
+
+  // /tracez serves the captured set, including our trace.
+  const std::string tracez = HttpGet(f.server->port(), "/tracez");
+  EXPECT_NE(tracez.find("200 OK"), std::string::npos);
+  EXPECT_NE(tracez.find(hex), std::string::npos) << tracez;
+}
+
+TEST(TraceServingTest, MalformedTraceHeaderDegradesToUntraced) {
+  // net::ParseTraceIdHex returns 0 on garbage, so a bad header means
+  // "untraced", never an error.
+  EXPECT_EQ(net::ParseTraceIdHex("not-hex!"), 0u);
+  EXPECT_EQ(net::ParseTraceIdHex(""), 0u);
+  EXPECT_EQ(net::ParseTraceIdHex("12345678901234567"), 0u);  // > 16 chars
+  EXPECT_EQ(net::ParseTraceIdHex(net::TraceIdHex(0xdeadbeefULL)),
+            0xdeadbeefULL);
+
+  // And the request itself still succeeds.
+  TracedFixture f = TracedFixture::Start(4);
+  const std::string response = HttpExchange(
+      f.server->port(),
+      "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Trace-Id: zz@@\r\n"
+      "Connection: close\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+}
+
+// Retries of one logical operation must share one trace id: the server's
+// captured traces then tell "one call retried" apart from "many calls".
+TEST(TraceServingTest, RetryingClientKeepsTraceIdAcrossReconnects) {
+  TracedFixture f = TracedFixture::Start(10);
+  Result<std::unique_ptr<net::FaultProxy>> proxy =
+      net::FaultProxy::Start("127.0.0.1", f.server->port());
+  ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+  // Reset each proxied connection after a small byte budget: some
+  // attempts die mid-exchange and must be retried on fresh connections.
+  proxy.value()->faults().reset_after_bytes.store(900);
+
+  net::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.per_attempt_timeout_ms = 5000;
+  policy.backoff.base_ms = 1;
+  policy.backoff.max_ms = 10;
+  net::RetryingClient client("127.0.0.1", proxy.value()->port(), policy);
+
+  std::set<uint64_t> our_ids;
+  constexpr size_t kOps = 30;
+  for (size_t i = 0; i < kOps; ++i) {
+    const uint64_t id = MixTraceId(9000 + i);
+    our_ids.insert(id);
+    client.set_trace(id);
+    Record query = f.records[i % f.records.size()];
+    query.id = 8000 + i;
+    std::vector<IdPair> pairs;
+    ASSERT_TRUE(client.Match(query, &pairs).ok()) << "op " << i;
+  }
+  proxy.value()->faults().reset_after_bytes.store(0);
+  // The faults actually fired (otherwise this test proves nothing)...
+  EXPECT_GT(client.counters().reconnects, 0u);
+  // ...yet every server-side trace carries one of OUR ids: retries
+  // reused the operation's id instead of minting fresh ones.
+  EXPECT_GT(f.sink->captured(), 0u);
+  for (const CapturedTrace& trace : f.sink->Snapshot()) {
+    EXPECT_TRUE(our_ids.count(trace.trace_id))
+        << "unexpected trace id " << net::TraceIdHex(trace.trace_id);
+  }
+  proxy.value()->Shutdown();
+}
+
+TEST(TraceServingTest, NoSinkMeansNoTracingAndTracez404) {
+  // A server without a sink: requests succeed, no timing frames, and
+  // /tracez says tracing is off.
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  ASSERT_TRUE(gen.ok());
+  std::unique_ptr<NcvrGenerator> generator =
+      std::make_unique<NcvrGenerator>(std::move(gen.value()));
+  Result<std::unique_ptr<LinkageService>> service =
+      LinkageService::Create(BaseConfig(generator->schema()));
+  ASSERT_TRUE(service.ok());
+  const std::vector<Record> records = GenerateRecords(*generator, 4, 21);
+  for (const Record& r : records) {
+    ASSERT_TRUE(service.value()->Insert(r).ok());
+  }
+  Result<std::unique_ptr<NetServer>> server =
+      NetServer::Start(service.value().get(), NetServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  Result<std::unique_ptr<NetClient>> client =
+      NetClient::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  client.value()->set_trace(MixTraceId(1));  // armed, but server ignores
+  Record query = records[0];
+  query.id = 9000;
+  std::vector<IdPair> pairs;
+  ASSERT_TRUE(client.value()->Match(query, &pairs).ok());
+  EXPECT_TRUE(client.value()->last_server_timing().empty());
+
+  const std::string tracez = HttpGet(server.value()->port(), "/tracez");
+  EXPECT_NE(tracez.find("404"), std::string::npos) << tracez;
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace cbvlink

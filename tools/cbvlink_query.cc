@@ -35,6 +35,15 @@
 //   --deadline-ms N        overall per-operation deadline, propagated
 //                          to the server (kDeadline frame prefix /
 //                          X-Deadline-Ms header) and bounding retries
+//   --server-timing        tracing: mint a trace id per operation,
+//                          propagate it (kTraceContext frame prefix /
+//                          X-Trace-Id header), and print the server's
+//                          per-stage breakdown (queue/encode/candidates/
+//                          compare/journal/total) from the kServerTiming
+//                          frame / Server-Timing response header as a
+//                          "[timing] trace=... stage=Nus ..." stderr
+//                          line per operation (requires a server run
+//                          with --trace; silently absent otherwise)
 //
 // Exit codes mirror cbvlink_serve: 0 success, 1 runtime/request error
 // (including shed without --allow-shed and deadline-exceeded replies),
@@ -64,6 +73,7 @@
 #include "src/io/csv_reader.h"
 #include "src/net/client.h"
 #include "src/net/protocol.h"
+#include "src/telemetry/trace.h"
 
 namespace cbvlink {
 namespace {
@@ -86,6 +96,7 @@ struct Args {
   int timeout_ms = 30000;
   int retries = 0;
   int64_t deadline_ms = 0;
+  bool server_timing = false;
 };
 
 void Usage() {
@@ -96,6 +107,7 @@ void Usage() {
       "   [--burst N] | --queries FILE [--insert])\n"
       "  [--id-column NAME] [--first-auto-id N] [--out FILE]\n"
       "  [--allow-shed] [--timeout-ms N] [--retries N] [--deadline-ms N]\n"
+      "  [--server-timing]\n"
       "\n"
       "--retries N      retry shed/transport failures up to N extra times\n"
       "                 (binary mode; capped exponential backoff + jitter,\n"
@@ -178,6 +190,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       if (!v) return false;
       args->deadline_ms = std::strtoll(v, nullptr, 10);
       if (args->deadline_ms < 0) args->deadline_ms = 0;
+    } else if (flag == "--server-timing") {
+      args->server_timing = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -267,17 +281,34 @@ class HttpClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
+  /// Arms trace propagation: subsequent Call()s carry this id as the
+  /// X-Trace-Id request header.  Empty disarms.
+  void set_trace_hex(std::string trace_id_hex) {
+    trace_id_hex_ = std::move(trace_id_hex);
+  }
+
+  /// The last response's Server-Timing and X-Trace-Id header values
+  /// (empty when the server sent none — untraced request or a server
+  /// without tracing).
+  const std::string& last_server_timing() const { return server_timing_; }
+  const std::string& last_trace_id() const { return resp_trace_id_; }
+
   /// One keep-alive request; fills `*code` and `*body`.  A positive
   /// `deadline_ms` is propagated as the X-Deadline-Ms header.
   Status Call(const std::string& method, const std::string& target,
               const std::string& body, int* code, std::string* resp_body,
               int64_t deadline_ms = 0) {
+    server_timing_.clear();
+    resp_trace_id_.clear();
     std::string req = StrFormat(
         "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %zu\r\n", method.c_str(),
         target.c_str(), host_.c_str(), body.size());
     if (deadline_ms > 0) {
       req += StrFormat("X-Deadline-Ms: %lld\r\n",
                        static_cast<long long>(deadline_ms));
+    }
+    if (!trace_id_hex_.empty()) {
+      req += StrFormat("X-Trace-Id: %s\r\n", trace_id_hex_.c_str());
     }
     if (!body.empty()) req += "Content-Type: application/json\r\n";
     req += "\r\n";
@@ -304,7 +335,8 @@ class HttpClient {
     *code = std::atoi(headers.c_str() + 9);
     size_t content_length = 0;
     {
-      // Case-insensitive Content-Length scan.
+      // Case-insensitive header scans (the server emits canonical
+      // casing, but be liberal).
       std::string lower;
       lower.reserve(headers.size());
       for (char c : headers)
@@ -314,6 +346,8 @@ class HttpClient {
         content_length = static_cast<size_t>(
             std::strtoull(headers.c_str() + pos + 15, nullptr, 10));
       }
+      server_timing_ = HeaderValue(headers, lower, "server-timing:");
+      resp_trace_id_ = HeaderValue(headers, lower, "x-trace-id:");
     }
     while (buffer_.size() < header_end + content_length) {
       if (!Fill()) return Status::IOError("connection closed mid-body");
@@ -325,6 +359,20 @@ class HttpClient {
 
  private:
   HttpClient(int fd, std::string host) : fd_(fd), host_(std::move(host)) {}
+
+  /// Extracts one header's value (trimmed) given the raw headers and
+  /// their lowercased copy; `needle` must be lowercase with the colon.
+  static std::string HeaderValue(const std::string& headers,
+                                 const std::string& lower,
+                                 const std::string& needle) {
+    const size_t pos = lower.find(needle);
+    if (pos == std::string::npos) return "";
+    size_t start = pos + needle.size();
+    while (start < headers.size() && headers[start] == ' ') ++start;
+    const size_t end = headers.find("\r\n", start);
+    if (end == std::string::npos) return "";
+    return headers.substr(start, end - start);
+  }
 
   bool Fill() {
     char buf[16 * 1024];
@@ -342,6 +390,9 @@ class HttpClient {
   int fd_;
   std::string host_;
   std::string buffer_;
+  std::string trace_id_hex_;
+  std::string server_timing_;
+  std::string resp_trace_id_;
 };
 
 /// Maps an HTTP response to the Tally classification.
@@ -477,19 +528,47 @@ int RunMain(int argc, char** argv) {
                                 : Deadline();
   };
 
+  // With --server-timing: print the per-stage breakdown the server
+  // attached to the reply of the operation traced as `trace_id`.
+  const auto print_timing = [&](uint64_t trace_id,
+                                const std::vector<net::StageTiming>& stages) {
+    if (!args.server_timing) return;
+    std::string line =
+        StrFormat("[timing] trace=%s", net::TraceIdHex(trace_id).c_str());
+    if (stages.empty()) {
+      line += " (no Server-Timing in reply; server run without --trace?)";
+    } else {
+      for (const net::StageTiming& s : stages) {
+        line += StrFormat(" %s=%uus", net::TimingStageName(s.stage),
+                          static_cast<unsigned>(s.dur_us));
+      }
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
   // One record operation in the selected mode; pairs (if any) go to out.
   const auto run_op = [&](const std::string& op,
                           const Record& record) -> Status {
     std::vector<IdPair> pairs;
     Status st;
+    // One fresh trace id per logical operation (retries reuse it).
+    const uint64_t trace_id =
+        args.server_timing ? telemetry::GenerateTraceId() : 0;
     if (http) {
+      if (args.server_timing) web->set_trace_hex(net::TraceIdHex(trace_id));
       int code = 0;
       std::string body;
       st = web->Call("POST", StrFormat("/%s", op.c_str()),
                      RecordToJson(record), &code, &body, args.deadline_ms);
       if (st.ok()) st = StatusFromHttp(code, body);
       if (st.ok() && op != "insert") pairs = PairsFromJson(body);
+      if (st.ok()) {
+        print_timing(trace_id,
+                     net::ParseServerTimingHeaderValue(
+                         web->last_server_timing()));
+      }
     } else if (rbin != nullptr) {
+      rbin->set_trace(trace_id);
       if (op == "match") {
         st = rbin->Match(record, &pairs);
       } else if (op == "insert") {
@@ -497,7 +576,9 @@ int RunMain(int argc, char** argv) {
       } else {
         st = rbin->MatchAndInsert(record, &pairs);
       }
+      if (st.ok()) print_timing(trace_id, rbin->last_server_timing());
     } else {
+      bin->set_trace(trace_id);
       if (op == "match") {
         st = bin->Match(record, &pairs, op_deadline());
       } else if (op == "insert") {
@@ -505,6 +586,7 @@ int RunMain(int argc, char** argv) {
       } else {
         st = bin->MatchAndInsert(record, &pairs, op_deadline());
       }
+      if (st.ok()) print_timing(trace_id, bin->last_server_timing());
     }
     if (st.ok()) PrintPairs(out, pairs);
     return st;

@@ -63,6 +63,20 @@
 //   --follow HOST:PORT     warm-standby mode: bootstrap from the
 //                          primary's snapshot, tail its journal, and
 //                          (with --listen) serve read-only
+//   --trace                enable request tracing: every Nth request
+//                          (--trace-sample-n) keeps its span tree, and
+//                          every request slower than --trace-slow-us
+//                          is kept regardless (the slow-query log);
+//                          captured traces are served at GET /tracez
+//   --trace-sample-n N     head sampling: keep every Nth trace
+//                          (default 1 = all; 0 = slow-only)
+//   --trace-slow-us N      slow-query threshold in microseconds
+//                          (default 50000; 0 disables tail capture)
+//   --trace-out FILE       write captured traces as Chrome trace-event
+//                          JSON at exit (load in chrome://tracing or
+//                          Perfetto); slow queries also land in the
+//                          sibling FILE with a .slow suffix
+// Any --trace-* flag implies --trace.
 // --num-threads (and its deprecated --threads alias) sizes the network
 // worker pool too, so one flag governs batch and network parallelism.
 //
@@ -100,6 +114,7 @@
 #include "src/service/linkage_service.h"
 #include "src/telemetry/exporters.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace_sink.h"
 
 namespace cbvlink {
 namespace {
@@ -134,6 +149,11 @@ struct Args {
   size_t max_conns = 1024;
   size_t idle_timeout_sec = 60;
   size_t drain_deadline_ms = 5000;
+  // Request tracing (src/telemetry/trace_sink.h).
+  bool trace = false;
+  size_t trace_sample_n = 1;
+  size_t trace_slow_us = 50000;
+  std::string trace_out;  // Chrome trace-event JSON, written at exit
 };
 
 /// SIGINT/SIGTERM latch for the --listen wait loop.
@@ -195,10 +215,19 @@ class StatsReporter {
         }
       }
       const ServiceMetrics m = service_->metrics();
+      // Serving-tier pressure, from the gauges the NetServer maintains
+      // (both 0 when no server is running): how much work is waiting
+      // and how fast it is observed to drain.
+      const double queue_depth =
+          telemetry::Registry::Global().GetGauge("net_queue_depth")->Value();
+      const double drain_rate = telemetry::Registry::Global()
+                                    .GetGauge("net_queue_drain_rate")
+                                    ->Value();
       std::fprintf(stderr,
                    "[stats] queries=%llu (+%llu) matches=%llu "
                    "comparisons=%llu candidates=%llu dropped=%llu "
-                   "scan_fallbacks=%llu skipped_rows=%llu\n",
+                   "scan_fallbacks=%llu skipped_rows=%llu "
+                   "queue_depth=%.0f drain_rate=%.1f/s\n",
                    static_cast<unsigned long long>(m.queries),
                    static_cast<unsigned long long>(m.queries - last_queries),
                    static_cast<unsigned long long>(m.matches),
@@ -206,7 +235,8 @@ class StatsReporter {
                    static_cast<unsigned long long>(m.candidate_occurrences),
                    static_cast<unsigned long long>(m.dropped_entries),
                    static_cast<unsigned long long>(m.scan_fallbacks),
-                   static_cast<unsigned long long>(m.skipped_rows));
+                   static_cast<unsigned long long>(m.skipped_rows),
+                   queue_depth, drain_rate);
       last_queries = m.queries;
       if (!metrics_path_.empty()) {
         service_->FillTelemetry();
@@ -242,7 +272,9 @@ void Usage() {
                "  [--listen [ADDR:]PORT] [--journal FILE] "
                "[--fsync always|none|N]\n"
                "  [--queue-cap N] [--max-conns N] [--idle-timeout SEC]\n"
-               "  [--drain-deadline-ms N] [--follow HOST:PORT]\n");
+               "  [--drain-deadline-ms N] [--follow HOST:PORT]\n"
+               "  [--trace] [--trace-sample-n N] [--trace-slow-us N]\n"
+               "  [--trace-out FILE]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -336,6 +368,19 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->follow = v;
+    } else if (flag == "--trace") {
+      args->trace = true;
+    } else if (flag == "--trace-sample-n") {
+      args->trace = true;
+      if (!next_size(&args->trace_sample_n)) return false;
+    } else if (flag == "--trace-slow-us") {
+      args->trace = true;
+      if (!next_size(&args->trace_slow_us)) return false;
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace = true;
+      args->trace_out = v;
     } else if (flag == "--queue-cap") {
       if (!next_size(&args->queue_cap)) return false;
     } else if (flag == "--max-conns") {
@@ -374,11 +419,58 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return !args->queries_path.empty() || !args->listen.empty();
 }
 
+/// Builds the trace sink when any --trace flag was given.
+std::unique_ptr<telemetry::TraceSink> MakeTraceSink(const Args& args) {
+  if (!args.trace) return nullptr;
+  telemetry::TraceSinkOptions options;
+  options.sample_every = args.trace_sample_n;
+  options.slow_threshold_us = args.trace_slow_us;
+  return std::make_unique<telemetry::TraceSink>(options);
+}
+
+/// "foo.json" -> "foo.slow.json" (or "FILE.slow.json" when FILE has no
+/// extension): where the slow-query records land next to --trace-out.
+std::string SlowTracePath(const std::string& path) {
+  const size_t dot = path.rfind('.');
+  const size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + ".slow.json";
+  }
+  return path.substr(0, dot) + ".slow" + path.substr(dot);
+}
+
+/// Writes the Chrome trace-event dump and the slow-query sibling dump.
+void DumpTraces(const telemetry::TraceSink& sink, const std::string& path) {
+  if (path.empty()) return;
+  const Status chrome = sink.DumpChromeTrace(path);
+  if (!chrome.ok()) {
+    std::fprintf(stderr, "trace dump %s: %s\n", path.c_str(),
+                 chrome.ToString().c_str());
+    return;
+  }
+  const std::string slow_path = SlowTracePath(path);
+  const Status slow = sink.DumpSlowTraces(slow_path);
+  if (!slow.ok()) {
+    std::fprintf(stderr, "slow-trace dump %s: %s\n", slow_path.c_str(),
+                 slow.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "traces written to %s (slow queries in %s): offered=%llu "
+               "captured=%llu slow=%llu\n",
+               path.c_str(), slow_path.c_str(),
+               static_cast<unsigned long long>(sink.offered()),
+               static_cast<unsigned long long>(sink.captured()),
+               static_cast<unsigned long long>(sink.captured_slow()));
+}
+
 /// Starts the network server (shared by primary and standby paths).
 /// Prints the canonical "listening on ADDR:PORT" line the smoke tooling
 /// greps for.  Returns null (with a message) on failure.
 std::unique_ptr<net::NetServer> StartServer(LinkageService* service,
-                                            const Args& args, bool read_only) {
+                                            const Args& args, bool read_only,
+                                            telemetry::TraceSink* trace_sink) {
   std::string host;
   uint16_t port = 0;
   Status parsed = net::ParseHostPort(args.listen, &host, &port);
@@ -397,6 +489,7 @@ std::unique_ptr<net::NetServer> StartServer(LinkageService* service,
   options.max_connections = args.max_conns;
   options.idle_timeout_ms = static_cast<int>(args.idle_timeout_sec * 1000);
   options.read_only = read_only;
+  options.trace_sink = trace_sink;
   Result<std::unique_ptr<net::NetServer>> server =
       net::NetServer::Start(service, options);
   if (!server.ok()) {
@@ -431,9 +524,11 @@ int RunStandby(const Args& args) {
                  parsed.ToString().c_str());
     return 2;
   }
+  std::unique_ptr<telemetry::TraceSink> trace_sink = MakeTraceSink(args);
   net::ReplicaOptions options;
   options.primary_host = host;
   options.primary_port = port;
+  options.trace_sink = trace_sink.get();
   Result<std::unique_ptr<net::Replica>> replica =
       net::Replica::Start(options);
   if (!replica.ok()) {
@@ -446,7 +541,8 @@ int RunStandby(const Args& args) {
 
   std::unique_ptr<net::NetServer> server;
   if (!args.listen.empty()) {
-    server = StartServer(replica.value()->service(), args, /*read_only=*/true);
+    server = StartServer(replica.value()->service(), args, /*read_only=*/true,
+                         trace_sink.get());
     if (server == nullptr) return 1;
   }
   const int sig = WaitForSignal();
@@ -465,6 +561,7 @@ int RunStandby(const Args& args) {
                static_cast<unsigned long long>(progress.applied_records),
                static_cast<unsigned long long>(progress.syncs));
   replica.value()->Stop();
+  if (trace_sink != nullptr) DumpTraces(*trace_sink, args.trace_out);
   if (!args.snapshot_out.empty()) {
     Status saved =
         replica.value()->service()->SaveSnapshotToFile(args.snapshot_out);
@@ -626,6 +723,8 @@ int RunMain(int argc, char** argv) {
     reporter.emplace(service.get(), args.stats_interval, args.metrics_out);
   }
 
+  std::unique_ptr<telemetry::TraceSink> trace_sink = MakeTraceSink(args);
+
   Stopwatch serve_watch;
   if (!args.queries_path.empty()) {
     CsvReadOptions query_options;
@@ -691,7 +790,8 @@ int RunMain(int argc, char** argv) {
 
   if (!args.listen.empty()) {
     std::unique_ptr<net::NetServer> server =
-        StartServer(service.get(), args, /*read_only=*/false);
+        StartServer(service.get(), args, /*read_only=*/false,
+                    trace_sink.get());
     if (server == nullptr) return 1;
     const int sig = WaitForSignal();
     // Graceful drain: stop accepting, fail readiness, shed new work but
@@ -750,6 +850,8 @@ int RunMain(int argc, char** argv) {
   std::fprintf(stderr, "input health: skipped_rows=%llu restore_fallbacks=%llu\n",
                static_cast<unsigned long long>(metrics.skipped_rows),
                static_cast<unsigned long long>(metrics.restore_fallbacks));
+
+  if (trace_sink != nullptr) DumpTraces(*trace_sink, args.trace_out);
 
   if (!args.metrics_out.empty()) {
     service->FillTelemetry();
