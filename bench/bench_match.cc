@@ -14,11 +14,31 @@
 #include "bench/bench_util.h"
 #include "src/blocking/matcher.h"
 #include "src/blocking/record_blocker.h"
+#include "src/common/hamming_kernels.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 
 namespace cbvlink {
 namespace {
+
+/// The kernel sets this build AND this CPU can execute; scalar is always
+/// first so it doubles as the equivalence reference.
+std::vector<const KernelSet*> RunnableKernelSets() {
+  std::vector<const KernelSet*> sets = {&ScalarKernels()};
+  if (Avx2Kernels() != nullptr && CpuSupportsAvx2()) {
+    sets.push_back(Avx2Kernels());
+  }
+  if (Avx512Kernels() != nullptr && CpuSupportsAvx512Popcnt()) {
+    sets.push_back(Avx512Kernels());
+  }
+  return sets;
+}
+
+/// RAII restore for the forced-kernel override.
+struct ScopedForcedKernels {
+  explicit ScopedForcedKernels(const KernelSet* k) { ForceKernelsForTest(k); }
+  ~ScopedForcedKernels() { ForceKernelsForTest(nullptr); }
+};
 
 /// The pre-arena matching engine, reproduced verbatim as the baseline:
 /// node-based id -> BitVector map, a freshly allocated unordered_set per
@@ -190,22 +210,116 @@ void Run() {
   row("arena 2 threads", t2_secs);
   row("arena 8 threads", t8_secs);
 
+  // --- Kernels dimension: serial matcher under each runnable set --------
+  // Forces one KernelSet at a time through the same serial MatchAll and
+  // gates on byte-identical pairs+stats before timing counts; a SIMD
+  // kernel that diverges from scalar is a correctness bug, not a slow run.
+  bench::Banner("Hamming kernel dimension (serial matcher)");
+  const std::vector<const KernelSet*> kernel_sets = RunnableKernelSets();
+  std::vector<std::pair<std::string, bench::BenchValue>> json;
+  std::vector<double> kernel_secs;
+  for (const KernelSet* set : kernel_sets) {
+    ScopedForcedKernels forced(set);
+    MatchStats k_stats;
+    std::vector<IdPair> k_pairs;
+    const double k_secs = run_engine(nullptr, &k_stats, &k_pairs);
+    if (k_pairs != serial_pairs || !SameStats(k_stats, serial_stats)) {
+      std::fprintf(stderr, "FATAL: kernel %s diverges from scalar matcher\n",
+                   set->name);
+      std::exit(1);
+    }
+    kernel_secs.push_back(k_secs);
+    std::printf("%-22s %10.4f %14.0f %9.2fx\n",
+                (std::string("kernel ") + set->name).c_str(), k_secs,
+                qps / k_secs, kernel_secs.front() / k_secs);
+    json.emplace_back(std::string("match_serial_qps_") + set->name,
+                      qps / k_secs);
+  }
+
+  // --- 120-bit cBV batch workload (Table 3) ------------------------------
+  // The paper's compact record shape: 2 words per row, one probe swept
+  // over a contiguous candidate arena through the batch_leq2 kernel.
+  // This isolates raw comparison throughput, which is where the SIMD
+  // sets must earn their keep (acceptance: active >= 2x scalar).
+  bench::Banner("120-bit cBV batch kernel (Table 3 shape)");
+  constexpr size_t kCbvWords = 2;
+  const size_t cbv_rows = 1 << 16;
+  const size_t cbv_probes = 64;
+  const size_t cbv_theta = 40;
+  Rng cbv_rng(2016);
+  std::vector<uint64_t> arena(cbv_rows * kCbvWords);
+  for (size_t i = 0; i < arena.size(); ++i) {
+    arena[i] = cbv_rng();
+    if (i % kCbvWords == 1) arena[i] &= (uint64_t{1} << 56) - 1;  // 120 bits
+  }
+  std::vector<std::vector<uint64_t>> probes(cbv_probes);
+  for (auto& p : probes) {
+    p = {cbv_rng(), cbv_rng() & ((uint64_t{1} << 56) - 1)};
+  }
+  std::vector<uint8_t> verdicts(cbv_rows), ref_verdicts(cbv_rows);
+
+  const auto time_kernel = [&](const KernelSet& set) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch watch;
+      for (const auto& p : probes) {
+        set.batch_leq2(p.data(), arena.data(), kCbvWords, /*dense=*/nullptr,
+                       cbv_rows, cbv_theta, verdicts.data());
+      }
+      best = std::min(best, watch.ElapsedSeconds());
+    }
+    return best;
+  };
+
+  const double cbv_cmp = static_cast<double>(cbv_rows * cbv_probes);
+  const double cbv_scalar_secs = time_kernel(ScalarKernels());
+  ref_verdicts = verdicts;
+  std::printf("%-22s %10.4f %14.0f\n", "cbv scalar", cbv_scalar_secs,
+              cbv_cmp / cbv_scalar_secs);
+  json.emplace_back("cbv_scalar_cps", cbv_cmp / cbv_scalar_secs);
+  for (const KernelSet* set : kernel_sets) {
+    if (set == &ScalarKernels()) continue;
+    const double secs = time_kernel(*set);
+    if (verdicts != ref_verdicts) {
+      std::fprintf(stderr, "FATAL: cBV kernel %s diverges from scalar\n",
+                   set->name);
+      std::exit(1);
+    }
+    std::printf("%-22s %10.4f %14.0f %9.2fx\n",
+                (std::string("cbv ") + set->name).c_str(), secs,
+                cbv_cmp / secs, cbv_scalar_secs / secs);
+    json.emplace_back(std::string("cbv_cps_") + set->name, cbv_cmp / secs);
+    json.emplace_back(std::string("cbv_speedup_") + set->name,
+                      cbv_scalar_secs / secs);
+  }
+
+  // The set auto-dispatch picks on this machine (CBVLINK_KERNEL honored),
+  // plus its cBV speedup over scalar — the headline acceptance number.
+  const KernelSet& active = ActiveKernels();
+  const double cbv_active_secs =
+      &active == &ScalarKernels() ? cbv_scalar_secs : time_kernel(active);
+  std::printf("\nactive kernel: %s (cBV speedup %.2fx)\n", active.name,
+              cbv_scalar_secs / cbv_active_secs);
+
   // Shard speedup is bounded by physical parallelism: on a single-core
   // runner the 2t/8t rows time-share one core and only the arena gain
   // shows; the sharded rows need real cores to separate.
-  bench::EmitBenchJson(
-      "BENCH_match.json",
-      {{"hardware_threads",
-        static_cast<double>(std::thread::hardware_concurrency())},
-       {"records", static_cast<double>(n)},
-       {"pairs", static_cast<double>(serial_pairs.size())},
-       {"comparisons", static_cast<double>(serial_stats.comparisons)},
-       {"seed_serial_qps", qps / legacy_secs},
-       {"arena_serial_qps", qps / serial_secs},
-       {"arena_2t_qps", qps / t2_secs},
-       {"arena_8t_qps", qps / t8_secs},
-       {"arena_serial_speedup", legacy_secs / serial_secs},
-       {"arena_8t_speedup", legacy_secs / t8_secs}});
+  std::vector<std::pair<std::string, bench::BenchValue>> out = {
+      {"hardware_threads",
+       static_cast<double>(std::thread::hardware_concurrency())},
+      {"records", static_cast<double>(n)},
+      {"pairs", static_cast<double>(serial_pairs.size())},
+      {"comparisons", static_cast<double>(serial_stats.comparisons)},
+      {"seed_serial_qps", qps / legacy_secs},
+      {"arena_serial_qps", qps / serial_secs},
+      {"arena_2t_qps", qps / t2_secs},
+      {"arena_8t_qps", qps / t8_secs},
+      {"arena_serial_speedup", legacy_secs / serial_secs},
+      {"arena_8t_speedup", legacy_secs / t8_secs},
+      {"kernel_active", active.name},
+      {"cbv_speedup_active", cbv_scalar_secs / cbv_active_secs}};
+  out.insert(out.end(), json.begin(), json.end());
+  bench::EmitBenchJson("BENCH_match.json", out);
 }
 
 }  // namespace

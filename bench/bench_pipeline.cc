@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/blocking/matcher.h"
 #include "src/blocking/record_blocker.h"
+#include "src/common/hamming_kernels.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 
@@ -176,7 +177,8 @@ void Run() {
   const double t8_total = t8.embed + t8.build + t8.match;
   bench::EmitBenchJson(
       "BENCH_pipeline.json",
-      {{"hardware_threads",
+      {{"kernel_active", bench::BenchValue(ActiveKernels().name)},
+       {"hardware_threads",
         static_cast<double>(std::thread::hardware_concurrency())},
        {"records", static_cast<double>(n)},
        {"pairs", static_cast<double>(ref_pairs.size())},

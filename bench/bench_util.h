@@ -199,6 +199,55 @@ inline Status WriteBenchJson(
 }
 
 
+/// One value of a BENCH_*.json object: a number or a string (labels such
+/// as the active kernel name ride along with the numeric series).
+struct BenchValue {
+  BenchValue(double v) : number(v) {}  // NOLINT(runtime/explicit)
+  BenchValue(int v) : number(v) {}     // NOLINT(runtime/explicit)
+  BenchValue(size_t v)                 // NOLINT(runtime/explicit)
+      : number(static_cast<double>(v)) {}
+  BenchValue(const char* v) : text(v), is_text(true) {}  // NOLINT
+  BenchValue(std::string v)                              // NOLINT
+      : text(std::move(v)), is_text(true) {}
+
+  double number = 0;
+  std::string text;
+  bool is_text = false;
+};
+
+/// WriteBenchJson for mixed numeric/string values.  Strings are emitted
+/// with minimal escaping (quote and backslash; bench labels are ASCII
+/// identifiers in practice).
+inline Status WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, BenchValue>>& values) {
+  std::string payload = "{";
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    payload += first ? "\n  " : ",\n  ";
+    first = false;
+    payload += "\"" + key + "\": ";
+    if (value.is_text) {
+      payload += '"';
+      for (const char c : value.text) {
+        if (c == '"' || c == '\\') payload += '\\';
+        payload += c;
+      }
+      payload += '"';
+    } else if (std::isfinite(value.number) &&
+               value.number == std::floor(value.number) &&
+               std::fabs(value.number) < 1e15) {
+      payload += StrFormat("%lld", static_cast<long long>(value.number));
+    } else if (std::isfinite(value.number)) {
+      payload += StrFormat("%.9g", value.number);
+    } else {
+      payload += "null";  // JSON has no NaN/Inf
+    }
+  }
+  payload += first ? "}\n" : "\n}\n";
+  return WriteFileAtomically(path, payload);
+}
+
 /// Aborts the bench with a readable message on configuration errors.
 inline void DieOnError(const Status& status, const char* what) {
   if (!status.ok()) {
@@ -212,6 +261,16 @@ inline void DieOnError(const Status& status, const char* what) {
 inline void EmitBenchJson(
     const std::string& file,
     const std::vector<std::pair<std::string, double>>& values) {
+  const std::string path = BenchJsonPath(file);
+  DieOnError(WriteBenchJson(path, values), file.c_str());
+  std::fprintf(stderr, "wrote %s (%zu series)\n", path.c_str(),
+               values.size());
+}
+
+/// EmitBenchJson for mixed numeric/string values.
+inline void EmitBenchJson(
+    const std::string& file,
+    const std::vector<std::pair<std::string, BenchValue>>& values) {
   const std::string path = BenchJsonPath(file);
   DieOnError(WriteBenchJson(path, values), file.c_str());
   std::fprintf(stderr, "wrote %s (%zu series)\n", path.c_str(),

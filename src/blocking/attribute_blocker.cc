@@ -1,5 +1,6 @@
 #include "src/blocking/attribute_blocker.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/common/hashing.h"
@@ -47,7 +48,11 @@ Result<AttributeLevelBlocker> AttributeLevelBlocker::Create(
     std::vector<AttributeLshParams> params(layout.num_attributes());
     for (size_t i = 0; i < layout.num_attributes(); ++i) {
       params[i].vector_size = layout.segment(i).size;
-      params[i].num_base_hashes = options.attribute_K[i];
+      // Distinct sampling caps K at the segment width (a larger K was
+      // pure duplicate draws); clamp for both the L calibration and the
+      // family below so they stay consistent.
+      params[i].num_base_hashes =
+          std::min(options.attribute_K[i], layout.segment(i).size);
     }
     std::vector<Rule> pred_rules;
     pred_rules.reserve(s.predicates.size());
@@ -67,7 +72,8 @@ Result<AttributeLevelBlocker> AttributeLevelBlocker::Create(
     for (const Predicate& p : s.predicates) {
       const RecordLayout::Segment& seg = layout.segment(p.attribute);
       Result<HammingLshFamily> family = HammingLshFamily::Create(
-          options.attribute_K[p.attribute], s.L, seg.offset, seg.size, rng);
+          std::min(options.attribute_K[p.attribute], seg.size), s.L,
+          seg.offset, seg.size, rng);
       if (!family.ok()) return family.status();
       s.families.push_back(std::move(family).value());
     }

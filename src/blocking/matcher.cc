@@ -1,6 +1,8 @@
 #include "src/blocking/matcher.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/common/thread_pool.h"
@@ -47,9 +49,19 @@ void VectorStore::Add(const EncodedRecord& record) {
     num_bits_ = record.bits.size();
     stride_ = record.bits.words().size();
   }
-  // The arena has one stride for every record; mixed widths are a caller
-  // bug (all vectors come from one encoder layout).
-  assert(record.bits.size() == num_bits_);
+  // The arena has one stride for every record (the first Add fixes it);
+  // admitting a different width would silently corrupt the layout — every
+  // later record lands at the wrong offset and the kernels read garbage.
+  // Enforced unconditionally: an abort here is a caller bug surfaced at
+  // the boundary, not data-dependent misbehaviour three stages later.
+  if (record.bits.size() != num_bits_) {
+    std::fprintf(stderr,
+                 "cbvlink: VectorStore::Add id=%llu bit width %zu != store "
+                 "width %zu (all vectors must share one encoder layout)\n",
+                 static_cast<unsigned long long>(record.id),
+                 record.bits.size(), num_bits_);
+    std::abort();
+  }
   if (ids_.size() + 1 > (slots_.size() * 3) / 4) {
     Rehash(slots_.empty() ? 16 : slots_.size() * 2);
   }
@@ -171,7 +183,7 @@ bool PairClassifier::EvalNode(uint32_t index, const uint64_t* a,
   const Node& node = nodes_[index];
   switch (node.kind) {
     case Rule::Kind::kPredicate:
-      return HammingDistanceRangeWords(a, b, node.offset, node.length) <=
+      return ActiveKernels().range_distance(a, b, node.offset, node.length) <=
              node.theta;
     case Rule::Kind::kAnd:
       for (uint32_t c = 0; c < node.num_children; ++c) {
@@ -206,6 +218,49 @@ void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
   MatchStats* const s = stats != nullptr ? stats : &local;
   const uint64_t* const b_words = b.bits.words().data();
   const size_t num_words = store_a_->words_per_record();
+  if (classifier.IsWholeRecordThreshold()) {
+    // Batched path (DESIGN.md §14): stage every first-seen candidate
+    // while walking the bucket spans, then hand the probe's whole fresh
+    // set to the batch kernel in one call — candidates sit at a fixed
+    // stride in the arena, so the SIMD kernels stream them via the dense
+    // index list.  Verdicts come back in staging order, which is the
+    // arrival order the per-pair loop used, so pairs and stats are
+    // byte-identical to the scalar engine.
+    std::vector<uint32_t>& fresh_dense = scratch->fresh_dense_;
+    std::vector<RecordId>& fresh_ids = scratch->fresh_ids_;
+    source_->ForEachCandidateSpan(
+        b.bits, [&](std::span<const RecordId> bucket) {
+          s->candidate_occurrences += bucket.size();
+          for (const RecordId a_id : bucket) {
+            const uint32_t dense = store_a_->DenseIndex(a_id);
+            if (dense == VectorStore::kNotFound) {
+              if (!scratch->unknown_.insert(a_id).second) ++s->dedup_skipped;
+              continue;
+            }
+            if (stamps[dense] == epoch) {
+              ++s->dedup_skipped;
+              continue;
+            }
+            stamps[dense] = epoch;
+            fresh_dense.push_back(dense);
+            fresh_ids.push_back(a_id);
+          }
+        });
+    const size_t n = fresh_dense.size();
+    s->comparisons += n;
+    if (n == 0) return;
+    if (scratch->verdicts_.size() < n) scratch->verdicts_.resize(n);
+    KernelBatchLeq(ActiveKernels(), b_words, store_a_->arena().data(),
+                   num_words, fresh_dense.data(), n, num_words,
+                   classifier.threshold(), scratch->verdicts_.data());
+    for (size_t i = 0; i < n; ++i) {
+      if (scratch->verdicts_[i] != 0) {
+        ++s->matches;
+        out->push_back(IdPair{fresh_ids[i], b.id});
+      }
+    }
+    return;
+  }
   source_->ForEachCandidateSpan(
       b.bits, [&](std::span<const RecordId> bucket) {
         s->candidate_occurrences += bucket.size();

@@ -33,6 +33,7 @@
 
 #include "src/blocking/record_blocker.h"
 #include "src/common/bitvector.h"
+#include "src/common/hamming_kernels.h"
 #include "src/common/record.h"
 #include "src/embedding/record_encoder.h"
 #include "src/rules/rule.h"
@@ -167,14 +168,15 @@ class PairClassifier {
   /// classifiers read the ranges their segments name.
   bool ClassifyWords(const uint64_t* a, const uint64_t* b,
                      size_t num_words) const {
+    const KernelSet& kernels = ActiveKernels();
     switch (kind_) {
       case Kind::kThreshold:
-        return HammingDistanceWords(a, b, num_words) <= theta_;
+        return kernels.distance(a, b, num_words) <= theta_;
       case Kind::kConjunction:
         // AND-of-predicates (the paper's PL shape): a flat short-circuit
         // loop, no tree walk.
         for (const Node& node : nodes_) {
-          if (HammingDistanceRangeWords(a, b, node.offset, node.length) >
+          if (kernels.range_distance(a, b, node.offset, node.length) >
               node.theta) {
             return false;
           }
@@ -184,6 +186,30 @@ class PairClassifier {
         return EvalNode(0, a, b);
       case Kind::kEmpty:
         return false;
+    }
+    return false;
+  }
+
+  /// True for whole-record threshold classifiers — the shape the batch
+  /// kernels accelerate (one distance, one theta, no segment structure).
+  bool IsWholeRecordThreshold() const { return kind_ == Kind::kThreshold; }
+
+  /// The record-level theta (meaningful only when IsWholeRecordThreshold).
+  size_t threshold() const { return theta_; }
+
+  /// Like IsWholeRecordThreshold, but also recognises a compiled rule
+  /// whose single predicate spans the whole `total_bits` record — the
+  /// shape a one-attribute schema produces.  On success stores the theta
+  /// and returns true; `theta` is untouched otherwise.
+  bool AsWholeRecordThreshold(size_t total_bits, size_t* theta) const {
+    if (kind_ == Kind::kThreshold) {
+      *theta = theta_;
+      return true;
+    }
+    if (kind_ == Kind::kConjunction && nodes_.size() == 1 &&
+        nodes_[0].offset == 0 && nodes_[0].length == total_bits) {
+      *theta = nodes_[0].theta;
+      return true;
     }
     return false;
   }
@@ -247,6 +273,8 @@ class Matcher {
         epoch_ = 1;
       }
       if (!unknown_.empty()) unknown_.clear();
+      fresh_dense_.clear();
+      fresh_ids_.clear();
     }
 
     /// stamps_[dense] == epoch_  <=>  dense already seen this probe.
@@ -256,6 +284,12 @@ class Matcher {
     /// unknown) — they have no dense index to stamp.  Empty in steady
     /// state, so it never allocates on the healthy path.
     std::unordered_set<RecordId> unknown_;
+    /// Batch-kernel staging: the probe's fresh (first-seen) candidates in
+    /// arrival order, and the per-candidate <=theta verdicts.  Capacity
+    /// persists across probes, so steady state never allocates.
+    std::vector<uint32_t> fresh_dense_;
+    std::vector<RecordId> fresh_ids_;
+    std::vector<uint8_t> verdicts_;
   };
 
   Matcher(const CandidateSource* source, const VectorStore* store_a)

@@ -1,14 +1,35 @@
 #include "src/blocking/record_blocker.h"
 
+#include <cstdio>
+
 #include "src/common/thread_pool.h"
 #include "src/lsh/params.h"
 #include "src/telemetry/metrics.h"
 
 namespace cbvlink {
 
+namespace {
+
+/// Effective K for an m-bit space.  Distinct sampling cannot draw more
+/// positions than the range holds; a larger configured K never added
+/// selectivity anyway (the extra draws were guaranteed duplicates under
+/// the old with-replacement sampling), so it is clamped with a notice
+/// rather than rejected.
+size_t ClampK(size_t K, size_t num_bits, const char* what) {
+  if (K <= num_bits) return K;
+  std::fprintf(stderr,
+               "cbvlink: %s K = %zu exceeds the %zu-bit space; clamping "
+               "to %zu (distinct bit positions)\n",
+               what, K, num_bits, num_bits);
+  return num_bits;
+}
+
+}  // namespace
+
 Result<RecordLevelBlocker> RecordLevelBlocker::Create(size_t num_bits,
                                                       size_t K, size_t theta,
                                                       double delta, Rng& rng) {
+  K = ClampK(K, num_bits, "record-level");
   Result<double> p = HammingBaseProbability(theta, num_bits);
   if (!p.ok()) return p.status();
   Result<size_t> L = OptimalGroups(p.value(), K, delta);
@@ -19,6 +40,7 @@ Result<RecordLevelBlocker> RecordLevelBlocker::Create(size_t num_bits,
 Result<RecordLevelBlocker> RecordLevelBlocker::CreateWithL(size_t num_bits,
                                                            size_t K, size_t L,
                                                            Rng& rng) {
+  K = ClampK(K, num_bits, "record-level");
   Result<HammingLshFamily> family =
       HammingLshFamily::CreateFull(K, L, num_bits, rng);
   if (!family.ok()) return family.status();

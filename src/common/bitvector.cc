@@ -1,5 +1,7 @@
 #include "src/common/bitvector.h"
 
+#include "src/common/str.h"
+
 namespace cbvlink {
 
 void BitVector::Append(const BitVector& other) {
@@ -51,6 +53,24 @@ BitVector BitVector::FromWords(size_t num_bits, std::vector<uint64_t> words) {
   out.num_bits_ = num_bits;
   out.words_ = std::move(words);
   return out;
+}
+
+Result<BitVector> BitVector::FromWordsValidated(size_t num_bits,
+                                                std::vector<uint64_t> words) {
+  const size_t expected_words = (num_bits + 63) / 64;
+  if (words.size() != expected_words) {
+    return Status::InvalidArgument(
+        StrFormat("bit vector word count %zu does not match %zu bits "
+                  "(expected %zu words)",
+                  words.size(), num_bits, expected_words));
+  }
+  const size_t tail_bits = num_bits & 63;
+  if (tail_bits != 0 && !words.empty() &&
+      (words.back() >> tail_bits) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("bit vector has nonzero padding past bit %zu", num_bits));
+  }
+  return FromWords(num_bits, std::move(words));
 }
 
 size_t BitVector::HammingDistanceRange(const BitVector& other, size_t offset,

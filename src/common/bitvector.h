@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace cbvlink {
 
 /// Hamming distance between two word-packed bit sequences of `num_words`
@@ -134,6 +136,15 @@ class BitVector {
   /// PopCount() depend on that invariant); callers deserializing
   /// untrusted input must validate both before calling.
   static BitVector FromWords(size_t num_bits, std::vector<uint64_t> words);
+
+  /// FromWords for untrusted input (snapshot restore, wire payloads):
+  /// returns InvalidArgument instead of relying on the debug-only asserts
+  /// when the word count does not match ceil(num_bits / 64) or a padding
+  /// bit past `num_bits` is set.  A set padding bit would silently skew
+  /// every whole-word Hamming distance involving the vector, so it is
+  /// rejected at the boundary rather than trusted.
+  static Result<BitVector> FromWordsValidated(size_t num_bits,
+                                              std::vector<uint64_t> words);
 
   /// Hamming distance to `other`.  Requires equal sizes.
   size_t HammingDistance(const BitVector& other) const noexcept {

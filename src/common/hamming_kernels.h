@@ -1,0 +1,120 @@
+// Runtime-dispatched Hamming-distance kernels over word-packed vectors.
+//
+// The compact Hamming space makes distance computation "particularly
+// lightweight" (Section 1); every downstream stage — Algorithm 2's
+// blocking comparison, online serving, replication catch-up — bottlenecks
+// on pairwise comparison cost.  This layer turns the scalar
+// word-at-a-time popcount of bitvector.h into a KernelSet of function
+// pointers with scalar, AVX2, and AVX-512 VPOPCNTDQ implementations,
+// selected once per process from CPUID so one baseline-x86-64 binary uses
+// the widest ISA the host actually has (DESIGN.md §14).
+//
+// Contracts shared by every implementation:
+//  * Operands are zero-padded past the logical bit width (the BitVector
+//    invariant, inherited by the VectorStore arena), so whole-word
+//    XOR+popcount is exact.
+//  * Distances are exact integers — every implementation returns results
+//    byte-identical to the scalar reference on any input; the equivalence
+//    suite in tests/test_hamming_kernels.cc is the gate.
+//  * Batch kernels expose only the `distance <= theta` verdict, so they
+//    may abandon a candidate early once its partial distance exceeds
+//    theta (early-exit); the verdict is still exact.
+//
+// Selection: ActiveKernels() resolves once, preferring AVX-512 (F+BW+DQ+
+// VL+VPOPCNTDQ) over AVX2 over scalar, each gated on both compile-time
+// availability and CPUID+XGETBV at runtime — the dispatcher never calls
+// into an ISA the CPU lacks.  CBVLINK_KERNEL=scalar|avx2|avx512 overrides
+// the choice for tests and CI; requesting an unavailable set falls back
+// to the best available one with a one-line stderr notice instead of
+// executing an illegal instruction.
+
+#ifndef CBVLINK_COMMON_HAMMING_KERNELS_H_
+#define CBVLINK_COMMON_HAMMING_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbvlink {
+
+/// One dispatchable family of Hamming kernels.  All function pointers are
+/// always non-null.
+struct KernelSet {
+  /// "scalar", "avx2", or "avx512" — stable names used by CBVLINK_KERNEL,
+  /// the telemetry gauge, and the bench kernels dimension.
+  const char* name;
+
+  /// Whole-record distance over `num_words` zero-padded words.
+  size_t (*distance)(const uint64_t* a, const uint64_t* b, size_t num_words);
+
+  /// Distance restricted to bits [offset, offset + length), which must
+  /// lie within both operands.
+  size_t (*range_distance)(const uint64_t* a, const uint64_t* b,
+                           size_t offset, size_t length);
+
+  /// 1xN batch threshold kernel: for each i in [0, n),
+  ///   row_i = rows + (dense ? dense[i] : i) * stride
+  ///   out[i] = (distance(probe, row_i, num_words) <= theta) ? 1 : 0.
+  /// `dense == nullptr` means rows are consecutive (a gathered scratch
+  /// buffer); otherwise `dense` holds arena row indices (the matcher's
+  /// deduplicated bucket candidates).  May early-exit per row at theta.
+  void (*batch_leq)(const uint64_t* probe, const uint64_t* rows,
+                    size_t stride, const uint32_t* dense, size_t n,
+                    size_t num_words, size_t theta, uint8_t* out);
+
+  /// Specialized batch kernel for 2-word records — the paper's 120-bit
+  /// cBV shape (Table 3), where the whole record is one XOR+popcount
+  /// pair and the win comes from evaluating several candidates per
+  /// vector register.  Same contract as batch_leq with num_words == 2.
+  void (*batch_leq2)(const uint64_t* probe, const uint64_t* rows,
+                     size_t stride, const uint32_t* dense, size_t n,
+                     size_t theta, uint8_t* out);
+};
+
+/// The portable reference implementation; always available.
+const KernelSet& ScalarKernels();
+
+/// Compiled-in SIMD sets, or nullptr when the toolchain could not build
+/// them.  A non-null return says nothing about the *CPU*: callers must
+/// still check CpuSupports*() before executing (ActiveKernels does).
+const KernelSet* Avx2Kernels();
+const KernelSet* Avx512Kernels();
+
+/// CPUID + XGETBV feature probes (false on non-x86-64 builds).
+bool CpuSupportsAvx2();
+/// AVX-512 F+BW+DQ+VL+VPOPCNTDQ with OS ZMM state support.
+bool CpuSupportsAvx512Popcnt();
+
+/// Pure selection logic, exposed for tests: `env` is the CBVLINK_KERNEL
+/// value (nullptr/empty = auto).  Never returns a set the given support
+/// flags rule out; unknown or unavailable requests fall back to the best
+/// supported set.  `notice`, when non-null, receives a human-readable
+/// explanation when the request could not be honoured (left untouched
+/// otherwise).
+const KernelSet& ResolveKernels(const char* env, bool has_avx2,
+                                bool has_avx512, const char** notice);
+
+/// The process-wide active set: resolved once on first call from
+/// CBVLINK_KERNEL and the CPU probes, then cached.  Thread-safe.
+const KernelSet& ActiveKernels();
+
+/// Test/bench hook: overrides the set ActiveKernels() returns (nullptr
+/// restores automatic resolution).  Process-wide, not thread-safe against
+/// concurrent matching — flip it only between runs.
+void ForceKernelsForTest(const KernelSet* kernels);
+
+/// Convenience dispatcher: routes 2-word records to the specialized cBV
+/// kernel, everything else to the general batch kernel.
+inline void KernelBatchLeq(const KernelSet& kernels, const uint64_t* probe,
+                           const uint64_t* rows, size_t stride,
+                           const uint32_t* dense, size_t n, size_t num_words,
+                           size_t theta, uint8_t* out) {
+  if (num_words == 2) {
+    kernels.batch_leq2(probe, rows, stride, dense, n, theta, out);
+  } else {
+    kernels.batch_leq(probe, rows, stride, dense, n, num_words, theta, out);
+  }
+}
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_HAMMING_KERNELS_H_

@@ -292,7 +292,6 @@ Status ReadEncodedRecordsBody(CrcReader& r, std::vector<EncodedRecord>* out,
     return r.Error("record count");
   }
   out->reserve(r.ReserveHint(count));
-  const size_t tail_bits = static_cast<size_t>(bits) & 63;
   std::vector<uint64_t> words;
   for (uint64_t i = 0; i < count; ++i) {
     EncodedRecord rec;
@@ -309,17 +308,18 @@ Status ReadEncodedRecordsBody(CrcReader& r, std::vector<EncodedRecord>* out,
                 .c_str());
       }
     }
-    // Padding bits past the declared width must be zero — BitVector's
-    // equality and popcount invariants depend on it, and a set padding
-    // bit can only come from corruption.
-    if (tail_bits != 0 && !words.empty() &&
-        (words.back() >> tail_bits) != 0) {
+    // Word count and padding are validated by the BitVector boundary:
+    // a set padding bit (corruption) would silently skew every
+    // whole-word Hamming distance, so it is rejected here rather than
+    // debug-asserted downstream.
+    Result<BitVector> bv =
+        BitVector::FromWordsValidated(static_cast<size_t>(bits), words);
+    if (!bv.ok()) {
       return Status::InvalidArgument(
-          StrFormat("record %llu has set bits past its %llu-bit width",
-                    static_cast<unsigned long long>(i),
-                    static_cast<unsigned long long>(bits)));
+          StrFormat("record %llu: %s", static_cast<unsigned long long>(i),
+                    std::string(bv.status().message()).c_str()));
     }
-    rec.bits = BitVector::FromWords(static_cast<size_t>(bits), words);
+    rec.bits = std::move(bv).value();
     out->push_back(std::move(rec));
   }
   return Status::OK();

@@ -6,11 +6,27 @@ namespace cbvlink {
 
 HammingHashFunction HammingHashFunction::Sample(size_t K, size_t offset,
                                                 size_t range_bits, Rng& rng) {
+  // K distinct positions via Floyd's algorithm: for j in [range-K, range)
+  // draw t uniform on [0, j]; take t unless already chosen, else j.  Each
+  // K-subset is equally likely, with exactly K draws from `rng`.
+  // Sampling with replacement here silently weakened the composite hash:
+  // a repeated position contributes no selectivity, so an h_l with d
+  // duplicates behaves like K-d and the family's collision probability
+  // drifts above the (1 - u/m)^K the L calibration assumed.
   std::vector<uint32_t> positions;
   positions.reserve(K);
-  for (size_t i = 0; i < K; ++i) {
-    positions.push_back(
-        static_cast<uint32_t>(offset + rng.Below(range_bits)));
+  const auto chosen = [&](uint32_t pos) {
+    for (const uint32_t p : positions) {
+      if (p == pos) return true;
+    }
+    return false;
+  };
+  for (size_t j = range_bits - K; j < range_bits; ++j) {
+    const size_t t = rng.Below(j + 1);
+    const uint32_t candidate = static_cast<uint32_t>(offset + t);
+    positions.push_back(chosen(candidate)
+                            ? static_cast<uint32_t>(offset + j)
+                            : candidate);
   }
   return HammingHashFunction(std::move(positions));
 }
@@ -48,6 +64,12 @@ Result<HammingLshFamily> HammingLshFamily::Create(size_t K, size_t L,
   if (range_bits == 0) {
     return Status::InvalidArgument(
         StrFormat("empty sampling range at offset %zu", offset));
+  }
+  if (K > range_bits) {
+    return Status::InvalidArgument(
+        StrFormat("K = %zu exceeds the %zu-bit sampling range at offset %zu "
+                  "(distinct positions require K <= range)",
+                  K, range_bits, offset));
   }
   std::vector<HammingHashFunction> functions;
   functions.reserve(L);

@@ -1,10 +1,14 @@
 // Hamming LSH — the HB mechanism's hash family (Section 4.2).
 //
 // A base hash function returns the bit at a uniformly sampled position; a
-// composite function h_l concatenates K base functions.  Two vectors at
-// Hamming distance u collide under h_l with probability >= (1 - u/m)^K
-// (Definition 3).  The family can be restricted to a bit range of the
-// record vector, which is how attribute-level h_l^(f_i) functions are
+// composite function h_l concatenates K base functions.  The K positions
+// are sampled *without* replacement, so two vectors at Hamming distance u
+// in an m-bit range collide under h_l with probability
+// C(m-u, K) / C(m, K) = prod_{i=0}^{K-1} (m-u-i)/(m-i), which is at most
+// the (1 - u/m)^K of Definition 3 — a repeated position would contribute
+// no selectivity, quietly inflating collision rates above what the L
+// calibration assumed.  The family can be restricted to a bit range of
+// the record vector, which is how attribute-level h_l^(f_i) functions are
 // built (Section 5.4).
 
 #ifndef CBVLINK_LSH_HAMMING_LSH_H_
@@ -23,8 +27,9 @@ namespace cbvlink {
 /// One composite hash function h_l: K sampled bit positions.
 class HammingHashFunction {
  public:
-  /// Samples K positions uniformly (with replacement, as in [1]) from
-  /// [offset, offset + range_bits).
+  /// Samples K *distinct* positions uniformly (Floyd's algorithm) from
+  /// [offset, offset + range_bits).  Requires K <= range_bits; the
+  /// family's Create enforces that before calling.
   static HammingHashFunction Sample(size_t K, size_t offset,
                                     size_t range_bits, Rng& rng);
 
@@ -47,9 +52,9 @@ class HammingHashFunction {
 /// A family of L composite functions over (a range of) an m-bit space.
 class HammingLshFamily {
  public:
-  /// Creates L composite functions of K base samples over the bit range
-  /// [offset, offset + range_bits).  Returns InvalidArgument for zero
-  /// K, L, or range.
+  /// Creates L composite functions of K distinct base samples over the
+  /// bit range [offset, offset + range_bits).  Returns InvalidArgument
+  /// for zero K, L, or range, and for K > range_bits.
   static Result<HammingLshFamily> Create(size_t K, size_t L, size_t offset,
                                          size_t range_bits, Rng& rng);
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <mutex>
 #include <unordered_set>
 
 #include "src/common/failpoint.h"
+#include "src/common/hamming_kernels.h"
 #include "src/common/str.h"
 #include "src/lsh/params.h"
 #include "src/rules/rule_parser.h"
@@ -63,6 +65,19 @@ bool ConcurrentVectorStore::Find(RecordId id, BitVector* out) const {
   const auto it = shard.vectors.find(id);
   if (it == shard.vectors.end()) return false;
   *out = it->second;
+  return true;
+}
+
+bool ConcurrentVectorStore::CopyWords(RecordId id, size_t num_words,
+                                      uint64_t* dst) const {
+  CBVLINK_FAILPOINT_DELAY("store.find");
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.vectors.find(id);
+  if (it == shard.vectors.end()) return false;
+  const std::vector<uint64_t>& words = it->second.words();
+  if (words.size() != num_words) return false;
+  std::copy(words.begin(), words.end(), dst);
   return true;
 }
 
@@ -152,13 +167,25 @@ Status LinkageService::Init() {
   if (!encoder.ok()) return encoder.status();
   encoder_.emplace(std::move(encoder).value());
 
+  // Distinct sampling caps K at the record width; a larger configured K
+  // was pure duplicate draws before, so clamp (deterministically — the
+  // clamp depends only on the persisted config, keeping Restore's RNG
+  // stream reproducible) instead of rejecting old configs.
+  const size_t record_K =
+      std::min(config_.record_K, encoder_->total_bits());
+  if (record_K != config_.record_K) {
+    std::fprintf(stderr,
+                 "cbvlink: record_K = %zu exceeds the %zu-bit record; "
+                 "clamping to %zu (distinct bit positions)\n",
+                 config_.record_K, encoder_->total_bits(), record_K);
+  }
   Result<double> p =
       HammingBaseProbability(config_.record_theta, encoder_->total_bits());
   if (!p.ok()) return p.status();
-  Result<size_t> L = OptimalGroups(p.value(), config_.record_K, config_.delta);
+  Result<size_t> L = OptimalGroups(p.value(), record_K, config_.delta);
   if (!L.ok()) return L.status();
   Result<HammingLshFamily> family = HammingLshFamily::CreateFull(
-      config_.record_K, L.value(), encoder_->total_bits(), rng);
+      record_K, L.value(), encoder_->total_bits(), rng);
   if (!family.ok()) return family.status();
 
   ShardedIndexOptions index_options;
@@ -330,13 +357,47 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
   telemetry::TraceSpan compare_span("compare");
   uint64_t compared = 0;
   uint64_t matched = 0;
-  BitVector scratch;
-  for (RecordId id : candidates) {
-    if (!store_.Find(id, &scratch)) continue;  // indexed but not yet stored
-    ++compared;
-    if (classifier_(scratch, b.bits)) {
-      ++matched;
-      out->push_back(IdPair{id, b.id});
+  size_t theta = 0;
+  if (classifier_.AsWholeRecordThreshold(encoder_->total_bits(), &theta)) {
+    // Batched path (DESIGN.md §14): gather the candidates' words into a
+    // flat buffer (one CopyWords per id under its shard lock), then run
+    // the active batch kernel over the contiguous rows.  Same compared /
+    // matched counts and the same id-sorted emit order as the per-pair
+    // loop below.
+    const size_t num_words = b.bits.words().size();
+    std::vector<uint64_t> gathered(candidates.size() * num_words);
+    std::vector<RecordId> present;
+    present.reserve(candidates.size());
+    for (RecordId id : candidates) {
+      if (!store_.CopyWords(id, num_words,
+                            gathered.data() + present.size() * num_words)) {
+        continue;  // indexed but not yet stored
+      }
+      present.push_back(id);
+    }
+    const size_t n = present.size();
+    compared += n;
+    if (n != 0) {
+      std::vector<uint8_t> verdicts(n);
+      KernelBatchLeq(ActiveKernels(), b.bits.words().data(), gathered.data(),
+                     num_words, /*dense=*/nullptr, n, num_words, theta,
+                     verdicts.data());
+      for (size_t i = 0; i < n; ++i) {
+        if (verdicts[i] != 0) {
+          ++matched;
+          out->push_back(IdPair{present[i], b.id});
+        }
+      }
+    }
+  } else {
+    BitVector scratch;
+    for (RecordId id : candidates) {
+      if (!store_.Find(id, &scratch)) continue;  // indexed but not yet stored
+      ++compared;
+      if (classifier_(scratch, b.bits)) {
+        ++matched;
+        out->push_back(IdPair{id, b.id});
+      }
     }
   }
 
@@ -738,6 +799,12 @@ void LinkageService::FillTelemetry(telemetry::Registry* registry) const {
   telemetry::Registry& reg =
       registry != nullptr ? *registry : telemetry::Registry::Global();
 
+  // Which Hamming kernel set the process dispatches to (scalar / avx2 /
+  // avx512): the named series is set to 1, so a scrape can alert on an
+  // unexpected downgrade after a deploy or host move.
+  reg.GetGauge(telemetry::LabeledName("hamming_kernel_active", "kernel",
+                                      ActiveKernels().name))
+      ->Set(1.0);
   reg.GetGauge("service_records")->Set(static_cast<double>(store_.size()));
   reg.GetGauge("service_shards")
       ->Set(static_cast<double>(options_.num_shards));

@@ -131,6 +131,13 @@ class ConcurrentVectorStore {
   /// Copies the vector for `id` into `*out`; false when unknown.
   bool Find(RecordId id, BitVector* out) const;
 
+  /// Copies the raw words of `id` into `dst` (capacity `num_words`);
+  /// false when the id is unknown or its vector does not hold exactly
+  /// `num_words` words.  The allocation-free gather behind the batched
+  /// Hamming kernels: the caller stages candidates in a flat scratch
+  /// buffer instead of copying BitVector objects.
+  bool CopyWords(RecordId id, size_t num_words, uint64_t* dst) const;
+
   /// True when `id` is stored (no vector copy — the journal-replay
   /// dedupe check).
   bool Contains(RecordId id) const;

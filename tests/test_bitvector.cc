@@ -264,5 +264,40 @@ TEST(BitVectorTest, ToStringBitZeroFirst) {
   EXPECT_EQ(bv.ToString(), "10010");
 }
 
+TEST(BitVectorTest, FromWordsValidatedAcceptsWellFormedInput) {
+  Result<BitVector> bv = BitVector::FromWordsValidated(70, {~uint64_t{0}, 0x3f});
+  ASSERT_TRUE(bv.ok());
+  EXPECT_EQ(bv.value().size(), 70u);
+  EXPECT_EQ(bv.value().PopCount(), 70u);
+  // Word-aligned width: no padding to check.
+  EXPECT_TRUE(BitVector::FromWordsValidated(128, {1, ~uint64_t{0}}).ok());
+  // Empty vector.
+  EXPECT_TRUE(BitVector::FromWordsValidated(0, {}).ok());
+}
+
+TEST(BitVectorTest, FromWordsValidatedRejectsWordCountMismatch) {
+  EXPECT_FALSE(BitVector::FromWordsValidated(70, {0}).ok());
+  EXPECT_FALSE(BitVector::FromWordsValidated(70, {0, 0, 0}).ok());
+  EXPECT_FALSE(BitVector::FromWordsValidated(0, {0}).ok());
+  EXPECT_EQ(BitVector::FromWordsValidated(70, {0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BitVectorTest, FromWordsValidatedRejectsNonzeroPadding) {
+  // Regression: a set bit past the logical width was only debug-asserted;
+  // it silently skews every whole-word Hamming distance in release
+  // builds, so untrusted input must be rejected at this boundary.
+  // 70 bits leaves 58 padding bits in word 1; bit 6 of that word is the
+  // first illegal one.
+  EXPECT_FALSE(
+      BitVector::FromWordsValidated(70, {0, uint64_t{1} << 6}).ok());
+  // The highest padding bit.
+  EXPECT_FALSE(
+      BitVector::FromWordsValidated(70, {0, uint64_t{1} << 63}).ok());
+  // The highest *legal* bit is fine.
+  EXPECT_TRUE(
+      BitVector::FromWordsValidated(70, {0, uint64_t{1} << 5}).ok());
+}
+
 }  // namespace
 }  // namespace cbvlink

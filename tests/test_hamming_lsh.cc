@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "src/lsh/params.h"
 
@@ -13,9 +15,49 @@ TEST(HammingHashFunctionTest, SamplesWithinRange) {
   Rng rng(1);
   const HammingHashFunction h = HammingHashFunction::Sample(30, 10, 50, rng);
   EXPECT_EQ(h.positions().size(), 30u);
+  std::unordered_set<uint32_t> seen;
   for (uint32_t p : h.positions()) {
     EXPECT_GE(p, 10u);
     EXPECT_LT(p, 60u);
+    EXPECT_TRUE(seen.insert(p).second) << "position " << p << " repeated";
+  }
+}
+
+TEST(HammingHashFunctionTest, SamplesDistinctPositions) {
+  // Regression: sampling with replacement silently weakened K — an h_l
+  // with d duplicate positions behaves like K - d.  Exhaustive sampling
+  // (K == range) is the sharpest check: the result must be a permutation
+  // of the whole range, which with-replacement sampling essentially
+  // never produces.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const HammingHashFunction h = HammingHashFunction::Sample(50, 10, 50, rng);
+    std::vector<uint32_t> sorted = h.positions();
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sorted.size(), 50u);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_EQ(sorted[i], 10u + i) << "seed " << seed;
+    }
+  }
+}
+
+TEST(HammingHashFunctionTest, DistinctSamplingIsUniform) {
+  // Every position of the range should be chosen about equally often —
+  // a skew would mean Floyd's replacement branch biases the subset.
+  constexpr size_t kRange = 40;
+  constexpr size_t kK = 10;
+  constexpr size_t kTrials = 4000;
+  Rng rng(11);
+  std::vector<size_t> counts(kRange, 0);
+  for (size_t t = 0; t < kTrials; ++t) {
+    const HammingHashFunction h = HammingHashFunction::Sample(kK, 0, kRange, rng);
+    for (uint32_t p : h.positions()) ++counts[p];
+  }
+  const double expected =
+      static_cast<double>(kTrials) * kK / static_cast<double>(kRange);
+  for (size_t pos = 0; pos < kRange; ++pos) {
+    EXPECT_NEAR(static_cast<double>(counts[pos]), expected, expected * 0.15)
+        << "position " << pos;
   }
 }
 
@@ -63,6 +105,9 @@ TEST(HammingLshFamilyTest, CreateValidation) {
   EXPECT_FALSE(HammingLshFamily::Create(0, 3, 0, 64, rng).ok());
   EXPECT_FALSE(HammingLshFamily::Create(5, 0, 0, 64, rng).ok());
   EXPECT_FALSE(HammingLshFamily::Create(5, 3, 0, 0, rng).ok());
+  // Distinct sampling cannot draw more positions than the range holds.
+  EXPECT_FALSE(HammingLshFamily::Create(65, 3, 0, 64, rng).ok());
+  EXPECT_TRUE(HammingLshFamily::Create(64, 3, 0, 64, rng).ok());
   Result<HammingLshFamily> family = HammingLshFamily::CreateFull(5, 3, 64, rng);
   ASSERT_TRUE(family.ok());
   EXPECT_EQ(family.value().K(), 5u);
@@ -70,7 +115,11 @@ TEST(HammingLshFamilyTest, CreateValidation) {
 }
 
 TEST(HammingLshFamilyTest, CollisionProbabilityMatchesDefinition3) {
-  // Empirical check of Pr[h(a) = h(b)] ~ (1 - u/m)^K.
+  // Empirical check of Pr[h(a) = h(b)].  With K *distinct* positions the
+  // exact probability is hypergeometric — C(m-u, K) / C(m, K) — which is
+  // at most Definition 3's with-replacement (1 - u/m)^K; both are
+  // asserted so reintroducing replacement (whose mean sits visibly above
+  // the hypergeometric value) trips the bound.
   Rng rng(7);
   constexpr size_t kM = 120;
   constexpr size_t kK = 10;
@@ -95,10 +144,17 @@ TEST(HammingLshFamilyTest, CollisionProbabilityMatchesDefinition3) {
     const HammingHashFunction h = HammingHashFunction::Sample(kK, 0, kM, rng);
     if (h.Key(a) == h.Key(b)) ++collisions;
   }
-  const double expected = std::pow(1.0 - static_cast<double>(kDist) / kM,
-                                   static_cast<double>(kK));
+  // Hypergeometric: prod_{i=0}^{K-1} (m - u - i) / (m - i).
+  double expected = 1.0;
+  for (size_t i = 0; i < kK; ++i) {
+    expected *= static_cast<double>(kM - kDist - i) / static_cast<double>(kM - i);
+  }
+  const double definition3 = std::pow(
+      1.0 - static_cast<double>(kDist) / kM, static_cast<double>(kK));
+  ASSERT_LT(expected, definition3);  // distinct sampling is the sharper bound
   const double observed = static_cast<double>(collisions) / kTrials;
-  EXPECT_NEAR(observed, expected, 0.03);
+  EXPECT_NEAR(observed, expected, 0.02);
+  EXPECT_LE(observed, definition3 + 0.02);
 }
 
 TEST(HammingLshFamilyTest, FamilyGuaranteeWithOptimalL) {

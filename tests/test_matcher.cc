@@ -105,6 +105,21 @@ TEST(VectorStoreTest, ArenaIsContiguousAndZeroPadded) {
   EXPECT_EQ(HammingDistanceWords(store.WordsAt(0), store.WordsAt(1), 2), 1u);
 }
 
+TEST(VectorStoreDeathTest, MixedWidthAborts) {
+  // Regression: a width mismatch was only debug-asserted, so a release
+  // build silently packed the record at the wrong stride and corrupted
+  // the arena for every later insert.  The store must reject it
+  // unconditionally.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  VectorStore store;
+  store.Add(MakeRecord(1, 64, {3}));
+  EXPECT_DEATH(store.Add(MakeRecord(2, 65, {3})), "bit width");
+  EXPECT_DEATH(store.Add(MakeRecord(3, 16, {3})), "bit width");
+  // Matching widths still work after the near-miss.
+  store.Add(MakeRecord(4, 64, {5}));
+  EXPECT_EQ(store.size(), 2u);
+}
+
 TEST(MatcherTest, Algorithm2DeduplicatesPerProbe) {
   // The same A-Id delivered from three blocking groups must be compared
   // once (the unique collection C of Algorithm 2).
