@@ -1,0 +1,167 @@
+// Mutation-path benchmark: delete throughput, the compaction pause (the
+// write stall while the compactor rebuilds and swaps the index), and
+// match latency observed by a concurrent reader while compactions run.
+// Readers never block on compaction — epoch pinning means the match
+// latency during a compaction window should look like the quiet-period
+// latency — so the "during" columns are the regression tripwire for the
+// epoch-swap design.
+//
+// Emits BENCH_mutation.json with delete_rate, compaction_pause_us
+// percentiles, and match latency percentiles inside/outside compaction
+// windows.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/service/linkage_service.h"
+
+namespace cbvlink {
+namespace {
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+void Run() {
+  const size_t n = RecordsFromEnv(20000);
+  const size_t rounds = 5;
+  bench::Banner("Mutation: delete throughput and compaction pauses");
+
+  Result<NcvrGenerator> gen = NcvrGenerator::Create();
+  bench::DieOnError(gen.ok() ? Status::OK() : gen.status(), "generator");
+
+  LinkagePairOptions data_options;
+  data_options.num_records = n;
+  data_options.seed = 42;
+  Result<LinkagePair> data = BuildLinkagePair(
+      gen.value(), PerturbationScheme::Light(), data_options);
+  bench::DieOnError(data.ok() ? Status::OK() : data.status(), "dataset");
+  const std::vector<Record>& registry = data.value().a;
+  const std::vector<Record>& queries = data.value().b;
+
+  LinkageServiceOptions options;
+  options.execution = ExecutionOptions::WithThreads(4);
+  Result<std::unique_ptr<LinkageService>> created = LinkageService::Create(
+      bench::CbvHbFor(gen.value().schema(), bench::Scheme::kPL, 7), options,
+      registry);
+  bench::DieOnError(created.ok() ? Status::OK() : created.status(), "service");
+  LinkageService& service = *created.value();
+  bench::DieOnError(service.InsertBatch(registry), "insert");
+
+  std::printf("registry %zu records, %zu rounds of delete 30%% + compact, "
+              "1 concurrent matcher\n\n",
+              registry.size(), rounds);
+
+  // The concurrent reader: loops the query stream, stamping each call's
+  // latency with whether a compaction was in flight when it started.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> compacting{false};
+  std::vector<double> match_quiet_us;
+  std::vector<double> match_during_us;
+  std::thread matcher([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool during = compacting.load(std::memory_order_relaxed);
+      Record query = queries[i % queries.size()];
+      query.id = 1000000 + i;
+      std::vector<IdPair> out;
+      Stopwatch watch;
+      bench::DieOnError(service.Match(query, &out), "match");
+      const double us = watch.ElapsedSeconds() * 1e6;
+      (during ? match_during_us : match_quiet_us).push_back(us);
+      ++i;
+    }
+  });
+
+  // Each round tombstones 30% of the registry (measuring delete
+  // throughput), compacts (measuring the pause), then re-inserts the
+  // victims so the next round deletes the same set again.
+  std::vector<RecordId> victims;
+  std::vector<const Record*> victim_records;
+  for (size_t i = 0; i < registry.size(); i += 3) {
+    victims.push_back(registry[i].id);
+    victim_records.push_back(&registry[i]);
+  }
+  double delete_seconds = 0;
+  size_t deletes = 0;
+  std::vector<double> pause_us;
+  for (size_t round = 0; round < rounds; ++round) {
+    Stopwatch delete_watch;
+    for (RecordId id : victims) {
+      bench::DieOnError(service.Delete(id), "delete");
+    }
+    delete_seconds += delete_watch.ElapsedSeconds();
+    deletes += victims.size();
+
+    compacting.store(true, std::memory_order_relaxed);
+    Stopwatch pause_watch;
+    bench::DieOnError(service.Compact(), "compact");
+    pause_us.push_back(pause_watch.ElapsedSeconds() * 1e6);
+    compacting.store(false, std::memory_order_relaxed);
+
+    for (const Record* r : victim_records) {
+      bench::DieOnError(service.Insert(*r), "reinsert");
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  matcher.join();
+
+  const double delete_rate = static_cast<double>(deletes) / delete_seconds;
+  const double pause_p50 = Percentile(pause_us, 0.50);
+  const double pause_p99 = Percentile(pause_us, 0.99);
+  const double quiet_p50 = Percentile(match_quiet_us, 0.50);
+  const double quiet_p99 = Percentile(match_quiet_us, 0.99);
+  const double during_p50 = Percentile(match_during_us, 0.50);
+  const double during_p99 = Percentile(match_during_us, 0.99);
+
+  std::printf("%-34s %14.0f\n", "delete throughput (rec/s)", delete_rate);
+  std::printf("%-34s %10.0f us\n", "compaction pause p50", pause_p50);
+  std::printf("%-34s %10.0f us\n", "compaction pause p99", pause_p99);
+  std::printf("%-34s %10.1f us (%zu samples)\n", "match latency p50 (quiet)",
+              quiet_p50, match_quiet_us.size());
+  std::printf("%-34s %10.1f us\n", "match latency p99 (quiet)", quiet_p99);
+  std::printf("%-34s %10.1f us (%zu samples)\n",
+              "match latency p50 (compacting)", during_p50,
+              match_during_us.size());
+  std::printf("%-34s %10.1f us\n", "match latency p99 (compacting)",
+              during_p99);
+
+  const ServiceMetrics metrics = service.metrics();
+  std::vector<std::pair<std::string, double>> series;
+  series.emplace_back("records", static_cast<double>(registry.size()));
+  series.emplace_back("rounds", static_cast<double>(rounds));
+  series.emplace_back("delete_rate", delete_rate);
+  series.emplace_back("compaction_pause_us_p50", pause_p50);
+  series.emplace_back("compaction_pause_us_p99", pause_p99);
+  series.emplace_back("match_quiet_us_p50", quiet_p50);
+  series.emplace_back("match_quiet_us_p99", quiet_p99);
+  series.emplace_back("match_during_compaction_us_p50", during_p50);
+  series.emplace_back("match_during_compaction_us_p99", during_p99);
+  series.emplace_back("match_during_samples",
+                      static_cast<double>(match_during_us.size()));
+  series.emplace_back("compactions", static_cast<double>(metrics.compactions));
+  series.emplace_back("compaction_reclaimed",
+                      static_cast<double>(metrics.compaction_reclaimed));
+  bench::EmitBenchJson("BENCH_mutation.json", series);
+  std::printf(
+      "\nReading: the pause bounds the write stall only — matches pin the "
+      "old epoch\nand keep serving, so the 'compacting' percentiles should "
+      "track the quiet ones.\n");
+}
+
+}  // namespace
+}  // namespace cbvlink
+
+int main() {
+  cbvlink::Run();
+  return 0;
+}

@@ -65,12 +65,24 @@ void VectorStore::Add(const EncodedRecord& record) {
   if (ids_.size() + 1 > (slots_.size() * 3) / 4) {
     Rehash(slots_.empty() ? 16 : slots_.size() * 2);
   }
-  // First Add wins, matching the emplace semantics of the map-based store.
+  // First Add wins for a live slot, matching the emplace semantics of the
+  // map-based store.  A tombstoned slot is resurrected in place with the
+  // new vector (an update may have changed the bits), so the dense index
+  // stays stable.
   size_t pos = Hash(record.id) & slot_mask_;
   while (true) {
     const uint32_t dense = slots_[pos];
     if (dense == kNotFound) break;
-    if (ids_[dense] == record.id) return;
+    if (ids_[dense] == record.id) {
+      if (IsDead(dense)) {
+        const std::vector<uint64_t>& words = record.bits.words();
+        std::copy(words.begin(), words.end(),
+                  words_.begin() + static_cast<size_t>(dense) * stride_);
+        dead_words_[dense >> 6] &= ~(uint64_t{1} << (dense & 63));
+        --dead_count_;
+      }
+      return;
+    }
     pos = (pos + 1) & slot_mask_;
   }
   const uint32_t dense = static_cast<uint32_t>(ids_.size());
@@ -88,6 +100,16 @@ void VectorStore::AddAll(const std::vector<EncodedRecord>& records) {
     ids_.reserve(records.size());
   }
   for (const EncodedRecord& record : records) Add(record);
+}
+
+bool VectorStore::Remove(RecordId id) {
+  const uint32_t dense = DenseIndex(id);
+  if (dense == kNotFound || IsDead(dense)) return false;
+  const size_t word = static_cast<size_t>(dense) >> 6;
+  if (word >= dead_words_.size()) dead_words_.resize(word + 1, 0);
+  dead_words_[word] |= uint64_t{1} << (dense & 63);
+  ++dead_count_;
+  return true;
 }
 
 void VectorStore::Rehash(size_t min_slots) {
@@ -242,6 +264,9 @@ void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
               continue;
             }
             stamps[dense] = epoch;
+            // Tombstoned slot: stamped (so repeats dedupe for free) but
+            // never compared — a deleted record matches nothing.
+            if (store_a_->IsDead(dense)) continue;
             fresh_dense.push_back(dense);
             fresh_ids.push_back(a_id);
           }
@@ -277,6 +302,7 @@ void Matcher::MatchOne(const EncodedRecord& b, const PairClassifier& classifier,
             continue;
           }
           stamps[dense] = epoch;
+          if (store_a_->IsDead(dense)) continue;  // tombstoned: skip
           ++s->comparisons;
           if (classifier.ClassifyWords(store_a_->WordsAt(dense), b_words,
                                        num_words)) {

@@ -70,7 +70,15 @@ struct MatchStats {
 /// a fixed stride, plus an open-addressing index from RecordId to the
 /// dense position.  Every record must carry the same bit width (the
 /// encoder's total_bits) — the first Add fixes the stride.  Re-adding an
-/// existing id keeps the first vector.
+/// existing live id keeps the first vector; re-adding a tombstoned id
+/// resurrects the slot with the new vector.
+///
+/// Deletion is a tombstone, not a compaction: Remove() flips a bit in a
+/// dead-slot bitmap and the arena keeps the words, so delete is O(1) and
+/// no dense index ever moves (readers holding dense indices stay valid).
+/// The matcher consults the bitmap per candidate and skips dead slots;
+/// reclaiming the arena space is the service compactor's job (it rebuilds
+/// a fresh store from the survivors).
 class VectorStore {
  public:
   /// Sentinel dense index for "id not stored".
@@ -81,6 +89,23 @@ class VectorStore {
   void Add(const EncodedRecord& record);
 
   void AddAll(const std::vector<EncodedRecord>& records);
+
+  /// Tombstones `id`.  Returns true when the id was present and live
+  /// (false = unknown or already dead).  O(1): one hash probe + one bit.
+  bool Remove(RecordId id);
+
+  /// True when the slot at dense index `dense` is tombstoned.
+  bool IsDead(uint32_t dense) const {
+    const size_t word = static_cast<size_t>(dense) >> 6;
+    return word < dead_words_.size() &&
+           ((dead_words_[word] >> (dense & 63)) & 1) != 0;
+  }
+
+  /// Records stored and not tombstoned.
+  size_t live_size() const { return ids_.size() - dead_count_; }
+
+  /// Tombstoned slots awaiting compaction.
+  size_t dead_count() const { return dead_count_; }
 
   /// Dense index of `id` in [0, size()), or kNotFound.  O(1): one hash
   /// probe over the flat slot table.
@@ -144,6 +169,11 @@ class VectorStore {
   /// Open-addressing slot table: slot -> dense index or kNotFound.
   std::vector<uint32_t> slots_;
   size_t slot_mask_ = 0;
+  /// Dead-slot bitmap, bit `dense` set when the slot is tombstoned.
+  /// Grown lazily on the first Remove; dense indices past the bitmap end
+  /// are live (Add never has to touch it).
+  std::vector<uint64_t> dead_words_;
+  size_t dead_count_ = 0;
 };
 
 /// Decides whether an (A, B) vector pair is a match.  A small value type

@@ -12,17 +12,6 @@ size_t ResolveNumThreads(size_t num_threads) {
   return std::max<size_t>(1, std::thread::hardware_concurrency());
 }
 
-ExecutionOptions MergeDeprecatedNumThreads(ExecutionOptions exec,
-                                           size_t exec_default,
-                                           size_t legacy_num_threads,
-                                           size_t legacy_default) {
-  if (exec.pool == nullptr && exec.num_threads == exec_default &&
-      legacy_num_threads != legacy_default) {
-    exec.num_threads = legacy_num_threads;
-  }
-  return exec;
-}
-
 ExecutionContext::ExecutionContext(const ExecutionOptions& options)
     : chunk_size_hint_(options.chunk_size_hint) {
   if (options.pool != nullptr) {

@@ -56,16 +56,6 @@ struct ExecutionOptions {
 /// 0 -> hardware concurrency (>= 1), anything else unchanged.
 size_t ResolveNumThreads(size_t num_threads);
 
-/// Deprecation shim used by configs that kept a legacy `num_threads`
-/// field next to the new ExecutionOptions: the legacy value is folded in
-/// only when the caller left `exec` untouched (no pool, `num_threads`
-/// still at `exec_default`) and moved the legacy field off
-/// `legacy_default`.  Explicit ExecutionOptions always win.
-ExecutionOptions MergeDeprecatedNumThreads(ExecutionOptions exec,
-                                           size_t exec_default,
-                                           size_t legacy_num_threads,
-                                           size_t legacy_default);
-
 /// Resolves ExecutionOptions for the duration of one call: borrows the
 /// supplied pool, or owns a freshly created one when `num_threads`
 /// resolves to more than one worker.  pool() == nullptr means "run

@@ -1,0 +1,63 @@
+// The unified mutation surface: one value type for every way a record
+// enters, changes in, or leaves the index.
+//
+// Before this existed, insert was threaded through three ad-hoc paths
+// (direct service calls, journal replay, replication apply) that each
+// re-derived "what does this byte stream mean".  A MutationOp names the
+// operation once; LinkageService::ApplyMutation, the journal frame
+// codec, replication apply, and snapshot merge all consume the same
+// struct.
+//
+// Sequencing: the service stamps every acknowledged delete/update with a
+// monotonically increasing sequence number.  Snapshots persist the
+// highest acknowledged sequence, and replay/replication apply skips
+// delete/update ops at or below that floor — the "dedupe by id +
+// sequence" contract that makes retries and snapshot/journal overlap
+// idempotent.  Insert frames predate sequencing and keep their original
+// dedupe-by-record-id contract (sequence == 0 on the wire).
+
+#ifndef CBVLINK_COMMON_MUTATION_H_
+#define CBVLINK_COMMON_MUTATION_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/record.h"
+
+namespace cbvlink {
+
+/// What a MutationOp does to the index.  Values are the journal frame op
+/// bytes (src/io/journal.h) — keep them in sync.
+enum class MutationKind : uint8_t {
+  kInsert = 1,  ///< add a record (first-insert-wins; resurrects a tombstone)
+  kDelete = 2,  ///< tombstone a record by id (O(1); reclaimed by compaction)
+  kUpdate = 3,  ///< replace a record's fields in place (re-encode + re-block)
+};
+
+/// One mutation, as acknowledged by the service, framed in the journal,
+/// and shipped over replication.
+struct MutationOp {
+  MutationKind kind = MutationKind::kInsert;
+  /// The full record for kInsert/kUpdate; only `record.id` is meaningful
+  /// for kDelete (fields stay empty on the wire).
+  Record record;
+  /// Acknowledgement sequence for kDelete/kUpdate (see file comment);
+  /// 0 for kInsert and for frames replayed from pre-sequence journals.
+  uint64_t sequence = 0;
+
+  static MutationOp Insert(Record r) {
+    return MutationOp{MutationKind::kInsert, std::move(r), 0};
+  }
+  static MutationOp Delete(RecordId id, uint64_t seq) {
+    Record r;
+    r.id = id;
+    return MutationOp{MutationKind::kDelete, std::move(r), seq};
+  }
+  static MutationOp Update(Record r, uint64_t seq) {
+    return MutationOp{MutationKind::kUpdate, std::move(r), seq};
+  }
+};
+
+}  // namespace cbvlink
+
+#endif  // CBVLINK_COMMON_MUTATION_H_

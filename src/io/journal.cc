@@ -124,8 +124,7 @@ void JournalFrameDecoder::Feed(std::string_view bytes) {
   buffer_.append(bytes.data(), bytes.size());
 }
 
-JournalFrameDecoder::Next JournalFrameDecoder::Pop(Record* record,
-                                                   JournalOp* op) {
+JournalFrameDecoder::Next JournalFrameDecoder::Pop(MutationOp* op) {
   if (!error_.ok()) return Next::kCorrupt;
   if (buffer_.size() - pos_ < 8) return Next::kNeedMore;
   const uint32_t payload_len = GetU32(buffer_.data() + pos_);
@@ -145,24 +144,72 @@ JournalFrameDecoder::Next JournalFrameDecoder::Pop(Record* record,
     return Next::kCorrupt;
   }
   const uint8_t op_byte = static_cast<uint8_t>(payload[0]);
-  if (op_byte != static_cast<uint8_t>(JournalOp::kInsert)) {
-    error_ = Status::InvalidArgument(
-        StrFormat("unknown journal op %u", op_byte));
-    return Next::kCorrupt;
+  op->sequence = 0;
+  op->record.id = 0;
+  op->record.fields.clear();
+  const char* body = payload + 1;
+  size_t body_len = payload_len - 1;
+  switch (op_byte) {
+    case static_cast<uint8_t>(JournalOp::kInsert):
+      op->kind = MutationKind::kInsert;
+      break;
+    case static_cast<uint8_t>(JournalOp::kDelete): {
+      // Delete frames are fixed-size: u64 sequence + u64 record id.
+      op->kind = MutationKind::kDelete;
+      if (body_len != 16) {
+        error_ = Status::InvalidArgument(
+            StrFormat("journal delete frame body is %zu bytes, want 16",
+                      body_len));
+        return Next::kCorrupt;
+      }
+      op->sequence = GetU64(body);
+      op->record.id = GetU64(body + 8);
+      pos_ += 8 + payload_len;
+      consumed_ += 8 + payload_len;
+      return Next::kRecord;
+    }
+    case static_cast<uint8_t>(JournalOp::kUpdate): {
+      op->kind = MutationKind::kUpdate;
+      if (body_len < 8) {
+        error_ = Status::InvalidArgument(
+            "journal update frame truncated before its sequence");
+        return Next::kCorrupt;
+      }
+      op->sequence = GetU64(body);
+      body += 8;
+      body_len -= 8;
+      break;
+    }
+    default:
+      error_ = Status::InvalidArgument(
+          StrFormat("unknown journal op %u", op_byte));
+      return Next::kCorrupt;
   }
   size_t consumed = 0;
-  const Status decoded = WireDecodeRecord(
-      std::string_view(payload + 1, payload_len - 1), record, &consumed);
-  if (!decoded.ok() || consumed != payload_len - 1) {
+  const Status decoded = WireDecodeRecord(std::string_view(body, body_len),
+                                          &op->record, &consumed);
+  if (!decoded.ok() || consumed != body_len) {
     error_ = decoded.ok() ? Status::InvalidArgument(
                                 "journal frame has trailing payload bytes")
                           : decoded;
     return Next::kCorrupt;
   }
-  if (op != nullptr) *op = static_cast<JournalOp>(op_byte);
   pos_ += 8 + payload_len;
   consumed_ += 8 + payload_len;
   return Next::kRecord;
+}
+
+JournalFrameDecoder::Next JournalFrameDecoder::Pop(Record* record,
+                                                   JournalOp* op) {
+  MutationOp mutation;
+  const Next next = Pop(&mutation);
+  if (next == Next::kRecord) {
+    *record = std::move(mutation.record);
+    if (op != nullptr) {
+      *op = static_cast<JournalOp>(static_cast<uint8_t>(mutation.kind));
+    }
+  }
+  return next;
 }
 
 Journal::Journal(std::string path, int fd, uint64_t end, uint64_t epoch,
@@ -264,11 +311,34 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path,
       new Journal(path, fd, valid_end, epoch, options));
 }
 
+Status Journal::Append(const MutationOp& op) {
+  return AppendImpl(static_cast<JournalOp>(static_cast<uint8_t>(op.kind)),
+                    op.sequence, op.record);
+}
+
 Status Journal::AppendInsert(const Record& record) {
+  return AppendImpl(JournalOp::kInsert, 0, record);
+}
+
+Status Journal::AppendImpl(JournalOp op, uint64_t sequence,
+                           const Record& record) {
   std::string payload;
-  payload.push_back(
-      static_cast<char>(static_cast<uint8_t>(JournalOp::kInsert)));
-  WireEncodeRecord(record, &payload);
+  payload.push_back(static_cast<char>(static_cast<uint8_t>(op)));
+  switch (op) {
+    case JournalOp::kInsert:
+      // The original frame format, byte for byte — pre-mutation journals
+      // and binaries stay interchangeable for inserts.
+      WireEncodeRecord(record, &payload);
+      break;
+    case JournalOp::kDelete:
+      PutU64(sequence, &payload);
+      PutU64(record.id, &payload);
+      break;
+    case JournalOp::kUpdate:
+      PutU64(sequence, &payload);
+      WireEncodeRecord(record, &payload);
+      break;
+  }
   if (payload.size() > kMaxJournalPayload) {
     return Status::InvalidArgument("journal record exceeds payload cap");
   }
@@ -439,7 +509,7 @@ uint64_t Journal::appended_frames() const {
 
 Result<JournalReplayStats> ReplayJournal(
     const std::string& path,
-    const std::function<Status(const Record&)>& apply) {
+    const std::function<Status(const MutationOp&)>& apply) {
   JournalReplayStats stats;
   std::ifstream in(path, std::ios::binary);
   if (!in) return stats;  // nothing to replay
@@ -454,7 +524,7 @@ Result<JournalReplayStats> ReplayJournal(
   CBVLINK_RETURN_NOT_OK(DecodeHeader(header, &stats.epoch));
 
   JournalFrameDecoder decoder;
-  Record record;
+  MutationOp op;
   char chunk[1 << 16];
   bool more_input = true;
   while (more_input) {
@@ -464,11 +534,11 @@ Result<JournalReplayStats> ReplayJournal(
     more_input = n == static_cast<std::streamsize>(sizeof(chunk));
     decoder.Feed(std::string_view(chunk, static_cast<size_t>(n)));
     for (;;) {
-      const JournalFrameDecoder::Next next = decoder.Pop(&record);
+      const JournalFrameDecoder::Next next = decoder.Pop(&op);
       if (next == JournalFrameDecoder::Next::kRecord) {
         ++stats.frames;
         ++stats.applied;
-        CBVLINK_RETURN_NOT_OK(apply(record));
+        CBVLINK_RETURN_NOT_OK(apply(op));
         continue;
       }
       if (next == JournalFrameDecoder::Next::kCorrupt) {

@@ -1,18 +1,28 @@
-// Append-only insert journal: the durability layer between snapshots.
+// Append-only mutation journal: the durability layer between snapshots.
 //
 // Snapshots (src/io/serialization.h) make restarts warm but are periodic;
-// every insert acknowledged after the last snapshot would be lost on a
+// every mutation acknowledged after the last snapshot would be lost on a
 // crash.  The journal closes that gap: each successful
-// Insert/MatchAndInsert/InsertBatch record is appended as one CRC32C-framed
-// entry and fsynced per policy *before* the caller's acknowledgement, so
-// startup recovery = snapshot restore + journal tail replay, and a warm
-// standby can follow a primary by tailing the same byte stream over the
-// network (src/net/replication.h).
+// Insert/Delete/Update (and the batch forms) is appended as one
+// CRC32C-framed entry and fsynced per policy *before* the caller's
+// acknowledgement, so startup recovery = snapshot restore + journal tail
+// replay, and a warm standby can follow a primary by tailing the same
+// byte stream over the network (src/net/replication.h).
 //
 // File layout (little-endian):
 //   u32 magic 'CBVJ'   u32 version (1)   u64 epoch
 //   repeated frames: u32 payload_len  u32 crc32c(payload)  payload
-//   payload: u8 op (1 = insert)  WireEncodeRecord bytes
+//   insert payload: u8 op (1)  WireEncodeRecord bytes
+//   delete payload: u8 op (2)  u64 sequence  u64 record id
+//   update payload: u8 op (3)  u64 sequence  WireEncodeRecord bytes
+//
+// The version stays 1: insert frames are byte-identical to the original
+// format, so pre-mutation journals replay unchanged.  Delete/update
+// frames carry the service's acknowledgement sequence; replay and
+// replication skip any whose sequence the restored snapshot already
+// covers (dedupe by id + sequence — see src/common/mutation.h).
+// Binaries that predate the mutation ops treat a delete/update frame as
+// a corrupt tail and stop there, which is the safe direction.
 //
 // Torn-tail contract: an append is not atomic on disk, so a crash can
 // leave a partial frame at the end.  Every reader (Open's end scan,
@@ -40,15 +50,28 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/mutation.h"
 #include "src/common/record.h"
 #include "src/common/status.h"
 
 namespace cbvlink {
 
 /// Journal entry operation tags (the u8 leading each frame payload).
+/// Values mirror MutationKind (src/common/mutation.h) byte for byte.
 enum class JournalOp : uint8_t {
   kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
 };
+
+static_assert(
+    static_cast<uint8_t>(JournalOp::kInsert) ==
+            static_cast<uint8_t>(MutationKind::kInsert) &&
+        static_cast<uint8_t>(JournalOp::kDelete) ==
+            static_cast<uint8_t>(MutationKind::kDelete) &&
+        static_cast<uint8_t>(JournalOp::kUpdate) ==
+            static_cast<uint8_t>(MutationKind::kUpdate),
+    "journal op bytes must match MutationKind");
 
 /// Bytes before the first frame (magic + version + epoch).
 inline constexpr uint64_t kJournalHeaderSize = 16;
@@ -65,14 +88,14 @@ struct JournalOptions {
 };
 
 /// Incremental frame decoder: feed raw journal bytes (file tail, network
-/// segment), pop decoded records.  Stops permanently at the first
+/// segment), pop decoded mutations.  Stops permanently at the first
 /// corrupt frame; a partial frame at the end of the fed bytes is simply
 /// "need more".  `consumed_bytes` counts only fully validated frames, so
 /// it is always a frame boundary — the resume offset for a follower.
 class JournalFrameDecoder {
  public:
   enum class Next {
-    kRecord,    ///< one record decoded
+    kRecord,    ///< one mutation decoded
     kNeedMore,  ///< buffered bytes end mid-frame; feed more
     kCorrupt,   ///< invalid frame; error() has details, decoder is dead
   };
@@ -80,8 +103,12 @@ class JournalFrameDecoder {
   /// Appends bytes to the internal buffer.
   void Feed(std::string_view bytes);
 
-  /// Attempts to decode the next frame into `*record` (and `*op` when
-  /// non-null).
+  /// Attempts to decode the next frame into `*op` (kind, record, and —
+  /// for delete/update frames — the acknowledgement sequence).
+  Next Pop(MutationOp* op);
+
+  /// Record-only convenience used by callers that predate delete/update
+  /// (Open's end scan keeps using it; the op kind is discarded).
   Next Pop(Record* record, JournalOp* op = nullptr);
 
   /// Total bytes of fully validated frames consumed so far.
@@ -115,10 +142,14 @@ class Journal {
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Appends one insert frame and applies the fsync policy.  On any
+  /// Appends one mutation frame and applies the fsync policy.  On any
   /// error the in-memory end offset is left at the last durable frame
   /// boundary and the file is truncated back to it (best-effort), so a
   /// failed append never poisons the tail for later ones.
+  Status Append(const MutationOp& op);
+
+  /// Insert convenience: semantically Append(MutationOp::Insert(record))
+  /// without materialising the op (the insert hot path stays copy-free).
   Status AppendInsert(const Record& record);
 
   /// Forces an fsync now (e.g. before acknowledging a batch when
@@ -156,6 +187,10 @@ class Journal {
   Journal(std::string path, int fd, uint64_t end, uint64_t epoch,
           JournalOptions options);
 
+  /// Shared frame encoder + append behind Append/AppendInsert.  Only
+  /// `record.id` is consulted for kDelete.
+  Status AppendImpl(JournalOp op, uint64_t sequence, const Record& record);
+
   Status SyncLocked();
 
   std::string path_;
@@ -176,8 +211,8 @@ struct JournalReplayStats {
   uint64_t frames = 0;
   /// Frames actually applied.  ReplayJournal sets this equal to
   /// `frames`; callers that dedupe (LinkageService::ReplayJournalFile
-  /// skips ids the snapshot already covers) overwrite it with their own
-  /// count.
+  /// skips inserts the snapshot already covers and delete/update frames
+  /// at or below its sequence floor) overwrite it with their own count.
   uint64_t applied = 0;
   /// Byte offset of the last valid frame boundary.
   uint64_t valid_bytes = 0;
@@ -188,13 +223,13 @@ struct JournalReplayStats {
 };
 
 /// Replays the journal at `path`: decodes frames in order and invokes
-/// `apply` for each record, stopping cleanly at the first invalid frame
-/// (stats.tail_truncated notes the drop).  A missing file is not an
-/// error — stats.existed stays false.  A non-OK `apply` aborts the
+/// `apply` for each mutation, stopping cleanly at the first invalid
+/// frame (stats.tail_truncated notes the drop).  A missing file is not
+/// an error — stats.existed stays false.  A non-OK `apply` aborts the
 /// replay with that status.
 Result<JournalReplayStats> ReplayJournal(
     const std::string& path,
-    const std::function<Status(const Record&)>& apply);
+    const std::function<Status(const MutationOp&)>& apply);
 
 }  // namespace cbvlink
 

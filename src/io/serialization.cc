@@ -26,6 +26,11 @@ constexpr uint32_t kSnapshotMagic = 0x53564243;  // "CBVS" little-endian
 // Writers emit version 2; readers accept both.
 constexpr uint32_t kVersionLegacy = 1;
 constexpr uint32_t kVersion = 2;
+// Snapshot ('CBVS') versions run ahead of the record-file version:
+// version 3 appends a mutation block (delete/update sequence floor +
+// tombstoned record ids) after the buckets.  Writers emit version 3;
+// readers accept 1–3, treating older files as having no tombstones.
+constexpr uint32_t kSnapshotVersion = 3;
 
 // Hard caps on untrusted length fields.  Each bounds the single largest
 // allocation a corrupt field can demand (the "allocation budget" of the
@@ -529,11 +534,21 @@ Result<std::vector<EncodedRecord>> ReadEncodedRecordsFromFile(
 }
 
 Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
-                            std::ostream& out) {
+                            std::ostream& out, uint32_t version) {
   CBVLINK_FAILPOINT("io.write_snapshot");
+  if (version == 0) version = kSnapshotVersion;
+  if (version < kVersion || version > kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("cannot write snapshot version %u", version));
+  }
+  if (version < 3 && (!snapshot.tombstones.empty() ||
+                      snapshot.last_sequence != 0)) {
+    return Status::InvalidArgument(
+        "snapshot version 2 cannot carry tombstones or a sequence floor");
+  }
   CrcWriter w(out);
   w.U32(kSnapshotMagic);
-  w.U32(kVersion);
+  w.U32(version);
   w.U64(snapshot.seed);
   w.U64(snapshot.record_K);
   w.U64(snapshot.record_theta);
@@ -565,6 +580,13 @@ Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
     w.U64(bucket.ids.size());
     for (RecordId id : bucket.ids) w.U64(id);
   }
+  if (version >= 3) {
+    // Mutation block: the highest acknowledged delete/update sequence
+    // (the replay dedupe floor) and every live tombstone.
+    w.U64(snapshot.last_sequence);
+    w.U64(snapshot.tombstones.size());
+    for (RecordId id : snapshot.tombstones) w.U64(id);
+  }
   w.CrcTrailer();
   if (!out) return Status::IOError("stream write failed");
   return Status::OK();
@@ -586,7 +608,7 @@ Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in) {
     return Status::InvalidArgument("not a cbvlink service snapshot");
   }
   if (!r.U32(&version)) return r.Error("snapshot header");
-  if (version != kVersionLegacy && version != kVersion) {
+  if (version < kVersionLegacy || version > kSnapshotVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported snapshot version %u", version));
   }
@@ -654,6 +676,19 @@ Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in) {
       bucket.ids.push_back(id);
     }
     snapshot.buckets.push_back(std::move(bucket));
+  }
+  if (version >= 3) {
+    uint64_t num_tombstones = 0;
+    if (!r.U64(&snapshot.last_sequence) || !r.U64(&num_tombstones) ||
+        !r.CheckCount(num_tombstones, kMaxRecordCount, 8, "tombstone")) {
+      return r.Error("snapshot mutation block");
+    }
+    snapshot.tombstones.reserve(r.ReserveHint(num_tombstones));
+    for (uint64_t i = 0; i < num_tombstones; ++i) {
+      RecordId id = 0;
+      if (!r.U64(&id)) return r.Error("snapshot mutation block");
+      snapshot.tombstones.push_back(id);
+    }
   }
   if (version >= kVersion && !r.VerifyCrcTrailer()) {
     return r.Error("snapshot checksum");

@@ -17,7 +17,10 @@
 // configuration (schema, rule text, LSH and sizing parameters, seed —
 // enough to rebuild the random components identically), the service's
 // sharding options, the encoded records, and the blocking-table bucket
-// contents.  See ServiceSnapshot below.
+// contents.  Snapshot version 3 appends a mutation block — the
+// delete/update sequence floor and the tombstoned record ids — so a
+// restore keeps deleted records dead; versions 1 and 2 stay readable
+// (no tombstones).  See ServiceSnapshot below.
 //
 // Durability contract (version 2):
 //  * Every top-level file ends in a CRC32C trailer (src/common/crc32.h)
@@ -150,12 +153,25 @@ struct ServiceSnapshot {
   // Data.
   std::vector<EncodedRecord> records;
   std::vector<IndexBucketSnapshot> buckets;
+
+  // Mutation state (snapshot version 3+; older files restore with both
+  // at their defaults).
+  /// Record ids deleted but not yet reclaimed by compaction.  Disjoint
+  /// from `records` — a tombstoned record's vector is already gone.
+  std::vector<RecordId> tombstones;
+  /// Highest delete/update sequence the service had acknowledged when
+  /// the snapshot was taken; replay skips sequenced frames at or below
+  /// this floor.
+  uint64_t last_sequence = 0;
 };
 
 /// Writes a service snapshot, ending in a CRC32C trailer.  Returns
-/// IOError on stream failure.
+/// IOError on stream failure.  `version` selects the format for
+/// compatibility testing: 0 (the default) writes the current version 3;
+/// 2 writes the pre-mutation layout and requires `tombstones` empty and
+/// `last_sequence` zero.
 Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
-                            std::ostream& out);
+                            std::ostream& out, uint32_t version = 0);
 
 /// Writes to a file path atomically: the snapshot is staged in
 /// AtomicTempPath(path), fsynced, the previous snapshot (if any) is
@@ -165,7 +181,7 @@ Status WriteServiceSnapshot(const ServiceSnapshot& snapshot,
 Status WriteServiceSnapshotToFile(const ServiceSnapshot& snapshot,
                                   const std::string& path);
 
-/// Reads a service snapshot (version 1 or 2).  Returns InvalidArgument
+/// Reads a service snapshot (version 1, 2, or 3).  Returns InvalidArgument
 /// on a corrupt or foreign header, an over-cap length field, or a
 /// checksum mismatch, and IOError on truncated input.
 Result<ServiceSnapshot> ReadServiceSnapshot(std::istream& in);

@@ -16,13 +16,6 @@ Result<BfhLinker> BfhLinker::Create(BfhConfig config) {
 }
 
 Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
-                                      const std::vector<Record>& b) {
-  ExecutionOptions exec;
-  exec.num_threads = config_.num_threads;
-  return Link(a, b, exec);
-}
-
-Result<LinkageResult> BfhLinker::Link(const std::vector<Record>& a,
                                       const std::vector<Record>& b,
                                       const ExecutionOptions& options) {
   Rng rng(config_.seed);

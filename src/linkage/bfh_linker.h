@@ -33,10 +33,6 @@ struct BfhConfig {
   size_t record_theta = 45;
   double delta = 0.1;
   uint64_t seed = 13;
-  /// DEPRECATED: use Link(a, b, ExecutionOptions) instead.  Honoured only
-  /// by the two-argument Link() overload for one release (1 = serial,
-  /// 0 = hardware concurrency); see DESIGN.md §10.
-  size_t num_threads = 1;
 };
 
 /// The BfH linker.
@@ -46,14 +42,10 @@ class BfhLinker : public Linker {
 
   std::string_view name() const override { return "BfH"; }
 
+  using Linker::Link;
   Result<LinkageResult> Link(const std::vector<Record>& a,
                              const std::vector<Record>& b,
                              const ExecutionOptions& options) override;
-
-  /// Deprecated-config shim: forwards BfhConfig::num_threads into
-  /// ExecutionOptions (the only remaining use of that field).
-  Result<LinkageResult> Link(const std::vector<Record>& a,
-                             const std::vector<Record>& b) override;
 
  private:
   explicit BfhLinker(BfhConfig config) : config_(std::move(config)) {}

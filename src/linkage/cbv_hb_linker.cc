@@ -30,13 +30,6 @@ Result<CbvHbLinker> CbvHbLinker::Create(CbvHbConfig config) {
 }
 
 Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
-                                        const std::vector<Record>& b) {
-  ExecutionOptions exec;
-  exec.num_threads = config_.num_threads;
-  return Link(a, b, exec);
-}
-
-Result<LinkageResult> CbvHbLinker::Link(const std::vector<Record>& a,
                                         const std::vector<Record>& b,
                                         const ExecutionOptions& options) {
   Rng rng(config_.seed);

@@ -48,10 +48,6 @@ struct CbvHbConfig {
   size_t estimation_sample = 1000;
   /// Seed for every random component of the pipeline.
   uint64_t seed = 7;
-  /// DEPRECATED: use Link(a, b, ExecutionOptions) instead.  Honoured only
-  /// by the two-argument Link() overload for one release (1 = serial,
-  /// 0 = hardware concurrency); see DESIGN.md §10.
-  size_t num_threads = 1;
 };
 
 /// The cBV-HB linker.
@@ -62,14 +58,10 @@ class CbvHbLinker : public Linker {
 
   std::string_view name() const override { return "cBV-HB"; }
 
+  using Linker::Link;
   Result<LinkageResult> Link(const std::vector<Record>& a,
                              const std::vector<Record>& b,
                              const ExecutionOptions& options) override;
-
-  /// Deprecated-config shim: forwards CbvHbConfig::num_threads into
-  /// ExecutionOptions (the only remaining use of that field).
-  Result<LinkageResult> Link(const std::vector<Record>& a,
-                             const std::vector<Record>& b) override;
 
   /// The record encoder built during the last Link() call, exposed for
   /// Table 3-style introspection of m_opt.  FailedPrecondition before the

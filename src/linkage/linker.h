@@ -53,8 +53,7 @@ class Linker {
                                      const std::vector<Record>& b,
                                      const ExecutionOptions& options) = 0;
 
-  /// Convenience overload: serial execution.  Linkers whose config kept
-  /// a deprecated `num_threads` field override this shim to forward it.
+  /// Convenience overload: serial execution.
   virtual Result<LinkageResult> Link(const std::vector<Record>& a,
                                      const std::vector<Record>& b);
 };

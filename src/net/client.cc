@@ -279,6 +279,22 @@ Status NetClient::Insert(const Record& record, const Deadline& deadline) {
                    deadline);
 }
 
+Status NetClient::Delete(RecordId id, const Deadline& deadline) {
+  std::string payload;
+  EncodeDeletePayload(id, &payload);
+  Frame reply;
+  return Roundtrip(MsgType::kDelete, payload, MsgType::kDeleted, &reply,
+                   deadline);
+}
+
+Status NetClient::Update(const Record& record, const Deadline& deadline) {
+  std::string payload;
+  WireEncodeRecord(record, &payload);
+  Frame reply;
+  return Roundtrip(MsgType::kUpdate, payload, MsgType::kUpdated, &reply,
+                   deadline);
+}
+
 Status NetClient::FetchSnapshot(std::string* snapshot_bytes) {
   Frame reply;
   CBVLINK_RETURN_NOT_OK(
@@ -306,7 +322,11 @@ Status NetClient::PipelinedBurst(
   for (size_t i = 0; i < count; ++i) {
     record.id = base.id + i;
     std::string payload;
-    WireEncodeRecord(record, &payload);
+    if (type == MsgType::kDelete) {
+      EncodeDeletePayload(record.id, &payload);
+    } else {
+      WireEncodeRecord(record, &payload);
+    }
     EncodeFrame(type, payload, &wire);
   }
   CBVLINK_RETURN_NOT_OK(SendAll(wire));
@@ -448,6 +468,18 @@ Status RetryingClient::MatchAndInsert(const Record& record,
 Status RetryingClient::Insert(const Record& record) {
   return Execute([&](NetClient& client, const Deadline& deadline) {
     return client.Insert(record, deadline);
+  });
+}
+
+Status RetryingClient::Delete(RecordId id) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.Delete(id, deadline);
+  });
+}
+
+Status RetryingClient::Update(const Record& record) {
+  return Execute([&](NetClient& client, const Deadline& deadline) {
+    return client.Update(record, deadline);
   });
 }
 

@@ -62,6 +62,10 @@ class NetClient {
   Status MatchAndInsert(const Record& record, std::vector<IdPair>* out,
                         const Deadline& deadline = {});
   Status Insert(const Record& record, const Deadline& deadline = {});
+  /// Tombstones `id` (NotFound when it is not live).
+  Status Delete(RecordId id, const Deadline& deadline = {});
+  /// Replaces the live record with `record.id` (NotFound when absent).
+  Status Update(const Record& record, const Deadline& deadline = {});
 
   /// Fetches a complete snapshot stream (the bytes WriteServiceSnapshot
   /// produces) into `*snapshot_bytes`.
@@ -106,7 +110,8 @@ class NetClient {
   Status Call(MsgType type, std::string_view payload, Frame* reply);
 
   /// Pipelines `count` requests of `type` — copies of `base` with ids
-  /// base.id, base.id+1, ... — writing them all before reading any
+  /// base.id, base.id+1, ... (kDelete frames carry just the id) —
+  /// writing them all before reading any
   /// reply, then invokes `on_reply(i, frame)` for each response in
   /// order.  This is how a client overruns the server's admission queue
   /// on purpose (shed replies arrive as kError frames carrying
@@ -144,10 +149,15 @@ class NetClient {
 };
 
 /// How RetryingClient retries.  Every operation is safe to retry:
-/// ping/match/stats are pure reads, and insert/match_and_insert are
+/// ping/match/stats are pure reads; insert/match_and_insert are
 /// idempotent because the journal replay (and replication apply) path
 /// dedupes by record id — a duplicate insert of the same record is a
-/// no-op (tests/test_chaos.cc asserts this).
+/// no-op (tests/test_chaos.cc asserts this); delete/update are
+/// idempotent by construction (a repeated delete answers NotFound, a
+/// repeated update rewrites the same bytes) and their journal frames
+/// carry the acknowledgement sequence, so replay dedupes them by
+/// id + sequence.  NotFound itself is non-retryable, like the other
+/// request errors.
 struct RetryPolicy {
   /// Total tries, including the first (1 = no retries).
   int max_attempts = 4;
@@ -184,6 +194,8 @@ class RetryingClient {
   Status Match(const Record& record, std::vector<IdPair>* out);
   Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
   Status Insert(const Record& record);
+  Status Delete(RecordId id);
+  Status Update(const Record& record);
   Status Stats(std::string* json);
 
   /// Arms trace propagation.  The id is stamped onto the underlying

@@ -6,6 +6,7 @@
 
 #include "src/common/crc32.h"
 #include "src/common/str.h"
+#include "src/net/status_map.h"
 
 namespace cbvlink {
 namespace net {
@@ -294,7 +295,7 @@ void EncodeErrorPayload(const Status& status, std::string* out) {
 
 void EncodeErrorPayload(const Status& status, uint32_t retry_after_ms,
                         std::string* out) {
-  PutU32(static_cast<uint32_t>(status.code()), out);
+  PutU32(BinaryCodeFor(status), out);
   const std::string_view msg = status.message();
   PutU32(static_cast<uint32_t>(msg.size()), out);
   out->append(msg.data(), msg.size());
@@ -318,8 +319,17 @@ Status DecodeErrorPayload(std::string_view payload, Status* out,
   if (payload.size() == base + 4 && retry_after_ms != nullptr) {
     *retry_after_ms = GetU32(payload.data() + base);
   }
-  *out = Status(static_cast<StatusCode>(code),
-                std::string(payload.substr(8, len)));
+  *out = Status(StatusFromBinaryCode(code), std::string(payload.substr(8, len)));
+  return Status::OK();
+}
+
+void EncodeDeletePayload(RecordId id, std::string* out) { PutU64(id, out); }
+
+Status DecodeDeletePayload(std::string_view payload, RecordId* id) {
+  if (payload.size() != 8) {
+    return Status::InvalidArgument("delete payload must be 8 bytes");
+  }
+  *id = GetU64(payload.data());
   return Status::OK();
 }
 
@@ -711,18 +721,6 @@ std::string StatusToJson(const Status& status) {
   AppendJsonString(status.message(), &out);
   out += "}}";
   return out;
-}
-
-int HttpCodeFor(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kOk: return 200;
-    case StatusCode::kInvalidArgument: return 400;
-    case StatusCode::kNotFound: return 404;
-    case StatusCode::kFailedPrecondition: return 403;
-    case StatusCode::kResourceExhausted: return 429;
-    case StatusCode::kDeadlineExceeded: return 504;
-    default: return 500;
-  }
 }
 
 }  // namespace net

@@ -15,14 +15,19 @@
 // never demand an unbounded allocation.
 //
 // The HTTP mapping serves the same operations for curl-ability:
-//   GET  /healthz            -> 200 "ok"
-//   GET  /metrics            -> Prometheus text exposition
-//   GET  /stats              -> telemetry JSON
-//   POST /match              -> {"pairs": [[a_id, b_id], ...]}
-//   POST /insert             -> {"pairs": []}
-//   POST /match_and_insert   -> {"pairs": [[a_id, b_id], ...]}
-// POST bodies are {"id": N, "fields": ["F1", "F2", ...]}; a shed
-// request answers 429, a malformed one 400, a read-only replica 403.
+//   GET    /healthz            -> 200 "ok"
+//   GET    /metrics            -> Prometheus text exposition
+//   GET    /stats              -> telemetry JSON
+//   POST   /match              -> {"pairs": [[a_id, b_id], ...]}
+//   POST   /insert             -> {"pairs": []}
+//   POST   /match_and_insert   -> {"pairs": [[a_id, b_id], ...]}
+//   DELETE /records/{id}       -> {"pairs": []}
+//   PUT    /records/{id}       -> {"pairs": []}
+// POST/PUT bodies are {"id": N, "fields": ["F1", "F2", ...]} (a PUT
+// body's id must match the target id when present); a shed request
+// answers 429, a malformed one 400, a read-only replica 403, a
+// delete/update of an unknown id 404 (src/net/status_map.h is the one
+// table those codes come from).
 
 #ifndef CBVLINK_NET_PROTOCOL_H_
 #define CBVLINK_NET_PROTOCOL_H_
@@ -69,6 +74,8 @@ enum class MsgType : uint8_t {
   /// server spans join one tree; it also entitles the request to a
   /// kServerTiming annotation frame ahead of its response.
   kTraceContext = 9,
+  kDelete = 10,  ///< payload: u64 record id
+  kUpdate = 11,  ///< payload: WireEncodeRecord (full replacement)
 
   kPong = 65,
   kMatchResult = 66,    ///< payload: u32 n, n * (u64 a_id, u64 b_id)
@@ -83,6 +90,8 @@ enum class MsgType : uint8_t {
   /// trace_id, u32 n, n * (u8 stage, u32 dur_us).  Peers that never
   /// send kTraceContext never receive it, so old clients are unaffected.
   kServerTiming = 72,
+  kDeleted = 73,  ///< empty payload
+  kUpdated = 74,  ///< empty payload
 };
 
 /// Stages a kServerTiming annotation (or Server-Timing header) reports,
@@ -181,6 +190,10 @@ std::string ServerTimingHeaderValue(const std::vector<StageTiming>& stages);
 /// ServerTimingHeaderValue (unknown stage tokens are skipped).
 std::vector<StageTiming> ParseServerTimingHeaderValue(std::string_view value);
 
+/// kDelete payload <-> the record id to tombstone.
+void EncodeDeletePayload(RecordId id, std::string* out);
+Status DecodeDeletePayload(std::string_view payload, RecordId* id);
+
 void EncodeJournalFetch(uint64_t epoch, uint64_t offset, std::string* out);
 Status DecodeJournalFetch(std::string_view payload, uint64_t* epoch,
                           uint64_t* offset);
@@ -271,10 +284,8 @@ std::string PairsToJson(const std::vector<IdPair>& pairs);
 /// {"error": {"code": "...", "message": "..."}}
 std::string StatusToJson(const Status& status);
 
-/// The HTTP status code a Status maps to (429 for ResourceExhausted,
-/// 504 for DeadlineExceeded, 400 for InvalidArgument, 403 for
-/// FailedPrecondition, 404 for NotFound, 500 otherwise).
-int HttpCodeFor(const Status& status);
+// Status <-> HTTP/binary wire codes live in src/net/status_map.h (one
+// table shared by every handler and both clients).
 
 }  // namespace net
 }  // namespace cbvlink

@@ -156,8 +156,11 @@ Status Replica::SyncFromSnapshotImpl() {
   } else {
     // Re-sync (journal rotated under the cursor, or the tail went
     // corrupt).  service_ must stay pointer-stable — a read-only
-    // NetServer and Promote() hold it — so merge the snapshot into the
-    // live service instead of swapping it.  Insert-only semantics make
+    // NetServer and Promote() hold it — so reconcile the snapshot into
+    // the live service instead of swapping it: absent records are
+    // inserted, snapshot tombstones (and local records the snapshot no
+    // longer mentions at all — deleted then compacted away on the
+    // primary) are deleted, and the sequence floor is raised, making
     // the merge equivalent to a fresh restore.
     auto merged = service_->MergeSnapshotRecords(snapshot.value());
     CBVLINK_RETURN_NOT_OK(merged.status());
@@ -250,8 +253,8 @@ Status Replica::FetchOnce(bool* made_progress) {
     telemetry::TraceSpan apply_span("replica_apply");
     decoder_.Feed(frames);
     while (true) {
-      Record record;
-      JournalFrameDecoder::Next next = decoder_.Pop(&record);
+      MutationOp op;
+      JournalFrameDecoder::Next next = decoder_.Pop(&op);
       if (next == JournalFrameDecoder::Next::kNeedMore) break;
       if (next == JournalFrameDecoder::Next::kCorrupt) {
         // A corrupt frame over a CRC-checked transport means the
@@ -261,10 +264,9 @@ Status Replica::FetchOnce(bool* made_progress) {
         finish_trace();
         return Status::OK();
       }
-      if (!service_->Contains(record.id)) {
-        CBVLINK_RETURN_NOT_OK(service_->Insert(record));
-        ++applied;
-      }
+      auto changed = service_->ApplyMutation(op);
+      CBVLINK_RETURN_NOT_OK(changed.status());
+      if (changed.value()) ++applied;
     }
     apply_span.Annotate("applied", applied);
   }

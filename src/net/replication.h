@@ -1,17 +1,19 @@
 // Warm-standby replication: a Replica bootstraps from a primary's
-// snapshot (kFetchSnapshot) and then follows its append-only insert
-// journal (kFetchJournal) over the binary protocol, applying each
-// decoded frame to a local LinkageService.  The replica's service can
-// be served read-only by a NetServer (options.read_only) and promoted
-// to a primary when the original dies.
+// snapshot (kFetchSnapshot) and then follows its mutation journal
+// (kFetchJournal) over the binary protocol, applying each decoded
+// insert/delete/update frame to a local LinkageService.  The replica's
+// service can be served read-only by a NetServer (options.read_only)
+// and promoted to a primary when the original dies.
 //
 // Cursor protocol: the follower carries (epoch, offset).  The primary
 // answers with its current epoch and end offset; an epoch change means
 // the journal rotated under the cursor (a snapshot save dropped the
 // covered prefix), so the follower re-syncs from a fresh snapshot —
 // cheap, because rotation implies a newer snapshot exists.  Frames that
-// overlap the snapshot are skipped by record-id dedupe, exactly like
-// local journal replay (LinkageService::ReplayJournalFile).
+// overlap the snapshot are skipped exactly like local journal replay
+// (LinkageService::ApplyMutation): inserts dedupe by record id,
+// delete/update frames by their acknowledgement sequence against the
+// snapshot's sequence floor.
 //
 // Lag is measured in journal bytes (primary end offset minus the
 // follower's applied offset) and exported as the

@@ -26,6 +26,7 @@
 #include "src/io/journal.h"
 #include "src/io/serialization.h"
 #include "src/net/protocol.h"
+#include "src/net/status_map.h"
 #include "src/service/linkage_service.h"
 #include "src/telemetry/exporters.h"
 #include "src/telemetry/metrics.h"
@@ -89,15 +90,40 @@ struct PendingRequest {
 /// True for requests that do linkage work (the ones a draining server
 /// sheds).  Probes, stats, and snapshot/journal fetches pass.
 bool IsWorkRequest(const PendingRequest& req) {
-  if (req.is_http) return req.http.method == "POST";
+  if (req.is_http) {
+    return req.http.method == "POST" || req.http.method == "DELETE" ||
+           req.http.method == "PUT";
+  }
   switch (req.frame.type) {
     case MsgType::kMatch:
     case MsgType::kMatchAndInsert:
     case MsgType::kInsert:
+    case MsgType::kDelete:
+    case MsgType::kUpdate:
       return true;
     default:
       return false;
   }
+}
+
+/// Parses the {id} of a "/records/{id}" target (decimal, no trailing
+/// bytes).  Returns false for any other target.
+bool ParseRecordsTarget(std::string_view target, RecordId* id) {
+  constexpr std::string_view kPrefix = "/records/";
+  if (target.size() <= kPrefix.size() ||
+      target.substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const std::string_view digits = target.substr(kPrefix.size());
+  uint64_t n = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t next = n * 10 + static_cast<uint64_t>(c - '0');
+    if (next < n) return false;  // overflow
+    n = next;
+  }
+  *id = n;
+  return true;
 }
 
 enum class ConnMode { kUnknown, kBinary, kHttp };
@@ -1217,6 +1243,32 @@ void NetServer::Impl::HandleBinary(const PendingRequest& req,
       EncodeFrame(MsgType::kInserted, {}, out);
       return;
     }
+    case MsgType::kDelete: {
+      if (options.read_only) {
+        return reply_error(
+            Status::FailedPrecondition("replica is read-only"));
+      }
+      RecordId id = 0;
+      Status st = DecodeDeletePayload(frame.payload, &id);
+      if (!st.ok()) return reply_error(st);
+      st = service->Delete(id);
+      if (!st.ok()) return reply_error(st);
+      EncodeFrame(MsgType::kDeleted, {}, out);
+      return;
+    }
+    case MsgType::kUpdate: {
+      if (options.read_only) {
+        return reply_error(
+            Status::FailedPrecondition("replica is read-only"));
+      }
+      Record record;
+      Status st = decode_record(&record);
+      if (!st.ok()) return reply_error(st);
+      st = service->Update(record);
+      if (!st.ok()) return reply_error(st);
+      EncodeFrame(MsgType::kUpdated, {}, out);
+      return;
+    }
     case MsgType::kFetchSnapshot: {
       std::ostringstream snapshot;
       Status st = service->SaveSnapshot(snapshot);
@@ -1311,6 +1363,39 @@ void NetServer::Impl::HandleHttp(const PendingRequest& req, std::string* out,
       return;
     }
     return reply_status(Status::NotFound(StrFormat("no such path: %s", http.target.c_str())));
+  }
+  if (http.method == "DELETE" || http.method == "PUT") {
+    RecordId id = 0;
+    if (!ParseRecordsTarget(http.target, &id)) {
+      return reply_status(
+          Status::NotFound(StrFormat("no such path: %s", http.target.c_str())));
+    }
+    if (options.read_only) {
+      return reply_status(Status::FailedPrecondition("replica is read-only"));
+    }
+    Status st;
+    if (http.method == "DELETE") {
+      st = service->Delete(id);
+    } else {
+      Record record;
+      st = ParseJsonRecord(http.body, &record);
+      if (!st.ok()) {
+        // Network-mode analogue of a skipped CSV row (see HandleBinary).
+        service->RecordSkippedRows(1);
+      } else if (record.id != 0 && record.id != id) {
+        st = Status::InvalidArgument(StrFormat(
+            "body id %llu does not match target id %llu",
+            static_cast<unsigned long long>(record.id),
+            static_cast<unsigned long long>(id)));
+      } else {
+        record.id = id;
+        st = service->Update(record);
+      }
+    }
+    if (!st.ok()) return reply_status(st);
+    out->append(HttpResponse(200, "application/json", PairsToJson({}), keep, 0,
+                             TraceExtras(req)));
+    return;
   }
   if (http.method != "POST") {
     return reply_status(

@@ -1,0 +1,41 @@
+#include "src/net/status_map.h"
+
+namespace cbvlink {
+namespace net {
+
+int HttpCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kFailedPrecondition: return 403;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kDeadlineExceeded: return 504;
+    default: return 500;
+  }
+}
+
+uint32_t BinaryCodeFor(const Status& status) {
+  return static_cast<uint32_t>(status.code());
+}
+
+StatusCode StatusFromBinaryCode(uint32_t code) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return static_cast<StatusCode>(code);
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace net
+}  // namespace cbvlink

@@ -1,0 +1,38 @@
+// The single Status -> wire-code table of the serving tier.
+//
+// Every handler used to carry its own switch from StatusCode to an HTTP
+// code or a binary kError code; mutation support (NotFound for
+// delete/update of unknown ids) would have meant touching each one.
+// This module is now the only place the mapping lives: the HTTP
+// handlers, the binary kError codec, and the clients all consult it, so
+// a new status maps identically on every surface by construction.
+
+#ifndef CBVLINK_NET_STATUS_MAP_H_
+#define CBVLINK_NET_STATUS_MAP_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace cbvlink {
+namespace net {
+
+/// The HTTP status code a Status maps to: 200 OK, 400 InvalidArgument,
+/// 403 FailedPrecondition, 404 NotFound (delete/update of an unknown
+/// id), 429 ResourceExhausted (shed), 504 DeadlineExceeded, 500
+/// otherwise.
+int HttpCodeFor(const Status& status);
+
+/// The u32 carried in a binary kError payload.  The wire values are the
+/// StatusCode enumerators, pinned here so the wire contract survives
+/// enum reshuffles.
+uint32_t BinaryCodeFor(const Status& status);
+
+/// Inverse of BinaryCodeFor: unknown wire values (a newer peer's codes)
+/// degrade to kInternal instead of poisoning the enum.
+StatusCode StatusFromBinaryCode(uint32_t code);
+
+}  // namespace net
+}  // namespace cbvlink
+
+#endif  // CBVLINK_NET_STATUS_MAP_H_

@@ -68,11 +68,7 @@ Result<LinkageResultLite> LinkageUnit::LinkEncoded(
   }
 
   Rng rng(options_.seed);
-  // The deprecated Options::num_threads only applies while `execution`
-  // is left at its default (DESIGN.md §10 deprecation table).
-  ExecutionContext ctx(MergeDeprecatedNumThreads(
-      options_.execution, /*exec_default=*/1, options_.num_threads,
-      /*legacy_default=*/1));
+  ExecutionContext ctx(options_.execution);
   Result<RecordLevelBlocker> blocker = RecordLevelBlocker::Create(
       layout_.total_bits(), options_.record_K, options_.record_theta,
       options_.delta, rng);

@@ -95,10 +95,6 @@ class LinkageUnit {
     uint64_t seed = 103;
     /// Charlie's execution policy (index build + sharded matching).
     ExecutionOptions execution;
-    /// DEPRECATED: set `execution` instead.  Honoured for one release
-    /// when `execution` is left at its default (1 = serial,
-    /// 0 = hardware concurrency); see DESIGN.md §10.
-    size_t num_threads = 1;
   };
 
   /// Creates Charlie with the published parameters and his own blocking

@@ -58,6 +58,13 @@ void ConcurrentVectorStore::Add(const EncodedRecord& record) {
   shard.vectors.insert_or_assign(record.id, record.bits);
 }
 
+bool ConcurrentVectorStore::Remove(RecordId id) {
+  CBVLINK_FAILPOINT_DELAY("store.add");
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock lock(shard.mu);
+  return shard.vectors.erase(id) != 0;
+}
+
 bool ConcurrentVectorStore::Find(RecordId id, BitVector* out) const {
   CBVLINK_FAILPOINT_DELAY("store.find");
   const Shard& shard = *shards_[ShardOf(id)];
@@ -187,6 +194,9 @@ Status LinkageService::Init() {
   Result<HammingLshFamily> family = HammingLshFamily::CreateFull(
       record_K, L.value(), encoder_->total_bits(), rng);
   if (!family.ok()) return family.status();
+  // Keep a copy of the family: Compact() rebuilds a successor index with
+  // the identical blocking keys.
+  family_.emplace(family.value());
 
   ShardedIndexOptions index_options;
   index_options.num_shards = options_.num_shards;
@@ -194,14 +204,10 @@ Status LinkageService::Init() {
   Result<ShardedHammingIndex> index =
       ShardedHammingIndex::Create(std::move(family).value(), index_options);
   if (!index.ok()) return index.status();
-  index_.emplace(std::move(index).value());
+  index_ = std::make_shared<ShardedHammingIndex>(std::move(index).value());
 
   classifier_ = MakeRuleClassifier(config_.rule, encoder_->layout());
-  // The deprecated options_.num_threads only applies while `execution`
-  // is left at its default (both defaults mean "hardware concurrency").
-  const ExecutionOptions exec = MergeDeprecatedNumThreads(
-      options_.execution, /*exec_default=*/0, options_.num_threads,
-      /*legacy_default=*/0);
+  const ExecutionOptions& exec = options_.execution;
   if (exec.pool != nullptr) {
     pool_ = exec.pool;
   } else {
@@ -218,12 +224,19 @@ Status LinkageService::Init() {
   t_batch_latency_ = reg.GetHistogram("batch_latency_us");
   t_queries_ = reg.GetCounter("service_queries_total");
   t_inserts_ = reg.GetCounter("service_inserts_total");
+  t_deletes_ = reg.GetCounter("service_deletes_total");
+  t_updates_ = reg.GetCounter("service_updates_total");
+  t_compactions_ = reg.GetCounter("compaction_runs_total");
+  t_compaction_reclaimed_ = reg.GetCounter("compaction_reclaimed_total");
+  t_compaction_pause_ = reg.GetHistogram("compaction_pause_us");
   t_candidates_ = reg.GetCounter("service_candidates_total");
   t_comparisons_ = reg.GetCounter("service_comparisons_total");
   t_matches_ = reg.GetCounter("service_matches_total");
   t_scan_fallbacks_ = reg.GetCounter("service_scan_fallbacks_total");
   return Status::OK();
 }
+
+LinkageService::~LinkageService() { StopBackgroundCompaction(); }
 
 uint64_t LinkageService::NowNanos() const {
   return static_cast<uint64_t>(
@@ -242,10 +255,27 @@ void LinkageService::RecordSpan(uint64_t start, uint64_t end,
 }
 
 void LinkageService::InsertEncoded(const EncodedRecord& record) {
+  // Shared against the compactor: no insert may land between its
+  // survivor export and the epoch swap, or the record would vanish from
+  // the published index.
+  std::shared_lock compaction_guard(compaction_mu_);
   // Store before index: a concurrent Match that sees the id in a bucket
   // must be able to retrieve the vector.
   store_.Add(record);
-  index_->Insert(record);
+  PinIndex()->Insert(record);
+  // An insert of a tombstoned id resurrects it (same outcome live and in
+  // replay order).  Gated on the counter so the steady insert path never
+  // touches the tombstone lock.
+  if (tombstone_count_.load(std::memory_order_relaxed) != 0) {
+    ClearTombstone(record.id);
+  }
+}
+
+void LinkageService::ClearTombstone(RecordId id) {
+  std::unique_lock lock(tombstones_mu_);
+  if (tombstones_.erase(id) != 0) {
+    tombstone_count_.store(tombstones_.size(), std::memory_order_relaxed);
+  }
 }
 
 Status LinkageService::InsertUnjournaled(const Record& record) {
@@ -286,6 +316,155 @@ Status LinkageService::JournalAppend(const Record& record) {
   return st;
 }
 
+Status LinkageService::JournalAppend(const MutationOp& op) {
+  std::shared_ptr<Journal> journal = this->journal();
+  if (journal == nullptr) return Status::OK();
+  telemetry::TraceSpan span("journal");
+  return journal->Append(op);
+}
+
+Status LinkageService::DeleteUnjournaled(RecordId id, uint64_t* sequence) {
+  CBVLINK_FAILPOINT("service.delete");
+  std::shared_lock compaction_guard(compaction_mu_);
+  // Remove + tombstone under the tombstone lock, so a racing Update of
+  // the same id serializes against the delete (it would otherwise leave
+  // the id live *and* tombstoned).
+  std::unique_lock lock(tombstones_mu_);
+  if (!store_.Remove(id)) {
+    return Status::NotFound(
+        StrFormat("record %llu is not live", static_cast<unsigned long long>(id)));
+  }
+  tombstones_.insert(id);
+  tombstone_count_.store(tombstones_.size(), std::memory_order_relaxed);
+  // Stamp the acknowledgement sequence AFTER the state change: a
+  // snapshot reads the floor before exporting, so floor >= seq implies
+  // the removal is already in the export.
+  *sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  t_deletes_->Add(1);
+  return Status::OK();
+}
+
+Status LinkageService::UpdateUnjournaled(const Record& record,
+                                         uint64_t* sequence) {
+  CBVLINK_FAILPOINT("service.update");
+  telemetry::TraceSpan encode_span("encode");
+  Result<EncodedRecord> encoded = encoder_->Encode(record);
+  encode_span.End();
+  if (!encoded.ok()) return encoded.status();
+  std::shared_lock compaction_guard(compaction_mu_);
+  std::unique_lock lock(tombstones_mu_);
+  if (!store_.Contains(record.id)) {
+    return Status::NotFound(StrFormat(
+        "record %llu is not live", static_cast<unsigned long long>(record.id)));
+  }
+  // Overwrite the vector, then index the new blocking keys into the
+  // current epoch.  Keys from the previous bits stay until compaction;
+  // they only ever produce candidates that classify on the new bits.
+  store_.Add(encoded.value());
+  PinIndex()->Insert(encoded.value());
+  *sequence = sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  t_updates_->Add(1);
+  return Status::OK();
+}
+
+Status LinkageService::Delete(RecordId id) {
+  uint64_t sequence = 0;
+  CBVLINK_RETURN_NOT_OK(DeleteUnjournaled(id, &sequence));
+  return JournalAppend(MutationOp::Delete(id, sequence));
+}
+
+Status LinkageService::Update(const Record& record) {
+  uint64_t sequence = 0;
+  CBVLINK_RETURN_NOT_OK(UpdateUnjournaled(record, &sequence));
+  return JournalAppend(MutationOp::Update(record, sequence));
+}
+
+Status LinkageService::DeleteBatch(const std::vector<RecordId>& ids) {
+  std::shared_ptr<Journal> journal = this->journal();
+  for (RecordId id : ids) {
+    uint64_t sequence = 0;
+    CBVLINK_RETURN_NOT_OK(DeleteUnjournaled(id, &sequence));
+    if (journal != nullptr) {
+      CBVLINK_RETURN_NOT_OK(journal->Append(MutationOp::Delete(id, sequence)));
+    }
+  }
+  if (journal != nullptr && journal->options().fsync_every != 0) {
+    CBVLINK_RETURN_NOT_OK(journal->Sync());
+  }
+  return Status::OK();
+}
+
+Status LinkageService::UpdateBatch(const std::vector<Record>& records) {
+  std::shared_ptr<Journal> journal = this->journal();
+  for (const Record& record : records) {
+    uint64_t sequence = 0;
+    CBVLINK_RETURN_NOT_OK(UpdateUnjournaled(record, &sequence));
+    if (journal != nullptr) {
+      CBVLINK_RETURN_NOT_OK(
+          journal->Append(MutationOp::Update(record, sequence)));
+    }
+  }
+  if (journal != nullptr && journal->options().fsync_every != 0) {
+    CBVLINK_RETURN_NOT_OK(journal->Sync());
+  }
+  return Status::OK();
+}
+
+Result<bool> LinkageService::ApplyMutation(const MutationOp& op) {
+  switch (op.kind) {
+    case MutationKind::kInsert: {
+      // Replay dedupe by id: the restored snapshot (or an earlier frame)
+      // already carries the record.  Re-inserting would resurrect a
+      // tombstone the journal deletes later — the skip is what keeps
+      // replay order and live order equivalent.
+      if (Contains(op.record.id)) return false;
+      CBVLINK_RETURN_NOT_OK(InsertUnjournaled(op.record));
+      return true;
+    }
+    case MutationKind::kDelete: {
+      if (op.sequence != 0 &&
+          op.sequence <= sequence_.load(std::memory_order_relaxed)) {
+        return false;  // at or below the snapshot's sequence floor
+      }
+      AtomicMaxRelaxed(&sequence_, op.sequence);
+      std::shared_lock compaction_guard(compaction_mu_);
+      std::unique_lock lock(tombstones_mu_);
+      if (!store_.Remove(op.record.id)) return false;  // idempotent
+      tombstones_.insert(op.record.id);
+      tombstone_count_.store(tombstones_.size(), std::memory_order_relaxed);
+      deletes_.fetch_add(1, std::memory_order_relaxed);
+      t_deletes_->Add(1);
+      return true;
+    }
+    case MutationKind::kUpdate: {
+      if (op.sequence != 0 &&
+          op.sequence <= sequence_.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      AtomicMaxRelaxed(&sequence_, op.sequence);
+      Result<EncodedRecord> encoded = encoder_->Encode(op.record);
+      if (!encoded.ok()) return encoded.status();
+      // Upsert: in replay order the record existed when the update was
+      // acknowledged, but a snapshot/journal overlap can present the
+      // update before the insert frame is deduped — applying it as an
+      // insert converges to the same state.
+      std::shared_lock compaction_guard(compaction_mu_);
+      std::unique_lock lock(tombstones_mu_);
+      store_.Add(encoded.value());
+      PinIndex()->Insert(encoded.value());
+      if (tombstones_.erase(op.record.id) != 0) {
+        tombstone_count_.store(tombstones_.size(), std::memory_order_relaxed);
+      }
+      updates_.fetch_add(1, std::memory_order_relaxed);
+      t_updates_->Add(1);
+      return true;
+    }
+  }
+  return Status::InvalidArgument("unknown mutation kind");
+}
+
 void LinkageService::AttachJournal(std::shared_ptr<Journal> journal) {
   std::scoped_lock lock(journal_mu_);
   journal_ = std::move(journal);
@@ -304,10 +483,11 @@ Result<JournalReplayStats> LinkageService::ReplayJournalFile(
     const std::string& path) {
   uint64_t applied = 0;
   Result<JournalReplayStats> replayed =
-      ReplayJournal(path, [this, &applied](const Record& record) {
-        if (Contains(record.id)) return Status::OK();  // snapshot overlap
-        ++applied;
-        return InsertUnjournaled(record);
+      ReplayJournal(path, [this, &applied](const MutationOp& op) {
+        Result<bool> changed = ApplyMutation(op);
+        if (!changed.ok()) return changed.status();
+        if (changed.value()) ++applied;
+        return Status::OK();
       });
   if (!replayed.ok()) return replayed;
   JournalReplayStats stats = replayed.value();
@@ -325,14 +505,127 @@ Result<uint64_t> LinkageService::MergeSnapshotRecords(
     }
   }
   uint64_t applied = 0;
+  std::unordered_set<RecordId> snapshot_live;
+  snapshot_live.reserve(snapshot.records.size());
   for (const EncodedRecord& record : snapshot.records) {
+    snapshot_live.insert(record.id);
     if (Contains(record.id)) continue;
     InsertEncoded(record);
     inserts_.fetch_add(1, std::memory_order_relaxed);
     t_inserts_->Add(1);
     ++applied;
   }
+  // Reconcile deletions.  The snapshot is newer than every local frame
+  // (it is fetched precisely because the local cursor fell behind), so
+  // its verdict on each id is authoritative: tombstoned there -> dead
+  // here; live neither there nor in its tombstones -> the primary
+  // deleted it and compaction already cleared the tombstone -> dead here
+  // too.
+  const std::unordered_set<RecordId> snapshot_tombstones(
+      snapshot.tombstones.begin(), snapshot.tombstones.end());
+  std::vector<RecordId> to_delete(snapshot.tombstones.begin(),
+                                  snapshot.tombstones.end());
+  store_.ForEach([&](RecordId id, const BitVector&) {
+    if (!snapshot_live.contains(id) && !snapshot_tombstones.contains(id)) {
+      to_delete.push_back(id);
+    }
+  });
+  AtomicMaxRelaxed(&sequence_, snapshot.last_sequence);
+  for (RecordId id : to_delete) {
+    std::shared_lock compaction_guard(compaction_mu_);
+    std::unique_lock lock(tombstones_mu_);
+    if (!store_.Remove(id)) continue;
+    tombstones_.insert(id);
+    tombstone_count_.store(tombstones_.size(), std::memory_order_relaxed);
+    deletes_.fetch_add(1, std::memory_order_relaxed);
+    t_deletes_->Add(1);
+    ++applied;
+  }
   return applied;
+}
+
+Status LinkageService::Compact() {
+  // Exclusive against mutators (they hold compaction_mu_ shared): from
+  // here to the epoch swap the live set is frozen, so the rebuilt index
+  // covers exactly the survivors.  Match never takes this lock — readers
+  // keep serving the old epoch throughout; this exclusive section is the
+  // "compaction pause" and it stalls writes only.
+  const uint64_t pause_start = NowNanos();
+  std::unique_lock compaction_guard(compaction_mu_);
+  const std::vector<EncodedRecord> survivors = store_.Export();
+  ShardedIndexOptions index_options;
+  index_options.num_shards = options_.num_shards;
+  index_options.max_bucket_size = options_.max_bucket_size;
+  Result<ShardedHammingIndex> rebuilt =
+      ShardedHammingIndex::Create(*family_, index_options);
+  if (!rebuilt.ok()) return rebuilt.status();
+  auto fresh =
+      std::make_shared<ShardedHammingIndex>(std::move(rebuilt).value());
+  // Deterministic re-block: BulkInsert over id-sorted survivors produces
+  // the same buckets a fresh build of the live set would.
+  fresh->BulkInsert(survivors, pool_);
+  uint64_t reclaimed = 0;
+  {
+    // Publish the new epoch.  In-flight Matches pinned the old
+    // shared_ptr and drain on it; the old index is retired when the last
+    // pin drops.
+    std::unique_lock swap_lock(index_mu_);
+    const size_t before = index_->NumEntries();
+    const size_t after = fresh->NumEntries();
+    reclaimed = before > after ? before - after : 0;
+    index_ = std::move(fresh);
+  }
+  {
+    std::unique_lock lock(tombstones_mu_);
+    tombstones_.clear();
+    tombstone_count_.store(0, std::memory_order_relaxed);
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  compaction_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  t_compactions_->Add(1);
+  if (reclaimed != 0) t_compaction_reclaimed_->Add(reclaimed);
+  t_compaction_pause_->Record((NowNanos() - pause_start) / 1000);
+  return Status::OK();
+}
+
+void LinkageService::CompactorLoop() {
+  std::unique_lock lock(compactor_mu_);
+  while (!compactor_stop_) {
+    compactor_cv_.wait_for(lock, options_.compaction_interval,
+                           [this] { return compactor_stop_; });
+    if (compactor_stop_) break;
+    const uint64_t dead = tombstone_count_.load(std::memory_order_relaxed);
+    if (dead == 0) continue;
+    const size_t live = store_.size();
+    const double ratio =
+        static_cast<double>(dead) / static_cast<double>(dead + live);
+    if (ratio < options_.compaction_dead_ratio) continue;
+    lock.unlock();
+    Status st = Compact();
+    if (!st.ok()) {
+      std::fprintf(stderr, "cbvlink: background compaction failed: %s\n",
+                   st.ToString().c_str());
+    }
+    lock.lock();
+  }
+}
+
+void LinkageService::StartBackgroundCompaction() {
+  std::scoped_lock lock(compactor_mu_);
+  if (compactor_.joinable()) return;
+  compactor_stop_ = false;
+  compactor_ = std::thread([this] { CompactorLoop(); });
+}
+
+void LinkageService::StopBackgroundCompaction() {
+  std::thread worker;
+  {
+    std::scoped_lock lock(compactor_mu_);
+    compactor_stop_ = true;
+    worker = std::move(compactor_);
+  }
+  compactor_cv_.notify_all();
+  if (worker.joinable()) worker.join();
 }
 
 void LinkageService::MatchEncoded(const EncodedRecord& b,
@@ -340,7 +633,12 @@ void LinkageService::MatchEncoded(const EncodedRecord& b,
   std::vector<RecordId> candidates;
   bool saw_overflow = false;
   telemetry::TraceSpan candidates_span("candidates");
-  index_->Collect(b.bits, &candidates, &saw_overflow);
+  // Pin the index epoch for the whole probe: the compactor may publish a
+  // successor mid-call, but this Match keeps reading the epoch it
+  // started on (the shared_ptr refcount retires the old index after the
+  // last in-flight reader drains).
+  const std::shared_ptr<ShardedHammingIndex> index = PinIndex();
+  index->Collect(b.bits, &candidates, &saw_overflow);
   candidate_occurrences_.fetch_add(candidates.size(),
                                    std::memory_order_relaxed);
   t_candidates_->Add(candidates.size());
@@ -555,6 +853,16 @@ Status LinkageService::MatchBatch(const std::vector<Record>& records,
 
 ServiceSnapshot LinkageService::ExportSnapshot() const {
   ServiceSnapshot snapshot;
+  // Shared against the compactor only: an epoch swap or tombstone sweep
+  // mid-export would tear the buckets/records/tombstones triple apart.
+  // Mutators also hold this lock shared, so they are unaffected.
+  std::shared_lock compaction_guard(compaction_mu_);
+  // Read the sequence floor FIRST: any delete/update stamped at or below
+  // it completed before this point (the sequence is assigned after the
+  // state change), so its effect is in the export below and replay may
+  // skip the frame.  Later-stamped mutations may or may not be captured;
+  // their frames stay above the floor and replay re-applies them.
+  snapshot.last_sequence = sequence_.load(std::memory_order_relaxed);
   for (const AttributeSpec& attr : config_.schema.attributes) {
     snapshot.attributes.push_back(SnapshotAttribute{
         attr.name, attr.alphabet->symbols(), attr.qgram.q, attr.qgram.pad});
@@ -575,8 +883,24 @@ ServiceSnapshot LinkageService::ExportSnapshot() const {
   // the later record export can only be a superset, and Restore()'s
   // bucket-ids-are-stored invariant holds even when inserts race the
   // snapshot.
-  snapshot.buckets = index_->ExportBuckets();
+  snapshot.buckets = PinIndex()->ExportBuckets();
   snapshot.records = store_.Export();
+  {
+    std::shared_lock lock(tombstones_mu_);
+    snapshot.tombstones.assign(tombstones_.begin(), tombstones_.end());
+  }
+  // A racing resurrect (insert of a tombstoned id) between the record
+  // export and the tombstone read can list an id in both sets; keep the
+  // record (the insert frame is journaled, so replay converges) and drop
+  // the tombstone so the snapshot stays self-consistent.
+  {
+    std::unordered_set<RecordId> live;
+    live.reserve(snapshot.records.size());
+    for (const EncodedRecord& record : snapshot.records) live.insert(record.id);
+    std::erase_if(snapshot.tombstones,
+                  [&](RecordId id) { return live.contains(id); });
+  }
+  std::sort(snapshot.tombstones.begin(), snapshot.tombstones.end());
   return snapshot;
 }
 
@@ -651,11 +975,23 @@ Status ValidateSnapshot(const ServiceSnapshot& snapshot) {
           "snapshot contains duplicate record ids");
     }
   }
+  std::unordered_set<RecordId> tombstoned;
+  tombstoned.reserve(snapshot.tombstones.size());
+  for (RecordId id : snapshot.tombstones) {
+    if (stored.contains(id)) {
+      return Status::InvalidArgument(
+          "snapshot tombstones a record id it also stores");
+    }
+    tombstoned.insert(id);
+  }
   for (const IndexBucketSnapshot& bucket : snapshot.buckets) {
     for (RecordId id : bucket.ids) {
-      if (stored.find(id) == stored.end()) {
+      // A tombstoned id may linger in buckets until compaction; anything
+      // else unbacked is corruption.
+      if (!stored.contains(id) && !tombstoned.contains(id)) {
         return Status::InvalidArgument(
-            "snapshot bucket references a record id that is not stored");
+            "snapshot bucket references a record id that is neither "
+            "stored nor tombstoned");
       }
     }
   }
@@ -722,6 +1058,16 @@ Result<std::unique_ptr<LinkageService>> LinkageService::Restore(
       service.value()->index_->BulkRestore(snapshot.buckets, pool));
   service.value()->inserts_.store(snapshot.records.size(),
                                   std::memory_order_relaxed);
+  // Mutation state (version 3+; defaults for older snapshots): restored
+  // tombstones keep deleted records dead across the restart, and the
+  // sequence floor lets journal replay skip delete/update frames the
+  // snapshot already reflects.
+  service.value()->tombstones_.insert(snapshot.tombstones.begin(),
+                                      snapshot.tombstones.end());
+  service.value()->tombstone_count_.store(
+      service.value()->tombstones_.size(), std::memory_order_relaxed);
+  service.value()->sequence_.store(snapshot.last_sequence,
+                                   std::memory_order_relaxed);
   return service;
 }
 
@@ -763,6 +1109,13 @@ Result<std::unique_ptr<LinkageService>> LinkageService::RestoreFromFile(
 ServiceMetrics LinkageService::metrics() const {
   ServiceMetrics m;
   m.inserts = inserts_.load(std::memory_order_relaxed);
+  m.deletes = deletes_.load(std::memory_order_relaxed);
+  m.updates = updates_.load(std::memory_order_relaxed);
+  m.live_records = store_.size();
+  m.tombstones = tombstone_count_.load(std::memory_order_relaxed);
+  m.compactions = compactions_.load(std::memory_order_relaxed);
+  m.compaction_reclaimed =
+      compaction_reclaimed_.load(std::memory_order_relaxed);
   m.queries = queries_.load(std::memory_order_relaxed);
   m.candidate_occurrences =
       candidate_occurrences_.load(std::memory_order_relaxed);
@@ -771,7 +1124,7 @@ ServiceMetrics LinkageService::metrics() const {
   m.scan_fallbacks = scan_fallbacks_.load(std::memory_order_relaxed);
   m.restore_fallbacks = restore_fallbacks_.load(std::memory_order_relaxed);
   m.skipped_rows = skipped_rows_.load(std::memory_order_relaxed);
-  m.dropped_entries = index_->dropped_entries();
+  m.dropped_entries = PinIndex()->dropped_entries();
   m.insert_seconds =
       static_cast<double>(insert_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   m.query_seconds =
@@ -813,9 +1166,23 @@ void LinkageService::FillTelemetry(telemetry::Registry* registry) const {
   reg.GetGauge("service_insert_wall_seconds")->Set(m.insert_wall_seconds);
   reg.GetGauge("service_queries_per_second")->Set(m.QueriesPerSecond());
 
-  const IndexHealth health = index_->CollectHealth();
-  reg.GetGauge("lsh_tables")->Set(static_cast<double>(index_->L()));
-  reg.GetGauge("lsh_k")->Set(static_cast<double>(index_->K()));
+  // Mutation-lifecycle gauges: live vs dead is the compactor's trigger
+  // ratio, surfaced so operators can see reclaim pressure build.
+  reg.GetGauge("index_live")->Set(static_cast<double>(store_.size()));
+  reg.GetGauge("index_dead")->Set(static_cast<double>(
+      tombstone_count_.load(std::memory_order_relaxed)));
+  reg.GetGauge("compaction_tombstone_ratio")
+      ->Set([&]() -> double {
+        const double dead = static_cast<double>(
+            tombstone_count_.load(std::memory_order_relaxed));
+        const double live = static_cast<double>(store_.size());
+        return dead + live == 0 ? 0.0 : dead / (dead + live);
+      }());
+
+  const std::shared_ptr<ShardedHammingIndex> index = PinIndex();
+  const IndexHealth health = index->CollectHealth();
+  reg.GetGauge("lsh_tables")->Set(static_cast<double>(index->L()));
+  reg.GetGauge("lsh_k")->Set(static_cast<double>(index->K()));
   reg.GetGauge("lsh_dropped_entries")
       ->Set(static_cast<double>(health.dropped_entries));
   reg.GetGauge("lsh_overflowed_buckets")

@@ -14,19 +14,37 @@
 // arrivals of the same entity may each miss the other (both match before
 // either inserts) — the same anomaly any eventually-consistent ingest
 // path has, and why batch deduplication remains available offline.
+//
+// Mutation lifecycle (DESIGN.md §15): Delete tombstones a record in O(1)
+// — the vector leaves the store, the id joins the tombstone set, and the
+// blocking tables keep their (now stale) entries, which the matcher
+// skips because the store lookup fails.  Update re-encodes in place and
+// inserts the new blocking keys; stale keys produce candidates that
+// classify on the *current* bits, so results match a fresh build.  A
+// background compactor reclaims the stale entries: it rebuilds the index
+// from the live survivors offline and publishes it with an atomic
+// shared_ptr swap — readers pin the index epoch by holding the
+// shared_ptr, so an in-flight Match keeps its epoch until it drains and
+// never observes torn state; match output is byte-identical before and
+// after compaction at any thread count.  Mutators hold a shared
+// compaction lock; only the compactor's rebuild+swap takes it exclusive,
+// so compaction stalls writes (briefly) but never reads.
 
 #ifndef CBVLINK_SERVICE_LINKAGE_SERVICE_H_
 #define CBVLINK_SERVICE_LINKAGE_SERVICE_H_
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/blocking/matcher.h"
@@ -68,14 +86,26 @@ struct LinkageServiceOptions {
   /// service owns a pool of `execution.num_threads` workers
   /// (0 = hardware concurrency, the service default).
   ExecutionOptions execution = ExecutionOptions::WithThreads(0);
-  /// DEPRECATED: set `execution` instead.  Honoured for one release when
-  /// `execution` is left at its default; see DESIGN.md §10.
-  size_t num_threads = 0;
+  /// Dead-slot ratio (tombstones / (live + tombstones)) at which the
+  /// background compactor rewrites the index.  Only consulted by
+  /// StartBackgroundCompaction.
+  double compaction_dead_ratio = 0.25;
+  /// Poll cadence of the background compactor thread.
+  std::chrono::milliseconds compaction_interval{200};
 };
 
 /// A point-in-time copy of the service counters.
 struct ServiceMetrics {
   uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t updates = 0;
+  /// Records currently live (stored and not tombstoned).
+  uint64_t live_records = 0;
+  /// Tombstoned ids awaiting compaction.
+  uint64_t tombstones = 0;
+  /// Compaction runs completed, and stale index entries they reclaimed.
+  uint64_t compactions = 0;
+  uint64_t compaction_reclaimed = 0;
   uint64_t queries = 0;
   uint64_t candidate_occurrences = 0;
   uint64_t comparisons = 0;
@@ -128,6 +158,12 @@ class ConcurrentVectorStore {
 
   void Add(const EncodedRecord& record);
 
+  /// Erases `id`; returns true when it was stored.  After a Remove every
+  /// lookup (Find/CopyWords/Contains) reports the id unknown, which is
+  /// exactly the state the matcher already skips — deletion needs no
+  /// matcher changes.
+  bool Remove(RecordId id);
+
   /// Copies the vector for `id` into `*out`; false when unknown.
   bool Find(RecordId id, BitVector* out) const;
 
@@ -177,22 +213,29 @@ class LinkageService {
       const std::vector<Record>& calibration_sample = {});
 
   /// Rebuilds a service from a snapshot: the encoder and LSH family are
-  /// reproduced from the persisted configuration and seed, the store and
-  /// blocking tables are loaded from the persisted data.  The snapshot
-  /// is semantically validated first (finite parameters, power-of-two
-  /// num_shards, known overflow policy, unique record ids, every bucket
-  /// id backed by a stored record, record widths matching the rebuilt
+  /// reproduced from the persisted configuration and seed; the store,
+  /// blocking tables, and (version 3+) the mutation state — tombstoned
+  /// ids and the delete/update sequence floor — are loaded from the
+  /// persisted data, so a restore keeps deleted records dead.  The
+  /// snapshot is semantically validated first (finite parameters,
+  /// power-of-two num_shards, known overflow policy, unique record ids,
+  /// tombstones disjoint from the records, every bucket id backed by a
+  /// stored or tombstoned record, record widths matching the rebuilt
   /// encoder) — InvalidArgument on any violation.
   static Result<std::unique_ptr<LinkageService>> Restore(
       const ServiceSnapshot& snapshot);
 
-  /// Restore from `path`; when the primary file is corrupt or invalid,
-  /// falls back to the backup the atomic saver keeps at
-  /// SnapshotBackupPath(path) (metrics().restore_fallbacks records the
-  /// fallback).  `path.tmp` is never trusted — rename is the commit
-  /// point.  Returns the primary's error when both fail.
+  /// Restores the snapshotted records *and tombstones* from `path`; when
+  /// the primary file is corrupt or invalid, falls back to the backup
+  /// the atomic saver keeps at SnapshotBackupPath(path)
+  /// (metrics().restore_fallbacks records the fallback).  `path.tmp` is
+  /// never trusted — rename is the commit point.  Returns the primary's
+  /// error when both fail.
   static Result<std::unique_ptr<LinkageService>> RestoreFromFile(
       const std::string& path);
+
+  /// Stops the background compactor, if running.
+  ~LinkageService();
 
   /// Encodes and indexes one registry record.
   Status Insert(const Record& record);
@@ -205,6 +248,52 @@ class LinkageService {
   /// Match, then insert the query so future arrivals can link to it.
   Status MatchAndInsert(const Record& record, std::vector<IdPair>* out);
 
+  /// Tombstones `id`: the vector leaves the store immediately (O(1); no
+  /// index surgery — stale bucket entries are skipped by every matcher
+  /// and reclaimed by compaction), the delete is journaled with its
+  /// acknowledgement sequence, and subsequent Matches never return the
+  /// record.  NotFound when `id` is not live.
+  Status Delete(RecordId id);
+
+  /// Replaces the record's fields: re-encodes, overwrites the stored
+  /// vector, and indexes the new blocking keys.  Old keys keep serving
+  /// the id as a candidate, but classification runs on the current bits,
+  /// so match results equal a fresh build.  NotFound when `record.id` is
+  /// not live.
+  Status Update(const Record& record);
+
+  /// Sequential Delete per id, journaled and fsynced once at the batch
+  /// boundary.  Stops at the first error.
+  Status DeleteBatch(const std::vector<RecordId>& ids);
+
+  /// Sequential Update per record, journaled and fsynced once at the
+  /// batch boundary.  Stops at the first error.
+  Status UpdateBatch(const std::vector<Record>& records);
+
+  /// Applies one replayed/replicated mutation WITHOUT journaling it — the
+  /// shared apply path of journal replay, replication, and snapshot
+  /// reconcile.  Semantics differ from the live calls where idempotency
+  /// requires it: insert is skipped when the id is already stored, delete
+  /// of an unknown id is a no-op, update upserts.  Sequenced ops at or
+  /// below the service's sequence floor are skipped (the snapshot already
+  /// reflects them).  Returns true when state changed.
+  Result<bool> ApplyMutation(const MutationOp& op);
+
+  /// Rebuilds the vector-store index state from the live survivors and
+  /// publishes a fresh blocking index with an atomic epoch swap: stale
+  /// bucket entries (tombstoned or superseded blocking keys) are gone,
+  /// the tombstone set is cleared, and match output is byte-identical
+  /// before and after.  Blocks mutators for the rebuild (the "compaction
+  /// pause"); never blocks Match.
+  Status Compact();
+
+  /// Starts the background compactor: every options().compaction_interval
+  /// it compares the dead ratio against options().compaction_dead_ratio
+  /// and runs Compact() when crossed.  Idempotent; stopped by
+  /// StopBackgroundCompaction or the destructor.
+  void StartBackgroundCompaction();
+  void StopBackgroundCompaction();
+
   /// Parallel bulk insert over the service thread pool.
   Status InsertBatch(const std::vector<Record>& records);
 
@@ -213,34 +302,39 @@ class LinkageService {
   Status MatchBatch(const std::vector<Record>& records,
                     std::vector<IdPair>* out);
 
-  /// Attaches the insert journal: every subsequent successful
-  /// Insert/MatchAndInsert/InsertBatch record is appended (and fsynced
-  /// per the journal's policy) BEFORE the call returns, so an
-  /// acknowledged insert survives a crash as snapshot + journal tail.
-  /// SaveSnapshotToFile drops the journal prefix the snapshot covers.
-  /// Attach AFTER ReplayJournalFile, or replayed frames are re-appended.
+  /// Attaches the mutation journal: every subsequent acknowledged
+  /// mutation (Insert/MatchAndInsert/Delete/Update and the batch forms)
+  /// is appended (and fsynced per the journal's policy) BEFORE the call
+  /// returns, so an acknowledged mutation survives a crash as snapshot +
+  /// journal tail.  SaveSnapshotToFile drops the journal prefix the
+  /// snapshot covers.  Attach AFTER ReplayJournalFile, or replayed
+  /// frames are re-appended.
   void AttachJournal(std::shared_ptr<Journal> journal);
   std::shared_ptr<Journal> journal() const;
 
-  /// Replays the journal at `path` into this service: each frame's
-  /// record is Insert()ed unless its id is already stored (frames
-  /// overlapping the restored snapshot are skipped, which is what makes
-  /// a crash between snapshot commit and journal rotation harmless).
-  /// stats.applied counts the records actually inserted.
+  /// Replays the journal at `path` into this service through
+  /// ApplyMutation: inserts whose id is already stored and sequenced
+  /// delete/update frames at or below the snapshot's sequence floor are
+  /// skipped (which is what makes a crash between snapshot commit and
+  /// journal rotation harmless).  stats.applied counts the mutations
+  /// actually applied.
   Result<JournalReplayStats> ReplayJournalFile(const std::string& path);
 
-  /// Merges `snapshot`'s records into this live service: each encoded
-  /// record whose id is not already stored is indexed as-is, without
-  /// re-encoding.  This is the replication follower's re-sync path — the
-  /// service object (and every pointer a serving NetServer holds to it)
-  /// stays stable while the state catches up past a journal rotation,
-  /// which is sound because the system is insert-only.  All record
-  /// widths are validated against this service's encoder before anything
-  /// is applied; InvalidArgument leaves the service unchanged.  Returns
-  /// the number of records actually added.
+  /// Reconciles this live service with `snapshot`: records absent here
+  /// are indexed as-is (no re-encoding), ids the snapshot tombstones are
+  /// deleted here, and local live ids the snapshot carries neither live
+  /// nor tombstoned are deleted too (the primary may have compacted its
+  /// tombstones away — absence from a newer snapshot means deleted).
+  /// This is the replication follower's re-sync path — the service
+  /// object (and every pointer a serving NetServer holds to it) stays
+  /// stable while the state catches up past a journal rotation.  All
+  /// record widths are validated against this service's encoder before
+  /// anything is applied; InvalidArgument leaves the service unchanged.
+  /// Returns the number of mutations actually applied.
   Result<uint64_t> MergeSnapshotRecords(const ServiceSnapshot& snapshot);
 
-  /// True when a record with `id` is stored.
+  /// True when a record with `id` is stored and live (tombstoned ids
+  /// report false).
   bool Contains(RecordId id) const;
 
   /// Captures the full service state for persistence.
@@ -270,8 +364,17 @@ class LinkageService {
   /// serving counters.
   void RecordSkippedRows(uint64_t n);
 
+  /// Live records (the store holds only live vectors).
   size_t size() const { return store_.size(); }
-  size_t blocking_groups() const { return index_->L(); }
+  /// Tombstoned ids awaiting compaction.
+  size_t tombstone_count() const {
+    return tombstone_count_.load(std::memory_order_relaxed);
+  }
+  /// Highest acknowledged delete/update sequence.
+  uint64_t last_sequence() const {
+    return sequence_.load(std::memory_order_relaxed);
+  }
+  size_t blocking_groups() const { return PinIndex()->L(); }
   const CVectorRecordEncoder& encoder() const { return *encoder_; }
   const LinkageServiceOptions& options() const { return options_; }
 
@@ -279,6 +382,15 @@ class LinkageService {
   LinkageService(CbvHbConfig config, LinkageServiceOptions options);
 
   Status Init();
+
+  /// Pins the current index epoch: the returned shared_ptr keeps that
+  /// index (and everything a Collect is walking) alive even if the
+  /// compactor publishes a successor mid-call; the old epoch is retired
+  /// when the last pin drops.
+  std::shared_ptr<ShardedHammingIndex> PinIndex() const {
+    std::shared_lock lock(index_mu_);
+    return index_;
+  }
 
   /// Algorithm 2 against the sharded structures, plus the overflow
   /// fallback.  `b` must be encoded by this service's encoder.
@@ -290,8 +402,22 @@ class LinkageService {
   /// record order itself, after the parallel apply.
   Status InsertUnjournaled(const Record& record);
 
-  /// Appends `record` to the attached journal, if any.
+  /// Delete/Update without the journal append (the batch paths journal
+  /// themselves).  Each stamps and returns the acknowledgement sequence
+  /// through `*sequence`.
+  Status DeleteUnjournaled(RecordId id, uint64_t* sequence);
+  Status UpdateUnjournaled(const Record& record, uint64_t* sequence);
+
+  /// Drops `id` from the tombstone set (an insert resurrected it).
+  void ClearTombstone(RecordId id);
+
+  /// Appends `record` as an insert frame to the attached journal, if any.
   Status JournalAppend(const Record& record);
+  /// Appends any mutation frame to the attached journal, if any.
+  Status JournalAppend(const MutationOp& op);
+
+  /// The compactor thread body (poll loop around Compact()).
+  void CompactorLoop();
 
   CbvHbConfig config_;
   LinkageServiceOptions options_;
@@ -299,9 +425,38 @@ class LinkageService {
   /// the caller's alphabets instead).
   std::vector<std::unique_ptr<Alphabet>> owned_alphabets_;
   std::optional<CVectorRecordEncoder> encoder_;
-  std::optional<ShardedHammingIndex> index_;
+  /// The LSH family, kept so Compact() can build a successor index with
+  /// identical blocking keys.
+  std::optional<HammingLshFamily> family_;
+  /// The current index epoch.  Readers pin it via PinIndex(); Compact()
+  /// publishes a successor under the unique lock.  Never null after
+  /// Init().
+  mutable std::shared_mutex index_mu_;
+  std::shared_ptr<ShardedHammingIndex> index_;
   ConcurrentVectorStore store_;
   PairClassifier classifier_;
+
+  /// Mutation/compaction exclusion: every mutator (insert/delete/update,
+  /// live or replayed) holds it shared; Compact()'s rebuild+swap holds it
+  /// unique so no mutation lands between the survivor export and the
+  /// epoch swap (it would vanish from the new index).  Match never
+  /// touches this lock.
+  mutable std::shared_mutex compaction_mu_;
+
+  /// Tombstoned ids awaiting compaction (persisted by snapshots).
+  mutable std::shared_mutex tombstones_mu_;
+  std::unordered_set<RecordId> tombstones_;
+  /// tombstones_.size() mirror, readable without the lock.
+  mutable std::atomic<uint64_t> tombstone_count_{0};
+  /// Monotonic delete/update acknowledgement sequence; doubles as the
+  /// replay dedupe floor (Restore seeds it from the snapshot).
+  std::atomic<uint64_t> sequence_{0};
+
+  /// Background compactor state.
+  std::thread compactor_;
+  std::mutex compactor_mu_;
+  std::condition_variable compactor_cv_;
+  bool compactor_stop_ = false;
   // ParallelFor keeps a per-call completion latch, so concurrent batch
   // calls share the pool without serializing on each other.  `pool_`
   // points at either the owned pool or a borrowed
@@ -328,6 +483,10 @@ class LinkageService {
 
   // Counters (relaxed; read via metrics()).
   mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> deletes_{0};
+  mutable std::atomic<uint64_t> updates_{0};
+  mutable std::atomic<uint64_t> compactions_{0};
+  mutable std::atomic<uint64_t> compaction_reclaimed_{0};
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> candidate_occurrences_{0};
   mutable std::atomic<uint64_t> comparisons_{0};
@@ -352,6 +511,11 @@ class LinkageService {
   telemetry::Histogram* t_batch_latency_ = nullptr;
   telemetry::Counter* t_queries_ = nullptr;
   telemetry::Counter* t_inserts_ = nullptr;
+  telemetry::Counter* t_deletes_ = nullptr;
+  telemetry::Counter* t_updates_ = nullptr;
+  telemetry::Counter* t_compactions_ = nullptr;
+  telemetry::Counter* t_compaction_reclaimed_ = nullptr;
+  telemetry::Histogram* t_compaction_pause_ = nullptr;
   telemetry::Counter* t_candidates_ = nullptr;
   telemetry::Counter* t_comparisons_ = nullptr;
   telemetry::Counter* t_matches_ = nullptr;

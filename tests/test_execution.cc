@@ -86,59 +86,6 @@ TEST(ExecutionTest, ChunkSizeHintPassesThrough) {
   EXPECT_EQ(ctx.chunk_size_hint(), 128u);
 }
 
-TEST(ExecutionTest, MergeDeprecatedLegacyWinsWhenExecUntouched) {
-  // The caller never touched ExecutionOptions but set the old
-  // config-level num_threads: the legacy value carries over.
-  const ExecutionOptions merged = MergeDeprecatedNumThreads(
-      ExecutionOptions{}, /*exec_default=*/1, /*legacy_num_threads=*/4,
-      /*legacy_default=*/1);
-  EXPECT_EQ(merged.num_threads, 4u);
-}
-
-TEST(ExecutionTest, MergeDeprecatedExplicitExecWins) {
-  // Both set: the new surface wins.
-  const ExecutionOptions merged = MergeDeprecatedNumThreads(
-      ExecutionOptions::WithThreads(2), /*exec_default=*/1,
-      /*legacy_num_threads=*/8, /*legacy_default=*/1);
-  EXPECT_EQ(merged.num_threads, 2u);
-}
-
-TEST(ExecutionTest, MergeDeprecatedPoolWins) {
-  // A supplied pool always wins over the legacy field.
-  ThreadPool pool(2);
-  const ExecutionOptions merged = MergeDeprecatedNumThreads(
-      ExecutionOptions::WithPool(&pool), /*exec_default=*/1,
-      /*legacy_num_threads=*/8, /*legacy_default=*/1);
-  EXPECT_EQ(merged.pool, &pool);
-  EXPECT_EQ(merged.num_threads, 1u);
-}
-
-TEST(ExecutionTest, MergeDeprecatedBothDefaultIsNoop) {
-  const ExecutionOptions merged = MergeDeprecatedNumThreads(
-      ExecutionOptions{}, /*exec_default=*/1, /*legacy_num_threads=*/1,
-      /*legacy_default=*/1);
-  EXPECT_EQ(merged.pool, nullptr);
-  EXPECT_EQ(merged.num_threads, 1u);
-}
-
-TEST(ExecutionTest, MergeDeprecatedServiceConvention) {
-  // The service's defaults are 0 (= hardware) on both surfaces.
-  const ExecutionOptions both_default = MergeDeprecatedNumThreads(
-      ExecutionOptions::WithThreads(0), /*exec_default=*/0,
-      /*legacy_num_threads=*/0, /*legacy_default=*/0);
-  EXPECT_EQ(both_default.num_threads, 0u);
-
-  const ExecutionOptions legacy_set = MergeDeprecatedNumThreads(
-      ExecutionOptions::WithThreads(0), /*exec_default=*/0,
-      /*legacy_num_threads=*/3, /*legacy_default=*/0);
-  EXPECT_EQ(legacy_set.num_threads, 3u);
-
-  const ExecutionOptions exec_set = MergeDeprecatedNumThreads(
-      ExecutionOptions::WithThreads(2), /*exec_default=*/0,
-      /*legacy_num_threads=*/3, /*legacy_default=*/0);
-  EXPECT_EQ(exec_set.num_threads, 2u);
-}
-
 TEST(ExecutionTest, ContextRunsWorkOnItsPool) {
   ExecutionContext ctx(ExecutionOptions::WithThreads(4));
   ASSERT_NE(ctx.pool(), nullptr);

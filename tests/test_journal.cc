@@ -52,8 +52,8 @@ std::vector<Record> ReplayAll(const std::string& path,
                               JournalReplayStats* stats) {
   std::vector<Record> records;
   Result<JournalReplayStats> result =
-      ReplayJournal(path, [&records](const Record& r) {
-        records.push_back(r);
+      ReplayJournal(path, [&records](const MutationOp& op) {
+        records.push_back(op.record);
         return Status::OK();
       });
   EXPECT_TRUE(result.ok()) << result.status().ToString();
@@ -260,8 +260,8 @@ TEST(JournalTest, CorruptionSweepSingleByteFlips) {
 
     std::vector<Record> replayed;
     Result<JournalReplayStats> stats =
-        ReplayJournal(flip_path, [&replayed](const Record& r) {
-          replayed.push_back(r);
+        ReplayJournal(flip_path, [&replayed](const MutationOp& op) {
+          replayed.push_back(op.record);
           return Status::OK();
         });
     ASSERT_TRUE(stats.ok()) << "flip at " << pos;
@@ -270,6 +270,111 @@ TEST(JournalTest, CorruptionSweepSingleByteFlips) {
     for (size_t i = 0; i < replayed.size(); ++i) {
       EXPECT_EQ(replayed[i].id, i + 1) << "flip at " << pos;
     }
+  }
+}
+
+// Delete/update frames round-trip with their kinds and acknowledgement
+// sequences intact; a delete frame carries only the id.
+TEST(JournalTest, MutationFramesRoundTrip) {
+  const std::string path = TempPath("journal_mutation_roundtrip.cbvj");
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal.value()->Append(MutationOp::Insert(MakeRecord(1))).ok());
+    ASSERT_TRUE(journal.value()->Append(MutationOp::Delete(1, 7)).ok());
+    ASSERT_TRUE(
+        journal.value()->Append(MutationOp::Update(MakeRecord(2), 8)).ok());
+    EXPECT_EQ(journal.value()->appended_frames(), 3u);
+  }
+
+  std::vector<MutationOp> ops;
+  Result<JournalReplayStats> stats = ReplayJournal(path, [&ops](const MutationOp& op) {
+    ops.push_back(op);
+    return Status::OK();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].kind, MutationKind::kInsert);
+  EXPECT_EQ(ops[0].record.fields, MakeRecord(1).fields);
+  EXPECT_EQ(ops[0].sequence, 0u);
+  EXPECT_EQ(ops[1].kind, MutationKind::kDelete);
+  EXPECT_EQ(ops[1].record.id, 1u);
+  EXPECT_TRUE(ops[1].record.fields.empty());
+  EXPECT_EQ(ops[1].sequence, 7u);
+  EXPECT_EQ(ops[2].kind, MutationKind::kUpdate);
+  EXPECT_EQ(ops[2].record.id, 2u);
+  EXPECT_EQ(ops[2].record.fields, MakeRecord(2).fields);
+  EXPECT_EQ(ops[2].sequence, 8u);
+}
+
+// The truncation and flip sweeps, repeated over a journal that mixes all
+// three op frames: the new delete/update frames must be exactly as
+// crash-safe as inserts — any cut or flip loses only the torn tail.
+TEST(JournalTest, CorruptionSweepMixedOpFrames) {
+  const std::string path = TempPath("journal_mixed_base.cbvj");
+  std::vector<uint64_t> boundaries = {kJournalHeaderSize};
+  const std::vector<MutationOp> appended = {
+      MutationOp::Insert(MakeRecord(1)),
+      MutationOp::Delete(1, 1),
+      MutationOp::Update(MakeRecord(2), 2),
+      MutationOp::Delete(12345678, 3),
+  };
+  {
+    Result<std::unique_ptr<Journal>> journal = Journal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    for (const MutationOp& op : appended) {
+      ASSERT_TRUE(journal.value()->Append(op).ok());
+      boundaries.push_back(journal.value()->EndOffset());
+    }
+  }
+  const std::string bytes = ReadFileBytes(path);
+
+  auto expect_prefix = [&](const std::vector<MutationOp>& ops, size_t n,
+                           const std::string& label) {
+    ASSERT_EQ(ops.size(), n) << label;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i].kind, appended[i].kind) << label;
+      EXPECT_EQ(ops[i].record.id, appended[i].record.id) << label;
+      EXPECT_EQ(ops[i].sequence, appended[i].sequence) << label;
+    }
+  };
+
+  const std::string mutated_path = TempPath("journal_mixed_mutated.cbvj");
+  // Truncation at every offset.
+  for (size_t cut = kJournalHeaderSize; cut <= bytes.size(); ++cut) {
+    WriteFileBytes(mutated_path, bytes.substr(0, cut));
+    size_t expect_frames = 0;
+    for (size_t b = 1; b < boundaries.size(); ++b) {
+      if (boundaries[b] <= cut) expect_frames = b;
+    }
+    std::vector<MutationOp> ops;
+    Result<JournalReplayStats> stats =
+        ReplayJournal(mutated_path, [&ops](const MutationOp& op) {
+          ops.push_back(op);
+          return Status::OK();
+        });
+    ASSERT_TRUE(stats.ok()) << "cut at " << cut;
+    expect_prefix(ops, expect_frames, "cut at " + std::to_string(cut));
+  }
+  // Single-byte flips at every offset (including each frame's op byte and
+  // sequence field).
+  for (size_t pos = kJournalHeaderSize; pos < bytes.size(); ++pos) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    WriteFileBytes(mutated_path, mutated);
+    size_t expect_frames = 0;
+    for (size_t b = 1; b < boundaries.size(); ++b) {
+      if (boundaries[b] <= pos) expect_frames = b;
+    }
+    std::vector<MutationOp> ops;
+    Result<JournalReplayStats> stats =
+        ReplayJournal(mutated_path, [&ops](const MutationOp& op) {
+          ops.push_back(op);
+          return Status::OK();
+        });
+    ASSERT_TRUE(stats.ok()) << "flip at " << pos;
+    EXPECT_TRUE(stats.value().tail_truncated) << "flip at " << pos;
+    expect_prefix(ops, expect_frames, "flip at " + std::to_string(pos));
   }
 }
 
@@ -286,7 +391,7 @@ TEST(JournalTest, FlippedHeaderMagicIsRejected) {
 
   EXPECT_FALSE(Journal::Open(path).ok());
   Result<JournalReplayStats> replay =
-      ReplayJournal(path, [](const Record&) { return Status::OK(); });
+      ReplayJournal(path, [](const MutationOp&) { return Status::OK(); });
   EXPECT_FALSE(replay.ok());
 }
 

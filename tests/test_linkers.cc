@@ -148,29 +148,6 @@ TEST_F(LinkersTest, CbvHbParallelMatchingReproducesSerialOutput) {
   }
 }
 
-TEST_F(LinkersTest, DeprecatedConfigNumThreadsStillForwards) {
-  // CbvHbConfig::num_threads is deprecated but must keep working through
-  // the two-argument Link() for one release.
-  auto run = [&](size_t num_threads, bool via_config) {
-    CbvHbConfig config;
-    config.schema = generator_->schema();
-    config.rule = PlRule();
-    config.seed = 1;
-    if (via_config) config.num_threads = num_threads;
-    Result<CbvHbLinker> linker = CbvHbLinker::Create(std::move(config));
-    EXPECT_TRUE(linker.ok());
-    Result<LinkageResult> result =
-        via_config
-            ? linker.value().Link(data_->a, data_->b)
-            : linker.value().Link(data_->a, data_->b,
-                                  ExecutionOptions::WithThreads(num_threads));
-    EXPECT_TRUE(result.ok()) << result.status().ToString();
-    EXPECT_EQ(result.value().threads_used, num_threads);
-    return std::move(result).value().matches;
-  };
-  EXPECT_EQ(run(2, /*via_config=*/true), run(2, /*via_config=*/false));
-}
-
 TEST_F(LinkersTest, SharedPoolOverridesNumThreads) {
   // A caller-owned pool drives every parallel stage; num_threads is
   // ignored and threads_used reports the pool's width.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/net/client.h"
+#include "src/net/status_map.h"
 
 namespace cbvlink {
 namespace net {

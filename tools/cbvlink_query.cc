@@ -11,11 +11,16 @@
 //   --stats                print the server's telemetry JSON
 //   --record "F1,F2,..."   one record operation; with:
 //       --id N             record id (default 0)
-//       --op OP            match | insert | match_and_insert
-//                          (default match)
+//       --op OP            match | insert | match_and_insert | update
+//                          (default match; update replaces the live
+//                          record with this id — PUT /records/{id} in
+//                          HTTP mode)
 //       --burst N          pipeline N copies (ids N consecutive from
 //                          --id) before reading any reply — the shed
 //                          probe: report ok/shed/error counts
+//   --op delete --id N     tombstone record N (no --record needed;
+//                          DELETE /records/{id} in HTTP mode; --burst
+//                          deletes N consecutive ids)
 //   --queries FILE         stream a query CSV (same format cbvlink_serve
 //                          reads); matched pairs go to --out as
 //                          "a_id,b_id" CSV
@@ -104,7 +109,7 @@ void Usage() {
       stderr,
       "usage: cbvlink_query --connect HOST:PORT [--mode binary|http]\n"
       "  (--ping | --stats | --record \"F1,F2,...\" [--id N] [--op OP]\n"
-      "   [--burst N] | --queries FILE [--insert])\n"
+      "   [--burst N] | --op delete --id N | --queries FILE [--insert])\n"
       "  [--id-column NAME] [--first-auto-id N] [--out FILE]\n"
       "  [--allow-shed] [--timeout-ms N] [--retries N] [--deadline-ms N]\n"
       "  [--server-timing]\n"
@@ -202,16 +207,27 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     std::fprintf(stderr, "--mode must be 'binary' or 'http'\n");
     return false;
   }
+  // A delete needs no record fields — the id is the whole request.
+  const bool record_command =
+      !args->record_fields.empty() || args->op == "delete";
   const int commands = (args->ping ? 1 : 0) + (args->stats ? 1 : 0) +
-                       (!args->record_fields.empty() ? 1 : 0) +
+                       (record_command ? 1 : 0) +
                        (!args->queries_path.empty() ? 1 : 0);
   if (commands != 1) {
-    std::fprintf(stderr, "exactly one of --ping/--stats/--record/--queries\n");
+    std::fprintf(stderr,
+                 "exactly one of --ping/--stats/--record/--op delete/"
+                 "--queries\n");
     return false;
   }
   if (args->op != "match" && args->op != "insert" &&
-      args->op != "match_and_insert") {
-    std::fprintf(stderr, "--op must be match|insert|match_and_insert\n");
+      args->op != "match_and_insert" && args->op != "delete" &&
+      args->op != "update") {
+    std::fprintf(stderr,
+                 "--op must be match|insert|match_and_insert|delete|update\n");
+    return false;
+  }
+  if (args->op == "update" && args->record_fields.empty()) {
+    std::fprintf(stderr, "--op update needs --record\n");
     return false;
   }
   return true;
@@ -558,8 +574,16 @@ int RunMain(int argc, char** argv) {
       if (args.server_timing) web->set_trace_hex(net::TraceIdHex(trace_id));
       int code = 0;
       std::string body;
-      st = web->Call("POST", StrFormat("/%s", op.c_str()),
-                     RecordToJson(record), &code, &body, args.deadline_ms);
+      if (op == "delete" || op == "update") {
+        st = web->Call(op == "delete" ? "DELETE" : "PUT",
+                       StrFormat("/records/%llu",
+                                 static_cast<unsigned long long>(record.id)),
+                       op == "delete" ? std::string() : RecordToJson(record),
+                       &code, &body, args.deadline_ms);
+      } else {
+        st = web->Call("POST", StrFormat("/%s", op.c_str()),
+                       RecordToJson(record), &code, &body, args.deadline_ms);
+      }
       if (st.ok()) st = StatusFromHttp(code, body);
       if (st.ok() && op != "insert") pairs = PairsFromJson(body);
       if (st.ok()) {
@@ -573,6 +597,10 @@ int RunMain(int argc, char** argv) {
         st = rbin->Match(record, &pairs);
       } else if (op == "insert") {
         st = rbin->Insert(record);
+      } else if (op == "delete") {
+        st = rbin->Delete(record.id);
+      } else if (op == "update") {
+        st = rbin->Update(record);
       } else {
         st = rbin->MatchAndInsert(record, &pairs);
       }
@@ -583,6 +611,10 @@ int RunMain(int argc, char** argv) {
         st = bin->Match(record, &pairs, op_deadline());
       } else if (op == "insert") {
         st = bin->Insert(record, op_deadline());
+      } else if (op == "delete") {
+        st = bin->Delete(record.id, op_deadline());
+      } else if (op == "update") {
+        st = bin->Update(record, op_deadline());
       } else {
         st = bin->MatchAndInsert(record, &pairs, op_deadline());
       }
@@ -624,7 +656,7 @@ int RunMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "stats: %s\n", st.ToString().c_str());
     }
-  } else if (!args.record_fields.empty()) {
+  } else if (!args.record_fields.empty() || args.op == "delete") {
     Record record;
     record.id = args.id;
     for (const std::string& field : StrSplit(args.record_fields, ',')) {
@@ -655,6 +687,12 @@ int RunMain(int argc, char** argv) {
         expect = net::MsgType::kInserted;
       } else if (args.op == "match_and_insert") {
         type = net::MsgType::kMatchAndInsert;
+      } else if (args.op == "delete") {
+        type = net::MsgType::kDelete;
+        expect = net::MsgType::kDeleted;
+      } else if (args.op == "update") {
+        type = net::MsgType::kUpdate;
+        expect = net::MsgType::kUpdated;
       }
       Status st = bin->PipelinedBurst(
           type, record, args.burst,

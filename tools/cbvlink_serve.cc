@@ -27,8 +27,7 @@
 //   --delta X              miss probability (default 0.1)
 //   --alphanumeric         alphanumeric alphabet for every attribute
 //   --seed N               RNG seed (default 7)
-//   --num-threads N        batch worker threads (default 0 = hardware;
-//                          --threads is a deprecated alias)
+//   --num-threads N        batch worker threads (default 0 = hardware)
 //   --shards N             lock shards (default 16)
 //   --max-bucket N         bucket-size cap (default 0 = unlimited)
 //   --overflow POLICY      truncate | scan (default scan)
@@ -77,8 +76,8 @@
 //                          Perfetto); slow queries also land in the
 //                          sibling FILE with a .slow suffix
 // Any --trace-* flag implies --trace.
-// --num-threads (and its deprecated --threads alias) sizes the network
-// worker pool too, so one flag governs batch and network parallelism.
+// --num-threads sizes the network worker pool too, so one flag governs
+// batch and network parallelism.
 //
 // Malformed query-CSV rows are skipped (not fatal): each skip is
 // counted, the first reasons are reported at exit, and the process
@@ -329,8 +328,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (!v) return false;
       args->seed = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--num-threads" || flag == "--threads") {
-      // --threads is the deprecated spelling, kept one release.
+    } else if (flag == "--num-threads") {
       if (!next_size(&args->threads)) return false;
     } else if (flag == "--shards") {
       if (!next_size(&args->shards)) return false;
@@ -482,8 +480,7 @@ std::unique_ptr<net::NetServer> StartServer(LinkageService* service,
   net::NetServerOptions options;
   options.bind_address = host;
   options.port = port;
-  // One thread flag governs batch and network workers alike (the
-  // --threads alias feeds the same field).
+  // One thread flag governs batch and network workers alike.
   options.num_workers = args.threads;
   options.max_queue = args.queue_cap;
   options.max_connections = args.max_conns;
@@ -789,6 +786,9 @@ int RunMain(int argc, char** argv) {
   }
 
   if (!args.listen.empty()) {
+    // A writable server accepts deletes/updates, so let the background
+    // compactor rebuild the blocking tables once tombstones pile up.
+    service->StartBackgroundCompaction();
     std::unique_ptr<net::NetServer> server =
         StartServer(service.get(), args, /*read_only=*/false,
                     trace_sink.get());
